@@ -1,0 +1,136 @@
+//! Criterion micro-benchmarks over the three structures (plus baselines).
+//!
+//! These are wall-clock companions to the experiment binaries (which
+//! report the paper's disk-access metrics): one group per reproduced
+//! artifact, on reduced maps so `cargo bench` completes quickly.
+//!
+//! * `build/*`          — Table 1's CPU-seconds column, reduced scale
+//! * `page_buffer/*`    — Figure 6's configuration sweep, reduced grid
+//! * `query/*`          — Table 2's workloads (point, nearest, window,
+//!                        polygon) per structure
+//! * `threshold/*`      — §7's PMR splitting-threshold ablation
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsdb_bench::workloads::QueryWorkbench;
+use lsdb_bench::{build_index, IndexKind};
+use lsdb_core::{queries, IndexConfig, PolygonalMap, SpatialIndex};
+use lsdb_pmr::{PmrConfig, PmrQuadtree};
+use lsdb_tiger::{generate, CountyClass, CountySpec};
+use std::hint::black_box;
+
+fn bench_map(class: CountyClass, target: usize, seed: u64) -> PolygonalMap {
+    generate(&CountySpec::new("bench", class, target, seed))
+}
+
+fn kinds() -> Vec<IndexKind> {
+    vec![
+        IndexKind::RStar,
+        IndexKind::RPlus,
+        IndexKind::Pmr,
+        IndexKind::RQuadratic,
+        IndexKind::Grid(32),
+    ]
+}
+
+fn bench_build(c: &mut Criterion) {
+    let cfg = IndexConfig::default();
+    let mut g = c.benchmark_group("build");
+    g.sample_size(10);
+    for (label, class) in [
+        ("urban", CountyClass::Urban),
+        ("rural", CountyClass::Rural { meander: 24 }),
+    ] {
+        let map = bench_map(class, 2500, 3);
+        for kind in kinds() {
+            g.bench_function(BenchmarkId::new(kind.label(), label), |b| {
+                b.iter(|| black_box(build_index(kind, &map, cfg)).len())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_page_buffer(c: &mut Criterion) {
+    let map = bench_map(CountyClass::Suburban, 2000, 5);
+    let mut g = c.benchmark_group("page_buffer");
+    g.sample_size(10);
+    for page in [512usize, 1024, 2048] {
+        for pool in [8usize, 16, 32] {
+            let cfg = IndexConfig { page_size: page, pool_pages: pool };
+            g.bench_function(BenchmarkId::new("pmr_build", format!("{page}B/{pool}p")), |b| {
+                b.iter(|| black_box(build_index(IndexKind::Pmr, &map, cfg)).size_bytes())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let cfg = IndexConfig::default();
+    let map = bench_map(CountyClass::Suburban, 3000, 7);
+    let wb = QueryWorkbench::new(&map, 64, 11);
+    for kind in kinds() {
+        let mut idx = build_index(kind, &map, cfg);
+        let mut g = c.benchmark_group(format!("query/{}", kind.label()));
+        g.bench_function("incident", |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let (_, p) = wb.endpoints[i % wb.endpoints.len()];
+                i += 1;
+                black_box(idx.find_incident(p))
+            })
+        });
+        g.bench_function("nearest", |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let p = wb.two_stage_points[i % wb.two_stage_points.len()];
+                i += 1;
+                black_box(idx.nearest(p))
+            })
+        });
+        g.bench_function("window", |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let w = wb.windows[i % wb.windows.len()];
+                i += 1;
+                black_box(idx.window(w))
+            })
+        });
+        g.bench_function("polygon", |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let p = wb.two_stage_points[i % wb.two_stage_points.len()];
+                i += 1;
+                black_box(queries::enclosing_polygon(idx.as_mut(), p, 10_000))
+            })
+        });
+        g.finish();
+    }
+}
+
+fn bench_threshold(c: &mut Criterion) {
+    let map = bench_map(CountyClass::Rural { meander: 20 }, 2500, 13);
+    let mut g = c.benchmark_group("threshold");
+    g.sample_size(10);
+    for t in [2usize, 4, 16, 64] {
+        g.bench_function(BenchmarkId::new("pmr_build", t), |b| {
+            b.iter(|| {
+                let pmr = PmrQuadtree::build(
+                    &map,
+                    PmrConfig { threshold: t, ..Default::default() },
+                );
+                black_box(pmr.size_bytes())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build,
+    bench_page_buffer,
+    bench_queries,
+    bench_threshold
+);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Reproduce **Figures 7, 8 and 9** — normalized ranges over the six
+//! counties.
+//!
+//! * Figure 7: bounding-box computations of the R+-tree normalized by the
+//!   R\*-tree (the PMR quadtree's bucket computations are ~2 orders of
+//!   magnitude smaller, so the paper leaves it off this plot — we print
+//!   its raw ratio for reference).
+//! * Figure 8: disk accesses of R\* and R+ normalized by the PMR quadtree.
+//! * Figure 9: segment comparisons normalized by the PMR quadtree.
+//!
+//! Each cell is the normalized range over the six maps: `avg [min..max]`.
+//!
+//! Usage: `cargo run --release -p lsdb-bench --bin figures`
+
+use lsdb_bench::report::{render_table, NormalizedRange};
+use lsdb_bench::workloads::{QueryWorkbench, Workload, WorkloadResult};
+use lsdb_bench::{build_index, counties_at_scale, queries_per_type, IndexKind};
+use lsdb_core::IndexConfig;
+
+fn main() {
+    let cfg = IndexConfig::default();
+    let maps = counties_at_scale();
+    let n = queries_per_type();
+    println!(
+        "Figures 7-9: normalized ranges over {} maps, {} queries per type\n",
+        maps.len(),
+        n
+    );
+
+    // results[map][structure][workload]. The six maps are measured on
+    // worker threads: every metric is a deterministic counter, so
+    // parallelism cannot perturb the results (only wall-clock, which this
+    // binary does not report).
+    let results: Vec<Vec<Vec<WorkloadResult>>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = maps
+            .iter()
+            .map(|map| {
+                scope.spawn(move |_| {
+                    let wb = QueryWorkbench::new(map, n, map.len() as u64);
+                    let per_structure: Vec<Vec<WorkloadResult>> = IndexKind::paper_three()
+                        .iter()
+                        .map(|&kind| {
+                            let mut idx = build_index(kind, map, cfg);
+                            Workload::ALL
+                                .iter()
+                                .map(|&w| wb.run(w, idx.as_mut()))
+                                .collect()
+                        })
+                        .collect();
+                    eprintln!("  measured {}", map.name);
+                    per_structure
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    })
+    .expect("measurement scope");
+    const RSTAR: usize = 0;
+    const RPLUS: usize = 1;
+    const PMR: usize = 2;
+
+    let range_over_maps = |f: &dyn Fn(&Vec<Vec<WorkloadResult>>) -> f64| -> NormalizedRange {
+        let vals: Vec<f64> = results.iter().map(f).collect();
+        NormalizedRange::of(&vals)
+    };
+
+    // Figure 7: relative bounding box computations (R+ / R*).
+    println!("Figure 7: bounding-box computations, R+ normalized by R*");
+    let mut rows = vec![vec!["query".to_string(), "R+/R*".to_string(), "PMR/R* (off-plot)".to_string()]];
+    for (wi, w) in Workload::ALL.iter().enumerate() {
+        let rplus = range_over_maps(&|m| m[RPLUS][wi].bbox_comps / m[RSTAR][wi].bbox_comps);
+        let pmr = range_over_maps(&|m| m[PMR][wi].bbox_comps / m[RSTAR][wi].bbox_comps);
+        rows.push(vec![w.label().to_string(), rplus.format(), pmr.format()]);
+    }
+    println!("{}", render_table(&rows));
+
+    // Figure 8: relative disk accesses (normalized by PMR).
+    println!("Figure 8: disk accesses normalized by the PMR quadtree");
+    let mut rows = vec![vec![
+        "query".to_string(),
+        "PMR".to_string(),
+        "R+/PMR".to_string(),
+        "R*/PMR".to_string(),
+    ]];
+    for (wi, w) in Workload::ALL.iter().enumerate() {
+        let rplus = range_over_maps(&|m| m[RPLUS][wi].disk_accesses / m[PMR][wi].disk_accesses);
+        let rstar = range_over_maps(&|m| m[RSTAR][wi].disk_accesses / m[PMR][wi].disk_accesses);
+        rows.push(vec![
+            w.label().to_string(),
+            "1.00".to_string(),
+            rplus.format(),
+            rstar.format(),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+
+    // Figure 9: relative segment comparisons (normalized by PMR).
+    println!("Figure 9: segment comparisons normalized by the PMR quadtree");
+    let mut rows = vec![vec![
+        "query".to_string(),
+        "PMR".to_string(),
+        "R+/PMR".to_string(),
+        "R*/PMR".to_string(),
+    ]];
+    for (wi, w) in Workload::ALL.iter().enumerate() {
+        let rplus = range_over_maps(&|m| m[RPLUS][wi].seg_comps / m[PMR][wi].seg_comps);
+        let rstar = range_over_maps(&|m| m[RSTAR][wi].seg_comps / m[PMR][wi].seg_comps);
+        rows.push(vec![
+            w.label().to_string(),
+            "1.00".to_string(),
+            rplus.format(),
+            rstar.format(),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+
+    println!("paper shape: PMR slight edge in disk accesses; R+ < R* except the");
+    println!("polygon query; PMR fewest segment comps on nearest-line; R-tree bbox");
+    println!("comps orders of magnitude above PMR bucket comps.");
+}

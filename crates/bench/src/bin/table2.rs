@@ -1,0 +1,80 @@
+//! Reproduce **Table 2** — absolute per-query metrics for Charles county.
+//!
+//! For each of the seven workloads × {PMR, R+, R*}: average disk accesses,
+//! segment comparisons, and bounding-box (R-trees) / bounding-bucket (PMR)
+//! computations over `LSDB_QUERIES` queries (default 1000, as in the
+//! paper).
+//!
+//! Usage: `cargo run --release -p lsdb-bench --bin table2`
+
+use lsdb_bench::report::{fmt, render_table};
+use lsdb_bench::workloads::{QueryWorkbench, Workload};
+use lsdb_bench::{build_index, county_at_scale, queries_per_type, IndexKind};
+use lsdb_core::IndexConfig;
+
+fn main() {
+    let cfg = IndexConfig::default();
+    let map = county_at_scale("Charles");
+    let n = queries_per_type();
+    println!(
+        "Table 2: Charles county ({} segments), {} queries per type\n",
+        map.len(),
+        n
+    );
+    let wb = QueryWorkbench::new(&map, n, 0xC4A5);
+    // Build the three structures once; the pool stays warm within each
+    // workload, exactly like the paper's batched runs.
+    let mut results = Vec::new();
+    for kind in IndexKind::paper_three() {
+        let mut idx = build_index(kind, &map, cfg);
+        let per: Vec<_> = Workload::ALL
+            .iter()
+            .map(|&w| wb.run(w, idx.as_mut()))
+            .collect();
+        results.push(per);
+    }
+    // Paper order: PMR, R+, R*.
+    let order = [2usize, 1, 0];
+    let names = ["PMR", "R+", "R*"];
+    let mut rows = vec![vec![
+        "query".to_string(),
+        "metric".to_string(),
+        names[0].to_string(),
+        names[1].to_string(),
+        names[2].to_string(),
+    ]];
+    for (wi, w) in Workload::ALL.iter().enumerate() {
+        for (mi, metric) in ["disk accesses", "segment comps", "bbox/node comps"]
+            .iter()
+            .enumerate()
+        {
+            let mut row = vec![
+                if mi == 0 { w.label().to_string() } else { String::new() },
+                metric.to_string(),
+            ];
+            for &si in &order {
+                let r = &results[si][wi];
+                let v = match mi {
+                    0 => r.disk_accesses,
+                    1 => r.seg_comps,
+                    _ => r.bbox_comps,
+                };
+                row.push(fmt(v));
+            }
+            rows.push(row);
+        }
+    }
+    println!("{}", render_table(&rows));
+
+    // Context the paper discusses alongside Table 2.
+    let poly2 = &results[0]; // R* slot (index 0 = RStar build order)
+    let _ = poly2;
+    let avg_poly: Vec<f64> = order
+        .iter()
+        .map(|&si| results[si][4].avg_result)
+        .collect();
+    println!(
+        "average polygon size (2-stage): PMR {:.0}, R+ {:.0}, R* {:.0}  (paper: 132 for rural Charles)",
+        avg_poly[0], avg_poly[1], avg_poly[2]
+    );
+}

@@ -1,0 +1,217 @@
+//! Benchmark harness reproducing every table and figure of the paper.
+//!
+//! Each experiment is a binary (see `src/bin/`):
+//!
+//! | target      | reproduces |
+//! |-------------|------------|
+//! | `table1`    | Table 1 — build statistics (size, disk accesses, CPU seconds) |
+//! | `table2`    | Table 2 — per-query metrics for Charles county |
+//! | `fig6`      | Figure 6 — build disk accesses by page size × buffer size |
+//! | `figures`   | Figures 7-9 — normalized ranges over the six counties |
+//! | `occupancy` | §7 — page/bucket occupancy audit + PMR threshold sweep |
+//!
+//! Shared infrastructure lives here: index construction behind one enum,
+//! the five query workloads with metric accumulation, and plain-text table
+//! rendering. Every binary honours two environment variables:
+//!
+//! * `LSDB_SCALE` — scales the county segment counts (default 1.0); the
+//!   smoke-test suite runs the full pipeline at 0.02.
+//! * `LSDB_QUERIES` — queries per type (default 1000, as in the paper).
+
+pub mod report;
+pub mod workloads;
+
+use lsdb_core::{IndexConfig, PolygonalMap, SpatialIndex};
+use lsdb_grid::UniformGrid;
+use lsdb_pmr::{PmrConfig, PmrQuadtree};
+use lsdb_rplus::RPlusTree;
+use lsdb_rtree::{RTree, RTreeKind};
+use lsdb_tiger::CountySpec;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Which index structure to build.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IndexKind {
+    RStar,
+    RPlus,
+    Pmr,
+    /// PMR quadtree with a non-default splitting threshold (ablation).
+    PmrThreshold(usize),
+    /// Guttman baselines (ablation).
+    RQuadratic,
+    RLinear,
+    /// Uniform grid baseline (ablation), cells per side.
+    Grid(i32),
+    /// Representative-point 4-d grid (the paper's §2 counter-example),
+    /// cells per axis.
+    Repr(i32),
+}
+
+impl IndexKind {
+    /// The paper's three structures, in its reporting order.
+    pub fn paper_three() -> [IndexKind; 3] {
+        [IndexKind::RStar, IndexKind::RPlus, IndexKind::Pmr]
+    }
+
+    pub fn label(self) -> String {
+        match self {
+            IndexKind::RStar => "R*".into(),
+            IndexKind::RPlus => "R+".into(),
+            IndexKind::Pmr => "PMR".into(),
+            IndexKind::PmrThreshold(t) => format!("PMR(t={t})"),
+            IndexKind::RQuadratic => "R(quad)".into(),
+            IndexKind::RLinear => "R(lin)".into(),
+            IndexKind::Grid(g) => format!("grid({g})"),
+            IndexKind::Repr(g) => format!("repr({g}^4)"),
+        }
+    }
+}
+
+/// Build the chosen index over `map` with the given page configuration.
+pub fn build_index(kind: IndexKind, map: &PolygonalMap, cfg: IndexConfig) -> Box<dyn SpatialIndex> {
+    match kind {
+        IndexKind::RStar => Box::new(RTree::build(map, cfg, RTreeKind::RStar)),
+        IndexKind::RQuadratic => Box::new(RTree::build(map, cfg, RTreeKind::Quadratic)),
+        IndexKind::RLinear => Box::new(RTree::build(map, cfg, RTreeKind::Linear)),
+        IndexKind::RPlus => Box::new(RPlusTree::build(map, cfg)),
+        IndexKind::Pmr => Box::new(PmrQuadtree::build(map, PmrConfig { index: cfg, ..Default::default() })),
+        IndexKind::PmrThreshold(t) => Box::new(PmrQuadtree::build(
+            map,
+            PmrConfig { threshold: t, index: cfg, ..Default::default() },
+        )),
+        IndexKind::Grid(g) => Box::new(UniformGrid::build(map, cfg, g)),
+        IndexKind::Repr(g) => Box::new(lsdb_repr::ReprGrid::build(map, cfg, g)),
+    }
+}
+
+/// Table 1 measurements for one (map, structure) pair.
+#[derive(Clone, Debug)]
+pub struct BuildReport {
+    pub kind: IndexKind,
+    pub map_name: String,
+    pub segments: usize,
+    pub size_kbytes: f64,
+    /// Index-page reads + writes during the build (flush included: the
+    /// structure is disk-resident when the build is done).
+    pub disk_accesses: u64,
+    pub cpu_seconds: f64,
+}
+
+/// Build an index while measuring Table 1's three quantities.
+pub fn measure_build(kind: IndexKind, map: &PolygonalMap, cfg: IndexConfig) -> (Box<dyn SpatialIndex>, BuildReport) {
+    let start = Instant::now();
+    let mut index = build_index(kind, map, cfg);
+    let cpu_seconds = start.elapsed().as_secs_f64();
+    index.clear_cache(); // flush dirty pages: the build's final writes
+    let stats = index.stats();
+    let report = BuildReport {
+        kind,
+        map_name: map.name.clone(),
+        segments: map.len(),
+        size_kbytes: index.size_bytes() as f64 / 1024.0,
+        disk_accesses: stats.disk.total(),
+        cpu_seconds,
+    };
+    index.reset_stats();
+    (index, report)
+}
+
+/// Scale factor for the county maps (`LSDB_SCALE`, default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("LSDB_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Queries per type (`LSDB_QUERIES`, default 1000 as in the paper).
+pub fn queries_per_type() -> usize {
+    std::env::var("LSDB_QUERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000)
+}
+
+/// Map cache directory (`LSDB_MAP_CACHE`, default `target/lsdb-maps`).
+pub fn map_cache_dir() -> PathBuf {
+    std::env::var("LSDB_MAP_CACHE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/lsdb-maps"))
+}
+
+/// The six counties at the configured scale, generated (or loaded from the
+/// cache).
+pub fn counties_at_scale() -> Vec<PolygonalMap> {
+    let s = scale();
+    lsdb_tiger::the_six_counties()
+        .into_iter()
+        .map(|spec| scaled_county(spec, s))
+        .collect()
+}
+
+/// One county at the configured scale.
+pub fn county_at_scale(name: &str) -> PolygonalMap {
+    let spec = lsdb_tiger::county(name).unwrap_or_else(|| panic!("unknown county {name}"));
+    scaled_county(spec, scale())
+}
+
+fn scaled_county(spec: CountySpec, s: f64) -> PolygonalMap {
+    let target = ((spec.target_segments as f64 * s).round() as usize).max(200);
+    let spec = spec.with_target(target);
+    lsdb_tiger::io::load_or_generate(&spec, &map_cache_dir())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_map() -> PolygonalMap {
+        let spec = lsdb_tiger::CountySpec::new(
+            "bench-test",
+            lsdb_tiger::CountyClass::Urban,
+            600,
+            99,
+        );
+        lsdb_tiger::generate(&spec)
+    }
+
+    #[test]
+    fn build_index_all_kinds() {
+        let map = tiny_map();
+        let cfg = IndexConfig { page_size: 512, pool_pages: 16 };
+        for kind in [
+            IndexKind::RStar,
+            IndexKind::RPlus,
+            IndexKind::Pmr,
+            IndexKind::PmrThreshold(8),
+            IndexKind::RQuadratic,
+            IndexKind::RLinear,
+            IndexKind::Grid(16),
+            IndexKind::Repr(8),
+        ] {
+            let idx = build_index(kind, &map, cfg);
+            assert_eq!(idx.len(), map.len(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn measure_build_reports_sane_numbers() {
+        let map = tiny_map();
+        let cfg = IndexConfig::default();
+        let (idx, rep) = measure_build(IndexKind::Pmr, &map, cfg);
+        assert_eq!(rep.segments, map.len());
+        assert!(rep.size_kbytes > 1.0);
+        assert!(rep.disk_accesses > 0, "a 16-page pool cannot hold the build");
+        assert!(rep.cpu_seconds > 0.0);
+        // Stats were reset after the build measurement.
+        assert_eq!(idx.stats().disk.total(), 0);
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(IndexKind::RStar.label(), "R*");
+        assert_eq!(IndexKind::PmrThreshold(64).label(), "PMR(t=64)");
+        assert_eq!(IndexKind::Grid(32).label(), "grid(32)");
+    }
+}

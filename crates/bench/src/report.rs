@@ -1,0 +1,113 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// Render an aligned text table. `rows` include the header as row 0.
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap();
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            // Right-align numeric-looking cells, left-align the rest.
+            let numeric = cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '.');
+            if numeric && ri > 0 {
+                out.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            } else {
+                out.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            }
+        }
+        out.push('\n');
+        if ri == 0 {
+            for (i, w) in widths.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&"-".repeat(*w));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// A min/avg/max summary over per-map normalized values, as plotted in the
+/// paper's Figures 7-9 ("the normalized range highlights the average
+/// normalized value for the 6 maps making it easier to see variability").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NormalizedRange {
+    pub min: f64,
+    pub avg: f64,
+    pub max: f64,
+}
+
+impl NormalizedRange {
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty());
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let avg = values.iter().sum::<f64>() / values.len() as f64;
+        NormalizedRange { min, avg, max }
+    }
+
+    pub fn format(&self) -> String {
+        format!("{:.2} [{:.2}..{:.2}]", self.avg, self.min, self.max)
+    }
+}
+
+/// Format a float with sensible precision for table cells.
+pub fn fmt(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let rows = vec![
+            vec!["name".into(), "value".into()],
+            vec!["alpha".into(), "1.5".into()],
+            vec!["b".into(), "100".into()],
+        ];
+        let t = render_table(&rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("-----"));
+        // Numeric cells right-aligned within the column.
+        assert!(lines[2].contains("  1.5"));
+    }
+
+    #[test]
+    fn normalized_range() {
+        let r = NormalizedRange::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(r.min, 1.0);
+        assert_eq!(r.max, 3.0);
+        assert!((r.avg - 2.0).abs() < 1e-12);
+        assert_eq!(r.format(), "2.00 [1.00..3.00]");
+    }
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt(12345.6), "12346");
+        assert_eq!(fmt(42.37), "42.4");
+        assert_eq!(fmt(1.234), "1.23");
+    }
+}

@@ -1,0 +1,240 @@
+//! The paper's seven query workloads with per-query metric accumulation.
+//!
+//! "For each query type and map, 1000 tests were performed" — queries 3
+//! (nearest line) and 4 (enclosing polygon) run twice, once with 1-stage
+//! (uniform) and once with 2-stage (block-correlated) random points, giving
+//! seven workloads; query 5 uses windows covering 0.01% of the map area.
+
+use lsdb_core::pointgen::{EndpointGen, TwoStageGen, UniformGen, WindowGen};
+use lsdb_core::{queries, PolygonalMap, QueryStats, SpatialIndex};
+use lsdb_geom::Rect;
+use lsdb_pmr::{PmrConfig, PmrQuadtree};
+
+/// The seven workloads of the paper's evaluation, in Table 2's order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Workload {
+    Point1,
+    Point2,
+    NearestTwoStage,
+    NearestOneStage,
+    PolygonTwoStage,
+    PolygonOneStage,
+    Range,
+}
+
+impl Workload {
+    pub const ALL: [Workload; 7] = [
+        Workload::Point1,
+        Workload::Point2,
+        Workload::NearestTwoStage,
+        Workload::NearestOneStage,
+        Workload::PolygonTwoStage,
+        Workload::PolygonOneStage,
+        Workload::Range,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::Point1 => "Point1",
+            Workload::Point2 => "Point2",
+            Workload::NearestTwoStage => "Nearest (2-stage)",
+            Workload::NearestOneStage => "Nearest (1-stage)",
+            Workload::PolygonTwoStage => "Polygon (2-stage)",
+            Workload::PolygonOneStage => "Polygon (1-stage)",
+            Workload::Range => "Range",
+        }
+    }
+}
+
+/// Average per-query metrics for one workload.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkloadResult {
+    pub queries: usize,
+    pub disk_accesses: f64,
+    pub seg_comps: f64,
+    pub bbox_comps: f64,
+    /// Auxiliary: average result size (incident counts, window hits, or
+    /// polygon boundary length).
+    pub avg_result: f64,
+}
+
+/// Everything needed to drive the seven workloads reproducibly against any
+/// number of structures: the shared query streams.
+pub struct QueryWorkbench {
+    /// (segment, endpoint) pairs for Point1/Point2.
+    pub endpoints: Vec<(lsdb_core::SegId, lsdb_geom::Point)>,
+    /// 1-stage (uniform) points.
+    pub uniform_points: Vec<lsdb_geom::Point>,
+    /// 2-stage (block-correlated) points.
+    pub two_stage_points: Vec<lsdb_geom::Point>,
+    /// Range-query windows (0.01% of the area).
+    pub windows: Vec<Rect>,
+    /// Step cap for polygon walks (outer faces can be long).
+    pub max_polygon_steps: usize,
+}
+
+impl QueryWorkbench {
+    /// Build the query streams for `map`. The 2-stage stream follows the
+    /// paper: PMR-quadtree leaf blocks chosen uniformly *by count*, then a
+    /// uniform point inside the block. A throwaway PMR quadtree over the
+    /// map supplies the block list regardless of the structure under test.
+    pub fn new(map: &PolygonalMap, n: usize, seed: u64) -> Self {
+        let mut pmr = PmrQuadtree::build(map, PmrConfig::default());
+        let blocks: Vec<Rect> = pmr.leaf_blocks().iter().map(|b| b.rect()).collect();
+        let mut endpoint_gen = EndpointGen::new(map, seed ^ 0x1111);
+        let mut uni = UniformGen::new(seed ^ 0x2222);
+        let mut two = TwoStageGen::new(blocks, seed ^ 0x3333);
+        let mut win = WindowGen::new(0.0001, seed ^ 0x4444);
+        QueryWorkbench {
+            endpoints: (0..n).map(|_| endpoint_gen.next_endpoint()).collect(),
+            uniform_points: (0..n).map(|_| uni.next_point()).collect(),
+            two_stage_points: (0..n).map(|_| two.next_point()).collect(),
+            windows: (0..n).map(|_| win.next_window()).collect(),
+            max_polygon_steps: (map.len() * 2).clamp(1000, 6000),
+        }
+    }
+
+    /// Run one workload against `index`, returning averaged metrics.
+    /// The buffer pool stays warm across the queries of a workload, as in
+    /// the paper's batched runs.
+    pub fn run(&self, workload: Workload, index: &mut dyn SpatialIndex) -> WorkloadResult {
+        index.reset_stats();
+        let mut result_size = 0usize;
+        let n = match workload {
+            Workload::Point1 => {
+                for &(_, p) in &self.endpoints {
+                    result_size += index.find_incident(p).len();
+                }
+                self.endpoints.len()
+            }
+            Workload::Point2 => {
+                for &(id, p) in &self.endpoints {
+                    result_size += queries::second_endpoint(index, id, p).len();
+                }
+                self.endpoints.len()
+            }
+            Workload::NearestTwoStage => {
+                for &p in &self.two_stage_points {
+                    result_size += index.nearest(p).is_some() as usize;
+                }
+                self.two_stage_points.len()
+            }
+            Workload::NearestOneStage => {
+                for &p in &self.uniform_points {
+                    result_size += index.nearest(p).is_some() as usize;
+                }
+                self.uniform_points.len()
+            }
+            Workload::PolygonTwoStage => {
+                for &p in &self.two_stage_points {
+                    if let Some(w) = queries::enclosing_polygon(index, p, self.max_polygon_steps) {
+                        result_size += w.len();
+                    }
+                }
+                self.two_stage_points.len()
+            }
+            Workload::PolygonOneStage => {
+                for &p in &self.uniform_points {
+                    if let Some(w) = queries::enclosing_polygon(index, p, self.max_polygon_steps) {
+                        result_size += w.len();
+                    }
+                }
+                self.uniform_points.len()
+            }
+            Workload::Range => {
+                for &w in &self.windows {
+                    result_size += index.window(w).len();
+                }
+                self.windows.len()
+            }
+        };
+        let s: QueryStats = index.stats();
+        let nf = n as f64;
+        WorkloadResult {
+            queries: n,
+            disk_accesses: s.disk.total() as f64 / nf,
+            seg_comps: s.seg_comps as f64 / nf,
+            bbox_comps: s.bbox_comps as f64 / nf,
+            avg_result: result_size as f64 / nf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsdb_core::IndexConfig;
+
+    fn tiny_map() -> PolygonalMap {
+        lsdb_tiger::generate(&lsdb_tiger::CountySpec::new(
+            "wb-test",
+            lsdb_tiger::CountyClass::Suburban,
+            800,
+            17,
+        ))
+    }
+
+    #[test]
+    fn workbench_is_deterministic() {
+        let map = tiny_map();
+        let a = QueryWorkbench::new(&map, 50, 1);
+        let b = QueryWorkbench::new(&map, 50, 1);
+        assert_eq!(a.endpoints, b.endpoints);
+        assert_eq!(a.uniform_points, b.uniform_points);
+        assert_eq!(a.two_stage_points, b.two_stage_points);
+        assert_eq!(a.windows, b.windows);
+    }
+
+    #[test]
+    fn all_workloads_run_on_all_structures() {
+        let map = tiny_map();
+        let wb = QueryWorkbench::new(&map, 20, 2);
+        for kind in crate::IndexKind::paper_three() {
+            let mut idx = crate::build_index(kind, &map, IndexConfig::default());
+            for w in Workload::ALL {
+                let r = wb.run(w, idx.as_mut());
+                assert_eq!(r.queries, 20, "{kind:?} {w:?}");
+                assert!(r.seg_comps >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_streams_give_identical_answers_across_structures() {
+        // The three structures must agree on every query result (the
+        // metrics differ; the answers must not).
+        let map = tiny_map();
+        let wb = QueryWorkbench::new(&map, 30, 3);
+        let cfg = IndexConfig::default();
+        let mut indexes: Vec<_> = crate::IndexKind::paper_three()
+            .iter()
+            .map(|&k| crate::build_index(k, &map, cfg))
+            .collect();
+        for &(_, p) in &wb.endpoints {
+            let mut answers: Vec<Vec<lsdb_core::SegId>> = indexes
+                .iter_mut()
+                .map(|i| lsdb_core::brute::sorted(i.find_incident(p)))
+                .collect();
+            answers.dedup();
+            assert_eq!(answers.len(), 1, "incident answers diverge at {p:?}");
+        }
+        for &w in &wb.windows {
+            let mut answers: Vec<Vec<lsdb_core::SegId>> = indexes
+                .iter_mut()
+                .map(|i| lsdb_core::brute::sorted(i.window(w)))
+                .collect();
+            answers.dedup();
+            assert_eq!(answers.len(), 1, "window answers diverge at {w:?}");
+        }
+        for &p in wb.two_stage_points.iter().chain(&wb.uniform_points) {
+            let dists: Vec<_> = indexes
+                .iter_mut()
+                .map(|i| {
+                    let id = i.nearest(p).unwrap();
+                    map.segments[id.index()].dist2_point(p)
+                })
+                .collect();
+            assert!(dists.windows(2).all(|d| d[0] == d[1]), "NN distance diverges at {p:?}");
+        }
+    }
+}

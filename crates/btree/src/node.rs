@@ -1,0 +1,328 @@
+//! Raw on-page node layouts.
+//!
+//! All accessors operate on the raw page buffer so that a node is never
+//! deserialized wholesale on the hot search path; whole-node vectors are
+//! materialized only for splits and merges.
+
+const HDR: usize = 8;
+const LEAF_ENTRY: usize = 8;
+const INT_ENTRY: usize = 12; // (sep: u64, child: u32)
+const INT_CHILD0: usize = 8;
+const INT_PAIRS: usize = 12;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Tag {
+    Leaf,
+    Internal,
+}
+
+fn get_u16(buf: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([buf[at], buf[at + 1]])
+}
+
+fn put_u16(buf: &mut [u8], at: usize, v: u16) {
+    buf[at..at + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())
+}
+
+fn put_u32(buf: &mut [u8], at: usize, v: u32) {
+    buf[at..at + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().unwrap())
+}
+
+fn put_u64(buf: &mut [u8], at: usize, v: u64) {
+    buf[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Accessors for leaf pages: a sorted array of `u64` keys.
+pub struct LeafView;
+
+impl LeafView {
+    pub fn capacity(page_size: usize) -> usize {
+        (page_size - HDR) / LEAF_ENTRY
+    }
+
+    pub fn init(buf: &mut [u8]) {
+        buf[..HDR].fill(0);
+        buf[0] = 0; // Tag::Leaf
+    }
+
+    pub fn tag(buf: &[u8]) -> Tag {
+        if buf[0] == 0 {
+            Tag::Leaf
+        } else {
+            Tag::Internal
+        }
+    }
+
+    pub fn count(buf: &[u8]) -> usize {
+        get_u16(buf, 2) as usize
+    }
+
+    fn set_count(buf: &mut [u8], c: usize) {
+        put_u16(buf, 2, c as u16);
+    }
+
+    pub fn key_at(buf: &[u8], i: usize) -> u64 {
+        debug_assert!(i < Self::count(buf));
+        get_u64(buf, HDR + i * LEAF_ENTRY)
+    }
+
+    /// Binary search: `Ok(i)` if `key` is at index `i`, else `Err(i)` with
+    /// the insertion point.
+    pub fn search(buf: &[u8], key: u64) -> Result<usize, usize> {
+        let mut lo = 0usize;
+        let mut hi = Self::count(buf);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let k = get_u64(buf, HDR + mid * LEAF_ENTRY);
+            if k < key {
+                lo = mid + 1;
+            } else if k > key {
+                hi = mid;
+            } else {
+                return Ok(mid);
+            }
+        }
+        Err(lo)
+    }
+
+    pub fn insert_at(buf: &mut [u8], at: usize, key: u64) {
+        let c = Self::count(buf);
+        debug_assert!(at <= c && c < Self::capacity(buf.len()));
+        let start = HDR + at * LEAF_ENTRY;
+        let end = HDR + c * LEAF_ENTRY;
+        buf.copy_within(start..end, start + LEAF_ENTRY);
+        put_u64(buf, start, key);
+        Self::set_count(buf, c + 1);
+    }
+
+    pub fn remove_at(buf: &mut [u8], at: usize) {
+        let c = Self::count(buf);
+        debug_assert!(at < c);
+        let start = HDR + at * LEAF_ENTRY;
+        let end = HDR + c * LEAF_ENTRY;
+        buf.copy_within(start + LEAF_ENTRY..end, start);
+        Self::set_count(buf, c - 1);
+    }
+
+    pub fn keys(buf: &[u8]) -> Vec<u64> {
+        (0..Self::count(buf)).map(|i| Self::key_at(buf, i)).collect()
+    }
+
+    pub fn write_keys(buf: &mut [u8], keys: &[u64]) {
+        debug_assert!(keys.len() <= Self::capacity(buf.len()));
+        for (i, &k) in keys.iter().enumerate() {
+            put_u64(buf, HDR + i * LEAF_ENTRY, k);
+        }
+        Self::set_count(buf, keys.len());
+    }
+}
+
+/// Accessors for internal pages: `child[0]` then `count` pairs
+/// `(sep, child)`; `sep[i]` separates `child[i]` (keys `< sep`) from
+/// `child[i+1]` (keys `>= sep`).
+pub struct InternalView;
+
+impl InternalView {
+    /// Maximum separator count. One physical entry slot is held back as a
+    /// transient overflow slot: inserts land in the page first and the
+    /// split happens after, so the page must fit `capacity + 1` pairs.
+    pub fn capacity(page_size: usize) -> usize {
+        (page_size - INT_PAIRS) / INT_ENTRY - 1
+    }
+
+    pub fn init(buf: &mut [u8], child0: lsdb_pager::PageId) {
+        buf[..HDR].fill(0);
+        buf[0] = 1; // Tag::Internal
+        put_u32(buf, INT_CHILD0, child0.0);
+    }
+
+    pub fn tag(buf: &[u8]) -> Tag {
+        LeafView::tag(buf)
+    }
+
+    /// Number of separator keys (children = count + 1).
+    pub fn count(buf: &[u8]) -> usize {
+        get_u16(buf, 2) as usize
+    }
+
+    fn set_count(buf: &mut [u8], c: usize) {
+        put_u16(buf, 2, c as u16);
+    }
+
+    pub fn sep_at(buf: &[u8], i: usize) -> u64 {
+        debug_assert!(i < Self::count(buf));
+        get_u64(buf, INT_PAIRS + i * INT_ENTRY)
+    }
+
+    pub fn set_sep(buf: &mut [u8], i: usize, sep: u64) {
+        debug_assert!(i < Self::count(buf));
+        put_u64(buf, INT_PAIRS + i * INT_ENTRY, sep);
+    }
+
+    pub fn child_at(buf: &[u8], i: usize) -> lsdb_pager::PageId {
+        debug_assert!(i <= Self::count(buf));
+        if i == 0 {
+            lsdb_pager::PageId(get_u32(buf, INT_CHILD0))
+        } else {
+            lsdb_pager::PageId(get_u32(buf, INT_PAIRS + (i - 1) * INT_ENTRY + 8))
+        }
+    }
+
+    /// Index of the child whose subtree may contain `key`:
+    /// the number of separators `<= key`.
+    pub fn child_index_for(buf: &[u8], key: u64) -> usize {
+        let mut lo = 0usize;
+        let mut hi = Self::count(buf);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if Self::sep_at(buf, mid) <= key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    pub fn child_for(buf: &[u8], key: u64) -> lsdb_pager::PageId {
+        Self::child_at(buf, Self::child_index_for(buf, key))
+    }
+
+    /// Insert `(sep, child)` so that `sep` lands at separator index `at`
+    /// and `child` at child index `at + 1`.
+    pub fn insert_at(buf: &mut [u8], at: usize, sep: u64, child: lsdb_pager::PageId) {
+        let c = Self::count(buf);
+        debug_assert!(at <= c, "insert_at {at} > count {c}");
+        let start = INT_PAIRS + at * INT_ENTRY;
+        let end = INT_PAIRS + c * INT_ENTRY;
+        buf.copy_within(start..end, start + INT_ENTRY);
+        put_u64(buf, start, sep);
+        put_u32(buf, start + 8, child.0);
+        Self::set_count(buf, c + 1);
+    }
+
+    /// Remove separator `at` and child `at + 1`.
+    pub fn remove_pair_at(buf: &mut [u8], at: usize) {
+        let c = Self::count(buf);
+        debug_assert!(at < c);
+        let start = INT_PAIRS + at * INT_ENTRY;
+        let end = INT_PAIRS + c * INT_ENTRY;
+        buf.copy_within(start + INT_ENTRY..end, start);
+        Self::set_count(buf, c - 1);
+    }
+
+    /// Drop trailing pairs so that `new_count` separators remain.
+    pub fn truncate(buf: &mut [u8], new_count: usize) {
+        debug_assert!(new_count <= Self::count(buf));
+        Self::set_count(buf, new_count);
+    }
+
+    /// Prepend: `new_child0` becomes child 0 and the old child 0 is pushed
+    /// into pair position 0 behind separator `sep`.
+    pub fn push_front(buf: &mut [u8], new_child0: lsdb_pager::PageId, sep: u64) {
+        let old_child0 = Self::child_at(buf, 0);
+        Self::insert_at(buf, 0, sep, old_child0);
+        put_u32(buf, INT_CHILD0, new_child0.0);
+    }
+
+    /// Remove child 0 and separator 0; child 1 becomes the new child 0.
+    pub fn pop_front(buf: &mut [u8]) {
+        let new_child0 = Self::child_at(buf, 1);
+        Self::remove_pair_at(buf, 0);
+        put_u32(buf, INT_CHILD0, new_child0.0);
+    }
+
+    pub fn seps(buf: &[u8]) -> Vec<u64> {
+        (0..Self::count(buf)).map(|i| Self::sep_at(buf, i)).collect()
+    }
+
+    /// All `count + 1` children.
+    pub fn children(buf: &[u8]) -> Vec<lsdb_pager::PageId> {
+        (0..=Self::count(buf)).map(|i| Self::child_at(buf, i)).collect()
+    }
+
+    /// Overwrite the pair region: `seps[i]` paired with `tail_children[i]`
+    /// (the children at indices `1..`). Child 0 must already be set via
+    /// [`InternalView::init`].
+    pub fn write_pairs(buf: &mut [u8], seps: &[u64], tail_children: &[lsdb_pager::PageId]) {
+        debug_assert_eq!(seps.len(), tail_children.len());
+        debug_assert!(seps.len() <= Self::capacity(buf.len()));
+        for (i, (&s, &c)) in seps.iter().zip(tail_children).enumerate() {
+            put_u64(buf, INT_PAIRS + i * INT_ENTRY, s);
+            put_u32(buf, INT_PAIRS + i * INT_ENTRY + 8, c.0);
+        }
+        Self::set_count(buf, seps.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsdb_pager::PageId;
+
+    #[test]
+    fn leaf_capacity_matches_paper_scale() {
+        // 1 KB pages hold on the order of 120 8-byte tuples (we fit 127;
+        // the paper reserves a little more header space).
+        assert_eq!(LeafView::capacity(1024), 127);
+        assert_eq!(LeafView::capacity(64), 7);
+    }
+
+    #[test]
+    fn leaf_insert_remove_shift() {
+        let mut buf = vec![0u8; 64];
+        LeafView::init(&mut buf);
+        LeafView::insert_at(&mut buf, 0, 10);
+        LeafView::insert_at(&mut buf, 1, 30);
+        LeafView::insert_at(&mut buf, 1, 20);
+        assert_eq!(LeafView::keys(&buf), vec![10, 20, 30]);
+        LeafView::remove_at(&mut buf, 1);
+        assert_eq!(LeafView::keys(&buf), vec![10, 30]);
+    }
+
+    #[test]
+    fn leaf_search() {
+        let mut buf = vec![0u8; 128];
+        LeafView::init(&mut buf);
+        LeafView::write_keys(&mut buf, &[2, 4, 6, 8]);
+        assert_eq!(LeafView::search(&buf, 4), Ok(1));
+        assert_eq!(LeafView::search(&buf, 5), Err(2));
+        assert_eq!(LeafView::search(&buf, 1), Err(0));
+        assert_eq!(LeafView::search(&buf, 9), Err(4));
+    }
+
+    #[test]
+    fn internal_child_routing() {
+        let mut buf = vec![0u8; 128];
+        InternalView::init(&mut buf, PageId(100));
+        InternalView::insert_at(&mut buf, 0, 10, PageId(101));
+        InternalView::insert_at(&mut buf, 1, 20, PageId(102));
+        // keys < 10 -> child 0; 10..20 -> child 1; >= 20 -> child 2.
+        assert_eq!(InternalView::child_for(&buf, 5), PageId(100));
+        assert_eq!(InternalView::child_for(&buf, 10), PageId(101));
+        assert_eq!(InternalView::child_for(&buf, 19), PageId(101));
+        assert_eq!(InternalView::child_for(&buf, 20), PageId(102));
+        assert_eq!(InternalView::child_for(&buf, u64::MAX), PageId(102));
+    }
+
+    #[test]
+    fn internal_push_pop_front() {
+        let mut buf = vec![0u8; 128];
+        InternalView::init(&mut buf, PageId(1));
+        InternalView::insert_at(&mut buf, 0, 50, PageId(2));
+        InternalView::push_front(&mut buf, PageId(0), 25);
+        assert_eq!(InternalView::children(&buf), vec![PageId(0), PageId(1), PageId(2)]);
+        assert_eq!(InternalView::seps(&buf), vec![25, 50]);
+        InternalView::pop_front(&mut buf);
+        assert_eq!(InternalView::children(&buf), vec![PageId(1), PageId(2)]);
+        assert_eq!(InternalView::seps(&buf), vec![50]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Brute-force reference implementations of the five paper queries.
+//!
+//! These scan the raw segment list with the same exact geometric predicates
+//! the indexes use, so every index implementation can be validated
+//! result-for-result against them (up to ties in nearest-neighbour
+//! distance, which are compared by exact distance value).
+
+use crate::{PolygonalMap, SegId};
+use lsdb_geom::{Dist2, Point, Rect};
+#[cfg(test)]
+use lsdb_geom::Segment;
+
+/// Query 1: ids of all segments with an endpoint at `p`.
+pub fn incident(map: &PolygonalMap, p: Point) -> Vec<SegId> {
+    map.segments
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.has_endpoint(p))
+        .map(|(i, _)| SegId(i as u32))
+        .collect()
+}
+
+/// Query 2: ids of all segments incident at the *other* endpoint of
+/// segment `id`, given that one endpoint is `p`.
+pub fn second_endpoint(map: &PolygonalMap, id: SegId, p: Point) -> Vec<SegId> {
+    let other = map.segments[id.index()].other_endpoint(p);
+    incident(map, other)
+}
+
+/// Query 3: the exact minimal distance from `p` to any segment, together
+/// with one segment attaining it (the lowest id among ties, for
+/// determinism). `None` for an empty map.
+pub fn nearest(map: &PolygonalMap, p: Point) -> Option<(SegId, Dist2)> {
+    map.segments
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (SegId(i as u32), s.dist2_point(p)))
+        .min_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))
+}
+
+/// Query 5: ids of all segments intersecting the closed window `w`.
+pub fn window(map: &PolygonalMap, w: Rect) -> Vec<SegId> {
+    map.segments
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| w.intersects_segment(s))
+        .map(|(i, _)| SegId(i as u32))
+        .collect()
+}
+
+/// Normalize a query answer for comparison: sorted ids.
+pub fn sorted(mut ids: Vec<SegId>) -> Vec<SegId> {
+    ids.sort_unstable();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: i32, ay: i32, bx: i32, by: i32) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    fn sample() -> PolygonalMap {
+        PolygonalMap::new(
+            "sample",
+            vec![
+                seg(0, 0, 10, 0),   // 0
+                seg(10, 0, 10, 10), // 1
+                seg(10, 10, 0, 10), // 2
+                seg(0, 10, 0, 0),   // 3: unit square scaled by 10
+                seg(20, 20, 30, 30), // 4: far diagonal
+            ],
+        )
+    }
+
+    #[test]
+    fn incident_at_corner() {
+        let m = sample();
+        assert_eq!(incident(&m, Point::new(10, 0)), vec![SegId(0), SegId(1)]);
+        assert_eq!(incident(&m, Point::new(5, 5)), vec![]);
+    }
+
+    #[test]
+    fn second_endpoint_walks_across() {
+        let m = sample();
+        // Segment 0 from its (0,0) endpoint: other endpoint (10,0) touches
+        // segments 0 and 1.
+        assert_eq!(
+            second_endpoint(&m, SegId(0), Point::new(0, 0)),
+            vec![SegId(0), SegId(1)]
+        );
+    }
+
+    #[test]
+    fn nearest_picks_min_distance() {
+        let m = sample();
+        let (id, d) = nearest(&m, Point::new(5, 2)).unwrap();
+        assert_eq!(id, SegId(0));
+        assert_eq!(d, Dist2::from_int(4));
+        // Equidistant from segments 0 and 3 at the corner: lowest id wins.
+        let (id, d) = nearest(&m, Point::new(1, 1)).unwrap();
+        assert_eq!(id, SegId(0));
+        assert_eq!(d, Dist2::from_int(1));
+    }
+
+    #[test]
+    fn window_clips() {
+        let m = sample();
+        assert_eq!(
+            window(&m, Rect::new(-1, -1, 2, 11)),
+            vec![SegId(0), SegId(2), SegId(3)]
+        );
+        assert_eq!(window(&m, Rect::new(4, 4, 6, 6)), vec![]);
+        assert_eq!(window(&m, Rect::new(25, 24, 26, 27)), vec![SegId(4)]);
+    }
+}

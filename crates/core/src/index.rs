@@ -1,0 +1,138 @@
+use crate::{QueryStats, SegId, SegmentTable};
+use lsdb_geom::{Point, Rect};
+
+
+/// Page/pool configuration shared by the index and its segment table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexConfig {
+    /// Page (node) size in bytes. The paper's experiments use 1 KB.
+    pub page_size: usize,
+    /// Buffer-pool capacity in pages. The paper uses 16.
+    pub pool_pages: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            page_size: lsdb_pager::DEFAULT_PAGE_SIZE,
+            pool_pages: lsdb_pager::DEFAULT_POOL_PAGES,
+        }
+    }
+}
+
+/// The interface shared by the R\*-tree, R+-tree, PMR quadtree (and the
+/// uniform-grid baseline).
+///
+/// The three primitive paper queries live here:
+///
+/// * **Query 1** ([`SpatialIndex::find_incident`]) — all segments incident
+///   at a given segment endpoint;
+/// * **Query 3** ([`SpatialIndex::nearest`]) — the nearest segment to an
+///   arbitrary point under the Euclidean metric;
+/// * **Query 5** ([`SpatialIndex::window`]) — all segments intersecting a
+///   rectangular window.
+///
+/// Query 2 (segments at the *other* endpoint) and query 4 (minimal
+/// enclosing polygon) are structure-independent compositions of these and
+/// are implemented once in [`crate::queries`].
+///
+/// Indexes own their [`SegmentTable`] handle so that the segment
+/// comparisons a query performs are charged to that index alone.
+pub trait SpatialIndex {
+    /// Short display name ("R*-tree", "R+-tree", "PMR quadtree", ...).
+    fn name(&self) -> &'static str;
+
+    /// The segment table this index points into.
+    fn seg_table(&mut self) -> &mut SegmentTable;
+
+    /// Insert the segment with id `id` (geometry is read from the table).
+    fn insert(&mut self, id: SegId);
+
+    /// Remove a segment; returns `false` if it was not present.
+    fn remove(&mut self, id: SegId) -> bool;
+
+    /// Number of distinct segments currently indexed.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Query 1: all segments with an endpoint exactly at `p`.
+    fn find_incident(&mut self, p: Point) -> Vec<SegId>;
+
+    /// Locate the leaf (or bucket) containing `p` without fetching any
+    /// segment records — the cheap "find where this endpoint lives" step
+    /// the paper's query 2 performs before searching the other endpoint.
+    /// Charges disk accesses and bbox/bucket computations but no segment
+    /// comparisons. The default implementation falls back to a full
+    /// point search.
+    fn probe_point(&mut self, p: Point) {
+        let _ = self.find_incident(p);
+    }
+
+    /// Query 3: a segment at minimal Euclidean distance from `p`
+    /// (`None` only when the index is empty). Ties may resolve to any of
+    /// the equidistant segments.
+    fn nearest(&mut self, p: Point) -> Option<SegId>;
+
+    /// The `k` nearest segments to `p`, closest first (fewer if the index
+    /// holds fewer than `k`). The incremental best-first search the
+    /// structures use for [`SpatialIndex::nearest`] extends to ranked
+    /// retrieval at no extra cost — the point of Hoel & Samet's
+    /// incremental algorithm. The default implementation is correct for
+    /// any structure but not incremental.
+    fn nearest_k(&mut self, p: Point, k: usize) -> Vec<SegId> {
+        // Generic fallback: widen a window around p until it provably
+        // contains the k nearest, then rank by exact distance.
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let mut radius = 64i64;
+        loop {
+            let w = Rect::new(
+                (p.x as i64 - radius).max(i32::MIN as i64) as i32,
+                (p.y as i64 - radius).max(i32::MIN as i64) as i32,
+                (p.x as i64 + radius).min(i32::MAX as i64) as i32,
+                (p.y as i64 + radius).min(i32::MAX as i64) as i32,
+            );
+            let mut hits = self.window(w);
+            let enough = hits.len() >= k;
+            let saturated = hits.len() >= self.len();
+            if enough || saturated {
+                let mut ranked: Vec<_> = hits
+                    .drain(..)
+                    .map(|id| (self.seg_table().get(id).dist2_point(p), id))
+                    .collect();
+                ranked.sort();
+                ranked.truncate(k);
+                // All k within the inscribed radius? Then nothing outside
+                // the window can beat them.
+                let r2 = lsdb_geom::Dist2::from_int(radius * radius);
+                if saturated || ranked.last().is_none_or(|(d, _)| *d < r2) {
+                    return ranked.into_iter().map(|(_, id)| id).collect();
+                }
+            }
+            radius *= 2;
+        }
+    }
+
+    /// Query 5: all segments intersecting the closed window `w`, without
+    /// duplicates.
+    fn window(&mut self, w: Rect) -> Vec<SegId>;
+
+    /// Snapshot of the accumulated metric counters.
+    fn stats(&self) -> QueryStats;
+
+    /// Zero all metric counters (typically after the build phase).
+    fn reset_stats(&mut self);
+
+    /// Storage footprint of the index structure in bytes, excluding the
+    /// segment table (which the paper reports separately since it is
+    /// identical across structures).
+    fn size_bytes(&self) -> u64;
+
+    /// Drop all buffered pages (flushing dirty ones) so subsequent queries
+    /// run against a cold cache.
+    fn clear_cache(&mut self);
+}

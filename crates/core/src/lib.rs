@@ -1,0 +1,33 @@
+//! Core model of a large line-segment database.
+//!
+//! This crate ties the substrates together into the objects the paper
+//! reasons about:
+//!
+//! * a [`PolygonalMap`] — the in-memory collection of line segments
+//!   (vertices + edges, connected or not) that a county map is,
+//! * a disk-resident [`SegmentTable`] — the paged table of segment
+//!   endpoints that every index points into (the paper's *segment table*;
+//!   each access is a *segment comparison* in its metrics),
+//! * the [`SpatialIndex`] trait — the interface all three spatial indexes
+//!   (R\*-tree, R+-tree, PMR quadtree) implement,
+//! * the five paper queries: Q1/Q3/Q5 live on the trait
+//!   (`find_incident`, `nearest`, `window`); Q2 and Q4 are
+//!   structure-independent compositions implemented in [`queries`],
+//! * query-workload generators ([`pointgen`]) covering the paper's
+//!   1-stage (uniform) and 2-stage (block-then-uniform) random points,
+//! * brute-force reference implementations ([`brute`]) used by every
+//!   index's correctness tests.
+
+pub mod brute;
+mod index;
+mod map;
+pub mod pointgen;
+pub mod queries;
+pub mod rectnode;
+mod seg_table;
+mod stats;
+
+pub use index::{IndexConfig, SpatialIndex};
+pub use map::{PlanarityViolation, PolygonalMap};
+pub use seg_table::{SegId, SegmentTable};
+pub use stats::QueryStats;

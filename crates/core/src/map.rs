@@ -1,0 +1,230 @@
+use lsdb_geom::{world_rect, Point, Rect, Segment};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A *polygonal map*: a line-segment database of vertices and edges,
+/// "regardless of whether or not the line segments are connected to each
+/// other" (paper §2). This is the in-memory form; indexes consume it via a
+/// [`crate::SegmentTable`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PolygonalMap {
+    pub name: String,
+    pub segments: Vec<Segment>,
+}
+
+/// A planarity violation: two segments that properly cross (or overlap, or
+/// form a T-junction away from a vertex).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanarityViolation {
+    pub first: usize,
+    pub second: usize,
+}
+
+impl PolygonalMap {
+    pub fn new(name: impl Into<String>, segments: Vec<Segment>) -> Self {
+        PolygonalMap {
+            name: name.into(),
+            segments,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Minimum bounding rectangle of the whole map. `None` if empty.
+    pub fn bbox(&self) -> Option<Rect> {
+        let mut it = self.segments.iter();
+        let first = it.next()?.bbox();
+        Some(it.fold(first, |acc, s| acc.union(&s.bbox())))
+    }
+
+    /// True if every coordinate lies in the normalized 16K×16K world.
+    pub fn is_normalized(&self) -> bool {
+        let w = world_rect();
+        self.segments
+            .iter()
+            .all(|s| w.contains_point(s.a) && w.contains_point(s.b))
+    }
+
+    /// All vertices (distinct endpoints) with their incident segment ids.
+    /// An in-memory reference structure for tests and the brute-force
+    /// oracle — a real database would answer this through the index.
+    pub fn vertex_incidence(&self) -> HashMap<Point, Vec<usize>> {
+        let mut m: HashMap<Point, Vec<usize>> = HashMap::new();
+        for (i, s) in self.segments.iter().enumerate() {
+            m.entry(s.a).or_default().push(i);
+            m.entry(s.b).or_default().push(i);
+        }
+        m
+    }
+
+    /// Check vertex-noded planarity: no two segments properly intersect
+    /// (sharing endpoints is allowed; crossings, overlaps and T-junctions
+    /// are not). Also rejects degenerate (zero-length) and duplicate
+    /// segments. Returns the first violation found.
+    ///
+    /// Cost is kept near-linear by bucketing segments into a coarse grid
+    /// and testing only bucket-local pairs.
+    pub fn validate_planar(&self) -> Result<(), PlanarityViolation> {
+        for (i, s) in self.segments.iter().enumerate() {
+            if s.is_degenerate() {
+                return Err(PlanarityViolation { first: i, second: i });
+            }
+        }
+        // Duplicate detection on canonical endpoints.
+        let mut seen: HashMap<(Point, Point), usize> = HashMap::new();
+        for (i, s) in self.segments.iter().enumerate() {
+            let c = s.canonical();
+            if let Some(&j) = seen.get(&(c.a, c.b)) {
+                return Err(PlanarityViolation { first: j, second: i });
+            }
+            seen.insert((c.a, c.b), i);
+        }
+        let Some(bbox) = self.bbox() else { return Ok(()) };
+        // ~4 segments per cell on average.
+        let target_cells = (self.segments.len() / 4).max(1);
+        let side = ((bbox.width().max(bbox.height()) as f64)
+            / (target_cells as f64).sqrt())
+        .ceil()
+        .max(1.0) as i64;
+        let mut grid: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (i, s) in self.segments.iter().enumerate() {
+            let b = s.bbox();
+            let cx0 = b.min.x as i64 / side;
+            let cx1 = b.max.x as i64 / side;
+            let cy0 = b.min.y as i64 / side;
+            let cy1 = b.max.y as i64 / side;
+            for cx in cx0..=cx1 {
+                for cy in cy0..=cy1 {
+                    grid.entry((cx, cy)).or_default().push(i);
+                }
+            }
+        }
+        for ids in grid.values() {
+            for (k, &i) in ids.iter().enumerate() {
+                for &j in &ids[k + 1..] {
+                    if self.segments[i].properly_intersects(&self.segments[j]) {
+                        let (a, b) = if i < j { (i, j) } else { (j, i) };
+                        return Err(PlanarityViolation { first: a, second: b });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Scale and translate all coordinates so the map's minimum bounding
+    /// **square** maps onto the 16K×16K world, as the paper does ("a
+    /// minimum bounding square was computed for each map, and all
+    /// coordinate values were normalized with respect to a 16K by 16K
+    /// region"). Degenerate segments produced by snapping are dropped.
+    pub fn normalize_to_world(&mut self) {
+        let Some(b) = self.bbox() else { return };
+        let span = b.width().max(b.height()).max(1);
+        let w = lsdb_geom::WORLD_SIZE as i64 - 1;
+        let tx = |v: i32, lo: i32| -> i32 { (((v - lo) as i64 * w) / span) as i32 };
+        for s in &mut self.segments {
+            s.a = Point::new(tx(s.a.x, b.min.x), tx(s.a.y, b.min.y));
+            s.b = Point::new(tx(s.b.x, b.min.x), tx(s.b.y, b.min.y));
+        }
+        self.segments.retain(|s| !s.is_degenerate());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: i32, ay: i32, bx: i32, by: i32) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn bbox_and_len() {
+        let m = PolygonalMap::new("t", vec![seg(1, 2, 3, 4), seg(0, 9, 2, 1)]);
+        assert_eq!(m.bbox(), Some(Rect::new(0, 1, 3, 9)));
+        assert_eq!(m.len(), 2);
+        assert!(PolygonalMap::new("e", vec![]).bbox().is_none());
+    }
+
+    #[test]
+    fn vertex_incidence_groups_segments() {
+        let m = PolygonalMap::new(
+            "t",
+            vec![seg(0, 0, 5, 0), seg(5, 0, 5, 5), seg(5, 0, 9, 9)],
+        );
+        let inc = m.vertex_incidence();
+        assert_eq!(inc[&Point::new(5, 0)], vec![0, 1, 2]);
+        assert_eq!(inc[&Point::new(0, 0)], vec![0]);
+    }
+
+    #[test]
+    fn planarity_accepts_shared_endpoints() {
+        let m = PolygonalMap::new(
+            "t",
+            vec![seg(0, 0, 5, 5), seg(5, 5, 10, 0), seg(5, 5, 5, 10)],
+        );
+        assert!(m.validate_planar().is_ok());
+    }
+
+    #[test]
+    fn planarity_rejects_crossing() {
+        let m = PolygonalMap::new("t", vec![seg(0, 0, 10, 10), seg(0, 10, 10, 0)]);
+        assert_eq!(
+            m.validate_planar(),
+            Err(PlanarityViolation { first: 0, second: 1 })
+        );
+    }
+
+    #[test]
+    fn planarity_rejects_t_junction_duplicates_degenerates() {
+        let t = PolygonalMap::new("t", vec![seg(0, 0, 10, 0), seg(5, 0, 5, 5)]);
+        assert!(t.validate_planar().is_err());
+        let d = PolygonalMap::new("t", vec![seg(0, 0, 3, 3), seg(3, 3, 0, 0)]);
+        assert!(d.validate_planar().is_err(), "duplicate (reversed) segment");
+        let z = PolygonalMap::new("t", vec![seg(4, 4, 4, 4)]);
+        assert!(z.validate_planar().is_err(), "degenerate segment");
+    }
+
+    #[test]
+    fn planarity_catches_distant_pair_in_same_cell_row() {
+        // Crossing far from the origin, exercising grid bucketing.
+        let mut segs = vec![];
+        for i in 0..100 {
+            segs.push(seg(i * 10, 0, i * 10 + 5, 5));
+        }
+        segs.push(seg(900, 900, 1000, 1000));
+        segs.push(seg(900, 1000, 1000, 900));
+        let m = PolygonalMap::new("t", segs);
+        let err = m.validate_planar().unwrap_err();
+        assert_eq!((err.first, err.second), (100, 101));
+    }
+
+    #[test]
+    fn normalize_scales_into_world() {
+        let mut m = PolygonalMap::new("t", vec![seg(100, 100, 200, 150), seg(200, 150, 300, 300)]);
+        m.normalize_to_world();
+        assert!(m.is_normalized());
+        let b = m.bbox().unwrap();
+        // The longest axis now spans the world.
+        assert_eq!(b.width().max(b.height()), lsdb_geom::WORLD_SIZE as i64 - 1);
+    }
+
+    #[test]
+    fn normalize_drops_snapped_degenerates() {
+        // Two segments, one microscopically short relative to the other:
+        // snapping collapses it.
+        let mut m = PolygonalMap::new(
+            "t",
+            vec![seg(0, 0, 1_000_000, 1_000_000), seg(5, 5, 6, 5)],
+        );
+        m.normalize_to_world();
+        assert_eq!(m.len(), 1);
+    }
+
+}

@@ -1,0 +1,196 @@
+//! Random query-workload generators.
+//!
+//! The paper evaluates the nearest-line and enclosing-polygon queries with
+//! two kinds of random query points:
+//!
+//! * **1-stage** ([`UniformGen`]): uniform over the 16K×16K world. "The
+//!   problem with such an approach is that many of the query points lie
+//!   outside the boundaries of the maps of interest, or in large empty
+//!   areas."
+//! * **2-stage** ([`TwoStageGen`]): first pick a PMR-quadtree leaf block
+//!   uniformly *by count* (not by size), then a uniform point inside it —
+//!   which correlates query points with data density, because dense map
+//!   regions decompose into many small blocks.
+//!
+//! Point queries 1 and 2 take segment *endpoints* as query points
+//! ([`EndpointGen`]), and window queries take windows covering a fixed
+//! fraction (0.01%) of the map area ([`WindowGen`]).
+
+use crate::{PolygonalMap, SegId};
+use lsdb_geom::{Point, Rect, WORLD_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// 1-stage generator: uniform points over the world.
+pub struct UniformGen {
+    rng: StdRng,
+}
+
+impl UniformGen {
+    pub fn new(seed: u64) -> Self {
+        UniformGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn next_point(&mut self) -> Point {
+        Point::new(
+            self.rng.gen_range(0..WORLD_SIZE),
+            self.rng.gen_range(0..WORLD_SIZE),
+        )
+    }
+}
+
+/// 2-stage generator: a uniformly chosen block, then a uniform point within
+/// that block. Blocks are normally the PMR quadtree's leaf blocks.
+pub struct TwoStageGen {
+    blocks: Vec<Rect>,
+    rng: StdRng,
+}
+
+impl TwoStageGen {
+    /// `blocks` must be non-empty.
+    pub fn new(blocks: Vec<Rect>, seed: u64) -> Self {
+        assert!(!blocks.is_empty(), "two-stage generator needs blocks");
+        TwoStageGen {
+            blocks,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn next_point(&mut self) -> Point {
+        let b = self.blocks[self.rng.gen_range(0..self.blocks.len())];
+        Point::new(
+            self.rng.gen_range(b.min.x..=b.max.x),
+            self.rng.gen_range(b.min.y..=b.max.y),
+        )
+    }
+}
+
+/// Query-point generator for the point queries: a random endpoint of a
+/// random segment (the paper's queries 1 and 2 are "given an endpoint of a
+/// line segment ...").
+pub struct EndpointGen<'a> {
+    map: &'a PolygonalMap,
+    rng: StdRng,
+}
+
+impl<'a> EndpointGen<'a> {
+    pub fn new(map: &'a PolygonalMap, seed: u64) -> Self {
+        assert!(!map.is_empty());
+        EndpointGen {
+            map,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A random (segment, endpoint) pair.
+    pub fn next_endpoint(&mut self) -> (SegId, Point) {
+        let i = self.rng.gen_range(0..self.map.segments.len());
+        let s = &self.map.segments[i];
+        let p = if self.rng.gen_bool(0.5) { s.a } else { s.b };
+        (SegId(i as u32), p)
+    }
+}
+
+/// Window generator: square windows whose area is a fixed fraction of the
+/// world (paper: "0.01 percent of the total area ... for a 16K by 16K map,
+/// this area is 160 by 160 pixels"), placed uniformly inside the world.
+pub struct WindowGen {
+    side: i32,
+    rng: StdRng,
+}
+
+impl WindowGen {
+    /// Windows covering `area_fraction` of the world area (the paper uses
+    /// `0.0001`).
+    pub fn new(area_fraction: f64, seed: u64) -> Self {
+        assert!(area_fraction > 0.0 && area_fraction <= 1.0);
+        let side = ((WORLD_SIZE as f64) * area_fraction.sqrt()).round() as i32;
+        WindowGen {
+            side: side.clamp(1, WORLD_SIZE),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn side(&self) -> i32 {
+        self.side
+    }
+
+    pub fn next_window(&mut self) -> Rect {
+        let x = self.rng.gen_range(0..=WORLD_SIZE - self.side);
+        let y = self.rng.gen_range(0..=WORLD_SIZE - self.side);
+        Rect::new(x, y, x + self.side - 1, y + self.side - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsdb_geom::{world_rect, Segment};
+
+    #[test]
+    fn uniform_points_stay_in_world_and_are_deterministic() {
+        let mut g1 = UniformGen::new(7);
+        let mut g2 = UniformGen::new(7);
+        for _ in 0..100 {
+            let p = g1.next_point();
+            assert!(world_rect().contains_point(p));
+            assert_eq!(p, g2.next_point(), "same seed, same stream");
+        }
+        let mut g3 = UniformGen::new(8);
+        let diverged = (0..100).any(|_| g1.next_point() != g3.next_point());
+        assert!(diverged, "different seeds diverge");
+    }
+
+    #[test]
+    fn two_stage_points_land_in_given_blocks() {
+        let blocks = vec![Rect::new(0, 0, 9, 9), Rect::new(100, 100, 109, 109)];
+        let mut g = TwoStageGen::new(blocks.clone(), 3);
+        let mut hits = [0usize; 2];
+        for _ in 0..500 {
+            let p = g.next_point();
+            let idx = blocks.iter().position(|b| b.contains_point(p));
+            hits[idx.expect("point must land in a block")] += 1;
+        }
+        // Both blocks are chosen with equal probability by count.
+        assert!(hits[0] > 150 && hits[1] > 150, "hits: {hits:?}");
+    }
+
+    #[test]
+    fn endpoint_gen_returns_real_endpoints() {
+        let map = PolygonalMap::new(
+            "t",
+            vec![
+                Segment::new(Point::new(0, 0), Point::new(5, 5)),
+                Segment::new(Point::new(5, 5), Point::new(9, 1)),
+            ],
+        );
+        let mut g = EndpointGen::new(&map, 11);
+        for _ in 0..50 {
+            let (id, p) = g.next_endpoint();
+            assert!(map.segments[id.index()].has_endpoint(p));
+        }
+    }
+
+    #[test]
+    fn window_size_matches_paper() {
+        // 0.01% of a 16K×16K world is a ~164-pixel square (the paper
+        // rounds to 160).
+        let g = WindowGen::new(0.0001, 1);
+        assert!((g.side() - 164).abs() <= 1, "side = {}", g.side());
+        let mut g = WindowGen::new(0.0001, 1);
+        for _ in 0..100 {
+            let w = g.next_window();
+            assert!(world_rect().contains_rect(&w));
+            assert_eq!(w.width() + 1, g.side() as i64);
+        }
+    }
+
+    #[test]
+    fn full_area_window_is_world_sized() {
+        let mut g = WindowGen::new(1.0, 1);
+        let w = g.next_window();
+        assert_eq!(w, world_rect());
+    }
+}

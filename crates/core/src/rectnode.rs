@@ -1,0 +1,212 @@
+//! On-page layout of R-tree-family nodes.
+//!
+//! The paper fixes this format: "represent each node as a set of 2-tuples
+//! (R, O) where R is the smallest rectangle that contains the data stored
+//! in son O. For line segments ... each 2-tuple requires 5 entries — 4 for
+//! the x and y coordinate values of the bounding rectangle and one entry
+//! for the pointer to the son node ... each 2-tuple requires 20 bytes of
+//! storage and thus each 1K byte page contains a maximum of 50 line
+//! segments."
+//!
+//! With a 24-byte header, a 1 KB page holds exactly the paper's 50
+//! entries. The same layout serves the R\*-tree and the (hybrid) R+-tree;
+//! in leaves the child field is a [`crate::SegId`], in internal nodes a
+//! page id.
+//!
+//! Entry order within a node is not semantically meaningful (R-tree nodes
+//! are unordered sets), so removal is a swap-remove — this matches the
+//! paper's observation that R-tree-family 2-tuples "need not be sorted",
+//! unlike the PMR quadtree's B-tree pages.
+
+use lsdb_geom::Rect;
+
+/// Node header bytes: tag (1) + pad (1) + count (2) + reserved (20).
+pub const HDR: usize = 24;
+/// Entry bytes: 4 × i32 rectangle + u32 child pointer.
+pub const ENTRY: usize = 20;
+
+/// One (R, O) 2-tuple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Entry {
+    pub rect: Rect,
+    /// Segment id (leaf) or page id (internal).
+    pub child: u32,
+}
+
+/// Static accessors over a raw node page.
+pub struct RectNode;
+
+impl RectNode {
+    /// Maximum entries per node — the paper's `M ≈ S / k`.
+    pub fn capacity(page_size: usize) -> usize {
+        (page_size - HDR) / ENTRY
+    }
+
+    pub fn init(buf: &mut [u8], leaf: bool) {
+        buf[..HDR].fill(0);
+        buf[0] = if leaf { 0 } else { 1 };
+    }
+
+    pub fn is_leaf(buf: &[u8]) -> bool {
+        buf[0] == 0
+    }
+
+    pub fn count(buf: &[u8]) -> usize {
+        u16::from_le_bytes([buf[2], buf[3]]) as usize
+    }
+
+    fn set_count(buf: &mut [u8], c: usize) {
+        buf[2..4].copy_from_slice(&(c as u16).to_le_bytes());
+    }
+
+    pub fn entry(buf: &[u8], i: usize) -> Entry {
+        debug_assert!(i < Self::count(buf));
+        let at = HDR + i * ENTRY;
+        let rd = |o: usize| i32::from_le_bytes(buf[at + o..at + o + 4].try_into().unwrap());
+        Entry {
+            rect: Rect::new(rd(0), rd(4), rd(8), rd(12)),
+            child: u32::from_le_bytes(buf[at + 16..at + 20].try_into().unwrap()),
+        }
+    }
+
+    pub fn set_entry(buf: &mut [u8], i: usize, e: Entry) {
+        debug_assert!(i < Self::count(buf));
+        Self::write_raw(buf, i, e);
+    }
+
+    fn write_raw(buf: &mut [u8], i: usize, e: Entry) {
+        let at = HDR + i * ENTRY;
+        buf[at..at + 4].copy_from_slice(&e.rect.min.x.to_le_bytes());
+        buf[at + 4..at + 8].copy_from_slice(&e.rect.min.y.to_le_bytes());
+        buf[at + 8..at + 12].copy_from_slice(&e.rect.max.x.to_le_bytes());
+        buf[at + 12..at + 16].copy_from_slice(&e.rect.max.y.to_le_bytes());
+        buf[at + 16..at + 20].copy_from_slice(&e.child.to_le_bytes());
+    }
+
+    /// Append an entry (the paper: "a 2-tuple ... can simply be inserted as
+    /// the last element"). Panics in debug builds past capacity.
+    pub fn push(buf: &mut [u8], e: Entry) {
+        let c = Self::count(buf);
+        debug_assert!(c < Self::capacity(buf.len()), "node overflow");
+        Self::write_raw(buf, c, e);
+        Self::set_count(buf, c + 1);
+    }
+
+    /// Swap-remove the entry at `i`.
+    pub fn remove_at(buf: &mut [u8], i: usize) {
+        let c = Self::count(buf);
+        debug_assert!(i < c);
+        if i != c - 1 {
+            let last = Self::entry(buf, c - 1);
+            Self::write_raw(buf, i, last);
+        }
+        Self::set_count(buf, c - 1);
+    }
+
+    pub fn entries(buf: &[u8]) -> Vec<Entry> {
+        (0..Self::count(buf)).map(|i| Self::entry(buf, i)).collect()
+    }
+
+    /// Replace all entries (used after splits and redistributions).
+    pub fn write_entries(buf: &mut [u8], entries: &[Entry]) {
+        debug_assert!(entries.len() <= Self::capacity(buf.len()));
+        for (i, &e) in entries.iter().enumerate() {
+            Self::write_raw(buf, i, e);
+        }
+        Self::set_count(buf, entries.len());
+    }
+
+    /// Minimum bounding rectangle of all entries. Panics on an empty node
+    /// (only a leaf root may be empty, and its MBR is never requested).
+    pub fn mbr(buf: &[u8]) -> Rect {
+        let c = Self::count(buf);
+        assert!(c > 0, "MBR of empty node");
+        let mut r = Self::entry(buf, 0).rect;
+        for i in 1..c {
+            r = r.union(&Self::entry(buf, i).rect);
+        }
+        r
+    }
+}
+
+/// Minimum bounding rectangle of a slice of entries.
+pub fn entries_mbr(entries: &[Entry]) -> Rect {
+    assert!(!entries.is_empty());
+    let mut r = entries[0].rect;
+    for e in &entries[1..] {
+        r = r.union(&e.rect);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(x0: i32, y0: i32, x1: i32, y1: i32, child: u32) -> Entry {
+        Entry {
+            rect: Rect::new(x0, y0, x1, y1),
+            child,
+        }
+    }
+
+    #[test]
+    fn capacity_matches_paper() {
+        assert_eq!(RectNode::capacity(1024), 50, "1 KB page = 50 tuples");
+        assert_eq!(RectNode::capacity(512), 24);
+        assert_eq!(RectNode::capacity(2048), 101);
+    }
+
+    #[test]
+    fn push_entry_roundtrip() {
+        let mut buf = vec![0u8; 256];
+        RectNode::init(&mut buf, true);
+        assert!(RectNode::is_leaf(&buf));
+        RectNode::push(&mut buf, e(1, 2, 3, 4, 9));
+        RectNode::push(&mut buf, e(-5, -6, 7, 8, 10));
+        assert_eq!(RectNode::count(&buf), 2);
+        assert_eq!(RectNode::entry(&buf, 0), e(1, 2, 3, 4, 9));
+        assert_eq!(RectNode::entry(&buf, 1), e(-5, -6, 7, 8, 10));
+    }
+
+    #[test]
+    fn swap_remove() {
+        let mut buf = vec![0u8; 256];
+        RectNode::init(&mut buf, false);
+        assert!(!RectNode::is_leaf(&buf));
+        for i in 0..4 {
+            RectNode::push(&mut buf, e(i, i, i + 1, i + 1, i as u32));
+        }
+        RectNode::remove_at(&mut buf, 1);
+        assert_eq!(RectNode::count(&buf), 3);
+        // Last entry swapped into slot 1.
+        assert_eq!(RectNode::entry(&buf, 1).child, 3);
+        RectNode::remove_at(&mut buf, 2);
+        assert_eq!(RectNode::count(&buf), 2);
+    }
+
+    #[test]
+    fn mbr_unions_all() {
+        let mut buf = vec![0u8; 256];
+        RectNode::init(&mut buf, true);
+        RectNode::push(&mut buf, e(0, 0, 2, 2, 0));
+        RectNode::push(&mut buf, e(5, -1, 6, 1, 1));
+        assert_eq!(RectNode::mbr(&buf), Rect::new(0, -1, 6, 2));
+        assert_eq!(
+            entries_mbr(&RectNode::entries(&buf)),
+            Rect::new(0, -1, 6, 2)
+        );
+    }
+
+    #[test]
+    fn write_entries_replaces() {
+        let mut buf = vec![0u8; 256];
+        RectNode::init(&mut buf, true);
+        for i in 0..5 {
+            RectNode::push(&mut buf, e(i, 0, i, 0, i as u32));
+        }
+        RectNode::write_entries(&mut buf, &[e(9, 9, 9, 9, 42)]);
+        assert_eq!(RectNode::count(&buf), 1);
+        assert_eq!(RectNode::entry(&buf, 0).child, 42);
+    }
+}

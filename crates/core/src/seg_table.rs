@@ -1,0 +1,205 @@
+use lsdb_geom::{Point, Segment};
+use lsdb_pager::{MemPool, PageId};
+
+/// Identifier of a segment in a [`SegmentTable`]. Densely allocated from 0.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SegId(pub u32);
+
+impl SegId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+const RECORD_BYTES: usize = 16; // x1, y1, x2, y2 as i32
+
+/// The disk-resident table of segment endpoints.
+///
+/// Every index entry is just a pointer (a [`SegId`]) into this table; "each
+/// segment comparison means an access to the segment table which is
+/// disk-resident" — so [`SegmentTable::get`] increments the
+/// segment-comparison counter, and the table sits behind its own buffer
+/// pool whose [`lsdb_pager::DiskStats`] give segment-table disk activity
+/// separately from index disk activity.
+///
+/// Layout: fixed 16-byte records packed `page_size / 16` per page, record
+/// `i` on page `i / per_page`. Append-only: a polygonal map's segments are
+/// loaded once and indexes reference them forever after (deleting a segment
+/// from an *index* does not recycle its table slot, mirroring the paper's
+/// shared-table setup).
+pub struct SegmentTable {
+    pool: MemPool,
+    pages: Vec<PageId>,
+    per_page: usize,
+    len: u32,
+    comps: u64,
+}
+
+impl SegmentTable {
+    pub fn new(page_size: usize, pool_pages: usize) -> Self {
+        assert!(page_size >= RECORD_BYTES);
+        SegmentTable {
+            pool: MemPool::in_memory(page_size, pool_pages),
+            pages: Vec::new(),
+            per_page: page_size / RECORD_BYTES,
+            len: 0,
+            comps: 0,
+        }
+    }
+
+    /// Load every segment of `map`, in order, so `SegId(i)` is
+    /// `map.segments[i]`.
+    pub fn from_map(map: &crate::PolygonalMap, page_size: usize, pool_pages: usize) -> Self {
+        let mut t = SegmentTable::new(page_size, pool_pages);
+        for seg in &map.segments {
+            t.push(*seg);
+        }
+        t
+    }
+
+    pub fn push(&mut self, seg: Segment) -> SegId {
+        let id = SegId(self.len);
+        let slot = id.index() % self.per_page;
+        if slot == 0 {
+            let pid = self.pool.allocate();
+            self.pages.push(pid);
+        }
+        let pid = self.pages[id.index() / self.per_page];
+        self.pool.with_page_mut(pid, |buf| {
+            let at = slot * RECORD_BYTES;
+            buf[at..at + 4].copy_from_slice(&seg.a.x.to_le_bytes());
+            buf[at + 4..at + 8].copy_from_slice(&seg.a.y.to_le_bytes());
+            buf[at + 8..at + 12].copy_from_slice(&seg.b.x.to_le_bytes());
+            buf[at + 12..at + 16].copy_from_slice(&seg.b.y.to_le_bytes());
+        });
+        self.len += 1;
+        id
+    }
+
+    /// Fetch a segment's endpoints, counting one segment comparison.
+    pub fn get(&mut self, id: SegId) -> Segment {
+        self.comps += 1;
+        self.fetch(id)
+    }
+
+    /// Fetch without counting a comparison (used by build paths and
+    /// harness bookkeeping that the paper's query metrics exclude).
+    pub fn fetch(&mut self, id: SegId) -> Segment {
+        assert!(id.0 < self.len, "segment {id:?} out of range");
+        let slot = id.index() % self.per_page;
+        let pid = self.pages[id.index() / self.per_page];
+        self.pool.with_page(pid, |buf| {
+            let at = slot * RECORD_BYTES;
+            let rd = |o: usize| i32::from_le_bytes(buf[at + o..at + o + 4].try_into().unwrap());
+            Segment::new(Point::new(rd(0), rd(4)), Point::new(rd(8), rd(12)))
+        })
+    }
+
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate all ids (does not touch the disk).
+    pub fn ids(&self) -> impl Iterator<Item = SegId> {
+        (0..self.len).map(SegId)
+    }
+
+    /// Segment comparisons since the last reset.
+    pub fn comps(&self) -> u64 {
+        self.comps
+    }
+
+    /// Segment-table disk activity since the last reset.
+    pub fn disk_stats(&self) -> lsdb_pager::DiskStats {
+        self.pool.stats()
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.comps = 0;
+        self.pool.reset_stats();
+    }
+
+    /// Table footprint in bytes (the paper reports this separately since
+    /// it is identical across structures).
+    pub fn size_bytes(&self) -> u64 {
+        self.pool.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: i32, ay: i32, bx: i32, by: i32) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut t = SegmentTable::new(1024, 4);
+        let a = t.push(seg(1, 2, 3, 4));
+        let b = t.push(seg(100, 200, 300, 400));
+        assert_eq!(t.get(a), seg(1, 2, 3, 4));
+        assert_eq!(t.get(b), seg(100, 200, 300, 400));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn records_span_many_pages() {
+        // 64-byte pages hold 4 records each.
+        let mut t = SegmentTable::new(64, 2);
+        let n = 100;
+        for i in 0..n {
+            t.push(seg(i, i + 1, i + 2, i + 3));
+        }
+        for i in (0..n).rev() {
+            assert_eq!(t.fetch(SegId(i as u32)), seg(i, i + 1, i + 2, i + 3));
+        }
+        assert_eq!(t.size_bytes(), 25 * 64);
+    }
+
+    #[test]
+    fn get_counts_comparisons_fetch_does_not() {
+        let mut t = SegmentTable::new(1024, 4);
+        let a = t.push(seg(0, 0, 1, 1));
+        t.reset_stats();
+        t.get(a);
+        t.get(a);
+        t.fetch(a);
+        assert_eq!(t.comps(), 2);
+    }
+
+    #[test]
+    fn disk_stats_show_pool_misses_on_scattered_access() {
+        // 2-frame pool over 4-record pages: strided access must fault.
+        let mut t = SegmentTable::new(64, 2);
+        for i in 0..64 {
+            t.push(seg(i, 0, i, 1));
+        }
+        t.reset_stats();
+        for i in (0..64).step_by(8) {
+            t.get(SegId(i));
+        }
+        assert!(t.disk_stats().reads >= 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let mut t = SegmentTable::new(1024, 4);
+        t.get(SegId(0));
+    }
+
+    #[test]
+    fn negative_coordinates_survive() {
+        // The table itself is coordinate-agnostic even though world maps
+        // are normalized to non-negative coordinates.
+        let mut t = SegmentTable::new(1024, 4);
+        let a = t.push(seg(-5, -6, 7, 8));
+        assert_eq!(t.get(a), seg(-5, -6, 7, 8));
+    }
+}

@@ -1,0 +1,70 @@
+use lsdb_pager::DiskStats;
+
+/// A snapshot of the three quantities the paper measures per query, plus
+/// segment-table disk activity (reported separately because segment records
+/// cluster: "although many segments will be involved, there will only be
+/// minor differences in disk activity").
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Index-structure disk accesses (buffer-pool misses + dirty
+    /// write-backs of index pages).
+    pub disk: DiskStats,
+    /// Segment comparisons — accesses to the disk-resident segment table.
+    pub seg_comps: u64,
+    /// Bounding-box computations (R-trees) or bounding-bucket / node
+    /// computations (PMR quadtree).
+    pub bbox_comps: u64,
+    /// Segment-table disk accesses.
+    pub seg_disk: DiskStats,
+}
+
+impl QueryStats {
+    /// Element-wise difference (for before/after measurement windows).
+    pub fn since(self, earlier: QueryStats) -> QueryStats {
+        QueryStats {
+            disk: self.disk - earlier.disk,
+            seg_comps: self.seg_comps - earlier.seg_comps,
+            bbox_comps: self.bbox_comps - earlier.bbox_comps,
+            seg_disk: self.seg_disk - earlier.seg_disk,
+        }
+    }
+
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: QueryStats) {
+        self.disk.reads += other.disk.reads;
+        self.disk.writes += other.disk.writes;
+        self.seg_comps += other.seg_comps;
+        self.bbox_comps += other.bbox_comps;
+        self.seg_disk.reads += other.seg_disk.reads;
+        self.seg_disk.writes += other.seg_disk.writes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qs(r: u64, w: u64, sc: u64, bc: u64) -> QueryStats {
+        QueryStats {
+            disk: DiskStats { reads: r, writes: w },
+            seg_comps: sc,
+            bbox_comps: bc,
+            seg_disk: DiskStats::default(),
+        }
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let later = qs(10, 5, 100, 1000);
+        let earlier = qs(4, 2, 40, 100);
+        let d = later.since(earlier);
+        assert_eq!(d, qs(6, 3, 60, 900));
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut acc = qs(1, 1, 1, 1);
+        acc.add(qs(2, 3, 4, 5));
+        assert_eq!(acc, qs(3, 4, 5, 6));
+    }
+}

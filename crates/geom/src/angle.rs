@@ -1,0 +1,192 @@
+//! Exact angular ordering of directions around a vertex.
+//!
+//! The enclosing-polygon query (paper query 4) walks the boundary of the
+//! face containing a query point. At each vertex the walk must pick, among
+//! the incident edges, the one that comes **first in clockwise order** from
+//! the reversed incoming direction — the standard planar face-traversal
+//! rule. Angles are never computed numerically: directions are compared by
+//! half-plane plus an exact cross-product test.
+
+use crate::Point;
+use std::cmp::Ordering;
+
+/// An integer direction vector (not necessarily normalized; never zero).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Dir {
+    pub dx: i32,
+    pub dy: i32,
+}
+
+impl Dir {
+    pub fn new(dx: i32, dy: i32) -> Self {
+        debug_assert!(dx != 0 || dy != 0, "zero direction");
+        Dir { dx, dy }
+    }
+
+    /// Direction of the vector from `from` to `to`.
+    pub fn between(from: Point, to: Point) -> Self {
+        Dir::new(to.x - from.x, to.y - from.y)
+    }
+
+    /// 0 for angles in `[0°, 180°)` (counting from the +x axis, CCW),
+    /// 1 for `[180°, 360°)`.
+    fn half(self) -> u8 {
+        if self.dy > 0 || (self.dy == 0 && self.dx > 0) {
+            0
+        } else {
+            1
+        }
+    }
+
+    fn cross(self, other: Dir) -> i64 {
+        self.dx as i64 * other.dy as i64 - self.dy as i64 * other.dx as i64
+    }
+
+    /// True if `self` and `other` point the same way (collinear, same sign).
+    pub fn same_direction(self, other: Dir) -> bool {
+        self.cross(other) == 0
+            && (self.dx as i64 * other.dx as i64 + self.dy as i64 * other.dy as i64) > 0
+    }
+}
+
+/// Total counterclockwise order on directions, starting from the +x axis.
+///
+/// Directions that are positive multiples of each other compare equal.
+pub fn ccw_cmp(a: Dir, b: Dir) -> Ordering {
+    match a.half().cmp(&b.half()) {
+        Ordering::Equal => {
+            let c = a.cross(b);
+            if c > 0 {
+                Ordering::Less
+            } else if c < 0 {
+                Ordering::Greater
+            } else {
+                Ordering::Equal
+            }
+        }
+        other => other,
+    }
+}
+
+/// Among `dirs`, find the index of the direction that comes first when
+/// rotating **clockwise** from `from`, excluding directions equal to
+/// `from` itself unless nothing else exists (a dead-end vertex, where the
+/// face walk doubles back along the incoming edge).
+///
+/// Returns `None` only if `dirs` is empty.
+pub fn first_clockwise_from(from: Dir, dirs: &[Dir]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    // Clockwise-first from `from` = predecessor of `from` in CCW order,
+    // wrapping around. Pick the max CCW direction strictly below `from`;
+    // if none, the global max.
+    let mut best_below: Option<usize> = None;
+    let mut best_any: Option<usize> = None;
+    for (i, &d) in dirs.iter().enumerate() {
+        if d.same_direction(from) {
+            // Candidate only as a dead-end fallback.
+            if best.is_none() {
+                best = Some(i);
+            }
+            continue;
+        }
+        match best_any {
+            None => best_any = Some(i),
+            Some(j) => {
+                if ccw_cmp(dirs[j], d) == Ordering::Less {
+                    best_any = Some(i);
+                }
+            }
+        }
+        if ccw_cmp(d, from) == Ordering::Less {
+            match best_below {
+                None => best_below = Some(i),
+                Some(j) => {
+                    if ccw_cmp(dirs[j], d) == Ordering::Less {
+                        best_below = Some(i);
+                    }
+                }
+            }
+        }
+    }
+    best_below.or(best_any).or(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(dx: i32, dy: i32) -> Dir {
+        Dir::new(dx, dy)
+    }
+
+    #[test]
+    fn ccw_order_of_compass_points() {
+        // CCW from +x: E < NE < N < NW < W < SW < S < SE.
+        let dirs = [
+            d(1, 0),
+            d(1, 1),
+            d(0, 1),
+            d(-1, 1),
+            d(-1, 0),
+            d(-1, -1),
+            d(0, -1),
+            d(1, -1),
+        ];
+        for w in dirs.windows(2) {
+            assert_eq!(ccw_cmp(w[0], w[1]), Ordering::Less, "{:?} < {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn scaled_directions_compare_equal() {
+        assert_eq!(ccw_cmp(d(2, 3), d(4, 6)), Ordering::Equal);
+        assert!(d(2, 3).same_direction(d(4, 6)));
+        assert!(!d(2, 3).same_direction(d(-2, -3)));
+    }
+
+    #[test]
+    fn first_clockwise_basic() {
+        // From W (180°), going clockwise we pass NW (135°), N (90°), ...
+        let from = d(-1, 0);
+        let dirs = [d(0, 1), d(1, 0), d(0, -1)];
+        // Clockwise from 180°: N (90°) comes before E (0°) before S (270°).
+        assert_eq!(first_clockwise_from(from, &dirs), Some(0));
+        let dirs2 = [d(1, 0), d(0, -1)];
+        assert_eq!(first_clockwise_from(from, &dirs2), Some(0), "E next");
+        let dirs3 = [d(0, -1), d(-1, 1)];
+        // Clockwise from 180°: NW (135°) is first.
+        assert_eq!(first_clockwise_from(from, &dirs3), Some(1));
+    }
+
+    #[test]
+    fn first_clockwise_wraps_around() {
+        // From E (0°): clockwise immediately wraps to SE (315°) etc.
+        let from = d(1, 0);
+        let dirs = [d(0, 1), d(1, -1)];
+        assert_eq!(first_clockwise_from(from, &dirs), Some(1));
+        // Only a direction CCW-above remains: wrap to it.
+        let dirs2 = [d(0, 1)];
+        assert_eq!(first_clockwise_from(from, &dirs2), Some(0));
+    }
+
+    #[test]
+    fn dead_end_falls_back_to_incoming() {
+        let from = d(1, 0);
+        let dirs = [d(2, 0)]; // same direction as `from`
+        assert_eq!(first_clockwise_from(from, &dirs), Some(0));
+        assert_eq!(first_clockwise_from(from, &[]), None);
+    }
+
+    #[test]
+    fn square_face_walk_turns_correctly() {
+        // Unit square CCW walk: at (1,0) coming from (0,0), the interior
+        // (left) face boundary continues to (1,1).
+        let v = Point::new(1, 0);
+        let incoming_rev = Dir::between(v, Point::new(0, 0));
+        let outs = [
+            Dir::between(v, Point::new(0, 0)),
+            Dir::between(v, Point::new(1, 1)),
+        ];
+        assert_eq!(first_clockwise_from(incoming_rev, &outs), Some(1));
+    }
+}

@@ -1,0 +1,104 @@
+//! Exact squared distances as rationals.
+//!
+//! The squared distance from a grid point to a grid segment is a rational
+//! `cross² / |AB|²`. Comparing two such values by cross-multiplication in
+//! `i128` is exact for all world coordinates, so nearest-neighbour searches
+//! over the index and over a brute-force scan always agree — there are no
+//! floating-point ties to break.
+
+use std::cmp::Ordering;
+
+/// An exact non-negative squared distance `num / den` with `den > 0`.
+#[derive(Clone, Copy, Debug)]
+pub struct Dist2 {
+    num: i128,
+    den: i128,
+}
+
+impl Dist2 {
+    /// Exact zero.
+    pub const ZERO: Dist2 = Dist2 { num: 0, den: 1 };
+
+    /// Construct from a numerator/denominator pair. `den` must be positive.
+    pub fn new(num: i128, den: i128) -> Self {
+        debug_assert!(den > 0, "Dist2 denominator must be positive");
+        debug_assert!(num >= 0, "Dist2 must be non-negative");
+        Dist2 { num, den }
+    }
+
+    /// An exact integer squared distance (e.g. point-point or point-rect).
+    pub fn from_int(d2: i64) -> Self {
+        Dist2 {
+            num: d2 as i128,
+            den: 1,
+        }
+    }
+
+    /// Approximate value as `f64` — for reporting only, never for ordering.
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+}
+
+impl PartialEq for Dist2 {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Dist2 {}
+
+impl PartialOrd for Dist2 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dist2 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // num ≤ 2^62, den ≤ 2^31 ⇒ products ≤ 2^93, exact in i128.
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl From<i64> for Dist2 {
+    fn from(d2: i64) -> Self {
+        Dist2::from_int(d2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_rationals_compare_equal() {
+        assert_eq!(Dist2::new(4, 2), Dist2::from_int(2));
+        assert_eq!(Dist2::new(9, 3), Dist2::new(27, 9));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Dist2::new(1, 3) < Dist2::new(1, 2));
+        assert!(Dist2::from_int(5) > Dist2::new(49, 10));
+        assert!(Dist2::ZERO < Dist2::new(1, 1_000_000));
+        assert!(Dist2::ZERO.is_zero());
+    }
+
+    #[test]
+    fn to_f64_is_close() {
+        assert!((Dist2::new(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_overflow_at_world_scale() {
+        // Worst case: cross ≈ 2·16384² = 2^29, cross² ≈ 2^58; den ≈ 2^31.
+        let big = Dist2::new((1i128 << 58) + 1, (1 << 31) - 1);
+        let small = Dist2::new(1 << 58, 1 << 31);
+        assert!(big > small);
+    }
+}

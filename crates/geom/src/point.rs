@@ -1,0 +1,73 @@
+use std::fmt;
+
+/// A point on the integer grid.
+///
+/// Ordered lexicographically by `(x, y)`, which gives a stable canonical
+/// ordering for segment endpoints and map vertices.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Point {
+    pub x: i32,
+    pub y: i32,
+}
+
+impl Point {
+    pub const fn new(x: i32, y: i32) -> Self {
+        Point { x, y }
+    }
+
+    /// Exact squared Euclidean distance to `other`.
+    pub fn dist2(self, other: Point) -> i64 {
+        let dx = (self.x - other.x) as i64;
+        let dy = (self.y - other.y) as i64;
+        dx * dx + dy * dy
+    }
+
+    /// Component-wise minimum.
+    pub fn min_with(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    pub fn max_with(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(i32, i32)> for Point {
+    fn from((x, y): (i32, i32)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist2_basics() {
+        assert_eq!(Point::new(0, 0).dist2(Point::new(3, 4)), 25);
+        assert_eq!(Point::new(5, 5).dist2(Point::new(5, 5)), 0);
+        assert_eq!(Point::new(-2, 1).dist2(Point::new(2, 1)), 16);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Point::new(1, 9) < Point::new(2, 0));
+        assert!(Point::new(1, 1) < Point::new(1, 2));
+    }
+
+    #[test]
+    fn min_max_with() {
+        let a = Point::new(1, 7);
+        let b = Point::new(3, 2);
+        assert_eq!(a.min_with(b), Point::new(1, 2));
+        assert_eq!(a.max_with(b), Point::new(3, 7));
+    }
+}

@@ -1,0 +1,241 @@
+use crate::{orient, Dist2, Point, Rect};
+use std::fmt;
+
+/// A closed line segment between two grid points.
+///
+/// Segments in a polygonal map are undirected: `Segment::new` does **not**
+/// canonicalize endpoint order (the map layer does that when it matters),
+/// but [`Segment::canonical`] is available.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Segment {
+    pub a: Point,
+    pub b: Point,
+}
+
+impl Segment {
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// The same segment with endpoints in lexicographic order.
+    pub fn canonical(self) -> Self {
+        if self.a <= self.b {
+            self
+        } else {
+            Segment::new(self.b, self.a)
+        }
+    }
+
+    /// Minimum bounding rectangle.
+    pub fn bbox(&self) -> Rect {
+        Rect::bounding(self.a, self.b)
+    }
+
+    /// Exact squared length.
+    pub fn len2(&self) -> i64 {
+        self.a.dist2(self.b)
+    }
+
+    /// True if the segment is a single point.
+    pub fn is_degenerate(&self) -> bool {
+        self.a == self.b
+    }
+
+    /// Given one endpoint, return the other. Panics if `p` is not an
+    /// endpoint (callers look endpoints up from the segment table, so a
+    /// mismatch is a logic error).
+    pub fn other_endpoint(&self, p: Point) -> Point {
+        if self.a == p {
+            self.b
+        } else {
+            assert_eq!(self.b, p, "point {:?} is not an endpoint of {:?}", p, self);
+            self.a
+        }
+    }
+
+    /// True if `p` is one of the two endpoints.
+    pub fn has_endpoint(&self, p: Point) -> bool {
+        self.a == p || self.b == p
+    }
+
+    /// Exact test: does `p` lie on the closed segment?
+    pub fn contains_point(&self, p: Point) -> bool {
+        orient(self.a, self.b, p) == 0 && self.bbox().contains_point(p)
+    }
+
+    /// Exact closed-segment intersection test, including collinear overlap
+    /// and shared endpoints.
+    pub fn intersects(&self, other: &Segment) -> bool {
+        let d1 = orient(other.a, other.b, self.a);
+        let d2 = orient(other.a, other.b, self.b);
+        let d3 = orient(self.a, self.b, other.a);
+        let d4 = orient(self.a, self.b, other.b);
+        if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0))
+            && ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))
+        {
+            return true;
+        }
+        (d1 == 0 && other.bbox().contains_point(self.a))
+            || (d2 == 0 && other.bbox().contains_point(self.b))
+            || (d3 == 0 && self.bbox().contains_point(other.a))
+            || (d4 == 0 && self.bbox().contains_point(other.b))
+    }
+
+    /// True if the segments cross at a point interior to **both** (shared
+    /// endpoints and touching do not count). Used by the planarity
+    /// validator: a planar map may share endpoints but never properly
+    /// cross.
+    pub fn properly_intersects(&self, other: &Segment) -> bool {
+        let d1 = orient(other.a, other.b, self.a);
+        let d2 = orient(other.a, other.b, self.b);
+        let d3 = orient(self.a, self.b, other.a);
+        let d4 = orient(self.a, self.b, other.b);
+        if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0))
+            && ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))
+        {
+            return true;
+        }
+        // Collinear overlap in more than a single shared endpoint is also a
+        // planarity violation.
+        if d1 == 0 && d2 == 0 && d3 == 0 && d4 == 0 {
+            let sb = self.bbox();
+            let ob = other.bbox();
+            if let Some(i) = sb.intersection(&ob) {
+                return i.min != i.max;
+            }
+        }
+        // One endpoint strictly inside the other segment (a T-junction not
+        // at a vertex) is a violation for our maps, which are vertex-noded.
+        for (seg, p) in [
+            (other, self.a),
+            (other, self.b),
+            (self, other.a),
+            (self, other.b),
+        ] {
+            if seg.contains_point(p) && !seg.has_endpoint(p) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Exact squared distance from `p` to the closed segment, as a rational.
+    pub fn dist2_point(&self, p: Point) -> Dist2 {
+        let abx = (self.b.x - self.a.x) as i64;
+        let aby = (self.b.y - self.a.y) as i64;
+        let apx = (p.x - self.a.x) as i64;
+        let apy = (p.y - self.a.y) as i64;
+        let dot = abx * apx + aby * apy;
+        if dot <= 0 || self.is_degenerate() {
+            return Dist2::from_int(p.dist2(self.a));
+        }
+        let len2 = abx * abx + aby * aby;
+        if dot >= len2 {
+            return Dist2::from_int(p.dist2(self.b));
+        }
+        let cross = abx * apy - aby * apx;
+        Dist2::new((cross as i128) * (cross as i128), len2 as i128)
+    }
+}
+
+impl fmt::Debug for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}-{:?}", self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(ax: i32, ay: i32, bx: i32, by: i32) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn bbox_and_canonical() {
+        let seg = s(5, 1, 2, 7);
+        assert_eq!(seg.bbox(), Rect::new(2, 1, 5, 7));
+        assert_eq!(seg.canonical().a, Point::new(2, 7));
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let seg = s(1, 1, 4, 5);
+        assert_eq!(seg.other_endpoint(Point::new(1, 1)), Point::new(4, 5));
+        assert_eq!(seg.other_endpoint(Point::new(4, 5)), Point::new(1, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn other_endpoint_panics_on_non_endpoint() {
+        s(1, 1, 4, 5).other_endpoint(Point::new(0, 0));
+    }
+
+    #[test]
+    fn contains_point() {
+        let seg = s(0, 0, 10, 10);
+        assert!(seg.contains_point(Point::new(5, 5)));
+        assert!(seg.contains_point(Point::new(0, 0)));
+        assert!(!seg.contains_point(Point::new(5, 6)));
+        assert!(!seg.contains_point(Point::new(11, 11)), "collinear but past end");
+    }
+
+    #[test]
+    fn intersections() {
+        // Proper crossing.
+        assert!(s(0, 0, 10, 10).intersects(&s(0, 10, 10, 0)));
+        // Shared endpoint.
+        assert!(s(0, 0, 5, 5).intersects(&s(5, 5, 9, 0)));
+        // T-junction.
+        assert!(s(0, 0, 10, 0).intersects(&s(5, 0, 5, 7)));
+        // Collinear overlap.
+        assert!(s(0, 0, 10, 0).intersects(&s(5, 0, 15, 0)));
+        // Collinear but disjoint.
+        assert!(!s(0, 0, 4, 0).intersects(&s(5, 0, 9, 0)));
+        // Parallel.
+        assert!(!s(0, 0, 10, 0).intersects(&s(0, 1, 10, 1)));
+        // Near miss.
+        assert!(!s(0, 0, 10, 10).intersects(&s(6, 5, 12, 5)));
+    }
+
+    #[test]
+    fn proper_intersections() {
+        assert!(s(0, 0, 10, 10).properly_intersects(&s(0, 10, 10, 0)));
+        // Shared endpoint is fine.
+        assert!(!s(0, 0, 5, 5).properly_intersects(&s(5, 5, 9, 0)));
+        // Touching at interior point (T-junction) violates planarity.
+        assert!(s(0, 0, 10, 0).properly_intersects(&s(5, 0, 5, 7)));
+        // Collinear overlap violates.
+        assert!(s(0, 0, 10, 0).properly_intersects(&s(5, 0, 15, 0)));
+        // Collinear meeting at exactly one endpoint is fine.
+        assert!(!s(0, 0, 5, 0).properly_intersects(&s(5, 0, 9, 0)));
+        // Disjoint.
+        assert!(!s(0, 0, 4, 0).properly_intersects(&s(0, 2, 4, 2)));
+    }
+
+    #[test]
+    fn dist2_point_regions() {
+        let seg = s(0, 0, 10, 0);
+        // Nearest to interior (perpendicular projection).
+        assert_eq!(seg.dist2_point(Point::new(5, 3)), Dist2::from_int(9));
+        // Nearest to endpoint a.
+        assert_eq!(seg.dist2_point(Point::new(-3, 4)), Dist2::from_int(25));
+        // Nearest to endpoint b.
+        assert_eq!(seg.dist2_point(Point::new(13, -4)), Dist2::from_int(25));
+        // On the segment.
+        assert_eq!(seg.dist2_point(Point::new(7, 0)), Dist2::from_int(0));
+        // Diagonal segment: exact rational distance. dist² from (0,2) to
+        // the line through (0,0)-(2,2) is 2 (cross = -4, len2 = 8 -> 16/8).
+        let diag = s(0, 0, 2, 2);
+        assert_eq!(diag.dist2_point(Point::new(0, 2)), Dist2::new(16, 8));
+        assert_eq!(diag.dist2_point(Point::new(0, 2)), Dist2::from_int(2));
+    }
+
+    #[test]
+    fn dist2_degenerate_segment() {
+        let seg = s(3, 3, 3, 3);
+        assert_eq!(seg.dist2_point(Point::new(0, -1)), Dist2::from_int(25));
+    }
+}

@@ -1,0 +1,496 @@
+//! Uniform grid over line segments — the paper's §2 regular-decomposition
+//! baseline ("we can either decompose the space into blocks of uniform size
+//! (e.g., the uniform grid of Franklin) or adapt the decomposition to the
+//! distribution of the data"). It is used by the ablation benchmarks to
+//! show *why* the adaptive PMR quadtree is preferred for non-uniform road
+//! data: "the uniform grid is ideal for uniformly distributed data, while
+//! quadtree-based approaches are suited for arbitrarily distributed data."
+//!
+//! Disk layout: the world is cut into `g × g` equal cells; each cell's
+//! q-edges (segment ids) live in a chain of pages `[count: u16, next: u32,
+//! ids ...]`. A per-cell first/last-page directory is kept in memory (it is
+//! tiny and would occupy a handful of pages on disk).
+
+use lsdb_core::{IndexConfig, PolygonalMap, QueryStats, SegId, SegmentTable, SpatialIndex};
+use lsdb_geom::{Dist2, Point, Rect, Segment, WORLD_SIZE};
+use lsdb_pager::{MemPool, PageId};
+
+const HDR: usize = 8; // count u16 at 0, next page u32 at 4 (u32::MAX = none)
+
+/// A disk-resident uniform grid over line segments.
+pub struct UniformGrid {
+    pool: MemPool,
+    table: SegmentTable,
+    /// Cells per side.
+    g: i32,
+    /// First and current-tail page of each cell's chain (row-major), once
+    /// the cell holds at least one id.
+    chains: Vec<Option<(PageId, PageId)>>,
+    ids_per_page: usize,
+    len: usize,
+    bucket_comps: u64,
+}
+
+impl UniformGrid {
+    /// `g` cells per side (the world side must be divisible by `g`).
+    pub fn new(table: SegmentTable, cfg: IndexConfig, g: i32) -> Self {
+        assert!(g >= 1 && WORLD_SIZE % g == 0, "grid must divide the world");
+        let pool = MemPool::in_memory(cfg.page_size, cfg.pool_pages);
+        let ids_per_page = (cfg.page_size - HDR) / 4;
+        assert!(ids_per_page >= 1);
+        UniformGrid {
+            pool,
+            table,
+            g,
+            chains: vec![None; (g * g) as usize],
+            ids_per_page,
+            len: 0,
+            bucket_comps: 0,
+        }
+    }
+
+    pub fn build(map: &PolygonalMap, cfg: IndexConfig, g: i32) -> Self {
+        let table = SegmentTable::from_map(map, cfg.page_size, cfg.pool_pages);
+        let mut t = UniformGrid::new(table, cfg, g);
+        for id in 0..map.segments.len() {
+            t.insert(SegId(id as u32));
+        }
+        t
+    }
+
+    pub fn cells_per_side(&self) -> i32 {
+        self.g
+    }
+
+    fn cell_side(&self) -> i32 {
+        WORLD_SIZE / self.g
+    }
+
+    fn cell_index(&self, cx: i32, cy: i32) -> usize {
+        (cy * self.g + cx) as usize
+    }
+
+    /// Closed integer rect of a cell.
+    fn cell_rect(&self, cx: i32, cy: i32) -> Rect {
+        let s = self.cell_side();
+        Rect::new(cx * s, cy * s, cx * s + s - 1, cy * s + s - 1)
+    }
+
+    /// Cell rect extended by one unit up/right so geometry on the upper
+    /// boundary also registers (same convention as the PMR blocks).
+    fn cell_closed_rect(&self, cx: i32, cy: i32) -> Rect {
+        let s = self.cell_side();
+        Rect::new(
+            cx * s,
+            cy * s,
+            (cx * s + s).min(WORLD_SIZE - 1),
+            (cy * s + s).min(WORLD_SIZE - 1),
+        )
+    }
+
+    fn cell_of_point(&self, p: Point) -> (i32, i32) {
+        let s = self.cell_side();
+        (
+            (p.x / s).clamp(0, self.g - 1),
+            (p.y / s).clamp(0, self.g - 1),
+        )
+    }
+
+    /// Cells whose closed region touches the segment.
+    fn cells_touching(&mut self, seg: &Segment) -> Vec<(i32, i32)> {
+        let b = seg.bbox();
+        let s = self.cell_side();
+        // The extended (closed) region of cell c covers [c*s, c*s + s], so
+        // a coordinate v can touch cells (v-s)/s ..= v/s.
+        let cx0 = ((b.min.x - s) / s).clamp(0, self.g - 1);
+        let cx1 = (b.max.x / s).clamp(0, self.g - 1);
+        let cy0 = ((b.min.y - s) / s).clamp(0, self.g - 1);
+        let cy1 = (b.max.y / s).clamp(0, self.g - 1);
+        let mut out = Vec::new();
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                self.bucket_comps += 1;
+                if self.cell_closed_rect(cx, cy).intersects_segment(seg) {
+                    out.push((cx, cy));
+                }
+            }
+        }
+        out
+    }
+
+    fn cell_ids(&mut self, cx: i32, cy: i32) -> Vec<SegId> {
+        let mut out = Vec::new();
+        let Some((first, _)) = self.chains[self.cell_index(cx, cy)] else {
+            return out;
+        };
+        let mut page = Some(first);
+        while let Some(pid) = page {
+            page = self.pool.with_page(pid, |buf| {
+                let count = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+                for i in 0..count {
+                    let at = HDR + i * 4;
+                    out.push(SegId(u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())));
+                }
+                let next = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+                (next != u32::MAX).then_some(PageId(next))
+            });
+        }
+        out
+    }
+
+    fn append_to_cell(&mut self, cx: i32, cy: i32, id: SegId) {
+        let idx = self.cell_index(cx, cy);
+        let per = self.ids_per_page;
+        match self.chains[idx] {
+            None => {
+                let pid = self.pool.allocate();
+                self.pool.with_page_mut(pid, |buf| {
+                    buf[0..2].copy_from_slice(&1u16.to_le_bytes());
+                    buf[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+                    buf[HDR..HDR + 4].copy_from_slice(&id.0.to_le_bytes());
+                });
+                self.chains[idx] = Some((pid, pid));
+            }
+            Some((first, tail)) => {
+                let appended = self.pool.with_page_mut(tail, |buf| {
+                    let count = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+                    if count < per {
+                        let at = HDR + count * 4;
+                        buf[at..at + 4].copy_from_slice(&id.0.to_le_bytes());
+                        buf[0..2].copy_from_slice(&((count + 1) as u16).to_le_bytes());
+                        true
+                    } else {
+                        false
+                    }
+                });
+                if !appended {
+                    let pid = self.pool.allocate();
+                    self.pool.with_page_mut(pid, |buf| {
+                        buf[0..2].copy_from_slice(&1u16.to_le_bytes());
+                        buf[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+                        buf[HDR..HDR + 4].copy_from_slice(&id.0.to_le_bytes());
+                    });
+                    self.pool.with_page_mut(tail, |buf| {
+                        buf[4..8].copy_from_slice(&pid.0.to_le_bytes());
+                    });
+                    self.chains[idx] = Some((first, pid));
+                }
+            }
+        }
+    }
+
+    /// Rewrite a cell's chain without `id`; returns whether it was present.
+    fn remove_from_cell(&mut self, cx: i32, cy: i32, id: SegId) -> bool {
+        let ids = self.cell_ids(cx, cy);
+        if !ids.contains(&id) {
+            return false;
+        }
+        let idx = self.cell_index(cx, cy);
+        // Free the whole chain and rebuild it.
+        if let Some((first, _)) = self.chains[idx] {
+            let mut page = Some(first);
+            while let Some(pid) = page {
+                let next = self.pool.with_page(pid, |buf| {
+                    let next = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+                    (next != u32::MAX).then_some(PageId(next))
+                });
+                self.pool.free(pid);
+                page = next;
+            }
+        }
+        self.chains[idx] = None;
+        for other in ids {
+            if other != id {
+                self.append_to_cell(cx, cy, other);
+            }
+        }
+        true
+    }
+}
+
+impl SpatialIndex for UniformGrid {
+    fn name(&self) -> &'static str {
+        "uniform grid"
+    }
+
+    fn seg_table(&mut self) -> &mut SegmentTable {
+        &mut self.table
+    }
+
+    fn insert(&mut self, id: SegId) {
+        let seg = self.table.fetch(id);
+        for (cx, cy) in self.cells_touching(&seg) {
+            self.append_to_cell(cx, cy, id);
+        }
+        self.len += 1;
+    }
+
+    fn remove(&mut self, id: SegId) -> bool {
+        let seg = self.table.fetch(id);
+        let mut removed = false;
+        for (cx, cy) in self.cells_touching(&seg) {
+            removed |= self.remove_from_cell(cx, cy, id);
+        }
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn find_incident(&mut self, p: Point) -> Vec<SegId> {
+        // Like the PMR quadtree, the cell containing p holds every segment
+        // incident at p (grazing segments register via the closed region).
+        let (cx, cy) = self.cell_of_point(p);
+        self.bucket_comps += 1;
+        let mut out = Vec::new();
+        for id in self.cell_ids(cx, cy) {
+            let seg = self.table.get(id);
+            if seg.has_endpoint(p) {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    fn probe_point(&mut self, p: Point) {
+        let _ = self.cell_of_point(p);
+        self.bucket_comps += 1;
+    }
+
+    fn nearest(&mut self, p: Point) -> Option<SegId> {
+        if self.len == 0 {
+            return None;
+        }
+        // Expanding ring search around p's cell.
+        let (pcx, pcy) = self.cell_of_point(p);
+        let s = self.cell_side() as i64;
+        let mut best: Option<(Dist2, SegId)> = None;
+        for ring in 0..self.g.max(1) * 2 {
+            // Once a candidate is closer than the nearest possible point
+            // of the next ring, stop.
+            if let Some((d, _)) = best {
+                let ring_dist = (ring as i64 - 1).max(0) * s;
+                if d <= Dist2::from_int(ring_dist * ring_dist) {
+                    break;
+                }
+            }
+            let mut any_cell = false;
+            for cy in (pcy - ring)..=(pcy + ring) {
+                for cx in (pcx - ring)..=(pcx + ring) {
+                    // Ring boundary only.
+                    if (cy - pcy).abs().max((cx - pcx).abs()) != ring {
+                        continue;
+                    }
+                    if cx < 0 || cy < 0 || cx >= self.g || cy >= self.g {
+                        continue;
+                    }
+                    any_cell = true;
+                    self.bucket_comps += 1;
+                    for id in self.cell_ids(cx, cy) {
+                        let seg = self.table.get(id);
+                        let d = seg.dist2_point(p);
+                        if best.is_none_or(|(bd, bid)| (d, id) < (bd, bid)) {
+                            best = Some((d, id));
+                        }
+                    }
+                }
+            }
+            if !any_cell && best.is_some() {
+                break;
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    fn window(&mut self, w: Rect) -> Vec<SegId> {
+        let s = self.cell_side();
+        let cx0 = (w.min.x / s).clamp(0, self.g - 1);
+        let cx1 = (w.max.x / s).clamp(0, self.g - 1);
+        let cy0 = (w.min.y / s).clamp(0, self.g - 1);
+        let cy1 = (w.max.y / s).clamp(0, self.g - 1);
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                self.bucket_comps += 1;
+                if !w.intersects(&self.cell_rect(cx, cy)) {
+                    continue;
+                }
+                for id in self.cell_ids(cx, cy) {
+                    if seen.insert(id) {
+                        let seg = self.table.get(id);
+                        if w.intersects_segment(&seg) {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn stats(&self) -> QueryStats {
+        QueryStats {
+            disk: self.pool.stats(),
+            seg_comps: self.table.comps(),
+            bbox_comps: self.bucket_comps,
+            seg_disk: self.table.disk_stats(),
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        self.pool.reset_stats();
+        self.table.reset_stats();
+        self.bucket_comps = 0;
+    }
+
+    fn size_bytes(&self) -> u64 {
+        self.pool.size_bytes()
+    }
+
+    fn clear_cache(&mut self) {
+        self.pool.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsdb_core::brute;
+
+    fn cfg() -> IndexConfig {
+        IndexConfig { page_size: 128, pool_pages: 8 }
+    }
+
+    fn cross_map() -> PolygonalMap {
+        // Segments spread over the world, including cell-boundary hugs.
+        let q = WORLD_SIZE / 4;
+        PolygonalMap::new(
+            "cross",
+            vec![
+                Segment::new(Point::new(10, 10), Point::new(q + 10, q + 10)),
+                Segment::new(Point::new(q, q), Point::new(3 * q, q)),
+                Segment::new(Point::new(3 * q, q), Point::new(3 * q, 3 * q)),
+                Segment::new(Point::new(0, 2 * q), Point::new(WORLD_SIZE - 1, 2 * q)),
+                Segment::new(Point::new(2 * q, 0), Point::new(2 * q, WORLD_SIZE - 1)),
+                Segment::new(Point::new(5, WORLD_SIZE - 5), Point::new(500, WORLD_SIZE - 500)),
+            ],
+        )
+    }
+
+    #[test]
+    fn build_and_counts() {
+        let map = cross_map();
+        let t = UniformGrid::build(&map, cfg(), 8);
+        assert_eq!(t.len(), map.len());
+        assert!(t.size_bytes() > 0);
+    }
+
+    #[test]
+    fn incident_matches_brute_force() {
+        let map = cross_map();
+        let mut t = UniformGrid::build(&map, cfg(), 8);
+        let q = WORLD_SIZE / 4;
+        for p in [
+            Point::new(10, 10),
+            Point::new(q, q),
+            Point::new(3 * q, q),
+            Point::new(2 * q, 0),
+            Point::new(123, 456),
+        ] {
+            assert_eq!(
+                brute::sorted(t.find_incident(p)),
+                brute::incident(&map, p),
+                "at {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let map = cross_map();
+        for g in [4, 16, 64] {
+            let mut t = UniformGrid::build(&map, cfg(), g);
+            for x in (0..WORLD_SIZE).step_by(1711) {
+                for y in (0..WORLD_SIZE).step_by(2049) {
+                    let p = Point::new(x, y);
+                    let got = t.nearest(p).expect("non-empty");
+                    let want = brute::nearest(&map, p).unwrap();
+                    assert_eq!(
+                        map.segments[got.index()].dist2_point(p),
+                        want.1,
+                        "g={g} at {p:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_matches_brute_force() {
+        let map = cross_map();
+        let mut t = UniformGrid::build(&map, cfg(), 16);
+        let q = WORLD_SIZE / 4;
+        for w in [
+            Rect::new(0, 0, WORLD_SIZE - 1, WORLD_SIZE - 1),
+            Rect::new(q - 5, q - 5, q + 5, q + 5),
+            Rect::new(0, 2 * q, 10, 2 * q),
+            Rect::new(900, 900, 1000, 1000),
+        ] {
+            assert_eq!(brute::sorted(t.window(w)), brute::window(&map, w), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn remove_works() {
+        let map = cross_map();
+        let mut t = UniformGrid::build(&map, cfg(), 8);
+        assert!(t.remove(SegId(3)));
+        assert!(!t.remove(SegId(3)));
+        assert_eq!(t.len(), map.len() - 1);
+        let w = Rect::new(0, 0, WORLD_SIZE - 1, WORLD_SIZE - 1);
+        let got = brute::sorted(t.window(w));
+        let want: Vec<SegId> = brute::window(&map, w)
+            .into_iter()
+            .filter(|id| id.0 != 3)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn long_segment_spans_many_cells_pages_chain() {
+        // One segment crossing the full world with a tiny page size forces
+        // multi-page chains and many cells.
+        let map = PolygonalMap::new(
+            "long",
+            (0..60)
+                .map(|i| {
+                    Segment::new(Point::new(0, i * 7 + 1), Point::new(WORLD_SIZE - 1, i * 7 + 1))
+                })
+                .collect(),
+        );
+        let mut t = UniformGrid::build(&map, cfg(), 4);
+        let w = Rect::new(100, 0, 110, 430);
+        assert_eq!(brute::sorted(t.window(w)), brute::window(&map, w));
+    }
+
+    #[test]
+    #[should_panic(expected = "grid must divide the world")]
+    fn invalid_grid_dimension_panics() {
+        let table = lsdb_core::SegmentTable::new(128, 4);
+        let _ = UniformGrid::new(table, cfg(), 3);
+    }
+
+    #[test]
+    fn empty_grid_queries() {
+        let map = PolygonalMap::new("empty", vec![]);
+        let mut t = UniformGrid::build(&map, cfg(), 8);
+        assert_eq!(t.nearest(Point::new(5, 5)), None);
+        assert!(t.find_incident(Point::new(5, 5)).is_empty());
+        assert!(t.window(Rect::new(0, 0, 10, 10)).is_empty());
+    }
+}

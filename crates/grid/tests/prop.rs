@@ -1,0 +1,76 @@
+//! Property tests for the uniform grid: oracle equivalence over random
+//! segment soups, random grid resolutions, and random delete subsets.
+
+use lsdb_core::{brute, IndexConfig, PolygonalMap, SegId, SpatialIndex};
+use lsdb_geom::{Point, Rect, Segment};
+use lsdb_grid::UniformGrid;
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0..16384i32, 0..16384i32).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    (arb_point(), arb_point())
+        .prop_filter("non-degenerate", |(a, b)| a != b)
+        .prop_map(|(a, b)| Segment::new(a, b))
+}
+
+fn arb_map(max: usize) -> impl Strategy<Value = PolygonalMap> {
+    prop::collection::vec(arb_segment(), 1..max)
+        .prop_map(|segs| PolygonalMap::new("prop", segs))
+}
+
+/// Powers of two that divide the 16384-unit world.
+fn arb_g() -> impl Strategy<Value = i32> {
+    prop::sample::select(vec![2i32, 4, 8, 16, 32, 64])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn queries_match_oracle(
+        map in arb_map(80),
+        g in arb_g(),
+        probes in prop::collection::vec(arb_point(), 1..8),
+        windows in prop::collection::vec((arb_point(), arb_point()), 1..4),
+    ) {
+        let cfg = IndexConfig { page_size: 256, pool_pages: 8 };
+        let mut t = UniformGrid::build(&map, cfg, g);
+        for &p in &probes {
+            prop_assert_eq!(
+                brute::sorted(t.find_incident(p)),
+                brute::incident(&map, p)
+            );
+            let got = t.nearest(p).unwrap();
+            let want = brute::nearest(&map, p).unwrap();
+            prop_assert_eq!(map.segments[got.index()].dist2_point(p), want.1);
+        }
+        for &(a, b) in &windows {
+            let w = Rect::bounding(a, b);
+            prop_assert_eq!(brute::sorted(t.window(w)), brute::window(&map, w));
+        }
+    }
+
+    #[test]
+    fn deletes_then_queries(
+        map in arb_map(60),
+        g in arb_g(),
+        delete_mask in prop::collection::vec(any::<bool>(), 60),
+    ) {
+        let cfg = IndexConfig { page_size: 128, pool_pages: 8 };
+        let mut t = UniformGrid::build(&map, cfg, g);
+        let mut kept = Vec::new();
+        for i in 0..map.len() {
+            if delete_mask[i] {
+                prop_assert!(t.remove(SegId(i as u32)));
+            } else {
+                kept.push(SegId(i as u32));
+            }
+        }
+        prop_assert_eq!(t.len(), kept.len());
+        let w = Rect::new(0, 0, 16383, 16383);
+        prop_assert_eq!(brute::sorted(t.window(w)), kept);
+    }
+}

@@ -1,0 +1,39 @@
+//! Simulated-disk paged storage with an LRU buffer pool.
+//!
+//! The paper's central measurement is the number of *potential disk
+//! accesses*: "operations that are expected to cause reading a page of data
+//! that is not currently resident in main memory". Every index in this
+//! repository therefore stores its nodes in fixed-size pages behind a
+//! [`BufferPool`] with a least-recently-used replacement policy (the paper
+//! uses 16 pages of 1 KB each), and the pool counts
+//!
+//! * a **read** whenever a page is fetched and is not resident, and
+//! * a **write** whenever a dirty page is evicted or flushed.
+//!
+//! The backing "disk" is abstracted by the [`Storage`] trait with an
+//! in-memory implementation ([`MemStorage`], used by tests and benchmarks —
+//! deterministic and fast) and a real file-backed implementation
+//! ([`FileStorage`]) proving the layout is genuinely persistable.
+
+mod pool;
+mod storage;
+
+pub use pool::{BufferPool, DiskStats, MemPool};
+pub use storage::{FileStorage, MemStorage, Storage};
+
+/// Page size used throughout the paper's main experiments.
+pub const DEFAULT_PAGE_SIZE: usize = 1024;
+
+/// Buffer pool capacity (in pages) used throughout the paper's main
+/// experiments.
+pub const DEFAULT_POOL_PAGES: usize = 16;
+
+/// Identifier of a page within one storage instance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}

@@ -1,0 +1,442 @@
+use crate::{MemStorage, PageId, Storage};
+use std::collections::HashMap;
+
+/// Disk-transfer counters maintained by a [`BufferPool`].
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Pages fetched from storage because they were not pool-resident.
+    pub reads: u64,
+    /// Dirty pages written back to storage (on eviction or flush).
+    pub writes: u64,
+}
+
+impl DiskStats {
+    /// Total potential disk transfers, the quantity the paper tabulates.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl std::ops::Sub for DiskStats {
+    type Output = DiskStats;
+    fn sub(self, rhs: DiskStats) -> DiskStats {
+        DiskStats {
+            reads: self.reads - rhs.reads,
+            writes: self.writes - rhs.writes,
+        }
+    }
+}
+
+struct Frame {
+    pid: Option<PageId>,
+    dirty: bool,
+    last_used: u64,
+    data: Box<[u8]>,
+}
+
+/// A fixed-capacity buffer pool with least-recently-used replacement.
+///
+/// The capacity is deliberately tiny (the paper uses 16 frames), so LRU
+/// victim selection is a linear scan — simpler and faster than an intrusive
+/// list at this scale.
+pub struct BufferPool<S: Storage> {
+    storage: S,
+    frames: Vec<Frame>,
+    resident: HashMap<PageId, usize>,
+    free_pages: Vec<PageId>,
+    tick: u64,
+    stats: DiskStats,
+}
+
+/// The default in-memory pool used by experiments.
+pub type MemPool = BufferPool<MemStorage>;
+
+impl MemPool {
+    /// Convenience constructor for an in-memory pool.
+    pub fn in_memory(page_size: usize, capacity: usize) -> MemPool {
+        BufferPool::new(MemStorage::new(page_size), capacity)
+    }
+}
+
+impl<S: Storage> BufferPool<S> {
+    pub fn new(storage: S, capacity: usize) -> Self {
+        assert!(capacity >= 1, "pool needs at least one frame");
+        let page_size = storage.page_size();
+        let frames = (0..capacity)
+            .map(|_| Frame {
+                pid: None,
+                dirty: false,
+                last_used: 0,
+                data: vec![0u8; page_size].into_boxed_slice(),
+            })
+            .collect();
+        BufferPool {
+            storage,
+            frames,
+            resident: HashMap::new(),
+            free_pages: Vec::new(),
+            tick: 0,
+            stats: DiskStats::default(),
+        }
+    }
+
+    pub fn page_size(&self) -> usize {
+        self.storage.page_size()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Pages currently allocated (grown minus freed). Multiplied by the
+    /// page size this is the structure's storage footprint.
+    pub fn allocated_pages(&self) -> u32 {
+        self.storage.num_pages() - self.free_pages.len() as u32
+    }
+
+    /// Storage footprint in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.allocated_pages() as u64 * self.page_size() as u64
+    }
+
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats = DiskStats::default();
+    }
+
+    /// Allocate a page (reusing freed pages first). The fresh page is
+    /// zeroed, resident, and dirty; no read is charged because its contents
+    /// need not come from disk.
+    pub fn allocate(&mut self) -> PageId {
+        let pid = match self.free_pages.pop() {
+            Some(pid) => pid,
+            None => self.storage.grow(),
+        };
+        let frame = self.victim_frame();
+        self.install(frame, pid, true);
+        self.frames[frame].data.fill(0);
+        pid
+    }
+
+    /// Release a page. It is dropped from the pool without write-back and
+    /// becomes available for reuse by [`BufferPool::allocate`].
+    pub fn free(&mut self, pid: PageId) {
+        if let Some(frame) = self.resident.remove(&pid) {
+            self.frames[frame].pid = None;
+            self.frames[frame].dirty = false;
+        }
+        debug_assert!(!self.free_pages.contains(&pid), "double free of {pid:?}");
+        self.free_pages.push(pid);
+    }
+
+    /// Run `f` over the page contents (read-only).
+    pub fn with_page<T>(&mut self, pid: PageId, f: impl FnOnce(&[u8]) -> T) -> T {
+        let frame = self.fetch(pid);
+        f(&self.frames[frame].data)
+    }
+
+    /// Run `f` over the page contents mutably; the page is marked dirty.
+    pub fn with_page_mut<T>(&mut self, pid: PageId, f: impl FnOnce(&mut [u8]) -> T) -> T {
+        let frame = self.fetch(pid);
+        self.frames[frame].dirty = true;
+        f(&mut self.frames[frame].data)
+    }
+
+    /// Copy two pages into closures simultaneously (used by node splits
+    /// that stream entries from an old node into a new one).
+    pub fn with_two_pages_mut<T>(
+        &mut self,
+        a: PageId,
+        b: PageId,
+        f: impl FnOnce(&mut [u8], &mut [u8]) -> T,
+    ) -> T {
+        assert_ne!(a, b);
+        let fa = self.fetch(a);
+        // Pin `a` by bumping its tick before fetching `b`, so `b`'s fetch
+        // cannot evict it (there are always >= 2 frames in practice; a
+        // 1-frame pool cannot support two simultaneous pages).
+        assert!(self.frames.len() >= 2, "two-page access needs >= 2 frames");
+        self.touch(fa);
+        let fb = self.fetch(b);
+        assert_ne!(fa, fb);
+        self.frames[fa].dirty = true;
+        self.frames[fb].dirty = true;
+        debug_assert_eq!(self.frames[fa].pid, Some(a), "frame A was evicted");
+        let (la, lb) = if fa < fb {
+            let (left, right) = self.frames.split_at_mut(fb);
+            (&mut left[fa], &mut right[0])
+        } else {
+            let (left, right) = self.frames.split_at_mut(fa);
+            (&mut right[0], &mut left[fb])
+        };
+        f(&mut la.data, &mut lb.data)
+    }
+
+    /// Write all dirty resident pages back to storage.
+    pub fn flush(&mut self) {
+        for i in 0..self.frames.len() {
+            if self.frames[i].dirty {
+                if let Some(pid) = self.frames[i].pid {
+                    self.storage.write_page(pid, &self.frames[i].data);
+                    self.frames[i].dirty = false;
+                    self.stats.writes += 1;
+                }
+            }
+        }
+    }
+
+    /// Drop every resident page (flushing dirty ones), emptying the pool.
+    /// Useful to measure cold-cache query costs.
+    pub fn clear(&mut self) {
+        self.flush();
+        for f in &mut self.frames {
+            f.pid = None;
+        }
+        self.resident.clear();
+    }
+
+    /// Consume the pool, flushing, and return the underlying storage.
+    pub fn into_storage(mut self) -> S {
+        self.flush();
+        self.storage
+    }
+
+    fn touch(&mut self, frame: usize) {
+        self.tick += 1;
+        self.frames[frame].last_used = self.tick;
+    }
+
+    fn fetch(&mut self, pid: PageId) -> usize {
+        if let Some(&frame) = self.resident.get(&pid) {
+            self.touch(frame);
+            return frame;
+        }
+        let frame = self.victim_frame();
+        self.install(frame, pid, false);
+        self.stats.reads += 1;
+        self.storage.read_page(pid, &mut self.frames[frame].data);
+        frame
+    }
+
+    /// Choose a frame to (re)use: an empty one if available, else the LRU
+    /// victim (written back if dirty).
+    fn victim_frame(&mut self) -> usize {
+        if let Some(i) = self.frames.iter().position(|f| f.pid.is_none()) {
+            return i;
+        }
+        let victim = self
+            .frames
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, f)| f.last_used)
+            .map(|(i, _)| i)
+            .expect("capacity >= 1");
+        if self.frames[victim].dirty {
+            let pid = self.frames[victim].pid.expect("occupied frame");
+            self.storage.write_page(pid, &self.frames[victim].data);
+            self.stats.writes += 1;
+        }
+        if let Some(pid) = self.frames[victim].pid {
+            self.resident.remove(&pid);
+        }
+        victim
+    }
+
+    fn install(&mut self, frame: usize, pid: PageId, dirty: bool) {
+        self.frames[frame].pid = Some(pid);
+        self.frames[frame].dirty = dirty;
+        self.resident.insert(pid, frame);
+        self.touch(frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(frames: usize) -> MemPool {
+        MemPool::in_memory(128, frames)
+    }
+
+    #[test]
+    fn allocate_is_zeroed_and_free_of_reads() {
+        let mut p = pool(4);
+        let a = p.allocate();
+        p.with_page(a, |d| assert!(d.iter().all(|&b| b == 0)));
+        assert_eq!(p.stats().reads, 0, "fresh pages cost no read");
+    }
+
+    #[test]
+    fn resident_pages_cost_nothing() {
+        let mut p = pool(4);
+        let a = p.allocate();
+        p.with_page_mut(a, |d| d[0] = 9);
+        for _ in 0..100 {
+            p.with_page(a, |d| assert_eq!(d[0], 9));
+        }
+        assert_eq!(p.stats(), DiskStats { reads: 0, writes: 0 });
+    }
+
+    #[test]
+    fn eviction_follows_lru_order() {
+        let mut p = pool(2);
+        let a = p.allocate();
+        let b = p.allocate();
+        let c = p.allocate(); // evicts a (LRU), which is dirty -> 1 write
+        assert_eq!(p.stats().writes, 1);
+        // b is resident, a is not.
+        p.with_page(b, |_| {});
+        assert_eq!(p.stats().reads, 0);
+        p.with_page(a, |_| {}); // miss: evicts c (dirty)
+        assert_eq!(p.stats().reads, 1);
+        assert_eq!(p.stats().writes, 2);
+        // Touch a, then load c: b must be the victim now (LRU).
+        p.with_page(a, |_| {});
+        p.with_page(c, |_| {});
+        assert_eq!(p.stats().reads, 2);
+        p.with_page(a, |_| {});
+        assert_eq!(p.stats().reads, 2, "a stayed resident");
+    }
+
+    #[test]
+    fn dirty_data_survives_eviction() {
+        let mut p = pool(2);
+        let a = p.allocate();
+        p.with_page_mut(a, |d| d[5] = 77);
+        // Force a out of the pool.
+        let _b = p.allocate();
+        let _c = p.allocate();
+        p.with_page(a, |d| assert_eq!(d[5], 77));
+    }
+
+    #[test]
+    fn clean_pages_evict_without_write() {
+        let mut p = pool(2);
+        let a = p.allocate();
+        let b = p.allocate();
+        p.flush();
+        let w = p.stats().writes;
+        // Re-read both (residents), then fault in a third page; the victim
+        // is clean, so no write.
+        p.with_page(a, |_| {});
+        p.with_page(b, |_| {});
+        let c = p.allocate();
+        let _ = c;
+        assert_eq!(p.stats().writes, w, "clean eviction writes nothing");
+    }
+
+    #[test]
+    fn flush_writes_each_dirty_page_once() {
+        let mut p = pool(8);
+        let pids: Vec<_> = (0..5).map(|_| p.allocate()).collect();
+        for &pid in &pids {
+            p.with_page_mut(pid, |d| d[0] = 1);
+        }
+        p.flush();
+        assert_eq!(p.stats().writes, 5);
+        p.flush();
+        assert_eq!(p.stats().writes, 5, "second flush is a no-op");
+    }
+
+    #[test]
+    fn free_reuses_pages_and_shrinks_footprint() {
+        let mut p = pool(4);
+        let a = p.allocate();
+        let _b = p.allocate();
+        assert_eq!(p.allocated_pages(), 2);
+        p.free(a);
+        assert_eq!(p.allocated_pages(), 1);
+        let c = p.allocate();
+        assert_eq!(c, a, "freed page is reused");
+        assert_eq!(p.allocated_pages(), 2);
+        assert_eq!(p.size_bytes(), 2 * 128);
+    }
+
+    #[test]
+    fn freed_page_contents_are_zeroed_on_reuse() {
+        let mut p = pool(4);
+        let a = p.allocate();
+        p.with_page_mut(a, |d| d.fill(0xAB));
+        p.free(a);
+        let b = p.allocate();
+        assert_eq!(b, a);
+        p.with_page(b, |d| assert!(d.iter().all(|&x| x == 0)));
+    }
+
+    #[test]
+    fn two_pages_mut_split_borrow() {
+        let mut p = pool(4);
+        let a = p.allocate();
+        let b = p.allocate();
+        p.with_two_pages_mut(a, b, |da, db| {
+            da[0] = 1;
+            db[0] = 2;
+        });
+        p.with_page(a, |d| assert_eq!(d[0], 1));
+        p.with_page(b, |d| assert_eq!(d[0], 2));
+        // Also in the reverse frame order.
+        p.with_two_pages_mut(b, a, |db, da| {
+            assert_eq!(db[0], 2);
+            assert_eq!(da[0], 1);
+        });
+    }
+
+    #[test]
+    fn two_pages_mut_works_when_neither_resident() {
+        let mut p = pool(2);
+        let a = p.allocate();
+        let b = p.allocate();
+        let c = p.allocate();
+        let d = p.allocate(); // a, b now evicted
+        let _ = (c, d);
+        p.with_two_pages_mut(a, b, |da, db| {
+            da[1] = 3;
+            db[1] = 4;
+        });
+        p.with_page(a, |x| assert_eq!(x[1], 3));
+        p.with_page(b, |x| assert_eq!(x[1], 4));
+    }
+
+    #[test]
+    fn clear_empties_pool_and_future_reads_miss() {
+        let mut p = pool(4);
+        let a = p.allocate();
+        p.clear();
+        p.reset_stats();
+        p.with_page(a, |_| {});
+        assert_eq!(p.stats().reads, 1, "cold read after clear");
+    }
+
+    #[test]
+    fn stats_subtraction() {
+        let a = DiskStats { reads: 10, writes: 4 };
+        let b = DiskStats { reads: 3, writes: 1 };
+        assert_eq!(a - b, DiskStats { reads: 7, writes: 3 });
+        assert_eq!((a - b).total(), 10);
+    }
+
+    #[test]
+    fn file_backed_pool_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("lsdb-pool-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pool.bin");
+        let pid;
+        {
+            let storage = crate::FileStorage::create(&path, 256).unwrap();
+            let mut p = BufferPool::new(storage, 2);
+            pid = p.allocate();
+            p.with_page_mut(pid, |d| d[10] = 123);
+            p.flush();
+        }
+        {
+            let storage = crate::FileStorage::open(&path, 256).unwrap();
+            let mut p = BufferPool::new(storage, 2);
+            p.with_page(pid, |d| assert_eq!(d[10], 123));
+            assert_eq!(p.stats().reads, 1);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

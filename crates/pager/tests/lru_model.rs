@@ -1,0 +1,128 @@
+//! Model-based property tests for the buffer pool: contents must always
+//! match a plain `Vec<Vec<u8>>` model regardless of the operation mix, and
+//! the read counter must match a reference LRU simulation.
+
+use lsdb_pager::{MemPool, PageId};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Allocate,
+    Write(usize, u8),
+    Read(usize),
+    Free(usize),
+    Flush,
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Allocate),
+        4 => (0usize..40, any::<u8>()).prop_map(|(i, v)| Op::Write(i, v)),
+        4 => (0usize..40).prop_map(Op::Read),
+        1 => (0usize..40).prop_map(Op::Free),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Clear),
+    ]
+}
+
+/// Reference LRU cache of page ids with the same counting rules.
+struct LruModel {
+    capacity: usize,
+    resident: VecDeque<u32>, // most-recent at back
+    reads: u64,
+}
+
+impl LruModel {
+    fn touch(&mut self, pid: u32, counts_read_if_absent: bool) {
+        if let Some(pos) = self.resident.iter().position(|&p| p == pid) {
+            self.resident.remove(pos);
+        } else {
+            if counts_read_if_absent {
+                self.reads += 1;
+            }
+            if self.resident.len() == self.capacity {
+                self.resident.pop_front();
+            }
+        }
+        self.resident.push_back(pid);
+    }
+
+    fn drop_page(&mut self, pid: u32) {
+        if let Some(pos) = self.resident.iter().position(|&p| p == pid) {
+            self.resident.remove(pos);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pool_matches_model(capacity in 1usize..6, ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let page_size = 64;
+        let mut pool = MemPool::in_memory(page_size, capacity);
+        let mut model: Vec<Option<Vec<u8>>> = Vec::new(); // None = freed
+        let mut lru = LruModel { capacity, resident: VecDeque::new(), reads: 0 };
+        let live = |model: &Vec<Option<Vec<u8>>>| -> Vec<usize> {
+            model.iter().enumerate().filter(|(_, p)| p.is_some()).map(|(i, _)| i).collect()
+        };
+        for op in ops {
+            match op {
+                Op::Allocate => {
+                    let pid = pool.allocate();
+                    // Reused pages keep their index; fresh pages append.
+                    if pid.index() == model.len() {
+                        model.push(Some(vec![0u8; page_size]));
+                    } else {
+                        assert!(model[pid.index()].is_none(), "allocator reused a live page");
+                        model[pid.index()] = Some(vec![0u8; page_size]);
+                    }
+                    lru.touch(pid.0, false); // fresh pages cost no read
+                }
+                Op::Write(i, v) => {
+                    let ids = live(&model);
+                    if ids.is_empty() { continue; }
+                    let id = ids[i % ids.len()];
+                    pool.with_page_mut(PageId(id as u32), |buf| {
+                        buf[id % page_size] = v;
+                    });
+                    model[id].as_mut().unwrap()[id % page_size] = v;
+                    lru.touch(id as u32, true);
+                }
+                Op::Read(i) => {
+                    let ids = live(&model);
+                    if ids.is_empty() { continue; }
+                    let id = ids[i % ids.len()];
+                    let got = pool.with_page(PageId(id as u32), |buf| buf.to_vec());
+                    prop_assert_eq!(&got, model[id].as_ref().unwrap(), "page {} contents", id);
+                    lru.touch(id as u32, true);
+                }
+                Op::Free(i) => {
+                    let ids = live(&model);
+                    if ids.is_empty() { continue; }
+                    let id = ids[i % ids.len()];
+                    pool.free(PageId(id as u32));
+                    model[id] = None;
+                    lru.drop_page(id as u32);
+                }
+                Op::Flush => pool.flush(),
+                Op::Clear => {
+                    pool.clear();
+                    lru.resident.clear();
+                }
+            }
+        }
+        // Reads must match the reference LRU exactly.
+        prop_assert_eq!(pool.stats().reads, lru.reads, "LRU read counting diverged");
+        // Every live page's contents survive a final cold read.
+        pool.clear();
+        for id in live(&model) {
+            let got = pool.with_page(PageId(id as u32), |buf| buf.to_vec());
+            prop_assert_eq!(&got, model[id].as_ref().unwrap(), "page {} after clear", id);
+        }
+        // Footprint equals live + freed-but-unreused pages.
+        prop_assert!(pool.allocated_pages() as usize <= model.len());
+    }
+}

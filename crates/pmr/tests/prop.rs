@@ -1,0 +1,120 @@
+//! Property tests for the PMR quadtree: Z-order partition invariants,
+//! q-edge completeness, oracle equivalence, and delete/merge round-trips,
+//! across random segment soups and random thresholds.
+
+use lsdb_core::{brute, IndexConfig, PolygonalMap, SegId, SpatialIndex};
+use lsdb_geom::morton::Block;
+use lsdb_geom::{Point, Rect, Segment};
+use lsdb_pmr::{PmrConfig, PmrQuadtree};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0..16384i32, 0..16384i32).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    (arb_point(), arb_point())
+        .prop_filter("non-degenerate", |(a, b)| a != b)
+        .prop_map(|(a, b)| Segment::new(a, b))
+}
+
+fn arb_map(max: usize) -> impl Strategy<Value = PolygonalMap> {
+    prop::collection::vec(arb_segment(), 1..max)
+        .prop_map(|segs| PolygonalMap::new("prop", segs))
+}
+
+fn cfg(threshold: usize) -> PmrConfig {
+    PmrConfig {
+        threshold,
+        max_depth: 10,
+        index: IndexConfig { page_size: 256, pool_pages: 8 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn queries_match_oracle(
+        map in arb_map(100),
+        threshold in 1usize..8,
+        probes in prop::collection::vec(arb_point(), 1..10),
+        windows in prop::collection::vec((arb_point(), arb_point()), 1..5),
+    ) {
+        let mut t = PmrQuadtree::build(&map, cfg(threshold));
+        t.check_invariants();
+        for &p in &probes {
+            prop_assert_eq!(
+                brute::sorted(t.find_incident(p)),
+                brute::incident(&map, p)
+            );
+            let got = t.nearest(p).unwrap();
+            let want = brute::nearest(&map, p).unwrap();
+            prop_assert_eq!(map.segments[got.index()].dist2_point(p), want.1);
+        }
+        for &(a, b) in &windows {
+            let w = Rect::bounding(a, b);
+            prop_assert_eq!(brute::sorted(t.window(w)), brute::window(&map, w));
+        }
+    }
+
+    #[test]
+    fn incident_at_real_endpoints(map in arb_map(80)) {
+        // Endpoint queries at every actual vertex — the exact use case of
+        // paper queries 1 and 2.
+        let mut t = PmrQuadtree::build(&map, cfg(4));
+        for s in map.segments.iter().take(25) {
+            for p in [s.a, s.b] {
+                prop_assert_eq!(
+                    brute::sorted(t.find_incident(p)),
+                    brute::incident(&map, p)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delete_all_merges_to_root(map in arb_map(70), threshold in 1usize..6) {
+        let mut t = PmrQuadtree::build(&map, cfg(threshold));
+        for i in 0..map.len() {
+            prop_assert!(t.remove(SegId(i as u32)));
+        }
+        prop_assert_eq!(t.len(), 0);
+        prop_assert_eq!(t.leaf_blocks(), vec![Block::ROOT]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn partial_delete_keeps_invariants(
+        map in arb_map(90),
+        delete_mask in prop::collection::vec(any::<bool>(), 90),
+    ) {
+        let mut t = PmrQuadtree::build(&map, cfg(3));
+        let mut kept = Vec::new();
+        for i in 0..map.len() {
+            if delete_mask[i] {
+                prop_assert!(t.remove(SegId(i as u32)));
+            } else {
+                kept.push(SegId(i as u32));
+            }
+        }
+        prop_assert_eq!(t.check_invariants(), kept.clone());
+        let w = Rect::new(0, 0, 16383, 16383);
+        prop_assert_eq!(brute::sorted(t.window(w)), kept);
+    }
+
+    #[test]
+    fn two_stage_generator_points_hit_leaf_blocks(map in arb_map(60)) {
+        // The leaf-block list feeds the paper's 2-stage point generator;
+        // its blocks must tile the world, so every generated point lies in
+        // exactly one block.
+        let mut t = PmrQuadtree::build(&map, cfg(2));
+        let blocks: Vec<Rect> = t.leaf_blocks().iter().map(|b| b.rect()).collect();
+        let mut gen = lsdb_core::pointgen::TwoStageGen::new(blocks.clone(), 5);
+        for _ in 0..50 {
+            let p = gen.next_point();
+            let containing = blocks.iter().filter(|b| b.contains_point(p)).count();
+            prop_assert_eq!(containing, 1);
+        }
+    }
+}

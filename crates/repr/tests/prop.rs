@@ -1,0 +1,85 @@
+//! Property tests for the representative-point 4-d grid: despite being the
+//! paper's §2 strawman, it must be *correct* — only its costs are bad.
+
+use lsdb_core::{brute, IndexConfig, PolygonalMap, SegId, SpatialIndex};
+use lsdb_geom::{Point, Rect, Segment};
+use lsdb_repr::ReprGrid;
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0..16384i32, 0..16384i32).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    (arb_point(), arb_point())
+        .prop_filter("non-degenerate", |(a, b)| a != b)
+        .prop_map(|(a, b)| Segment::new(a, b))
+}
+
+fn arb_map(max: usize) -> impl Strategy<Value = PolygonalMap> {
+    prop::collection::vec(arb_segment(), 1..max)
+        .prop_map(|segs| PolygonalMap::new("prop", segs))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn queries_match_oracle(
+        map in arb_map(60),
+        g in prop::sample::select(vec![2i32, 4, 8]),
+        probes in prop::collection::vec(arb_point(), 1..6),
+        windows in prop::collection::vec((arb_point(), arb_point()), 1..4),
+    ) {
+        let cfg = IndexConfig { page_size: 256, pool_pages: 8 };
+        let mut t = ReprGrid::build(&map, cfg, g);
+        for &p in &probes {
+            prop_assert_eq!(
+                brute::sorted(t.find_incident(p)),
+                brute::incident(&map, p)
+            );
+            let got = t.nearest(p).unwrap();
+            let want = brute::nearest(&map, p).unwrap();
+            prop_assert_eq!(map.segments[got.index()].dist2_point(p), want.1);
+        }
+        for &(a, b) in &windows {
+            let w = Rect::bounding(a, b);
+            prop_assert_eq!(brute::sorted(t.window(w)), brute::window(&map, w));
+        }
+    }
+
+    #[test]
+    fn incident_at_real_endpoints(map in arb_map(50)) {
+        // The rep-point index's one fast query: exact endpoint lookups.
+        let cfg = IndexConfig { page_size: 256, pool_pages: 8 };
+        let mut t = ReprGrid::build(&map, cfg, 8);
+        for s in map.segments.iter().take(20) {
+            for p in [s.a, s.b] {
+                prop_assert_eq!(
+                    brute::sorted(t.find_incident(p)),
+                    brute::incident(&map, p)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deletes_then_queries(
+        map in arb_map(50),
+        delete_mask in prop::collection::vec(any::<bool>(), 50),
+    ) {
+        let cfg = IndexConfig { page_size: 128, pool_pages: 8 };
+        let mut t = ReprGrid::build(&map, cfg, 4);
+        let mut kept = Vec::new();
+        for i in 0..map.len() {
+            if delete_mask[i] {
+                prop_assert!(t.remove(SegId(i as u32)));
+            } else {
+                kept.push(SegId(i as u32));
+            }
+        }
+        prop_assert_eq!(t.len(), kept.len());
+        let w = Rect::new(0, 0, 16383, 16383);
+        prop_assert_eq!(brute::sorted(t.window(w)), kept);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the hybrid R+-tree: oracle equivalence and the
+//! structural invariants specific to disjoint decompositions (region
+//! tiling, multi-leaf completeness).
+//!
+//! Maps use the full 1 KB node size (M = 50), so random segment soups
+//! cannot hit the documented >M-per-unit-cell limit.
+
+use lsdb_core::{brute, IndexConfig, PolygonalMap, SegId, SpatialIndex};
+use lsdb_geom::{Point, Rect, Segment};
+use lsdb_rplus::RPlusTree;
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0..16384i32, 0..16384i32).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    (arb_point(), arb_point())
+        .prop_filter("non-degenerate", |(a, b)| a != b)
+        .prop_map(|(a, b)| Segment::new(a, b))
+}
+
+fn arb_map(max: usize) -> impl Strategy<Value = PolygonalMap> {
+    prop::collection::vec(arb_segment(), 1..max)
+        .prop_map(|segs| PolygonalMap::new("prop", segs))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn queries_match_oracle(
+        map in arb_map(220),
+        probes in prop::collection::vec(arb_point(), 1..10),
+        windows in prop::collection::vec((arb_point(), arb_point()), 1..5),
+    ) {
+        let mut t = RPlusTree::build(&map, IndexConfig::default());
+        t.check_invariants();
+        for &p in &probes {
+            prop_assert_eq!(
+                brute::sorted(t.find_incident(p)),
+                brute::incident(&map, p)
+            );
+            let got = t.nearest(p).unwrap();
+            let want = brute::nearest(&map, p).unwrap();
+            prop_assert_eq!(map.segments[got.index()].dist2_point(p), want.1);
+        }
+        for &(a, b) in &windows {
+            let w = Rect::bounding(a, b);
+            prop_assert_eq!(brute::sorted(t.window(w)), brute::window(&map, w));
+        }
+    }
+
+    #[test]
+    fn deletes_then_queries(
+        map in arb_map(160),
+        delete_mask in prop::collection::vec(any::<bool>(), 160),
+        probe in arb_point(),
+    ) {
+        let mut t = RPlusTree::build(&map, IndexConfig::default());
+        let mut kept = Vec::new();
+        for i in 0..map.len() {
+            if delete_mask[i] {
+                prop_assert!(t.remove(SegId(i as u32)));
+            } else {
+                kept.push(SegId(i as u32));
+            }
+        }
+        if delete_mask[0] {
+            prop_assert!(!t.remove(SegId(0)), "double remove must fail");
+        }
+        prop_assert_eq!(t.len(), kept.len());
+        let w = Rect::new(0, 0, 16383, 16383);
+        let want: Vec<SegId> = kept.clone();
+        prop_assert_eq!(brute::sorted(t.window(w)), want);
+        if !kept.is_empty() {
+            let got = t.nearest(probe).unwrap();
+            let best = kept
+                .iter()
+                .map(|id| map.segments[id.index()].dist2_point(probe))
+                .min()
+                .unwrap();
+            prop_assert_eq!(map.segments[got.index()].dist2_point(probe), best);
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_geometry_is_handled(
+        // Long, parallel, closely spaced segments maximize region-boundary
+        // crossings and multi-leaf redundancy.
+        ys in prop::collection::vec(0..16384i32, 30..120),
+    ) {
+        let segs: Vec<Segment> = ys
+            .iter()
+            .map(|&y| Segment::new(Point::new(0, y), Point::new(16383, y)))
+            .collect();
+        let map = PolygonalMap::new("hlines", segs);
+        let mut t = RPlusTree::build(&map, IndexConfig::default());
+        t.check_invariants();
+        let w = Rect::new(5000, 0, 5100, 16383);
+        prop_assert_eq!(brute::sorted(t.window(w)), brute::window(&map, w));
+    }
+}

@@ -1,0 +1,351 @@
+//! Node split policies for the R-tree family.
+//!
+//! The paper's structure is the R\*-tree: "the axis is determined by
+//! examining all of the possible vertical and horizontal splits ... and
+//! choosing the split for which the sum of the perimeters of the two
+//! constituent nodes is minimized. [Then] we choose the split among the
+//! M − 2m + 2 possibilities that results in a minimal amount of overlap."
+//! Guttman's quadratic and linear splits are provided as baselines for the
+//! ablation benchmarks.
+
+use lsdb_core::rectnode::Entry;
+#[cfg(test)]
+use lsdb_core::rectnode::entries_mbr;
+use lsdb_geom::Rect;
+
+/// Which R-tree variant's insertion/split algorithms to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RTreeKind {
+    /// Beckmann et al.'s R\*-tree: margin-driven split axis, overlap-driven
+    /// split index, forced reinsertion — the structure the paper evaluates.
+    RStar,
+    /// Guttman's R-tree with the quadratic-cost split.
+    Quadratic,
+    /// Guttman's R-tree with the linear-cost split.
+    Linear,
+}
+
+impl RTreeKind {
+    pub fn display_name(self) -> &'static str {
+        match self {
+            RTreeKind::RStar => "R*-tree",
+            RTreeKind::Quadratic => "R-tree (quadratic)",
+            RTreeKind::Linear => "R-tree (linear)",
+        }
+    }
+}
+
+/// Split `entries` (M+1 of them) into two groups of at least `m_min` each.
+pub fn split(kind: RTreeKind, entries: Vec<Entry>, m_min: usize) -> (Vec<Entry>, Vec<Entry>) {
+    debug_assert!(entries.len() >= 2 * m_min, "too few entries to split");
+    let (a, b) = match kind {
+        RTreeKind::RStar => rstar_split(entries, m_min),
+        RTreeKind::Quadratic => quadratic_split(entries, m_min),
+        RTreeKind::Linear => linear_split(entries, m_min),
+    };
+    debug_assert!(a.len() >= m_min && b.len() >= m_min);
+    (a, b)
+}
+
+/// Prefix and suffix MBR arrays for a sorted entry sequence: `pre[i]` is
+/// the MBR of `entries[..=i]`, `suf[i]` of `entries[i..]`.
+fn prefix_suffix_mbrs(entries: &[Entry]) -> (Vec<Rect>, Vec<Rect>) {
+    let n = entries.len();
+    let mut pre = Vec::with_capacity(n);
+    let mut acc = entries[0].rect;
+    for e in entries {
+        acc = acc.union(&e.rect);
+        pre.push(acc);
+    }
+    let mut suf = vec![entries[n - 1].rect; n];
+    let mut acc = entries[n - 1].rect;
+    for i in (0..n).rev() {
+        acc = acc.union(&entries[i].rect);
+        suf[i] = acc;
+    }
+    (pre, suf)
+}
+
+fn rstar_split(entries: Vec<Entry>, m: usize) -> (Vec<Entry>, Vec<Entry>) {
+    let n = entries.len();
+    // For each axis, two sortings: by lower then by upper coordinate.
+    let sortings = |axis_x: bool| -> [Vec<Entry>; 2] {
+        let mut by_lower = entries.clone();
+        let mut by_upper = entries.clone();
+        if axis_x {
+            by_lower.sort_by_key(|e| (e.rect.min.x, e.rect.max.x));
+            by_upper.sort_by_key(|e| (e.rect.max.x, e.rect.min.x));
+        } else {
+            by_lower.sort_by_key(|e| (e.rect.min.y, e.rect.max.y));
+            by_upper.sort_by_key(|e| (e.rect.max.y, e.rect.min.y));
+        }
+        [by_lower, by_upper]
+    };
+
+    // ChooseSplitAxis: minimize the margin sum over all distributions.
+    let margin_sum = |sorted: &[Vec<Entry>; 2]| -> i64 {
+        let mut s = 0;
+        for seq in sorted {
+            let (pre, suf) = prefix_suffix_mbrs(seq);
+            for k in m..=(n - m) {
+                s += pre[k - 1].margin() + suf[k].margin();
+            }
+        }
+        s
+    };
+    let x_sorts = sortings(true);
+    let y_sorts = sortings(false);
+    let chosen = if margin_sum(&x_sorts) <= margin_sum(&y_sorts) {
+        x_sorts
+    } else {
+        y_sorts
+    };
+
+    // ChooseSplitIndex: minimal overlap, ties by minimal total area.
+    let mut best: Option<(i64, i64, usize, usize)> = None; // (overlap, area, seq, k)
+    for (si, seq) in chosen.iter().enumerate() {
+        let (pre, suf) = prefix_suffix_mbrs(seq);
+        for k in m..=(n - m) {
+            let overlap = pre[k - 1].overlap_area(&suf[k]);
+            let area = pre[k - 1].area() + suf[k].area();
+            if best.is_none_or(|(bo, ba, _, _)| (overlap, area) < (bo, ba)) {
+                best = Some((overlap, area, si, k));
+            }
+        }
+    }
+    let (_, _, si, k) = best.expect("at least one distribution");
+    let mut seq = chosen[si].clone();
+    let right = seq.split_off(k);
+    (seq, right)
+}
+
+fn quadratic_split(entries: Vec<Entry>, m: usize) -> (Vec<Entry>, Vec<Entry>) {
+    let n = entries.len();
+    // PickSeeds: the pair wasting the most area together.
+    let mut seed = (0, 1);
+    let mut worst = i64::MIN;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = entries[i].rect.union(&entries[j].rect).area()
+                - entries[i].rect.area()
+                - entries[j].rect.area();
+            if d > worst {
+                worst = d;
+                seed = (i, j);
+            }
+        }
+    }
+    let mut g1 = vec![entries[seed.0]];
+    let mut g2 = vec![entries[seed.1]];
+    let mut bb1 = entries[seed.0].rect;
+    let mut bb2 = entries[seed.1].rect;
+    let mut rest: Vec<Entry> = entries
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| *i != seed.0 && *i != seed.1)
+        .map(|(_, e)| e)
+        .collect();
+
+    while !rest.is_empty() {
+        // Force-assign when one group needs all the rest to reach m.
+        if g1.len() + rest.len() == m {
+            g1.append(&mut rest);
+            break;
+        }
+        if g2.len() + rest.len() == m {
+            g2.append(&mut rest);
+            break;
+        }
+        // PickNext: maximize preference difference.
+        let mut pick = 0;
+        let mut best_diff = -1i64;
+        for (i, e) in rest.iter().enumerate() {
+            let d1 = bb1.enlargement(&e.rect);
+            let d2 = bb2.enlargement(&e.rect);
+            let diff = (d1 - d2).abs();
+            if diff > best_diff {
+                best_diff = diff;
+                pick = i;
+            }
+        }
+        let e = rest.swap_remove(pick);
+        let d1 = bb1.enlargement(&e.rect);
+        let d2 = bb2.enlargement(&e.rect);
+        let to_g1 = (d1, bb1.area(), g1.len()) < (d2, bb2.area(), g2.len());
+        if to_g1 {
+            bb1 = bb1.union(&e.rect);
+            g1.push(e);
+        } else {
+            bb2 = bb2.union(&e.rect);
+            g2.push(e);
+        }
+    }
+    (g1, g2)
+}
+
+fn linear_split(entries: Vec<Entry>, m: usize) -> (Vec<Entry>, Vec<Entry>) {
+    let n = entries.len();
+    // LinearPickSeeds: per axis, the entry with the greatest lower bound
+    // and the one with the least upper bound; normalize separation by the
+    // total span and take the axis with the greater value.
+    let pick = |lo: &dyn Fn(&Entry) -> i32, hi: &dyn Fn(&Entry) -> i32| -> (usize, usize, f64) {
+        let mut highest_low = 0;
+        let mut lowest_high = 0;
+        for i in 1..n {
+            if lo(&entries[i]) > lo(&entries[highest_low]) {
+                highest_low = i;
+            }
+            if hi(&entries[i]) < hi(&entries[lowest_high]) {
+                lowest_high = i;
+            }
+        }
+        let span_lo = entries.iter().map(lo).min().unwrap();
+        let span_hi = entries.iter().map(hi).max().unwrap();
+        let span = (span_hi - span_lo).max(1) as f64;
+        let sep = (lo(&entries[highest_low]) - hi(&entries[lowest_high])) as f64 / span;
+        (highest_low, lowest_high, sep)
+    };
+    let (xa, xb, xsep) = pick(&|e| e.rect.min.x, &|e| e.rect.max.x);
+    let (ya, yb, ysep) = pick(&|e| e.rect.min.y, &|e| e.rect.max.y);
+    let (mut s1, mut s2) = if xsep >= ysep { (xa, xb) } else { (ya, yb) };
+    if s1 == s2 {
+        // Degenerate (e.g. identical rects): any two distinct entries.
+        s2 = if s1 == 0 { 1 } else { 0 };
+    }
+    if s1 > s2 {
+        std::mem::swap(&mut s1, &mut s2);
+    }
+    let mut g1 = vec![entries[s1]];
+    let mut g2 = vec![entries[s2]];
+    let mut bb1 = entries[s1].rect;
+    let mut bb2 = entries[s2].rect;
+    let rest: Vec<Entry> = entries
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| *i != s1 && *i != s2)
+        .map(|(_, e)| e)
+        .collect();
+    for (i, e) in rest.iter().enumerate() {
+        // Force-assign when a group needs every remaining entry to reach m.
+        let remaining = rest.len() - i;
+        if g1.len() + remaining == m {
+            g1.extend_from_slice(&rest[i..]);
+            break;
+        }
+        if g2.len() + remaining == m {
+            g2.extend_from_slice(&rest[i..]);
+            break;
+        }
+        let d1 = bb1.enlargement(&e.rect);
+        let d2 = bb2.enlargement(&e.rect);
+        if (d1, bb1.area(), g1.len()) <= (d2, bb2.area(), g2.len()) {
+            bb1 = bb1.union(&e.rect);
+            g1.push(*e);
+        } else {
+            bb2 = bb2.union(&e.rect);
+            g2.push(*e);
+        }
+    }
+    (g1, g2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(x0: i32, y0: i32, x1: i32, y1: i32, child: u32) -> Entry {
+        Entry {
+            rect: Rect::new(x0, y0, x1, y1),
+            child,
+        }
+    }
+
+    fn check_partition(kind: RTreeKind, entries: Vec<Entry>, m: usize) -> (Vec<Entry>, Vec<Entry>) {
+        let mut ids: Vec<u32> = entries.iter().map(|x| x.child).collect();
+        ids.sort_unstable();
+        let (a, b) = split(kind, entries, m);
+        assert!(a.len() >= m, "{kind:?}: left {} < m {m}", a.len());
+        assert!(b.len() >= m, "{kind:?}: right {} < m {m}", b.len());
+        let mut got: Vec<u32> = a.iter().chain(&b).map(|x| x.child).collect();
+        got.sort_unstable();
+        assert_eq!(got, ids, "{kind:?}: split lost or duplicated entries");
+        (a, b)
+    }
+
+    fn all_kinds() -> [RTreeKind; 3] {
+        [RTreeKind::RStar, RTreeKind::Quadratic, RTreeKind::Linear]
+    }
+
+    #[test]
+    fn two_clusters_separate_cleanly() {
+        // Two well-separated clusters of 4: every policy should cut
+        // between them.
+        for kind in all_kinds() {
+            let mut entries = Vec::new();
+            for i in 0..4 {
+                entries.push(e(i, i, i + 1, i + 1, i as u32));
+            }
+            for i in 0..4 {
+                entries.push(e(1000 + i, 1000 + i, 1001 + i, 1001 + i, 100 + i as u32));
+            }
+            let (a, b) = check_partition(kind, entries, 3);
+            let (left, right) = if a[0].child < 100 { (a, b) } else { (b, a) };
+            assert!(left.iter().all(|x| x.child < 100), "{kind:?}");
+            assert!(right.iter().all(|x| x.child >= 100), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn rstar_split_has_zero_overlap_on_grid() {
+        // A 4x2 grid of disjoint unit squares: the best distribution has
+        // zero overlap.
+        let mut entries = Vec::new();
+        for i in 0..4 {
+            for j in 0..2 {
+                entries.push(e(i * 10, j * 10, i * 10 + 5, j * 10 + 5, (i * 2 + j) as u32));
+            }
+        }
+        let (a, b) = check_partition(RTreeKind::RStar, entries, 3);
+        let ra = entries_mbr(&a);
+        let rb = entries_mbr(&b);
+        assert_eq!(ra.overlap_area(&rb), 0);
+    }
+
+    #[test]
+    fn identical_rects_still_split_legally() {
+        for kind in all_kinds() {
+            let entries = (0..6).map(|i| e(5, 5, 6, 6, i)).collect();
+            check_partition(kind, entries, 2);
+        }
+    }
+
+    #[test]
+    fn minimum_size_split() {
+        // Exactly 2m entries: both groups get exactly m.
+        for kind in all_kinds() {
+            let entries = (0..6).map(|i| e(i * 3, 0, i * 3 + 2, 2, i as u32)).collect();
+            let (a, b) = check_partition(kind, entries, 3);
+            assert_eq!(a.len(), 3);
+            assert_eq!(b.len(), 3);
+        }
+    }
+
+    #[test]
+    fn degenerate_point_rects() {
+        for kind in all_kinds() {
+            let entries = (0..8).map(|i| e(i, 2 * i, i, 2 * i, i as u32)).collect();
+            check_partition(kind, entries, 3);
+        }
+    }
+
+    #[test]
+    fn split_respects_m_with_skewed_distribution() {
+        // One far outlier plus a dense cluster: the outlier's group must
+        // still reach m via force-assignment.
+        for kind in all_kinds() {
+            let mut entries: Vec<Entry> = (0..7).map(|i| e(i, 0, i + 1, 1, i as u32)).collect();
+            entries.push(e(10_000, 10_000, 10_001, 10_001, 99));
+            check_partition(kind, entries, 3);
+        }
+    }
+}

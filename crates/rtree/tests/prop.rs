@@ -1,0 +1,114 @@
+//! Property tests: every R-tree variant must agree with the brute-force
+//! oracle on all queries, for arbitrary segment soups (R-trees do not
+//! require planar input) and arbitrary delete subsets, while maintaining
+//! its structural invariants.
+
+use lsdb_core::{brute, IndexConfig, PolygonalMap, SegId, SpatialIndex};
+use lsdb_geom::{Point, Rect, Segment};
+use lsdb_rtree::{RTree, RTreeKind};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0..16384i32, 0..16384i32).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    (arb_point(), arb_point())
+        .prop_filter("non-degenerate", |(a, b)| a != b)
+        .prop_map(|(a, b)| Segment::new(a, b))
+}
+
+fn arb_map(max: usize) -> impl Strategy<Value = PolygonalMap> {
+    prop::collection::vec(arb_segment(), 1..max)
+        .prop_map(|segs| PolygonalMap::new("prop", segs))
+}
+
+fn small_cfg() -> IndexConfig {
+    // M = 10: deep trees at small n.
+    IndexConfig { page_size: 224, pool_pages: 8 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn queries_match_oracle(
+        map in arb_map(120),
+        probes in prop::collection::vec(arb_point(), 1..12),
+        windows in prop::collection::vec((arb_point(), arb_point()), 1..6),
+        kind_ix in 0usize..3,
+    ) {
+        let kind = [RTreeKind::RStar, RTreeKind::Quadratic, RTreeKind::Linear][kind_ix];
+        let mut t = RTree::build(&map, small_cfg(), kind);
+        t.check_invariants();
+        for &p in &probes {
+            prop_assert_eq!(
+                brute::sorted(t.find_incident(p)),
+                brute::incident(&map, p)
+            );
+            let got = t.nearest(p).unwrap();
+            let want = brute::nearest(&map, p).unwrap();
+            prop_assert_eq!(map.segments[got.index()].dist2_point(p), want.1);
+        }
+        for &(a, b) in &windows {
+            let w = Rect::bounding(a, b);
+            prop_assert_eq!(brute::sorted(t.window(w)), brute::window(&map, w));
+        }
+    }
+
+    #[test]
+    fn deletes_preserve_invariants_and_answers(
+        map in arb_map(90),
+        delete_mask in prop::collection::vec(any::<bool>(), 90),
+        probe in arb_point(),
+        kind_ix in 0usize..3,
+    ) {
+        let kind = [RTreeKind::RStar, RTreeKind::Quadratic, RTreeKind::Linear][kind_ix];
+        let mut t = RTree::build(&map, small_cfg(), kind);
+        let mut kept: Vec<SegId> = Vec::new();
+        for i in 0..map.len() {
+            if delete_mask[i] {
+                prop_assert!(t.remove(SegId(i as u32)));
+            } else {
+                kept.push(SegId(i as u32));
+            }
+        }
+        prop_assert_eq!(t.check_invariants(), kept.clone());
+        // Window answers equal the filtered oracle.
+        let w = Rect::new(0, 0, 16383, 16383);
+        let want: Vec<SegId> = brute::window(&map, w)
+            .into_iter()
+            .filter(|id| !delete_mask[id.index()])
+            .collect();
+        prop_assert_eq!(brute::sorted(t.window(w)), want);
+        // Nearest still exact over the survivors.
+        if !kept.is_empty() {
+            let got = t.nearest(probe).unwrap();
+            let best = kept
+                .iter()
+                .map(|id| map.segments[id.index()].dist2_point(probe))
+                .min()
+                .unwrap();
+            prop_assert_eq!(map.segments[got.index()].dist2_point(probe), best);
+        } else {
+            prop_assert_eq!(t.nearest(probe), None);
+        }
+    }
+
+    #[test]
+    fn rebuild_after_full_delete(map in arb_map(60)) {
+        let mut t = RTree::build(&map, small_cfg(), RTreeKind::RStar);
+        for i in 0..map.len() {
+            prop_assert!(t.remove(SegId(i as u32)));
+        }
+        prop_assert_eq!(t.len(), 0);
+        for i in 0..map.len() {
+            t.insert(SegId(i as u32));
+        }
+        t.check_invariants();
+        let p = Point::new(8000, 8000);
+        let got = t.nearest(p).unwrap();
+        let want = brute::nearest(&map, p).unwrap();
+        prop_assert_eq!(map.segments[got.index()].dist2_point(p), want.1);
+    }
+}

@@ -1,0 +1,418 @@
+use lsdb_core::PolygonalMap;
+use lsdb_geom::{Point, WORLD_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Character of a synthetic county.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CountyClass {
+    /// Fine jittered street grid; polygons are small city blocks.
+    Urban,
+    /// Mixture of straight streets and moderately meandering roads.
+    Suburban,
+    /// Coarse grid of meandering roads; every road is a `meander`-segment
+    /// polyline, so polygons are large.
+    Rural {
+        /// Sub-segments per road.
+        meander: usize,
+    },
+}
+
+/// Specification of a synthetic county map.
+#[derive(Clone, Debug)]
+pub struct CountySpec {
+    pub name: String,
+    pub class: CountyClass,
+    /// Desired segment count; the generator lands at or slightly below it.
+    pub target_segments: usize,
+    pub seed: u64,
+}
+
+impl CountySpec {
+    pub fn new(name: &str, class: CountyClass, target_segments: usize, seed: u64) -> Self {
+        CountySpec {
+            name: name.to_string(),
+            class,
+            target_segments,
+            seed,
+        }
+    }
+
+    /// The same county scaled to a different size (for tests and quick
+    /// examples).
+    pub fn with_target(mut self, target_segments: usize) -> Self {
+        self.target_segments = target_segments;
+        self
+    }
+}
+
+/// One road: the polyline of points from one grid vertex to a neighbour.
+struct Road {
+    points: Vec<Point>,
+}
+
+impl Road {
+    fn segment_count(&self) -> usize {
+        self.points.len() - 1
+    }
+}
+
+/// Generate the synthetic county map. Deterministic in the spec.
+///
+/// Planarity by construction: every road stays strictly inside the
+/// "diamond" around its grid edge — the convex region
+/// `|offset(t)| <= 0.7 · L · min(t, 1-t) - 1` (capped by the channel
+/// amplitude) — so roads of different edges can only meet at shared grid
+/// vertices, where all offsets are zero.
+pub fn generate(spec: &CountySpec) -> PolygonalMap {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let avg_k = match spec.class {
+        CountyClass::Urban => 1.0,
+        CountyClass::Suburban => 4.0,
+        CountyClass::Rural { meander } => meander as f64,
+    };
+    // County boundary: an ellipse inscribed in the world. Real counties do
+    // not fill their minimum bounding square — the paper notes that
+    // uniformly random query points often fall "outside the boundaries of
+    // the maps of interest, or in large empty areas", which drives its
+    // 1-stage vs 2-stage contrast. Roads whose grid edge lies outside the
+    // boundary are dropped.
+    let fa: f64 = rng.gen_range(0.46..0.50);
+    let fb: f64 = rng.gen_range(0.46..0.50);
+    // Superellipse (exponent 4): a squarish county with rounded-off
+    // corners and margins, covering ~85% of its bounding square. The
+    // Gamma-function constant 3.7081 is 4·(Γ(5/4))²/Γ(3/2) for exponent 4.
+    let fill = 3.7081_f64 / 4.0 * (2.0 * fa) * (2.0 * fb);
+    let inside_county = |p: Point| -> bool {
+        let half = (WORLD_SIZE / 2) as f64;
+        let dx = (p.x as f64 - half) / (fa * WORLD_SIZE as f64);
+        let dy = (p.y as f64 - half) / (fb * WORLD_SIZE as f64);
+        dx.powi(4) + dy.powi(4) <= 1.0
+    };
+    // edges ≈ 2·n·(n+1) of which `fill` survive; solve 2n²·avg_k·fill ≈ target.
+    let n = ((spec.target_segments as f64 / (2.0 * avg_k * fill))
+        .sqrt()
+        .floor() as i32)
+        .max(2);
+    let cell = (WORLD_SIZE - 1) / n;
+    assert!(cell >= 8, "target too large for the world resolution");
+
+    // Grid vertex positions. Urban maps jitter whole rows and columns
+    // (streets stay perfectly straight and axis-parallel, but block sizes
+    // vary — the shape of a planned city in TIGER/Line, where urban
+    // streets are dominated by exactly horizontal/vertical segments).
+    // Jitter below cell/4 trivially preserves planarity.
+    let jitter = match spec.class {
+        CountyClass::Urban => cell / 5,
+        _ => 0,
+    };
+    let axis_offsets = |rng: &mut StdRng| -> Vec<i32> {
+        (0..=n)
+            .map(|_| if jitter > 0 { rng.gen_range(-jitter..=jitter) } else { 0 })
+            .collect()
+    };
+    let col_off = axis_offsets(&mut rng);
+    let row_off = axis_offsets(&mut rng);
+    let mut vertex = vec![Point::new(0, 0); ((n + 1) * (n + 1)) as usize];
+    for j in 0..=n {
+        for i in 0..=n {
+            vertex[(j * (n + 1) + i) as usize] = Point::new(
+                (i * cell + col_off[i as usize]).clamp(0, WORLD_SIZE - 1),
+                (j * cell + row_off[j as usize]).clamp(0, WORLD_SIZE - 1),
+            );
+        }
+    }
+
+    // Per-road sub-segment count.
+    let road_k = |rng: &mut StdRng| -> usize {
+        match spec.class {
+            CountyClass::Urban => 1,
+            CountyClass::Suburban => {
+                if rng.gen_bool(0.5) {
+                    1
+                } else {
+                    rng.gen_range(4..=10)
+                }
+            }
+            CountyClass::Rural { meander } => {
+                let lo = (meander * 3 / 4).max(2);
+                rng.gen_range(lo..=meander + meander / 4)
+            }
+        }
+    };
+    let drop_prob = match spec.class {
+        CountyClass::Urban => 0.04,
+        CountyClass::Suburban => 0.03,
+        CountyClass::Rural { .. } => 0.02,
+    };
+
+    let mut roads: Vec<Road> = Vec::new();
+    let vid = |i: i32, j: i32| ((j * (n + 1)) + i) as usize;
+    for j in 0..=n {
+        for i in 0..=n {
+            // Horizontal edge (i,j)-(i+1,j) and vertical edge (i,j)-(i,j+1).
+            for (di, dj) in [(1, 0), (0, 1)] {
+                let (i2, j2) = (i + di, j + dj);
+                if i2 > n || j2 > n {
+                    continue;
+                }
+                if rng.gen_bool(drop_prob) {
+                    continue;
+                }
+                let k = road_k(&mut rng);
+                let from = vertex[vid(i, j)];
+                let to = vertex[vid(i2, j2)];
+                // Roads outside the county boundary do not exist; the RNG
+                // draws above keep the stream aligned either way.
+                let mid = Point::new((from.x + to.x) / 2, (from.y + to.y) / 2);
+                if !inside_county(mid) {
+                    continue;
+                }
+                roads.push(meander_road(&mut rng, from, to, k, cell, jitter > 0));
+            }
+        }
+    }
+
+    // Trim whole roads at random until at or below the target count.
+    let mut total: usize = roads.iter().map(Road::segment_count).sum();
+    while total > spec.target_segments && roads.len() > 1 {
+        let victim = rng.gen_range(0..roads.len());
+        total -= roads[victim].segment_count();
+        roads.swap_remove(victim);
+    }
+
+    let mut segments = Vec::with_capacity(total);
+    for r in &roads {
+        for w in r.points.windows(2) {
+            segments.push(lsdb_geom::Segment::new(w[0], w[1]));
+        }
+    }
+    prune_dangling_chains(&mut segments);
+    PolygonalMap::new(spec.name.clone(), segments)
+}
+
+/// Iteratively remove segments with a free (degree-1) endpoint. County
+/// clipping leaves road stubs dangling over the boundary; without pruning
+/// the map's outer face detours into every stub and the paper's
+/// enclosing-polygon walks from outside points become pathologically long.
+fn prune_dangling_chains(segments: &mut Vec<lsdb_geom::Segment>) {
+    use std::collections::HashMap;
+    let mut degree: HashMap<Point, u32> = HashMap::new();
+    for s in segments.iter() {
+        *degree.entry(s.a).or_default() += 1;
+        *degree.entry(s.b).or_default() += 1;
+    }
+    loop {
+        let before = segments.len();
+        segments.retain(|s| {
+            if degree[&s.a] == 1 || degree[&s.b] == 1 {
+                *degree.get_mut(&s.a).unwrap() -= 1;
+                *degree.get_mut(&s.b).unwrap() -= 1;
+                false
+            } else {
+                true
+            }
+        });
+        if segments.len() == before {
+            return;
+        }
+    }
+}
+
+/// Build one road from `from` to `to` as a `k`-segment polyline meandering
+/// inside the edge's diamond envelope. `from`/`to` are endpoints of an
+/// (unjittered: rural/suburban, or jittered: urban with k = 1) grid edge.
+fn meander_road(rng: &mut StdRng, from: Point, to: Point, k: usize, cell: i32, jittered: bool) -> Road {
+    if k <= 1 || jittered {
+        return Road { points: vec![from, to] };
+    }
+    let horizontal = (to.y - from.y).abs() < (to.x - from.x).abs();
+    let len = if horizontal { to.x - from.x } else { to.y - from.y };
+    debug_assert!(len > 0, "grid edges point in +x/+y");
+    let k = k.min((len / 2).max(1) as usize);
+    if k <= 1 {
+        return Road { points: vec![from, to] };
+    }
+    // Smooth bounded noise: two random sinusoids, normalized to [-1, 1].
+    let a1: f64 = rng.gen_range(0.4..1.0);
+    let a2: f64 = rng.gen_range(0.2..0.8);
+    let f1: f64 = rng.gen_range(0.8..2.0);
+    let f2: f64 = rng.gen_range(2.5..5.5);
+    let p1: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let p2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let amp = 0.3 * cell as f64;
+    let mut points = Vec::with_capacity(k + 1);
+    points.push(from);
+    for i in 1..k {
+        let t = i as f64 / k as f64;
+        let along = ((len as f64) * t).round() as i32;
+        // Diamond envelope: strictly inside the 45° cones at both ends.
+        let env = (0.7 * len as f64 * t.min(1.0 - t) - 1.0).min(amp).max(0.0);
+        let noise = (a1 * (std::f64::consts::TAU * (f1 * t) + p1).sin()
+            + a2 * (std::f64::consts::TAU * (f2 * t) + p2).sin())
+            / (a1 + a2);
+        let off = (env * noise).round() as i32;
+        let mut off = off.clamp(-(env as i32), env as i32);
+        // Boundary edges fold their meander inward so the road stays in
+        // the world; the folded offset respects the same envelope, so the
+        // planarity argument is unchanged.
+        let base = if horizontal { from.y } else { from.x };
+        if base + off < 0 || base + off > WORLD_SIZE - 1 {
+            off = -off;
+        }
+        let p = if horizontal {
+            Point::new(from.x + along, from.y + off)
+        } else {
+            Point::new(from.x + off, from.y + along)
+        };
+        points.push(p);
+    }
+    points.push(to);
+    points.dedup();
+    Road { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(class: CountyClass, target: usize, seed: u64) -> PolygonalMap {
+        generate(&CountySpec::new("test", class, target, seed))
+    }
+
+    #[test]
+    fn urban_is_planar_and_normalized() {
+        let m = small(CountyClass::Urban, 3000, 1);
+        assert!(m.len() > 2000, "got {}", m.len());
+        assert!(m.len() <= 3000);
+        assert!(m.is_normalized());
+        m.validate_planar().expect("urban map must be planar");
+    }
+
+    #[test]
+    fn rural_is_planar_and_normalized() {
+        let m = small(CountyClass::Rural { meander: 30 }, 4000, 2);
+        assert!(m.len() > 2500, "got {}", m.len());
+        assert!(m.is_normalized());
+        m.validate_planar().expect("rural map must be planar");
+    }
+
+    #[test]
+    fn suburban_is_planar_and_normalized() {
+        let m = small(CountyClass::Suburban, 4000, 3);
+        assert!(m.len() > 2500, "got {}", m.len());
+        assert!(m.is_normalized());
+        m.validate_planar().expect("suburban map must be planar");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small(CountyClass::Rural { meander: 20 }, 2000, 42);
+        let b = small(CountyClass::Rural { meander: 20 }, 2000, 42);
+        assert_eq!(a.segments, b.segments);
+        let c = small(CountyClass::Rural { meander: 20 }, 2000, 43);
+        assert_ne!(a.segments, c.segments, "different seeds differ");
+    }
+
+    #[test]
+    fn rural_segments_are_shorter_than_urban() {
+        // Meandering chops roads into many short pieces: mean segment
+        // length must be far below the urban street length.
+        let avg_len = |m: &PolygonalMap| {
+            m.segments
+                .iter()
+                .map(|s| (s.len2() as f64).sqrt())
+                .sum::<f64>()
+                / m.len() as f64
+        };
+        let urban = small(CountyClass::Urban, 4000, 7);
+        let rural = small(CountyClass::Rural { meander: 30 }, 4000, 7);
+        assert!(
+            avg_len(&rural) * 3.0 < avg_len(&urban),
+            "urban {:.0} vs rural {:.0}",
+            avg_len(&urban),
+            avg_len(&rural)
+        );
+    }
+
+    #[test]
+    fn rural_roads_have_high_vertex_count_polygons() {
+        // Proxy for the paper's polygon sizes: degree-2 "chain" vertices
+        // dominate rural maps (meander joints), while urban maps are
+        // dominated by degree-3/4 intersections.
+        let chain_fraction = |m: &PolygonalMap| {
+            let inc = m.vertex_incidence();
+            let chains = inc.values().filter(|v| v.len() == 2).count();
+            chains as f64 / inc.len() as f64
+        };
+        let urban = small(CountyClass::Urban, 4000, 9);
+        let rural = small(CountyClass::Rural { meander: 30 }, 4000, 9);
+        assert!(chain_fraction(&rural) > 0.85, "rural {}", chain_fraction(&rural));
+        assert!(chain_fraction(&urban) < 0.30, "urban {}", chain_fraction(&urban));
+    }
+
+    #[test]
+    fn no_dangling_chains_after_pruning() {
+        for (class, seed) in [
+            (CountyClass::Urban, 21u64),
+            (CountyClass::Rural { meander: 20 }, 22),
+        ] {
+            let m = small(class, 4000, seed);
+            let inc = m.vertex_incidence();
+            let dangling = inc.values().filter(|v| v.len() == 1).count();
+            assert_eq!(dangling, 0, "{class:?} left {dangling} degree-1 vertices");
+        }
+    }
+
+    #[test]
+    fn county_leaves_empty_margins() {
+        // The superellipse boundary leaves the bounding-square corners
+        // empty — the paper's "query points outside the boundaries".
+        let m = small(CountyClass::Urban, 4000, 23);
+        let b = m.bbox().unwrap();
+        assert!(b.width() > (WORLD_SIZE as i64) * 8 / 10, "county spans the world");
+        let corner = lsdb_geom::Rect::new(0, 0, WORLD_SIZE / 16, WORLD_SIZE / 16);
+        let in_corner = m
+            .segments
+            .iter()
+            .filter(|s| corner.intersects(&s.bbox()))
+            .count();
+        assert_eq!(in_corner, 0, "the extreme corner must be empty");
+    }
+
+    #[test]
+    fn hits_target_from_below() {
+        for (class, target) in [
+            (CountyClass::Urban, 5000),
+            (CountyClass::Suburban, 5000),
+            (CountyClass::Rural { meander: 24 }, 5000),
+        ] {
+            let m = small(class, target, 11);
+            assert!(m.len() <= target, "{class:?}: {} > {target}", m.len());
+            assert!(
+                m.len() as f64 >= target as f64 * 0.7,
+                "{class:?}: {} too far below {target}",
+                m.len()
+            );
+        }
+    }
+
+    #[test]
+    fn full_scale_counties_are_planar() {
+        // Full 50k-segment generation + planarity validation. Kept in the
+        // default suite — the bucketed validator is near-linear.
+        for spec in crate::the_six_counties() {
+            let m = generate(&spec);
+            assert!(
+                m.len() as f64 >= spec.target_segments as f64 * 0.85,
+                "{}: {} segments for target {}",
+                spec.name,
+                m.len(),
+                spec.target_segments
+            );
+            assert!(m.is_normalized());
+            m.validate_planar()
+                .unwrap_or_else(|e| panic!("{} not planar: {e:?}", spec.name));
+        }
+    }
+}

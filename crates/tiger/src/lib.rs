@@ -1,0 +1,71 @@
+//! Synthetic TIGER/Line-style county road maps.
+//!
+//! The paper's datasets are six Maryland county road networks from the
+//! Bureau of the Census TIGER/Line files, each holding ≈50,000 line
+//! segments, normalized to a 16K×16K world:
+//!
+//! | county       | segments | character            |
+//! |--------------|---------:|----------------------|
+//! | Anne Arundel |   46,335 | suburban             |
+//! | Baltimore    |   48,068 | urban                |
+//! | Cecil        |   46,900 | rural                |
+//! | Charles      |   50,998 | rural                |
+//! | Garrett      |   49,895 | rural                |
+//! | Washington   |   49,575 | rural                |
+//!
+//! TIGER/Line itself is not redistributable here, so this crate generates
+//! *synthetic counties* that preserve the properties the paper's
+//! experiments depend on (see DESIGN.md):
+//!
+//! * segment counts near 50k, normalized integer coordinates,
+//! * urban maps: fine jittered street grids whose polygons (city blocks)
+//!   have ~4-6 segments,
+//! * rural maps: coarse grids of *meandering* roads — each road is a
+//!   many-segment polyline, so polygons have >100 segments (the paper
+//!   measured an average of 132 for Charles county versus 19 for
+//!   Baltimore),
+//! * suburban maps: a mixture,
+//! * strict vertex-noded planarity (validated by
+//!   [`lsdb_core::PolygonalMap::validate_planar`]), guaranteed by
+//!   construction: every road stays inside a "diamond" envelope around its
+//!   grid edge, so distinct roads can only meet at shared grid vertices.
+//!
+//! Generation is deterministic per (spec, seed).
+
+mod gen;
+pub mod io;
+
+pub use gen::{generate, CountyClass, CountySpec};
+
+/// The paper's six counties as synthetic specs (deterministic seeds).
+pub fn the_six_counties() -> Vec<CountySpec> {
+    vec![
+        CountySpec::new("Anne Arundel", CountyClass::Suburban, 46_335, 0xA22A),
+        CountySpec::new("Baltimore", CountyClass::Urban, 48_068, 0xBA17),
+        CountySpec::new("Cecil", CountyClass::Rural { meander: 20 }, 46_900, 0xCEC1),
+        CountySpec::new("Charles", CountyClass::Rural { meander: 26 }, 50_998, 0xC4A5),
+        CountySpec::new("Garrett", CountyClass::Rural { meander: 24 }, 49_895, 0x6A44),
+        CountySpec::new("Washington", CountyClass::Rural { meander: 22 }, 49_575, 0x3A54),
+    ]
+}
+
+/// Look up one of the six counties by (case-insensitive) name.
+pub fn county(name: &str) -> Option<CountySpec> {
+    the_six_counties()
+        .into_iter()
+        .find(|c| c.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_counties_exist_with_paper_counts() {
+        let cs = the_six_counties();
+        assert_eq!(cs.len(), 6);
+        assert_eq!(county("charles").unwrap().target_segments, 50_998);
+        assert_eq!(county("Baltimore").unwrap().target_segments, 48_068);
+        assert!(county("nowhere").is_none());
+    }
+}

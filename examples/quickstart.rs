@@ -1,0 +1,87 @@
+//! Quickstart: build all three spatial indexes over a synthetic county and
+//! run the paper's five queries on each.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lsdb::core::{queries, IndexConfig, SegId, SpatialIndex};
+use lsdb::geom::{Point, Rect};
+use lsdb::pmr::{PmrConfig, PmrQuadtree};
+use lsdb::rplus::RPlusTree;
+use lsdb::rtree::{RTree, RTreeKind};
+use lsdb::tiger::{generate, CountyClass, CountySpec};
+
+fn main() {
+    // 1. A small suburban county: ~5,000 road segments on the 16K x 16K
+    //    integer world, planar by construction.
+    let spec = CountySpec::new("Quickstart County", CountyClass::Suburban, 5_000, 7);
+    let map = generate(&spec);
+    println!("generated {:?}: {} segments", map.name, map.len());
+
+    // 2. Build the paper's three disk-resident structures (1 KB pages,
+    //    16-page LRU buffer pool).
+    let cfg = IndexConfig::default();
+    let mut indexes: Vec<Box<dyn SpatialIndex>> = vec![
+        Box::new(RTree::build(&map, cfg, RTreeKind::RStar)),
+        Box::new(RPlusTree::build(&map, cfg)),
+        Box::new(PmrQuadtree::build(&map, PmrConfig { index: cfg, ..Default::default() })),
+    ];
+    for idx in &indexes {
+        println!(
+            "built {:<12} | {:>6} KB on disk",
+            idx.name(),
+            idx.size_bytes() / 1024
+        );
+    }
+
+    // 3. The five queries of the paper, on each structure.
+    let some_seg = SegId(42);
+    let endpoint = map.segments[some_seg.index()].a;
+    let center = Point::new(8_192, 8_192);
+    let window = Rect::new(8_000, 8_000, 8_600, 8_600);
+
+    for idx in indexes.iter_mut() {
+        idx.reset_stats();
+        println!("\n=== {} ===", idx.name());
+
+        // Query 1: segments incident at an endpoint.
+        let incident = idx.find_incident(endpoint);
+        println!("Q1 incident at {endpoint:?}: {} segments", incident.len());
+
+        // Query 2: segments at the *other* endpoint of segment 42.
+        let second = queries::second_endpoint(idx.as_mut(), some_seg, endpoint);
+        println!("Q2 at the far endpoint of {some_seg:?}: {} segments", second.len());
+
+        // Query 3: nearest segment to the map center.
+        let nearest = idx.nearest(center).expect("non-empty map");
+        let d = map.segments[nearest.index()].dist2_point(center).to_f64().sqrt();
+        println!("Q3 nearest to {center:?}: {nearest:?} at distance {d:.1}");
+
+        // Extension: ranked k-nearest retrieval from the same best-first
+        // search.
+        let top3 = idx.nearest_k(center, 3);
+        println!("Q3+ three nearest: {top3:?}");
+
+        // Query 4: the polygon (city block / field) around the center.
+        let walk = queries::enclosing_polygon(idx.as_mut(), center, 10_000).unwrap();
+        println!(
+            "Q4 enclosing polygon: {} boundary segments (closed: {})",
+            walk.len(),
+            walk.closed
+        );
+
+        // Query 5: everything in a window.
+        let hits = idx.window(window);
+        println!("Q5 window {window:?}: {} segments", hits.len());
+
+        // The paper's three metrics, accumulated over the five queries.
+        let s = idx.stats();
+        println!(
+            "metrics: {} disk accesses, {} segment comps, {} bbox/bucket comps",
+            s.disk.total(),
+            s.seg_comps,
+            s.bbox_comps
+        );
+    }
+}

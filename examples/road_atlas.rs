@@ -1,0 +1,91 @@
+//! Road atlas: an interactive-style scenario over an urban county.
+//!
+//! Simulates the workload of a map application backed by a PMR quadtree:
+//! pan a viewport across the county (window queries), drop "pins" and
+//! snap them to the nearest road (nearest-line queries), and outline the
+//! city block under each pin (enclosing-polygon queries). Renders each
+//! viewport as ASCII art.
+//!
+//! ```sh
+//! cargo run --release --example road_atlas
+//! ```
+
+use lsdb::core::pointgen::TwoStageGen;
+use lsdb::core::{queries, IndexConfig, SpatialIndex};
+use lsdb::geom::{Point, Rect, WORLD_SIZE};
+use lsdb::pmr::{PmrConfig, PmrQuadtree};
+use lsdb::tiger::{generate, CountyClass, CountySpec};
+
+const VIEW_W: i32 = 72;
+const VIEW_H: i32 = 28;
+
+fn main() {
+    let spec = CountySpec::new("Atlas City", CountyClass::Urban, 8_000, 2024);
+    let map = generate(&spec);
+    println!("Atlas City: {} road segments\n", map.len());
+
+    let mut pmr = PmrQuadtree::build(&map, PmrConfig { index: IndexConfig::default(), ..Default::default() });
+
+    // Pins land where the data is: the paper's 2-stage generator.
+    let blocks: Vec<Rect> = pmr.leaf_blocks().iter().map(|b| b.rect()).collect();
+    let mut pins = TwoStageGen::new(blocks, 99);
+
+    for frame in 0..3 {
+        let pin = pins.next_point();
+        // Viewport: a 1200x1200 world window centred on the pin.
+        let half = 600;
+        let x0 = (pin.x - half).clamp(0, WORLD_SIZE - 1 - 2 * half);
+        let y0 = (pin.y - half).clamp(0, WORLD_SIZE - 1 - 2 * half);
+        let view = Rect::new(x0, y0, x0 + 2 * half, y0 + 2 * half);
+
+        let roads = pmr.window(view);
+        let snapped = pmr.nearest(pin).expect("city has roads");
+        let block_walk = queries::enclosing_polygon(&mut pmr, pin, 10_000).unwrap();
+        let block: Vec<_> = block_walk.distinct_segments();
+
+        println!("--- frame {frame}: pin at {pin:?} ---");
+        println!(
+            "viewport {view:?}: {} roads; snapped to segment {:?}; city block of {} segments",
+            roads.len(),
+            snapped,
+            block.len()
+        );
+        // ASCII render: roads '.', the enclosing block '#', the pin 'X'.
+        let mut canvas = vec![vec![' '; VIEW_W as usize]; VIEW_H as usize];
+        let plot = |canvas: &mut Vec<Vec<char>>, p: Point, ch: char| {
+            let cx = (p.x - view.min.x) as i64 * (VIEW_W as i64 - 1) / (view.width().max(1));
+            let cy = (p.y - view.min.y) as i64 * (VIEW_H as i64 - 1) / (view.height().max(1));
+            if (0..VIEW_W as i64).contains(&cx) && (0..VIEW_H as i64).contains(&cy) {
+                // Screen y grows downward.
+                canvas[(VIEW_H as i64 - 1 - cy) as usize][cx as usize] = ch;
+            }
+        };
+        let draw_seg = |canvas: &mut Vec<Vec<char>>, s: lsdb::geom::Segment, ch: char| {
+            // Sample along the segment; cheap and good enough for ASCII.
+            let steps = 2 * (VIEW_W + VIEW_H);
+            for i in 0..=steps {
+                let x = s.a.x as i64 + (s.b.x - s.a.x) as i64 * i as i64 / steps as i64;
+                let y = s.a.y as i64 + (s.b.y - s.a.y) as i64 * i as i64 / steps as i64;
+                plot(canvas, Point::new(x as i32, y as i32), ch);
+            }
+        };
+        for id in &roads {
+            draw_seg(&mut canvas, map.segments[id.index()], '.');
+        }
+        for id in &block {
+            draw_seg(&mut canvas, map.segments[id.index()], '#');
+        }
+        plot(&mut canvas, pin, 'X');
+        for row in &canvas {
+            println!("{}", row.iter().collect::<String>());
+        }
+        let s = pmr.stats();
+        println!(
+            "frame cost: {} disk accesses, {} segment comps, {} bucket comps\n",
+            s.disk.total(),
+            s.seg_comps,
+            s.bbox_comps
+        );
+        pmr.reset_stats();
+    }
+}

@@ -1,0 +1,316 @@
+//! `lsdb` — command-line utility over the line-segment-database library.
+//!
+//! ```text
+//! lsdb generate --county charles -o charles.lsdbmap [--segments N] [--seed S]
+//! lsdb generate --class urban --segments 20000 --seed 7 -o city.lsdbmap
+//! lsdb info MAP
+//! lsdb build MAP [--structure rstar|rplus|pmr|grid] [--page-size B] [--pool P]
+//! lsdb query MAP --structure pmr incident X Y
+//! lsdb query MAP --structure rstar nearest X Y
+//! lsdb query MAP --structure rplus knn X Y K
+//! lsdb query MAP --structure pmr window X0 Y0 X1 Y1
+//! lsdb query MAP --structure pmr polygon X Y
+//! ```
+//!
+//! Every query prints its answer and the paper's three metrics for it.
+
+use lsdb::core::{queries, IndexConfig, PolygonalMap, SegId, SpatialIndex};
+use lsdb::geom::{Point, Rect};
+use lsdb::tiger::{self, io, CountyClass, CountySpec};
+use std::path::Path;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("build") => cmd_build(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`");
+            print_usage();
+            2
+        }
+    };
+    exit(code);
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage:\n  \
+         lsdb generate (--county NAME | --class urban|suburban|rural) \\\n      \
+              [--segments N] [--seed S] -o FILE\n  \
+         lsdb info FILE\n  \
+         lsdb build FILE [--structure rstar|rplus|pmr|grid] [--page-size B] [--pool P]\n  \
+         lsdb query FILE --structure S incident X Y\n  \
+         lsdb query FILE --structure S nearest X Y\n  \
+         lsdb query FILE --structure S knn X Y K\n  \
+         lsdb query FILE --structure S window X0 Y0 X1 Y1\n  \
+         lsdb query FILE --structure S polygon X Y"
+    );
+}
+
+/// Pull `--flag value` out of an argument list.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+fn parse_or_die<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("cannot parse {what}: `{s}`");
+        exit(2)
+    })
+}
+
+fn cmd_generate(rest: &[String]) -> i32 {
+    let mut args = rest.to_vec();
+    let county = take_flag(&mut args, "--county");
+    let class = take_flag(&mut args, "--class");
+    let segments = take_flag(&mut args, "--segments");
+    let seed = take_flag(&mut args, "--seed");
+    let out = match take_flag(&mut args, "-o").or_else(|| take_flag(&mut args, "--out")) {
+        Some(o) => o,
+        None => {
+            eprintln!("generate requires -o FILE");
+            return 2;
+        }
+    };
+    let mut spec: CountySpec = match (county, class) {
+        (Some(name), None) => match tiger::county(&name) {
+            Some(s) => s,
+            None => {
+                eprintln!(
+                    "unknown county `{name}`; the six are: {}",
+                    tiger::the_six_counties()
+                        .iter()
+                        .map(|c| c.name.clone())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return 2;
+            }
+        },
+        (None, Some(class)) => {
+            let class = match class.as_str() {
+                "urban" => CountyClass::Urban,
+                "suburban" => CountyClass::Suburban,
+                "rural" => CountyClass::Rural { meander: 24 },
+                other => {
+                    eprintln!("unknown class `{other}` (urban|suburban|rural)");
+                    return 2;
+                }
+            };
+            CountySpec::new("custom", class, 20_000, 1)
+        }
+        _ => {
+            eprintln!("generate needs exactly one of --county or --class");
+            return 2;
+        }
+    };
+    if let Some(n) = segments {
+        spec = spec.with_target(parse_or_die(&n, "--segments"));
+    }
+    if let Some(s) = seed {
+        spec.seed = parse_or_die(&s, "--seed");
+    }
+    let map = tiger::generate(&spec);
+    if let Err(v) = map.validate_planar() {
+        eprintln!("internal error: generated map is not planar ({v:?})");
+        return 1;
+    }
+    if let Err(e) = io::save(&map, Path::new(&out)) {
+        eprintln!("cannot write {out}: {e}");
+        return 1;
+    }
+    println!("wrote {} ({} segments) to {out}", map.name, map.len());
+    0
+}
+
+fn load_map(path: &str) -> PolygonalMap {
+    io::load(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    })
+}
+
+fn cmd_info(rest: &[String]) -> i32 {
+    let Some(path) = rest.first() else {
+        eprintln!("info needs a map file");
+        return 2;
+    };
+    let map = load_map(path);
+    println!("name      : {}", map.name);
+    println!("segments  : {}", map.len());
+    if let Some(b) = map.bbox() {
+        println!("bbox      : {b:?}");
+    }
+    let inc = map.vertex_incidence();
+    println!("vertices  : {}", inc.len());
+    let mut hist = [0usize; 8];
+    for v in inc.values() {
+        hist[v.len().min(7)] += 1;
+    }
+    for (d, n) in hist.iter().enumerate().skip(1) {
+        if *n > 0 {
+            println!("  degree {d}{}: {n}", if d == 7 { "+" } else { " " });
+        }
+    }
+    match map.validate_planar() {
+        Ok(()) => println!("planarity : ok"),
+        Err(v) => println!("planarity : VIOLATED by segments {} and {}", v.first, v.second),
+    }
+    0
+}
+
+fn structure_flag(args: &mut Vec<String>) -> String {
+    take_flag(args, "--structure").unwrap_or_else(|| "pmr".to_string())
+}
+
+fn build_structure(
+    name: &str,
+    map: &PolygonalMap,
+    cfg: IndexConfig,
+) -> Option<Box<dyn SpatialIndex>> {
+    Some(match name {
+        "rstar" => Box::new(lsdb::rtree::RTree::build(map, cfg, lsdb::rtree::RTreeKind::RStar)),
+        "rquad" => Box::new(lsdb::rtree::RTree::build(map, cfg, lsdb::rtree::RTreeKind::Quadratic)),
+        "rlin" => Box::new(lsdb::rtree::RTree::build(map, cfg, lsdb::rtree::RTreeKind::Linear)),
+        "rplus" => Box::new(lsdb::rplus::RPlusTree::build(map, cfg)),
+        "pmr" => Box::new(lsdb::pmr::PmrQuadtree::build(
+            map,
+            lsdb::pmr::PmrConfig { index: cfg, ..Default::default() },
+        )),
+        "grid" => Box::new(lsdb::grid::UniformGrid::build(map, cfg, 64)),
+        _ => {
+            eprintln!("unknown structure `{name}` (rstar|rquad|rlin|rplus|pmr|grid)");
+            return None;
+        }
+    })
+}
+
+fn cmd_build(rest: &[String]) -> i32 {
+    let mut args = rest.to_vec();
+    let structure = structure_flag(&mut args);
+    let page = take_flag(&mut args, "--page-size")
+        .map(|v| parse_or_die(&v, "--page-size"))
+        .unwrap_or(1024usize);
+    let pool = take_flag(&mut args, "--pool")
+        .map(|v| parse_or_die(&v, "--pool"))
+        .unwrap_or(16usize);
+    let Some(path) = args.first() else {
+        eprintln!("build needs a map file");
+        return 2;
+    };
+    let map = load_map(path);
+    let cfg = IndexConfig { page_size: page, pool_pages: pool };
+    let start = std::time::Instant::now();
+    let Some(mut idx) = build_structure(&structure, &map, cfg) else {
+        return 2;
+    };
+    let secs = start.elapsed().as_secs_f64();
+    idx.clear_cache();
+    let s = idx.stats();
+    println!("structure     : {}", idx.name());
+    println!("segments      : {}", idx.len());
+    println!("size          : {} KB ({} B pages, {}-page pool)", idx.size_bytes() / 1024, page, pool);
+    println!("build disk    : {} accesses ({} reads, {} writes)", s.disk.total(), s.disk.reads, s.disk.writes);
+    println!("build cpu     : {secs:.2} s");
+    0
+}
+
+fn cmd_query(rest: &[String]) -> i32 {
+    let mut args = rest.to_vec();
+    let structure = structure_flag(&mut args);
+    if args.len() < 2 {
+        eprintln!("query needs a map file and a query");
+        return 2;
+    }
+    let map = load_map(&args[0]);
+    let cfg = IndexConfig::default();
+    let Some(mut idx) = build_structure(&structure, &map, cfg) else {
+        return 2;
+    };
+    idx.reset_stats();
+    let q = args[1].as_str();
+    let coords: Vec<i32> = args[2..]
+        .iter()
+        .map(|v| parse_or_die::<i32>(v, "coordinate"))
+        .collect();
+    let print_segs = |ids: &[SegId], map: &PolygonalMap| {
+        for id in ids {
+            println!("  {:?}: {:?}", id, map.segments[id.index()]);
+        }
+    };
+    match (q, coords.len()) {
+        ("incident", 2) => {
+            let got = idx.find_incident(Point::new(coords[0], coords[1]));
+            println!("{} incident segments:", got.len());
+            print_segs(&got, &map);
+        }
+        ("nearest", 2) => {
+            let p = Point::new(coords[0], coords[1]);
+            match idx.nearest(p) {
+                Some(id) => {
+                    let d = map.segments[id.index()].dist2_point(p).to_f64().sqrt();
+                    println!("nearest segment (distance {d:.2}):");
+                    print_segs(&[id], &map);
+                }
+                None => println!("empty map"),
+            }
+        }
+        ("knn", 3) => {
+            let p = Point::new(coords[0], coords[1]);
+            let got = idx.nearest_k(p, coords[2].max(0) as usize);
+            println!("{} nearest segments:", got.len());
+            for id in &got {
+                let d = map.segments[id.index()].dist2_point(p).to_f64().sqrt();
+                println!("  {:?} at {d:.2}: {:?}", id, map.segments[id.index()]);
+            }
+        }
+        ("window", 4) => {
+            let w = Rect::bounding(Point::new(coords[0], coords[1]), Point::new(coords[2], coords[3]));
+            let got = idx.window(w);
+            println!("{} segments in {w:?}:", got.len());
+            print_segs(&got, &map);
+        }
+        ("polygon", 2) => {
+            let p = Point::new(coords[0], coords[1]);
+            match queries::enclosing_polygon(idx.as_mut(), p, map.len() * 2 + 16) {
+                Some(walk) => {
+                    println!(
+                        "enclosing polygon: {} boundary segments (closed: {}):",
+                        walk.len(),
+                        walk.closed
+                    );
+                    print_segs(&walk.distinct_segments(), &map);
+                }
+                None => println!("empty map"),
+            }
+        }
+        _ => {
+            eprintln!("unknown query `{q}` or wrong number of coordinates");
+            return 2;
+        }
+    }
+    let s = idx.stats();
+    println!(
+        "[{}] {} disk accesses, {} segment comps, {} bbox/bucket comps",
+        idx.name(),
+        s.disk.total(),
+        s.seg_comps,
+        s.bbox_comps
+    );
+    0
+}

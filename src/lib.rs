@@ -1,0 +1,11 @@
+//! Umbrella crate re-exporting the full lsdb public API.
+pub use lsdb_btree as btree;
+pub use lsdb_core as core;
+pub use lsdb_geom as geom;
+pub use lsdb_grid as grid;
+pub use lsdb_pager as pager;
+pub use lsdb_pmr as pmr;
+pub use lsdb_repr as repr;
+pub use lsdb_rplus as rplus;
+pub use lsdb_rtree as rtree;
+pub use lsdb_tiger as tiger;

@@ -1,0 +1,268 @@
+//! Workspace integration tests: the three paper structures (plus the
+//! uniform-grid baseline) must return *identical answers* to all five
+//! paper queries on realistic generated county maps, and must agree with
+//! the brute-force oracle.
+
+use lsdb::core::pointgen::{EndpointGen, UniformGen, WindowGen};
+use lsdb::core::{brute, queries, IndexConfig, PolygonalMap, SegId, SpatialIndex};
+use lsdb::geom::Dist2;
+use lsdb_bench::{build_index, IndexKind};
+
+fn test_map(class: lsdb::tiger::CountyClass, seed: u64) -> PolygonalMap {
+    let spec = lsdb::tiger::CountySpec::new("itest", class, 1500, seed);
+    let map = lsdb::tiger::generate(&spec);
+    map.validate_planar().expect("generated maps are planar");
+    map
+}
+
+fn all_kinds() -> Vec<IndexKind> {
+    vec![
+        IndexKind::RStar,
+        IndexKind::RPlus,
+        IndexKind::Pmr,
+        IndexKind::RQuadratic,
+        IndexKind::RLinear,
+        IndexKind::Grid(32),
+        IndexKind::Repr(8),
+    ]
+}
+
+fn classes() -> Vec<(lsdb::tiger::CountyClass, u64)> {
+    vec![
+        (lsdb::tiger::CountyClass::Urban, 101),
+        (lsdb::tiger::CountyClass::Suburban, 102),
+        (lsdb::tiger::CountyClass::Rural { meander: 24 }, 103),
+    ]
+}
+
+#[test]
+fn query1_incident_agrees_with_oracle() {
+    for (class, seed) in classes() {
+        let map = test_map(class, seed);
+        let mut gen = EndpointGen::new(&map, seed);
+        let probes: Vec<_> = (0..60).map(|_| gen.next_endpoint()).collect();
+        for kind in all_kinds() {
+            let mut idx = build_index(kind, &map, IndexConfig::default());
+            for &(_, p) in &probes {
+                assert_eq!(
+                    brute::sorted(idx.find_incident(p)),
+                    brute::incident(&map, p),
+                    "{kind:?} {class:?} at {p:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn query2_second_endpoint_agrees_with_oracle() {
+    for (class, seed) in classes() {
+        let map = test_map(class, seed);
+        let mut gen = EndpointGen::new(&map, seed ^ 1);
+        let probes: Vec<_> = (0..40).map(|_| gen.next_endpoint()).collect();
+        for kind in all_kinds() {
+            let mut idx = build_index(kind, &map, IndexConfig::default());
+            for &(id, p) in &probes {
+                assert_eq!(
+                    brute::sorted(queries::second_endpoint(idx.as_mut(), id, p)),
+                    brute::second_endpoint(&map, id, p),
+                    "{kind:?} {class:?} seg {id:?} at {p:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn query3_nearest_distance_agrees_with_oracle() {
+    for (class, seed) in classes() {
+        let map = test_map(class, seed);
+        let mut gen = UniformGen::new(seed ^ 2);
+        let probes: Vec<_> = (0..80).map(|_| gen.next_point()).collect();
+        for kind in all_kinds() {
+            let mut idx = build_index(kind, &map, IndexConfig::default());
+            for &p in &probes {
+                let got = idx.nearest(p).expect("non-empty index");
+                let want = brute::nearest(&map, p).unwrap();
+                let got_d: Dist2 = map.segments[got.index()].dist2_point(p);
+                assert_eq!(got_d, want.1, "{kind:?} {class:?} at {p:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn query4_polygon_walks_agree_across_structures() {
+    // The enclosing-polygon walk is deterministic given the nearest edge;
+    // nearest ties may differ across structures, so compare the walks only
+    // when the three structures agree on the starting edge, and always
+    // validate closure and membership.
+    for (class, seed) in classes() {
+        let map = test_map(class, seed);
+        let mut gen = UniformGen::new(seed ^ 3);
+        let probes: Vec<_> = (0..25).map(|_| gen.next_point()).collect();
+        let mut indexes: Vec<_> = all_kinds()
+            .into_iter()
+            .map(|k| build_index(k, &map, IndexConfig::default()))
+            .collect();
+        for &p in &probes {
+            let starts: Vec<Option<SegId>> =
+                indexes.iter_mut().map(|i| i.nearest(p)).collect();
+            let walks: Vec<_> = indexes
+                .iter_mut()
+                .map(|i| queries::enclosing_polygon(i.as_mut(), p, map.len() * 3))
+                .collect();
+            for w in &walks {
+                let w = w.as_ref().expect("non-empty index");
+                assert!(w.closed, "{class:?}: walk must close at {p:?}");
+                assert!(!w.boundary.is_empty());
+            }
+            if starts.windows(2).all(|s| s[0] == s[1]) {
+                let first = walks[0].as_ref().unwrap();
+                for w in &walks[1..] {
+                    assert_eq!(
+                        w.as_ref().unwrap().boundary,
+                        first.boundary,
+                        "{class:?}: identical start must give identical walk at {p:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn query5_window_agrees_with_oracle() {
+    for (class, seed) in classes() {
+        let map = test_map(class, seed);
+        let mut gen = WindowGen::new(0.001, seed ^ 4);
+        let windows: Vec<_> = (0..40).map(|_| gen.next_window()).collect();
+        for kind in all_kinds() {
+            let mut idx = build_index(kind, &map, IndexConfig::default());
+            for &w in &windows {
+                assert_eq!(
+                    brute::sorted(idx.window(w)),
+                    brute::window(&map, w),
+                    "{kind:?} {class:?} window {w:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deletion_keeps_all_structures_consistent() {
+    let map = test_map(lsdb::tiger::CountyClass::Suburban, 777);
+    let mut gen = WindowGen::new(0.001, 7);
+    let windows: Vec<_> = (0..20).map(|_| gen.next_window()).collect();
+    for kind in all_kinds() {
+        let mut idx = build_index(kind, &map, IndexConfig::default());
+        // Delete every 5th segment.
+        for i in (0..map.len()).step_by(5) {
+            assert!(idx.remove(SegId(i as u32)), "{kind:?} remove {i}");
+        }
+        assert_eq!(idx.len(), map.len() - (map.len() + 4) / 5, "{kind:?}");
+        for &w in &windows {
+            let got = brute::sorted(idx.window(w));
+            let want: Vec<SegId> = brute::window(&map, w)
+                .into_iter()
+                .filter(|id| id.index() % 5 != 0)
+                .collect();
+            assert_eq!(got, want, "{kind:?} window {w:?} after deletes");
+        }
+    }
+}
+
+#[test]
+fn cold_cache_queries_cost_disk_reads_warm_ones_less() {
+    let map = test_map(lsdb::tiger::CountyClass::Urban, 31);
+    for kind in IndexKind::paper_three() {
+        let mut idx = build_index(kind, &map, IndexConfig::default());
+        idx.clear_cache();
+        idx.reset_stats();
+        let p = lsdb::geom::Point::new(8000, 8000);
+        let _ = idx.nearest(p);
+        let cold = idx.stats().disk.reads;
+        idx.reset_stats();
+        let _ = idx.nearest(p);
+        let warm = idx.stats().disk.reads;
+        assert!(cold > 0, "{kind:?}: cold query must fault pages");
+        assert!(warm <= cold, "{kind:?}: warm repeat cannot fault more ({warm} vs {cold})");
+    }
+}
+
+#[test]
+fn duplicate_geometry_distinct_ids_are_all_retrievable() {
+    // Two distinct map records with identical geometry (legal at the
+    // index level even though planar maps forbid it): every structure
+    // must keep and report both.
+    use lsdb::geom::{Point, Segment};
+    let seg = Segment::new(Point::new(100, 100), Point::new(900, 500));
+    let far = Segment::new(Point::new(5000, 5000), Point::new(6000, 6000));
+    let map = PolygonalMap::new("dups", vec![seg, seg, far]);
+    for kind in all_kinds() {
+        let mut idx = build_index(kind, &map, IndexConfig::default());
+        assert_eq!(idx.len(), 3, "{kind:?}");
+        let got = brute::sorted(idx.find_incident(Point::new(100, 100)));
+        assert_eq!(got, vec![SegId(0), SegId(1)], "{kind:?}");
+        let w = lsdb::geom::Rect::new(0, 0, 1000, 1000);
+        assert_eq!(
+            brute::sorted(idx.window(w)),
+            vec![SegId(0), SegId(1)],
+            "{kind:?}"
+        );
+        assert!(idx.remove(SegId(0)), "{kind:?}");
+        assert_eq!(idx.find_incident(Point::new(100, 100)), vec![SegId(1)], "{kind:?}");
+    }
+}
+
+#[test]
+fn k_nearest_matches_brute_force_ranking() {
+    for (class, seed) in classes() {
+        let map = test_map(class, seed);
+        let mut gen = UniformGen::new(seed ^ 9);
+        let probes: Vec<_> = (0..25).map(|_| gen.next_point()).collect();
+        for kind in all_kinds() {
+            let mut idx = build_index(kind, &map, IndexConfig::default());
+            for &p in &probes {
+                for k in [1usize, 3, 10] {
+                    let got = idx.nearest_k(p, k);
+                    assert_eq!(got.len(), k.min(map.len()), "{kind:?} {class:?} k={k}");
+                    // Distances must match the brute-force ranking (ties
+                    // may permute ids, distances must agree rank-by-rank),
+                    // and results must be distinct.
+                    let mut brute_d: Vec<Dist2> = map
+                        .segments
+                        .iter()
+                        .map(|s| s.dist2_point(p))
+                        .collect();
+                    brute_d.sort();
+                    let mut seen = std::collections::HashSet::new();
+                    for (rank, id) in got.iter().enumerate() {
+                        assert!(seen.insert(*id), "{kind:?} duplicate in k-NN result");
+                        let d = map.segments[id.index()].dist2_point(p);
+                        assert_eq!(d, brute_d[rank], "{kind:?} {class:?} rank {rank} at {p:?}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn k_nearest_exhausts_small_index() {
+    use lsdb::geom::{Point, Segment};
+    let map = PolygonalMap::new(
+        "small",
+        vec![
+            Segment::new(Point::new(0, 0), Point::new(10, 0)),
+            Segment::new(Point::new(100, 100), Point::new(110, 100)),
+        ],
+    );
+    for kind in all_kinds() {
+        let mut idx = build_index(kind, &map, IndexConfig::default());
+        let got = idx.nearest_k(Point::new(0, 0), 10);
+        assert_eq!(got, vec![SegId(0), SegId(1)], "{kind:?}");
+        assert!(idx.nearest_k(Point::new(0, 0), 0).is_empty());
+    }
+}
