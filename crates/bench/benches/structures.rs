@@ -1,22 +1,43 @@
-//! Criterion micro-benchmarks over the three structures (plus baselines).
+//! Wall-clock micro-benchmarks over the three structures (plus baselines),
+//! on a plain self-contained harness (no external bench framework).
 //!
-//! These are wall-clock companions to the experiment binaries (which
-//! report the paper's disk-access metrics): one group per reproduced
-//! artifact, on reduced maps so `cargo bench` completes quickly.
+//! These are timing companions to the experiment binaries (which report
+//! the paper's disk-access metrics): one group per reproduced artifact, on
+//! reduced maps so `cargo bench` completes quickly.
 //!
 //! * `build/*`          — Table 1's CPU-seconds column, reduced scale
 //! * `page_buffer/*`    — Figure 6's configuration sweep, reduced grid
-//! * `query/*`          — Table 2's workloads (point, nearest, window,
-//!                        polygon) per structure
+//! * `query/*`          — Table 2's workloads (point, nearest, window, polygon)
+//!   per structure
+//! * `parallel/*`       — the shared-read driver at 1/2/4 threads
 //! * `threshold/*`      — §7's PMR splitting-threshold ablation
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lsdb_bench::workloads::QueryWorkbench;
+use lsdb_bench::workloads::{QueryWorkbench, Workload};
 use lsdb_bench::{build_index, IndexKind};
-use lsdb_core::{queries, IndexConfig, PolygonalMap, SpatialIndex};
+use lsdb_core::{queries, IndexConfig, PolygonalMap, QueryCtx, SpatialIndex};
 use lsdb_pmr::{PmrConfig, PmrQuadtree};
 use lsdb_tiger::{generate, CountyClass, CountySpec};
 use std::hint::black_box;
+use std::time::Instant;
+
+/// Time `f` over `iters` iterations (after one warm-up call) and print a
+/// criterion-style line.
+fn bench<R>(group: &str, name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+    let (value, unit) = if per_iter >= 1.0 {
+        (per_iter, "s ")
+    } else if per_iter >= 1e-3 {
+        (per_iter * 1e3, "ms")
+    } else {
+        (per_iter * 1e6, "µs")
+    };
+    println!("{group:<14} {name:<28} {value:>10.2} {unit}/iter  ({iters} iters)");
+}
 
 fn bench_map(class: CountyClass, target: usize, seed: u64) -> PolygonalMap {
     generate(&CountySpec::new("bench", class, target, seed))
@@ -32,105 +53,121 @@ fn kinds() -> Vec<IndexKind> {
     ]
 }
 
-fn bench_build(c: &mut Criterion) {
+fn bench_build() {
     let cfg = IndexConfig::default();
-    let mut g = c.benchmark_group("build");
-    g.sample_size(10);
     for (label, class) in [
         ("urban", CountyClass::Urban),
         ("rural", CountyClass::Rural { meander: 24 }),
     ] {
         let map = bench_map(class, 2500, 3);
         for kind in kinds() {
-            g.bench_function(BenchmarkId::new(kind.label(), label), |b| {
-                b.iter(|| black_box(build_index(kind, &map, cfg)).len())
+            bench("build", &format!("{}/{label}", kind.label()), 3, || {
+                build_index(kind, &map, cfg).len()
             });
         }
     }
-    g.finish();
 }
 
-fn bench_page_buffer(c: &mut Criterion) {
+fn bench_page_buffer() {
     let map = bench_map(CountyClass::Suburban, 2000, 5);
-    let mut g = c.benchmark_group("page_buffer");
-    g.sample_size(10);
     for page in [512usize, 1024, 2048] {
         for pool in [8usize, 16, 32] {
             let cfg = IndexConfig { page_size: page, pool_pages: pool };
-            g.bench_function(BenchmarkId::new("pmr_build", format!("{page}B/{pool}p")), |b| {
-                b.iter(|| black_box(build_index(IndexKind::Pmr, &map, cfg)).size_bytes())
+            bench("page_buffer", &format!("pmr_build/{page}B/{pool}p"), 3, || {
+                build_index(IndexKind::Pmr, &map, cfg).size_bytes()
             });
         }
     }
-    g.finish();
 }
 
-fn bench_queries(c: &mut Criterion) {
+fn bench_queries() {
     let cfg = IndexConfig::default();
     let map = bench_map(CountyClass::Suburban, 3000, 7);
     let wb = QueryWorkbench::new(&map, 64, 11);
     for kind in kinds() {
-        let mut idx = build_index(kind, &map, cfg);
-        let mut g = c.benchmark_group(format!("query/{}", kind.label()));
-        g.bench_function("incident", |b| {
-            let mut i = 0;
-            b.iter(|| {
-                let (_, p) = wb.endpoints[i % wb.endpoints.len()];
-                i += 1;
-                black_box(idx.find_incident(p))
-            })
+        let idx = build_index(kind, &map, cfg);
+        let group = format!("query/{}", kind.label());
+        let mut ctx = QueryCtx::new();
+        let mut i = 0usize;
+        bench(&group, "incident", 2000, || {
+            let (_, p) = wb.endpoints[i % wb.endpoints.len()];
+            i += 1;
+            ctx.reset();
+            idx.find_incident(p, &mut ctx)
         });
-        g.bench_function("nearest", |b| {
-            let mut i = 0;
-            b.iter(|| {
-                let p = wb.two_stage_points[i % wb.two_stage_points.len()];
-                i += 1;
-                black_box(idx.nearest(p))
-            })
+        let mut i = 0usize;
+        bench(&group, "nearest", 2000, || {
+            let p = wb.two_stage_points[i % wb.two_stage_points.len()];
+            i += 1;
+            ctx.reset();
+            idx.nearest(p, &mut ctx)
         });
-        g.bench_function("window", |b| {
-            let mut i = 0;
-            b.iter(|| {
-                let w = wb.windows[i % wb.windows.len()];
-                i += 1;
-                black_box(idx.window(w))
-            })
+        let mut i = 0usize;
+        bench(&group, "window", 2000, || {
+            let w = wb.windows[i % wb.windows.len()];
+            i += 1;
+            ctx.reset();
+            idx.window(w, &mut ctx)
         });
-        g.bench_function("polygon", |b| {
-            let mut i = 0;
-            b.iter(|| {
-                let p = wb.two_stage_points[i % wb.two_stage_points.len()];
-                i += 1;
-                black_box(queries::enclosing_polygon(idx.as_mut(), p, 10_000))
-            })
+        let mut i = 0usize;
+        bench(&group, "polygon", 200, || {
+            let p = wb.two_stage_points[i % wb.two_stage_points.len()];
+            i += 1;
+            ctx.reset();
+            queries::enclosing_polygon(idx.as_ref(), p, 10_000, &mut ctx)
         });
-        g.finish();
     }
 }
 
-fn bench_threshold(c: &mut Criterion) {
+fn bench_parallel() {
+    // The shared-read driver on Table 2's heaviest workloads: the same
+    // counters come out at every thread count, only the wall time moves.
+    let cfg = IndexConfig::default();
+    let map = bench_map(CountyClass::Rural { meander: 24 }, 4000, 9);
+    let wb = QueryWorkbench::new(&map, 256, 13);
+    for kind in IndexKind::paper_three() {
+        let idx = build_index(kind, &map, cfg);
+        for threads in [1usize, 2, 4] {
+            bench(
+                "parallel",
+                &format!("{}/polygon2/{threads}t", kind.label()),
+                3,
+                || wb.run_threaded(Workload::PolygonTwoStage, idx.as_ref(), threads),
+            );
+        }
+    }
+}
+
+fn bench_threshold() {
     let map = bench_map(CountyClass::Rural { meander: 20 }, 2500, 13);
-    let mut g = c.benchmark_group("threshold");
-    g.sample_size(10);
     for t in [2usize, 4, 16, 64] {
-        g.bench_function(BenchmarkId::new("pmr_build", t), |b| {
-            b.iter(|| {
-                let pmr = PmrQuadtree::build(
-                    &map,
-                    PmrConfig { threshold: t, ..Default::default() },
-                );
-                black_box(pmr.size_bytes())
-            })
+        bench("threshold", &format!("pmr_build/t={t}"), 3, || {
+            PmrQuadtree::build(&map, PmrConfig { threshold: t, ..Default::default() }).size_bytes()
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_build,
-    bench_page_buffer,
-    bench_queries,
-    bench_threshold
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes a `--bench` flag to harness = false targets;
+    // the first non-flag argument (if any) filters the groups.
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_default();
+    let run = |name: &str| filter.is_empty() || name.contains(&filter);
+    if run("build") {
+        bench_build();
+    }
+    if run("page_buffer") {
+        bench_page_buffer();
+    }
+    if run("query") {
+        bench_queries();
+    }
+    if run("parallel") {
+        bench_parallel();
+    }
+    if run("threshold") {
+        bench_threshold();
+    }
+}

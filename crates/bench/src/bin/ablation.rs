@@ -15,13 +15,14 @@
 
 use lsdb_bench::report::{fmt, render_table};
 use lsdb_bench::workloads::{QueryWorkbench, Workload};
-use lsdb_bench::{build_index, county_at_scale, measure_build, queries_per_type, IndexKind};
+use lsdb_bench::{build_index, measure_build, IndexKind, WorkloadConfig};
 use lsdb_core::{IndexConfig, SegId, SpatialIndex};
 
 fn main() {
     let cfg = IndexConfig::default();
-    let map = county_at_scale("Anne Arundel");
-    let n = queries_per_type().min(500);
+    let wcfg = WorkloadConfig::from_args();
+    let map = wcfg.county("Anne Arundel");
+    let n = wcfg.queries.min(500);
     println!(
         "Ablations on {} ({} segments), {} queries per type\n",
         map.name,
@@ -54,10 +55,10 @@ fn main() {
         "range segc".to_string(),
     ]];
     for kind in kinds {
-        let (mut idx, rep) = measure_build(kind, &map, cfg);
-        let p = wb.run(Workload::Point1, idx.as_mut());
-        let near = wb.run(Workload::NearestTwoStage, idx.as_mut());
-        let range = wb.run(Workload::Range, idx.as_mut());
+        let (idx, rep) = measure_build(kind, &map, cfg);
+        let p = wb.run(Workload::Point1, idx.as_ref());
+        let near = wb.run(Workload::NearestTwoStage, idx.as_ref());
+        let range = wb.run(Workload::Range, idx.as_ref());
         rows.push(vec![
             kind.label(),
             fmt(rep.size_kbytes),
@@ -77,9 +78,9 @@ fn main() {
         idx.clear_cache();
         let build_disk = idx.stats().disk.total();
         idx.reset_stats();
-        let p = wb.run(Workload::Point1, &mut idx);
-        let near = wb.run(Workload::NearestTwoStage, &mut idx);
-        let range = wb.run(Workload::Range, &mut idx);
+        let p = wb.run(Workload::Point1, &idx);
+        let near = wb.run(Workload::NearestTwoStage, &idx);
+        let range = wb.run(Workload::Range, &idx);
         rows.push(vec![
             "R* (STR bulk)".to_string(),
             fmt(idx.size_bytes() as f64 / 1024.0),

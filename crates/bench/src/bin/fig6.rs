@@ -9,11 +9,11 @@
 //! Usage: `cargo run --release -p lsdb-bench --bin fig6`
 
 use lsdb_bench::report::render_table;
-use lsdb_bench::{county_at_scale, measure_build, IndexKind};
+use lsdb_bench::{measure_build, IndexKind, WorkloadConfig};
 use lsdb_core::IndexConfig;
 
 fn main() {
-    let map = county_at_scale("Anne Arundel");
+    let map = WorkloadConfig::from_args().county("Anne Arundel");
     println!(
         "Figure 6: build disk accesses by page size x buffer pool ({}: {} segments)\n",
         map.name,

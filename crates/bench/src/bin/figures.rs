@@ -14,13 +14,14 @@
 
 use lsdb_bench::report::{render_table, NormalizedRange};
 use lsdb_bench::workloads::{QueryWorkbench, Workload, WorkloadResult};
-use lsdb_bench::{build_index, counties_at_scale, queries_per_type, IndexKind};
+use lsdb_bench::{build_index, IndexKind, WorkloadConfig};
 use lsdb_core::IndexConfig;
 
 fn main() {
     let cfg = IndexConfig::default();
-    let maps = counties_at_scale();
-    let n = queries_per_type();
+    let wcfg = WorkloadConfig::from_args();
+    let maps = wcfg.counties();
+    let n = wcfg.queries;
     println!(
         "Figures 7-9: normalized ranges over {} maps, {} queries per type\n",
         maps.len(),
@@ -28,22 +29,23 @@ fn main() {
     );
 
     // results[map][structure][workload]. The six maps are measured on
-    // worker threads: every metric is a deterministic counter, so
-    // parallelism cannot perturb the results (only wall-clock, which this
-    // binary does not report).
-    let results: Vec<Vec<Vec<WorkloadResult>>> = crossbeam::thread::scope(|scope| {
+    // worker threads (map-level parallelism, so each inner batch stays
+    // sequential): every metric is a deterministic counter, so parallelism
+    // cannot perturb the results — only wall-clock, which this binary does
+    // not report.
+    let results: Vec<Vec<Vec<WorkloadResult>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = maps
             .iter()
             .map(|map| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let wb = QueryWorkbench::new(map, n, map.len() as u64);
                     let per_structure: Vec<Vec<WorkloadResult>> = IndexKind::paper_three()
                         .iter()
                         .map(|&kind| {
-                            let mut idx = build_index(kind, map, cfg);
+                            let idx = build_index(kind, map, cfg);
                             Workload::ALL
                                 .iter()
-                                .map(|&w| wb.run(w, idx.as_mut()))
+                                .map(|&w| wb.run(w, idx.as_ref()))
                                 .collect()
                         })
                         .collect();
@@ -53,8 +55,7 @@ fn main() {
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    })
-    .expect("measurement scope");
+    });
     const RSTAR: usize = 0;
     const RPLUS: usize = 1;
     const PMR: usize = 2;

@@ -12,7 +12,7 @@
 
 use lsdb_bench::report::{fmt, render_table};
 use lsdb_bench::workloads::{QueryWorkbench, Workload};
-use lsdb_bench::{county_at_scale, queries_per_type};
+use lsdb_bench::WorkloadConfig;
 use lsdb_core::{IndexConfig, SpatialIndex};
 use lsdb_pmr::{PmrConfig, PmrQuadtree};
 use lsdb_rplus::RPlusTree;
@@ -20,17 +20,18 @@ use lsdb_rtree::{RTree, RTreeKind};
 
 fn main() {
     let cfg = IndexConfig::default();
-    let map = county_at_scale("Charles");
+    let wcfg = WorkloadConfig::from_args();
+    let map = wcfg.county("Charles");
     println!("S7 occupancy audit on {} ({} segments)\n", map.name, map.len());
 
     let mut rstar = RTree::build(&map, cfg, RTreeKind::RStar);
     let mut rplus = RPlusTree::build(&map, cfg);
+    let n = wcfg.queries.min(500);
     println!("average leaf occupancy (1 KB pages, M = {}):", rstar.m_max());
     println!("  R*-tree : {:.1} segments/page (paper: 36)", rstar.avg_leaf_occupancy());
     println!("  R+-tree : {:.1} segments/page (paper: 32)", rplus.avg_leaf_occupancy());
 
     println!("\nPMR splitting-threshold sweep:");
-    let n = queries_per_type().min(500);
     let wb = QueryWorkbench::new(&map, n, 0x0CCA);
     let mut rows = vec![vec![
         "threshold".to_string(),
@@ -47,8 +48,8 @@ fn main() {
         );
         let occupancy = pmr.avg_bucket_occupancy();
         let size = pmr.size_bytes() as f64 / 1024.0;
-        let range = wb.run(Workload::Range, &mut pmr);
-        let near = wb.run(Workload::NearestTwoStage, &mut pmr);
+        let range = wb.run(Workload::Range, &pmr);
+        let near = wb.run(Workload::NearestTwoStage, &pmr);
         rows.push(vec![
             t.to_string(),
             format!("{occupancy:.1}"),

@@ -6,16 +6,16 @@
 //! on most maps and R* the most; build CPU R+ < PMR (1.5-1.7×) ≪ R*
 //! (7.8-9.1×).
 //!
-//! Usage: `cargo run --release -p lsdb-bench --bin table1`
-//! (`LSDB_SCALE=0.1` for a quick run).
+//! Usage: `cargo run --release -p lsdb-bench --bin table1 -- [--scale 0.1]`
+//! (a reduced `--scale` for a quick run).
 
 use lsdb_bench::report::{fmt, render_table};
-use lsdb_bench::{counties_at_scale, measure_build, IndexKind};
+use lsdb_bench::{measure_build, IndexKind, WorkloadConfig};
 use lsdb_core::IndexConfig;
 
 fn main() {
     let cfg = IndexConfig::default();
-    let maps = counties_at_scale();
+    let maps = WorkloadConfig::from_args().counties();
     println!(
         "Table 1: building statistics ({} pages, {}-page LRU pool, {} maps)\n",
         cfg.page_size,

@@ -11,12 +11,12 @@
 //! | `occupancy` | §7 — page/bucket occupancy audit + PMR threshold sweep |
 //!
 //! Shared infrastructure lives here: index construction behind one enum,
-//! the five query workloads with metric accumulation, and plain-text table
-//! rendering. Every binary honours two environment variables:
-//!
-//! * `LSDB_SCALE` — scales the county segment counts (default 1.0); the
-//!   smoke-test suite runs the full pipeline at 0.02.
-//! * `LSDB_QUERIES` — queries per type (default 1000, as in the paper).
+//! the five query workloads with metric accumulation, plain-text table
+//! rendering, and [`WorkloadConfig`] — the typed run configuration every
+//! binary builds with [`WorkloadConfig::from_args`]. Flags (`--scale`,
+//! `--queries`, `--threads`, `--map-cache`) override the environment
+//! (`LSDB_SCALE`, `LSDB_QUERIES`, `LSDB_THREADS`, `LSDB_MAP_CACHE`), which
+//! overrides the defaults (1.0 / 1000 / 1 / `target/lsdb-maps`).
 
 pub mod report;
 pub mod workloads;
@@ -117,49 +117,165 @@ pub fn measure_build(kind: IndexKind, map: &PolygonalMap, cfg: IndexConfig) -> (
     (index, report)
 }
 
-/// Scale factor for the county maps (`LSDB_SCALE`, default 1.0).
-pub fn scale() -> f64 {
-    std::env::var("LSDB_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0)
+/// Typed run configuration for the experiment binaries, replacing the old
+/// loose `LSDB_*` environment lookups. Precedence, lowest to highest:
+/// defaults, environment ([`WorkloadConfig::from_env`]), CLI flags
+/// ([`WorkloadConfig::from_args`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadConfig {
+    /// Scale factor for the county segment counts (default 1.0; the smoke
+    /// suite runs the full pipeline around 0.02).
+    pub scale: f64,
+    /// Queries per workload type (default 1000, as in the paper).
+    pub queries: usize,
+    /// Worker threads for the query batches (default 1 — the paper's
+    /// sequential runs; counters are identical at any thread count).
+    pub threads: usize,
+    /// Directory for cached generated maps.
+    pub map_cache: PathBuf,
 }
 
-/// Queries per type (`LSDB_QUERIES`, default 1000 as in the paper).
-pub fn queries_per_type() -> usize {
-    std::env::var("LSDB_QUERIES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1000)
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            scale: 1.0,
+            queries: 1000,
+            threads: 1,
+            map_cache: PathBuf::from("target/lsdb-maps"),
+        }
+    }
 }
 
-/// Map cache directory (`LSDB_MAP_CACHE`, default `target/lsdb-maps`).
-pub fn map_cache_dir() -> PathBuf {
-    std::env::var("LSDB_MAP_CACHE")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("target/lsdb-maps"))
+impl WorkloadConfig {
+    pub const USAGE: &'static str = "options:
+  --scale <f64>       county size multiplier        (env LSDB_SCALE, default 1.0)
+  --queries <n>       queries per workload type     (env LSDB_QUERIES, default 1000)
+  --threads <n>       query worker threads          (env LSDB_THREADS, default 1)
+  --map-cache <dir>   cached generated maps         (env LSDB_MAP_CACHE, default target/lsdb-maps)
+  -h, --help          print this help";
+
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Defaults overridden by whichever `LSDB_*` variables parse cleanly.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Some(v) = env_parse("LSDB_SCALE") {
+            cfg.scale = v;
+        }
+        if let Some(v) = env_parse("LSDB_QUERIES") {
+            cfg.queries = v;
+        }
+        if let Some(v) = env_parse("LSDB_THREADS") {
+            cfg.threads = v;
+        }
+        if let Ok(v) = std::env::var("LSDB_MAP_CACHE") {
+            cfg.map_cache = PathBuf::from(v);
+        }
+        cfg
+    }
+
+    /// Environment config overridden by the process's CLI flags. Prints
+    /// usage and exits on `--help` or a malformed flag — this is the one
+    /// constructor meant for `main`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{}", Self::USAGE);
+            std::process::exit(0);
+        }
+        match Self::from_env().try_apply_args(args) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("error: {e}\n{}", Self::USAGE);
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Apply `--flag value` / `--flag=value` pairs on top of `self`.
+    pub fn try_apply_args(
+        mut self,
+        args: impl IntoIterator<Item = String>,
+    ) -> Result<Self, String> {
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f.to_string(), Some(v.to_string())),
+                None => (arg, None),
+            };
+            let mut value = || {
+                inline
+                    .clone()
+                    .or_else(|| it.next())
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--scale" => self.scale = parse_flag(&value()?, "--scale")?,
+                "--queries" => self.queries = parse_flag(&value()?, "--queries")?,
+                "--threads" => {
+                    self.threads = parse_flag(&value()?, "--threads")?;
+                    if self.threads == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                }
+                "--map-cache" => self.map_cache = PathBuf::from(value()?),
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        Ok(self)
+    }
+
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    pub fn with_queries(mut self, queries: usize) -> Self {
+        self.queries = queries;
+        self
+    }
+
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    pub fn with_map_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.map_cache = dir.into();
+        self
+    }
+
+    /// The six counties at the configured scale, generated (or loaded from
+    /// the cache).
+    pub fn counties(&self) -> Vec<PolygonalMap> {
+        lsdb_tiger::the_six_counties()
+            .into_iter()
+            .map(|spec| self.scaled_county(spec))
+            .collect()
+    }
+
+    /// One county at the configured scale.
+    pub fn county(&self, name: &str) -> PolygonalMap {
+        let spec = lsdb_tiger::county(name).unwrap_or_else(|| panic!("unknown county {name}"));
+        self.scaled_county(spec)
+    }
+
+    fn scaled_county(&self, spec: CountySpec) -> PolygonalMap {
+        let target = ((spec.target_segments as f64 * self.scale).round() as usize).max(200);
+        let spec = spec.with_target(target);
+        lsdb_tiger::io::load_or_generate(&spec, &self.map_cache)
+    }
 }
 
-/// The six counties at the configured scale, generated (or loaded from the
-/// cache).
-pub fn counties_at_scale() -> Vec<PolygonalMap> {
-    let s = scale();
-    lsdb_tiger::the_six_counties()
-        .into_iter()
-        .map(|spec| scaled_county(spec, s))
-        .collect()
+fn env_parse<T: std::str::FromStr>(var: &str) -> Option<T> {
+    std::env::var(var).ok().and_then(|s| s.parse().ok())
 }
 
-/// One county at the configured scale.
-pub fn county_at_scale(name: &str) -> PolygonalMap {
-    let spec = lsdb_tiger::county(name).unwrap_or_else(|| panic!("unknown county {name}"));
-    scaled_county(spec, scale())
-}
-
-fn scaled_county(spec: CountySpec, s: f64) -> PolygonalMap {
-    let target = ((spec.target_segments as f64 * s).round() as usize).max(200);
-    let spec = spec.with_target(target);
-    lsdb_tiger::io::load_or_generate(&spec, &map_cache_dir())
+fn parse_flag<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("invalid value '{v}' for {flag}"))
 }
 
 #[cfg(test)]
@@ -213,5 +329,50 @@ mod tests {
         assert_eq!(IndexKind::RStar.label(), "R*");
         assert_eq!(IndexKind::PmrThreshold(64).label(), "PMR(t=64)");
         assert_eq!(IndexKind::Grid(32).label(), "grid(32)");
+    }
+
+    #[test]
+    fn workload_config_builder_and_defaults() {
+        let cfg = WorkloadConfig::new();
+        assert_eq!(cfg.scale, 1.0);
+        assert_eq!(cfg.queries, 1000);
+        assert_eq!(cfg.threads, 1);
+        let cfg = cfg.with_scale(0.25).with_queries(50).with_threads(4).with_map_cache("/tmp/maps");
+        assert_eq!(cfg.scale, 0.25);
+        assert_eq!(cfg.queries, 50);
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.map_cache, PathBuf::from("/tmp/maps"));
+        assert_eq!(WorkloadConfig::new().with_threads(0).threads, 1);
+    }
+
+    #[test]
+    fn workload_config_parses_cli_flags() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let cfg = WorkloadConfig::new()
+            .try_apply_args(args(&["--scale", "0.1", "--queries=200", "--threads", "8"]))
+            .unwrap();
+        assert_eq!(cfg.scale, 0.1);
+        assert_eq!(cfg.queries, 200);
+        assert_eq!(cfg.threads, 8);
+        let cfg = WorkloadConfig::new()
+            .try_apply_args(args(&["--map-cache=/tmp/x"]))
+            .unwrap();
+        assert_eq!(cfg.map_cache, PathBuf::from("/tmp/x"));
+        assert!(WorkloadConfig::new().try_apply_args(args(&["--queries"])).is_err());
+        assert!(WorkloadConfig::new().try_apply_args(args(&["--queries", "lots"])).is_err());
+        assert!(WorkloadConfig::new().try_apply_args(args(&["--threads", "0"])).is_err());
+        assert!(WorkloadConfig::new().try_apply_args(args(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn env_beats_defaults_and_flags_beat_env() {
+        // try_apply_args layers on top of whatever base config it is given,
+        // which is how from_args implements flags-over-env precedence.
+        let base = WorkloadConfig::new().with_queries(250).with_threads(2);
+        let cfg = base
+            .try_apply_args(vec!["--queries".to_string(), "40".to_string()])
+            .unwrap();
+        assert_eq!(cfg.queries, 40);
+        assert_eq!(cfg.threads, 2, "untouched fields keep the base value");
     }
 }

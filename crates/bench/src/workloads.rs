@@ -4,9 +4,15 @@
 //! (nearest line) and 4 (enclosing polygon) run twice, once with 1-stage
 //! (uniform) and once with 2-stage (block-correlated) random points, giving
 //! seven workloads; query 5 uses windows covering 0.01% of the map area.
+//!
+//! Queries take `&dyn SpatialIndex` plus a per-query [`QueryCtx`], so a
+//! batch can be fanned across threads ([`QueryWorkbench::run_threaded`]):
+//! each worker owns one context, every counter is charged there, and the
+//! batch totals are a plain sum of per-query values — identical on one
+//! thread or sixteen.
 
 use lsdb_core::pointgen::{EndpointGen, TwoStageGen, UniformGen, WindowGen};
-use lsdb_core::{queries, PolygonalMap, QueryStats, SpatialIndex};
+use lsdb_core::{queries, PolygonalMap, QueryCtx, QueryStats, SpatialIndex};
 use lsdb_geom::Rect;
 use lsdb_pmr::{PmrConfig, PmrQuadtree};
 
@@ -47,7 +53,7 @@ impl Workload {
 }
 
 /// Average per-query metrics for one workload.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct WorkloadResult {
     pub queries: usize,
     pub disk_accesses: f64,
@@ -56,6 +62,52 @@ pub struct WorkloadResult {
     /// Auxiliary: average result size (incident counts, window hits, or
     /// polygon boundary length).
     pub avg_result: f64,
+}
+
+/// Run every item of a query stream, one fresh [`QueryCtx`] per query,
+/// summing result sizes and per-query stats. With `threads > 1` the stream
+/// is split into contiguous chunks, one scoped worker per chunk; partial
+/// sums are merged in chunk order, so the totals (and therefore the
+/// averages) are exactly the sequential ones.
+fn drive<T: Sync>(
+    items: &[T],
+    threads: usize,
+    run_one: &(dyn Fn(&T, &mut QueryCtx) -> usize + Sync),
+) -> (usize, QueryStats) {
+    let run_chunk = |chunk: &[T]| {
+        let mut ctx = QueryCtx::new();
+        let mut stats = QueryStats::default();
+        let mut size = 0usize;
+        for item in chunk {
+            ctx.reset();
+            size += run_one(item, &mut ctx);
+            stats.add(ctx.stats());
+        }
+        (size, stats)
+    };
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return run_chunk(items);
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let run_chunk = &run_chunk;
+    let partials: Vec<(usize, QueryStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || run_chunk(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("workload worker"))
+            .collect()
+    });
+    let mut size = 0usize;
+    let mut stats = QueryStats::default();
+    for (s, st) in partials {
+        size += s;
+        stats.add(st);
+    }
+    (size, stats)
 }
 
 /// Everything needed to drive the seven workloads reproducibly against any
@@ -94,67 +146,60 @@ impl QueryWorkbench {
         }
     }
 
-    /// Run one workload against `index`, returning averaged metrics.
-    /// The buffer pool stays warm across the queries of a workload, as in
-    /// the paper's batched runs.
-    pub fn run(&self, workload: Workload, index: &mut dyn SpatialIndex) -> WorkloadResult {
-        index.reset_stats();
-        let mut result_size = 0usize;
-        let n = match workload {
-            Workload::Point1 => {
-                for &(_, p) in &self.endpoints {
-                    result_size += index.find_incident(p).len();
-                }
-                self.endpoints.len()
-            }
-            Workload::Point2 => {
-                for &(id, p) in &self.endpoints {
-                    result_size += queries::second_endpoint(index, id, p).len();
-                }
-                self.endpoints.len()
-            }
-            Workload::NearestTwoStage => {
-                for &p in &self.two_stage_points {
-                    result_size += index.nearest(p).is_some() as usize;
-                }
-                self.two_stage_points.len()
-            }
-            Workload::NearestOneStage => {
-                for &p in &self.uniform_points {
-                    result_size += index.nearest(p).is_some() as usize;
-                }
-                self.uniform_points.len()
-            }
-            Workload::PolygonTwoStage => {
-                for &p in &self.two_stage_points {
-                    if let Some(w) = queries::enclosing_polygon(index, p, self.max_polygon_steps) {
-                        result_size += w.len();
-                    }
-                }
-                self.two_stage_points.len()
-            }
-            Workload::PolygonOneStage => {
-                for &p in &self.uniform_points {
-                    if let Some(w) = queries::enclosing_polygon(index, p, self.max_polygon_steps) {
-                        result_size += w.len();
-                    }
-                }
-                self.uniform_points.len()
-            }
-            Workload::Range => {
-                for &w in &self.windows {
-                    result_size += index.window(w).len();
-                }
-                self.windows.len()
-            }
+    /// Run one workload against a shared `index`, returning averaged
+    /// metrics. Equivalent to [`QueryWorkbench::run_threaded`] with one
+    /// thread.
+    pub fn run(&self, workload: Workload, index: &dyn SpatialIndex) -> WorkloadResult {
+        self.run_threaded(workload, index, 1)
+    }
+
+    /// Run one workload against a shared `index`, fanning the query stream
+    /// over `threads` scoped workers. Answers and counters are exactly
+    /// those of the sequential run: the read path never alters buffer-pool
+    /// residency, so every per-query metric is a pure function of the
+    /// query and the structure, not of the interleaving.
+    pub fn run_threaded(
+        &self,
+        workload: Workload,
+        index: &dyn SpatialIndex,
+        threads: usize,
+    ) -> WorkloadResult {
+        let steps = self.max_polygon_steps;
+        let (result_size, stats) = match workload {
+            Workload::Point1 => drive(&self.endpoints, threads, &|&(_, p), ctx| {
+                index.find_incident(p, ctx).len()
+            }),
+            Workload::Point2 => drive(&self.endpoints, threads, &|&(id, p), ctx| {
+                queries::second_endpoint(index, id, p, ctx).len()
+            }),
+            Workload::NearestTwoStage => drive(&self.two_stage_points, threads, &|&p, ctx| {
+                index.nearest(p, ctx).is_some() as usize
+            }),
+            Workload::NearestOneStage => drive(&self.uniform_points, threads, &|&p, ctx| {
+                index.nearest(p, ctx).is_some() as usize
+            }),
+            Workload::PolygonTwoStage => drive(&self.two_stage_points, threads, &|&p, ctx| {
+                queries::enclosing_polygon(index, p, steps, ctx).map_or(0, |w| w.len())
+            }),
+            Workload::PolygonOneStage => drive(&self.uniform_points, threads, &|&p, ctx| {
+                queries::enclosing_polygon(index, p, steps, ctx).map_or(0, |w| w.len())
+            }),
+            Workload::Range => drive(&self.windows, threads, &|&w, ctx| {
+                index.window(w, ctx).len()
+            }),
         };
-        let s: QueryStats = index.stats();
+        let n = match workload {
+            Workload::Point1 | Workload::Point2 => self.endpoints.len(),
+            Workload::NearestTwoStage | Workload::PolygonTwoStage => self.two_stage_points.len(),
+            Workload::NearestOneStage | Workload::PolygonOneStage => self.uniform_points.len(),
+            Workload::Range => self.windows.len(),
+        };
         let nf = n as f64;
         WorkloadResult {
             queries: n,
-            disk_accesses: s.disk.total() as f64 / nf,
-            seg_comps: s.seg_comps as f64 / nf,
-            bbox_comps: s.bbox_comps as f64 / nf,
+            disk_accesses: stats.disk.total() as f64 / nf,
+            seg_comps: stats.seg_comps as f64 / nf,
+            bbox_comps: stats.bbox_comps as f64 / nf,
             avg_result: result_size as f64 / nf,
         }
     }
@@ -190,13 +235,41 @@ mod tests {
         let map = tiny_map();
         let wb = QueryWorkbench::new(&map, 20, 2);
         for kind in crate::IndexKind::paper_three() {
-            let mut idx = crate::build_index(kind, &map, IndexConfig::default());
+            let idx = crate::build_index(kind, &map, IndexConfig::default());
             for w in Workload::ALL {
-                let r = wb.run(w, idx.as_mut());
+                let r = wb.run(w, idx.as_ref());
                 assert_eq!(r.queries, 20, "{kind:?} {w:?}");
                 assert!(r.seg_comps >= 0.0);
             }
         }
+    }
+
+    #[test]
+    fn threaded_runs_reproduce_sequential_averages() {
+        let map = tiny_map();
+        let wb = QueryWorkbench::new(&map, 30, 9);
+        for kind in crate::IndexKind::paper_three() {
+            let idx = crate::build_index(kind, &map, IndexConfig::default());
+            for w in Workload::ALL {
+                let seq = wb.run(w, idx.as_ref());
+                for threads in [2usize, 3, 8] {
+                    let par = wb.run_threaded(w, idx.as_ref(), threads);
+                    assert_eq!(seq, par, "{kind:?} {w:?} x{threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_thread_counts_are_clamped() {
+        let map = tiny_map();
+        let wb = QueryWorkbench::new(&map, 3, 4);
+        let idx = crate::build_index(crate::IndexKind::Pmr, &map, IndexConfig::default());
+        let seq = wb.run(Workload::Point1, idx.as_ref());
+        // More threads than queries (and thread count 0) both degrade
+        // gracefully.
+        assert_eq!(seq, wb.run_threaded(Workload::Point1, idx.as_ref(), 64));
+        assert_eq!(seq, wb.run_threaded(Workload::Point1, idx.as_ref(), 0));
     }
 
     #[test]
@@ -206,31 +279,34 @@ mod tests {
         let map = tiny_map();
         let wb = QueryWorkbench::new(&map, 30, 3);
         let cfg = IndexConfig::default();
-        let mut indexes: Vec<_> = crate::IndexKind::paper_three()
+        let indexes: Vec<_> = crate::IndexKind::paper_three()
             .iter()
             .map(|&k| crate::build_index(k, &map, cfg))
             .collect();
+        // A context's page pins are only meaningful against one index's
+        // pools, so each (query, index) pair gets a fresh one — exactly
+        // what `drive` does per query.
         for &(_, p) in &wb.endpoints {
             let mut answers: Vec<Vec<lsdb_core::SegId>> = indexes
-                .iter_mut()
-                .map(|i| lsdb_core::brute::sorted(i.find_incident(p)))
+                .iter()
+                .map(|i| lsdb_core::brute::sorted(i.find_incident(p, &mut QueryCtx::new())))
                 .collect();
             answers.dedup();
             assert_eq!(answers.len(), 1, "incident answers diverge at {p:?}");
         }
         for &w in &wb.windows {
             let mut answers: Vec<Vec<lsdb_core::SegId>> = indexes
-                .iter_mut()
-                .map(|i| lsdb_core::brute::sorted(i.window(w)))
+                .iter()
+                .map(|i| lsdb_core::brute::sorted(i.window(w, &mut QueryCtx::new())))
                 .collect();
             answers.dedup();
             assert_eq!(answers.len(), 1, "window answers diverge at {w:?}");
         }
         for &p in wb.two_stage_points.iter().chain(&wb.uniform_points) {
             let dists: Vec<_> = indexes
-                .iter_mut()
+                .iter()
                 .map(|i| {
-                    let id = i.nearest(p).unwrap();
+                    let id = i.nearest(p, &mut QueryCtx::new()).unwrap();
                     map.segments[id.index()].dist2_point(p)
                 })
                 .collect();
@@ -238,3 +314,4 @@ mod tests {
         }
     }
 }
+

@@ -228,6 +228,171 @@ impl<S: Storage> BTree<S> {
         self.last_rec(self.root, self.height, lo, hi)
     }
 
+    // ------------------------------------------------------------------
+    // Shared (&self) read path.
+    //
+    // Mirrors of the queries above that never touch the pool's LRU or the
+    // tree's internal counters: page accesses are charged to the caller's
+    // [`PoolCtx`], so any number of query threads can search one tree
+    // concurrently while a batch's disk totals stay a plain per-context
+    // sum. Build and maintenance stay on the exclusive (&mut) methods.
+    // ------------------------------------------------------------------
+
+    /// Exact-key membership test on the shared read path.
+    pub fn contains_ctx(&self, key: u64, ctx: &mut lsdb_pager::PoolCtx) -> bool {
+        let mut pid = self.root;
+        let mut level = self.height;
+        loop {
+            if level == 1 {
+                return self
+                    .pool
+                    .read_page(pid, ctx, |buf| LeafView::search(buf, key).is_ok());
+            }
+            pid = self
+                .pool
+                .read_page(pid, ctx, |buf| InternalView::child_for(buf, key));
+            level -= 1;
+        }
+    }
+
+    /// Visit all keys in `[lo, hi]` ascending, on the shared read path.
+    pub fn scan_range_ctx(
+        &self,
+        lo: u64,
+        hi: u64,
+        ctx: &mut lsdb_pager::PoolCtx,
+        f: &mut impl FnMut(u64) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if lo > hi {
+            return ControlFlow::Continue(());
+        }
+        self.scan_rec_ctx(self.root, self.height, lo, hi, ctx, f)
+    }
+
+    /// Collect all keys in `[lo, hi]`, on the shared read path.
+    pub fn collect_range_ctx(&self, lo: u64, hi: u64, ctx: &mut lsdb_pager::PoolCtx) -> Vec<u64> {
+        let mut out = Vec::new();
+        let _ = self.scan_range_ctx(lo, hi, ctx, &mut |k| {
+            out.push(k);
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    /// Number of keys in `[lo, hi]`, on the shared read path.
+    pub fn count_range_ctx(&self, lo: u64, hi: u64, ctx: &mut lsdb_pager::PoolCtx) -> u64 {
+        let mut n = 0;
+        let _ = self.scan_range_ctx(lo, hi, ctx, &mut |_| {
+            n += 1;
+            ControlFlow::Continue(())
+        });
+        n
+    }
+
+    /// Smallest key `>= lo` within `[lo, hi]`, on the shared read path.
+    pub fn first_in_range_ctx(
+        &self,
+        lo: u64,
+        hi: u64,
+        ctx: &mut lsdb_pager::PoolCtx,
+    ) -> Option<u64> {
+        let mut found = None;
+        let _ = self.scan_range_ctx(lo, hi, ctx, &mut |k| {
+            found = Some(k);
+            ControlFlow::Break(())
+        });
+        found
+    }
+
+    /// Largest key `<= hi` within `[lo, hi]` (the predecessor search linear
+    /// quadtrees use for point location), on the shared read path.
+    pub fn last_in_range_ctx(
+        &self,
+        lo: u64,
+        hi: u64,
+        ctx: &mut lsdb_pager::PoolCtx,
+    ) -> Option<u64> {
+        if lo > hi {
+            return None;
+        }
+        self.last_rec_ctx(self.root, self.height, lo, hi, ctx)
+    }
+
+    fn scan_rec_ctx(
+        &self,
+        pid: PageId,
+        level: u32,
+        lo: u64,
+        hi: u64,
+        ctx: &mut lsdb_pager::PoolCtx,
+        f: &mut impl FnMut(u64) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if level == 1 {
+            let keys = self.pool.read_page(pid, ctx, |buf| {
+                let count = LeafView::count(buf);
+                let start = LeafView::search(buf, lo).unwrap_or_else(|i| i);
+                let mut keys = Vec::new();
+                for i in start..count {
+                    let k = LeafView::key_at(buf, i);
+                    if k > hi {
+                        break;
+                    }
+                    keys.push(k);
+                }
+                keys
+            });
+            for k in keys {
+                f(k)?;
+            }
+            return ControlFlow::Continue(());
+        }
+        let children = self.pool.read_page(pid, ctx, |buf| {
+            let count = InternalView::count(buf);
+            let start = InternalView::child_index_for(buf, lo);
+            let end = InternalView::child_index_for(buf, hi);
+            (start..=end.min(count)).map(|i| InternalView::child_at(buf, i)).collect::<Vec<_>>()
+        });
+        for child in children {
+            self.scan_rec_ctx(child, level - 1, lo, hi, ctx, f)?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    fn last_rec_ctx(
+        &self,
+        pid: PageId,
+        level: u32,
+        lo: u64,
+        hi: u64,
+        ctx: &mut lsdb_pager::PoolCtx,
+    ) -> Option<u64> {
+        if level == 1 {
+            return self.pool.read_page(pid, ctx, |buf| {
+                let end = match LeafView::search(buf, hi) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                if end == 0 {
+                    return None;
+                }
+                let k = LeafView::key_at(buf, end - 1);
+                (k >= lo).then_some(k)
+            });
+        }
+        let children = self.pool.read_page(pid, ctx, |buf| {
+            let count = InternalView::count(buf);
+            let start = InternalView::child_index_for(buf, lo);
+            let end = InternalView::child_index_for(buf, hi).min(count);
+            (start..=end).map(|i| InternalView::child_at(buf, i)).collect::<Vec<PageId>>()
+        });
+        for child in children.into_iter().rev() {
+            if let Some(k) = self.last_rec_ctx(child, level - 1, lo, hi, ctx) {
+                return Some(k);
+            }
+        }
+        None
+    }
+
     fn last_rec(&mut self, pid: PageId, level: u32, lo: u64, hi: u64) -> Option<u64> {
         self.stats.node_visits += 1;
         if level == 1 {
@@ -807,6 +972,74 @@ mod tests {
         assert_eq!(t.collect_range(u64::MAX - 1, u64::MAX), vec![u64::MAX - 1, u64::MAX]);
         assert!(t.remove(u64::MAX));
         assert!(!t.contains(u64::MAX));
+    }
+
+    #[test]
+    fn ctx_reads_agree_with_exclusive_reads() {
+        let mut t = tiny();
+        for k in (0..300u64).map(|i| i * 3) {
+            t.insert(k);
+        }
+        let mut ctx = lsdb_pager::PoolCtx::new();
+        for probe in [0, 1, 3, 299 * 3, 900, u64::MAX] {
+            let expect = t.contains(probe);
+            assert_eq!(t.contains_ctx(probe, &mut ctx), expect);
+        }
+        assert_eq!(t.collect_range_ctx(10, 200, &mut ctx), t.collect_range(10, 200));
+        assert_eq!(t.count_range_ctx(0, u64::MAX, &mut ctx), 300);
+        assert_eq!(t.first_in_range_ctx(100, 200, &mut ctx), t.first_in_range(100, 200));
+        assert_eq!(t.last_in_range_ctx(100, 200, &mut ctx), t.last_in_range(100, 200));
+        assert_eq!(t.last_in_range_ctx(1, 2, &mut ctx), None);
+        assert_eq!(t.collect_range_ctx(50, 10, &mut ctx), vec![]);
+    }
+
+    #[test]
+    fn ctx_reads_charge_the_context_not_the_pool() {
+        // Pool of 2 frames over a ~500-key tree: almost nothing resident.
+        let mut t = BTree::new(MemPool::in_memory(64, 2));
+        for k in 0..500u64 {
+            t.insert(k);
+        }
+        t.pool_mut().clear();
+        t.pool_mut().reset_stats();
+        let mut ctx = lsdb_pager::PoolCtx::new();
+        assert!(t.contains_ctx(250, &mut ctx));
+        assert_eq!(
+            ctx.stats.reads as u32,
+            t.height(),
+            "cold point lookup faults once per level"
+        );
+        assert_eq!(t.pool().stats().reads, 0, "pool counters untouched by ctx reads");
+        // Re-walking the same path in the same context is free (pinned).
+        let before = ctx.stats.reads;
+        assert!(t.contains_ctx(250, &mut ctx));
+        assert_eq!(ctx.stats.reads, before);
+    }
+
+    #[test]
+    fn concurrent_ctx_scans() {
+        let mut t = BTree::new(MemPool::in_memory(64, 4));
+        for k in 0..400u64 {
+            t.insert(k);
+        }
+        t.pool_mut().clear();
+        let t = &t;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    scope.spawn(move || {
+                        let mut ctx = lsdb_pager::PoolCtx::new();
+                        let lo = i * 50;
+                        let keys = t.collect_range_ctx(lo, lo + 99, &mut ctx);
+                        assert_eq!(keys, (lo..=lo + 99).collect::<Vec<_>>());
+                        assert!(ctx.stats.reads > 0, "cold scan must fault");
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
     }
 
     #[test]

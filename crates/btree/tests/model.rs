@@ -1,11 +1,13 @@
-//! Model-based property tests: the disk B-tree must behave exactly like
+//! Model-based tests: the disk B-tree must behave exactly like
 //! `std::collections::BTreeSet<u64>` under arbitrary operation sequences,
 //! across several page sizes (including degenerate 64-byte pages that force
-//! deep trees) and a thrashing 2-frame buffer pool.
+//! deep trees) and a thrashing 2-frame buffer pool. Operation sequences are
+//! drawn from fixed-seed [`lsdb_rng::StdRng`] streams, so every run checks
+//! the same cases.
 
 use lsdb_btree::BTree;
-use lsdb_pager::MemPool;
-use proptest::prelude::*;
+use lsdb_pager::{MemPool, PoolCtx};
+use lsdb_rng::StdRng;
 use std::collections::BTreeSet;
 
 #[derive(Clone, Debug)]
@@ -18,22 +20,37 @@ enum Op {
     Count(u64, u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    // Small key domain so inserts and removes collide often.
-    let key = 0u64..512;
-    prop_oneof![
-        4 => key.clone().prop_map(Op::Insert),
-        2 => key.clone().prop_map(Op::Remove),
-        1 => key.clone().prop_map(Op::Contains),
-        1 => (key.clone(), key.clone()).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
-        1 => (key.clone(), key.clone()).prop_map(|(a, b)| Op::First(a.min(b), a.max(b))),
-        1 => (key.clone(), key).prop_map(|(a, b)| Op::Count(a.min(b), a.max(b))),
-    ]
+/// Small key domain (0..512) so inserts and removes collide often.
+fn gen_op(rng: &mut StdRng) -> Op {
+    let key = |rng: &mut StdRng| rng.gen_range(0u64..512);
+    let span = |rng: &mut StdRng| {
+        let a = rng.gen_range(0u64..512);
+        let b = rng.gen_range(0u64..512);
+        (a.min(b), a.max(b))
+    };
+    match rng.gen_range(0u32..10) {
+        0..=3 => Op::Insert(key(rng)),
+        4..=5 => Op::Remove(key(rng)),
+        6 => Op::Contains(key(rng)),
+        7 => {
+            let (lo, hi) = span(rng);
+            Op::Range(lo, hi)
+        }
+        8 => {
+            let (lo, hi) = span(rng);
+            Op::First(lo, hi)
+        }
+        _ => {
+            let (lo, hi) = span(rng);
+            Op::Count(lo, hi)
+        }
+    }
 }
 
 fn run_model(page_size: usize, pool_pages: usize, ops: &[Op]) {
     let mut tree = BTree::new(MemPool::in_memory(page_size, pool_pages));
     let mut model: BTreeSet<u64> = BTreeSet::new();
+    let mut ctx = PoolCtx::new();
     for op in ops {
         match *op {
             Op::Insert(k) => {
@@ -44,11 +61,15 @@ fn run_model(page_size: usize, pool_pages: usize, ops: &[Op]) {
             }
             Op::Contains(k) => {
                 assert_eq!(tree.contains(k), model.contains(&k), "contains {k}");
+                ctx.reset();
+                assert_eq!(tree.contains_ctx(k, &mut ctx), model.contains(&k));
             }
             Op::Range(lo, hi) => {
                 let got = tree.collect_range(lo, hi);
                 let want: Vec<u64> = model.range(lo..=hi).copied().collect();
                 assert_eq!(got, want, "range {lo}..={hi}");
+                ctx.reset();
+                assert_eq!(tree.collect_range_ctx(lo, hi, &mut ctx), want);
             }
             Op::First(lo, hi) => {
                 let got = tree.first_in_range(lo, hi);
@@ -57,9 +78,15 @@ fn run_model(page_size: usize, pool_pages: usize, ops: &[Op]) {
                 let got_last = tree.last_in_range(lo, hi);
                 let want_last = model.range(lo..=hi).next_back().copied();
                 assert_eq!(got_last, want_last, "last {lo}..={hi}");
+                ctx.reset();
+                assert_eq!(tree.first_in_range_ctx(lo, hi, &mut ctx), want);
+                assert_eq!(tree.last_in_range_ctx(lo, hi, &mut ctx), want_last);
             }
             Op::Count(lo, hi) => {
-                assert_eq!(tree.count_range(lo, hi), model.range(lo..=hi).count() as u64);
+                let want = model.range(lo..=hi).count() as u64;
+                assert_eq!(tree.count_range(lo, hi), want);
+                ctx.reset();
+                assert_eq!(tree.count_range_ctx(lo, hi, &mut ctx), want);
             }
         }
         assert_eq!(tree.len(), model.len() as u64);
@@ -72,25 +99,30 @@ fn run_model(page_size: usize, pool_pages: usize, ops: &[Op]) {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn matches_btreeset_tiny_pages(ops in prop::collection::vec(op_strategy(), 1..400)) {
-        run_model(64, 8, &ops);
+fn run_cases(seed: u64, cases: usize, max_ops: usize, page_size: usize, pool_pages: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..cases {
+        let n = rng.gen_range(1usize..max_ops);
+        let ops: Vec<Op> = (0..n).map(|_| gen_op(&mut rng)).collect();
+        run_model(page_size, pool_pages, &ops);
     }
+}
 
-    #[test]
-    fn matches_btreeset_paper_pages(ops in prop::collection::vec(op_strategy(), 1..400)) {
-        run_model(1024, 16, &ops);
-    }
+#[test]
+fn matches_btreeset_tiny_pages() {
+    run_cases(0xB7EE_0001, 64, 400, 64, 8);
+}
 
-    #[test]
-    fn matches_btreeset_thrashing_pool(ops in prop::collection::vec(op_strategy(), 1..250)) {
-        // A 2-frame pool: every structural operation spills; correctness
-        // must not depend on residency.
-        run_model(64, 2, &ops);
-    }
+#[test]
+fn matches_btreeset_paper_pages() {
+    run_cases(0xB7EE_0002, 64, 400, 1024, 16);
+}
+
+#[test]
+fn matches_btreeset_thrashing_pool() {
+    // A 2-frame pool: every structural operation spills; correctness must
+    // not depend on residency.
+    run_cases(0xB7EE_0003, 64, 250, 64, 2);
 }
 
 #[test]
@@ -121,22 +153,15 @@ fn file_backed_btree_persists_across_reopen() {
     let dir = std::env::temp_dir().join(format!("lsdb-btree-file-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("tree.lsdb");
-    // The BTree keeps its root/height in memory; persist them alongside
-    // (a real deployment would write a superblock page).
-    let (root_meta, height_meta, len_meta);
     {
         let storage = FileStorage::create(&path, 256).unwrap();
         let mut tree = BTree::new(BufferPool::new(storage, 8));
         for k in 0..500u64 {
             tree.insert(k * 3);
         }
-        root_meta = format!("{:?}", tree.len());
-        height_meta = tree.height();
-        len_meta = tree.len();
         // Flush through into_pool.
         let _ = tree.into_pool().into_storage();
     }
-    let _ = (root_meta, height_meta, len_meta);
     // Reopen the raw storage: the pages must be intact (full structural
     // reopen requires the superblock, exercised at the pager level).
     let storage = FileStorage::open(&path, 256).unwrap();

@@ -1,6 +1,5 @@
-use crate::{QueryStats, SegId, SegmentTable};
+use crate::{QueryCtx, QueryStats, SegId, SegmentTable};
 use lsdb_geom::{Point, Rect};
-
 
 /// Page/pool configuration shared by the index and its segment table.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -20,6 +19,19 @@ impl Default for IndexConfig {
     }
 }
 
+/// Identifier of the leaf page or bucket a point probe located: the page id
+/// for paged trees, the Z-order block key for the PMR quadtree, the cell
+/// index for grids. Opaque — only meaningful back to the index that issued
+/// it — but stable: probing the same point twice yields the same id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct LocId(pub u64);
+
+impl LocId {
+    /// Returned by indexes with no localizable bucket (e.g. an oracle that
+    /// scans everything).
+    pub const NONE: LocId = LocId(u64::MAX);
+}
+
 /// The interface shared by the R\*-tree, R+-tree, PMR quadtree (and the
 /// uniform-grid baseline).
 ///
@@ -36,14 +48,28 @@ impl Default for IndexConfig {
 /// enclosing polygon) are structure-independent compositions of these and
 /// are implemented once in [`crate::queries`].
 ///
-/// Indexes own their [`SegmentTable`] handle so that the segment
-/// comparisons a query performs are charged to that index alone.
-pub trait SpatialIndex {
+/// # Shared-read queries
+///
+/// All queries take `&self` plus a per-query [`QueryCtx`]: the index is
+/// never mutated by a read, so one index can serve many query threads at
+/// once. Everything a query *counts* — disk accesses, segment comparisons,
+/// bounding-box computations — is charged to its context, making batch
+/// totals independent of thread interleaving. Build/maintenance operations
+/// ([`SpatialIndex::insert`], [`SpatialIndex::remove`]) remain exclusive
+/// (`&mut self`) and charge the pools' internal counters instead.
+///
+/// `Send + Sync` are supertraits so a `&dyn SpatialIndex` can be handed to
+/// query worker threads directly; every disk-resident implementor is
+/// already thread-safe through its sharded buffer pool.
+pub trait SpatialIndex: Send + Sync {
     /// Short display name ("R*-tree", "R+-tree", "PMR quadtree", ...).
     fn name(&self) -> &'static str;
 
     /// The segment table this index points into.
-    fn seg_table(&mut self) -> &mut SegmentTable;
+    fn seg_table(&self) -> &SegmentTable;
+
+    /// Exclusive access to the segment table (loading, build paths).
+    fn seg_table_mut(&mut self) -> &mut SegmentTable;
 
     /// Insert the segment with id `id` (geometry is read from the table).
     fn insert(&mut self, id: SegId);
@@ -59,22 +85,24 @@ pub trait SpatialIndex {
     }
 
     /// Query 1: all segments with an endpoint exactly at `p`.
-    fn find_incident(&mut self, p: Point) -> Vec<SegId>;
+    fn find_incident(&self, p: Point, ctx: &mut QueryCtx) -> Vec<SegId>;
 
     /// Locate the leaf (or bucket) containing `p` without fetching any
     /// segment records — the cheap "find where this endpoint lives" step
     /// the paper's query 2 performs before searching the other endpoint.
     /// Charges disk accesses and bbox/bucket computations but no segment
-    /// comparisons. The default implementation falls back to a full
-    /// point search.
-    fn probe_point(&mut self, p: Point) {
-        let _ = self.find_incident(p);
+    /// comparisons, and returns the located leaf/bucket id. The default
+    /// implementation falls back to a full point search and reports
+    /// [`LocId::NONE`].
+    fn probe_point(&self, p: Point, ctx: &mut QueryCtx) -> LocId {
+        let _ = self.find_incident(p, ctx);
+        LocId::NONE
     }
 
     /// Query 3: a segment at minimal Euclidean distance from `p`
     /// (`None` only when the index is empty). Ties may resolve to any of
     /// the equidistant segments.
-    fn nearest(&mut self, p: Point) -> Option<SegId>;
+    fn nearest(&self, p: Point, ctx: &mut QueryCtx) -> Option<SegId>;
 
     /// The `k` nearest segments to `p`, closest first (fewer if the index
     /// holds fewer than `k`). The incremental best-first search the
@@ -82,7 +110,7 @@ pub trait SpatialIndex {
     /// retrieval at no extra cost — the point of Hoel & Samet's
     /// incremental algorithm. The default implementation is correct for
     /// any structure but not incremental.
-    fn nearest_k(&mut self, p: Point, k: usize) -> Vec<SegId> {
+    fn nearest_k(&self, p: Point, k: usize, ctx: &mut QueryCtx) -> Vec<SegId> {
         // Generic fallback: widen a window around p until it provably
         // contains the k nearest, then rank by exact distance.
         if k == 0 || self.is_empty() {
@@ -96,13 +124,13 @@ pub trait SpatialIndex {
                 (p.x as i64 + radius).min(i32::MAX as i64) as i32,
                 (p.y as i64 + radius).min(i32::MAX as i64) as i32,
             );
-            let mut hits = self.window(w);
+            let mut hits = self.window(w, ctx);
             let enough = hits.len() >= k;
             let saturated = hits.len() >= self.len();
             if enough || saturated {
                 let mut ranked: Vec<_> = hits
                     .drain(..)
-                    .map(|id| (self.seg_table().get(id).dist2_point(p), id))
+                    .map(|id| (self.seg_table().get(id, ctx).dist2_point(p), id))
                     .collect();
                 ranked.sort();
                 ranked.truncate(k);
@@ -119,12 +147,24 @@ pub trait SpatialIndex {
 
     /// Query 5: all segments intersecting the closed window `w`, without
     /// duplicates.
-    fn window(&mut self, w: Rect) -> Vec<SegId>;
+    fn window(&self, w: Rect, ctx: &mut QueryCtx) -> Vec<SegId>;
 
-    /// Snapshot of the accumulated metric counters.
+    /// Streaming query 5: invoke `f` once per matching segment instead of
+    /// materializing a result vector. Structures with a native traversal
+    /// override this to avoid the allocation; the default delegates to
+    /// [`SpatialIndex::window`]. Visit order is structure-defined but
+    /// deterministic; no segment is visited twice.
+    fn window_visit(&self, w: Rect, ctx: &mut QueryCtx, f: &mut dyn FnMut(SegId)) {
+        for id in self.window(w, ctx) {
+            f(id);
+        }
+    }
+
+    /// Snapshot of the build-path metric counters (the pools' internal
+    /// stats). Query-path metrics live in each query's [`QueryCtx`].
     fn stats(&self) -> QueryStats;
 
-    /// Zero all metric counters (typically after the build phase).
+    /// Zero the build-path counters (typically after the build phase).
     fn reset_stats(&mut self);
 
     /// Storage footprint of the index structure in bytes, excluding the
@@ -132,7 +172,7 @@ pub trait SpatialIndex {
     /// identical across structures).
     fn size_bytes(&self) -> u64;
 
-    /// Drop all buffered pages (flushing dirty ones) so subsequent queries
+    /// Flush dirty pages and drop all buffered ones, so subsequent queries
     /// run against a cold cache.
     fn clear_cache(&mut self);
 }

@@ -27,7 +27,11 @@ pub mod rectnode;
 mod seg_table;
 mod stats;
 
-pub use index::{IndexConfig, SpatialIndex};
+pub use index::{IndexConfig, LocId, SpatialIndex};
 pub use map::{PlanarityViolation, PolygonalMap};
 pub use seg_table::{SegId, SegmentTable};
-pub use stats::QueryStats;
+pub use stats::{QueryCtx, QueryStats};
+
+// Re-exported so query implementations can name the pool-level context
+// without depending on lsdb-pager directly.
+pub use lsdb_pager::PoolCtx;

@@ -1,12 +1,11 @@
 use lsdb_geom::{world_rect, Point, Rect, Segment};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A *polygonal map*: a line-segment database of vertices and edges,
 /// "regardless of whether or not the line segments are connected to each
 /// other" (paper §2). This is the in-memory form; indexes consume it via a
 /// [`crate::SegmentTable`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PolygonalMap {
     pub name: String,
     pub segments: Vec<Segment>,

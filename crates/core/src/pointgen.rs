@@ -18,8 +18,7 @@
 
 use crate::{PolygonalMap, SegId};
 use lsdb_geom::{Point, Rect, WORLD_SIZE};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lsdb_rng::StdRng;
 
 /// 1-stage generator: uniform points over the world.
 pub struct UniformGen {

@@ -14,8 +14,11 @@
 //!   returned" — the *right* one being the first in clockwise order from
 //!   the reversed incoming direction, which walks the face containing the
 //!   query point.
+//!
+//! Both compositions take `&I` plus a [`QueryCtx`], like the trait queries
+//! they are built from, so they run concurrently against a shared index.
 
-use crate::{SegId, SpatialIndex};
+use crate::{QueryCtx, SegId, SpatialIndex};
 use lsdb_geom::angle::{first_clockwise_from, Dir};
 use lsdb_geom::{orient, Point};
 
@@ -63,11 +66,16 @@ impl PolygonWalk {
 /// endpoint to locate the segment's leaf, the segment record is fetched
 /// (one segment comparison), and then the full point search runs at the
 /// other endpoint.
-pub fn second_endpoint<I: SpatialIndex + ?Sized>(index: &mut I, id: SegId, p: Point) -> Vec<SegId> {
-    index.probe_point(p);
-    let seg = index.seg_table().get(id);
+pub fn second_endpoint<I: SpatialIndex + ?Sized>(
+    index: &I,
+    id: SegId,
+    p: Point,
+    ctx: &mut QueryCtx,
+) -> Vec<SegId> {
+    index.probe_point(p, ctx);
+    let seg = index.seg_table().get(id, ctx);
     let other = seg.other_endpoint(p);
-    index.find_incident(other)
+    index.find_incident(other, ctx)
 }
 
 /// Query 4: walk the boundary of the face containing `p`.
@@ -76,12 +84,13 @@ pub fn second_endpoint<I: SpatialIndex + ?Sized>(index: &mut I, id: SegId, p: Po
 /// (the outer face of a 50k-segment map can be long); a typical limit is
 /// `4 * n`.
 pub fn enclosing_polygon<I: SpatialIndex + ?Sized>(
-    index: &mut I,
+    index: &I,
     p: Point,
     max_steps: usize,
+    ctx: &mut QueryCtx,
 ) -> Option<PolygonWalk> {
-    let e0 = index.nearest(p)?;
-    let s0 = index.seg_table().get(e0);
+    let e0 = index.nearest(p, ctx)?;
+    let s0 = index.seg_table().get(e0, ctx);
     // Walk the face on p's side: orient the starting edge u->v so that p
     // lies to its left. If p is exactly on the segment's supporting line,
     // either face is "the" enclosing polygon; take a->b.
@@ -100,7 +109,7 @@ pub fn enclosing_polygon<I: SpatialIndex + ?Sized>(
         // Query 2 at v: segments incident at the far end of the current
         // edge, then select the clockwise-first one from the reversed
         // incoming direction.
-        let incident = index.find_incident(v);
+        let incident = index.find_incident(v, ctx);
         debug_assert!(
             incident.contains(&current),
             "index lost the current boundary edge at {v:?}"
@@ -109,7 +118,7 @@ pub fn enclosing_polygon<I: SpatialIndex + ?Sized>(
         let mut dirs = Vec::with_capacity(incident.len());
         let mut far = Vec::with_capacity(incident.len());
         for &cand in &incident {
-            let s = index.seg_table().get(cand);
+            let s = index.seg_table().get(cand, ctx);
             let w = s.other_endpoint(v);
             far.push(w);
             dirs.push(Dir::between(v, w));
@@ -156,7 +165,10 @@ mod tests {
         fn name(&self) -> &'static str {
             "brute"
         }
-        fn seg_table(&mut self) -> &mut SegmentTable {
+        fn seg_table(&self) -> &SegmentTable {
+            &self.table
+        }
+        fn seg_table_mut(&mut self) -> &mut SegmentTable {
             &mut self.table
         }
         fn insert(&mut self, _id: SegId) {}
@@ -166,13 +178,13 @@ mod tests {
         fn len(&self) -> usize {
             self.map.len()
         }
-        fn find_incident(&mut self, p: Point) -> Vec<SegId> {
+        fn find_incident(&self, p: Point, _ctx: &mut QueryCtx) -> Vec<SegId> {
             brute::incident(&self.map, p)
         }
-        fn nearest(&mut self, p: Point) -> Option<SegId> {
+        fn nearest(&self, p: Point, _ctx: &mut QueryCtx) -> Option<SegId> {
             brute::nearest(&self.map, p).map(|(id, _)| id)
         }
-        fn window(&mut self, w: Rect) -> Vec<SegId> {
+        fn window(&self, w: Rect, _ctx: &mut QueryCtx) -> Vec<SegId> {
             brute::window(&self.map, w)
         }
         fn stats(&self) -> QueryStats {
@@ -218,16 +230,19 @@ mod tests {
 
     #[test]
     fn second_endpoint_includes_self_and_neighbors() {
-        let mut idx = BruteIndex::new(two_squares_with_stub());
+        let idx = BruteIndex::new(two_squares_with_stub());
+        let mut ctx = QueryCtx::new();
         // Segment 0 from (0,0): other endpoint (10,0) touches 0, 1, 6.
-        let got = second_endpoint(&mut idx, SegId(0), Point::new(0, 0));
+        let got = second_endpoint(&idx, SegId(0), Point::new(0, 0), &mut ctx);
         assert_eq!(brute::sorted(got), vec![SegId(0), SegId(1), SegId(6)]);
+        assert_eq!(ctx.seg_comps, 1, "one table fetch for the other endpoint");
     }
 
     #[test]
     fn polygon_around_point_in_right_square() {
-        let mut idx = BruteIndex::new(two_squares_with_stub());
-        let walk = enclosing_polygon(&mut idx, Point::new(15, 5), 100).unwrap();
+        let idx = BruteIndex::new(two_squares_with_stub());
+        let mut ctx = QueryCtx::new();
+        let walk = enclosing_polygon(&idx, Point::new(15, 5), 100, &mut ctx).unwrap();
         assert!(walk.closed);
         assert_eq!(
             brute::sorted(walk.distinct_segments()),
@@ -238,10 +253,11 @@ mod tests {
 
     #[test]
     fn polygon_around_point_in_left_square_walks_the_stub() {
-        let mut idx = BruteIndex::new(two_squares_with_stub());
+        let idx = BruteIndex::new(two_squares_with_stub());
+        let mut ctx = QueryCtx::new();
         // Query near the left wall: nearest edge is 5; the face boundary
         // includes the dead-end stub, whose segment is traversed twice.
-        let walk = enclosing_polygon(&mut idx, Point::new(1, 5), 100).unwrap();
+        let walk = enclosing_polygon(&idx, Point::new(1, 5), 100, &mut ctx).unwrap();
         assert!(walk.closed);
         let distinct = brute::sorted(walk.distinct_segments());
         assert_eq!(
@@ -256,8 +272,9 @@ mod tests {
 
     #[test]
     fn polygon_outside_walks_outer_face() {
-        let mut idx = BruteIndex::new(two_squares_with_stub());
-        let walk = enclosing_polygon(&mut idx, Point::new(-5, 5), 100).unwrap();
+        let idx = BruteIndex::new(two_squares_with_stub());
+        let mut ctx = QueryCtx::new();
+        let walk = enclosing_polygon(&idx, Point::new(-5, 5), 100, &mut ctx).unwrap();
         assert!(walk.closed);
         // Outer face: the outer boundary of the 2x1 block (not the shared
         // wall, not the stub).
@@ -269,15 +286,41 @@ mod tests {
 
     #[test]
     fn polygon_respects_step_limit() {
-        let mut idx = BruteIndex::new(two_squares_with_stub());
-        let walk = enclosing_polygon(&mut idx, Point::new(15, 5), 2).unwrap();
+        let idx = BruteIndex::new(two_squares_with_stub());
+        let mut ctx = QueryCtx::new();
+        let walk = enclosing_polygon(&idx, Point::new(15, 5), 2, &mut ctx).unwrap();
         assert!(!walk.closed);
         assert_eq!(walk.len(), 3, "start edge + 2 steps");
     }
 
     #[test]
     fn polygon_on_empty_index_is_none() {
-        let mut idx = BruteIndex::new(PolygonalMap::new("empty", vec![]));
-        assert!(enclosing_polygon(&mut idx, Point::new(0, 0), 10).is_none());
+        let idx = BruteIndex::new(PolygonalMap::new("empty", vec![]));
+        let mut ctx = QueryCtx::new();
+        assert!(enclosing_polygon(&idx, Point::new(0, 0), 10, &mut ctx).is_none());
+    }
+
+    #[test]
+    fn shared_index_serves_parallel_walks() {
+        // The same BruteIndex (and its segment table) serves four threads
+        // walking the same polygon; each context sees identical counters.
+        let idx = BruteIndex::new(two_squares_with_stub());
+        let idx = &idx;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut ctx = QueryCtx::new();
+                        let walk =
+                            enclosing_polygon(idx, Point::new(15, 5), 100, &mut ctx).unwrap();
+                        (brute::sorted(walk.distinct_segments()), ctx.stats())
+                    })
+                })
+                .collect();
+            let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for r in &results {
+                assert_eq!(*r, results[0], "identical answers and counters");
+            }
+        });
     }
 }

@@ -1,5 +1,6 @@
+use crate::QueryCtx;
 use lsdb_geom::{Point, Segment};
-use lsdb_pager::{MemPool, PageId};
+use lsdb_pager::{MemPool, PageId, PoolCtx};
 
 /// Identifier of a segment in a [`SegmentTable`]. Densely allocated from 0.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -17,10 +18,10 @@ const RECORD_BYTES: usize = 16; // x1, y1, x2, y2 as i32
 ///
 /// Every index entry is just a pointer (a [`SegId`]) into this table; "each
 /// segment comparison means an access to the segment table which is
-/// disk-resident" — so [`SegmentTable::get`] increments the
-/// segment-comparison counter, and the table sits behind its own buffer
-/// pool whose [`lsdb_pager::DiskStats`] give segment-table disk activity
-/// separately from index disk activity.
+/// disk-resident" — so [`SegmentTable::get`] charges one segment comparison
+/// and one (potential) segment-table page access to the caller's
+/// [`QueryCtx`]. The table sits behind its own buffer pool so that segment
+/// record disk activity is reported separately from index disk activity.
 ///
 /// Layout: fixed 16-byte records packed `page_size / 16` per page, record
 /// `i` on page `i / per_page`. Append-only: a polygonal map's segments are
@@ -32,7 +33,6 @@ pub struct SegmentTable {
     pages: Vec<PageId>,
     per_page: usize,
     len: u32,
-    comps: u64,
 }
 
 impl SegmentTable {
@@ -43,7 +43,6 @@ impl SegmentTable {
             pages: Vec::new(),
             per_page: page_size / RECORD_BYTES,
             len: 0,
-            comps: 0,
         }
     }
 
@@ -76,23 +75,31 @@ impl SegmentTable {
         id
     }
 
-    /// Fetch a segment's endpoints, counting one segment comparison.
-    pub fn get(&mut self, id: SegId) -> Segment {
-        self.comps += 1;
-        self.fetch(id)
+    /// Fetch a segment's endpoints on the query path: counts one segment
+    /// comparison and charges any page access to the context's segment-pool
+    /// pin handle. Shared — any number of queries may fetch concurrently.
+    pub fn get(&self, id: SegId, ctx: &mut QueryCtx) -> Segment {
+        ctx.seg_comps += 1;
+        self.read(id, &mut ctx.seg)
     }
 
-    /// Fetch without counting a comparison (used by build paths and
-    /// harness bookkeeping that the paper's query metrics exclude).
+    /// Query-path fetch against a bare pool context (no comparison
+    /// charged); building block for [`SegmentTable::get`].
+    pub fn read(&self, id: SegId, ctx: &mut PoolCtx) -> Segment {
+        assert!(id.0 < self.len, "segment {id:?} out of range");
+        let slot = id.index() % self.per_page;
+        let pid = self.pages[id.index() / self.per_page];
+        self.pool.read_page(pid, ctx, |buf| decode(buf, slot))
+    }
+
+    /// Build-path fetch: goes through the pool's LRU (charging its internal
+    /// stats on a miss) and counts no comparison — the paper's query
+    /// metrics exclude harness and build bookkeeping.
     pub fn fetch(&mut self, id: SegId) -> Segment {
         assert!(id.0 < self.len, "segment {id:?} out of range");
         let slot = id.index() % self.per_page;
         let pid = self.pages[id.index() / self.per_page];
-        self.pool.with_page(pid, |buf| {
-            let at = slot * RECORD_BYTES;
-            let rd = |o: usize| i32::from_le_bytes(buf[at + o..at + o + 4].try_into().unwrap());
-            Segment::new(Point::new(rd(0), rd(4)), Point::new(rd(8), rd(12)))
-        })
+        self.pool.with_page(pid, |buf| decode(buf, slot))
     }
 
     pub fn len(&self) -> u32 {
@@ -108,19 +115,18 @@ impl SegmentTable {
         (0..self.len).map(SegId)
     }
 
-    /// Segment comparisons since the last reset.
-    pub fn comps(&self) -> u64 {
-        self.comps
-    }
-
-    /// Segment-table disk activity since the last reset.
+    /// Segment-table disk activity of the build path since the last reset.
     pub fn disk_stats(&self) -> lsdb_pager::DiskStats {
         self.pool.stats()
     }
 
     pub fn reset_stats(&mut self) {
-        self.comps = 0;
         self.pool.reset_stats();
+    }
+
+    /// Flush and drop every buffered page (for cold-cache measurements).
+    pub fn clear_cache(&mut self) {
+        self.pool.clear();
     }
 
     /// Table footprint in bytes (the paper reports this separately since
@@ -128,6 +134,12 @@ impl SegmentTable {
     pub fn size_bytes(&self) -> u64 {
         self.pool.size_bytes()
     }
+}
+
+fn decode(buf: &[u8], slot: usize) -> Segment {
+    let at = slot * RECORD_BYTES;
+    let rd = |o: usize| i32::from_le_bytes(buf[at + o..at + o + 4].try_into().unwrap());
+    Segment::new(Point::new(rd(0), rd(4)), Point::new(rd(8), rd(12)))
 }
 
 #[cfg(test)]
@@ -143,8 +155,9 @@ mod tests {
         let mut t = SegmentTable::new(1024, 4);
         let a = t.push(seg(1, 2, 3, 4));
         let b = t.push(seg(100, 200, 300, 400));
-        assert_eq!(t.get(a), seg(1, 2, 3, 4));
-        assert_eq!(t.get(b), seg(100, 200, 300, 400));
+        let mut ctx = QueryCtx::new();
+        assert_eq!(t.get(a, &mut ctx), seg(1, 2, 3, 4));
+        assert_eq!(t.get(b, &mut ctx), seg(100, 200, 300, 400));
         assert_eq!(t.len(), 2);
     }
 
@@ -166,32 +179,70 @@ mod tests {
     fn get_counts_comparisons_fetch_does_not() {
         let mut t = SegmentTable::new(1024, 4);
         let a = t.push(seg(0, 0, 1, 1));
-        t.reset_stats();
-        t.get(a);
-        t.get(a);
+        let mut ctx = QueryCtx::new();
+        t.get(a, &mut ctx);
+        t.get(a, &mut ctx);
         t.fetch(a);
-        assert_eq!(t.comps(), 2);
+        assert_eq!(ctx.seg_comps, 2);
     }
 
     #[test]
-    fn disk_stats_show_pool_misses_on_scattered_access() {
-        // 2-frame pool over 4-record pages: strided access must fault.
+    fn ctx_charges_seg_pool_reads_on_cold_pages() {
+        // 64-byte pages hold 4 records; 64 records span 16 pages.
         let mut t = SegmentTable::new(64, 2);
         for i in 0..64 {
             t.push(seg(i, 0, i, 1));
         }
-        t.reset_stats();
+        t.clear_cache();
+        let mut ctx = QueryCtx::new();
         for i in (0..64).step_by(8) {
-            t.get(SegId(i));
+            t.get(SegId(i), &mut ctx);
         }
-        assert!(t.disk_stats().reads >= 4);
+        // 8 strided records hit 8 distinct cold pages.
+        assert_eq!(ctx.seg.stats.reads, 8);
+        assert_eq!(ctx.seg_comps, 8);
+        // Repeating the scan within the same context is free (pinned).
+        for i in (0..64).step_by(8) {
+            t.get(SegId(i), &mut ctx);
+        }
+        assert_eq!(ctx.seg.stats.reads, 8);
+        assert_eq!(ctx.seg_comps, 16);
+    }
+
+    #[test]
+    fn concurrent_gets_share_the_table() {
+        let mut t = SegmentTable::new(64, 2);
+        for i in 0..32 {
+            t.push(seg(i, 0, i, 1));
+        }
+        t.clear_cache();
+        let t = &t;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut ctx = QueryCtx::new();
+                        for i in 0..32 {
+                            assert_eq!(t.get(SegId(i), &mut ctx), seg(i as i32, 0, i as i32, 1));
+                        }
+                        ctx.stats()
+                    })
+                })
+                .collect();
+            let stats: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for s in &stats {
+                assert_eq!(s.seg_comps, 32);
+                assert_eq!(*s, stats[0], "identical work, identical counters");
+            }
+        });
     }
 
     #[test]
     #[should_panic]
     fn out_of_range_panics() {
-        let mut t = SegmentTable::new(1024, 4);
-        t.get(SegId(0));
+        let t = SegmentTable::new(1024, 4);
+        let mut ctx = QueryCtx::new();
+        t.get(SegId(0), &mut ctx);
     }
 
     #[test]
@@ -200,6 +251,7 @@ mod tests {
         // are normalized to non-negative coordinates.
         let mut t = SegmentTable::new(1024, 4);
         let a = t.push(seg(-5, -6, 7, 8));
-        assert_eq!(t.get(a), seg(-5, -6, 7, 8));
+        let mut ctx = QueryCtx::new();
+        assert_eq!(t.get(a, &mut ctx), seg(-5, -6, 7, 8));
     }
 }

@@ -1,4 +1,4 @@
-use lsdb_pager::DiskStats;
+use lsdb_pager::{DiskStats, PoolCtx};
 
 /// A snapshot of the three quantities the paper measures per query, plus
 /// segment-table disk activity (reported separately because segment records
@@ -40,6 +40,52 @@ impl QueryStats {
     }
 }
 
+/// Per-query execution context: every `&self` query on a
+/// [`crate::SpatialIndex`] threads one of these through and charges all of
+/// its metric counting here instead of mutating the index.
+///
+/// The context owns two page-pin handles ([`PoolCtx`]) — one against the
+/// index-node pool, one against the segment-table pool — plus the two pure
+/// counters. Because a query's counters live entirely in its context, the
+/// totals of a query batch are a plain sum of per-query values: identical
+/// whether the batch ran on one thread or sixteen.
+#[derive(Default)]
+pub struct QueryCtx {
+    /// Pin handle + disk counters for index-structure pages.
+    pub index: PoolCtx,
+    /// Pin handle + disk counters for segment-table pages.
+    pub seg: PoolCtx,
+    /// Segment comparisons (segment-table record fetches).
+    pub seg_comps: u64,
+    /// Bounding-box / bounding-bucket computations.
+    pub bbox_comps: u64,
+}
+
+impl QueryCtx {
+    pub fn new() -> Self {
+        QueryCtx::default()
+    }
+
+    /// Drop pins and zero every counter, readying the context for the next
+    /// query without reallocating its pin tables.
+    pub fn reset(&mut self) {
+        self.index.reset();
+        self.seg.reset();
+        self.seg_comps = 0;
+        self.bbox_comps = 0;
+    }
+
+    /// The paper-metric snapshot of this context.
+    pub fn stats(&self) -> QueryStats {
+        QueryStats {
+            disk: self.index.stats,
+            seg_comps: self.seg_comps,
+            bbox_comps: self.bbox_comps,
+            seg_disk: self.seg.stats,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,5 +112,25 @@ mod tests {
         let mut acc = qs(1, 1, 1, 1);
         acc.add(qs(2, 3, 4, 5));
         assert_eq!(acc, qs(3, 4, 5, 6));
+    }
+
+    #[test]
+    fn ctx_stats_snapshot_and_reset() {
+        let mut ctx = QueryCtx::new();
+        ctx.seg_comps = 3;
+        ctx.bbox_comps = 7;
+        ctx.index.stats.reads = 2;
+        ctx.seg.stats.reads = 1;
+        assert_eq!(
+            ctx.stats(),
+            QueryStats {
+                disk: DiskStats { reads: 2, writes: 0 },
+                seg_comps: 3,
+                bbox_comps: 7,
+                seg_disk: DiskStats { reads: 1, writes: 0 },
+            }
+        );
+        ctx.reset();
+        assert_eq!(ctx.stats(), QueryStats::default());
     }
 }

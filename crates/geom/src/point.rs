@@ -4,7 +4,6 @@ use std::fmt;
 ///
 /// Ordered lexicographically by `(x, y)`, which gives a stable canonical
 /// ordering for segment endpoints and map vertices.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Point {
     pub x: i32,

@@ -7,7 +7,6 @@ use std::fmt;
 /// Degenerate rectangles (zero width and/or height) are legal — they arise
 /// as minimum bounding rectangles of axis-parallel segments, which dominate
 /// urban road maps.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Rect {
     pub min: Point,

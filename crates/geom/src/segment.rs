@@ -6,7 +6,6 @@ use std::fmt;
 /// Segments in a polygonal map are undirected: `Segment::new` does **not**
 /// canonicalize endpoint order (the map layer does that when it matters),
 /// but [`Segment::canonical`] is available.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Segment {
     pub a: Point,

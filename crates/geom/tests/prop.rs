@@ -1,59 +1,81 @@
-//! Property tests for the geometry kernel. These pin down the exactness
-//! contracts every index relies on.
+//! Randomized tests for the geometry kernel. These pin down the exactness
+//! contracts every index relies on. Deterministic: each test draws its
+//! cases from a fixed-seed [`lsdb_rng::StdRng`] stream.
 
 use lsdb_geom::angle::{ccw_cmp, first_clockwise_from, Dir};
 use lsdb_geom::morton::{deinterleave, interleave, Block};
 use lsdb_geom::{orient, Dist2, Point, Rect, Segment, MAX_DEPTH, WORLD_SIZE};
-use proptest::prelude::*;
+use lsdb_rng::StdRng;
 use std::cmp::Ordering;
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (0..WORLD_SIZE, 0..WORLD_SIZE).prop_map(|(x, y)| Point::new(x, y))
+const CASES: usize = 512;
+
+fn rand_point(rng: &mut StdRng) -> Point {
+    Point::new(rng.gen_range(0..WORLD_SIZE), rng.gen_range(0..WORLD_SIZE))
 }
 
-fn arb_segment() -> impl Strategy<Value = Segment> {
-    (arb_point(), arb_point())
-        .prop_filter("non-degenerate", |(a, b)| a != b)
-        .prop_map(|(a, b)| Segment::new(a, b))
-}
-
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::bounding(a, b))
-}
-
-proptest! {
-    #[test]
-    fn orient_is_antisymmetric(a in arb_point(), b in arb_point(), c in arb_point()) {
-        prop_assert_eq!(orient(a, b, c), -orient(b, a, c));
-        prop_assert_eq!(orient(a, b, c), orient(b, c, a));
+fn rand_segment(rng: &mut StdRng) -> Segment {
+    loop {
+        let (a, b) = (rand_point(rng), rand_point(rng));
+        if a != b {
+            return Segment::new(a, b);
+        }
     }
+}
 
-    #[test]
-    fn segment_intersection_is_symmetric(s in arb_segment(), t in arb_segment()) {
-        prop_assert_eq!(s.intersects(&t), t.intersects(&s));
-        prop_assert_eq!(s.properly_intersects(&t), t.properly_intersects(&s));
+fn rand_rect(rng: &mut StdRng) -> Rect {
+    Rect::bounding(rand_point(rng), rand_point(rng))
+}
+
+#[test]
+fn orient_is_antisymmetric() {
+    let mut rng = StdRng::seed_from_u64(0x6E01);
+    for _ in 0..CASES {
+        let (a, b, c) = (rand_point(&mut rng), rand_point(&mut rng), rand_point(&mut rng));
+        assert_eq!(orient(a, b, c), -orient(b, a, c));
+        assert_eq!(orient(a, b, c), orient(b, c, a));
+    }
+}
+
+#[test]
+fn segment_intersection_is_symmetric() {
+    let mut rng = StdRng::seed_from_u64(0x6E02);
+    for _ in 0..CASES {
+        let (s, t) = (rand_segment(&mut rng), rand_segment(&mut rng));
+        assert_eq!(s.intersects(&t), t.intersects(&s));
+        assert_eq!(s.properly_intersects(&t), t.properly_intersects(&s));
         // Proper intersection implies intersection.
         if s.properly_intersects(&t) {
-            prop_assert!(s.intersects(&t));
+            assert!(s.intersects(&t));
         }
         // A segment always intersects itself; self-comparison is also a
         // "proper" intersection because collinear overlap longer than a
         // point violates planarity (the validator never compares a
         // segment against itself, but duplicates must be flagged).
-        prop_assert!(s.intersects(&s));
-        prop_assert!(s.properly_intersects(&s));
+        assert!(s.intersects(&s));
+        assert!(s.properly_intersects(&s));
     }
+}
 
-    #[test]
-    fn shared_endpoint_always_intersects(a in arb_point(), b in arb_point(), c in arb_point()) {
-        prop_assume!(a != b && a != c);
+#[test]
+fn shared_endpoint_always_intersects() {
+    let mut rng = StdRng::seed_from_u64(0x6E03);
+    for _ in 0..CASES {
+        let (a, b, c) = (rand_point(&mut rng), rand_point(&mut rng), rand_point(&mut rng));
+        if a == b || a == c {
+            continue;
+        }
         let s = Segment::new(a, b);
         let t = Segment::new(a, c);
-        prop_assert!(s.intersects(&t));
+        assert!(s.intersects(&t));
     }
+}
 
-    #[test]
-    fn dist2_is_a_lower_bound_on_sampled_points(s in arb_segment(), p in arb_point()) {
+#[test]
+fn dist2_is_a_lower_bound_on_sampled_points() {
+    let mut rng = StdRng::seed_from_u64(0x6E04);
+    for _ in 0..CASES {
+        let (s, p) = (rand_segment(&mut rng), rand_point(&mut rng));
         let d = s.dist2_point(p);
         // Sample integer points near the segment parameterization.
         for i in 0..=8 {
@@ -61,110 +83,136 @@ proptest! {
                 s.a.x + ((s.b.x - s.a.x) as i64 * i / 8) as i32,
                 s.a.y + ((s.b.y - s.a.y) as i64 * i / 8) as i32,
             );
-            // q is close to (not exactly on) the segment, so compare
-            // against its own exact distance plus its offset: the triangle
-            // inequality in squared form is messy, so use endpoints only
-            // for the exact check and samples for a sanity bound.
             let dq = Dist2::from_int(p.dist2(q));
             if s.contains_point(q) {
-                prop_assert!(d <= dq, "on-segment point closer than the segment distance");
+                assert!(d <= dq, "on-segment point closer than the segment distance");
             }
         }
         // Exact at the endpoints.
-        prop_assert!(d <= Dist2::from_int(p.dist2(s.a)));
-        prop_assert!(d <= Dist2::from_int(p.dist2(s.b)));
+        assert!(d <= Dist2::from_int(p.dist2(s.a)));
+        assert!(d <= Dist2::from_int(p.dist2(s.b)));
         // Zero iff the point is on the segment.
-        prop_assert_eq!(d == Dist2::ZERO, s.contains_point(p));
+        assert_eq!(d == Dist2::ZERO, s.contains_point(p));
     }
+}
 
-    #[test]
-    fn dist2_ordering_matches_f64_when_far_apart(
-        s in arb_segment(), t in arb_segment(), p in arb_point()
-    ) {
+#[test]
+fn dist2_ordering_matches_f64_when_far_apart() {
+    let mut rng = StdRng::seed_from_u64(0x6E05);
+    for _ in 0..CASES {
+        let (s, t, p) = (rand_segment(&mut rng), rand_segment(&mut rng), rand_point(&mut rng));
         let (ds, dt) = (s.dist2_point(p), t.dist2_point(p));
         let (fs, ft) = (ds.to_f64(), dt.to_f64());
         if (fs - ft).abs() > 1e-3 * (fs + ft + 1.0) {
-            prop_assert_eq!(ds.cmp(&dt), fs.partial_cmp(&ft).unwrap());
+            assert_eq!(ds.cmp(&dt), fs.partial_cmp(&ft).unwrap());
         }
     }
+}
 
-    #[test]
-    fn rect_point_distance_consistent_with_containment(r in arb_rect(), p in arb_point()) {
-        prop_assert_eq!(r.dist2_point(p) == 0, r.contains_point(p));
+#[test]
+fn rect_point_distance_consistent_with_containment() {
+    let mut rng = StdRng::seed_from_u64(0x6E06);
+    for _ in 0..CASES {
+        let (r, p) = (rand_rect(&mut rng), rand_point(&mut rng));
+        assert_eq!(r.dist2_point(p) == 0, r.contains_point(p));
     }
+}
 
-    #[test]
-    fn rect_ops_are_consistent(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn rect_ops_are_consistent() {
+    let mut rng = StdRng::seed_from_u64(0x6E07);
+    for _ in 0..CASES {
+        let (a, b) = (rand_rect(&mut rng), rand_rect(&mut rng));
         let u = a.union(&b);
-        prop_assert!(u.contains_rect(&a) && u.contains_rect(&b));
-        prop_assert_eq!(a.intersects(&b), a.intersection(&b).is_some());
+        assert!(u.contains_rect(&a) && u.contains_rect(&b));
+        assert_eq!(a.intersects(&b), a.intersection(&b).is_some());
         if let Some(i) = a.intersection(&b) {
-            prop_assert!(a.contains_rect(&i) && b.contains_rect(&i));
-            prop_assert_eq!(a.overlap_area(&b), i.area());
+            assert!(a.contains_rect(&i) && b.contains_rect(&i));
+            assert_eq!(a.overlap_area(&b), i.area());
         }
-        prop_assert!(a.enlargement(&b) >= 0);
+        assert!(a.enlargement(&b) >= 0);
     }
+}
 
-    #[test]
-    fn rect_segment_intersection_respects_endpoints(r in arb_rect(), s in arb_segment()) {
+#[test]
+fn rect_segment_intersection_respects_endpoints() {
+    let mut rng = StdRng::seed_from_u64(0x6E08);
+    for _ in 0..CASES {
+        let (r, s) = (rand_rect(&mut rng), rand_segment(&mut rng));
         if r.contains_point(s.a) || r.contains_point(s.b) {
-            prop_assert!(r.intersects_segment(&s));
+            assert!(r.intersects_segment(&s));
         }
         if !r.intersects(&s.bbox()) {
-            prop_assert!(!r.intersects_segment(&s));
+            assert!(!r.intersects_segment(&s));
         }
     }
+}
 
-    #[test]
-    fn morton_roundtrip_and_block_structure(p in arb_point(), depth in 0u8..=MAX_DEPTH) {
+#[test]
+fn morton_roundtrip_and_block_structure() {
+    let mut rng = StdRng::seed_from_u64(0x6E09);
+    for _ in 0..CASES {
+        let p = rand_point(&mut rng);
+        let depth: u8 = rng.gen_range(0..=MAX_DEPTH);
         let (x, y) = (p.x as u32, p.y as u32);
-        prop_assert_eq!(deinterleave(interleave(x, y)), (x, y));
+        assert_eq!(deinterleave(interleave(x, y)), (x, y));
         let b = Block::containing(p, depth);
-        prop_assert!(b.rect().contains_point(p));
-        prop_assert_eq!(Block::from_code(b.code(), depth), b);
+        assert!(b.rect().contains_point(p));
+        assert_eq!(Block::from_code(b.code(), depth), b);
         if depth > 0 {
             let parent = b.parent().unwrap();
-            prop_assert!(parent.rect().contains_rect(&b.rect()));
-            prop_assert!(parent.children().contains(&b));
-            prop_assert_eq!(Block::containing(p, depth - 1), parent);
+            assert!(parent.rect().contains_rect(&b.rect()));
+            assert!(parent.children().contains(&b));
+            assert_eq!(Block::containing(p, depth - 1), parent);
         }
     }
+}
 
-    #[test]
-    fn morton_codes_of_children_are_ordered(p in arb_point(), depth in 0u8..MAX_DEPTH) {
+#[test]
+fn morton_codes_of_children_are_ordered() {
+    let mut rng = StdRng::seed_from_u64(0x6E0A);
+    for _ in 0..CASES {
+        let p = rand_point(&mut rng);
+        let depth: u8 = rng.gen_range(0..MAX_DEPTH as i32) as u8;
         let b = Block::containing(p, depth);
         let kids = b.children();
         for w in kids.windows(2) {
-            prop_assert!(w[0].code() < w[1].code(), "children in Z-order");
+            assert!(w[0].code() < w[1].code(), "children in Z-order");
         }
         // All descendants' codes fall in the parent's code range.
         let span = 1u64 << (2 * (MAX_DEPTH - depth) as u32);
         for k in kids {
             let kc = k.code() as u64;
-            prop_assert!(kc >= b.code() as u64 && kc < b.code() as u64 + span);
+            assert!(kc >= b.code() as u64 && kc < b.code() as u64 + span);
         }
     }
+}
 
-    #[test]
-    fn first_clockwise_returns_valid_choice(
-        dirs in prop::collection::vec((-50i32..=50, -50i32..=50), 1..8),
-        from in (-50i32..=50, -50i32..=50),
-    ) {
-        let dirs: Vec<Dir> = dirs
-            .into_iter()
+#[test]
+fn first_clockwise_returns_valid_choice() {
+    let mut rng = StdRng::seed_from_u64(0x6E0B);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..8);
+        let dirs: Vec<Dir> = (0..n)
+            .map(|_| (rng.gen_range(-50i32..=50), rng.gen_range(-50i32..=50)))
             .filter(|&(x, y)| (x, y) != (0, 0))
             .map(|(x, y)| Dir::new(x, y))
             .collect();
-        prop_assume!(!dirs.is_empty());
-        prop_assume!(from != (0, 0));
+        if dirs.is_empty() {
+            continue;
+        }
+        let from = (rng.gen_range(-50i32..=50), rng.gen_range(-50i32..=50));
+        if from == (0, 0) {
+            continue;
+        }
         let from = Dir::new(from.0, from.1);
         let idx = first_clockwise_from(from, &dirs).unwrap();
-        prop_assert!(idx < dirs.len());
+        assert!(idx < dirs.len());
         let chosen = dirs[idx];
         if chosen.same_direction(from) {
             // Dead-end fallback: legal only when every direction equals
             // `from`.
-            prop_assert!(dirs.iter().all(|d| d.same_direction(from)));
+            assert!(dirs.iter().all(|d| d.same_direction(from)));
         } else {
             // No other direction lies strictly clockwise between `from`
             // and the chosen one. Clockwise-between test via CCW order:
@@ -174,9 +222,8 @@ proptest! {
                 if d.same_direction(from) || d.same_direction(chosen) {
                     continue;
                 }
-                let closer_cw = cw_between(from, *d, chosen);
-                prop_assert!(
-                    !closer_cw,
+                assert!(
+                    !cw_between(from, *d, chosen),
                     "{d:?} is strictly clockwise-closer to {from:?} than {chosen:?}"
                 );
             }

@@ -10,10 +10,14 @@
 //! q-edges (segment ids) live in a chain of pages `[count: u16, next: u32,
 //! ids ...]`. A per-cell first/last-page directory is kept in memory (it is
 //! tiny and would occupy a handful of pages on disk).
+//!
+//! Queries run on the shared (`&self`) read path: cell chains are walked
+//! through [`lsdb_pager::BufferPool::read_page`] and all counting is
+//! charged to the caller's [`QueryCtx`].
 
-use lsdb_core::{IndexConfig, PolygonalMap, QueryStats, SegId, SegmentTable, SpatialIndex};
+use lsdb_core::{IndexConfig, LocId, PolygonalMap, QueryCtx, QueryStats, SegId, SegmentTable, SpatialIndex};
 use lsdb_geom::{Dist2, Point, Rect, Segment, WORLD_SIZE};
-use lsdb_pager::{MemPool, PageId};
+use lsdb_pager::{MemPool, PageId, PoolCtx};
 
 const HDR: usize = 8; // count u16 at 0, next page u32 at 4 (u32::MAX = none)
 
@@ -28,6 +32,7 @@ pub struct UniformGrid {
     chains: Vec<Option<(PageId, PageId)>>,
     ids_per_page: usize,
     len: usize,
+    /// Build-path bucket computations (query-path ones go to the ctx).
     bucket_comps: u64,
 }
 
@@ -96,7 +101,8 @@ impl UniformGrid {
         )
     }
 
-    /// Cells whose closed region touches the segment.
+    /// Cells whose closed region touches the segment (build path; bucket
+    /// computations go to the build counter).
     fn cells_touching(&mut self, seg: &Segment) -> Vec<(i32, i32)> {
         let b = seg.bbox();
         let s = self.cell_side();
@@ -118,6 +124,28 @@ impl UniformGrid {
         out
     }
 
+    /// Walk a cell's page chain on the shared read path.
+    fn cell_ids_ctx(&self, cx: i32, cy: i32, ctx: &mut PoolCtx) -> Vec<SegId> {
+        let mut out = Vec::new();
+        let Some((first, _)) = self.chains[self.cell_index(cx, cy)] else {
+            return out;
+        };
+        let mut page = Some(first);
+        while let Some(pid) = page {
+            page = self.pool.read_page(pid, ctx, |buf| {
+                let count = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+                for i in 0..count {
+                    let at = HDR + i * 4;
+                    out.push(SegId(u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())));
+                }
+                let next = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+                (next != u32::MAX).then_some(PageId(next))
+            });
+        }
+        out
+    }
+
+    /// Walk a cell's page chain on the build path (through the LRU).
     fn cell_ids(&mut self, cx: i32, cy: i32) -> Vec<SegId> {
         let mut out = Vec::new();
         let Some((first, _)) = self.chains[self.cell_index(cx, cy)] else {
@@ -213,7 +241,11 @@ impl SpatialIndex for UniformGrid {
         "uniform grid"
     }
 
-    fn seg_table(&mut self) -> &mut SegmentTable {
+    fn seg_table(&self) -> &SegmentTable {
+        &self.table
+    }
+
+    fn seg_table_mut(&mut self) -> &mut SegmentTable {
         &mut self.table
     }
 
@@ -241,14 +273,14 @@ impl SpatialIndex for UniformGrid {
         self.len
     }
 
-    fn find_incident(&mut self, p: Point) -> Vec<SegId> {
+    fn find_incident(&self, p: Point, ctx: &mut QueryCtx) -> Vec<SegId> {
         // Like the PMR quadtree, the cell containing p holds every segment
         // incident at p (grazing segments register via the closed region).
         let (cx, cy) = self.cell_of_point(p);
-        self.bucket_comps += 1;
+        ctx.bbox_comps += 1;
         let mut out = Vec::new();
-        for id in self.cell_ids(cx, cy) {
-            let seg = self.table.get(id);
+        for id in self.cell_ids_ctx(cx, cy, &mut ctx.index) {
+            let seg = self.table.get(id, ctx);
             if seg.has_endpoint(p) {
                 out.push(id);
             }
@@ -256,12 +288,13 @@ impl SpatialIndex for UniformGrid {
         out
     }
 
-    fn probe_point(&mut self, p: Point) {
-        let _ = self.cell_of_point(p);
-        self.bucket_comps += 1;
+    fn probe_point(&self, p: Point, ctx: &mut QueryCtx) -> LocId {
+        let (cx, cy) = self.cell_of_point(p);
+        ctx.bbox_comps += 1;
+        LocId(self.cell_index(cx, cy) as u64)
     }
 
-    fn nearest(&mut self, p: Point) -> Option<SegId> {
+    fn nearest(&self, p: Point, ctx: &mut QueryCtx) -> Option<SegId> {
         if self.len == 0 {
             return None;
         }
@@ -289,9 +322,9 @@ impl SpatialIndex for UniformGrid {
                         continue;
                     }
                     any_cell = true;
-                    self.bucket_comps += 1;
-                    for id in self.cell_ids(cx, cy) {
-                        let seg = self.table.get(id);
+                    ctx.bbox_comps += 1;
+                    for id in self.cell_ids_ctx(cx, cy, &mut ctx.index) {
+                        let seg = self.table.get(id, ctx);
                         let d = seg.dist2_point(p);
                         if best.is_none_or(|(bd, bid)| (d, id) < (bd, bid)) {
                             best = Some((d, id));
@@ -306,37 +339,41 @@ impl SpatialIndex for UniformGrid {
         best.map(|(_, id)| id)
     }
 
-    fn window(&mut self, w: Rect) -> Vec<SegId> {
+    fn window(&self, w: Rect, ctx: &mut QueryCtx) -> Vec<SegId> {
+        let mut out = Vec::new();
+        self.window_visit(w, ctx, &mut |id| out.push(id));
+        out
+    }
+
+    fn window_visit(&self, w: Rect, ctx: &mut QueryCtx, f: &mut dyn FnMut(SegId)) {
         let s = self.cell_side();
         let cx0 = (w.min.x / s).clamp(0, self.g - 1);
         let cx1 = (w.max.x / s).clamp(0, self.g - 1);
         let cy0 = (w.min.y / s).clamp(0, self.g - 1);
         let cy1 = (w.max.y / s).clamp(0, self.g - 1);
-        let mut out = Vec::new();
         let mut seen = std::collections::HashSet::new();
         for cy in cy0..=cy1 {
             for cx in cx0..=cx1 {
-                self.bucket_comps += 1;
+                ctx.bbox_comps += 1;
                 if !w.intersects(&self.cell_rect(cx, cy)) {
                     continue;
                 }
-                for id in self.cell_ids(cx, cy) {
+                for id in self.cell_ids_ctx(cx, cy, &mut ctx.index) {
                     if seen.insert(id) {
-                        let seg = self.table.get(id);
+                        let seg = self.table.get(id, ctx);
                         if w.intersects_segment(&seg) {
-                            out.push(id);
+                            f(id);
                         }
                     }
                 }
             }
         }
-        out
     }
 
     fn stats(&self) -> QueryStats {
         QueryStats {
             disk: self.pool.stats(),
-            seg_comps: self.table.comps(),
+            seg_comps: 0,
             bbox_comps: self.bucket_comps,
             seg_disk: self.table.disk_stats(),
         }
@@ -393,7 +430,8 @@ mod tests {
     #[test]
     fn incident_matches_brute_force() {
         let map = cross_map();
-        let mut t = UniformGrid::build(&map, cfg(), 8);
+        let t = UniformGrid::build(&map, cfg(), 8);
+        let mut ctx = QueryCtx::new();
         let q = WORLD_SIZE / 4;
         for p in [
             Point::new(10, 10),
@@ -403,7 +441,7 @@ mod tests {
             Point::new(123, 456),
         ] {
             assert_eq!(
-                brute::sorted(t.find_incident(p)),
+                brute::sorted(t.find_incident(p, &mut ctx)),
                 brute::incident(&map, p),
                 "at {p:?}"
             );
@@ -414,11 +452,12 @@ mod tests {
     fn nearest_matches_brute_force() {
         let map = cross_map();
         for g in [4, 16, 64] {
-            let mut t = UniformGrid::build(&map, cfg(), g);
+            let t = UniformGrid::build(&map, cfg(), g);
+            let mut ctx = QueryCtx::new();
             for x in (0..WORLD_SIZE).step_by(1711) {
                 for y in (0..WORLD_SIZE).step_by(2049) {
                     let p = Point::new(x, y);
-                    let got = t.nearest(p).expect("non-empty");
+                    let got = t.nearest(p, &mut ctx).expect("non-empty");
                     let want = brute::nearest(&map, p).unwrap();
                     assert_eq!(
                         map.segments[got.index()].dist2_point(p),
@@ -433,7 +472,8 @@ mod tests {
     #[test]
     fn window_matches_brute_force() {
         let map = cross_map();
-        let mut t = UniformGrid::build(&map, cfg(), 16);
+        let t = UniformGrid::build(&map, cfg(), 16);
+        let mut ctx = QueryCtx::new();
         let q = WORLD_SIZE / 4;
         for w in [
             Rect::new(0, 0, WORLD_SIZE - 1, WORLD_SIZE - 1),
@@ -441,8 +481,33 @@ mod tests {
             Rect::new(0, 2 * q, 10, 2 * q),
             Rect::new(900, 900, 1000, 1000),
         ] {
-            assert_eq!(brute::sorted(t.window(w)), brute::window(&map, w), "{w:?}");
+            assert_eq!(
+                brute::sorted(t.window(w, &mut ctx)),
+                brute::window(&map, w),
+                "{w:?}"
+            );
+            // The streaming variant visits exactly the same set.
+            let mut visited = Vec::new();
+            t.window_visit(w, &mut ctx, &mut |id| visited.push(id));
+            assert_eq!(brute::sorted(visited), brute::window(&map, w));
         }
+    }
+
+    #[test]
+    fn probe_point_is_stable_and_cheap() {
+        let map = cross_map();
+        let t = UniformGrid::build(&map, cfg(), 8);
+        let mut ctx = QueryCtx::new();
+        let p = Point::new(123, 456);
+        let a = t.probe_point(p, &mut ctx);
+        let b = t.probe_point(p, &mut ctx);
+        assert_eq!(a, b, "same point, same cell");
+        assert_ne!(a, LocId::NONE);
+        assert_eq!(ctx.seg_comps, 0, "probe fetches no segment records");
+        assert_eq!(ctx.bbox_comps, 2);
+        // A point in a different cell maps to a different bucket.
+        let far = t.probe_point(Point::new(WORLD_SIZE - 10, WORLD_SIZE - 10), &mut ctx);
+        assert_ne!(a, far);
     }
 
     #[test]
@@ -452,8 +517,9 @@ mod tests {
         assert!(t.remove(SegId(3)));
         assert!(!t.remove(SegId(3)));
         assert_eq!(t.len(), map.len() - 1);
+        let mut ctx = QueryCtx::new();
         let w = Rect::new(0, 0, WORLD_SIZE - 1, WORLD_SIZE - 1);
-        let got = brute::sorted(t.window(w));
+        let got = brute::sorted(t.window(w, &mut ctx));
         let want: Vec<SegId> = brute::window(&map, w)
             .into_iter()
             .filter(|id| id.0 != 3)
@@ -473,9 +539,10 @@ mod tests {
                 })
                 .collect(),
         );
-        let mut t = UniformGrid::build(&map, cfg(), 4);
+        let t = UniformGrid::build(&map, cfg(), 4);
+        let mut ctx = QueryCtx::new();
         let w = Rect::new(100, 0, 110, 430);
-        assert_eq!(brute::sorted(t.window(w)), brute::window(&map, w));
+        assert_eq!(brute::sorted(t.window(w, &mut ctx)), brute::window(&map, w));
     }
 
     #[test]
@@ -488,9 +555,35 @@ mod tests {
     #[test]
     fn empty_grid_queries() {
         let map = PolygonalMap::new("empty", vec![]);
-        let mut t = UniformGrid::build(&map, cfg(), 8);
-        assert_eq!(t.nearest(Point::new(5, 5)), None);
-        assert!(t.find_incident(Point::new(5, 5)).is_empty());
-        assert!(t.window(Rect::new(0, 0, 10, 10)).is_empty());
+        let t = UniformGrid::build(&map, cfg(), 8);
+        let mut ctx = QueryCtx::new();
+        assert_eq!(t.nearest(Point::new(5, 5), &mut ctx), None);
+        assert!(t.find_incident(Point::new(5, 5), &mut ctx).is_empty());
+        assert!(t.window(Rect::new(0, 0, 10, 10), &mut ctx).is_empty());
+    }
+
+    #[test]
+    fn parallel_queries_share_the_grid() {
+        let map = cross_map();
+        let t = UniformGrid::build(&map, cfg(), 16);
+        let t = &t;
+        let map = &map;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut ctx = QueryCtx::new();
+                        let w = Rect::new(0, 0, WORLD_SIZE / 2, WORLD_SIZE / 2);
+                        let got = brute::sorted(t.window(w, &mut ctx));
+                        assert_eq!(got, brute::window(map, w));
+                        ctx.stats()
+                    })
+                })
+                .collect();
+            let stats: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for s in &stats {
+                assert_eq!(*s, stats[0], "identical queries charge identical counters");
+            }
+        });
     }
 }

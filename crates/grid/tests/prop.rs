@@ -1,76 +1,81 @@
-//! Property tests for the uniform grid: oracle equivalence over random
-//! segment soups, random grid resolutions, and random delete subsets.
+//! Property-style tests for the uniform grid: oracle equivalence over
+//! random segment soups, random grid resolutions, and random delete
+//! subsets. Cases are drawn from fixed-seed [`lsdb_rng::StdRng`] streams.
 
-use lsdb_core::{brute, IndexConfig, PolygonalMap, SegId, SpatialIndex};
+use lsdb_core::{brute, IndexConfig, PolygonalMap, QueryCtx, SegId, SpatialIndex};
 use lsdb_geom::{Point, Rect, Segment};
 use lsdb_grid::UniformGrid;
-use proptest::prelude::*;
+use lsdb_rng::StdRng;
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (0..16384i32, 0..16384i32).prop_map(|(x, y)| Point::new(x, y))
+fn rand_point(rng: &mut StdRng) -> Point {
+    Point::new(rng.gen_range(0..16384i32), rng.gen_range(0..16384i32))
 }
 
-fn arb_segment() -> impl Strategy<Value = Segment> {
-    (arb_point(), arb_point())
-        .prop_filter("non-degenerate", |(a, b)| a != b)
-        .prop_map(|(a, b)| Segment::new(a, b))
+fn rand_segment(rng: &mut StdRng) -> Segment {
+    loop {
+        let a = rand_point(rng);
+        let b = rand_point(rng);
+        if a != b {
+            return Segment::new(a, b);
+        }
+    }
 }
 
-fn arb_map(max: usize) -> impl Strategy<Value = PolygonalMap> {
-    prop::collection::vec(arb_segment(), 1..max)
-        .prop_map(|segs| PolygonalMap::new("prop", segs))
+fn rand_map(rng: &mut StdRng, max: usize) -> PolygonalMap {
+    let n = rng.gen_range(1..max);
+    PolygonalMap::new("prop", (0..n).map(|_| rand_segment(rng)).collect())
 }
 
 /// Powers of two that divide the 16384-unit world.
-fn arb_g() -> impl Strategy<Value = i32> {
-    prop::sample::select(vec![2i32, 4, 8, 16, 32, 64])
+fn rand_g(rng: &mut StdRng) -> i32 {
+    [2i32, 4, 8, 16, 32, 64][rng.gen_range(0usize..6)]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn queries_match_oracle(
-        map in arb_map(80),
-        g in arb_g(),
-        probes in prop::collection::vec(arb_point(), 1..8),
-        windows in prop::collection::vec((arb_point(), arb_point()), 1..4),
-    ) {
+#[test]
+fn queries_match_oracle() {
+    let mut rng = StdRng::seed_from_u64(0x6B1D_0001);
+    for _ in 0..32 {
+        let map = rand_map(&mut rng, 80);
+        let g = rand_g(&mut rng);
         let cfg = IndexConfig { page_size: 256, pool_pages: 8 };
-        let mut t = UniformGrid::build(&map, cfg, g);
-        for &p in &probes {
-            prop_assert_eq!(
-                brute::sorted(t.find_incident(p)),
+        let t = UniformGrid::build(&map, cfg, g);
+        let mut ctx = QueryCtx::new();
+        for _ in 0..rng.gen_range(1..8) {
+            let p = rand_point(&mut rng);
+            assert_eq!(
+                brute::sorted(t.find_incident(p, &mut ctx)),
                 brute::incident(&map, p)
             );
-            let got = t.nearest(p).unwrap();
+            let got = t.nearest(p, &mut ctx).unwrap();
             let want = brute::nearest(&map, p).unwrap();
-            prop_assert_eq!(map.segments[got.index()].dist2_point(p), want.1);
+            assert_eq!(map.segments[got.index()].dist2_point(p), want.1);
         }
-        for &(a, b) in &windows {
-            let w = Rect::bounding(a, b);
-            prop_assert_eq!(brute::sorted(t.window(w)), brute::window(&map, w));
+        for _ in 0..rng.gen_range(1..4) {
+            let w = Rect::bounding(rand_point(&mut rng), rand_point(&mut rng));
+            assert_eq!(brute::sorted(t.window(w, &mut ctx)), brute::window(&map, w));
         }
     }
+}
 
-    #[test]
-    fn deletes_then_queries(
-        map in arb_map(60),
-        g in arb_g(),
-        delete_mask in prop::collection::vec(any::<bool>(), 60),
-    ) {
+#[test]
+fn deletes_then_queries() {
+    let mut rng = StdRng::seed_from_u64(0x6B1D_0002);
+    for _ in 0..32 {
+        let map = rand_map(&mut rng, 60);
+        let g = rand_g(&mut rng);
         let cfg = IndexConfig { page_size: 128, pool_pages: 8 };
         let mut t = UniformGrid::build(&map, cfg, g);
         let mut kept = Vec::new();
         for i in 0..map.len() {
-            if delete_mask[i] {
-                prop_assert!(t.remove(SegId(i as u32)));
+            if rng.gen_range(0u32..2) == 0 {
+                assert!(t.remove(SegId(i as u32)));
             } else {
                 kept.push(SegId(i as u32));
             }
         }
-        prop_assert_eq!(t.len(), kept.len());
+        assert_eq!(t.len(), kept.len());
+        let mut ctx = QueryCtx::new();
         let w = Rect::new(0, 0, 16383, 16383);
-        prop_assert_eq!(brute::sorted(t.window(w)), kept);
+        assert_eq!(brute::sorted(t.window(w, &mut ctx)), kept);
     }
 }

@@ -14,11 +14,16 @@
 //! in-memory implementation ([`MemStorage`], used by tests and benchmarks —
 //! deterministic and fast) and a real file-backed implementation
 //! ([`FileStorage`]) proving the layout is genuinely persistable.
+//!
+//! The pool is lock-striped into shards (see [`BufferPool`]) and exposes a
+//! shared (`&self`) query path, [`BufferPool::read_page`], whose accounting
+//! lives in a per-query [`PoolCtx`] — the substrate of the concurrent query
+//! engine in the index crates.
 
 mod pool;
 mod storage;
 
-pub use pool::{BufferPool, DiskStats, MemPool};
+pub use pool::{BufferPool, DiskStats, MemPool, PoolCtx, DEFAULT_SHARDS};
 pub use storage::{FileStorage, MemStorage, Storage};
 
 /// Page size used throughout the paper's main experiments.

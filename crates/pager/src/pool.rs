@@ -1,7 +1,15 @@
 use crate::{MemStorage, PageId, Storage};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
-/// Disk-transfer counters maintained by a [`BufferPool`].
+/// Process-unique pool identities, used to invalidate a [`PoolCtx`]'s pins
+/// when it is reused against a different pool.
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Disk-transfer counters maintained by a [`BufferPool`] (build path) or a
+/// [`PoolCtx`] (query path).
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct DiskStats {
     /// Pages fetched from storage because they were not pool-resident.
@@ -27,6 +35,45 @@ impl std::ops::Sub for DiskStats {
     }
 }
 
+/// Per-query page context: the pin set and disk counters of one logical
+/// query against a shared (`&self`) pool.
+///
+/// [`BufferPool::read_page`] pins a copy of each page a query touches, so
+/// repeated accesses within the query are free and, crucially, the read
+/// counter is a pure function of (query, structure, pool residency at query
+/// start) — independent of how queries interleave across threads. That is
+/// what makes parallel workload totals equal sequential ones exactly.
+#[derive(Default)]
+pub struct PoolCtx {
+    pinned: HashMap<PageId, Box<[u8]>>,
+    /// Identity of the pool the pins were taken against. Page ids are only
+    /// unique within one pool, so a context that wanders to a different
+    /// pool drops its pins instead of serving the old pool's bytes.
+    owner: Option<u64>,
+    /// Potential disk accesses charged to this context: one read per
+    /// distinct non-resident page touched.
+    pub stats: DiskStats,
+}
+
+impl PoolCtx {
+    pub fn new() -> Self {
+        PoolCtx::default()
+    }
+
+    /// Drop all pins and zero the counters, making the context ready for
+    /// the next query without reallocating.
+    pub fn reset(&mut self) {
+        self.pinned.clear();
+        self.owner = None;
+        self.stats = DiskStats::default();
+    }
+
+    /// Distinct pages touched since the last reset (pinned copies held).
+    pub fn pages_touched(&self) -> usize {
+        self.pinned.len()
+    }
+}
+
 struct Frame {
     pid: Option<PageId>,
     dirty: bool,
@@ -34,174 +81,30 @@ struct Frame {
     data: Box<[u8]>,
 }
 
-/// A fixed-capacity buffer pool with least-recently-used replacement.
-///
-/// The capacity is deliberately tiny (the paper uses 16 frames), so LRU
-/// victim selection is a linear scan — simpler and faster than an intrusive
-/// list at this scale.
-pub struct BufferPool<S: Storage> {
-    storage: S,
+/// One lock stripe of the pool: its own frames, resident map, LRU clock,
+/// and build-path disk counters. Pages map to shards by `pid % shards`.
+struct Shard {
     frames: Vec<Frame>,
     resident: HashMap<PageId, usize>,
-    free_pages: Vec<PageId>,
     tick: u64,
     stats: DiskStats,
 }
 
-/// The default in-memory pool used by experiments.
-pub type MemPool = BufferPool<MemStorage>;
-
-impl MemPool {
-    /// Convenience constructor for an in-memory pool.
-    pub fn in_memory(page_size: usize, capacity: usize) -> MemPool {
-        BufferPool::new(MemStorage::new(page_size), capacity)
-    }
-}
-
-impl<S: Storage> BufferPool<S> {
-    pub fn new(storage: S, capacity: usize) -> Self {
-        assert!(capacity >= 1, "pool needs at least one frame");
-        let page_size = storage.page_size();
-        let frames = (0..capacity)
-            .map(|_| Frame {
-                pid: None,
-                dirty: false,
-                last_used: 0,
-                data: vec![0u8; page_size].into_boxed_slice(),
-            })
-            .collect();
-        BufferPool {
-            storage,
-            frames,
+impl Shard {
+    fn new(capacity: usize, page_size: usize) -> Self {
+        Shard {
+            frames: (0..capacity)
+                .map(|_| Frame {
+                    pid: None,
+                    dirty: false,
+                    last_used: 0,
+                    data: vec![0u8; page_size].into_boxed_slice(),
+                })
+                .collect(),
             resident: HashMap::new(),
-            free_pages: Vec::new(),
             tick: 0,
             stats: DiskStats::default(),
         }
-    }
-
-    pub fn page_size(&self) -> usize {
-        self.storage.page_size()
-    }
-
-    pub fn capacity(&self) -> usize {
-        self.frames.len()
-    }
-
-    /// Pages currently allocated (grown minus freed). Multiplied by the
-    /// page size this is the structure's storage footprint.
-    pub fn allocated_pages(&self) -> u32 {
-        self.storage.num_pages() - self.free_pages.len() as u32
-    }
-
-    /// Storage footprint in bytes.
-    pub fn size_bytes(&self) -> u64 {
-        self.allocated_pages() as u64 * self.page_size() as u64
-    }
-
-    pub fn stats(&self) -> DiskStats {
-        self.stats
-    }
-
-    pub fn reset_stats(&mut self) {
-        self.stats = DiskStats::default();
-    }
-
-    /// Allocate a page (reusing freed pages first). The fresh page is
-    /// zeroed, resident, and dirty; no read is charged because its contents
-    /// need not come from disk.
-    pub fn allocate(&mut self) -> PageId {
-        let pid = match self.free_pages.pop() {
-            Some(pid) => pid,
-            None => self.storage.grow(),
-        };
-        let frame = self.victim_frame();
-        self.install(frame, pid, true);
-        self.frames[frame].data.fill(0);
-        pid
-    }
-
-    /// Release a page. It is dropped from the pool without write-back and
-    /// becomes available for reuse by [`BufferPool::allocate`].
-    pub fn free(&mut self, pid: PageId) {
-        if let Some(frame) = self.resident.remove(&pid) {
-            self.frames[frame].pid = None;
-            self.frames[frame].dirty = false;
-        }
-        debug_assert!(!self.free_pages.contains(&pid), "double free of {pid:?}");
-        self.free_pages.push(pid);
-    }
-
-    /// Run `f` over the page contents (read-only).
-    pub fn with_page<T>(&mut self, pid: PageId, f: impl FnOnce(&[u8]) -> T) -> T {
-        let frame = self.fetch(pid);
-        f(&self.frames[frame].data)
-    }
-
-    /// Run `f` over the page contents mutably; the page is marked dirty.
-    pub fn with_page_mut<T>(&mut self, pid: PageId, f: impl FnOnce(&mut [u8]) -> T) -> T {
-        let frame = self.fetch(pid);
-        self.frames[frame].dirty = true;
-        f(&mut self.frames[frame].data)
-    }
-
-    /// Copy two pages into closures simultaneously (used by node splits
-    /// that stream entries from an old node into a new one).
-    pub fn with_two_pages_mut<T>(
-        &mut self,
-        a: PageId,
-        b: PageId,
-        f: impl FnOnce(&mut [u8], &mut [u8]) -> T,
-    ) -> T {
-        assert_ne!(a, b);
-        let fa = self.fetch(a);
-        // Pin `a` by bumping its tick before fetching `b`, so `b`'s fetch
-        // cannot evict it (there are always >= 2 frames in practice; a
-        // 1-frame pool cannot support two simultaneous pages).
-        assert!(self.frames.len() >= 2, "two-page access needs >= 2 frames");
-        self.touch(fa);
-        let fb = self.fetch(b);
-        assert_ne!(fa, fb);
-        self.frames[fa].dirty = true;
-        self.frames[fb].dirty = true;
-        debug_assert_eq!(self.frames[fa].pid, Some(a), "frame A was evicted");
-        let (la, lb) = if fa < fb {
-            let (left, right) = self.frames.split_at_mut(fb);
-            (&mut left[fa], &mut right[0])
-        } else {
-            let (left, right) = self.frames.split_at_mut(fa);
-            (&mut right[0], &mut left[fb])
-        };
-        f(&mut la.data, &mut lb.data)
-    }
-
-    /// Write all dirty resident pages back to storage.
-    pub fn flush(&mut self) {
-        for i in 0..self.frames.len() {
-            if self.frames[i].dirty {
-                if let Some(pid) = self.frames[i].pid {
-                    self.storage.write_page(pid, &self.frames[i].data);
-                    self.frames[i].dirty = false;
-                    self.stats.writes += 1;
-                }
-            }
-        }
-    }
-
-    /// Drop every resident page (flushing dirty ones), emptying the pool.
-    /// Useful to measure cold-cache query costs.
-    pub fn clear(&mut self) {
-        self.flush();
-        for f in &mut self.frames {
-            f.pid = None;
-        }
-        self.resident.clear();
-    }
-
-    /// Consume the pool, flushing, and return the underlying storage.
-    pub fn into_storage(mut self) -> S {
-        self.flush();
-        self.storage
     }
 
     fn touch(&mut self, frame: usize) {
@@ -209,21 +112,9 @@ impl<S: Storage> BufferPool<S> {
         self.frames[frame].last_used = self.tick;
     }
 
-    fn fetch(&mut self, pid: PageId) -> usize {
-        if let Some(&frame) = self.resident.get(&pid) {
-            self.touch(frame);
-            return frame;
-        }
-        let frame = self.victim_frame();
-        self.install(frame, pid, false);
-        self.stats.reads += 1;
-        self.storage.read_page(pid, &mut self.frames[frame].data);
-        frame
-    }
-
     /// Choose a frame to (re)use: an empty one if available, else the LRU
     /// victim (written back if dirty).
-    fn victim_frame(&mut self) -> usize {
+    fn victim_frame<S: Storage>(&mut self, storage: &S) -> usize {
         if let Some(i) = self.frames.iter().position(|f| f.pid.is_none()) {
             return i;
         }
@@ -233,10 +124,10 @@ impl<S: Storage> BufferPool<S> {
             .enumerate()
             .min_by_key(|(_, f)| f.last_used)
             .map(|(i, _)| i)
-            .expect("capacity >= 1");
+            .expect("shard capacity >= 1");
         if self.frames[victim].dirty {
             let pid = self.frames[victim].pid.expect("occupied frame");
-            self.storage.write_page(pid, &self.frames[victim].data);
+            storage.write_page(pid, &self.frames[victim].data);
             self.stats.writes += 1;
         }
         if let Some(pid) = self.frames[victim].pid {
@@ -251,19 +142,335 @@ impl<S: Storage> BufferPool<S> {
         self.resident.insert(pid, frame);
         self.touch(frame);
     }
+
+    /// Bring `pid` into this shard (LRU-charging a read on a miss) and
+    /// return its frame index.
+    fn fetch<S: Storage>(&mut self, storage: &S, pid: PageId) -> usize {
+        if let Some(&frame) = self.resident.get(&pid) {
+            self.touch(frame);
+            return frame;
+        }
+        let frame = self.victim_frame(storage);
+        self.install(frame, pid, false);
+        self.stats.reads += 1;
+        storage.read_page(pid, &mut self.frames[frame].data);
+        frame
+    }
+}
+
+/// A fixed-capacity buffer pool with least-recently-used replacement,
+/// lock-striped into shards so concurrent readers touch disjoint locks.
+///
+/// Two access paths coexist:
+///
+/// * the **build path** (`&mut self`: [`BufferPool::allocate`],
+///   [`BufferPool::with_page`], [`BufferPool::with_page_mut`], ...) mutates
+///   frames through `get_mut` — no lock traffic — and charges misses to the
+///   pool's internal [`DiskStats`], preserving the paper's LRU-sensitive
+///   build measurements (Table 1, Figure 6);
+/// * the **query path** ([`BufferPool::read_page`], `&self`) serves
+///   resident pages under a shard read-lock and non-resident pages straight
+///   from storage, charging all accounting to the caller's [`PoolCtx`]. It
+///   never installs pages or advances the LRU clock, so the resident set is
+///   frozen during a read-only query phase — which is exactly why per-query
+///   counters are reproducible under any thread interleaving.
+///
+/// Within each shard, LRU victim selection is a linear scan — the paper's
+/// pools are tiny (16 frames), so this beats an intrusive list.
+pub struct BufferPool<S: Storage> {
+    storage: S,
+    shards: Vec<RwLock<Shard>>,
+    free_pages: Vec<PageId>,
+    /// Process-unique identity, checked against [`PoolCtx::owner`].
+    id: u64,
+}
+
+/// The default in-memory pool used by experiments.
+pub type MemPool = BufferPool<MemStorage>;
+
+/// Default number of lock stripes for pools large enough to split.
+pub const DEFAULT_SHARDS: usize = 4;
+
+impl MemPool {
+    /// Convenience constructor for an in-memory pool.
+    pub fn in_memory(page_size: usize, capacity: usize) -> MemPool {
+        BufferPool::new(MemStorage::new(page_size), capacity)
+    }
+}
+
+impl<S: Storage> BufferPool<S> {
+    /// A pool with the default shard count: up to [`DEFAULT_SHARDS`]
+    /// stripes, but never fewer than two frames per shard (node splits pin
+    /// two pages of one shard at once).
+    pub fn new(storage: S, capacity: usize) -> Self {
+        let shards = DEFAULT_SHARDS.min(capacity / 2).max(1);
+        Self::with_shards(storage, capacity, shards)
+    }
+
+    /// A pool with an explicit shard count. `capacity` frames are spread
+    /// as evenly as possible across `shards` lock stripes; page `p` lives
+    /// in stripe `p % shards`.
+    pub fn with_shards(storage: S, capacity: usize, shards: usize) -> Self {
+        assert!(capacity >= 1, "pool needs at least one frame");
+        assert!(
+            (1..=capacity).contains(&shards),
+            "shard count {shards} out of range 1..={capacity}"
+        );
+        let page_size = storage.page_size();
+        let shards = (0..shards)
+            .map(|i| {
+                let cap = capacity / shards + usize::from(i < capacity % shards);
+                RwLock::new(Shard::new(cap, page_size))
+            })
+            .collect();
+        BufferPool {
+            storage,
+            shards,
+            free_pages: Vec::new(),
+            id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    fn shard_of(&self, pid: PageId) -> usize {
+        pid.0 as usize % self.shards.len()
+    }
+
+    pub fn page_size(&self) -> usize {
+        self.storage.page_size()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap().frames.len())
+            .sum()
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Pages currently allocated (grown minus freed). Multiplied by the
+    /// page size this is the structure's storage footprint.
+    pub fn allocated_pages(&self) -> u32 {
+        self.storage.num_pages() - self.free_pages.len() as u32
+    }
+
+    /// Storage footprint in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.allocated_pages() as u64 * self.page_size() as u64
+    }
+
+    /// Build-path counters, summed over shards. Query-path accounting
+    /// lives in each query's [`PoolCtx`], not here.
+    pub fn stats(&self) -> DiskStats {
+        let mut total = DiskStats::default();
+        for s in &self.shards {
+            let s = s.read().unwrap();
+            total.reads += s.stats.reads;
+            total.writes += s.stats.writes;
+        }
+        total
+    }
+
+    pub fn reset_stats(&mut self) {
+        for s in &mut self.shards {
+            s.get_mut().unwrap().stats = DiskStats::default();
+        }
+    }
+
+    /// Allocate a page (reusing freed pages first). The fresh page is
+    /// zeroed, resident, and dirty; no read is charged because its contents
+    /// need not come from disk.
+    pub fn allocate(&mut self) -> PageId {
+        let pid = match self.free_pages.pop() {
+            Some(pid) => pid,
+            None => self.storage.grow(),
+        };
+        let idx = self.shard_of(pid);
+        let storage = &self.storage;
+        let shard = self.shards[idx].get_mut().unwrap();
+        let frame = shard.victim_frame(storage);
+        shard.install(frame, pid, true);
+        shard.frames[frame].data.fill(0);
+        pid
+    }
+
+    /// Release a page. It is dropped from the pool without write-back and
+    /// becomes available for reuse by [`BufferPool::allocate`].
+    pub fn free(&mut self, pid: PageId) {
+        let idx = self.shard_of(pid);
+        let shard = self.shards[idx].get_mut().unwrap();
+        if let Some(frame) = shard.resident.remove(&pid) {
+            shard.frames[frame].pid = None;
+            shard.frames[frame].dirty = false;
+        }
+        debug_assert!(!self.free_pages.contains(&pid), "double free of {pid:?}");
+        self.free_pages.push(pid);
+    }
+
+    /// Run `f` over the page contents (read-only; build path — misses are
+    /// charged to the pool's own counters and update LRU state).
+    pub fn with_page<T>(&mut self, pid: PageId, f: impl FnOnce(&[u8]) -> T) -> T {
+        let idx = self.shard_of(pid);
+        let storage = &self.storage;
+        let shard = self.shards[idx].get_mut().unwrap();
+        let frame = shard.fetch(storage, pid);
+        f(&shard.frames[frame].data)
+    }
+
+    /// Run `f` over the page contents mutably; the page is marked dirty.
+    pub fn with_page_mut<T>(&mut self, pid: PageId, f: impl FnOnce(&mut [u8]) -> T) -> T {
+        let idx = self.shard_of(pid);
+        let storage = &self.storage;
+        let shard = self.shards[idx].get_mut().unwrap();
+        let frame = shard.fetch(storage, pid);
+        shard.frames[frame].dirty = true;
+        f(&mut shard.frames[frame].data)
+    }
+
+    /// Mutate two pages simultaneously (used by node splits that stream
+    /// entries from an old node into a new one).
+    pub fn with_two_pages_mut<T>(
+        &mut self,
+        a: PageId,
+        b: PageId,
+        f: impl FnOnce(&mut [u8], &mut [u8]) -> T,
+    ) -> T {
+        assert_ne!(a, b);
+        let (ia, ib) = (self.shard_of(a), self.shard_of(b));
+        let storage = &self.storage;
+        if ia == ib {
+            let shard = self.shards[ia].get_mut().unwrap();
+            assert!(
+                shard.frames.len() >= 2,
+                "two-page access needs >= 2 frames per shard"
+            );
+            let fa = shard.fetch(storage, a);
+            // Pin `a` by bumping its tick before fetching `b`, so `b`'s
+            // fetch cannot evict it.
+            shard.touch(fa);
+            let fb = shard.fetch(storage, b);
+            assert_ne!(fa, fb);
+            shard.frames[fa].dirty = true;
+            shard.frames[fb].dirty = true;
+            debug_assert_eq!(shard.frames[fa].pid, Some(a), "frame A was evicted");
+            let (la, lb) = if fa < fb {
+                let (left, right) = shard.frames.split_at_mut(fb);
+                (&mut left[fa], &mut right[0])
+            } else {
+                let (left, right) = shard.frames.split_at_mut(fa);
+                (&mut right[0], &mut left[fb])
+            };
+            f(&mut la.data, &mut lb.data)
+        } else {
+            // Distinct shards: split-borrow the stripe vector.
+            let (first, second) = if ia < ib {
+                let (l, r) = self.shards.split_at_mut(ib);
+                (&mut l[ia], &mut r[0])
+            } else {
+                let (l, r) = self.shards.split_at_mut(ia);
+                (&mut r[0], &mut l[ib])
+            };
+            let (sa, sb) = (first.get_mut().unwrap(), second.get_mut().unwrap());
+            let fa = sa.fetch(storage, a);
+            let fb = sb.fetch(storage, b);
+            sa.frames[fa].dirty = true;
+            sb.frames[fb].dirty = true;
+            f(&mut sa.frames[fa].data, &mut sb.frames[fb].data)
+        }
+    }
+
+    /// Query path: run `f` over the page contents, charging all accounting
+    /// to `ctx` instead of the pool.
+    ///
+    /// The first touch of a page within a context pins a private copy, so
+    /// later touches are free; the read counter goes up only when that
+    /// first touch finds the page non-resident (a potential disk access).
+    /// Shared state is only ever read — the pool's resident set, LRU clock,
+    /// and counters are untouched — so any number of contexts can run
+    /// concurrently over `&self`.
+    pub fn read_page<T>(&self, pid: PageId, ctx: &mut PoolCtx, f: impl FnOnce(&[u8]) -> T) -> T {
+        if ctx.owner != Some(self.id) {
+            // The context last pinned pages of a different pool; its pins
+            // are meaningless here (page ids are per-pool). Counters are
+            // kept — only the pin cache is invalidated.
+            ctx.pinned.clear();
+            ctx.owner = Some(self.id);
+        }
+        match ctx.pinned.entry(pid) {
+            Entry::Occupied(e) => f(e.into_mut()),
+            Entry::Vacant(slot) => {
+                let mut data = vec![0u8; self.storage.page_size()].into_boxed_slice();
+                let shard = self.shards[pid.0 as usize % self.shards.len()]
+                    .read()
+                    .unwrap();
+                match shard.resident.get(&pid) {
+                    Some(&frame) => data.copy_from_slice(&shard.frames[frame].data),
+                    None => {
+                        drop(shard);
+                        // Non-resident pages are never dirty (eviction
+                        // writes back), so storage holds current bytes.
+                        ctx.stats.reads += 1;
+                        self.storage.read_page(pid, &mut data);
+                    }
+                }
+                f(slot.insert(data))
+            }
+        }
+    }
+
+    /// Write all dirty resident pages back to storage.
+    pub fn flush(&mut self) {
+        let storage = &self.storage;
+        for s in &mut self.shards {
+            let shard = s.get_mut().unwrap();
+            for frame in &mut shard.frames {
+                if frame.dirty {
+                    if let Some(pid) = frame.pid {
+                        storage.write_page(pid, &frame.data);
+                        frame.dirty = false;
+                        shard.stats.writes += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drop every resident page (flushing dirty ones), emptying the pool.
+    /// Useful to measure cold-cache query costs.
+    pub fn clear(&mut self) {
+        self.flush();
+        for s in &mut self.shards {
+            let shard = s.get_mut().unwrap();
+            for f in &mut shard.frames {
+                f.pid = None;
+            }
+            shard.resident.clear();
+        }
+    }
+
+    /// Consume the pool, flushing, and return the underlying storage.
+    pub fn into_storage(mut self) -> S {
+        self.flush();
+        self.storage
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn pool(frames: usize) -> MemPool {
-        MemPool::in_memory(128, frames)
+    /// Single stripe: the whole pool is one global LRU, matching the exact
+    /// eviction-order expectations below.
+    fn pool1(frames: usize) -> MemPool {
+        BufferPool::with_shards(MemStorage::new(128), frames, 1)
     }
 
     #[test]
     fn allocate_is_zeroed_and_free_of_reads() {
-        let mut p = pool(4);
+        let mut p = pool1(4);
         let a = p.allocate();
         p.with_page(a, |d| assert!(d.iter().all(|&b| b == 0)));
         assert_eq!(p.stats().reads, 0, "fresh pages cost no read");
@@ -271,7 +478,7 @@ mod tests {
 
     #[test]
     fn resident_pages_cost_nothing() {
-        let mut p = pool(4);
+        let mut p = MemPool::in_memory(128, 8);
         let a = p.allocate();
         p.with_page_mut(a, |d| d[0] = 9);
         for _ in 0..100 {
@@ -282,7 +489,7 @@ mod tests {
 
     #[test]
     fn eviction_follows_lru_order() {
-        let mut p = pool(2);
+        let mut p = pool1(2);
         let a = p.allocate();
         let b = p.allocate();
         let c = p.allocate(); // evicts a (LRU), which is dirty -> 1 write
@@ -303,7 +510,7 @@ mod tests {
 
     #[test]
     fn dirty_data_survives_eviction() {
-        let mut p = pool(2);
+        let mut p = pool1(2);
         let a = p.allocate();
         p.with_page_mut(a, |d| d[5] = 77);
         // Force a out of the pool.
@@ -314,7 +521,7 @@ mod tests {
 
     #[test]
     fn clean_pages_evict_without_write() {
-        let mut p = pool(2);
+        let mut p = pool1(2);
         let a = p.allocate();
         let b = p.allocate();
         p.flush();
@@ -330,7 +537,7 @@ mod tests {
 
     #[test]
     fn flush_writes_each_dirty_page_once() {
-        let mut p = pool(8);
+        let mut p = MemPool::in_memory(128, 8);
         let pids: Vec<_> = (0..5).map(|_| p.allocate()).collect();
         for &pid in &pids {
             p.with_page_mut(pid, |d| d[0] = 1);
@@ -343,7 +550,7 @@ mod tests {
 
     #[test]
     fn free_reuses_pages_and_shrinks_footprint() {
-        let mut p = pool(4);
+        let mut p = pool1(4);
         let a = p.allocate();
         let _b = p.allocate();
         assert_eq!(p.allocated_pages(), 2);
@@ -357,7 +564,7 @@ mod tests {
 
     #[test]
     fn freed_page_contents_are_zeroed_on_reuse() {
-        let mut p = pool(4);
+        let mut p = pool1(4);
         let a = p.allocate();
         p.with_page_mut(a, |d| d.fill(0xAB));
         p.free(a);
@@ -368,16 +575,25 @@ mod tests {
 
     #[test]
     fn two_pages_mut_split_borrow() {
-        let mut p = pool(4);
+        // Default sharding: pages 0 and 1 land in different stripes,
+        // pages 0 and 2 in the same one — exercise both paths.
+        let mut p = MemPool::in_memory(128, 4);
+        assert_eq!(p.shard_count(), 2);
         let a = p.allocate();
         let b = p.allocate();
+        let c = p.allocate();
         p.with_two_pages_mut(a, b, |da, db| {
             da[0] = 1;
             db[0] = 2;
         });
+        p.with_two_pages_mut(a, c, |da, dc| {
+            assert_eq!(da[0], 1);
+            dc[0] = 3;
+        });
         p.with_page(a, |d| assert_eq!(d[0], 1));
         p.with_page(b, |d| assert_eq!(d[0], 2));
-        // Also in the reverse frame order.
+        p.with_page(c, |d| assert_eq!(d[0], 3));
+        // Also in the reverse order.
         p.with_two_pages_mut(b, a, |db, da| {
             assert_eq!(db[0], 2);
             assert_eq!(da[0], 1);
@@ -386,7 +602,7 @@ mod tests {
 
     #[test]
     fn two_pages_mut_works_when_neither_resident() {
-        let mut p = pool(2);
+        let mut p = pool1(2);
         let a = p.allocate();
         let b = p.allocate();
         let c = p.allocate();
@@ -402,7 +618,7 @@ mod tests {
 
     #[test]
     fn clear_empties_pool_and_future_reads_miss() {
-        let mut p = pool(4);
+        let mut p = pool1(4);
         let a = p.allocate();
         p.clear();
         p.reset_stats();
@@ -416,6 +632,112 @@ mod tests {
         let b = DiskStats { reads: 3, writes: 1 };
         assert_eq!(a - b, DiskStats { reads: 7, writes: 3 });
         assert_eq!((a - b).total(), 10);
+    }
+
+    #[test]
+    fn sharding_distributes_frames_and_pages() {
+        let p = BufferPool::with_shards(MemStorage::new(128), 10, 4);
+        assert_eq!(p.shard_count(), 4);
+        assert_eq!(p.capacity(), 10, "remainder frames are not lost");
+    }
+
+    #[test]
+    fn ctx_charges_once_per_distinct_page() {
+        let mut p = MemPool::in_memory(128, 4);
+        let a = p.allocate();
+        let b = p.allocate();
+        p.with_page_mut(a, |d| d[0] = 1);
+        p.with_page_mut(b, |d| d[0] = 2);
+        p.clear(); // both now non-resident
+        let mut ctx = PoolCtx::new();
+        for _ in 0..10 {
+            p.read_page(a, &mut ctx, |d| assert_eq!(d[0], 1));
+            p.read_page(b, &mut ctx, |d| assert_eq!(d[0], 2));
+        }
+        assert_eq!(ctx.stats.reads, 2, "one charge per distinct page");
+        assert_eq!(ctx.pages_touched(), 2);
+        ctx.reset();
+        assert_eq!(ctx.pages_touched(), 0);
+        p.read_page(a, &mut ctx, |_| {});
+        assert_eq!(ctx.stats.reads, 1, "fresh context recharges");
+    }
+
+    #[test]
+    fn ctx_reads_resident_pages_for_free_and_sees_dirty_data() {
+        let mut p = MemPool::in_memory(128, 4);
+        let a = p.allocate();
+        p.with_page_mut(a, |d| d[0] = 42); // dirty, resident, NOT flushed
+        let mut ctx = PoolCtx::new();
+        p.read_page(a, &mut ctx, |d| assert_eq!(d[0], 42, "sees dirty frame"));
+        assert_eq!(ctx.stats.reads, 0, "resident pages are free");
+        assert_eq!(ctx.pages_touched(), 1);
+    }
+
+    #[test]
+    fn read_path_leaves_pool_state_alone() {
+        let mut p = pool1(2);
+        let a = p.allocate();
+        let b = p.allocate();
+        let c = p.allocate(); // a evicted
+        p.flush();
+        p.reset_stats();
+        let mut ctx = PoolCtx::new();
+        p.read_page(a, &mut ctx, |_| {});
+        assert_eq!(ctx.stats.reads, 1, "a was not resident");
+        assert_eq!(p.stats(), DiskStats::default(), "pool counters untouched");
+        // a was NOT installed: b and c are still the residents.
+        let mut ctx2 = PoolCtx::new();
+        p.read_page(b, &mut ctx2, |_| {});
+        p.read_page(c, &mut ctx2, |_| {});
+        assert_eq!(ctx2.stats.reads, 0, "residents undisturbed by read path");
+    }
+
+    #[test]
+    fn concurrent_contexts_count_deterministically() {
+        let mut p = BufferPool::with_shards(MemStorage::new(128), 8, 4);
+        let pids: Vec<_> = (0..16).map(|_| p.allocate()).collect();
+        for (i, &pid) in pids.iter().enumerate() {
+            p.with_page_mut(pid, |d| d[0] = i as u8);
+        }
+        p.flush();
+        let p = &p;
+        let pids = &pids;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut ctx = PoolCtx::new();
+                        for (i, &pid) in pids.iter().enumerate() {
+                            p.read_page(pid, &mut ctx, |d| assert_eq!(d[0], i as u8));
+                        }
+                        ctx.stats.reads
+                    })
+                })
+                .collect();
+            for h in handles {
+                let reads = h.join().unwrap();
+                // 8 of the 16 pages are resident (each stripe holds its 2
+                // most recent), 8 are not; every thread sees the same count.
+                assert_eq!(reads, 8);
+            }
+        });
+    }
+
+    #[test]
+    fn a_wandering_ctx_never_serves_another_pools_bytes() {
+        // Same page id, two pools, different contents: a context reused
+        // across pools must re-pin, not serve the first pool's copy.
+        let mut a = MemPool::in_memory(64, 4);
+        let mut b = MemPool::in_memory(64, 4);
+        let pa = a.allocate();
+        let pb = b.allocate();
+        assert_eq!(pa, pb, "both pools hand out the same first page id");
+        a.with_page_mut(pa, |d| d[0] = 0xAA);
+        b.with_page_mut(pb, |d| d[0] = 0xBB);
+        let mut ctx = PoolCtx::new();
+        assert_eq!(a.read_page(pa, &mut ctx, |d| d[0]), 0xAA);
+        assert_eq!(b.read_page(pb, &mut ctx, |d| d[0]), 0xBB);
+        assert_eq!(a.read_page(pa, &mut ctx, |d| d[0]), 0xAA);
     }
 
     #[test]

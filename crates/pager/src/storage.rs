@@ -1,12 +1,20 @@
 use crate::PageId;
 use std::fs::File;
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
 use std::path::Path;
+use std::sync::RwLock;
 
 /// A page-granular disk. Implementations never cache: every read/write is a
 /// (simulated) disk transfer. Caching and access counting live in the
 /// [`crate::BufferPool`].
-pub trait Storage {
+///
+/// Reads and writes take `&self` so a pool shared between query threads can
+/// reach storage without serializing on one big lock; implementations use
+/// interior mutability ([`MemStorage`]) or positioned I/O ([`FileStorage`]).
+/// Only [`Storage::grow`] is exclusive — new pages are minted by the
+/// allocator, which already holds `&mut` access. The `Sync` bound is what
+/// lets `&BufferPool` cross threads.
+pub trait Storage: Sync {
     /// Fixed page size in bytes.
     fn page_size(&self) -> usize;
 
@@ -14,10 +22,10 @@ pub trait Storage {
     fn num_pages(&self) -> u32;
 
     /// Read page `pid` into `buf` (`buf.len() == page_size`).
-    fn read_page(&mut self, pid: PageId, buf: &mut [u8]);
+    fn read_page(&self, pid: PageId, buf: &mut [u8]);
 
     /// Write `buf` to page `pid`.
-    fn write_page(&mut self, pid: PageId, buf: &[u8]);
+    fn write_page(&self, pid: PageId, buf: &[u8]);
 
     /// Extend the disk by one zeroed page, returning its id.
     fn grow(&mut self) -> PageId;
@@ -27,7 +35,7 @@ pub trait Storage {
 /// cheap; the default backing for experiments.
 pub struct MemStorage {
     page_size: usize,
-    pages: Vec<Box<[u8]>>,
+    pages: RwLock<Vec<Box<[u8]>>>,
 }
 
 impl MemStorage {
@@ -35,7 +43,7 @@ impl MemStorage {
         assert!(page_size >= 64, "page size too small to hold a node header");
         MemStorage {
             page_size,
-            pages: Vec::new(),
+            pages: RwLock::new(Vec::new()),
         }
     }
 }
@@ -46,25 +54,28 @@ impl Storage for MemStorage {
     }
 
     fn num_pages(&self) -> u32 {
-        self.pages.len() as u32
+        self.pages.read().unwrap().len() as u32
     }
 
-    fn read_page(&mut self, pid: PageId, buf: &mut [u8]) {
-        buf.copy_from_slice(&self.pages[pid.index()]);
+    fn read_page(&self, pid: PageId, buf: &mut [u8]) {
+        buf.copy_from_slice(&self.pages.read().unwrap()[pid.index()]);
     }
 
-    fn write_page(&mut self, pid: PageId, buf: &[u8]) {
-        self.pages[pid.index()].copy_from_slice(buf);
+    fn write_page(&self, pid: PageId, buf: &[u8]) {
+        self.pages.write().unwrap()[pid.index()].copy_from_slice(buf);
     }
 
     fn grow(&mut self) -> PageId {
-        let pid = PageId(self.pages.len() as u32);
-        self.pages.push(vec![0u8; self.page_size].into_boxed_slice());
+        let pages = self.pages.get_mut().unwrap();
+        let pid = PageId(pages.len() as u32);
+        pages.push(vec![0u8; self.page_size].into_boxed_slice());
         pid
     }
 }
 
 /// A file-backed disk. Page `i` lives at byte offset `i * page_size`.
+/// Reads and writes use positioned I/O (`pread`/`pwrite`), so concurrent
+/// readers never fight over a shared file cursor.
 pub struct FileStorage {
     file: File,
     page_size: usize,
@@ -104,6 +115,10 @@ impl FileStorage {
             num_pages: (len / page_size as u64) as u32,
         })
     }
+
+    fn offset(&self, pid: PageId) -> u64 {
+        pid.0 as u64 * self.page_size as u64
+    }
 }
 
 impl Storage for FileStorage {
@@ -115,20 +130,18 @@ impl Storage for FileStorage {
         self.num_pages
     }
 
-    fn read_page(&mut self, pid: PageId, buf: &mut [u8]) {
+    fn read_page(&self, pid: PageId, buf: &mut [u8]) {
         assert!(pid.0 < self.num_pages, "read past end of file");
         self.file
-            .seek(SeekFrom::Start(pid.0 as u64 * self.page_size as u64))
-            .expect("seek");
-        self.file.read_exact(buf).expect("read page");
+            .read_exact_at(buf, self.offset(pid))
+            .expect("read page");
     }
 
-    fn write_page(&mut self, pid: PageId, buf: &[u8]) {
+    fn write_page(&self, pid: PageId, buf: &[u8]) {
         assert!(pid.0 < self.num_pages, "write past end of file");
         self.file
-            .seek(SeekFrom::Start(pid.0 as u64 * self.page_size as u64))
-            .expect("seek");
-        self.file.write_all(buf).expect("write page");
+            .write_all_at(buf, self.offset(pid))
+            .expect("write page");
     }
 
     fn grow(&mut self) -> PageId {
@@ -161,6 +174,23 @@ mod tests {
     }
 
     #[test]
+    fn mem_storage_shared_reads() {
+        let mut s = MemStorage::new(128);
+        let p0 = s.grow();
+        s.write_page(p0, &[9u8; 128]);
+        let s = &s;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    let mut buf = vec![0u8; 128];
+                    s.read_page(p0, &mut buf);
+                    assert!(buf.iter().all(|&b| b == 9));
+                });
+            }
+        });
+    }
+
+    #[test]
     fn file_storage_roundtrip_and_reopen() {
         let dir = std::env::temp_dir().join(format!("lsdb-pager-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -172,7 +202,7 @@ mod tests {
             s.write_page(p0, &vec![42u8; 256]);
         }
         {
-            let mut s = FileStorage::open(&path, 256).unwrap();
+            let s = FileStorage::open(&path, 256).unwrap();
             assert_eq!(s.num_pages(), 2);
             let mut buf = vec![0u8; 256];
             s.read_page(PageId(0), &mut buf);
@@ -187,7 +217,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("lsdb-pager-test2-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("store.bin");
-        let mut s = FileStorage::create(&path, 256).unwrap();
+        let s = FileStorage::create(&path, 256).unwrap();
         let mut buf = vec![0u8; 256];
         s.read_page(PageId(0), &mut buf);
     }

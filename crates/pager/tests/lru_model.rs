@@ -1,43 +1,38 @@
-//! Model-based property tests for the buffer pool: contents must always
-//! match a plain `Vec<Vec<u8>>` model regardless of the operation mix, and
-//! the read counter must match a reference LRU simulation.
+//! Model-based check of the buffer pool against a reference LRU simulator.
+//!
+//! The model tracks which pages an ideal LRU cache of the same capacity
+//! would hold and how many misses it would charge; the pool must match the
+//! miss count exactly and must never lose written data. Deterministic:
+//! cases are drawn from a fixed-seed [`lsdb_rng::StdRng`] stream.
 
-use lsdb_pager::{MemPool, PageId};
-use proptest::prelude::*;
-use std::collections::VecDeque;
+use lsdb_pager::{BufferPool, MemStorage, PageId};
+use lsdb_rng::StdRng;
+use std::collections::{HashMap, VecDeque};
 
-#[derive(Clone, Debug)]
-enum Op {
-    Allocate,
-    Write(usize, u8),
-    Read(usize),
-    Free(usize),
-    Flush,
-    Clear,
-}
+const PAGE: usize = 64;
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => Just(Op::Allocate),
-        4 => (0usize..40, any::<u8>()).prop_map(|(i, v)| Op::Write(i, v)),
-        4 => (0usize..40).prop_map(Op::Read),
-        1 => (0usize..40).prop_map(Op::Free),
-        1 => Just(Op::Flush),
-        1 => Just(Op::Clear),
-    ]
-}
-
-/// Reference LRU cache of page ids with the same counting rules.
+/// Reference LRU cache: `front` is least recently used, `back` most.
 struct LruModel {
     capacity: usize,
-    resident: VecDeque<u32>, // most-recent at back
+    resident: VecDeque<PageId>,
     reads: u64,
 }
 
 impl LruModel {
-    fn touch(&mut self, pid: u32, counts_read_if_absent: bool) {
-        if let Some(pos) = self.resident.iter().position(|&p| p == pid) {
-            self.resident.remove(pos);
+    fn new(capacity: usize) -> Self {
+        LruModel {
+            capacity,
+            resident: VecDeque::new(),
+            reads: 0,
+        }
+    }
+
+    /// An access to `pid`: moves it to MRU, evicting the LRU page when the
+    /// cache is full. Fresh allocations pass `counts_read_if_absent =
+    /// false` because a brand-new zeroed page costs no disk read.
+    fn touch(&mut self, pid: PageId, counts_read_if_absent: bool) {
+        if let Some(i) = self.resident.iter().position(|&p| p == pid) {
+            self.resident.remove(i);
         } else {
             if counts_read_if_absent {
                 self.reads += 1;
@@ -49,80 +44,79 @@ impl LruModel {
         self.resident.push_back(pid);
     }
 
-    fn drop_page(&mut self, pid: u32) {
-        if let Some(pos) = self.resident.iter().position(|&p| p == pid) {
-            self.resident.remove(pos);
+    fn drop_page(&mut self, pid: PageId) {
+        if let Some(i) = self.resident.iter().position(|&p| p == pid) {
+            self.resident.remove(i);
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn pool_matches_model() {
+    let mut rng = StdRng::seed_from_u64(0x10DE1);
+    for case in 0..200usize {
+        let capacity = 1 + case % 5;
+        // A single shard, so the whole pool is one global LRU — exactly
+        // what the reference model simulates.
+        let mut pool = BufferPool::with_shards(MemStorage::new(PAGE), capacity, 1);
+        let mut model = LruModel::new(capacity);
+        // Last value written to byte 3 of every live page.
+        let mut shadow: HashMap<PageId, u8> = HashMap::new();
+        let mut live: Vec<PageId> = Vec::new();
 
-    #[test]
-    fn pool_matches_model(capacity in 1usize..6, ops in prop::collection::vec(op_strategy(), 1..120)) {
-        let page_size = 64;
-        let mut pool = MemPool::in_memory(page_size, capacity);
-        let mut model: Vec<Option<Vec<u8>>> = Vec::new(); // None = freed
-        let mut lru = LruModel { capacity, resident: VecDeque::new(), reads: 0 };
-        let live = |model: &Vec<Option<Vec<u8>>>| -> Vec<usize> {
-            model.iter().enumerate().filter(|(_, p)| p.is_some()).map(|(i, _)| i).collect()
-        };
-        for op in ops {
-            match op {
-                Op::Allocate => {
+        let ops = rng.gen_range(1usize..120);
+        for _ in 0..ops {
+            match rng.gen_range(0u32..13) {
+                0..=2 => {
                     let pid = pool.allocate();
-                    // Reused pages keep their index; fresh pages append.
-                    if pid.index() == model.len() {
-                        model.push(Some(vec![0u8; page_size]));
-                    } else {
-                        assert!(model[pid.index()].is_none(), "allocator reused a live page");
-                        model[pid.index()] = Some(vec![0u8; page_size]);
-                    }
-                    lru.touch(pid.0, false); // fresh pages cost no read
+                    model.touch(pid, false);
+                    shadow.insert(pid, 0);
+                    live.push(pid);
                 }
-                Op::Write(i, v) => {
-                    let ids = live(&model);
-                    if ids.is_empty() { continue; }
-                    let id = ids[i % ids.len()];
-                    pool.with_page_mut(PageId(id as u32), |buf| {
-                        buf[id % page_size] = v;
-                    });
-                    model[id].as_mut().unwrap()[id % page_size] = v;
-                    lru.touch(id as u32, true);
+                3..=6 if !live.is_empty() => {
+                    let pid = live[rng.gen_range(0..live.len())];
+                    let byte = rng.gen_range(0u32..=255) as u8;
+                    pool.with_page_mut(pid, |d| d[3] = byte);
+                    model.touch(pid, true);
+                    shadow.insert(pid, byte);
                 }
-                Op::Read(i) => {
-                    let ids = live(&model);
-                    if ids.is_empty() { continue; }
-                    let id = ids[i % ids.len()];
-                    let got = pool.with_page(PageId(id as u32), |buf| buf.to_vec());
-                    prop_assert_eq!(&got, model[id].as_ref().unwrap(), "page {} contents", id);
-                    lru.touch(id as u32, true);
+                7..=9 if !live.is_empty() => {
+                    let pid = live[rng.gen_range(0..live.len())];
+                    let expect = shadow[&pid];
+                    pool.with_page(pid, |d| assert_eq!(d[3], expect, "lost write to {pid:?}"));
+                    model.touch(pid, true);
                 }
-                Op::Free(i) => {
-                    let ids = live(&model);
-                    if ids.is_empty() { continue; }
-                    let id = ids[i % ids.len()];
-                    pool.free(PageId(id as u32));
-                    model[id] = None;
-                    lru.drop_page(id as u32);
+                10 if !live.is_empty() => {
+                    let i = rng.gen_range(0..live.len());
+                    let pid = live.swap_remove(i);
+                    pool.free(pid);
+                    model.drop_page(pid);
+                    shadow.remove(&pid);
                 }
-                Op::Flush => pool.flush(),
-                Op::Clear => {
+                11 => pool.flush(),
+                12 => {
                     pool.clear();
-                    lru.resident.clear();
+                    model.resident.clear();
                 }
+                _ => {}
             }
+            assert_eq!(
+                pool.stats().reads,
+                model.reads,
+                "case {case}: pool and model disagree on miss count"
+            );
+            assert_eq!(
+                pool.allocated_pages() as usize,
+                live.len(),
+                "case {case}: allocated-page count drifted"
+            );
         }
-        // Reads must match the reference LRU exactly.
-        prop_assert_eq!(pool.stats().reads, lru.reads, "LRU read counting diverged");
-        // Every live page's contents survive a final cold read.
-        pool.clear();
-        for id in live(&model) {
-            let got = pool.with_page(PageId(id as u32), |buf| buf.to_vec());
-            prop_assert_eq!(&got, model[id].as_ref().unwrap(), "page {} after clear", id);
+
+        // Every live page must still hold its last written value, even the
+        // ones that were evicted or cleared along the way.
+        for &pid in &live {
+            let expect = shadow[&pid];
+            pool.with_page(pid, |d| assert_eq!(d[3], expect, "final check {pid:?}"));
         }
-        // Footprint equals live + freed-but-unreused pages.
-        prop_assert!(pool.allocated_pages() as usize <= model.len());
     }
 }

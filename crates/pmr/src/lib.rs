@@ -29,7 +29,9 @@
 //! 50k-segment county.
 
 use lsdb_btree::{BTree, MemBTree};
-use lsdb_core::{IndexConfig, PolygonalMap, QueryStats, SegId, SegmentTable, SpatialIndex};
+use lsdb_core::{
+    IndexConfig, LocId, PolygonalMap, QueryCtx, QueryStats, SegId, SegmentTable, SpatialIndex,
+};
 use lsdb_geom::morton::Block;
 use lsdb_geom::{Dist2, Point, Rect, Segment, MAX_DEPTH};
 use lsdb_pager::MemPool;
@@ -170,6 +172,59 @@ impl PmrQuadtree {
     /// probe.
     fn is_leaf(&mut self, b: Block) -> bool {
         self.btree.first_in_range(key(b, 0), key(b, u32::MAX)).is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Shared-read query helpers: the same probes as the build-path ones
+    // above, but over the B-tree's `&self` read path, charging disk
+    // accesses to the query's context.
+    // ------------------------------------------------------------------
+
+    /// Query-path twin of [`PmrQuadtree::block_entries`].
+    fn block_entries_ctx(&self, b: Block, ctx: &mut QueryCtx) -> Option<Vec<SegId>> {
+        let keys = self
+            .btree
+            .collect_range_ctx(key(b, 0), key(b, u32::MAX), &mut ctx.index);
+        if keys.is_empty() {
+            return None;
+        }
+        Some(
+            keys.into_iter()
+                .filter(|&k| payload_of_key(k) != EMPTY)
+                .map(|k| SegId(payload_of_key(k)))
+                .collect(),
+        )
+    }
+
+    /// Query-path twin of [`PmrQuadtree::leaf_containing`].
+    fn leaf_containing_ctx(&self, p: Point, ctx: &mut QueryCtx) -> Block {
+        let probe = key(Block::containing(p, self.max_depth), u32::MAX);
+        let k = self
+            .btree
+            .last_in_range_ctx(0, probe, &mut ctx.index)
+            .expect("decomposition covers the world");
+        let b = block_of_key(k);
+        debug_assert!(b.rect().contains_point(p), "predecessor block must contain p");
+        b
+    }
+
+    /// Query-path twin of [`PmrQuadtree::seed_blocks`].
+    fn seed_blocks_ctx(&self, p: Point, ctx: &mut QueryCtx) -> (Block, Vec<SegId>, Vec<Block>) {
+        let leaf = self.leaf_containing_ctx(p, ctx);
+        let segs = self
+            .block_entries_ctx(leaf, ctx)
+            .expect("leaf_containing returns a leaf");
+        let mut others = Vec::new();
+        let mut a = leaf;
+        while let Some(parent) = a.parent() {
+            for c in parent.children() {
+                if c != a {
+                    others.push(c);
+                }
+            }
+            a = parent;
+        }
+        (leaf, segs, others)
     }
 
     /// One-descent combined probe: `None` if `b` is not a leaf of the
@@ -441,7 +496,11 @@ impl SpatialIndex for PmrQuadtree {
         "PMR quadtree"
     }
 
-    fn seg_table(&mut self) -> &mut SegmentTable {
+    fn seg_table(&self) -> &SegmentTable {
+        &self.table
+    }
+
+    fn seg_table_mut(&mut self) -> &mut SegmentTable {
         &mut self.table
     }
 
@@ -486,14 +545,14 @@ impl SpatialIndex for PmrQuadtree {
         self.len
     }
 
-    fn find_incident(&mut self, p: Point) -> Vec<SegId> {
+    fn find_incident(&self, p: Point, ctx: &mut QueryCtx) -> Vec<SegId> {
         // The block containing p holds every segment with an endpoint at p
         // (any segment touching p touches this block's closed region).
-        self.bucket_comps += 1;
-        let b = self.leaf_containing(p);
+        ctx.bbox_comps += 1;
+        let b = self.leaf_containing_ctx(p, ctx);
         let mut out = Vec::new();
-        for id in self.block_segments(b) {
-            let seg = self.table.get(id);
+        for id in self.block_entries_ctx(b, ctx).unwrap_or_default() {
+            let seg = self.table.get(id, ctx);
             if seg.has_endpoint(p) {
                 out.push(id);
             }
@@ -501,16 +560,18 @@ impl SpatialIndex for PmrQuadtree {
         out
     }
 
-    fn probe_point(&mut self, p: Point) {
-        self.bucket_comps += 1;
-        let _ = self.leaf_containing(p);
+    fn probe_point(&self, p: Point, ctx: &mut QueryCtx) -> LocId {
+        ctx.bbox_comps += 1;
+        let b = self.leaf_containing_ctx(p, ctx);
+        // The block's packed locational code: (Morton code, depth).
+        LocId(key(b, 0) >> 32)
     }
 
-    fn nearest(&mut self, p: Point) -> Option<SegId> {
-        self.nearest_k(p, 1).pop()
+    fn nearest(&self, p: Point, ctx: &mut QueryCtx) -> Option<SegId> {
+        self.nearest_k(p, 1, ctx).pop()
     }
 
-    fn nearest_k(&mut self, p: Point, k: usize) -> Vec<SegId> {
+    fn nearest_k(&self, p: Point, k: usize, ctx: &mut QueryCtx) -> Vec<SegId> {
         let mut out = Vec::new();
         if self.len == 0 || k == 0 {
             return out;
@@ -520,8 +581,8 @@ impl SpatialIndex for PmrQuadtree {
         let mut seq = 0u64;
         // Seed with the query point's own bucket and the off-path children
         // of its ancestors (which partition the rest of the world).
-        let (leaf, segs, others) = self.seed_blocks(p);
-        self.bucket_comps += 1;
+        let (leaf, segs, others) = self.seed_blocks_ctx(p, ctx);
+        ctx.bbox_comps += 1;
         for id in segs {
             seq += 1;
             heap.push(Reverse(NnEntry {
@@ -551,7 +612,7 @@ impl SpatialIndex for PmrQuadtree {
                     }
                 }
                 NnItem::Candidate(id) => {
-                    let seg = self.table.get(id);
+                    let seg = self.table.get(id, ctx);
                     seq += 1;
                     heap.push(Reverse(NnEntry {
                         dist: seg.dist2_point(p),
@@ -559,9 +620,9 @@ impl SpatialIndex for PmrQuadtree {
                         item: NnItem::Exact(id),
                     }));
                 }
-                NnItem::Block(b) => match self.block_entries(b) {
+                NnItem::Block(b) => match self.block_entries_ctx(b, ctx) {
                     Some(segs) => {
-                        self.bucket_comps += 1;
+                        ctx.bbox_comps += 1;
                         for id in segs {
                             seq += 1;
                             // Lower-bound by the block distance; the exact
@@ -589,16 +650,21 @@ impl SpatialIndex for PmrQuadtree {
         out
     }
 
-    fn window(&mut self, w: Rect) -> Vec<SegId> {
+    fn window(&self, w: Rect, ctx: &mut QueryCtx) -> Vec<SegId> {
         let mut out = Vec::new();
+        self.window_visit(w, ctx, &mut |id| out.push(id));
+        out
+    }
+
+    fn window_visit(&self, w: Rect, ctx: &mut QueryCtx, f: &mut dyn FnMut(SegId)) {
         let mut seen: HashSet<SegId> = HashSet::new();
-        let mut scan = |this: &mut Self, segs: Vec<SegId>, out: &mut Vec<SegId>| {
-            this.bucket_comps += 1;
+        let mut scan = |segs: Vec<SegId>, ctx: &mut QueryCtx, f: &mut dyn FnMut(SegId)| {
+            ctx.bbox_comps += 1;
             for id in segs {
                 if seen.insert(id) {
-                    let seg = this.table.get(id);
+                    let seg = self.table.get(id, ctx);
                     if w.intersects_segment(&seg) {
-                        out.push(id);
+                        f(id);
                     }
                 }
             }
@@ -609,25 +675,24 @@ impl SpatialIndex for PmrQuadtree {
             w.min.x + (w.max.x - w.min.x) / 2,
             w.min.y + (w.max.y - w.min.y) / 2,
         );
-        let (_, segs, others) = self.seed_blocks(center);
-        scan(self, segs, &mut out);
+        let (_, segs, others) = self.seed_blocks_ctx(center, ctx);
+        scan(segs, ctx, f);
         let mut stack: Vec<Block> = others;
         while let Some(b) = stack.pop() {
             if !w.intersects(&b.rect()) {
                 continue;
             }
-            match self.block_entries(b) {
-                Some(segs) => scan(self, segs, &mut out),
+            match self.block_entries_ctx(b, ctx) {
+                Some(segs) => scan(segs, ctx, f),
                 None => stack.extend_from_slice(&b.children()),
             }
         }
-        out
     }
 
     fn stats(&self) -> QueryStats {
         QueryStats {
             disk: self.btree.pool().stats(),
-            seg_comps: self.table.comps(),
+            seg_comps: 0,
             bbox_comps: self.bucket_comps,
             seg_disk: self.table.disk_stats(),
         }
@@ -700,8 +765,9 @@ mod tests {
         let mut t = PmrQuadtree::new(table, cfg_test());
         assert_eq!(t.len(), 0);
         assert_eq!(t.leaf_blocks(), vec![Block::ROOT]);
-        assert_eq!(t.nearest(Point::new(0, 0)), None);
-        assert!(t.window(Rect::new(0, 0, 100, 100)).is_empty());
+        let mut ctx = QueryCtx::new();
+        assert_eq!(t.nearest(Point::new(0, 0), &mut ctx), None);
+        assert!(t.window(Rect::new(0, 0, 100, 100), &mut ctx).is_empty());
         t.check_invariants();
     }
 
@@ -723,7 +789,7 @@ mod tests {
         let map = grid_map(6);
         let mut t = PmrQuadtree::build(&map, cfg_test());
         let mut counts: std::collections::HashMap<Block, usize> = Default::default();
-        t.btree.scan_range(0, u64::MAX, &mut |k| {
+        let _ = t.btree.scan_range(0, u64::MAX, &mut |k| {
             if payload_of_key(k) != EMPTY {
                 *counts.entry(block_of_key(k)).or_default() += 1;
             }
@@ -740,12 +806,13 @@ mod tests {
     #[test]
     fn incident_matches_brute_force() {
         let map = grid_map(5);
-        let mut t = PmrQuadtree::build(&map, cfg_test());
+        let t = PmrQuadtree::build(&map, cfg_test());
+        let mut ctx = QueryCtx::new();
         let step = WORLD_SIZE / 7;
         for x in (0..=5 * step).step_by(step as usize) {
             for y in (0..=5 * step).step_by(step as usize) {
                 let p = Point::new(x, y);
-                let got = brute::sorted(t.find_incident(p));
+                let got = brute::sorted(t.find_incident(p, &mut ctx));
                 assert_eq!(got, brute::incident(&map, p), "at {p:?}");
             }
         }
@@ -754,20 +821,35 @@ mod tests {
     #[test]
     fn point_location_costs_one_bucket_computation() {
         let map = grid_map(5);
-        let mut t = PmrQuadtree::build(&map, cfg_test());
-        t.reset_stats();
-        let _ = t.find_incident(Point::new(WORLD_SIZE / 3, WORLD_SIZE / 3));
-        assert_eq!(t.stats().bbox_comps, 1, "paper Table 2: Point1 = 1.00");
+        let t = PmrQuadtree::build(&map, cfg_test());
+        let mut ctx = QueryCtx::new();
+        let _ = t.find_incident(Point::new(WORLD_SIZE / 3, WORLD_SIZE / 3), &mut ctx);
+        assert_eq!(ctx.stats().bbox_comps, 1, "paper Table 2: Point1 = 1.00");
+    }
+
+    #[test]
+    fn probe_point_reports_the_block_code() {
+        let map = grid_map(5);
+        let t = PmrQuadtree::build(&map, cfg_test());
+        let mut ctx = QueryCtx::new();
+        let p = Point::new(WORLD_SIZE / 3, WORLD_SIZE / 3);
+        let loc = t.probe_point(p, &mut ctx);
+        assert_ne!(loc, LocId::NONE);
+        // Stable across repeats; a far-away point lands somewhere else.
+        assert_eq!(t.probe_point(p, &mut ctx), loc);
+        assert_ne!(t.probe_point(Point::new(1, 1), &mut ctx), loc);
+        assert_eq!(ctx.stats().seg_comps, 0, "a probe fetches no segment records");
     }
 
     #[test]
     fn nearest_matches_brute_force_distance() {
         let map = grid_map(5);
-        let mut t = PmrQuadtree::build(&map, cfg_test());
+        let t = PmrQuadtree::build(&map, cfg_test());
+        let mut ctx = QueryCtx::new();
         for x in (0..WORLD_SIZE).step_by(1931) {
             for y in (0..WORLD_SIZE).step_by(2173) {
                 let p = Point::new(x, y);
-                let got = t.nearest(p).expect("non-empty");
+                let got = t.nearest(p, &mut ctx).expect("non-empty");
                 let want = brute::nearest(&map, p).unwrap();
                 assert_eq!(map.segments[got.index()].dist2_point(p), want.1, "at {p:?}");
             }
@@ -777,7 +859,8 @@ mod tests {
     #[test]
     fn window_matches_brute_force() {
         let map = grid_map(5);
-        let mut t = PmrQuadtree::build(&map, cfg_test());
+        let t = PmrQuadtree::build(&map, cfg_test());
+        let mut ctx = QueryCtx::new();
         let s = WORLD_SIZE / 7;
         let windows = [
             Rect::new(0, 0, WORLD_SIZE - 1, WORLD_SIZE - 1),
@@ -786,9 +869,39 @@ mod tests {
             Rect::new(WORLD_SIZE - 100, WORLD_SIZE - 100, WORLD_SIZE - 1, WORLD_SIZE - 1),
         ];
         for w in windows {
-            let got = brute::sorted(t.window(w));
+            let got = brute::sorted(t.window(w, &mut ctx));
             assert_eq!(got, brute::window(&map, w), "window {w:?}");
+            let mut streamed = Vec::new();
+            t.window_visit(w, &mut ctx, &mut |id| streamed.push(id));
+            assert_eq!(brute::sorted(streamed), got);
         }
+    }
+
+    #[test]
+    fn parallel_queries_share_the_quadtree() {
+        let map = grid_map(5);
+        let t = PmrQuadtree::build(&map, cfg_test());
+        let probes: Vec<Point> = (0..32)
+            .map(|i| Point::new((i * 977) % WORLD_SIZE, (i * 1409) % WORLD_SIZE))
+            .collect();
+        let run_one = |t: &PmrQuadtree, p: Point| {
+            let mut ctx = QueryCtx::new();
+            let inc = t.find_incident(p, &mut ctx);
+            let near = t.nearest(p, &mut ctx);
+            (inc, near, ctx.stats())
+        };
+        let sequential: Vec<_> = probes.iter().map(|&p| run_one(&t, p)).collect();
+        let t = &t;
+        let parallel: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = probes
+                .chunks(8)
+                .map(|chunk| {
+                    scope.spawn(move || chunk.iter().map(|&p| run_one(t, p)).collect::<Vec<_>>())
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(sequential, parallel);
     }
 
     #[test]
@@ -817,9 +930,10 @@ mod tests {
             assert!(t.remove(SegId(i as u32)));
         }
         t.check_invariants();
+        let mut ctx = QueryCtx::new();
         let s = WORLD_SIZE / 7;
         let w = Rect::new(s / 2, s / 2, 3 * s, 3 * s);
-        let got = brute::sorted(t.window(w));
+        let got = brute::sorted(t.window(w, &mut ctx));
         let want: Vec<SegId> = brute::window(&map, w)
             .into_iter()
             .filter(|id| id.index() % 3 != 0)
@@ -873,19 +987,22 @@ mod tests {
         let blocks = t.leaf_blocks();
         assert!(blocks.len() >= 4);
         // The grazing segment must be found from points on both sides.
-        let got = t.find_incident(Point::new(10, half));
+        let mut ctx = QueryCtx::new();
+        let got = t.find_incident(Point::new(10, half), &mut ctx);
         assert_eq!(got, vec![SegId(0)]);
     }
 
     #[test]
     fn polygon_query_via_generic_traversal() {
         let map = grid_map(4);
-        let mut t = PmrQuadtree::build(&map, cfg_test());
+        let t = PmrQuadtree::build(&map, cfg_test());
+        let mut ctx = QueryCtx::new();
         let step = WORLD_SIZE / 6;
         let walk = lsdb_core::queries::enclosing_polygon(
-            &mut t,
+            &t,
             Point::new(step + step / 2, step + step / 2),
             100,
+            &mut ctx,
         )
         .expect("non-empty");
         assert!(walk.closed);
@@ -900,9 +1017,10 @@ mod tests {
             PmrConfig { threshold: 1, ..cfg_test() },
         );
         t.check_invariants();
+        let mut ctx = QueryCtx::new();
         let p = map.segments[0].a;
         assert_eq!(
-            brute::sorted(t.find_incident(p)),
+            brute::sorted(t.find_incident(p, &mut ctx)),
             brute::incident(&map, p)
         );
     }
@@ -918,16 +1036,18 @@ mod tests {
         );
         assert_eq!(t.leaf_blocks(), vec![Block::ROOT]);
         t.check_invariants();
+        let mut ctx = QueryCtx::new();
         let w = Rect::new(0, 0, WORLD_SIZE - 1, WORLD_SIZE - 1);
-        assert_eq!(brute::sorted(t.window(w)).len(), map.len());
+        assert_eq!(brute::sorted(t.window(w, &mut ctx)).len(), map.len());
     }
 
     #[test]
     fn nearest_k_is_incremental_and_deduplicated() {
         let map = grid_map(4);
-        let mut t = PmrQuadtree::build(&map, cfg_test());
+        let t = PmrQuadtree::build(&map, cfg_test());
+        let mut ctx = QueryCtx::new();
         let p = Point::new(WORLD_SIZE / 3, WORLD_SIZE / 3);
-        let k5 = t.nearest_k(p, 5);
+        let k5 = t.nearest_k(p, 5, &mut ctx);
         assert_eq!(k5.len(), 5);
         let mut sorted_ids = k5.clone();
         sorted_ids.sort_unstable();
@@ -935,7 +1055,7 @@ mod tests {
         assert_eq!(sorted_ids.len(), 5, "k-NN must not repeat a q-edge");
         // Prefix property: nearest_k(1) is the head of nearest_k(5) by
         // distance (ids may differ under exact ties).
-        let k1 = t.nearest_k(p, 1);
+        let k1 = t.nearest_k(p, 1, &mut ctx);
         let d1 = map.segments[k1[0].index()].dist2_point(p);
         let d5 = map.segments[k5[0].index()].dist2_point(p);
         assert_eq!(d1, d5);

@@ -25,7 +25,9 @@
 //!   proximity does not transfer, so the search must visit a large share
 //!   of the buckets and fall back to coarse 4-d lower bounds.
 
-use lsdb_core::{IndexConfig, PolygonalMap, QueryStats, SegId, SegmentTable, SpatialIndex};
+use lsdb_core::{
+    IndexConfig, PolygonalMap, QueryCtx, QueryStats, SegId, SegmentTable, SpatialIndex,
+};
 use lsdb_geom::{Dist2, Point, Rect, Segment, WORLD_SIZE};
 use lsdb_pager::{MemPool, PageId};
 use std::cmp::Reverse;
@@ -43,7 +45,6 @@ pub struct ReprGrid {
     chains: Vec<Option<(PageId, PageId)>>,
     ids_per_page: usize,
     len: usize,
-    bucket_comps: u64,
 }
 
 /// 4-d cell coordinates.
@@ -63,7 +64,6 @@ impl ReprGrid {
             chains: vec![None; (g * g * g * g) as usize],
             ids_per_page,
             len: 0,
-            bucket_comps: 0,
         }
     }
 
@@ -161,16 +161,26 @@ impl ReprGrid {
         }
     }
 
-    /// Scan one bucket, applying `pred` to each stored segment.
-    fn scan_bucket(
-        &mut self,
-        flat: usize,
-        mut f: impl FnMut(&mut SegmentTable, SegId),
-    ) {
-        self.bucket_comps += 1;
-        for id in self.bucket_ids(flat) {
-            f(&mut self.table, id);
+    /// Query-path twin of [`ReprGrid::bucket_ids`]: walk the chain over the
+    /// pool's shared read path, charging page reads to the context. One
+    /// call is one bucket computation.
+    fn bucket_ids_ctx(&self, flat: usize, ctx: &mut QueryCtx) -> Vec<SegId> {
+        ctx.bbox_comps += 1;
+        let mut out = Vec::new();
+        let Some((first, _)) = self.chains[flat] else { return out };
+        let mut page = Some(first);
+        while let Some(pid) = page {
+            page = self.pool.read_page(pid, &mut ctx.index, |buf| {
+                let count = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+                for i in 0..count {
+                    let at = HDR + i * 4;
+                    out.push(SegId(u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())));
+                }
+                let next = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+                (next != u32::MAX).then_some(PageId(next))
+            });
         }
+        out
     }
 
     /// Iterate cells of the 2-d slab where axes `(ai, aj)` are fixed to the
@@ -242,7 +252,11 @@ impl SpatialIndex for ReprGrid {
         "repr-point 4-d grid"
     }
 
-    fn seg_table(&mut self) -> &mut SegmentTable {
+    fn seg_table(&self) -> &SegmentTable {
+        &self.table
+    }
+
+    fn seg_table_mut(&mut self) -> &mut SegmentTable {
         &mut self.table
     }
 
@@ -287,26 +301,24 @@ impl SpatialIndex for ReprGrid {
         self.len
     }
 
-    fn find_incident(&mut self, p: Point) -> Vec<SegId> {
+    fn find_incident(&self, p: Point, ctx: &mut QueryCtx) -> Vec<SegId> {
         // The canonical endpoint may sit in either role: two 2-d slabs of
         // g² buckets each.
         let mut out = Vec::new();
-        let probe = |this: &mut Self, ai: usize, aj: usize, out: &mut Vec<SegId>| {
-            for flat in this.slab_cells(ai, aj, p.x, p.y) {
-                this.scan_bucket(flat, |table, id| {
-                    let seg = table.get(id);
+        for (ai, aj) in [(0, 1), (2, 3)] {
+            for flat in self.slab_cells(ai, aj, p.x, p.y) {
+                for id in self.bucket_ids_ctx(flat, ctx) {
+                    let seg = self.table.get(id, ctx);
                     if seg.has_endpoint(p) && !out.contains(&id) {
                         out.push(id);
                     }
-                });
+                }
             }
-        };
-        probe(self, 0, 1, &mut out);
-        probe(self, 2, 3, &mut out);
+        }
         out
     }
 
-    fn nearest(&mut self, p: Point) -> Option<SegId> {
+    fn nearest(&self, p: Point, ctx: &mut QueryCtx) -> Option<SegId> {
         if self.len == 0 {
             return None;
         }
@@ -337,22 +349,27 @@ impl SpatialIndex for ReprGrid {
                     break;
                 }
             }
-            self.scan_bucket(flat, |table, id| {
-                let seg = table.get(id);
+            for id in self.bucket_ids_ctx(flat, ctx) {
+                let seg = self.table.get(id, ctx);
                 let d = seg.dist2_point(p);
                 if best.is_none_or(|(bd, bid)| (d, id) < (bd, bid)) {
                     best = Some((d, id));
                 }
-            });
+            }
         }
         best.map(|(_, id)| id)
     }
 
-    fn window(&mut self, w: Rect) -> Vec<SegId> {
+    fn window(&self, w: Rect, ctx: &mut QueryCtx) -> Vec<SegId> {
+        let mut out = Vec::new();
+        self.window_visit(w, ctx, &mut |id| out.push(id));
+        out
+    }
+
+    fn window_visit(&self, w: Rect, ctx: &mut QueryCtx, f: &mut dyn FnMut(SegId)) {
         // A segment intersecting `w` cannot have both endpoints strictly on
         // the same outside of `w` along either axis; every 4-d cell not
         // excluded by that test must be scanned.
-        let mut out = Vec::new();
         let g = self.g;
         let excluded_axis = |cl: i32, ch: i32, lo: i32, hi: i32| -> bool {
             // Both endpoint coordinate ranges on one side of the window.
@@ -378,24 +395,23 @@ impl SpatialIndex for ReprGrid {
                         if self.chains[flat].is_none() {
                             continue;
                         }
-                        self.scan_bucket(flat, |table, id| {
-                            let seg = table.get(id);
+                        for id in self.bucket_ids_ctx(flat, ctx) {
+                            let seg = self.table.get(id, ctx);
                             if w.intersects_segment(&seg) {
-                                out.push(id);
+                                f(id);
                             }
-                        });
+                        }
                     }
                 }
             }
         }
-        out
     }
 
     fn stats(&self) -> QueryStats {
         QueryStats {
             disk: self.pool.stats(),
-            seg_comps: self.table.comps(),
-            bbox_comps: self.bucket_comps,
+            seg_comps: 0,
+            bbox_comps: 0,
             seg_disk: self.table.disk_stats(),
         }
     }
@@ -403,7 +419,6 @@ impl SpatialIndex for ReprGrid {
     fn reset_stats(&mut self) {
         self.pool.reset_stats();
         self.table.reset_stats();
-        self.bucket_comps = 0;
     }
 
     fn size_bytes(&self) -> u64 {
@@ -452,7 +467,8 @@ mod tests {
     #[test]
     fn incident_matches_brute_force() {
         let map = cross_map();
-        let mut t = ReprGrid::build(&map, cfg(), 4);
+        let t = ReprGrid::build(&map, cfg(), 4);
+        let mut ctx = QueryCtx::new();
         let q = WORLD_SIZE / 4;
         for p in [
             Point::new(q, q),
@@ -461,7 +477,7 @@ mod tests {
             Point::new(5, 5),
         ] {
             assert_eq!(
-                brute::sorted(t.find_incident(p)),
+                brute::sorted(t.find_incident(p, &mut ctx)),
                 brute::incident(&map, p),
                 "at {p:?}"
             );
@@ -471,11 +487,12 @@ mod tests {
     #[test]
     fn nearest_matches_brute_force() {
         let map = cross_map();
-        let mut t = ReprGrid::build(&map, cfg(), 4);
+        let t = ReprGrid::build(&map, cfg(), 4);
+        let mut ctx = QueryCtx::new();
         for x in (0..WORLD_SIZE).step_by(2231) {
             for y in (0..WORLD_SIZE).step_by(1787) {
                 let p = Point::new(x, y);
-                let got = t.nearest(p).expect("non-empty");
+                let got = t.nearest(p, &mut ctx).expect("non-empty");
                 let want = brute::nearest(&map, p).unwrap();
                 assert_eq!(map.segments[got.index()].dist2_point(p), want.1, "at {p:?}");
             }
@@ -485,7 +502,8 @@ mod tests {
     #[test]
     fn window_matches_brute_force() {
         let map = cross_map();
-        let mut t = ReprGrid::build(&map, cfg(), 4);
+        let t = ReprGrid::build(&map, cfg(), 4);
+        let mut ctx = QueryCtx::new();
         let q = WORLD_SIZE / 4;
         for w in [
             Rect::new(0, 0, WORLD_SIZE - 1, WORLD_SIZE - 1),
@@ -493,7 +511,11 @@ mod tests {
             Rect::new(0, 2 * q, 5, 2 * q),
             Rect::new(123, 456, 789, 1011),
         ] {
-            assert_eq!(brute::sorted(t.window(w)), brute::window(&map, w), "{w:?}");
+            assert_eq!(
+                brute::sorted(t.window(w, &mut ctx)),
+                brute::window(&map, w),
+                "{w:?}"
+            );
         }
     }
 
@@ -504,12 +526,13 @@ mod tests {
         assert!(t.remove(SegId(1)));
         assert!(!t.remove(SegId(1)));
         assert_eq!(t.len(), map.len() - 1);
+        let mut ctx = QueryCtx::new();
         let w = Rect::new(0, 0, WORLD_SIZE - 1, WORLD_SIZE - 1);
         let want: Vec<SegId> = brute::window(&map, w)
             .into_iter()
             .filter(|id| id.0 != 1)
             .collect();
-        assert_eq!(brute::sorted(t.window(w)), want);
+        assert_eq!(brute::sorted(t.window(w, &mut ctx)), want);
     }
 
     #[test]
@@ -540,16 +563,16 @@ mod tests {
             ));
         }
         let map = PolygonalMap::new("mixed", segs);
-        let mut t = ReprGrid::build(&map, cfg(), 8);
+        let t = ReprGrid::build(&map, cfg(), 8);
         // The cells holding the highways can never be excluded by any
         // window test.
         let highway_cells: std::collections::HashSet<usize> = (n_short..map.len())
             .map(|i| t.flat(t.cell_of(ReprGrid::rep(&map.segments[i]))))
             .collect();
-        t.reset_stats();
+        let mut ctx = QueryCtx::new();
         let w = Rect::new(400, 400, 560, 560); // tiny corner window
-        let hits = t.window(w);
-        let visited = t.stats().bbox_comps;
+        let hits = t.window(w, &mut ctx);
+        let visited = ctx.stats().bbox_comps;
         assert!(
             visited as usize >= highway_cells.len(),
             "every highway bucket must be scanned: visited {visited}, \

@@ -36,7 +36,9 @@
 //! below `M = 50`.
 
 use lsdb_core::rectnode::{Entry, RectNode};
-use lsdb_core::{IndexConfig, PolygonalMap, QueryStats, SegId, SegmentTable, SpatialIndex};
+use lsdb_core::{
+    IndexConfig, LocId, PolygonalMap, QueryCtx, QueryStats, SegId, SegmentTable, SpatialIndex,
+};
 use lsdb_geom::{world_rect, Dist2, Point, Rect, Segment};
 use lsdb_pager::{MemPool, PageId};
 use std::cmp::Reverse;
@@ -58,7 +60,6 @@ pub struct RPlusTree {
     height: u32,
     m_max: usize,
     len: usize,
-    bbox_comps: u64,
 }
 
 impl RPlusTree {
@@ -75,7 +76,6 @@ impl RPlusTree {
             height: 1,
             m_max,
             len: 0,
-            bbox_comps: 0,
         }
     }
 
@@ -418,9 +418,9 @@ impl RPlusTree {
     // Queries
     // ------------------------------------------------------------------
 
-    fn incident_rec(&mut self, pid: PageId, level: u32, p: Point, out: &mut Vec<SegId>) {
-        let entries = self.pool.with_page(pid, RectNode::entries);
-        self.bbox_comps += entries.len() as u64;
+    fn incident_rec(&self, pid: PageId, level: u32, p: Point, ctx: &mut QueryCtx, out: &mut Vec<SegId>) {
+        let entries = self.pool.read_page(pid, &mut ctx.index, RectNode::entries);
+        ctx.bbox_comps += entries.len() as u64;
         if level == 1 {
             for e in entries {
                 if e.rect.contains_point(p) {
@@ -428,7 +428,7 @@ impl RPlusTree {
                     if out.contains(&id) {
                         continue;
                     }
-                    let seg = self.table.get(id);
+                    let seg = self.table.get(id, ctx);
                     if seg.has_endpoint(p) {
                         out.push(id);
                     }
@@ -438,43 +438,50 @@ impl RPlusTree {
         }
         for e in entries {
             if e.rect.contains_point(p) {
-                self.incident_rec(PageId(e.child), level - 1, p, out);
+                self.incident_rec(PageId(e.child), level - 1, p, ctx, out);
             }
         }
     }
 
     /// Point-location descent: visits the same nodes as a point query but
     /// fetches no segment records (used by paper query 2's first step).
-    fn probe_rec(&mut self, pid: PageId, level: u32, p: Point) {
-        let entries = self.pool.with_page(pid, RectNode::entries);
-        self.bbox_comps += entries.len() as u64;
+    /// Records the first leaf reached; a point on a shared region boundary
+    /// lives in several leaves, and the descent still visits all of them so
+    /// the access counts match a real point query.
+    fn probe_rec(&self, pid: PageId, level: u32, p: Point, ctx: &mut QueryCtx, found: &mut LocId) {
+        let entries = self.pool.read_page(pid, &mut ctx.index, RectNode::entries);
+        ctx.bbox_comps += entries.len() as u64;
         if level == 1 {
+            if *found == LocId::NONE {
+                *found = LocId(pid.0 as u64);
+            }
             return;
         }
         for e in entries {
             if e.rect.contains_point(p) {
-                self.probe_rec(PageId(e.child), level - 1, p);
+                self.probe_rec(PageId(e.child), level - 1, p, ctx, found);
             }
         }
     }
 
     fn window_rec(
-        &mut self,
+        &self,
         pid: PageId,
         level: u32,
         w: Rect,
-        out: &mut Vec<SegId>,
+        ctx: &mut QueryCtx,
+        f: &mut dyn FnMut(SegId),
         seen: &mut std::collections::HashSet<SegId>,
     ) {
-        let entries = self.pool.with_page(pid, RectNode::entries);
-        self.bbox_comps += entries.len() as u64;
+        let entries = self.pool.read_page(pid, &mut ctx.index, RectNode::entries);
+        ctx.bbox_comps += entries.len() as u64;
         if level == 1 {
             for e in entries {
                 let id = SegId(e.child);
                 if w.intersects(&e.rect) && seen.insert(id) {
-                    let seg = self.table.get(id);
+                    let seg = self.table.get(id, ctx);
                     if w.intersects_segment(&seg) {
-                        out.push(id);
+                        f(id);
                     }
                 }
             }
@@ -482,7 +489,7 @@ impl RPlusTree {
         }
         for e in entries {
             if w.intersects(&e.rect) {
-                self.window_rec(PageId(e.child), level - 1, w, out, seen);
+                self.window_rec(PageId(e.child), level - 1, w, ctx, f, seen);
             }
         }
     }
@@ -698,7 +705,11 @@ impl SpatialIndex for RPlusTree {
         "R+-tree"
     }
 
-    fn seg_table(&mut self) -> &mut SegmentTable {
+    fn seg_table(&self) -> &SegmentTable {
+        &self.table
+    }
+
+    fn seg_table_mut(&mut self) -> &mut SegmentTable {
         &mut self.table
     }
 
@@ -746,25 +757,23 @@ impl SpatialIndex for RPlusTree {
         self.len
     }
 
-    fn find_incident(&mut self, p: Point) -> Vec<SegId> {
+    fn find_incident(&self, p: Point, ctx: &mut QueryCtx) -> Vec<SegId> {
         let mut out = Vec::new();
-        let root = self.root;
-        let height = self.height;
-        self.incident_rec(root, height, p, &mut out);
+        self.incident_rec(self.root, self.height, p, ctx, &mut out);
         out
     }
 
-    fn probe_point(&mut self, p: Point) {
-        let root = self.root;
-        let height = self.height;
-        self.probe_rec(root, height, p);
+    fn probe_point(&self, p: Point, ctx: &mut QueryCtx) -> LocId {
+        let mut found = LocId::NONE;
+        self.probe_rec(self.root, self.height, p, ctx, &mut found);
+        found
     }
 
-    fn nearest(&mut self, p: Point) -> Option<SegId> {
-        self.nearest_k(p, 1).pop()
+    fn nearest(&self, p: Point, ctx: &mut QueryCtx) -> Option<SegId> {
+        self.nearest_k(p, 1, ctx).pop()
     }
 
-    fn nearest_k(&mut self, p: Point, k: usize) -> Vec<SegId> {
+    fn nearest_k(&self, p: Point, k: usize, ctx: &mut QueryCtx) -> Vec<SegId> {
         let mut out = Vec::new();
         if self.len == 0 || k == 0 {
             return out;
@@ -790,14 +799,14 @@ impl SpatialIndex for RPlusTree {
                     }
                 }
                 NnItem::Node { pid, level } => {
-                    let entries = self.pool.with_page(pid, RectNode::entries);
-                    self.bbox_comps += entries.len() as u64;
+                    let entries = self.pool.read_page(pid, &mut ctx.index, RectNode::entries);
+                    ctx.bbox_comps += entries.len() as u64;
                     if level == 1 {
                         // The paper's algorithm (after Hoel & Samet [11]):
                         // compute the actual distance of every segment in
                         // a visited leaf — one segment-table access each.
                         for e in entries {
-                            let seg = self.table.get(SegId(e.child));
+                            let seg = self.table.get(SegId(e.child), ctx);
                             seq += 1;
                             heap.push(Reverse(NnEntry {
                                 dist: seg.dist2_point(p),
@@ -822,20 +831,22 @@ impl SpatialIndex for RPlusTree {
         out
     }
 
-    fn window(&mut self, w: Rect) -> Vec<SegId> {
+    fn window(&self, w: Rect, ctx: &mut QueryCtx) -> Vec<SegId> {
         let mut out = Vec::new();
-        let mut seen = std::collections::HashSet::new();
-        let root = self.root;
-        let height = self.height;
-        self.window_rec(root, height, w, &mut out, &mut seen);
+        self.window_visit(w, ctx, &mut |id| out.push(id));
         out
+    }
+
+    fn window_visit(&self, w: Rect, ctx: &mut QueryCtx, f: &mut dyn FnMut(SegId)) {
+        let mut seen = std::collections::HashSet::new();
+        self.window_rec(self.root, self.height, w, ctx, f, &mut seen);
     }
 
     fn stats(&self) -> QueryStats {
         QueryStats {
             disk: self.pool.stats(),
-            seg_comps: self.table.comps(),
-            bbox_comps: self.bbox_comps,
+            seg_comps: 0,
+            bbox_comps: 0,
             seg_disk: self.table.disk_stats(),
         }
     }
@@ -843,7 +854,6 @@ impl SpatialIndex for RPlusTree {
     fn reset_stats(&mut self) {
         self.pool.reset_stats();
         self.table.reset_stats();
-        self.bbox_comps = 0;
     }
 
     fn size_bytes(&self) -> u64 {
@@ -912,11 +922,12 @@ mod tests {
     #[test]
     fn incident_matches_brute_force() {
         let map = grid_map(6);
-        let mut t = RPlusTree::build(&map, cfg_small());
+        let t = RPlusTree::build(&map, cfg_small());
+        let mut ctx = QueryCtx::new();
         for x in (0..=2400).step_by(200) {
             for y in (0..=2400).step_by(200) {
                 let p = Point::new(x, y);
-                let got = brute::sorted(t.find_incident(p));
+                let got = brute::sorted(t.find_incident(p, &mut ctx));
                 assert_eq!(got, brute::incident(&map, p), "at {p:?}");
             }
         }
@@ -925,11 +936,12 @@ mod tests {
     #[test]
     fn nearest_matches_brute_force_distance() {
         for map in [grid_map(6), diagonal_map()] {
-            let mut t = RPlusTree::build(&map, cfg_small());
+            let t = RPlusTree::build(&map, cfg_small());
+            let mut ctx = QueryCtx::new();
             for x in (-100..=4000).step_by(331) {
                 for y in (-100..=4000).step_by(373) {
                     let p = Point::new(x, y);
-                    let got = t.nearest(p).expect("non-empty");
+                    let got = t.nearest(p, &mut ctx).expect("non-empty");
                     let want = brute::nearest(&map, p).unwrap();
                     assert_eq!(
                         map.segments[got.index()].dist2_point(p),
@@ -945,7 +957,8 @@ mod tests {
     #[test]
     fn window_matches_brute_force() {
         for map in [grid_map(6), diagonal_map()] {
-            let mut t = RPlusTree::build(&map, cfg_small());
+            let t = RPlusTree::build(&map, cfg_small());
+            let mut ctx = QueryCtx::new();
             let windows = [
                 Rect::new(0, 0, 2400, 2400),
                 Rect::new(350, 390, 820, 410),
@@ -953,8 +966,12 @@ mod tests {
                 Rect::new(9000, 9000, 9100, 9100),
             ];
             for w in windows {
-                let got = brute::sorted(t.window(w));
+                let got = brute::sorted(t.window(w, &mut ctx));
                 assert_eq!(got, brute::window(&map, w), "window {w:?} in {}", map.name);
+                // The streaming variant must visit exactly the same ids.
+                let mut streamed = Vec::new();
+                t.window_visit(w, &mut ctx, &mut |id| streamed.push(id));
+                assert_eq!(brute::sorted(streamed), got);
             }
         }
     }
@@ -980,17 +997,60 @@ mod tests {
     #[test]
     fn point_query_descends_single_path_in_interior() {
         // Disjointness: a point strictly inside one region visits one
-        // root-to-leaf path; bbox comps stay near M * height.
+        // root-to-leaf path; bbox comps stay near M * height. The counters
+        // land in the per-query context, not the structure.
         let map = grid_map(7);
-        let mut t = RPlusTree::build(&map, cfg_small());
-        t.reset_stats();
-        let _ = t.find_incident(Point::new(1201, 1201));
-        let s = t.stats();
+        let t = RPlusTree::build(&map, cfg_small());
+        let mut ctx = QueryCtx::new();
+        let _ = t.find_incident(Point::new(1201, 1201), &mut ctx);
+        let s = ctx.stats();
         assert!(
             s.bbox_comps <= (t.m_max() as u64) * (t.height() as u64 + 1),
             "bbox comps {} too high for a single-path descent",
             s.bbox_comps
         );
+    }
+
+    #[test]
+    fn probe_point_returns_the_containing_leaf() {
+        let map = grid_map(7);
+        let t = RPlusTree::build(&map, cfg_small());
+        let mut ctx = QueryCtx::new();
+        let p = Point::new(1201, 1201);
+        let loc = t.probe_point(p, &mut ctx);
+        assert_ne!(loc, LocId::NONE);
+        // Stable: the same probe always lands in the same leaf, and probing
+        // charges bbox comps but never a segment comparison.
+        assert_eq!(t.probe_point(p, &mut ctx), loc);
+        assert!(ctx.stats().bbox_comps > 0);
+        assert_eq!(ctx.stats().seg_comps, 0);
+    }
+
+    #[test]
+    fn parallel_queries_share_the_tree() {
+        let map = diagonal_map();
+        let t = RPlusTree::build(&map, cfg_small());
+        let probes: Vec<Point> = (0..32)
+            .map(|i| Point::new((i * 181) % 6000, (i * 257) % 2300))
+            .collect();
+        let run_one = |t: &RPlusTree, p: Point| {
+            let mut ctx = QueryCtx::new();
+            let inc = t.find_incident(p, &mut ctx);
+            let near = t.nearest(p, &mut ctx);
+            (inc, near, ctx.stats())
+        };
+        let sequential: Vec<_> = probes.iter().map(|&p| run_one(&t, p)).collect();
+        let t = &t;
+        let parallel: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = probes
+                .chunks(8)
+                .map(|chunk| {
+                    scope.spawn(move || chunk.iter().map(|&p| run_one(t, p)).collect::<Vec<_>>())
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(sequential, parallel);
     }
 
     #[test]
@@ -1002,8 +1062,9 @@ mod tests {
         }
         assert!(!t.remove(SegId(0)), "double remove");
         // Structure remains sound; only odd segments remain.
+        let mut ctx = QueryCtx::new();
         let w = Rect::new(300, 300, 1300, 1300);
-        let got = brute::sorted(t.window(w));
+        let got = brute::sorted(t.window(w, &mut ctx));
         let want: Vec<SegId> = brute::window(&map, w)
             .into_iter()
             .filter(|id| id.index() % 2 == 1)
@@ -1015,17 +1076,19 @@ mod tests {
     #[test]
     fn empty_tree_queries() {
         let map = PolygonalMap::new("empty", vec![]);
-        let mut t = RPlusTree::build(&map, cfg_small());
-        assert_eq!(t.nearest(Point::new(5, 5)), None);
-        assert!(t.find_incident(Point::new(5, 5)).is_empty());
-        assert!(t.window(Rect::new(0, 0, 10, 10)).is_empty());
+        let t = RPlusTree::build(&map, cfg_small());
+        let mut ctx = QueryCtx::new();
+        assert_eq!(t.nearest(Point::new(5, 5), &mut ctx), None);
+        assert!(t.find_incident(Point::new(5, 5), &mut ctx).is_empty());
+        assert!(t.window(Rect::new(0, 0, 10, 10), &mut ctx).is_empty());
     }
 
     #[test]
     fn polygon_query_via_generic_traversal() {
         let map = grid_map(4);
-        let mut t = RPlusTree::build(&map, cfg_small());
-        let walk = lsdb_core::queries::enclosing_polygon(&mut t, Point::new(600, 600), 100)
+        let t = RPlusTree::build(&map, cfg_small());
+        let mut ctx = QueryCtx::new();
+        let walk = lsdb_core::queries::enclosing_polygon(&t, Point::new(600, 600), 100, &mut ctx)
             .expect("non-empty");
         assert!(walk.closed);
         assert_eq!(walk.len(), 4, "a city block has 4 segments");

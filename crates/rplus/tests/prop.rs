@@ -1,103 +1,116 @@
-//! Property tests for the hybrid R+-tree: oracle equivalence and the
+//! Property-style tests for the hybrid R+-tree: oracle equivalence and the
 //! structural invariants specific to disjoint decompositions (region
-//! tiling, multi-leaf completeness).
+//! tiling, multi-leaf completeness). Cases are drawn from fixed-seed
+//! [`lsdb_rng::StdRng`] streams.
 //!
 //! Maps use the full 1 KB node size (M = 50), so random segment soups
 //! cannot hit the documented >M-per-unit-cell limit.
 
-use lsdb_core::{brute, IndexConfig, PolygonalMap, SegId, SpatialIndex};
+use lsdb_core::{brute, IndexConfig, PolygonalMap, QueryCtx, SegId, SpatialIndex};
 use lsdb_geom::{Point, Rect, Segment};
+use lsdb_rng::StdRng;
 use lsdb_rplus::RPlusTree;
-use proptest::prelude::*;
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (0..16384i32, 0..16384i32).prop_map(|(x, y)| Point::new(x, y))
+fn rand_point(rng: &mut StdRng) -> Point {
+    Point::new(rng.gen_range(0..16384i32), rng.gen_range(0..16384i32))
 }
 
-fn arb_segment() -> impl Strategy<Value = Segment> {
-    (arb_point(), arb_point())
-        .prop_filter("non-degenerate", |(a, b)| a != b)
-        .prop_map(|(a, b)| Segment::new(a, b))
-}
-
-fn arb_map(max: usize) -> impl Strategy<Value = PolygonalMap> {
-    prop::collection::vec(arb_segment(), 1..max)
-        .prop_map(|segs| PolygonalMap::new("prop", segs))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn queries_match_oracle(
-        map in arb_map(220),
-        probes in prop::collection::vec(arb_point(), 1..10),
-        windows in prop::collection::vec((arb_point(), arb_point()), 1..5),
-    ) {
-        let mut t = RPlusTree::build(&map, IndexConfig::default());
-        t.check_invariants();
-        for &p in &probes {
-            prop_assert_eq!(
-                brute::sorted(t.find_incident(p)),
-                brute::incident(&map, p)
-            );
-            let got = t.nearest(p).unwrap();
-            let want = brute::nearest(&map, p).unwrap();
-            prop_assert_eq!(map.segments[got.index()].dist2_point(p), want.1);
-        }
-        for &(a, b) in &windows {
-            let w = Rect::bounding(a, b);
-            prop_assert_eq!(brute::sorted(t.window(w)), brute::window(&map, w));
+fn rand_segment(rng: &mut StdRng) -> Segment {
+    loop {
+        let a = rand_point(rng);
+        let b = rand_point(rng);
+        if a != b {
+            return Segment::new(a, b);
         }
     }
+}
 
-    #[test]
-    fn deletes_then_queries(
-        map in arb_map(160),
-        delete_mask in prop::collection::vec(any::<bool>(), 160),
-        probe in arb_point(),
-    ) {
+fn rand_map(rng: &mut StdRng, max: usize) -> PolygonalMap {
+    let n = rng.gen_range(1..max);
+    PolygonalMap::new("prop", (0..n).map(|_| rand_segment(rng)).collect())
+}
+
+#[test]
+fn queries_match_oracle() {
+    let mut rng = StdRng::seed_from_u64(0x4B15_0001);
+    for _ in 0..32 {
+        let map = rand_map(&mut rng, 220);
         let mut t = RPlusTree::build(&map, IndexConfig::default());
+        t.check_invariants();
+        let mut ctx = QueryCtx::new();
+        for _ in 0..rng.gen_range(1..10) {
+            let p = rand_point(&mut rng);
+            assert_eq!(
+                brute::sorted(t.find_incident(p, &mut ctx)),
+                brute::incident(&map, p)
+            );
+            let got = t.nearest(p, &mut ctx).unwrap();
+            let want = brute::nearest(&map, p).unwrap();
+            assert_eq!(map.segments[got.index()].dist2_point(p), want.1);
+        }
+        for _ in 0..rng.gen_range(1..5) {
+            let w = Rect::bounding(rand_point(&mut rng), rand_point(&mut rng));
+            assert_eq!(brute::sorted(t.window(w, &mut ctx)), brute::window(&map, w));
+        }
+    }
+}
+
+#[test]
+fn deletes_then_queries() {
+    let mut rng = StdRng::seed_from_u64(0x4B15_0002);
+    for _ in 0..32 {
+        let map = rand_map(&mut rng, 160);
+        let probe = rand_point(&mut rng);
+        let mut t = RPlusTree::build(&map, IndexConfig::default());
+        let mut first_deleted = false;
         let mut kept = Vec::new();
         for i in 0..map.len() {
-            if delete_mask[i] {
-                prop_assert!(t.remove(SegId(i as u32)));
+            if rng.gen_range(0u32..2) == 0 {
+                assert!(t.remove(SegId(i as u32)));
+                if i == 0 {
+                    first_deleted = true;
+                }
             } else {
                 kept.push(SegId(i as u32));
             }
         }
-        if delete_mask[0] {
-            prop_assert!(!t.remove(SegId(0)), "double remove must fail");
+        if first_deleted {
+            assert!(!t.remove(SegId(0)), "double remove must fail");
         }
-        prop_assert_eq!(t.len(), kept.len());
+        assert_eq!(t.len(), kept.len());
+        let mut ctx = QueryCtx::new();
         let w = Rect::new(0, 0, 16383, 16383);
-        let want: Vec<SegId> = kept.clone();
-        prop_assert_eq!(brute::sorted(t.window(w)), want);
+        assert_eq!(brute::sorted(t.window(w, &mut ctx)), kept);
         if !kept.is_empty() {
-            let got = t.nearest(probe).unwrap();
+            let got = t.nearest(probe, &mut ctx).unwrap();
             let best = kept
                 .iter()
                 .map(|id| map.segments[id.index()].dist2_point(probe))
                 .min()
                 .unwrap();
-            prop_assert_eq!(map.segments[got.index()].dist2_point(probe), best);
+            assert_eq!(map.segments[got.index()].dist2_point(probe), best);
         }
     }
+}
 
-    #[test]
-    fn duplicate_heavy_geometry_is_handled(
-        // Long, parallel, closely spaced segments maximize region-boundary
-        // crossings and multi-leaf redundancy.
-        ys in prop::collection::vec(0..16384i32, 30..120),
-    ) {
-        let segs: Vec<Segment> = ys
-            .iter()
-            .map(|&y| Segment::new(Point::new(0, y), Point::new(16383, y)))
+#[test]
+fn duplicate_heavy_geometry_is_handled() {
+    // Long, parallel, closely spaced segments maximize region-boundary
+    // crossings and multi-leaf redundancy.
+    let mut rng = StdRng::seed_from_u64(0x4B15_0003);
+    for _ in 0..8 {
+        let n = rng.gen_range(30..120);
+        let segs: Vec<Segment> = (0..n)
+            .map(|_| {
+                let y = rng.gen_range(0..16384i32);
+                Segment::new(Point::new(0, y), Point::new(16383, y))
+            })
             .collect();
         let map = PolygonalMap::new("hlines", segs);
         let mut t = RPlusTree::build(&map, IndexConfig::default());
         t.check_invariants();
+        let mut ctx = QueryCtx::new();
         let w = Rect::new(5000, 0, 5100, 16383);
-        prop_assert_eq!(brute::sorted(t.window(w)), brute::window(&map, w));
+        assert_eq!(brute::sorted(t.window(w, &mut ctx)), brute::window(&map, w));
     }
 }

@@ -161,14 +161,15 @@ mod tests {
     #[test]
     fn bulk_load_answers_match_oracle() {
         let map = random_ish_map(300);
-        let mut t = RTree::bulk_load(&map, cfg_small());
+        let t = RTree::bulk_load(&map, cfg_small());
+        let mut ctx = lsdb_core::QueryCtx::new();
         for i in (0..16000).step_by(2911) {
             let p = Point::new(i, (i * 3) % 16000);
-            let got = t.nearest(p).unwrap();
+            let got = t.nearest(p, &mut ctx).unwrap();
             let want = brute::nearest(&map, p).unwrap();
             assert_eq!(map.segments[got.index()].dist2_point(p), want.1);
             let w = Rect::new(p.x.saturating_sub(500).max(0), 0, p.x + 500, 15999);
-            assert_eq!(brute::sorted(t.window(w)), brute::window(&map, w));
+            assert_eq!(brute::sorted(t.window(w, &mut ctx)), brute::window(&map, w));
         }
     }
 

@@ -20,7 +20,7 @@ mod split;
 pub use split::RTreeKind;
 
 use lsdb_core::rectnode::{entries_mbr, Entry, RectNode};
-use lsdb_core::{IndexConfig, PolygonalMap, QueryStats, SegId, SegmentTable, SpatialIndex};
+use lsdb_core::{IndexConfig, LocId, PolygonalMap, QueryCtx, QueryStats, SegId, SegmentTable, SpatialIndex};
 use lsdb_geom::{Dist2, Point, Rect};
 use lsdb_pager::{MemPool, PageId};
 use std::cmp::Reverse;
@@ -41,7 +41,6 @@ pub struct RTree {
     m_max: usize,
     m_min: usize,
     len: usize,
-    bbox_comps: u64,
 }
 
 impl RTree {
@@ -63,7 +62,6 @@ impl RTree {
             m_max,
             m_min,
             len: 0,
-            bbox_comps: 0,
         }
     }
 
@@ -349,13 +347,13 @@ impl RTree {
     // Queries
     // ------------------------------------------------------------------
 
-    fn incident_rec(&mut self, pid: PageId, level: u32, p: Point, out: &mut Vec<SegId>) {
-        let entries = self.pool.with_page(pid, RectNode::entries);
-        self.bbox_comps += entries.len() as u64;
+    fn incident_rec(&self, pid: PageId, level: u32, p: Point, ctx: &mut QueryCtx, out: &mut Vec<SegId>) {
+        let entries = self.pool.read_page(pid, &mut ctx.index, RectNode::entries);
+        ctx.bbox_comps += entries.len() as u64;
         if level == 1 {
             for e in entries {
                 if e.rect.contains_point(p) {
-                    let seg = self.table.get(SegId(e.child));
+                    let seg = self.table.get(SegId(e.child), ctx);
                     if seg.has_endpoint(p) {
                         out.push(SegId(e.child));
                     }
@@ -365,35 +363,39 @@ impl RTree {
         }
         for e in entries {
             if e.rect.contains_point(p) {
-                self.incident_rec(PageId(e.child), level - 1, p, out);
+                self.incident_rec(PageId(e.child), level - 1, p, ctx, out);
             }
         }
     }
 
     /// Point-location descent: visits the same nodes as a point query but
     /// fetches no segment records (used by paper query 2's first step).
-    fn probe_rec(&mut self, pid: PageId, level: u32, p: Point) {
-        let entries = self.pool.with_page(pid, RectNode::entries);
-        self.bbox_comps += entries.len() as u64;
+    /// Records the first leaf page reached in `found`.
+    fn probe_rec(&self, pid: PageId, level: u32, p: Point, ctx: &mut QueryCtx, found: &mut LocId) {
+        let entries = self.pool.read_page(pid, &mut ctx.index, RectNode::entries);
+        ctx.bbox_comps += entries.len() as u64;
         if level == 1 {
+            if *found == LocId::NONE {
+                *found = LocId(pid.0 as u64);
+            }
             return;
         }
         for e in entries {
             if e.rect.contains_point(p) {
-                self.probe_rec(PageId(e.child), level - 1, p);
+                self.probe_rec(PageId(e.child), level - 1, p, ctx, found);
             }
         }
     }
 
-    fn window_rec(&mut self, pid: PageId, level: u32, w: Rect, out: &mut Vec<SegId>) {
-        let entries = self.pool.with_page(pid, RectNode::entries);
-        self.bbox_comps += entries.len() as u64;
+    fn window_rec(&self, pid: PageId, level: u32, w: Rect, ctx: &mut QueryCtx, f: &mut dyn FnMut(SegId)) {
+        let entries = self.pool.read_page(pid, &mut ctx.index, RectNode::entries);
+        ctx.bbox_comps += entries.len() as u64;
         if level == 1 {
             for e in entries {
                 if w.intersects(&e.rect) {
-                    let seg = self.table.get(SegId(e.child));
+                    let seg = self.table.get(SegId(e.child), ctx);
                     if w.intersects_segment(&seg) {
-                        out.push(SegId(e.child));
+                        f(SegId(e.child));
                     }
                 }
             }
@@ -401,7 +403,7 @@ impl RTree {
         }
         for e in entries {
             if w.intersects(&e.rect) {
-                self.window_rec(PageId(e.child), level - 1, w, out);
+                self.window_rec(PageId(e.child), level - 1, w, ctx, f);
             }
         }
     }
@@ -490,7 +492,11 @@ impl SpatialIndex for RTree {
         self.kind.display_name()
     }
 
-    fn seg_table(&mut self) -> &mut SegmentTable {
+    fn seg_table(&self) -> &SegmentTable {
+        &self.table
+    }
+
+    fn seg_table_mut(&mut self) -> &mut SegmentTable {
         &mut self.table
     }
 
@@ -533,25 +539,23 @@ impl SpatialIndex for RTree {
         self.len
     }
 
-    fn find_incident(&mut self, p: Point) -> Vec<SegId> {
+    fn find_incident(&self, p: Point, ctx: &mut QueryCtx) -> Vec<SegId> {
         let mut out = Vec::new();
-        let root = self.root;
-        let height = self.height;
-        self.incident_rec(root, height, p, &mut out);
+        self.incident_rec(self.root, self.height, p, ctx, &mut out);
         out
     }
 
-    fn probe_point(&mut self, p: Point) {
-        let root = self.root;
-        let height = self.height;
-        self.probe_rec(root, height, p);
+    fn probe_point(&self, p: Point, ctx: &mut QueryCtx) -> LocId {
+        let mut found = LocId::NONE;
+        self.probe_rec(self.root, self.height, p, ctx, &mut found);
+        found
     }
 
-    fn nearest(&mut self, p: Point) -> Option<SegId> {
-        self.nearest_k(p, 1).pop()
+    fn nearest(&self, p: Point, ctx: &mut QueryCtx) -> Option<SegId> {
+        self.nearest_k(p, 1, ctx).pop()
     }
 
-    fn nearest_k(&mut self, p: Point, k: usize) -> Vec<SegId> {
+    fn nearest_k(&self, p: Point, k: usize, ctx: &mut QueryCtx) -> Vec<SegId> {
         let mut out = Vec::new();
         if self.len == 0 || k == 0 {
             return out;
@@ -577,14 +581,14 @@ impl SpatialIndex for RTree {
                     }
                 }
                 NnItem::Node { pid, level } => {
-                    let entries = self.pool.with_page(pid, RectNode::entries);
-                    self.bbox_comps += entries.len() as u64;
+                    let entries = self.pool.read_page(pid, &mut ctx.index, RectNode::entries);
+                    ctx.bbox_comps += entries.len() as u64;
                     if level == 1 {
                         // The paper's algorithm (after Hoel & Samet [11]):
                         // compute the actual distance of every segment in
                         // a visited leaf — one segment-table access each.
                         for e in entries {
-                            let seg = self.table.get(SegId(e.child));
+                            let seg = self.table.get(SegId(e.child), ctx);
                             seq += 1;
                             heap.push(Reverse(NnEntry {
                                 dist: seg.dist2_point(p),
@@ -609,19 +613,21 @@ impl SpatialIndex for RTree {
         out
     }
 
-    fn window(&mut self, w: Rect) -> Vec<SegId> {
+    fn window(&self, w: Rect, ctx: &mut QueryCtx) -> Vec<SegId> {
         let mut out = Vec::new();
-        let root = self.root;
-        let height = self.height;
-        self.window_rec(root, height, w, &mut out);
+        self.window_visit(w, ctx, &mut |id| out.push(id));
         out
+    }
+
+    fn window_visit(&self, w: Rect, ctx: &mut QueryCtx, f: &mut dyn FnMut(SegId)) {
+        self.window_rec(self.root, self.height, w, ctx, f);
     }
 
     fn stats(&self) -> QueryStats {
         QueryStats {
             disk: self.pool.stats(),
-            seg_comps: self.table.comps(),
-            bbox_comps: self.bbox_comps,
+            seg_comps: 0,
+            bbox_comps: 0,
             seg_disk: self.table.disk_stats(),
         }
     }
@@ -629,7 +635,6 @@ impl SpatialIndex for RTree {
     fn reset_stats(&mut self) {
         self.pool.reset_stats();
         self.table.reset_stats();
-        self.bbox_comps = 0;
     }
 
     fn size_bytes(&self) -> u64 {
@@ -698,12 +703,13 @@ mod tests {
     fn incident_matches_brute_force() {
         let map = grid_map(6);
         for kind in all_kinds() {
-            let mut t = RTree::build(&map, cfg_small(), kind);
+            let t = RTree::build(&map, cfg_small(), kind);
+            let mut ctx = QueryCtx::new();
             // Probe every grid vertex plus some non-vertices.
             for x in (0..=600).step_by(50) {
                 for y in (0..=600).step_by(50) {
                     let p = Point::new(x, y);
-                    let got = lsdb_core::brute::sorted(t.find_incident(p));
+                    let got = lsdb_core::brute::sorted(t.find_incident(p, &mut ctx));
                     let want = lsdb_core::brute::incident(&map, p);
                     assert_eq!(got, want, "{kind:?} at {p:?}");
                 }
@@ -715,11 +721,12 @@ mod tests {
     fn nearest_matches_brute_force_distance() {
         let map = grid_map(6);
         for kind in all_kinds() {
-            let mut t = RTree::build(&map, cfg_small(), kind);
+            let t = RTree::build(&map, cfg_small(), kind);
+            let mut ctx = QueryCtx::new();
             for x in (-50..=650).step_by(37) {
                 for y in (-50..=650).step_by(41) {
                     let p = Point::new(x, y);
-                    let got = t.nearest(p).expect("non-empty");
+                    let got = t.nearest(p, &mut ctx).expect("non-empty");
                     let want = lsdb_core::brute::nearest(&map, p).unwrap();
                     let got_d = map.segments[got.index()].dist2_point(p);
                     assert_eq!(got_d, want.1, "{kind:?} at {p:?}");
@@ -732,7 +739,8 @@ mod tests {
     fn window_matches_brute_force() {
         let map = grid_map(6);
         for kind in all_kinds() {
-            let mut t = RTree::build(&map, cfg_small(), kind);
+            let t = RTree::build(&map, cfg_small(), kind);
+            let mut ctx = QueryCtx::new();
             let windows = [
                 Rect::new(0, 0, 600, 600),
                 Rect::new(120, 130, 180, 190),
@@ -741,9 +749,12 @@ mod tests {
                 Rect::new(55, 55, 65, 65),     // inside a block, touches nothing
             ];
             for w in windows {
-                let got = lsdb_core::brute::sorted(t.window(w));
+                let got = lsdb_core::brute::sorted(t.window(w, &mut ctx));
                 let want = lsdb_core::brute::window(&map, w);
                 assert_eq!(got, want, "{kind:?} window {w:?}");
+                let mut visited = Vec::new();
+                t.window_visit(w, &mut ctx, &mut |id| visited.push(id));
+                assert_eq!(lsdb_core::brute::sorted(visited), want, "{kind:?} visit {w:?}");
             }
         }
     }
@@ -752,9 +763,10 @@ mod tests {
     fn empty_tree_queries() {
         let map = PolygonalMap::new("empty", vec![]);
         let mut t = RTree::build(&map, cfg_small(), RTreeKind::RStar);
-        assert_eq!(t.nearest(Point::new(5, 5)), None);
-        assert!(t.find_incident(Point::new(5, 5)).is_empty());
-        assert!(t.window(Rect::new(0, 0, 10, 10)).is_empty());
+        let mut ctx = QueryCtx::new();
+        assert_eq!(t.nearest(Point::new(5, 5), &mut ctx), None);
+        assert!(t.find_incident(Point::new(5, 5), &mut ctx).is_empty());
+        assert!(t.window(Rect::new(0, 0, 10, 10), &mut ctx).is_empty());
         t.check_invariants();
     }
 
@@ -774,8 +786,9 @@ mod tests {
             }
             assert_eq!(t.check_invariants(), remaining, "{kind:?}");
             // Windows still agree with a brute force over the survivors.
+            let mut ctx = QueryCtx::new();
             let w = Rect::new(90, 90, 310, 310);
-            let got = lsdb_core::brute::sorted(t.window(w));
+            let got = lsdb_core::brute::sorted(t.window(w, &mut ctx));
             let want: Vec<SegId> = lsdb_core::brute::window(&map, w)
                 .into_iter()
                 .filter(|id| id.index() % 3 != 0)
@@ -809,28 +822,36 @@ mod tests {
         }
         assert_eq!(t.len(), map.len());
         t.check_invariants();
+        let mut ctx = QueryCtx::new();
         let p = Point::new(250, 250);
         assert_eq!(
-            lsdb_core::brute::sorted(t.find_incident(p)),
+            lsdb_core::brute::sorted(t.find_incident(p, &mut ctx)),
             lsdb_core::brute::incident(&map, p)
         );
     }
 
     #[test]
-    fn stats_accumulate_and_reset() {
+    fn query_ctx_counts_work_and_reset() {
         let map = grid_map(6);
         let mut t = RTree::build(&map, cfg_small(), RTreeKind::RStar);
-        t.reset_stats();
-        assert_eq!(t.stats(), QueryStats::default());
         t.clear_cache();
         t.reset_stats();
-        let _ = t.nearest(Point::new(111, 222));
-        let s = t.stats();
+        assert_eq!(t.stats(), QueryStats::default(), "build counters zeroed");
+        let mut ctx = QueryCtx::new();
+        let _ = t.nearest(Point::new(111, 222), &mut ctx);
+        let s = ctx.stats();
         assert!(s.disk.reads > 0, "cold nearest must read index pages");
         assert!(s.bbox_comps > 0);
         assert!(s.seg_comps > 0);
-        t.reset_stats();
-        assert_eq!(t.stats(), QueryStats::default());
+        assert_eq!(t.stats(), QueryStats::default(), "queries never touch build counters");
+        ctx.reset();
+        assert_eq!(ctx.stats(), QueryStats::default());
+        // Warm query against a big-enough pool costs no disk: all pages
+        // stayed resident from the build.
+        let big = RTree::build(&map, IndexConfig { page_size: 224, pool_pages: 4096 }, RTreeKind::RStar);
+        let mut warm = QueryCtx::new();
+        let _ = big.nearest(Point::new(111, 222), &mut warm);
+        assert_eq!(warm.stats().disk.reads, 0, "warm pool, free reads");
     }
 
     #[test]
@@ -856,9 +877,10 @@ mod tests {
     fn nearest_k_ranks_by_distance() {
         let map = grid_map(5);
         for kind in all_kinds() {
-            let mut t = RTree::build(&map, cfg_small(), kind);
+            let t = RTree::build(&map, cfg_small(), kind);
+            let mut ctx = QueryCtx::new();
             let p = Point::new(333, 451);
-            let got = t.nearest_k(p, 8);
+            let got = t.nearest_k(p, 8, &mut ctx);
             assert_eq!(got.len(), 8, "{kind:?}");
             let dists: Vec<_> = got
                 .iter()
@@ -866,7 +888,7 @@ mod tests {
                 .collect();
             assert!(dists.windows(2).all(|w| w[0] <= w[1]), "{kind:?} not ranked");
             // Head agrees with nearest().
-            let n1 = t.nearest(p).unwrap();
+            let n1 = t.nearest(p, &mut ctx).unwrap();
             assert_eq!(
                 map.segments[n1.index()].dist2_point(p),
                 dists[0],
@@ -878,8 +900,9 @@ mod tests {
     #[test]
     fn polygon_query_via_generic_traversal() {
         let map = grid_map(4);
-        let mut t = RTree::build(&map, cfg_small(), RTreeKind::RStar);
-        let walk = lsdb_core::queries::enclosing_polygon(&mut t, Point::new(150, 150), 100)
+        let t = RTree::build(&map, cfg_small(), RTreeKind::RStar);
+        let mut ctx = QueryCtx::new();
+        let walk = lsdb_core::queries::enclosing_polygon(&t, Point::new(150, 150), 100, &mut ctx)
             .expect("non-empty");
         assert!(walk.closed);
         // A city block: 4 segments.

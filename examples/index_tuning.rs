@@ -7,7 +7,7 @@
 //! ```
 
 use lsdb::core::pointgen::WindowGen;
-use lsdb::core::{IndexConfig, SpatialIndex};
+use lsdb::core::{IndexConfig, QueryCtx, QueryStats, SpatialIndex};
 use lsdb::grid::UniformGrid;
 use lsdb::pmr::{PmrConfig, PmrQuadtree};
 use lsdb::rplus::RPlusTree;
@@ -24,13 +24,17 @@ fn main() {
     for _ in 0..200 {
         windows.push(gen.next_window());
     }
-    let run = |idx: &mut dyn SpatialIndex| -> (u64, u64) {
-        idx.reset_stats();
+    let run = |idx: &dyn SpatialIndex| -> (u64, u64) {
+        // One fresh context per window query; the totals are the sum of
+        // the per-query counters (and independent of query order).
+        let mut total = QueryStats::default();
+        let mut ctx = QueryCtx::new();
         for &w in &windows {
-            idx.window(w);
+            ctx.reset();
+            idx.window(w, &mut ctx);
+            total.add(ctx.stats());
         }
-        let s = idx.stats();
-        (s.disk.total(), s.seg_comps)
+        (total.disk.total(), total.seg_comps)
     };
 
     println!("PMR quadtree: page size x buffer pool (disk accesses for the workload)");
@@ -43,8 +47,8 @@ fn main() {
         print!("{:>8}", format!("{page}B"));
         for pool in [8usize, 16, 32, 64] {
             let cfg = IndexConfig { page_size: page, pool_pages: pool };
-            let mut pmr = PmrQuadtree::build(&map, PmrConfig { index: cfg, ..Default::default() });
-            let (disk, _) = run(&mut pmr);
+            let pmr = PmrQuadtree::build(&map, PmrConfig { index: cfg, ..Default::default() });
+            let (disk, _) = run(&pmr);
             print!("{disk:>10}");
         }
         println!();
@@ -58,7 +62,7 @@ fn main() {
         );
         let size_kb = pmr.size_bytes() / 1024;
         let occ = pmr.avg_bucket_occupancy();
-        let (disk, segs) = run(&mut pmr);
+        let (disk, segs) = run(&pmr);
         println!(
             "  t={t:<3} {size_kb:>6} KB   occupancy {occ:>5.1}   disk {disk:>6}   seg comps {segs:>7}"
         );
@@ -66,7 +70,7 @@ fn main() {
 
     println!("\nstructure comparison at the paper's configuration (1 KB / 16 pages):");
     let cfg = IndexConfig::default();
-    let mut structures: Vec<Box<dyn SpatialIndex>> = vec![
+    let structures: Vec<Box<dyn SpatialIndex>> = vec![
         Box::new(RTree::build(&map, cfg, RTreeKind::RStar)),
         Box::new(RTree::build(&map, cfg, RTreeKind::Quadratic)),
         Box::new(RTree::build(&map, cfg, RTreeKind::Linear)),
@@ -74,9 +78,9 @@ fn main() {
         Box::new(PmrQuadtree::build(&map, PmrConfig { index: cfg, ..Default::default() })),
         Box::new(UniformGrid::build(&map, cfg, 64)),
     ];
-    for idx in structures.iter_mut() {
+    for idx in &structures {
         let size_kb = idx.size_bytes() / 1024;
-        let (disk, segs) = run(idx.as_mut());
+        let (disk, segs) = run(idx.as_ref());
         println!(
             "  {:<18} {size_kb:>6} KB   disk {disk:>6}   seg comps {segs:>7}",
             idx.name()

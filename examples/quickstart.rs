@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use lsdb::core::{queries, IndexConfig, SegId, SpatialIndex};
+use lsdb::core::{queries, IndexConfig, QueryCtx, SegId, SpatialIndex};
 use lsdb::geom::{Point, Rect};
 use lsdb::pmr::{PmrConfig, PmrQuadtree};
 use lsdb::rplus::RPlusTree;
@@ -22,7 +22,7 @@ fn main() {
     // 2. Build the paper's three disk-resident structures (1 KB pages,
     //    16-page LRU buffer pool).
     let cfg = IndexConfig::default();
-    let mut indexes: Vec<Box<dyn SpatialIndex>> = vec![
+    let indexes: Vec<Box<dyn SpatialIndex>> = vec![
         Box::new(RTree::build(&map, cfg, RTreeKind::RStar)),
         Box::new(RPlusTree::build(&map, cfg)),
         Box::new(PmrQuadtree::build(&map, PmrConfig { index: cfg, ..Default::default() })),
@@ -41,30 +41,33 @@ fn main() {
     let center = Point::new(8_192, 8_192);
     let window = Rect::new(8_000, 8_000, 8_600, 8_600);
 
-    for idx in indexes.iter_mut() {
-        idx.reset_stats();
+    for idx in &indexes {
+        // Queries never mutate the index: everything they count goes into
+        // a per-query context, so one index could serve many threads.
+        let idx = idx.as_ref();
+        let mut ctx = QueryCtx::new();
         println!("\n=== {} ===", idx.name());
 
         // Query 1: segments incident at an endpoint.
-        let incident = idx.find_incident(endpoint);
+        let incident = idx.find_incident(endpoint, &mut ctx);
         println!("Q1 incident at {endpoint:?}: {} segments", incident.len());
 
         // Query 2: segments at the *other* endpoint of segment 42.
-        let second = queries::second_endpoint(idx.as_mut(), some_seg, endpoint);
+        let second = queries::second_endpoint(idx, some_seg, endpoint, &mut ctx);
         println!("Q2 at the far endpoint of {some_seg:?}: {} segments", second.len());
 
         // Query 3: nearest segment to the map center.
-        let nearest = idx.nearest(center).expect("non-empty map");
+        let nearest = idx.nearest(center, &mut ctx).expect("non-empty map");
         let d = map.segments[nearest.index()].dist2_point(center).to_f64().sqrt();
         println!("Q3 nearest to {center:?}: {nearest:?} at distance {d:.1}");
 
         // Extension: ranked k-nearest retrieval from the same best-first
         // search.
-        let top3 = idx.nearest_k(center, 3);
+        let top3 = idx.nearest_k(center, 3, &mut ctx);
         println!("Q3+ three nearest: {top3:?}");
 
         // Query 4: the polygon (city block / field) around the center.
-        let walk = queries::enclosing_polygon(idx.as_mut(), center, 10_000).unwrap();
+        let walk = queries::enclosing_polygon(idx, center, 10_000, &mut ctx).unwrap();
         println!(
             "Q4 enclosing polygon: {} boundary segments (closed: {})",
             walk.len(),
@@ -72,11 +75,11 @@ fn main() {
         );
 
         // Query 5: everything in a window.
-        let hits = idx.window(window);
+        let hits = idx.window(window, &mut ctx);
         println!("Q5 window {window:?}: {} segments", hits.len());
 
         // The paper's three metrics, accumulated over the five queries.
-        let s = idx.stats();
+        let s = ctx.stats();
         println!(
             "metrics: {} disk accesses, {} segment comps, {} bbox/bucket comps",
             s.disk.total(),

@@ -11,7 +11,7 @@
 //! ```
 
 use lsdb::core::pointgen::TwoStageGen;
-use lsdb::core::{queries, IndexConfig, SpatialIndex};
+use lsdb::core::{queries, IndexConfig, QueryCtx, SpatialIndex};
 use lsdb::geom::{Point, Rect, WORLD_SIZE};
 use lsdb::pmr::{PmrConfig, PmrQuadtree};
 use lsdb::tiger::{generate, CountyClass, CountySpec};
@@ -38,9 +38,10 @@ fn main() {
         let y0 = (pin.y - half).clamp(0, WORLD_SIZE - 1 - 2 * half);
         let view = Rect::new(x0, y0, x0 + 2 * half, y0 + 2 * half);
 
-        let roads = pmr.window(view);
-        let snapped = pmr.nearest(pin).expect("city has roads");
-        let block_walk = queries::enclosing_polygon(&mut pmr, pin, 10_000).unwrap();
+        let mut ctx = QueryCtx::new();
+        let roads = pmr.window(view, &mut ctx);
+        let snapped = pmr.nearest(pin, &mut ctx).expect("city has roads");
+        let block_walk = queries::enclosing_polygon(&pmr, pin, 10_000, &mut ctx).unwrap();
         let block: Vec<_> = block_walk.distinct_segments();
 
         println!("--- frame {frame}: pin at {pin:?} ---");
@@ -79,13 +80,12 @@ fn main() {
         for row in &canvas {
             println!("{}", row.iter().collect::<String>());
         }
-        let s = pmr.stats();
+        let s = ctx.stats();
         println!(
             "frame cost: {} disk accesses, {} segment comps, {} bucket comps\n",
             s.disk.total(),
             s.seg_comps,
             s.bbox_comps
         );
-        pmr.reset_stats();
     }
 }

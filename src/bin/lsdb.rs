@@ -14,7 +14,7 @@
 //!
 //! Every query prints its answer and the paper's three metrics for it.
 
-use lsdb::core::{queries, IndexConfig, PolygonalMap, SegId, SpatialIndex};
+use lsdb::core::{queries, IndexConfig, PolygonalMap, QueryCtx, SegId, SpatialIndex};
 use lsdb::geom::{Point, Rect};
 use lsdb::tiger::{self, io, CountyClass, CountySpec};
 use std::path::Path;
@@ -239,10 +239,10 @@ fn cmd_query(rest: &[String]) -> i32 {
     }
     let map = load_map(&args[0]);
     let cfg = IndexConfig::default();
-    let Some(mut idx) = build_structure(&structure, &map, cfg) else {
+    let Some(idx) = build_structure(&structure, &map, cfg) else {
         return 2;
     };
-    idx.reset_stats();
+    let mut ctx = QueryCtx::new();
     let q = args[1].as_str();
     let coords: Vec<i32> = args[2..]
         .iter()
@@ -255,13 +255,13 @@ fn cmd_query(rest: &[String]) -> i32 {
     };
     match (q, coords.len()) {
         ("incident", 2) => {
-            let got = idx.find_incident(Point::new(coords[0], coords[1]));
+            let got = idx.find_incident(Point::new(coords[0], coords[1]), &mut ctx);
             println!("{} incident segments:", got.len());
             print_segs(&got, &map);
         }
         ("nearest", 2) => {
             let p = Point::new(coords[0], coords[1]);
-            match idx.nearest(p) {
+            match idx.nearest(p, &mut ctx) {
                 Some(id) => {
                     let d = map.segments[id.index()].dist2_point(p).to_f64().sqrt();
                     println!("nearest segment (distance {d:.2}):");
@@ -272,7 +272,7 @@ fn cmd_query(rest: &[String]) -> i32 {
         }
         ("knn", 3) => {
             let p = Point::new(coords[0], coords[1]);
-            let got = idx.nearest_k(p, coords[2].max(0) as usize);
+            let got = idx.nearest_k(p, coords[2].max(0) as usize, &mut ctx);
             println!("{} nearest segments:", got.len());
             for id in &got {
                 let d = map.segments[id.index()].dist2_point(p).to_f64().sqrt();
@@ -281,13 +281,13 @@ fn cmd_query(rest: &[String]) -> i32 {
         }
         ("window", 4) => {
             let w = Rect::bounding(Point::new(coords[0], coords[1]), Point::new(coords[2], coords[3]));
-            let got = idx.window(w);
+            let got = idx.window(w, &mut ctx);
             println!("{} segments in {w:?}:", got.len());
             print_segs(&got, &map);
         }
         ("polygon", 2) => {
             let p = Point::new(coords[0], coords[1]);
-            match queries::enclosing_polygon(idx.as_mut(), p, map.len() * 2 + 16) {
+            match queries::enclosing_polygon(idx.as_ref(), p, map.len() * 2 + 16, &mut ctx) {
                 Some(walk) => {
                     println!(
                         "enclosing polygon: {} boundary segments (closed: {}):",
@@ -304,7 +304,7 @@ fn cmd_query(rest: &[String]) -> i32 {
             return 2;
         }
     }
-    let s = idx.stats();
+    let s = ctx.stats();
     println!(
         "[{}] {} disk accesses, {} segment comps, {} bbox/bucket comps",
         idx.name(),

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lru_model-f9926397cc48bfb7.d: crates/pager/tests/lru_model.rs
+
+/root/repo/target/debug/deps/lru_model-f9926397cc48bfb7: crates/pager/tests/lru_model.rs
+
+crates/pager/tests/lru_model.rs:

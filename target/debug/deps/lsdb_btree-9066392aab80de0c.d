@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lsdb_btree-9066392aab80de0c.d: crates/btree/src/lib.rs crates/btree/src/node.rs
+
+/root/repo/target/debug/deps/lsdb_btree-9066392aab80de0c: crates/btree/src/lib.rs crates/btree/src/node.rs
+
+crates/btree/src/lib.rs:
+crates/btree/src/node.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lsdb_btree-d795e594a6b4f64e.d: crates/btree/src/lib.rs crates/btree/src/node.rs
+
+/root/repo/target/debug/deps/liblsdb_btree-d795e594a6b4f64e.rlib: crates/btree/src/lib.rs crates/btree/src/node.rs
+
+/root/repo/target/debug/deps/liblsdb_btree-d795e594a6b4f64e.rmeta: crates/btree/src/lib.rs crates/btree/src/node.rs
+
+crates/btree/src/lib.rs:
+crates/btree/src/node.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lsdb_core-26d71482200691b2.d: crates/core/src/lib.rs crates/core/src/brute.rs crates/core/src/index.rs crates/core/src/map.rs crates/core/src/pointgen.rs crates/core/src/queries.rs crates/core/src/rectnode.rs crates/core/src/seg_table.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/lsdb_core-26d71482200691b2: crates/core/src/lib.rs crates/core/src/brute.rs crates/core/src/index.rs crates/core/src/map.rs crates/core/src/pointgen.rs crates/core/src/queries.rs crates/core/src/rectnode.rs crates/core/src/seg_table.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/brute.rs:
+crates/core/src/index.rs:
+crates/core/src/map.rs:
+crates/core/src/pointgen.rs:
+crates/core/src/queries.rs:
+crates/core/src/rectnode.rs:
+crates/core/src/seg_table.rs:
+crates/core/src/stats.rs:

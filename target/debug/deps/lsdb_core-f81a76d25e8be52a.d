@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lsdb_core-f81a76d25e8be52a.d: crates/core/src/lib.rs crates/core/src/brute.rs crates/core/src/index.rs crates/core/src/map.rs crates/core/src/pointgen.rs crates/core/src/queries.rs crates/core/src/rectnode.rs crates/core/src/seg_table.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/liblsdb_core-f81a76d25e8be52a.rlib: crates/core/src/lib.rs crates/core/src/brute.rs crates/core/src/index.rs crates/core/src/map.rs crates/core/src/pointgen.rs crates/core/src/queries.rs crates/core/src/rectnode.rs crates/core/src/seg_table.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/liblsdb_core-f81a76d25e8be52a.rmeta: crates/core/src/lib.rs crates/core/src/brute.rs crates/core/src/index.rs crates/core/src/map.rs crates/core/src/pointgen.rs crates/core/src/queries.rs crates/core/src/rectnode.rs crates/core/src/seg_table.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/brute.rs:
+crates/core/src/index.rs:
+crates/core/src/map.rs:
+crates/core/src/pointgen.rs:
+crates/core/src/queries.rs:
+crates/core/src/rectnode.rs:
+crates/core/src/seg_table.rs:
+crates/core/src/stats.rs:

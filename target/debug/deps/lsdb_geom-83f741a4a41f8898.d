@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lsdb_geom-83f741a4a41f8898.d: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/dist.rs crates/geom/src/morton.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/segment.rs
+
+/root/repo/target/debug/deps/liblsdb_geom-83f741a4a41f8898.rlib: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/dist.rs crates/geom/src/morton.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/segment.rs
+
+/root/repo/target/debug/deps/liblsdb_geom-83f741a4a41f8898.rmeta: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/dist.rs crates/geom/src/morton.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/segment.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/angle.rs:
+crates/geom/src/dist.rs:
+crates/geom/src/morton.rs:
+crates/geom/src/point.rs:
+crates/geom/src/rect.rs:
+crates/geom/src/segment.rs:

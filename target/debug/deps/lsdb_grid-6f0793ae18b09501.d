@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lsdb_grid-6f0793ae18b09501.d: crates/grid/src/lib.rs
+
+/root/repo/target/debug/deps/lsdb_grid-6f0793ae18b09501: crates/grid/src/lib.rs
+
+crates/grid/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lsdb_grid-d539399218516612.d: crates/grid/src/lib.rs
+
+/root/repo/target/debug/deps/liblsdb_grid-d539399218516612.rlib: crates/grid/src/lib.rs
+
+/root/repo/target/debug/deps/liblsdb_grid-d539399218516612.rmeta: crates/grid/src/lib.rs
+
+crates/grid/src/lib.rs:

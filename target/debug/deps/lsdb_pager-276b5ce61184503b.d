@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lsdb_pager-276b5ce61184503b.d: crates/pager/src/lib.rs crates/pager/src/pool.rs crates/pager/src/storage.rs
+
+/root/repo/target/debug/deps/lsdb_pager-276b5ce61184503b: crates/pager/src/lib.rs crates/pager/src/pool.rs crates/pager/src/storage.rs
+
+crates/pager/src/lib.rs:
+crates/pager/src/pool.rs:
+crates/pager/src/storage.rs:

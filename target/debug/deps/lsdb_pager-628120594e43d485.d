@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lsdb_pager-628120594e43d485.d: crates/pager/src/lib.rs crates/pager/src/pool.rs crates/pager/src/storage.rs
+
+/root/repo/target/debug/deps/liblsdb_pager-628120594e43d485.rlib: crates/pager/src/lib.rs crates/pager/src/pool.rs crates/pager/src/storage.rs
+
+/root/repo/target/debug/deps/liblsdb_pager-628120594e43d485.rmeta: crates/pager/src/lib.rs crates/pager/src/pool.rs crates/pager/src/storage.rs
+
+crates/pager/src/lib.rs:
+crates/pager/src/pool.rs:
+crates/pager/src/storage.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lsdb_pmr-6c9950921d670d6c.d: crates/pmr/src/lib.rs
+
+/root/repo/target/debug/deps/liblsdb_pmr-6c9950921d670d6c.rlib: crates/pmr/src/lib.rs
+
+/root/repo/target/debug/deps/liblsdb_pmr-6c9950921d670d6c.rmeta: crates/pmr/src/lib.rs
+
+crates/pmr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lsdb_pmr-d83b171983337fd0.d: crates/pmr/src/lib.rs
+
+/root/repo/target/debug/deps/lsdb_pmr-d83b171983337fd0: crates/pmr/src/lib.rs
+
+crates/pmr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lsdb_repr-1861c8a08d1e16f7.d: crates/repr/src/lib.rs
+
+/root/repo/target/debug/deps/lsdb_repr-1861c8a08d1e16f7: crates/repr/src/lib.rs
+
+crates/repr/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lsdb_repr-9fa33f9d6dd4cf70.d: crates/repr/src/lib.rs
+
+/root/repo/target/debug/deps/liblsdb_repr-9fa33f9d6dd4cf70.rlib: crates/repr/src/lib.rs
+
+/root/repo/target/debug/deps/liblsdb_repr-9fa33f9d6dd4cf70.rmeta: crates/repr/src/lib.rs
+
+crates/repr/src/lib.rs:

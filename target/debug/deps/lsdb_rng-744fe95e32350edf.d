@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lsdb_rng-744fe95e32350edf.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/lsdb_rng-744fe95e32350edf: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

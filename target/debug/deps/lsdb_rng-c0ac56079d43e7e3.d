@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lsdb_rng-c0ac56079d43e7e3.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/liblsdb_rng-c0ac56079d43e7e3.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/liblsdb_rng-c0ac56079d43e7e3.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

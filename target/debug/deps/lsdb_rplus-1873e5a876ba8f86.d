@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lsdb_rplus-1873e5a876ba8f86.d: crates/rplus/src/lib.rs
+
+/root/repo/target/debug/deps/lsdb_rplus-1873e5a876ba8f86: crates/rplus/src/lib.rs
+
+crates/rplus/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lsdb_rplus-7f067f46ad92f362.d: crates/rplus/src/lib.rs
+
+/root/repo/target/debug/deps/liblsdb_rplus-7f067f46ad92f362.rlib: crates/rplus/src/lib.rs
+
+/root/repo/target/debug/deps/liblsdb_rplus-7f067f46ad92f362.rmeta: crates/rplus/src/lib.rs
+
+crates/rplus/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lsdb_rtree-1f4b244df11c3642.d: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/split.rs
+
+/root/repo/target/debug/deps/liblsdb_rtree-1f4b244df11c3642.rlib: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/split.rs
+
+/root/repo/target/debug/deps/liblsdb_rtree-1f4b244df11c3642.rmeta: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/split.rs
+
+crates/rtree/src/lib.rs:
+crates/rtree/src/bulk.rs:
+crates/rtree/src/split.rs:

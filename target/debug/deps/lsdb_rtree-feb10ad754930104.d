@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lsdb_rtree-feb10ad754930104.d: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/split.rs
+
+/root/repo/target/debug/deps/lsdb_rtree-feb10ad754930104: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/split.rs
+
+crates/rtree/src/lib.rs:
+crates/rtree/src/bulk.rs:
+crates/rtree/src/split.rs:

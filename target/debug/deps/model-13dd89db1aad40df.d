@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model-13dd89db1aad40df.d: crates/btree/tests/model.rs
+
+/root/repo/target/debug/deps/model-13dd89db1aad40df: crates/btree/tests/model.rs
+
+crates/btree/tests/model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-36e1847a6acc84af.d: crates/pmr/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-36e1847a6acc84af: crates/pmr/tests/prop.rs
+
+crates/pmr/tests/prop.rs:

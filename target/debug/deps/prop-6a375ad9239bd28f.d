@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-6a375ad9239bd28f.d: crates/rplus/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-6a375ad9239bd28f: crates/rplus/tests/prop.rs
+
+crates/rplus/tests/prop.rs:

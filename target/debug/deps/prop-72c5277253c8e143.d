@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-72c5277253c8e143.d: crates/rtree/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-72c5277253c8e143: crates/rtree/tests/prop.rs
+
+crates/rtree/tests/prop.rs:

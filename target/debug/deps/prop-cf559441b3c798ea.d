@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-cf559441b3c798ea.d: crates/repr/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-cf559441b3c798ea: crates/repr/tests/prop.rs
+
+crates/repr/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-debdf05ac33a2eae.d: crates/grid/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-debdf05ac33a2eae: crates/grid/tests/prop.rs
+
+crates/grid/tests/prop.rs:

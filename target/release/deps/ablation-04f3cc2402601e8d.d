@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation-04f3cc2402601e8d.d: crates/bench/src/bin/ablation.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation-04f3cc2402601e8d.rmeta: crates/bench/src/bin/ablation.rs Cargo.toml
+
+crates/bench/src/bin/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

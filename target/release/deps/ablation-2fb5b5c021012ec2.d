@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-2fb5b5c021012ec2.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-2fb5b5c021012ec2: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

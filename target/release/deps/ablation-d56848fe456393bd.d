@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-d56848fe456393bd.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-d56848fe456393bd: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_structure-59668181a506d095.d: tests/cross_structure.rs
+
+/root/repo/target/release/deps/cross_structure-59668181a506d095: tests/cross_structure.rs
+
+tests/cross_structure.rs:

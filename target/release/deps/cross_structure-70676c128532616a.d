@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cross_structure-70676c128532616a.d: tests/cross_structure.rs Cargo.toml
+
+/root/repo/target/release/deps/libcross_structure-70676c128532616a.rmeta: tests/cross_structure.rs Cargo.toml
+
+tests/cross_structure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/experiments_smoke-01d782be47fb8163.d: tests/experiments_smoke.rs Cargo.toml
+
+/root/repo/target/release/deps/libexperiments_smoke-01d782be47fb8163.rmeta: tests/experiments_smoke.rs Cargo.toml
+
+tests/experiments_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments_smoke-5882944ab5210757.d: tests/experiments_smoke.rs
+
+/root/repo/target/release/deps/experiments_smoke-5882944ab5210757: tests/experiments_smoke.rs
+
+tests/experiments_smoke.rs:

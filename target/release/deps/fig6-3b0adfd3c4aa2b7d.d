@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-3b0adfd3c4aa2b7d.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-3b0adfd3c4aa2b7d: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

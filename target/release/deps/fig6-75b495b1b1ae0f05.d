@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig6-75b495b1b1ae0f05.d: crates/bench/src/bin/fig6.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig6-75b495b1b1ae0f05.rmeta: crates/bench/src/bin/fig6.rs Cargo.toml
+
+crates/bench/src/bin/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-eee44c13a04fc3ce.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-eee44c13a04fc3ce: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-0b21271f48ed4c31.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-0b21271f48ed4c31: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-1b104b855a5d6bae.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-1b104b855a5d6bae: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/figures-52a3cc454a227340.d: crates/bench/src/bin/figures.rs Cargo.toml
+
+/root/repo/target/release/deps/libfigures-52a3cc454a227340.rmeta: crates/bench/src/bin/figures.rs Cargo.toml
+
+crates/bench/src/bin/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lru_model-e74ee0f7ed045076.d: crates/pager/tests/lru_model.rs Cargo.toml
+
+/root/repo/target/release/deps/liblru_model-e74ee0f7ed045076.rmeta: crates/pager/tests/lru_model.rs Cargo.toml
+
+crates/pager/tests/lru_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

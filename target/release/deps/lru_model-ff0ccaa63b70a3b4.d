@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lru_model-ff0ccaa63b70a3b4.d: crates/pager/tests/lru_model.rs
+
+/root/repo/target/release/deps/lru_model-ff0ccaa63b70a3b4: crates/pager/tests/lru_model.rs
+
+crates/pager/tests/lru_model.rs:

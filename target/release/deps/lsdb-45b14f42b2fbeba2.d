@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lsdb-45b14f42b2fbeba2.d: src/bin/lsdb.rs
+
+/root/repo/target/release/deps/lsdb-45b14f42b2fbeba2: src/bin/lsdb.rs
+
+src/bin/lsdb.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lsdb-8c73b4eee93448c1.d: src/lib.rs
+
+/root/repo/target/release/deps/lsdb-8c73b4eee93448c1: src/lib.rs
+
+src/lib.rs:

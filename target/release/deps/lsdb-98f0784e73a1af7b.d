@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lsdb-98f0784e73a1af7b.d: src/lib.rs
+
+/root/repo/target/release/deps/liblsdb-98f0784e73a1af7b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblsdb-98f0784e73a1af7b.rmeta: src/lib.rs
+
+src/lib.rs:

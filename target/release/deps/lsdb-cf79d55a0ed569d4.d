@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lsdb-cf79d55a0ed569d4.d: src/bin/lsdb.rs
+
+/root/repo/target/release/deps/lsdb-cf79d55a0ed569d4: src/bin/lsdb.rs
+
+src/bin/lsdb.rs:

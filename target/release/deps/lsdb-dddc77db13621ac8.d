@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lsdb-dddc77db13621ac8.d: src/bin/lsdb.rs Cargo.toml
+
+/root/repo/target/release/deps/liblsdb-dddc77db13621ac8.rmeta: src/bin/lsdb.rs Cargo.toml
+
+src/bin/lsdb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lsdb_bench-09b07e5c2dfff47b.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/workloads.rs Cargo.toml
+
+/root/repo/target/release/deps/liblsdb_bench-09b07e5c2dfff47b.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/workloads.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lsdb_bench-e890fc0913eb75bb.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/liblsdb_bench-e890fc0913eb75bb.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/liblsdb_bench-e890fc0913eb75bb.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:

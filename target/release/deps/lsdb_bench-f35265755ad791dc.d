@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lsdb_bench-f35265755ad791dc.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/lsdb_bench-f35265755ad791dc: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/lsdb_btree-0e20b285a4719ea0.d: crates/btree/src/lib.rs crates/btree/src/node.rs
+
+/root/repo/target/release/deps/lsdb_btree-0e20b285a4719ea0: crates/btree/src/lib.rs crates/btree/src/node.rs
+
+crates/btree/src/lib.rs:
+crates/btree/src/node.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lsdb_btree-2ca58b1aa1f177fc.d: crates/btree/src/lib.rs crates/btree/src/node.rs
+
+/root/repo/target/release/deps/liblsdb_btree-2ca58b1aa1f177fc.rlib: crates/btree/src/lib.rs crates/btree/src/node.rs
+
+/root/repo/target/release/deps/liblsdb_btree-2ca58b1aa1f177fc.rmeta: crates/btree/src/lib.rs crates/btree/src/node.rs
+
+crates/btree/src/lib.rs:
+crates/btree/src/node.rs:

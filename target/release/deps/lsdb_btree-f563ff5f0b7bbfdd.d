@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lsdb_btree-f563ff5f0b7bbfdd.d: crates/btree/src/lib.rs crates/btree/src/node.rs Cargo.toml
+
+/root/repo/target/release/deps/liblsdb_btree-f563ff5f0b7bbfdd.rmeta: crates/btree/src/lib.rs crates/btree/src/node.rs Cargo.toml
+
+crates/btree/src/lib.rs:
+crates/btree/src/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/lsdb_core-b86cb9b8c81ac537.d: crates/core/src/lib.rs crates/core/src/brute.rs crates/core/src/index.rs crates/core/src/map.rs crates/core/src/pointgen.rs crates/core/src/queries.rs crates/core/src/rectnode.rs crates/core/src/seg_table.rs crates/core/src/stats.rs Cargo.toml
+
+/root/repo/target/release/deps/liblsdb_core-b86cb9b8c81ac537.rmeta: crates/core/src/lib.rs crates/core/src/brute.rs crates/core/src/index.rs crates/core/src/map.rs crates/core/src/pointgen.rs crates/core/src/queries.rs crates/core/src/rectnode.rs crates/core/src/seg_table.rs crates/core/src/stats.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/brute.rs:
+crates/core/src/index.rs:
+crates/core/src/map.rs:
+crates/core/src/pointgen.rs:
+crates/core/src/queries.rs:
+crates/core/src/rectnode.rs:
+crates/core/src/seg_table.rs:
+crates/core/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

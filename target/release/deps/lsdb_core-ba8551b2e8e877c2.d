@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/lsdb_core-ba8551b2e8e877c2.d: crates/core/src/lib.rs crates/core/src/brute.rs crates/core/src/index.rs crates/core/src/map.rs crates/core/src/pointgen.rs crates/core/src/queries.rs crates/core/src/rectnode.rs crates/core/src/seg_table.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/liblsdb_core-ba8551b2e8e877c2.rlib: crates/core/src/lib.rs crates/core/src/brute.rs crates/core/src/index.rs crates/core/src/map.rs crates/core/src/pointgen.rs crates/core/src/queries.rs crates/core/src/rectnode.rs crates/core/src/seg_table.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/liblsdb_core-ba8551b2e8e877c2.rmeta: crates/core/src/lib.rs crates/core/src/brute.rs crates/core/src/index.rs crates/core/src/map.rs crates/core/src/pointgen.rs crates/core/src/queries.rs crates/core/src/rectnode.rs crates/core/src/seg_table.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/brute.rs:
+crates/core/src/index.rs:
+crates/core/src/map.rs:
+crates/core/src/pointgen.rs:
+crates/core/src/queries.rs:
+crates/core/src/rectnode.rs:
+crates/core/src/seg_table.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/lsdb_core-bdd183c1d782e314.d: crates/core/src/lib.rs crates/core/src/brute.rs crates/core/src/index.rs crates/core/src/map.rs crates/core/src/pointgen.rs crates/core/src/queries.rs crates/core/src/rectnode.rs crates/core/src/seg_table.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/lsdb_core-bdd183c1d782e314: crates/core/src/lib.rs crates/core/src/brute.rs crates/core/src/index.rs crates/core/src/map.rs crates/core/src/pointgen.rs crates/core/src/queries.rs crates/core/src/rectnode.rs crates/core/src/seg_table.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/brute.rs:
+crates/core/src/index.rs:
+crates/core/src/map.rs:
+crates/core/src/pointgen.rs:
+crates/core/src/queries.rs:
+crates/core/src/rectnode.rs:
+crates/core/src/seg_table.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lsdb_geom-4a1f0b4c5478c2c0.d: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/dist.rs crates/geom/src/morton.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/segment.rs
+
+/root/repo/target/release/deps/lsdb_geom-4a1f0b4c5478c2c0: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/dist.rs crates/geom/src/morton.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/segment.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/angle.rs:
+crates/geom/src/dist.rs:
+crates/geom/src/morton.rs:
+crates/geom/src/point.rs:
+crates/geom/src/rect.rs:
+crates/geom/src/segment.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/lsdb_geom-b486b0c7c11b0c32.d: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/dist.rs crates/geom/src/morton.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/segment.rs Cargo.toml
+
+/root/repo/target/release/deps/liblsdb_geom-b486b0c7c11b0c32.rmeta: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/dist.rs crates/geom/src/morton.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/segment.rs Cargo.toml
+
+crates/geom/src/lib.rs:
+crates/geom/src/angle.rs:
+crates/geom/src/dist.rs:
+crates/geom/src/morton.rs:
+crates/geom/src/point.rs:
+crates/geom/src/rect.rs:
+crates/geom/src/segment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/lsdb_geom-e4b9a61c32970b60.d: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/dist.rs crates/geom/src/morton.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/segment.rs
+
+/root/repo/target/release/deps/liblsdb_geom-e4b9a61c32970b60.rlib: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/dist.rs crates/geom/src/morton.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/segment.rs
+
+/root/repo/target/release/deps/liblsdb_geom-e4b9a61c32970b60.rmeta: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/dist.rs crates/geom/src/morton.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/segment.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/angle.rs:
+crates/geom/src/dist.rs:
+crates/geom/src/morton.rs:
+crates/geom/src/point.rs:
+crates/geom/src/rect.rs:
+crates/geom/src/segment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lsdb_grid-6950240deed93201.d: crates/grid/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/liblsdb_grid-6950240deed93201.rmeta: crates/grid/src/lib.rs Cargo.toml
+
+crates/grid/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lsdb_grid-b0d867d1b6dbfdaf.d: crates/grid/src/lib.rs
+
+/root/repo/target/release/deps/lsdb_grid-b0d867d1b6dbfdaf: crates/grid/src/lib.rs
+
+crates/grid/src/lib.rs:

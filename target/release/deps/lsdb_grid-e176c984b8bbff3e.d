@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lsdb_grid-e176c984b8bbff3e.d: crates/grid/src/lib.rs
+
+/root/repo/target/release/deps/liblsdb_grid-e176c984b8bbff3e.rlib: crates/grid/src/lib.rs
+
+/root/repo/target/release/deps/liblsdb_grid-e176c984b8bbff3e.rmeta: crates/grid/src/lib.rs
+
+crates/grid/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lsdb_pager-4bf8a76418f77d80.d: crates/pager/src/lib.rs crates/pager/src/pool.rs crates/pager/src/storage.rs
+
+/root/repo/target/release/deps/liblsdb_pager-4bf8a76418f77d80.rlib: crates/pager/src/lib.rs crates/pager/src/pool.rs crates/pager/src/storage.rs
+
+/root/repo/target/release/deps/liblsdb_pager-4bf8a76418f77d80.rmeta: crates/pager/src/lib.rs crates/pager/src/pool.rs crates/pager/src/storage.rs
+
+crates/pager/src/lib.rs:
+crates/pager/src/pool.rs:
+crates/pager/src/storage.rs:

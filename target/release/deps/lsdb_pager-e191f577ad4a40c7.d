@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lsdb_pager-e191f577ad4a40c7.d: crates/pager/src/lib.rs crates/pager/src/pool.rs crates/pager/src/storage.rs
+
+/root/repo/target/release/deps/lsdb_pager-e191f577ad4a40c7: crates/pager/src/lib.rs crates/pager/src/pool.rs crates/pager/src/storage.rs
+
+crates/pager/src/lib.rs:
+crates/pager/src/pool.rs:
+crates/pager/src/storage.rs:

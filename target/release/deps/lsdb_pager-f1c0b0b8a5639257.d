@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lsdb_pager-f1c0b0b8a5639257.d: crates/pager/src/lib.rs crates/pager/src/pool.rs crates/pager/src/storage.rs Cargo.toml
+
+/root/repo/target/release/deps/liblsdb_pager-f1c0b0b8a5639257.rmeta: crates/pager/src/lib.rs crates/pager/src/pool.rs crates/pager/src/storage.rs Cargo.toml
+
+crates/pager/src/lib.rs:
+crates/pager/src/pool.rs:
+crates/pager/src/storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lsdb_pmr-1b387c941eee0ea3.d: crates/pmr/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/liblsdb_pmr-1b387c941eee0ea3.rmeta: crates/pmr/src/lib.rs Cargo.toml
+
+crates/pmr/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

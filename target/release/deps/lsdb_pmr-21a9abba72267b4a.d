@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lsdb_pmr-21a9abba72267b4a.d: crates/pmr/src/lib.rs
+
+/root/repo/target/release/deps/lsdb_pmr-21a9abba72267b4a: crates/pmr/src/lib.rs
+
+crates/pmr/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lsdb_pmr-eb314cf1717ec78c.d: crates/pmr/src/lib.rs
+
+/root/repo/target/release/deps/liblsdb_pmr-eb314cf1717ec78c.rlib: crates/pmr/src/lib.rs
+
+/root/repo/target/release/deps/liblsdb_pmr-eb314cf1717ec78c.rmeta: crates/pmr/src/lib.rs
+
+crates/pmr/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lsdb_repr-5520669860f9afd7.d: crates/repr/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/liblsdb_repr-5520669860f9afd7.rmeta: crates/repr/src/lib.rs Cargo.toml
+
+crates/repr/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

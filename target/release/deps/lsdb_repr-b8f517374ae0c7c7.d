@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lsdb_repr-b8f517374ae0c7c7.d: crates/repr/src/lib.rs
+
+/root/repo/target/release/deps/liblsdb_repr-b8f517374ae0c7c7.rlib: crates/repr/src/lib.rs
+
+/root/repo/target/release/deps/liblsdb_repr-b8f517374ae0c7c7.rmeta: crates/repr/src/lib.rs
+
+crates/repr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lsdb_repr-c9f3254b6110ddff.d: crates/repr/src/lib.rs
+
+/root/repo/target/release/deps/lsdb_repr-c9f3254b6110ddff: crates/repr/src/lib.rs
+
+crates/repr/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lsdb_repr-d79cb0d3762fca71.d: crates/repr/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/liblsdb_repr-d79cb0d3762fca71.rmeta: crates/repr/src/lib.rs Cargo.toml
+
+crates/repr/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lsdb_rng-168d33d049e33fa2.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/lsdb_rng-168d33d049e33fa2: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lsdb_rng-b680ee6bc8ed21e2.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/liblsdb_rng-b680ee6bc8ed21e2.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/liblsdb_rng-b680ee6bc8ed21e2.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lsdb_rng-ec511c84ae02c2d3.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/liblsdb_rng-ec511c84ae02c2d3.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

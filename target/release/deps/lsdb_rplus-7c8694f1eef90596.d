@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lsdb_rplus-7c8694f1eef90596.d: crates/rplus/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/liblsdb_rplus-7c8694f1eef90596.rmeta: crates/rplus/src/lib.rs Cargo.toml
+
+crates/rplus/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lsdb_rplus-801aec010dafe73a.d: crates/rplus/src/lib.rs
+
+/root/repo/target/release/deps/lsdb_rplus-801aec010dafe73a: crates/rplus/src/lib.rs
+
+crates/rplus/src/lib.rs:

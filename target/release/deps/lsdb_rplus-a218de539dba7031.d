@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lsdb_rplus-a218de539dba7031.d: crates/rplus/src/lib.rs
+
+/root/repo/target/release/deps/liblsdb_rplus-a218de539dba7031.rlib: crates/rplus/src/lib.rs
+
+/root/repo/target/release/deps/liblsdb_rplus-a218de539dba7031.rmeta: crates/rplus/src/lib.rs
+
+crates/rplus/src/lib.rs:

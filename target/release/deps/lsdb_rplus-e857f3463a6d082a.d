@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lsdb_rplus-e857f3463a6d082a.d: crates/rplus/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/liblsdb_rplus-e857f3463a6d082a.rmeta: crates/rplus/src/lib.rs Cargo.toml
+
+crates/rplus/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

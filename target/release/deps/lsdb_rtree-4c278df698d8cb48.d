@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lsdb_rtree-4c278df698d8cb48.d: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/split.rs
+
+/root/repo/target/release/deps/lsdb_rtree-4c278df698d8cb48: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/split.rs
+
+crates/rtree/src/lib.rs:
+crates/rtree/src/bulk.rs:
+crates/rtree/src/split.rs:

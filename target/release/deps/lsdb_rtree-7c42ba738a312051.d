@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lsdb_rtree-7c42ba738a312051.d: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/split.rs
+
+/root/repo/target/release/deps/liblsdb_rtree-7c42ba738a312051.rlib: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/split.rs
+
+/root/repo/target/release/deps/liblsdb_rtree-7c42ba738a312051.rmeta: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/split.rs
+
+crates/rtree/src/lib.rs:
+crates/rtree/src/bulk.rs:
+crates/rtree/src/split.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lsdb_rtree-7ddae10c81d89d01.d: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/split.rs Cargo.toml
+
+/root/repo/target/release/deps/liblsdb_rtree-7ddae10c81d89d01.rmeta: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/split.rs Cargo.toml
+
+crates/rtree/src/lib.rs:
+crates/rtree/src/bulk.rs:
+crates/rtree/src/split.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lsdb_tiger-1034824c6983caa1.d: crates/tiger/src/lib.rs crates/tiger/src/gen.rs crates/tiger/src/io.rs Cargo.toml
+
+/root/repo/target/release/deps/liblsdb_tiger-1034824c6983caa1.rmeta: crates/tiger/src/lib.rs crates/tiger/src/gen.rs crates/tiger/src/io.rs Cargo.toml
+
+crates/tiger/src/lib.rs:
+crates/tiger/src/gen.rs:
+crates/tiger/src/io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lsdb_tiger-658e1b3810e7c5f0.d: crates/tiger/src/lib.rs crates/tiger/src/gen.rs crates/tiger/src/io.rs
+
+/root/repo/target/release/deps/liblsdb_tiger-658e1b3810e7c5f0.rlib: crates/tiger/src/lib.rs crates/tiger/src/gen.rs crates/tiger/src/io.rs
+
+/root/repo/target/release/deps/liblsdb_tiger-658e1b3810e7c5f0.rmeta: crates/tiger/src/lib.rs crates/tiger/src/gen.rs crates/tiger/src/io.rs
+
+crates/tiger/src/lib.rs:
+crates/tiger/src/gen.rs:
+crates/tiger/src/io.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lsdb_tiger-784b75327bc05316.d: crates/tiger/src/lib.rs crates/tiger/src/gen.rs crates/tiger/src/io.rs
+
+/root/repo/target/release/deps/lsdb_tiger-784b75327bc05316: crates/tiger/src/lib.rs crates/tiger/src/gen.rs crates/tiger/src/io.rs
+
+crates/tiger/src/lib.rs:
+crates/tiger/src/gen.rs:
+crates/tiger/src/io.rs:

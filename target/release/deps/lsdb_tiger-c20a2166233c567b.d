@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lsdb_tiger-c20a2166233c567b.d: crates/tiger/src/lib.rs crates/tiger/src/gen.rs crates/tiger/src/io.rs Cargo.toml
+
+/root/repo/target/release/deps/liblsdb_tiger-c20a2166233c567b.rmeta: crates/tiger/src/lib.rs crates/tiger/src/gen.rs crates/tiger/src/io.rs Cargo.toml
+
+crates/tiger/src/lib.rs:
+crates/tiger/src/gen.rs:
+crates/tiger/src/io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

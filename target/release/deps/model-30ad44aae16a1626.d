@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/model-30ad44aae16a1626.d: crates/btree/tests/model.rs Cargo.toml
+
+/root/repo/target/release/deps/libmodel-30ad44aae16a1626.rmeta: crates/btree/tests/model.rs Cargo.toml
+
+crates/btree/tests/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model-b8c815288df351df.d: crates/btree/tests/model.rs
+
+/root/repo/target/release/deps/model-b8c815288df351df: crates/btree/tests/model.rs
+
+crates/btree/tests/model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/occupancy-38e0103193f9c298.d: crates/bench/src/bin/occupancy.rs
+
+/root/repo/target/release/deps/occupancy-38e0103193f9c298: crates/bench/src/bin/occupancy.rs
+
+crates/bench/src/bin/occupancy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/occupancy-4c020ba40907ef35.d: crates/bench/src/bin/occupancy.rs
+
+/root/repo/target/release/deps/occupancy-4c020ba40907ef35: crates/bench/src/bin/occupancy.rs
+
+crates/bench/src/bin/occupancy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/occupancy-a152e1bfc494e05a.d: crates/bench/src/bin/occupancy.rs Cargo.toml
+
+/root/repo/target/release/deps/liboccupancy-a152e1bfc494e05a.rmeta: crates/bench/src/bin/occupancy.rs Cargo.toml
+
+crates/bench/src/bin/occupancy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

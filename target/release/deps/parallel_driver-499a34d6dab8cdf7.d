@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_driver-499a34d6dab8cdf7.d: tests/parallel_driver.rs
+
+/root/repo/target/release/deps/parallel_driver-499a34d6dab8cdf7: tests/parallel_driver.rs
+
+tests/parallel_driver.rs:

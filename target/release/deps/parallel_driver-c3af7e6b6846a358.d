@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parallel_driver-c3af7e6b6846a358.d: tests/parallel_driver.rs Cargo.toml
+
+/root/repo/target/release/deps/libparallel_driver-c3af7e6b6846a358.rmeta: tests/parallel_driver.rs Cargo.toml
+
+tests/parallel_driver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

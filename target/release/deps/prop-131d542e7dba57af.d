@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-131d542e7dba57af.d: crates/grid/tests/prop.rs
+
+/root/repo/target/release/deps/prop-131d542e7dba57af: crates/grid/tests/prop.rs
+
+crates/grid/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop-2e01574de2fda225.d: crates/rplus/tests/prop.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop-2e01574de2fda225.rmeta: crates/rplus/tests/prop.rs Cargo.toml
+
+crates/rplus/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop-43f63b86dc2b9f77.d: crates/rtree/tests/prop.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop-43f63b86dc2b9f77.rmeta: crates/rtree/tests/prop.rs Cargo.toml
+
+crates/rtree/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop-456c779c2700b924.d: crates/geom/tests/prop.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop-456c779c2700b924.rmeta: crates/geom/tests/prop.rs Cargo.toml
+
+crates/geom/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-49570629788d3230.d: crates/repr/tests/prop.rs
+
+/root/repo/target/release/deps/prop-49570629788d3230: crates/repr/tests/prop.rs
+
+crates/repr/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop-659020cd60d2eafa.d: crates/pmr/tests/prop.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop-659020cd60d2eafa.rmeta: crates/pmr/tests/prop.rs Cargo.toml
+
+crates/pmr/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop-6af0f70eb84b99cd.d: crates/grid/tests/prop.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop-6af0f70eb84b99cd.rmeta: crates/grid/tests/prop.rs Cargo.toml
+
+crates/grid/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-b90d77c7e5bff182.d: crates/geom/tests/prop.rs
+
+/root/repo/target/release/deps/prop-b90d77c7e5bff182: crates/geom/tests/prop.rs
+
+crates/geom/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-bce3f136c7d45a79.d: crates/rtree/tests/prop.rs
+
+/root/repo/target/release/deps/prop-bce3f136c7d45a79: crates/rtree/tests/prop.rs
+
+crates/rtree/tests/prop.rs:

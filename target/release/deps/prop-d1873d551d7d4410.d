@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop-d1873d551d7d4410.d: crates/repr/tests/prop.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop-d1873d551d7d4410.rmeta: crates/repr/tests/prop.rs Cargo.toml
+
+crates/repr/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

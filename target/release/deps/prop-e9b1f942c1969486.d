@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-e9b1f942c1969486.d: crates/pmr/tests/prop.rs
+
+/root/repo/target/release/deps/prop-e9b1f942c1969486: crates/pmr/tests/prop.rs
+
+crates/pmr/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-f3ae4aa133f205b4.d: crates/rplus/tests/prop.rs
+
+/root/repo/target/release/deps/prop-f3ae4aa133f205b4: crates/rplus/tests/prop.rs
+
+crates/rplus/tests/prop.rs:

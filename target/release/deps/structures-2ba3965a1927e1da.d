@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/structures-2ba3965a1927e1da.d: crates/bench/benches/structures.rs Cargo.toml
+
+/root/repo/target/release/deps/libstructures-2ba3965a1927e1da.rmeta: crates/bench/benches/structures.rs Cargo.toml
+
+crates/bench/benches/structures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/structures-55f1d9f70b69e821.d: crates/bench/benches/structures.rs
+
+/root/repo/target/release/deps/structures-55f1d9f70b69e821: crates/bench/benches/structures.rs
+
+crates/bench/benches/structures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-0dc13a3ea15db621.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-0dc13a3ea15db621: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

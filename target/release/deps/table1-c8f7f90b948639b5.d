@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-c8f7f90b948639b5.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-c8f7f90b948639b5: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-050d4e18826f8420.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-050d4e18826f8420: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-4b7d71772730719a.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-4b7d71772730719a: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/index_tuning-0289dccd2cfd9d53.d: examples/index_tuning.rs
+
+/root/repo/target/release/examples/index_tuning-0289dccd2cfd9d53: examples/index_tuning.rs
+
+examples/index_tuning.rs:

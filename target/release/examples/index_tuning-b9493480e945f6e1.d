@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/index_tuning-b9493480e945f6e1.d: examples/index_tuning.rs Cargo.toml
+
+/root/repo/target/release/examples/libindex_tuning-b9493480e945f6e1.rmeta: examples/index_tuning.rs Cargo.toml
+
+examples/index_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

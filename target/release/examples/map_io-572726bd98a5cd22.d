@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/map_io-572726bd98a5cd22.d: examples/map_io.rs Cargo.toml
+
+/root/repo/target/release/examples/libmap_io-572726bd98a5cd22.rmeta: examples/map_io.rs Cargo.toml
+
+examples/map_io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

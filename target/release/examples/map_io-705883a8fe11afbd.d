@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/map_io-705883a8fe11afbd.d: examples/map_io.rs
+
+/root/repo/target/release/examples/map_io-705883a8fe11afbd: examples/map_io.rs
+
+examples/map_io.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-eecbbeca8d2834bd.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-eecbbeca8d2834bd: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/road_atlas-d307b6465bbb143f.d: examples/road_atlas.rs
+
+/root/repo/target/release/examples/road_atlas-d307b6465bbb143f: examples/road_atlas.rs
+
+examples/road_atlas.rs:

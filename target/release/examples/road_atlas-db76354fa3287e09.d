@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/road_atlas-db76354fa3287e09.d: examples/road_atlas.rs Cargo.toml
+
+/root/repo/target/release/examples/libroad_atlas-db76354fa3287e09.rmeta: examples/road_atlas.rs Cargo.toml
+
+examples/road_atlas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

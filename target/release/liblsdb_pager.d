@@ -1,0 +1,1 @@
+/root/repo/target/release/liblsdb_pager.rlib: /root/repo/crates/pager/src/lib.rs /root/repo/crates/pager/src/pool.rs /root/repo/crates/pager/src/storage.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/liblsdb_rng.rlib: /root/repo/crates/rng/src/lib.rs

@@ -4,7 +4,7 @@
 //! the brute-force oracle.
 
 use lsdb::core::pointgen::{EndpointGen, UniformGen, WindowGen};
-use lsdb::core::{brute, queries, IndexConfig, PolygonalMap, SegId, SpatialIndex};
+use lsdb::core::{brute, queries, IndexConfig, PolygonalMap, QueryCtx, SegId};
 use lsdb::geom::Dist2;
 use lsdb_bench::{build_index, IndexKind};
 
@@ -42,10 +42,11 @@ fn query1_incident_agrees_with_oracle() {
         let mut gen = EndpointGen::new(&map, seed);
         let probes: Vec<_> = (0..60).map(|_| gen.next_endpoint()).collect();
         for kind in all_kinds() {
-            let mut idx = build_index(kind, &map, IndexConfig::default());
+            let idx = build_index(kind, &map, IndexConfig::default());
+            let mut ctx = QueryCtx::new();
             for &(_, p) in &probes {
                 assert_eq!(
-                    brute::sorted(idx.find_incident(p)),
+                    brute::sorted(idx.find_incident(p, &mut ctx)),
                     brute::incident(&map, p),
                     "{kind:?} {class:?} at {p:?}"
                 );
@@ -61,10 +62,11 @@ fn query2_second_endpoint_agrees_with_oracle() {
         let mut gen = EndpointGen::new(&map, seed ^ 1);
         let probes: Vec<_> = (0..40).map(|_| gen.next_endpoint()).collect();
         for kind in all_kinds() {
-            let mut idx = build_index(kind, &map, IndexConfig::default());
+            let idx = build_index(kind, &map, IndexConfig::default());
+            let mut ctx = QueryCtx::new();
             for &(id, p) in &probes {
                 assert_eq!(
-                    brute::sorted(queries::second_endpoint(idx.as_mut(), id, p)),
+                    brute::sorted(queries::second_endpoint(idx.as_ref(), id, p, &mut ctx)),
                     brute::second_endpoint(&map, id, p),
                     "{kind:?} {class:?} seg {id:?} at {p:?}"
                 );
@@ -80,9 +82,10 @@ fn query3_nearest_distance_agrees_with_oracle() {
         let mut gen = UniformGen::new(seed ^ 2);
         let probes: Vec<_> = (0..80).map(|_| gen.next_point()).collect();
         for kind in all_kinds() {
-            let mut idx = build_index(kind, &map, IndexConfig::default());
+            let idx = build_index(kind, &map, IndexConfig::default());
+            let mut ctx = QueryCtx::new();
             for &p in &probes {
-                let got = idx.nearest(p).expect("non-empty index");
+                let got = idx.nearest(p, &mut ctx).expect("non-empty index");
                 let want = brute::nearest(&map, p).unwrap();
                 let got_d: Dist2 = map.segments[got.index()].dist2_point(p);
                 assert_eq!(got_d, want.1, "{kind:?} {class:?} at {p:?}");
@@ -101,16 +104,20 @@ fn query4_polygon_walks_agree_across_structures() {
         let map = test_map(class, seed);
         let mut gen = UniformGen::new(seed ^ 3);
         let probes: Vec<_> = (0..25).map(|_| gen.next_point()).collect();
-        let mut indexes: Vec<_> = all_kinds()
+        let indexes: Vec<_> = all_kinds()
             .into_iter()
             .map(|k| build_index(k, &map, IndexConfig::default()))
             .collect();
         for &p in &probes {
-            let starts: Vec<Option<SegId>> =
-                indexes.iter_mut().map(|i| i.nearest(p)).collect();
+            let starts: Vec<Option<SegId>> = indexes
+                .iter()
+                .map(|i| i.nearest(p, &mut QueryCtx::new()))
+                .collect();
             let walks: Vec<_> = indexes
-                .iter_mut()
-                .map(|i| queries::enclosing_polygon(i.as_mut(), p, map.len() * 3))
+                .iter()
+                .map(|i| {
+                    queries::enclosing_polygon(i.as_ref(), p, map.len() * 3, &mut QueryCtx::new())
+                })
                 .collect();
             for w in &walks {
                 let w = w.as_ref().expect("non-empty index");
@@ -138,10 +145,11 @@ fn query5_window_agrees_with_oracle() {
         let mut gen = WindowGen::new(0.001, seed ^ 4);
         let windows: Vec<_> = (0..40).map(|_| gen.next_window()).collect();
         for kind in all_kinds() {
-            let mut idx = build_index(kind, &map, IndexConfig::default());
+            let idx = build_index(kind, &map, IndexConfig::default());
+            let mut ctx = QueryCtx::new();
             for &w in &windows {
                 assert_eq!(
-                    brute::sorted(idx.window(w)),
+                    brute::sorted(idx.window(w, &mut ctx)),
                     brute::window(&map, w),
                     "{kind:?} {class:?} window {w:?}"
                 );
@@ -161,9 +169,10 @@ fn deletion_keeps_all_structures_consistent() {
         for i in (0..map.len()).step_by(5) {
             assert!(idx.remove(SegId(i as u32)), "{kind:?} remove {i}");
         }
-        assert_eq!(idx.len(), map.len() - (map.len() + 4) / 5, "{kind:?}");
+        assert_eq!(idx.len(), map.len() - map.len().div_ceil(5), "{kind:?}");
+        let mut ctx = QueryCtx::new();
         for &w in &windows {
-            let got = brute::sorted(idx.window(w));
+            let got = brute::sorted(idx.window(w, &mut ctx));
             let want: Vec<SegId> = brute::window(&map, w)
                 .into_iter()
                 .filter(|id| id.index() % 5 != 0)
@@ -174,20 +183,30 @@ fn deletion_keeps_all_structures_consistent() {
 }
 
 #[test]
-fn cold_cache_queries_cost_disk_reads_warm_ones_less() {
+fn resident_pages_are_free_cold_caches_fault() {
+    // A pool big enough for the whole structure leaves every page resident
+    // after the build: queries cost zero potential disk accesses. Dropping
+    // the cache makes the same query fault. Both costs are read out of the
+    // per-query context, never out of the shared index.
     let map = test_map(lsdb::tiger::CountyClass::Urban, 31);
     for kind in IndexKind::paper_three() {
-        let mut idx = build_index(kind, &map, IndexConfig::default());
-        idx.clear_cache();
-        idx.reset_stats();
+        let cfg = IndexConfig { page_size: 1024, pool_pages: 4096 };
+        let mut idx = build_index(kind, &map, cfg);
         let p = lsdb::geom::Point::new(8000, 8000);
-        let _ = idx.nearest(p);
-        let cold = idx.stats().disk.reads;
-        idx.reset_stats();
-        let _ = idx.nearest(p);
-        let warm = idx.stats().disk.reads;
-        assert!(cold > 0, "{kind:?}: cold query must fault pages");
-        assert!(warm <= cold, "{kind:?}: warm repeat cannot fault more ({warm} vs {cold})");
+        let mut ctx = QueryCtx::new();
+        let _ = idx.nearest(p, &mut ctx);
+        assert_eq!(
+            ctx.stats().disk.reads,
+            0,
+            "{kind:?}: fully resident index cannot fault"
+        );
+        idx.clear_cache();
+        ctx.reset();
+        let _ = idx.nearest(p, &mut ctx);
+        assert!(
+            ctx.stats().disk.reads > 0,
+            "{kind:?}: cold query must fault pages"
+        );
     }
 }
 
@@ -202,17 +221,23 @@ fn duplicate_geometry_distinct_ids_are_all_retrievable() {
     let map = PolygonalMap::new("dups", vec![seg, seg, far]);
     for kind in all_kinds() {
         let mut idx = build_index(kind, &map, IndexConfig::default());
+        let mut ctx = QueryCtx::new();
         assert_eq!(idx.len(), 3, "{kind:?}");
-        let got = brute::sorted(idx.find_incident(Point::new(100, 100)));
+        let got = brute::sorted(idx.find_incident(Point::new(100, 100), &mut ctx));
         assert_eq!(got, vec![SegId(0), SegId(1)], "{kind:?}");
         let w = lsdb::geom::Rect::new(0, 0, 1000, 1000);
         assert_eq!(
-            brute::sorted(idx.window(w)),
+            brute::sorted(idx.window(w, &mut ctx)),
             vec![SegId(0), SegId(1)],
             "{kind:?}"
         );
         assert!(idx.remove(SegId(0)), "{kind:?}");
-        assert_eq!(idx.find_incident(Point::new(100, 100)), vec![SegId(1)], "{kind:?}");
+        ctx.reset();
+        assert_eq!(
+            idx.find_incident(Point::new(100, 100), &mut ctx),
+            vec![SegId(1)],
+            "{kind:?}"
+        );
     }
 }
 
@@ -223,10 +248,11 @@ fn k_nearest_matches_brute_force_ranking() {
         let mut gen = UniformGen::new(seed ^ 9);
         let probes: Vec<_> = (0..25).map(|_| gen.next_point()).collect();
         for kind in all_kinds() {
-            let mut idx = build_index(kind, &map, IndexConfig::default());
+            let idx = build_index(kind, &map, IndexConfig::default());
+            let mut ctx = QueryCtx::new();
             for &p in &probes {
                 for k in [1usize, 3, 10] {
-                    let got = idx.nearest_k(p, k);
+                    let got = idx.nearest_k(p, k, &mut ctx);
                     assert_eq!(got.len(), k.min(map.len()), "{kind:?} {class:?} k={k}");
                     // Distances must match the brute-force ranking (ties
                     // may permute ids, distances must agree rank-by-rank),
@@ -260,9 +286,10 @@ fn k_nearest_exhausts_small_index() {
         ],
     );
     for kind in all_kinds() {
-        let mut idx = build_index(kind, &map, IndexConfig::default());
-        let got = idx.nearest_k(Point::new(0, 0), 10);
+        let idx = build_index(kind, &map, IndexConfig::default());
+        let mut ctx = QueryCtx::new();
+        let got = idx.nearest_k(Point::new(0, 0), 10, &mut ctx);
         assert_eq!(got, vec![SegId(0), SegId(1)], "{kind:?}");
-        assert!(idx.nearest_k(Point::new(0, 0), 0).is_empty());
+        assert!(idx.nearest_k(Point::new(0, 0), 0, &mut ctx).is_empty());
     }
 }

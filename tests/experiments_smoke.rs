@@ -33,10 +33,18 @@ fn table1_pipeline_shape() {
         rplus.size_kbytes,
         rstar.size_kbytes
     );
-    // Build disk activity exists for all (a 16-page pool cannot hold a
-    // 4000-segment build).
+    // Build disk activity exists for all: a 16-page pool cannot hold a
+    // 4000-segment build, so at minimum every page beyond the pool's 16
+    // frames must have been written out (1 KB pages, so size in KB is the
+    // page count).
     for r in &reports {
-        assert!(r.disk_accesses > 100, "{:?}: {}", r.kind, r.disk_accesses);
+        assert!(
+            r.disk_accesses as f64 > r.size_kbytes - 16.0,
+            "{:?}: {} accesses for {:.0}KB",
+            r.kind,
+            r.disk_accesses,
+            r.size_kbytes
+        );
         assert!(r.cpu_seconds > 0.0);
     }
     let _ = pmr;
@@ -88,11 +96,11 @@ fn table2_pipeline_shape() {
     let wb = QueryWorkbench::new(&map, 120, 0x51);
     let mut per = Vec::new();
     for kind in IndexKind::paper_three() {
-        let mut idx = build_index(kind, &map, cfg);
+        let idx = build_index(kind, &map, cfg);
         per.push(
             Workload::ALL
                 .iter()
-                .map(|&w| wb.run(w, idx.as_mut()))
+                .map(|&w| wb.run(w, idx.as_ref()))
                 .collect::<Vec<_>>(),
         );
     }
@@ -149,3 +157,4 @@ fn occupancy_pipeline_shape() {
         );
     }
 }
+

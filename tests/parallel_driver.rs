@@ -1,0 +1,84 @@
+//! The parallel workload driver must be a pure wall-clock optimization:
+//! for every structure, fanning a query batch across threads yields
+//! byte-identical answers and identical summed counters to the sequential
+//! run. This is the paper-reproducibility guarantee of the shared-read
+//! query engine — Table 2 does not depend on `--threads`.
+
+use lsdb::core::{IndexConfig, QueryCtx, QueryStats, SegId};
+use lsdb_bench::workloads::{QueryWorkbench, Workload};
+use lsdb_bench::{build_index, IndexKind};
+
+fn test_map() -> lsdb::core::PolygonalMap {
+    lsdb::tiger::generate(&lsdb::tiger::CountySpec::new(
+        "par-test",
+        lsdb::tiger::CountyClass::Suburban,
+        1200,
+        0xD81A,
+    ))
+}
+
+fn driver_kinds() -> Vec<IndexKind> {
+    vec![
+        IndexKind::RStar,
+        IndexKind::RPlus,
+        IndexKind::Pmr,
+        IndexKind::Grid(32),
+    ]
+}
+
+#[test]
+fn workload_averages_match_sequential_at_any_thread_count() {
+    let map = test_map();
+    let wb = QueryWorkbench::new(&map, 64, 0x5EA);
+    for kind in driver_kinds() {
+        let idx = build_index(kind, &map, IndexConfig::default());
+        for w in Workload::ALL {
+            let seq = wb.run(w, idx.as_ref());
+            for threads in [2usize, 4, 5] {
+                let par = wb.run_threaded(w, idx.as_ref(), threads);
+                assert_eq!(seq, par, "{kind:?} {w:?} with {threads} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn per_query_answers_and_counters_are_byte_identical() {
+    // Stronger than the averaged check: every individual query's answer
+    // AND its context counters must match between a sequential pass and a
+    // four-way chunked parallel pass over the same shared index.
+    let map = test_map();
+    let wb = QueryWorkbench::new(&map, 48, 0xBEEF);
+    type PerQuery = (Vec<SegId>, Option<SegId>, Vec<SegId>, QueryStats);
+    for kind in driver_kinds() {
+        let idx = build_index(kind, &map, IndexConfig::default());
+        let idx = idx.as_ref();
+        let run_one = |i: usize| -> PerQuery {
+            let mut ctx = QueryCtx::new();
+            let (_, p) = wb.endpoints[i];
+            let incident = idx.find_incident(p, &mut ctx);
+            let nearest = idx.nearest(wb.uniform_points[i], &mut ctx);
+            let window = idx.window(wb.windows[i], &mut ctx);
+            (incident, nearest, window, ctx.stats())
+        };
+        let sequential: Vec<PerQuery> = (0..wb.endpoints.len()).map(run_one).collect();
+        let parallel: Vec<PerQuery> = std::thread::scope(|scope| {
+            let chunks: Vec<Vec<usize>> = (0..wb.endpoints.len())
+                .collect::<Vec<_>>()
+                .chunks(wb.endpoints.len().div_ceil(4))
+                .map(|c| c.to_vec())
+                .collect();
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || chunk.into_iter().map(run_one).collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("query worker"))
+                .collect()
+        });
+        assert_eq!(sequential, parallel, "{kind:?}");
+    }
+}
