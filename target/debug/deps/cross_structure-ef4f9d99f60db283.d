@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_structure-ef4f9d99f60db283.d: tests/cross_structure.rs
+
+/root/repo/target/debug/deps/cross_structure-ef4f9d99f60db283: tests/cross_structure.rs
+
+tests/cross_structure.rs:

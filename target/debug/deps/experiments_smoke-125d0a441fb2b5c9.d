@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-125d0a441fb2b5c9.d: tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/experiments_smoke-125d0a441fb2b5c9: tests/experiments_smoke.rs
+
+tests/experiments_smoke.rs:

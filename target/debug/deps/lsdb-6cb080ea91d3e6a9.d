@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lsdb-6cb080ea91d3e6a9.d: src/bin/lsdb.rs
+
+/root/repo/target/debug/deps/lsdb-6cb080ea91d3e6a9: src/bin/lsdb.rs
+
+src/bin/lsdb.rs:

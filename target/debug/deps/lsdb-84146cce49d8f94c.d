@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lsdb-84146cce49d8f94c.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblsdb-84146cce49d8f94c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblsdb-84146cce49d8f94c.rmeta: src/lib.rs
+
+src/lib.rs:

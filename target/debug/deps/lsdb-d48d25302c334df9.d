@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lsdb-d48d25302c334df9.d: src/lib.rs
+
+/root/repo/target/debug/deps/lsdb-d48d25302c334df9: src/lib.rs
+
+src/lib.rs:

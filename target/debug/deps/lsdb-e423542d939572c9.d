@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lsdb-e423542d939572c9.d: src/bin/lsdb.rs
+
+/root/repo/target/debug/deps/lsdb-e423542d939572c9: src/bin/lsdb.rs
+
+src/bin/lsdb.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lsdb_bench-5eadf403485e69ae.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/liblsdb_bench-5eadf403485e69ae.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/liblsdb_bench-5eadf403485e69ae.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lsdb_tiger-21f896d0f5bb4ff3.d: crates/tiger/src/lib.rs crates/tiger/src/gen.rs crates/tiger/src/io.rs
+
+/root/repo/target/debug/deps/liblsdb_tiger-21f896d0f5bb4ff3.rlib: crates/tiger/src/lib.rs crates/tiger/src/gen.rs crates/tiger/src/io.rs
+
+/root/repo/target/debug/deps/liblsdb_tiger-21f896d0f5bb4ff3.rmeta: crates/tiger/src/lib.rs crates/tiger/src/gen.rs crates/tiger/src/io.rs
+
+crates/tiger/src/lib.rs:
+crates/tiger/src/gen.rs:
+crates/tiger/src/io.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_driver-a04e6c8a461bc17d.d: tests/parallel_driver.rs
+
+/root/repo/target/debug/deps/parallel_driver-a04e6c8a461bc17d: tests/parallel_driver.rs
+
+tests/parallel_driver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/index_tuning-60ee4860a4864bc1.d: examples/index_tuning.rs
+
+/root/repo/target/debug/examples/index_tuning-60ee4860a4864bc1: examples/index_tuning.rs
+
+examples/index_tuning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/map_io-1654a7ec908f2dbf.d: examples/map_io.rs
+
+/root/repo/target/debug/examples/map_io-1654a7ec908f2dbf: examples/map_io.rs
+
+examples/map_io.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-42b7a1335e3861dc.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-42b7a1335e3861dc: examples/quickstart.rs
+
+examples/quickstart.rs:

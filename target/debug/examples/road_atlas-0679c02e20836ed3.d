@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/road_atlas-0679c02e20836ed3.d: examples/road_atlas.rs
+
+/root/repo/target/debug/examples/road_atlas-0679c02e20836ed3: examples/road_atlas.rs
+
+examples/road_atlas.rs:
