@@ -72,10 +72,16 @@ fn bench_page_buffer() {
     let map = bench_map(CountyClass::Suburban, 2000, 5);
     for page in [512usize, 1024, 2048] {
         for pool in [8usize, 16, 32] {
-            let cfg = IndexConfig { page_size: page, pool_pages: pool };
-            bench("page_buffer", &format!("pmr_build/{page}B/{pool}p"), 3, || {
-                build_index(IndexKind::Pmr, &map, cfg).size_bytes()
-            });
+            let cfg = IndexConfig {
+                page_size: page,
+                pool_pages: pool,
+            };
+            bench(
+                "page_buffer",
+                &format!("pmr_build/{page}B/{pool}p"),
+                3,
+                || build_index(IndexKind::Pmr, &map, cfg).size_bytes(),
+            );
         }
     }
 }
@@ -142,7 +148,14 @@ fn bench_threshold() {
     let map = bench_map(CountyClass::Rural { meander: 20 }, 2500, 13);
     for t in [2usize, 4, 16, 64] {
         bench("threshold", &format!("pmr_build/t={t}"), 3, || {
-            PmrQuadtree::build(&map, PmrConfig { threshold: t, ..Default::default() }).size_bytes()
+            PmrQuadtree::build(
+                &map,
+                PmrConfig {
+                    threshold: t,
+                    ..Default::default()
+                },
+            )
+            .size_bytes()
         });
     }
 }

@@ -31,7 +31,10 @@ fn main() {
         for &ps in &page_sizes {
             let mut row = vec![format!("{ps} B")];
             for &pool in &pool_sizes {
-                let cfg = IndexConfig { page_size: ps, pool_pages: pool };
+                let cfg = IndexConfig {
+                    page_size: ps,
+                    pool_pages: pool,
+                };
                 let (_, rep) = measure_build(kind, &map, cfg);
                 row.push(rep.disk_accesses.to_string());
             }

@@ -54,7 +54,10 @@ fn main() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     });
     const RSTAR: usize = 0;
     const RPLUS: usize = 1;
@@ -67,7 +70,11 @@ fn main() {
 
     // Figure 7: relative bounding box computations (R+ / R*).
     println!("Figure 7: bounding-box computations, R+ normalized by R*");
-    let mut rows = vec![vec!["query".to_string(), "R+/R*".to_string(), "PMR/R* (off-plot)".to_string()]];
+    let mut rows = vec![vec![
+        "query".to_string(),
+        "R+/R*".to_string(),
+        "PMR/R* (off-plot)".to_string(),
+    ]];
     for (wi, w) in Workload::ALL.iter().enumerate() {
         let rplus = range_over_maps(&|m| m[RPLUS][wi].bbox_comps / m[RSTAR][wi].bbox_comps);
         let pmr = range_over_maps(&|m| m[PMR][wi].bbox_comps / m[RSTAR][wi].bbox_comps);

@@ -22,14 +22,27 @@ fn main() {
     let cfg = IndexConfig::default();
     let wcfg = WorkloadConfig::from_args();
     let map = wcfg.county("Charles");
-    println!("S7 occupancy audit on {} ({} segments)\n", map.name, map.len());
+    println!(
+        "S7 occupancy audit on {} ({} segments)\n",
+        map.name,
+        map.len()
+    );
 
     let mut rstar = RTree::build(&map, cfg, RTreeKind::RStar);
     let mut rplus = RPlusTree::build(&map, cfg);
     let n = wcfg.queries.min(500);
-    println!("average leaf occupancy (1 KB pages, M = {}):", rstar.m_max());
-    println!("  R*-tree : {:.1} segments/page (paper: 36)", rstar.avg_leaf_occupancy());
-    println!("  R+-tree : {:.1} segments/page (paper: 32)", rplus.avg_leaf_occupancy());
+    println!(
+        "average leaf occupancy (1 KB pages, M = {}):",
+        rstar.m_max()
+    );
+    println!(
+        "  R*-tree : {:.1} segments/page (paper: 36)",
+        rstar.avg_leaf_occupancy()
+    );
+    println!(
+        "  R+-tree : {:.1} segments/page (paper: 32)",
+        rplus.avg_leaf_occupancy()
+    );
 
     println!("\nPMR splitting-threshold sweep:");
     let wb = QueryWorkbench::new(&map, n, 0x0CCA);
@@ -44,7 +57,11 @@ fn main() {
     for t in [2usize, 4, 8, 16, 32, 64] {
         let mut pmr = PmrQuadtree::build(
             &map,
-            PmrConfig { threshold: t, index: cfg, ..Default::default() },
+            PmrConfig {
+                threshold: t,
+                index: cfg,
+                ..Default::default()
+            },
         );
         let occupancy = pmr.avg_bucket_occupancy();
         let size = pmr.size_bytes() as f64 / 1024.0;

@@ -60,7 +60,11 @@ fn main() {
             .enumerate()
         {
             let mut row = vec![
-                if mi == 0 { w.label().to_string() } else { String::new() },
+                if mi == 0 {
+                    w.label().to_string()
+                } else {
+                    String::new()
+                },
                 metric.to_string(),
             ];
             for &si in &order {
@@ -78,10 +82,7 @@ fn main() {
     println!("{}", render_table(&rows));
 
     // Context the paper discusses alongside Table 2.
-    let avg_poly: Vec<f64> = order
-        .iter()
-        .map(|&si| results[si][4].avg_result)
-        .collect();
+    let avg_poly: Vec<f64> = order.iter().map(|&si| results[si][4].avg_result).collect();
     println!(
         "average polygon size (2-stage): PMR {:.0}, R+ {:.0}, R* {:.0}  (paper: 132 for rural Charles)",
         avg_poly[0], avg_poly[1], avg_poly[2]

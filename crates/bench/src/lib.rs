@@ -9,6 +9,7 @@
 //! | `fig6`      | Figure 6 — build disk accesses by page size × buffer size |
 //! | `figures`   | Figures 7-9 — normalized ranges over the six counties |
 //! | `occupancy` | §7 — page/bucket occupancy audit + PMR threshold sweep |
+//! | `netcost`   | in-process vs over-the-wire query cost (lsdb-server) |
 //!
 //! Shared infrastructure lives here: index construction behind one enum,
 //! the five query workloads with metric accumulation, plain-text table
@@ -19,6 +20,7 @@
 //! overrides the defaults (1.0 / 1000 / 1 / `target/lsdb-maps`).
 
 pub mod report;
+pub mod wire;
 pub mod workloads;
 
 use lsdb_core::{IndexConfig, PolygonalMap, SpatialIndex};
@@ -75,10 +77,20 @@ pub fn build_index(kind: IndexKind, map: &PolygonalMap, cfg: IndexConfig) -> Box
         IndexKind::RQuadratic => Box::new(RTree::build(map, cfg, RTreeKind::Quadratic)),
         IndexKind::RLinear => Box::new(RTree::build(map, cfg, RTreeKind::Linear)),
         IndexKind::RPlus => Box::new(RPlusTree::build(map, cfg)),
-        IndexKind::Pmr => Box::new(PmrQuadtree::build(map, PmrConfig { index: cfg, ..Default::default() })),
+        IndexKind::Pmr => Box::new(PmrQuadtree::build(
+            map,
+            PmrConfig {
+                index: cfg,
+                ..Default::default()
+            },
+        )),
         IndexKind::PmrThreshold(t) => Box::new(PmrQuadtree::build(
             map,
-            PmrConfig { threshold: t, index: cfg, ..Default::default() },
+            PmrConfig {
+                threshold: t,
+                index: cfg,
+                ..Default::default()
+            },
         )),
         IndexKind::Grid(g) => Box::new(UniformGrid::build(map, cfg, g)),
         IndexKind::Repr(g) => Box::new(lsdb_repr::ReprGrid::build(map, cfg, g)),
@@ -99,7 +111,11 @@ pub struct BuildReport {
 }
 
 /// Build an index while measuring Table 1's three quantities.
-pub fn measure_build(kind: IndexKind, map: &PolygonalMap, cfg: IndexConfig) -> (Box<dyn SpatialIndex>, BuildReport) {
+pub fn measure_build(
+    kind: IndexKind,
+    map: &PolygonalMap,
+    cfg: IndexConfig,
+) -> (Box<dyn SpatialIndex>, BuildReport) {
     let start = Instant::now();
     let mut index = build_index(kind, map, cfg);
     let cpu_seconds = start.elapsed().as_secs_f64();
@@ -283,19 +299,18 @@ mod tests {
     use super::*;
 
     fn tiny_map() -> PolygonalMap {
-        let spec = lsdb_tiger::CountySpec::new(
-            "bench-test",
-            lsdb_tiger::CountyClass::Urban,
-            600,
-            99,
-        );
+        let spec =
+            lsdb_tiger::CountySpec::new("bench-test", lsdb_tiger::CountyClass::Urban, 600, 99);
         lsdb_tiger::generate(&spec)
     }
 
     #[test]
     fn build_index_all_kinds() {
         let map = tiny_map();
-        let cfg = IndexConfig { page_size: 512, pool_pages: 16 };
+        let cfg = IndexConfig {
+            page_size: 512,
+            pool_pages: 16,
+        };
         for kind in [
             IndexKind::RStar,
             IndexKind::RPlus,
@@ -318,7 +333,10 @@ mod tests {
         let (idx, rep) = measure_build(IndexKind::Pmr, &map, cfg);
         assert_eq!(rep.segments, map.len());
         assert!(rep.size_kbytes > 1.0);
-        assert!(rep.disk_accesses > 0, "a 16-page pool cannot hold the build");
+        assert!(
+            rep.disk_accesses > 0,
+            "a 16-page pool cannot hold the build"
+        );
         assert!(rep.cpu_seconds > 0.0);
         // Stats were reset after the build measurement.
         assert_eq!(idx.stats().disk.total(), 0);
@@ -337,7 +355,11 @@ mod tests {
         assert_eq!(cfg.scale, 1.0);
         assert_eq!(cfg.queries, 1000);
         assert_eq!(cfg.threads, 1);
-        let cfg = cfg.with_scale(0.25).with_queries(50).with_threads(4).with_map_cache("/tmp/maps");
+        let cfg = cfg
+            .with_scale(0.25)
+            .with_queries(50)
+            .with_threads(4)
+            .with_map_cache("/tmp/maps");
         assert_eq!(cfg.scale, 0.25);
         assert_eq!(cfg.queries, 50);
         assert_eq!(cfg.threads, 4);
@@ -358,10 +380,18 @@ mod tests {
             .try_apply_args(args(&["--map-cache=/tmp/x"]))
             .unwrap();
         assert_eq!(cfg.map_cache, PathBuf::from("/tmp/x"));
-        assert!(WorkloadConfig::new().try_apply_args(args(&["--queries"])).is_err());
-        assert!(WorkloadConfig::new().try_apply_args(args(&["--queries", "lots"])).is_err());
-        assert!(WorkloadConfig::new().try_apply_args(args(&["--threads", "0"])).is_err());
-        assert!(WorkloadConfig::new().try_apply_args(args(&["--frobnicate"])).is_err());
+        assert!(WorkloadConfig::new()
+            .try_apply_args(args(&["--queries"]))
+            .is_err());
+        assert!(WorkloadConfig::new()
+            .try_apply_args(args(&["--queries", "lots"]))
+            .is_err());
+        assert!(WorkloadConfig::new()
+            .try_apply_args(args(&["--threads", "0"]))
+            .is_err());
+        assert!(WorkloadConfig::new()
+            .try_apply_args(args(&["--frobnicate"]))
+            .is_err());
     }
 
     #[test]

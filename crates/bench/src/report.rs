@@ -19,7 +19,10 @@ pub fn render_table(rows: &[Vec<String>]) -> String {
                 out.push_str("  ");
             }
             // Right-align numeric-looking cells, left-align the rest.
-            let numeric = cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '.');
+            let numeric = cell
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '.');
             if numeric && ri > 0 {
                 out.push_str(&format!("{:>width$}", cell, width = widths[i]));
             } else {

@@ -310,8 +310,10 @@ mod tests {
                     map.segments[id.index()].dist2_point(p)
                 })
                 .collect();
-            assert!(dists.windows(2).all(|d| d[0] == d[1]), "NN distance diverges at {p:?}");
+            assert!(
+                dists.windows(2).all(|d| d[0] == d[1]),
+                "NN distance diverges at {p:?}"
+            );
         }
     }
 }
-

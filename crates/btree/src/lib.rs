@@ -166,7 +166,9 @@ impl<S: Storage> BTree<S> {
         loop {
             self.stats.node_visits += 1;
             if level == 1 {
-                return self.pool.with_page(pid, |buf| LeafView::search(buf, key).is_ok());
+                return self
+                    .pool
+                    .with_page(pid, |buf| LeafView::search(buf, key).is_ok());
             }
             pid = self
                 .pool
@@ -350,7 +352,9 @@ impl<S: Storage> BTree<S> {
             let count = InternalView::count(buf);
             let start = InternalView::child_index_for(buf, lo);
             let end = InternalView::child_index_for(buf, hi);
-            (start..=end.min(count)).map(|i| InternalView::child_at(buf, i)).collect::<Vec<_>>()
+            (start..=end.min(count))
+                .map(|i| InternalView::child_at(buf, i))
+                .collect::<Vec<_>>()
         });
         for child in children {
             self.scan_rec_ctx(child, level - 1, lo, hi, ctx, f)?;
@@ -383,7 +387,9 @@ impl<S: Storage> BTree<S> {
             let count = InternalView::count(buf);
             let start = InternalView::child_index_for(buf, lo);
             let end = InternalView::child_index_for(buf, hi).min(count);
-            (start..=end).map(|i| InternalView::child_at(buf, i)).collect::<Vec<PageId>>()
+            (start..=end)
+                .map(|i| InternalView::child_at(buf, i))
+                .collect::<Vec<PageId>>()
         });
         for child in children.into_iter().rev() {
             if let Some(k) = self.last_rec_ctx(child, level - 1, lo, hi, ctx) {
@@ -415,8 +421,9 @@ impl<S: Storage> BTree<S> {
             let count = InternalView::count(buf);
             let start = InternalView::child_index_for(buf, lo);
             let end = InternalView::child_index_for(buf, hi).min(count);
-            let children: Vec<PageId> =
-                (start..=end).map(|i| InternalView::child_at(buf, i)).collect();
+            let children: Vec<PageId> = (start..=end)
+                .map(|i| InternalView::child_at(buf, i))
+                .collect();
             (start, end, children)
         });
         let _ = (start, end);
@@ -461,7 +468,9 @@ impl<S: Storage> BTree<S> {
             let count = InternalView::count(buf);
             let start = InternalView::child_index_for(buf, lo);
             let end = InternalView::child_index_for(buf, hi);
-            (start..=end.min(count)).map(|i| InternalView::child_at(buf, i)).collect::<Vec<_>>()
+            (start..=end.min(count))
+                .map(|i| InternalView::child_at(buf, i))
+                .collect::<Vec<_>>()
         });
         for child in children {
             self.scan_rec(child, level - 1, lo, hi, f)?;
@@ -481,12 +490,10 @@ impl<S: Storage> BTree<S> {
         match self.insert_rec(child, key, level - 1) {
             Insert::Done(added) => Insert::Done(added),
             Insert::Split { sep, right } => {
-                let count = self
-                    .pool
-                    .with_page_mut(pid, |buf| {
-                        InternalView::insert_at(buf, idx, sep, right);
-                        InternalView::count(buf)
-                    });
+                let count = self.pool.with_page_mut(pid, |buf| {
+                    InternalView::insert_at(buf, idx, sep, right);
+                    InternalView::count(buf)
+                });
                 if count <= self.internal_cap {
                     return Insert::Done(true);
                 }
@@ -501,8 +508,9 @@ impl<S: Storage> BTree<S> {
             Inserted,
             NeedsSplit(Vec<u64>),
         }
-        let outcome = self.pool.with_page_mut(pid, |buf| {
-            match LeafView::search(buf, key) {
+        let outcome = self
+            .pool
+            .with_page_mut(pid, |buf| match LeafView::search(buf, key) {
                 Ok(_) => Outcome::Present,
                 Err(at) => {
                     if LeafView::count(buf) < LeafView::capacity(buf.len()) {
@@ -514,8 +522,7 @@ impl<S: Storage> BTree<S> {
                         Outcome::NeedsSplit(keys)
                     }
                 }
-            }
-        });
+            });
         match outcome {
             Outcome::Present => Insert::Done(false),
             Outcome::Inserted => Insert::Done(true),
@@ -537,9 +544,9 @@ impl<S: Storage> BTree<S> {
     }
 
     fn split_internal(&mut self, pid: PageId) -> Insert {
-        let (seps, children) = self
-            .pool
-            .with_page(pid, |buf| (InternalView::seps(buf), InternalView::children(buf)));
+        let (seps, children) = self.pool.with_page(pid, |buf| {
+            (InternalView::seps(buf), InternalView::children(buf))
+        });
         let mid = seps.len() / 2;
         let sep_up = seps[mid];
         let right = self.pool.allocate();
@@ -557,13 +564,15 @@ impl<S: Storage> BTree<S> {
     fn remove_rec(&mut self, pid: PageId, key: u64, level: u32) -> bool {
         self.stats.node_visits += 1;
         if level == 1 {
-            return self.pool.with_page_mut(pid, |buf| match LeafView::search(buf, key) {
-                Ok(at) => {
-                    LeafView::remove_at(buf, at);
-                    true
-                }
-                Err(_) => false,
-            });
+            return self
+                .pool
+                .with_page_mut(pid, |buf| match LeafView::search(buf, key) {
+                    Ok(at) => {
+                        LeafView::remove_at(buf, at);
+                        true
+                    }
+                    Err(_) => false,
+                });
         }
         let (idx, child) = self.pool.with_page(pid, |buf| {
             let idx = InternalView::child_index_for(buf, key);
@@ -648,7 +657,8 @@ impl<S: Storage> BTree<S> {
                     LeafView::remove_at(buf, c - 1);
                     k
                 });
-                self.pool.with_page_mut(right, |buf| LeafView::insert_at(buf, 0, moved));
+                self.pool
+                    .with_page_mut(right, |buf| LeafView::insert_at(buf, 0, moved));
                 new_sep = moved;
             } else {
                 let moved = self.pool.with_page_mut(right, |buf| {
@@ -695,7 +705,15 @@ impl<S: Storage> BTree<S> {
     }
 
     /// Merge `right` into `left`, removing the separator from the parent.
-    fn merge(&mut self, parent: PageId, sep_idx: usize, left: PageId, right: PageId, sep: u64, level: u32) {
+    fn merge(
+        &mut self,
+        parent: PageId,
+        sep_idx: usize,
+        left: PageId,
+        right: PageId,
+        sep: u64,
+        level: u32,
+    ) {
         if level == 1 {
             let right_keys = self.pool.with_page(right, LeafView::keys);
             self.pool.with_page_mut(left, |buf| {
@@ -709,9 +727,9 @@ impl<S: Storage> BTree<S> {
                 }
             });
         } else {
-            let (seps, children) = self
-                .pool
-                .with_page(right, |buf| (InternalView::seps(buf), InternalView::children(buf)));
+            let (seps, children) = self.pool.with_page(right, |buf| {
+                (InternalView::seps(buf), InternalView::children(buf))
+            });
             self.pool.with_page_mut(left, |buf| {
                 let mut c = InternalView::count(buf);
                 InternalView::insert_at(buf, c, sep, children[0]);
@@ -738,14 +756,25 @@ impl<S: Storage> BTree<S> {
         n
     }
 
-    fn check_rec(&mut self, pid: PageId, level: u32, lo: Option<u64>, hi: Option<u64>, is_root: bool) -> u64 {
+    fn check_rec(
+        &mut self,
+        pid: PageId,
+        level: u32,
+        lo: Option<u64>,
+        hi: Option<u64>,
+        is_root: bool,
+    ) -> u64 {
         if level == 1 {
             let keys = self.pool.with_page(pid, |buf| {
                 assert_eq!(LeafView::tag(buf), Tag::Leaf, "expected leaf at level 1");
                 LeafView::keys(buf)
             });
             if !is_root {
-                assert!(keys.len() >= self.leaf_cap / 2, "leaf underflow: {}", keys.len());
+                assert!(
+                    keys.len() >= self.leaf_cap / 2,
+                    "leaf underflow: {}",
+                    keys.len()
+                );
             }
             assert!(keys.len() <= self.leaf_cap);
             for w in keys.windows(2) {
@@ -969,7 +998,10 @@ mod tests {
         assert!(t.insert(u64::MAX));
         assert!(t.insert(u64::MAX - 1));
         assert!(t.contains(u64::MAX));
-        assert_eq!(t.collect_range(u64::MAX - 1, u64::MAX), vec![u64::MAX - 1, u64::MAX]);
+        assert_eq!(
+            t.collect_range(u64::MAX - 1, u64::MAX),
+            vec![u64::MAX - 1, u64::MAX]
+        );
         assert!(t.remove(u64::MAX));
         assert!(!t.contains(u64::MAX));
     }
@@ -985,10 +1017,19 @@ mod tests {
             let expect = t.contains(probe);
             assert_eq!(t.contains_ctx(probe, &mut ctx), expect);
         }
-        assert_eq!(t.collect_range_ctx(10, 200, &mut ctx), t.collect_range(10, 200));
+        assert_eq!(
+            t.collect_range_ctx(10, 200, &mut ctx),
+            t.collect_range(10, 200)
+        );
         assert_eq!(t.count_range_ctx(0, u64::MAX, &mut ctx), 300);
-        assert_eq!(t.first_in_range_ctx(100, 200, &mut ctx), t.first_in_range(100, 200));
-        assert_eq!(t.last_in_range_ctx(100, 200, &mut ctx), t.last_in_range(100, 200));
+        assert_eq!(
+            t.first_in_range_ctx(100, 200, &mut ctx),
+            t.first_in_range(100, 200)
+        );
+        assert_eq!(
+            t.last_in_range_ctx(100, 200, &mut ctx),
+            t.last_in_range(100, 200)
+        );
         assert_eq!(t.last_in_range_ctx(1, 2, &mut ctx), None);
         assert_eq!(t.collect_range_ctx(50, 10, &mut ctx), vec![]);
     }
@@ -1009,7 +1050,11 @@ mod tests {
             t.height(),
             "cold point lookup faults once per level"
         );
-        assert_eq!(t.pool().stats().reads, 0, "pool counters untouched by ctx reads");
+        assert_eq!(
+            t.pool().stats().reads,
+            0,
+            "pool counters untouched by ctx reads"
+        );
         // Re-walking the same path in the same context is free (pinned).
         let before = ctx.stats.reads;
         assert!(t.contains_ctx(250, &mut ctx));

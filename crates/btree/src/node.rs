@@ -113,7 +113,9 @@ impl LeafView {
     }
 
     pub fn keys(buf: &[u8]) -> Vec<u64> {
-        (0..Self::count(buf)).map(|i| Self::key_at(buf, i)).collect()
+        (0..Self::count(buf))
+            .map(|i| Self::key_at(buf, i))
+            .collect()
     }
 
     pub fn write_keys(buf: &mut [u8], keys: &[u64]) {
@@ -241,12 +243,16 @@ impl InternalView {
     }
 
     pub fn seps(buf: &[u8]) -> Vec<u64> {
-        (0..Self::count(buf)).map(|i| Self::sep_at(buf, i)).collect()
+        (0..Self::count(buf))
+            .map(|i| Self::sep_at(buf, i))
+            .collect()
     }
 
     /// All `count + 1` children.
     pub fn children(buf: &[u8]) -> Vec<lsdb_pager::PageId> {
-        (0..=Self::count(buf)).map(|i| Self::child_at(buf, i)).collect()
+        (0..=Self::count(buf))
+            .map(|i| Self::child_at(buf, i))
+            .collect()
     }
 
     /// Overwrite the pair region: `seps[i]` paired with `tail_children[i]`
@@ -319,7 +325,10 @@ mod tests {
         InternalView::init(&mut buf, PageId(1));
         InternalView::insert_at(&mut buf, 0, 50, PageId(2));
         InternalView::push_front(&mut buf, PageId(0), 25);
-        assert_eq!(InternalView::children(&buf), vec![PageId(0), PageId(1), PageId(2)]);
+        assert_eq!(
+            InternalView::children(&buf),
+            vec![PageId(0), PageId(1), PageId(2)]
+        );
         assert_eq!(InternalView::seps(&buf), vec![25, 50]);
         InternalView::pop_front(&mut buf);
         assert_eq!(InternalView::children(&buf), vec![PageId(1), PageId(2)]);

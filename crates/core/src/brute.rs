@@ -6,9 +6,9 @@
 //! distance, which are compared by exact distance value).
 
 use crate::{PolygonalMap, SegId};
-use lsdb_geom::{Dist2, Point, Rect};
 #[cfg(test)]
 use lsdb_geom::Segment;
+use lsdb_geom::{Dist2, Point, Rect};
 
 /// Query 1: ids of all segments with an endpoint at `p`.
 pub fn incident(map: &PolygonalMap, p: Point) -> Vec<SegId> {
@@ -66,10 +66,10 @@ mod tests {
         PolygonalMap::new(
             "sample",
             vec![
-                seg(0, 0, 10, 0),   // 0
-                seg(10, 0, 10, 10), // 1
-                seg(10, 10, 0, 10), // 2
-                seg(0, 10, 0, 0),   // 3: unit square scaled by 10
+                seg(0, 0, 10, 0),    // 0
+                seg(10, 0, 10, 10),  // 1
+                seg(10, 10, 0, 10),  // 2
+                seg(0, 10, 0, 0),    // 3: unit square scaled by 10
                 seg(20, 20, 30, 30), // 4: far diagonal
             ],
         )

@@ -30,8 +30,9 @@ mod stats;
 pub use index::{IndexConfig, LocId, SpatialIndex};
 pub use map::{PlanarityViolation, PolygonalMap};
 pub use seg_table::{SegId, SegmentTable};
-pub use stats::{QueryCtx, QueryStats};
+pub use stats::{QueryCtx, QueryStats, SharedStats};
 
-// Re-exported so query implementations can name the pool-level context
-// without depending on lsdb-pager directly.
-pub use lsdb_pager::PoolCtx;
+// Re-exported so query implementations (and wire-protocol codecs) can name
+// the pool-level context and counters without depending on lsdb-pager
+// directly.
+pub use lsdb_pager::{DiskStats, PoolCtx};

@@ -72,7 +72,10 @@ impl PolygonalMap {
     pub fn validate_planar(&self) -> Result<(), PlanarityViolation> {
         for (i, s) in self.segments.iter().enumerate() {
             if s.is_degenerate() {
-                return Err(PlanarityViolation { first: i, second: i });
+                return Err(PlanarityViolation {
+                    first: i,
+                    second: i,
+                });
             }
         }
         // Duplicate detection on canonical endpoints.
@@ -80,17 +83,21 @@ impl PolygonalMap {
         for (i, s) in self.segments.iter().enumerate() {
             let c = s.canonical();
             if let Some(&j) = seen.get(&(c.a, c.b)) {
-                return Err(PlanarityViolation { first: j, second: i });
+                return Err(PlanarityViolation {
+                    first: j,
+                    second: i,
+                });
             }
             seen.insert((c.a, c.b), i);
         }
-        let Some(bbox) = self.bbox() else { return Ok(()) };
+        let Some(bbox) = self.bbox() else {
+            return Ok(());
+        };
         // ~4 segments per cell on average.
         let target_cells = (self.segments.len() / 4).max(1);
-        let side = ((bbox.width().max(bbox.height()) as f64)
-            / (target_cells as f64).sqrt())
-        .ceil()
-        .max(1.0) as i64;
+        let side = ((bbox.width().max(bbox.height()) as f64) / (target_cells as f64).sqrt())
+            .ceil()
+            .max(1.0) as i64;
         let mut grid: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
         for (i, s) in self.segments.iter().enumerate() {
             let b = s.bbox();
@@ -109,7 +116,10 @@ impl PolygonalMap {
                 for &j in &ids[k + 1..] {
                     if self.segments[i].properly_intersects(&self.segments[j]) {
                         let (a, b) = if i < j { (i, j) } else { (j, i) };
-                        return Err(PlanarityViolation { first: a, second: b });
+                        return Err(PlanarityViolation {
+                            first: a,
+                            second: b,
+                        });
                     }
                 }
             }
@@ -153,10 +163,7 @@ mod tests {
 
     #[test]
     fn vertex_incidence_groups_segments() {
-        let m = PolygonalMap::new(
-            "t",
-            vec![seg(0, 0, 5, 0), seg(5, 0, 5, 5), seg(5, 0, 9, 9)],
-        );
+        let m = PolygonalMap::new("t", vec![seg(0, 0, 5, 0), seg(5, 0, 5, 5), seg(5, 0, 9, 9)]);
         let inc = m.vertex_incidence();
         assert_eq!(inc[&Point::new(5, 0)], vec![0, 1, 2]);
         assert_eq!(inc[&Point::new(0, 0)], vec![0]);
@@ -176,7 +183,10 @@ mod tests {
         let m = PolygonalMap::new("t", vec![seg(0, 0, 10, 10), seg(0, 10, 10, 0)]);
         assert_eq!(
             m.validate_planar(),
-            Err(PlanarityViolation { first: 0, second: 1 })
+            Err(PlanarityViolation {
+                first: 0,
+                second: 1
+            })
         );
     }
 
@@ -218,12 +228,8 @@ mod tests {
     fn normalize_drops_snapped_degenerates() {
         // Two segments, one microscopically short relative to the other:
         // snapping collapses it.
-        let mut m = PolygonalMap::new(
-            "t",
-            vec![seg(0, 0, 1_000_000, 1_000_000), seg(5, 5, 6, 5)],
-        );
+        let mut m = PolygonalMap::new("t", vec![seg(0, 0, 1_000_000, 1_000_000), seg(5, 5, 6, 5)]);
         m.normalize_to_world();
         assert_eq!(m.len(), 1);
     }
-
 }

@@ -1,4 +1,5 @@
 use lsdb_pager::{DiskStats, PoolCtx};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A snapshot of the three quantities the paper measures per query, plus
 /// segment-table disk activity (reported separately because segment records
@@ -86,13 +87,78 @@ impl QueryCtx {
     }
 }
 
+/// Lock-free accumulator of [`QueryStats`] shared by many query threads.
+///
+/// Each worker finishes a query, snapshots its [`QueryCtx`] and folds the
+/// result in with [`SharedStats::add`]; any thread can take a consistent
+/// running total with [`SharedStats::snapshot`] without stopping the
+/// workers. Because every counter is a plain sum of per-query values (the
+/// shared-read guarantee), the aggregate is independent of which worker
+/// served which query — a server's `STATS` op reports the same totals a
+/// sequential run would.
+#[derive(Default, Debug)]
+pub struct SharedStats {
+    queries: AtomicU64,
+    disk_reads: AtomicU64,
+    disk_writes: AtomicU64,
+    seg_comps: AtomicU64,
+    bbox_comps: AtomicU64,
+    seg_disk_reads: AtomicU64,
+    seg_disk_writes: AtomicU64,
+}
+
+impl SharedStats {
+    pub fn new() -> Self {
+        SharedStats::default()
+    }
+
+    /// Fold one query's stats into the shared totals.
+    pub fn add(&self, s: QueryStats) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.disk_reads.fetch_add(s.disk.reads, Ordering::Relaxed);
+        self.disk_writes.fetch_add(s.disk.writes, Ordering::Relaxed);
+        self.seg_comps.fetch_add(s.seg_comps, Ordering::Relaxed);
+        self.bbox_comps.fetch_add(s.bbox_comps, Ordering::Relaxed);
+        self.seg_disk_reads
+            .fetch_add(s.seg_disk.reads, Ordering::Relaxed);
+        self.seg_disk_writes
+            .fetch_add(s.seg_disk.writes, Ordering::Relaxed);
+    }
+
+    /// Number of queries folded in so far.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time total. Taken between batches it is exact; taken
+    /// while workers are mid-[`SharedStats::add`] each counter is still a
+    /// valid running sum (counters are only ever added to).
+    pub fn snapshot(&self) -> QueryStats {
+        QueryStats {
+            disk: DiskStats {
+                reads: self.disk_reads.load(Ordering::Relaxed),
+                writes: self.disk_writes.load(Ordering::Relaxed),
+            },
+            seg_comps: self.seg_comps.load(Ordering::Relaxed),
+            bbox_comps: self.bbox_comps.load(Ordering::Relaxed),
+            seg_disk: DiskStats {
+                reads: self.seg_disk_reads.load(Ordering::Relaxed),
+                writes: self.seg_disk_writes.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn qs(r: u64, w: u64, sc: u64, bc: u64) -> QueryStats {
         QueryStats {
-            disk: DiskStats { reads: r, writes: w },
+            disk: DiskStats {
+                reads: r,
+                writes: w,
+            },
             seg_comps: sc,
             bbox_comps: bc,
             seg_disk: DiskStats::default(),
@@ -115,6 +181,23 @@ mod tests {
     }
 
     #[test]
+    fn shared_stats_accumulate_across_threads() {
+        let shared = SharedStats::new();
+        let shared = &shared;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        shared.add(qs(1, 0, 2, 3));
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.queries(), 100);
+        assert_eq!(shared.snapshot(), qs(100, 0, 200, 300));
+    }
+
+    #[test]
     fn ctx_stats_snapshot_and_reset() {
         let mut ctx = QueryCtx::new();
         ctx.seg_comps = 3;
@@ -124,10 +207,16 @@ mod tests {
         assert_eq!(
             ctx.stats(),
             QueryStats {
-                disk: DiskStats { reads: 2, writes: 0 },
+                disk: DiskStats {
+                    reads: 2,
+                    writes: 0
+                },
                 seg_comps: 3,
                 bbox_comps: 7,
-                seg_disk: DiskStats { reads: 1, writes: 0 },
+                seg_disk: DiskStats {
+                    reads: 1,
+                    writes: 0
+                },
             }
         );
         ctx.reset();

@@ -133,7 +133,13 @@ mod tests {
             d(1, -1),
         ];
         for w in dirs.windows(2) {
-            assert_eq!(ccw_cmp(w[0], w[1]), Ordering::Less, "{:?} < {:?}", w[0], w[1]);
+            assert_eq!(
+                ccw_cmp(w[0], w[1]),
+                Ordering::Less,
+                "{:?} < {:?}",
+                w[0],
+                w[1]
+            );
         }
     }
 

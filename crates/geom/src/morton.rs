@@ -54,7 +54,11 @@ pub struct Block {
 
 impl Block {
     /// The root block covering the whole world.
-    pub const ROOT: Block = Block { depth: 0, x: 0, y: 0 };
+    pub const ROOT: Block = Block {
+        depth: 0,
+        x: 0,
+        y: 0,
+    };
 
     /// Side length of the block.
     pub fn side(&self) -> i32 {
@@ -71,7 +75,12 @@ impl Block {
     /// every block whose **continuous** region they touch (see
     /// [`Block::region_touches_segment`]).
     pub fn rect(&self) -> Rect {
-        Rect::new(self.x, self.y, self.x + self.side() - 1, self.y + self.side() - 1)
+        Rect::new(
+            self.x,
+            self.y,
+            self.x + self.side() - 1,
+            self.y + self.side() - 1,
+        )
     }
 
     /// The block's region extended by one grid unit on the top and right so
@@ -122,10 +131,26 @@ impl Block {
         let h = self.side() / 2;
         let d = self.depth + 1;
         [
-            Block { depth: d, x: self.x, y: self.y },
-            Block { depth: d, x: self.x + h, y: self.y },
-            Block { depth: d, x: self.x, y: self.y + h },
-            Block { depth: d, x: self.x + h, y: self.y + h },
+            Block {
+                depth: d,
+                x: self.x,
+                y: self.y,
+            },
+            Block {
+                depth: d,
+                x: self.x + h,
+                y: self.y,
+            },
+            Block {
+                depth: d,
+                x: self.x,
+                y: self.y + h,
+            },
+            Block {
+                depth: d,
+                x: self.x + h,
+                y: self.y + h,
+            },
         ]
     }
 
@@ -186,10 +211,26 @@ mod tests {
         // Within a 2x2 arrangement of depth-1 blocks, Morton order is
         // SW, SE, NW, NE.
         let half = WORLD_SIZE / 2;
-        let sw = Block { depth: 1, x: 0, y: 0 };
-        let se = Block { depth: 1, x: half, y: 0 };
-        let nw = Block { depth: 1, x: 0, y: half };
-        let ne = Block { depth: 1, x: half, y: half };
+        let sw = Block {
+            depth: 1,
+            x: 0,
+            y: 0,
+        };
+        let se = Block {
+            depth: 1,
+            x: half,
+            y: 0,
+        };
+        let nw = Block {
+            depth: 1,
+            x: 0,
+            y: half,
+        };
+        let ne = Block {
+            depth: 1,
+            x: half,
+            y: half,
+        };
         let mut codes = [sw.code(), se.code(), nw.code(), ne.code()];
         let orig = codes;
         codes.sort_unstable();
@@ -198,9 +239,16 @@ mod tests {
 
     #[test]
     fn children_cover_parent_disjointly() {
-        let b = Block { depth: 2, x: 4096, y: 8192 };
+        let b = Block {
+            depth: 2,
+            x: 4096,
+            y: 8192,
+        };
         let kids = b.children();
-        let area: i64 = kids.iter().map(|k| (k.side() as i64) * (k.side() as i64)).sum();
+        let area: i64 = kids
+            .iter()
+            .map(|k| (k.side() as i64) * (k.side() as i64))
+            .sum();
         assert_eq!(area, (b.side() as i64) * (b.side() as i64));
         for k in &kids {
             assert!(b.rect().contains_rect(&k.rect()));
@@ -216,7 +264,11 @@ mod tests {
 
     #[test]
     fn code_roundtrip_through_block() {
-        let b = Block { depth: 5, x: 512 * 3, y: 512 * 7 };
+        let b = Block {
+            depth: 5,
+            x: 512 * 3,
+            y: 512 * 7,
+        };
         assert_eq!(Block::from_code(b.code(), 5), b);
     }
 
@@ -246,7 +298,11 @@ mod tests {
 
     #[test]
     fn dist2_point_to_block() {
-        let b = Block { depth: 1, x: 0, y: 0 };
+        let b = Block {
+            depth: 1,
+            x: 0,
+            y: 0,
+        };
         assert_eq!(b.dist2_point(Point::new(100, 100)), 0);
         let far = Point::new(WORLD_SIZE - 1, WORLD_SIZE - 1);
         assert!(b.dist2_point(far) > 0);
@@ -255,7 +311,11 @@ mod tests {
     #[test]
     #[should_panic]
     fn cannot_split_pixel() {
-        let b = Block { depth: MAX_DEPTH, x: 0, y: 0 };
+        let b = Block {
+            depth: MAX_DEPTH,
+            x: 0,
+            y: 0,
+        };
         let _ = b.children();
     }
 }

@@ -69,7 +69,10 @@ impl Rect {
 
     /// Closed-boundary intersection test (touching rectangles intersect).
     pub fn intersects(&self, r: &Rect) -> bool {
-        self.min.x <= r.max.x && r.min.x <= self.max.x && self.min.y <= r.max.y && r.min.y <= self.max.y
+        self.min.x <= r.max.x
+            && r.min.x <= self.max.x
+            && self.min.y <= r.max.y
+            && r.min.y <= self.max.y
     }
 
     /// The intersection rectangle, if non-empty.

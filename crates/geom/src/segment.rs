@@ -70,8 +70,7 @@ impl Segment {
         let d2 = orient(other.a, other.b, self.b);
         let d3 = orient(self.a, self.b, other.a);
         let d4 = orient(self.a, self.b, other.b);
-        if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0))
-            && ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))
+        if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) && ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))
         {
             return true;
         }
@@ -90,8 +89,7 @@ impl Segment {
         let d2 = orient(other.a, other.b, self.b);
         let d3 = orient(self.a, self.b, other.a);
         let d4 = orient(self.a, self.b, other.b);
-        if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0))
-            && ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))
+        if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) && ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))
         {
             return true;
         }
@@ -178,7 +176,10 @@ mod tests {
         assert!(seg.contains_point(Point::new(5, 5)));
         assert!(seg.contains_point(Point::new(0, 0)));
         assert!(!seg.contains_point(Point::new(5, 6)));
-        assert!(!seg.contains_point(Point::new(11, 11)), "collinear but past end");
+        assert!(
+            !seg.contains_point(Point::new(11, 11)),
+            "collinear but past end"
+        );
     }
 
     #[test]

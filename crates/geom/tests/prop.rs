@@ -31,7 +31,11 @@ fn rand_rect(rng: &mut StdRng) -> Rect {
 fn orient_is_antisymmetric() {
     let mut rng = StdRng::seed_from_u64(0x6E01);
     for _ in 0..CASES {
-        let (a, b, c) = (rand_point(&mut rng), rand_point(&mut rng), rand_point(&mut rng));
+        let (a, b, c) = (
+            rand_point(&mut rng),
+            rand_point(&mut rng),
+            rand_point(&mut rng),
+        );
         assert_eq!(orient(a, b, c), -orient(b, a, c));
         assert_eq!(orient(a, b, c), orient(b, c, a));
     }
@@ -61,7 +65,11 @@ fn segment_intersection_is_symmetric() {
 fn shared_endpoint_always_intersects() {
     let mut rng = StdRng::seed_from_u64(0x6E03);
     for _ in 0..CASES {
-        let (a, b, c) = (rand_point(&mut rng), rand_point(&mut rng), rand_point(&mut rng));
+        let (a, b, c) = (
+            rand_point(&mut rng),
+            rand_point(&mut rng),
+            rand_point(&mut rng),
+        );
         if a == b || a == c {
             continue;
         }
@@ -100,7 +108,11 @@ fn dist2_is_a_lower_bound_on_sampled_points() {
 fn dist2_ordering_matches_f64_when_far_apart() {
     let mut rng = StdRng::seed_from_u64(0x6E05);
     for _ in 0..CASES {
-        let (s, t, p) = (rand_segment(&mut rng), rand_segment(&mut rng), rand_point(&mut rng));
+        let (s, t, p) = (
+            rand_segment(&mut rng),
+            rand_segment(&mut rng),
+            rand_point(&mut rng),
+        );
         let (ds, dt) = (s.dist2_point(p), t.dist2_point(p));
         let (fs, ft) = (ds.to_f64(), dt.to_f64());
         if (fs - ft).abs() > 1e-3 * (fs + ft + 1.0) {

@@ -15,7 +15,9 @@
 //! through [`lsdb_pager::BufferPool::read_page`] and all counting is
 //! charged to the caller's [`QueryCtx`].
 
-use lsdb_core::{IndexConfig, LocId, PolygonalMap, QueryCtx, QueryStats, SegId, SegmentTable, SpatialIndex};
+use lsdb_core::{
+    IndexConfig, LocId, PolygonalMap, QueryCtx, QueryStats, SegId, SegmentTable, SpatialIndex,
+};
 use lsdb_geom::{Dist2, Point, Rect, Segment, WORLD_SIZE};
 use lsdb_pager::{MemPool, PageId, PoolCtx};
 
@@ -136,7 +138,9 @@ impl UniformGrid {
                 let count = u16::from_le_bytes([buf[0], buf[1]]) as usize;
                 for i in 0..count {
                     let at = HDR + i * 4;
-                    out.push(SegId(u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())));
+                    out.push(SegId(u32::from_le_bytes(
+                        buf[at..at + 4].try_into().unwrap(),
+                    )));
                 }
                 let next = u32::from_le_bytes(buf[4..8].try_into().unwrap());
                 (next != u32::MAX).then_some(PageId(next))
@@ -157,7 +161,9 @@ impl UniformGrid {
                 let count = u16::from_le_bytes([buf[0], buf[1]]) as usize;
                 for i in 0..count {
                     let at = HDR + i * 4;
-                    out.push(SegId(u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())));
+                    out.push(SegId(u32::from_le_bytes(
+                        buf[at..at + 4].try_into().unwrap(),
+                    )));
                 }
                 let next = u32::from_le_bytes(buf[4..8].try_into().unwrap());
                 (next != u32::MAX).then_some(PageId(next))
@@ -400,7 +406,10 @@ mod tests {
     use lsdb_core::brute;
 
     fn cfg() -> IndexConfig {
-        IndexConfig { page_size: 128, pool_pages: 8 }
+        IndexConfig {
+            page_size: 128,
+            pool_pages: 8,
+        }
     }
 
     fn cross_map() -> PolygonalMap {
@@ -414,7 +423,10 @@ mod tests {
                 Segment::new(Point::new(3 * q, q), Point::new(3 * q, 3 * q)),
                 Segment::new(Point::new(0, 2 * q), Point::new(WORLD_SIZE - 1, 2 * q)),
                 Segment::new(Point::new(2 * q, 0), Point::new(2 * q, WORLD_SIZE - 1)),
-                Segment::new(Point::new(5, WORLD_SIZE - 5), Point::new(500, WORLD_SIZE - 500)),
+                Segment::new(
+                    Point::new(5, WORLD_SIZE - 5),
+                    Point::new(500, WORLD_SIZE - 500),
+                ),
             ],
         )
     }
@@ -535,7 +547,10 @@ mod tests {
             "long",
             (0..60)
                 .map(|i| {
-                    Segment::new(Point::new(0, i * 7 + 1), Point::new(WORLD_SIZE - 1, i * 7 + 1))
+                    Segment::new(
+                        Point::new(0, i * 7 + 1),
+                        Point::new(WORLD_SIZE - 1, i * 7 + 1),
+                    )
                 })
                 .collect(),
         );

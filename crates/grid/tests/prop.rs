@@ -37,7 +37,10 @@ fn queries_match_oracle() {
     for _ in 0..32 {
         let map = rand_map(&mut rng, 80);
         let g = rand_g(&mut rng);
-        let cfg = IndexConfig { page_size: 256, pool_pages: 8 };
+        let cfg = IndexConfig {
+            page_size: 256,
+            pool_pages: 8,
+        };
         let t = UniformGrid::build(&map, cfg, g);
         let mut ctx = QueryCtx::new();
         for _ in 0..rng.gen_range(1..8) {
@@ -63,7 +66,10 @@ fn deletes_then_queries() {
     for _ in 0..32 {
         let map = rand_map(&mut rng, 60);
         let g = rand_g(&mut rng);
-        let cfg = IndexConfig { page_size: 128, pool_pages: 8 };
+        let cfg = IndexConfig {
+            page_size: 128,
+            pool_pages: 8,
+        };
         let mut t = UniformGrid::build(&map, cfg, g);
         let mut kept = Vec::new();
         for i in 0..map.len() {

@@ -1,8 +1,16 @@
 use crate::{MemStorage, PageId, Storage};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
+
+/// The infallible convenience API panics on storage I/O errors (impossible
+/// for [`MemStorage`]); callers with fallible backings use the `try_*`
+/// methods instead.
+fn io_abort(e: io::Error) -> ! {
+    panic!("lsdb-pager: storage I/O failed (use the try_* API to handle this): {e}")
+}
 
 /// Process-unique pool identities, used to invalidate a [`PoolCtx`]'s pins
 /// when it is reused against a different pool.
@@ -114,9 +122,9 @@ impl Shard {
 
     /// Choose a frame to (re)use: an empty one if available, else the LRU
     /// victim (written back if dirty).
-    fn victim_frame<S: Storage>(&mut self, storage: &S) -> usize {
+    fn victim_frame<S: Storage>(&mut self, storage: &S) -> io::Result<usize> {
         if let Some(i) = self.frames.iter().position(|f| f.pid.is_none()) {
-            return i;
+            return Ok(i);
         }
         let victim = self
             .frames
@@ -127,13 +135,13 @@ impl Shard {
             .expect("shard capacity >= 1");
         if self.frames[victim].dirty {
             let pid = self.frames[victim].pid.expect("occupied frame");
-            storage.write_page(pid, &self.frames[victim].data);
+            storage.write_page(pid, &self.frames[victim].data)?;
             self.stats.writes += 1;
         }
         if let Some(pid) = self.frames[victim].pid {
             self.resident.remove(&pid);
         }
-        victim
+        Ok(victim)
     }
 
     fn install(&mut self, frame: usize, pid: PageId, dirty: bool) {
@@ -145,16 +153,16 @@ impl Shard {
 
     /// Bring `pid` into this shard (LRU-charging a read on a miss) and
     /// return its frame index.
-    fn fetch<S: Storage>(&mut self, storage: &S, pid: PageId) -> usize {
+    fn fetch<S: Storage>(&mut self, storage: &S, pid: PageId) -> io::Result<usize> {
         if let Some(&frame) = self.resident.get(&pid) {
             self.touch(frame);
-            return frame;
+            return Ok(frame);
         }
-        let frame = self.victim_frame(storage);
+        let frame = self.victim_frame(storage)?;
         self.install(frame, pid, false);
         self.stats.reads += 1;
-        storage.read_page(pid, &mut self.frames[frame].data);
-        frame
+        storage.read_page(pid, &mut self.frames[frame].data)?;
+        Ok(frame)
     }
 }
 
@@ -284,17 +292,23 @@ impl<S: Storage> BufferPool<S> {
     /// zeroed, resident, and dirty; no read is charged because its contents
     /// need not come from disk.
     pub fn allocate(&mut self) -> PageId {
+        self.try_allocate().unwrap_or_else(|e| io_abort(e))
+    }
+
+    /// Fallible [`BufferPool::allocate`]: growing the backing file or
+    /// writing back the evicted frame can fail.
+    pub fn try_allocate(&mut self) -> io::Result<PageId> {
         let pid = match self.free_pages.pop() {
             Some(pid) => pid,
-            None => self.storage.grow(),
+            None => self.storage.grow()?,
         };
         let idx = self.shard_of(pid);
         let storage = &self.storage;
         let shard = self.shards[idx].get_mut().unwrap();
-        let frame = shard.victim_frame(storage);
+        let frame = shard.victim_frame(storage)?;
         shard.install(frame, pid, true);
         shard.frames[frame].data.fill(0);
-        pid
+        Ok(pid)
     }
 
     /// Release a page. It is dropped from the pool without write-back and
@@ -313,21 +327,37 @@ impl<S: Storage> BufferPool<S> {
     /// Run `f` over the page contents (read-only; build path — misses are
     /// charged to the pool's own counters and update LRU state).
     pub fn with_page<T>(&mut self, pid: PageId, f: impl FnOnce(&[u8]) -> T) -> T {
+        self.try_with_page(pid, f).unwrap_or_else(|e| io_abort(e))
+    }
+
+    /// Fallible [`BufferPool::with_page`]: faulting the page in from a
+    /// corrupt backing file surfaces the [`io::Error`].
+    pub fn try_with_page<T>(&mut self, pid: PageId, f: impl FnOnce(&[u8]) -> T) -> io::Result<T> {
         let idx = self.shard_of(pid);
         let storage = &self.storage;
         let shard = self.shards[idx].get_mut().unwrap();
-        let frame = shard.fetch(storage, pid);
-        f(&shard.frames[frame].data)
+        let frame = shard.fetch(storage, pid)?;
+        Ok(f(&shard.frames[frame].data))
     }
 
     /// Run `f` over the page contents mutably; the page is marked dirty.
     pub fn with_page_mut<T>(&mut self, pid: PageId, f: impl FnOnce(&mut [u8]) -> T) -> T {
+        self.try_with_page_mut(pid, f)
+            .unwrap_or_else(|e| io_abort(e))
+    }
+
+    /// Fallible [`BufferPool::with_page_mut`].
+    pub fn try_with_page_mut<T>(
+        &mut self,
+        pid: PageId,
+        f: impl FnOnce(&mut [u8]) -> T,
+    ) -> io::Result<T> {
         let idx = self.shard_of(pid);
         let storage = &self.storage;
         let shard = self.shards[idx].get_mut().unwrap();
-        let frame = shard.fetch(storage, pid);
+        let frame = shard.fetch(storage, pid)?;
         shard.frames[frame].dirty = true;
-        f(&mut shard.frames[frame].data)
+        Ok(f(&mut shard.frames[frame].data))
     }
 
     /// Mutate two pages simultaneously (used by node splits that stream
@@ -338,6 +368,17 @@ impl<S: Storage> BufferPool<S> {
         b: PageId,
         f: impl FnOnce(&mut [u8], &mut [u8]) -> T,
     ) -> T {
+        self.try_with_two_pages_mut(a, b, f)
+            .unwrap_or_else(|e| io_abort(e))
+    }
+
+    /// Fallible [`BufferPool::with_two_pages_mut`].
+    pub fn try_with_two_pages_mut<T>(
+        &mut self,
+        a: PageId,
+        b: PageId,
+        f: impl FnOnce(&mut [u8], &mut [u8]) -> T,
+    ) -> io::Result<T> {
         assert_ne!(a, b);
         let (ia, ib) = (self.shard_of(a), self.shard_of(b));
         let storage = &self.storage;
@@ -347,11 +388,11 @@ impl<S: Storage> BufferPool<S> {
                 shard.frames.len() >= 2,
                 "two-page access needs >= 2 frames per shard"
             );
-            let fa = shard.fetch(storage, a);
+            let fa = shard.fetch(storage, a)?;
             // Pin `a` by bumping its tick before fetching `b`, so `b`'s
             // fetch cannot evict it.
             shard.touch(fa);
-            let fb = shard.fetch(storage, b);
+            let fb = shard.fetch(storage, b)?;
             assert_ne!(fa, fb);
             shard.frames[fa].dirty = true;
             shard.frames[fb].dirty = true;
@@ -363,7 +404,7 @@ impl<S: Storage> BufferPool<S> {
                 let (left, right) = shard.frames.split_at_mut(fa);
                 (&mut right[0], &mut left[fb])
             };
-            f(&mut la.data, &mut lb.data)
+            Ok(f(&mut la.data, &mut lb.data))
         } else {
             // Distinct shards: split-borrow the stripe vector.
             let (first, second) = if ia < ib {
@@ -374,11 +415,11 @@ impl<S: Storage> BufferPool<S> {
                 (&mut r[0], &mut l[ib])
             };
             let (sa, sb) = (first.get_mut().unwrap(), second.get_mut().unwrap());
-            let fa = sa.fetch(storage, a);
-            let fb = sb.fetch(storage, b);
+            let fa = sa.fetch(storage, a)?;
+            let fb = sb.fetch(storage, b)?;
             sa.frames[fa].dirty = true;
             sb.frames[fb].dirty = true;
-            f(&mut sa.frames[fa].data, &mut sb.frames[fb].data)
+            Ok(f(&mut sa.frames[fa].data, &mut sb.frames[fb].data))
         }
     }
 
@@ -392,6 +433,19 @@ impl<S: Storage> BufferPool<S> {
     /// and counters are untouched — so any number of contexts can run
     /// concurrently over `&self`.
     pub fn read_page<T>(&self, pid: PageId, ctx: &mut PoolCtx, f: impl FnOnce(&[u8]) -> T) -> T {
+        self.try_read_page(pid, ctx, f)
+            .unwrap_or_else(|e| io_abort(e))
+    }
+
+    /// Fallible [`BufferPool::read_page`]: a failed fetch from a corrupt
+    /// backing file propagates instead of aborting. The read is charged to
+    /// `ctx` only when the page bytes actually arrive.
+    pub fn try_read_page<T>(
+        &self,
+        pid: PageId,
+        ctx: &mut PoolCtx,
+        f: impl FnOnce(&[u8]) -> T,
+    ) -> io::Result<T> {
         if ctx.owner != Some(self.id) {
             // The context last pinned pages of a different pool; its pins
             // are meaningless here (page ids are per-pool). Counters are
@@ -400,7 +454,7 @@ impl<S: Storage> BufferPool<S> {
             ctx.owner = Some(self.id);
         }
         match ctx.pinned.entry(pid) {
-            Entry::Occupied(e) => f(e.into_mut()),
+            Entry::Occupied(e) => Ok(f(e.into_mut())),
             Entry::Vacant(slot) => {
                 let mut data = vec![0u8; self.storage.page_size()].into_boxed_slice();
                 let shard = self.shards[pid.0 as usize % self.shards.len()]
@@ -412,36 +466,48 @@ impl<S: Storage> BufferPool<S> {
                         drop(shard);
                         // Non-resident pages are never dirty (eviction
                         // writes back), so storage holds current bytes.
+                        self.storage.read_page(pid, &mut data)?;
                         ctx.stats.reads += 1;
-                        self.storage.read_page(pid, &mut data);
                     }
                 }
-                f(slot.insert(data))
+                Ok(f(slot.insert(data)))
             }
         }
     }
 
     /// Write all dirty resident pages back to storage.
     pub fn flush(&mut self) {
+        self.try_flush().unwrap_or_else(|e| io_abort(e))
+    }
+
+    /// Fallible [`BufferPool::flush`]. Stops at the first write error;
+    /// pages already written are marked clean.
+    pub fn try_flush(&mut self) -> io::Result<()> {
         let storage = &self.storage;
         for s in &mut self.shards {
             let shard = s.get_mut().unwrap();
             for frame in &mut shard.frames {
                 if frame.dirty {
                     if let Some(pid) = frame.pid {
-                        storage.write_page(pid, &frame.data);
+                        storage.write_page(pid, &frame.data)?;
                         frame.dirty = false;
                         shard.stats.writes += 1;
                     }
                 }
             }
         }
+        Ok(())
     }
 
     /// Drop every resident page (flushing dirty ones), emptying the pool.
     /// Useful to measure cold-cache query costs.
     pub fn clear(&mut self) {
-        self.flush();
+        self.try_clear().unwrap_or_else(|e| io_abort(e))
+    }
+
+    /// Fallible [`BufferPool::clear`].
+    pub fn try_clear(&mut self) -> io::Result<()> {
+        self.try_flush()?;
         for s in &mut self.shards {
             let shard = s.get_mut().unwrap();
             for f in &mut shard.frames {
@@ -449,6 +515,7 @@ impl<S: Storage> BufferPool<S> {
             }
             shard.resident.clear();
         }
+        Ok(())
     }
 
     /// Consume the pool, flushing, and return the underlying storage.
@@ -484,7 +551,13 @@ mod tests {
         for _ in 0..100 {
             p.with_page(a, |d| assert_eq!(d[0], 9));
         }
-        assert_eq!(p.stats(), DiskStats { reads: 0, writes: 0 });
+        assert_eq!(
+            p.stats(),
+            DiskStats {
+                reads: 0,
+                writes: 0
+            }
+        );
     }
 
     #[test]
@@ -628,9 +701,21 @@ mod tests {
 
     #[test]
     fn stats_subtraction() {
-        let a = DiskStats { reads: 10, writes: 4 };
-        let b = DiskStats { reads: 3, writes: 1 };
-        assert_eq!(a - b, DiskStats { reads: 7, writes: 3 });
+        let a = DiskStats {
+            reads: 10,
+            writes: 4,
+        };
+        let b = DiskStats {
+            reads: 3,
+            writes: 1,
+        };
+        assert_eq!(
+            a - b,
+            DiskStats {
+                reads: 7,
+                writes: 3
+            }
+        );
         assert_eq!((a - b).total(), 10);
     }
 

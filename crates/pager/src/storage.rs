@@ -1,5 +1,6 @@
 use crate::PageId;
 use std::fs::File;
+use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::Path;
 use std::sync::RwLock;
@@ -14,6 +15,10 @@ use std::sync::RwLock;
 /// Only [`Storage::grow`] is exclusive — new pages are minted by the
 /// allocator, which already holds `&mut` access. The `Sync` bound is what
 /// lets `&BufferPool` cross threads.
+///
+/// All transfers are fallible: a corrupt or truncated store file surfaces
+/// as an [`io::Error`] that the pool propagates to its caller (via the
+/// `try_*` API) instead of aborting the process.
 pub trait Storage: Sync {
     /// Fixed page size in bytes.
     fn page_size(&self) -> usize;
@@ -22,17 +27,25 @@ pub trait Storage: Sync {
     fn num_pages(&self) -> u32;
 
     /// Read page `pid` into `buf` (`buf.len() == page_size`).
-    fn read_page(&self, pid: PageId, buf: &mut [u8]);
+    fn read_page(&self, pid: PageId, buf: &mut [u8]) -> io::Result<()>;
 
     /// Write `buf` to page `pid`.
-    fn write_page(&self, pid: PageId, buf: &[u8]);
+    fn write_page(&self, pid: PageId, buf: &[u8]) -> io::Result<()>;
 
     /// Extend the disk by one zeroed page, returning its id.
-    fn grow(&mut self) -> PageId;
+    fn grow(&mut self) -> io::Result<PageId>;
+}
+
+fn out_of_range(op: &str, pid: PageId, num_pages: u32) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidInput,
+        format!("{op} past end of storage: page {} of {num_pages}", pid.0),
+    )
 }
 
 /// An in-memory "disk": a vector of pages. Deterministic and allocation-
-/// cheap; the default backing for experiments.
+/// cheap; the default backing for experiments. Its transfers never fail
+/// (beyond out-of-range page ids).
 pub struct MemStorage {
     page_size: usize,
     pages: RwLock<Vec<Box<[u8]>>>,
@@ -57,25 +70,37 @@ impl Storage for MemStorage {
         self.pages.read().unwrap().len() as u32
     }
 
-    fn read_page(&self, pid: PageId, buf: &mut [u8]) {
-        buf.copy_from_slice(&self.pages.read().unwrap()[pid.index()]);
+    fn read_page(&self, pid: PageId, buf: &mut [u8]) -> io::Result<()> {
+        let pages = self.pages.read().unwrap();
+        let page = pages
+            .get(pid.index())
+            .ok_or_else(|| out_of_range("read", pid, pages.len() as u32))?;
+        buf.copy_from_slice(page);
+        Ok(())
     }
 
-    fn write_page(&self, pid: PageId, buf: &[u8]) {
-        self.pages.write().unwrap()[pid.index()].copy_from_slice(buf);
+    fn write_page(&self, pid: PageId, buf: &[u8]) -> io::Result<()> {
+        let mut pages = self.pages.write().unwrap();
+        let n = pages.len() as u32;
+        let page = pages
+            .get_mut(pid.index())
+            .ok_or_else(|| out_of_range("write", pid, n))?;
+        page.copy_from_slice(buf);
+        Ok(())
     }
 
-    fn grow(&mut self) -> PageId {
+    fn grow(&mut self) -> io::Result<PageId> {
         let pages = self.pages.get_mut().unwrap();
         let pid = PageId(pages.len() as u32);
         pages.push(vec![0u8; self.page_size].into_boxed_slice());
-        pid
+        Ok(pid)
     }
 }
 
 /// A file-backed disk. Page `i` lives at byte offset `i * page_size`.
 /// Reads and writes use positioned I/O (`pread`/`pwrite`), so concurrent
 /// readers never fight over a shared file cursor.
+#[derive(Debug)]
 pub struct FileStorage {
     file: File,
     page_size: usize,
@@ -84,7 +109,7 @@ pub struct FileStorage {
 
 impl FileStorage {
     /// Create (truncating) a storage file at `path`.
-    pub fn create(path: &Path, page_size: usize) -> std::io::Result<Self> {
+    pub fn create(path: &Path, page_size: usize) -> io::Result<Self> {
         assert!(page_size >= 64);
         let file = File::options()
             .read(true)
@@ -99,16 +124,23 @@ impl FileStorage {
         })
     }
 
-    /// Open an existing storage file; its length must be a whole number of
-    /// pages.
-    pub fn open(path: &Path, page_size: usize) -> std::io::Result<Self> {
+    /// Open an existing storage file. A file whose length is not a whole
+    /// number of pages is truncated or corrupt and reports
+    /// [`io::ErrorKind::InvalidData`] rather than opening a store that
+    /// would fail later.
+    pub fn open(path: &Path, page_size: usize) -> io::Result<Self> {
         let file = File::options().read(true).write(true).open(path)?;
         let len = file.metadata()?.len();
-        assert_eq!(
-            len % page_size as u64,
-            0,
-            "file length {len} is not a multiple of the page size {page_size}"
-        );
+        if len % page_size as u64 != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "store file {} is truncated or corrupt: length {len} is not a \
+                     multiple of the page size {page_size}",
+                    path.display()
+                ),
+            ));
+        }
         Ok(FileStorage {
             file,
             page_size,
@@ -130,27 +162,26 @@ impl Storage for FileStorage {
         self.num_pages
     }
 
-    fn read_page(&self, pid: PageId, buf: &mut [u8]) {
-        assert!(pid.0 < self.num_pages, "read past end of file");
-        self.file
-            .read_exact_at(buf, self.offset(pid))
-            .expect("read page");
+    fn read_page(&self, pid: PageId, buf: &mut [u8]) -> io::Result<()> {
+        if pid.0 >= self.num_pages {
+            return Err(out_of_range("read", pid, self.num_pages));
+        }
+        self.file.read_exact_at(buf, self.offset(pid))
     }
 
-    fn write_page(&self, pid: PageId, buf: &[u8]) {
-        assert!(pid.0 < self.num_pages, "write past end of file");
-        self.file
-            .write_all_at(buf, self.offset(pid))
-            .expect("write page");
+    fn write_page(&self, pid: PageId, buf: &[u8]) -> io::Result<()> {
+        if pid.0 >= self.num_pages {
+            return Err(out_of_range("write", pid, self.num_pages));
+        }
+        self.file.write_all_at(buf, self.offset(pid))
     }
 
-    fn grow(&mut self) -> PageId {
+    fn grow(&mut self) -> io::Result<PageId> {
         let pid = PageId(self.num_pages);
-        self.num_pages += 1;
         self.file
-            .set_len(self.num_pages as u64 * self.page_size as u64)
-            .expect("grow file");
-        pid
+            .set_len((self.num_pages as u64 + 1) * self.page_size as u64)?;
+        self.num_pages += 1;
+        Ok(pid)
     }
 }
 
@@ -161,33 +192,41 @@ mod tests {
     #[test]
     fn mem_storage_roundtrip() {
         let mut s = MemStorage::new(128);
-        let p0 = s.grow();
-        let p1 = s.grow();
+        let p0 = s.grow().unwrap();
+        let p1 = s.grow().unwrap();
         assert_eq!(s.num_pages(), 2);
         let mut buf = vec![7u8; 128];
-        s.write_page(p1, &buf);
+        s.write_page(p1, &buf).unwrap();
         buf.fill(0);
-        s.read_page(p1, &mut buf);
+        s.read_page(p1, &mut buf).unwrap();
         assert!(buf.iter().all(|&b| b == 7));
-        s.read_page(p0, &mut buf);
+        s.read_page(p0, &mut buf).unwrap();
         assert!(buf.iter().all(|&b| b == 0), "fresh pages are zeroed");
     }
 
     #[test]
     fn mem_storage_shared_reads() {
         let mut s = MemStorage::new(128);
-        let p0 = s.grow();
-        s.write_page(p0, &[9u8; 128]);
+        let p0 = s.grow().unwrap();
+        s.write_page(p0, &[9u8; 128]).unwrap();
         let s = &s;
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 scope.spawn(move || {
                     let mut buf = vec![0u8; 128];
-                    s.read_page(p0, &mut buf);
+                    s.read_page(p0, &mut buf).unwrap();
                     assert!(buf.iter().all(|&b| b == 9));
                 });
             }
         });
+    }
+
+    #[test]
+    fn mem_storage_out_of_range_is_an_error() {
+        let s = MemStorage::new(128);
+        let mut buf = vec![0u8; 128];
+        let e = s.read_page(PageId(0), &mut buf).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidInput);
     }
 
     #[test]
@@ -197,28 +236,49 @@ mod tests {
         let path = dir.join("store.bin");
         {
             let mut s = FileStorage::create(&path, 256).unwrap();
-            let p0 = s.grow();
-            let _p1 = s.grow();
-            s.write_page(p0, &vec![42u8; 256]);
+            let p0 = s.grow().unwrap();
+            let _p1 = s.grow().unwrap();
+            s.write_page(p0, &vec![42u8; 256]).unwrap();
         }
         {
             let s = FileStorage::open(&path, 256).unwrap();
             assert_eq!(s.num_pages(), 2);
             let mut buf = vec![0u8; 256];
-            s.read_page(PageId(0), &mut buf);
+            s.read_page(PageId(0), &mut buf).unwrap();
             assert!(buf.iter().all(|&b| b == 42));
         }
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
-    #[should_panic]
-    fn file_storage_read_past_end_panics() {
+    fn file_storage_read_past_end_is_an_error() {
         let dir = std::env::temp_dir().join(format!("lsdb-pager-test2-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("store.bin");
         let s = FileStorage::create(&path, 256).unwrap();
         let mut buf = vec![0u8; 256];
-        s.read_page(PageId(0), &mut buf);
+        let e = s.read_page(PageId(0), &mut buf).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidInput);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_store_file_reports_invalid_data() {
+        let dir = std::env::temp_dir().join(format!("lsdb-pager-test3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.bin");
+        {
+            let mut s = FileStorage::create(&path, 256).unwrap();
+            let p = s.grow().unwrap();
+            s.write_page(p, &[1u8; 256]).unwrap();
+        }
+        // Chop the file mid-page: open() must refuse with a usable error.
+        let f = File::options().write(true).open(&path).unwrap();
+        f.set_len(100).unwrap();
+        drop(f);
+        let e = FileStorage::open(&path, 256).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("not a multiple"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -92,7 +92,10 @@ impl PmrQuadtree {
     pub fn new(table: SegmentTable, cfg: PmrConfig) -> Self {
         assert!(cfg.threshold >= 1);
         assert!(cfg.max_depth <= MAX_DEPTH);
-        let mut btree = BTree::new(MemPool::in_memory(cfg.index.page_size, cfg.index.pool_pages));
+        let mut btree = BTree::new(MemPool::in_memory(
+            cfg.index.page_size,
+            cfg.index.pool_pages,
+        ));
         btree.insert(key(Block::ROOT, EMPTY));
         PmrQuadtree {
             btree,
@@ -171,7 +174,9 @@ impl PmrQuadtree {
     /// least one tuple (a sentinel when empty), so this is one B-tree
     /// probe.
     fn is_leaf(&mut self, b: Block) -> bool {
-        self.btree.first_in_range(key(b, 0), key(b, u32::MAX)).is_some()
+        self.btree
+            .first_in_range(key(b, 0), key(b, u32::MAX))
+            .is_some()
     }
 
     // ------------------------------------------------------------------
@@ -204,7 +209,10 @@ impl PmrQuadtree {
             .last_in_range_ctx(0, probe, &mut ctx.index)
             .expect("decomposition covers the world");
         let b = block_of_key(k);
-        debug_assert!(b.rect().contains_point(p), "predecessor block must contain p");
+        debug_assert!(
+            b.rect().contains_point(p),
+            "predecessor block must contain p"
+        );
         b
     }
 
@@ -261,7 +269,10 @@ impl PmrQuadtree {
     fn leaves_touching_segment(&mut self, seg: &Segment) -> Vec<(Block, Vec<SegId>)> {
         let (leaf, segs, others) = self.seed_blocks(seg.a);
         let mut out = Vec::new();
-        debug_assert!(leaf.region_touches_segment(seg), "seed leaf holds an endpoint");
+        debug_assert!(
+            leaf.region_touches_segment(seg),
+            "seed leaf holds an endpoint"
+        );
         self.bucket_comps += 1;
         out.push((leaf, segs));
         let mut stack: Vec<Block> = others;
@@ -291,7 +302,10 @@ impl PmrQuadtree {
             .last_in_range(0, probe)
             .expect("decomposition covers the world");
         let b = block_of_key(k);
-        debug_assert!(b.rect().contains_point(p), "predecessor block must contain p");
+        debug_assert!(
+            b.rect().contains_point(p),
+            "predecessor block must contain p"
+        );
         b
     }
 
@@ -416,7 +430,8 @@ impl PmrQuadtree {
         for (b, payloads) in &blocks {
             let cells = 1u64 << (2 * (MAX_DEPTH - b.depth) as u32);
             assert_eq!(
-                b.code() as u64, cursor,
+                b.code() as u64,
+                cursor,
                 "gap or overlap in the Z-order decomposition at {b:?}"
             );
             cursor += cells;
@@ -437,7 +452,11 @@ impl PmrQuadtree {
                 }
             }
         }
-        assert_eq!(cursor, 1u64 << (2 * MAX_DEPTH as u32), "leaves must cover the world");
+        assert_eq!(
+            cursor,
+            1u64 << (2 * MAX_DEPTH as u32),
+            "leaves must cover the world"
+        );
         // Completeness: every segment is in every leaf it touches.
         let mut all: Vec<SegId> = blocks
             .iter()
@@ -724,7 +743,10 @@ mod tests {
         PmrConfig {
             threshold: 2,
             max_depth: 8,
-            index: IndexConfig { page_size: 256, pool_pages: 8 },
+            index: IndexConfig {
+                page_size: 256,
+                pool_pages: 8,
+            },
         }
     }
 
@@ -748,14 +770,22 @@ mod tests {
 
     #[test]
     fn key_packing_roundtrip() {
-        let b = Block { depth: 7, x: 128 * 5, y: 128 * 9 };
+        let b = Block {
+            depth: 7,
+            x: 128 * 5,
+            y: 128 * 9,
+        };
         let k = key(b, 12345);
         assert_eq!(block_of_key(k), b);
         assert_eq!(payload_of_key(k), 12345);
         // Z-order: keys sort by (morton, depth, payload).
         let k2 = key(b, 12346);
         assert!(k2 > k);
-        let sibling = Block { depth: 7, x: 128 * 6, y: 128 * 9 };
+        let sibling = Block {
+            depth: 7,
+            x: 128 * 6,
+            y: 128 * 9,
+        };
         assert!(key(sibling, 0) != k);
     }
 
@@ -838,7 +868,11 @@ mod tests {
         // Stable across repeats; a far-away point lands somewhere else.
         assert_eq!(t.probe_point(p, &mut ctx), loc);
         assert_ne!(t.probe_point(Point::new(1, 1), &mut ctx), loc);
-        assert_eq!(ctx.stats().seg_comps, 0, "a probe fetches no segment records");
+        assert_eq!(
+            ctx.stats().seg_comps,
+            0,
+            "a probe fetches no segment records"
+        );
     }
 
     #[test]
@@ -866,7 +900,12 @@ mod tests {
             Rect::new(0, 0, WORLD_SIZE - 1, WORLD_SIZE - 1),
             Rect::new(s - 10, s - 10, 2 * s + 10, 2 * s + 10),
             Rect::new(s, s, s, s),
-            Rect::new(WORLD_SIZE - 100, WORLD_SIZE - 100, WORLD_SIZE - 1, WORLD_SIZE - 1),
+            Rect::new(
+                WORLD_SIZE - 100,
+                WORLD_SIZE - 100,
+                WORLD_SIZE - 1,
+                WORLD_SIZE - 1,
+            ),
         ];
         for w in windows {
             let got = brute::sorted(t.window(w, &mut ctx));
@@ -899,7 +938,10 @@ mod tests {
                     scope.spawn(move || chunk.iter().map(|&p| run_one(t, p)).collect::<Vec<_>>())
                 })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
         });
         assert_eq!(sequential, parallel);
     }
@@ -961,15 +1003,24 @@ mod tests {
         let map = grid_map(6);
         let small = PmrQuadtree::build(
             &map,
-            PmrConfig { threshold: 2, ..cfg_test() },
+            PmrConfig {
+                threshold: 2,
+                ..cfg_test()
+            },
         )
         .size_bytes();
         let large = PmrQuadtree::build(
             &map,
-            PmrConfig { threshold: 16, ..cfg_test() },
+            PmrConfig {
+                threshold: 16,
+                ..cfg_test()
+            },
         )
         .size_bytes();
-        assert!(large <= small, "threshold 16: {large} vs threshold 2: {small}");
+        assert!(
+            large <= small,
+            "threshold 16: {large} vs threshold 2: {small}"
+        );
     }
 
     #[test]
@@ -1014,7 +1065,10 @@ mod tests {
         let map = grid_map(3);
         let mut t = PmrQuadtree::build(
             &map,
-            PmrConfig { threshold: 1, ..cfg_test() },
+            PmrConfig {
+                threshold: 1,
+                ..cfg_test()
+            },
         );
         t.check_invariants();
         let mut ctx = QueryCtx::new();
@@ -1032,7 +1086,10 @@ mod tests {
         let map = grid_map(3);
         let mut t = PmrQuadtree::build(
             &map,
-            PmrConfig { max_depth: 0, ..cfg_test() },
+            PmrConfig {
+                max_depth: 0,
+                ..cfg_test()
+            },
         );
         assert_eq!(t.leaf_blocks(), vec![Block::ROOT]);
         t.check_invariants();

@@ -32,7 +32,10 @@ fn cfg(threshold: usize) -> PmrConfig {
     PmrConfig {
         threshold,
         max_depth: 10,
-        index: IndexConfig { page_size: 256, pool_pages: 8 },
+        index: IndexConfig {
+            page_size: 256,
+            pool_pages: 8,
+        },
     }
 }
 

@@ -106,14 +106,18 @@ impl ReprGrid {
 
     fn bucket_ids(&mut self, flat: usize) -> Vec<SegId> {
         let mut out = Vec::new();
-        let Some((first, _)) = self.chains[flat] else { return out };
+        let Some((first, _)) = self.chains[flat] else {
+            return out;
+        };
         let mut page = Some(first);
         while let Some(pid) = page {
             page = self.pool.with_page(pid, |buf| {
                 let count = u16::from_le_bytes([buf[0], buf[1]]) as usize;
                 for i in 0..count {
                     let at = HDR + i * 4;
-                    out.push(SegId(u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())));
+                    out.push(SegId(u32::from_le_bytes(
+                        buf[at..at + 4].try_into().unwrap(),
+                    )));
                 }
                 let next = u32::from_le_bytes(buf[4..8].try_into().unwrap());
                 (next != u32::MAX).then_some(PageId(next))
@@ -167,14 +171,18 @@ impl ReprGrid {
     fn bucket_ids_ctx(&self, flat: usize, ctx: &mut QueryCtx) -> Vec<SegId> {
         ctx.bbox_comps += 1;
         let mut out = Vec::new();
-        let Some((first, _)) = self.chains[flat] else { return out };
+        let Some((first, _)) = self.chains[flat] else {
+            return out;
+        };
         let mut page = Some(first);
         while let Some(pid) = page {
             page = self.pool.read_page(pid, &mut ctx.index, |buf| {
                 let count = u16::from_le_bytes([buf[0], buf[1]]) as usize;
                 for i in 0..count {
                     let at = HDR + i * 4;
-                    out.push(SegId(u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())));
+                    out.push(SegId(u32::from_le_bytes(
+                        buf[at..at + 4].try_into().unwrap(),
+                    )));
                 }
                 let next = u32::from_le_bytes(buf[4..8].try_into().unwrap());
                 (next != u32::MAX).then_some(PageId(next))
@@ -215,12 +223,7 @@ impl ReprGrid {
         let (y1l, y1h) = self.axis_range(c[1]);
         let (x2l, x2h) = self.axis_range(c[2]);
         let (y2l, y2h) = self.axis_range(c[3]);
-        let hull = Rect::new(
-            x1l.min(x2l),
-            y1l.min(y2l),
-            x1h.max(x2h),
-            y1h.max(y2h),
-        );
+        let hull = Rect::new(x1l.min(x2l), y1l.min(y2l), x1h.max(x2h), y1h.max(y2h));
         hull.dist2_point(p)
     }
 }
@@ -436,7 +439,10 @@ mod tests {
     use lsdb_core::brute;
 
     fn cfg() -> IndexConfig {
-        IndexConfig { page_size: 256, pool_pages: 16 }
+        IndexConfig {
+            page_size: 256,
+            pool_pages: 16,
+        }
     }
 
     fn cross_map() -> PolygonalMap {
@@ -556,10 +562,7 @@ mod tests {
             // the window — no window test can exclude any of them.
             segs.push(Segment::new(
                 Point::new(300 + (i % 5), 350 + (i % 7)),
-                Point::new(
-                    2048 * (1 + i % 7) + 700,
-                    2048 * (1 + (i / 7) % 7) + 900,
-                ),
+                Point::new(2048 * (1 + i % 7) + 700, 2048 * (1 + (i / 7) % 7) + 900),
             ));
         }
         let map = PolygonalMap::new("mixed", segs);

@@ -32,7 +32,10 @@ fn queries_match_oracle() {
     for _ in 0..24 {
         let map = rand_map(&mut rng, 60);
         let g = [2i32, 4, 8][rng.gen_range(0usize..3)];
-        let cfg = IndexConfig { page_size: 256, pool_pages: 8 };
+        let cfg = IndexConfig {
+            page_size: 256,
+            pool_pages: 8,
+        };
         let t = ReprGrid::build(&map, cfg, g);
         let mut ctx = QueryCtx::new();
         for _ in 0..rng.gen_range(1..6) {
@@ -58,7 +61,10 @@ fn incident_at_real_endpoints() {
     let mut rng = StdRng::seed_from_u64(0x4E94_0002);
     for _ in 0..24 {
         let map = rand_map(&mut rng, 50);
-        let cfg = IndexConfig { page_size: 256, pool_pages: 8 };
+        let cfg = IndexConfig {
+            page_size: 256,
+            pool_pages: 8,
+        };
         let t = ReprGrid::build(&map, cfg, 8);
         let mut ctx = QueryCtx::new();
         for s in map.segments.iter().take(20) {
@@ -77,7 +83,10 @@ fn deletes_then_queries() {
     let mut rng = StdRng::seed_from_u64(0x4E94_0003);
     for _ in 0..24 {
         let map = rand_map(&mut rng, 50);
-        let cfg = IndexConfig { page_size: 128, pool_pages: 8 };
+        let cfg = IndexConfig {
+            page_size: 128,
+            pool_pages: 8,
+        };
         let mut t = ReprGrid::build(&map, cfg, 4);
         let mut kept = Vec::new();
         for i in 0..map.len() {

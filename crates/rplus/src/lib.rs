@@ -120,7 +120,10 @@ impl RPlusTree {
             return;
         }
         let children: Vec<PageId> = self.pool.with_page(pid, |buf| {
-            RectNode::entries(buf).iter().map(|e| PageId(e.child)).collect()
+            RectNode::entries(buf)
+                .iter()
+                .map(|e| PageId(e.child))
+                .collect()
         });
         for ch in children {
             self.leaf_occ_rec(ch, level - 1, out);
@@ -132,7 +135,10 @@ impl RPlusTree {
             return (self.pool.with_page(pid, RectNode::count) as u64, 1);
         }
         let children: Vec<PageId> = self.pool.with_page(pid, |buf| {
-            RectNode::entries(buf).iter().map(|e| PageId(e.child)).collect()
+            RectNode::entries(buf)
+                .iter()
+                .map(|e| PageId(e.child))
+                .collect()
         });
         let mut sum = 0;
         let mut leaves = 0;
@@ -161,9 +167,13 @@ impl RPlusTree {
     ) -> Option<Vec<Entry>> {
         if level == 1 {
             let count = self.pool.with_page(pid, RectNode::count);
-            let entry = Entry { rect: seg.bbox(), child: id.0 };
+            let entry = Entry {
+                rect: seg.bbox(),
+                child: id.0,
+            };
             if count < self.m_max {
-                self.pool.with_page_mut(pid, |buf| RectNode::push(buf, entry));
+                self.pool
+                    .with_page_mut(pid, |buf| RectNode::push(buf, entry));
                 return None;
             }
             // Overflow: partition the M+1 entries into new leaves.
@@ -223,7 +233,10 @@ impl RPlusTree {
                 RectNode::init(buf, leaf);
                 RectNode::write_entries(buf, &entries);
             });
-            out.push(Entry { rect: region, child: pid.0 });
+            out.push(Entry {
+                rect: region,
+                child: pid.0,
+            });
         }
         out
     }
@@ -347,8 +360,14 @@ impl RPlusTree {
             RectNode::write_entries(buf, &right);
         });
         (
-            Entry { rect: lr, child: pid.0 },
-            Entry { rect: rr, child: rpid.0 },
+            Entry {
+                rect: lr,
+                child: pid.0,
+            },
+            Entry {
+                rect: rr,
+                child: rpid.0,
+            },
         )
     }
 
@@ -393,12 +412,22 @@ impl RPlusTree {
             // junctions (where many segments terminate) are expensive and
             // the off-by-one lines right next to them are often far
             // cheaper. Both are offered; min-cut decides.
-            for c in [e.rect.min.x - 1, e.rect.min.x, e.rect.max.x, e.rect.max.x + 1] {
+            for c in [
+                e.rect.min.x - 1,
+                e.rect.min.x,
+                e.rect.max.x,
+                e.rect.max.x + 1,
+            ] {
                 if region.min.x < c && c < region.max.x {
                     consider(Axis::X, c);
                 }
             }
-            for c in [e.rect.min.y - 1, e.rect.min.y, e.rect.max.y, e.rect.max.y + 1] {
+            for c in [
+                e.rect.min.y - 1,
+                e.rect.min.y,
+                e.rect.max.y,
+                e.rect.max.y + 1,
+            ] {
                 if region.min.y < c && c < region.max.y {
                     consider(Axis::Y, c);
                 }
@@ -418,7 +447,14 @@ impl RPlusTree {
     // Queries
     // ------------------------------------------------------------------
 
-    fn incident_rec(&self, pid: PageId, level: u32, p: Point, ctx: &mut QueryCtx, out: &mut Vec<SegId>) {
+    fn incident_rec(
+        &self,
+        pid: PageId,
+        level: u32,
+        p: Point,
+        ctx: &mut QueryCtx,
+        out: &mut Vec<SegId>,
+    ) {
         let entries = self.pool.read_page(pid, &mut ctx.index, RectNode::entries);
         ctx.bbox_comps += entries.len() as u64;
         if level == 1 {
@@ -546,7 +582,10 @@ impl RPlusTree {
         let mut area = 0i128;
         for (i, e) in entries.iter().enumerate() {
             assert!(region.contains_rect(&e.rect), "child region escapes parent");
-            assert!(e.rect.width() > 0 && e.rect.height() > 0, "degenerate region");
+            assert!(
+                e.rect.width() > 0 && e.rect.height() > 0,
+                "degenerate region"
+            );
             area += continuous_area(&e.rect);
             for o in &entries[i + 1..] {
                 if let Some(ix) = e.rect.intersection(&o.rect) {
@@ -560,7 +599,11 @@ impl RPlusTree {
                 }
             }
         }
-        assert_eq!(area, continuous_area(&region), "children must tile the region");
+        assert_eq!(
+            area,
+            continuous_area(&region),
+            "children must tile the region"
+        );
         for e in entries {
             self.collect_leaves(PageId(e.child), level - 1, e.rect, out);
         }
@@ -783,7 +826,10 @@ impl SpatialIndex for RPlusTree {
         heap.push(Reverse(NnEntry {
             dist: Dist2::ZERO,
             seq,
-            item: NnItem::Node { pid: self.root, level: self.height },
+            item: NnItem::Node {
+                pid: self.root,
+                level: self.height,
+            },
         }));
         let mut reported = std::collections::HashSet::new();
         while let Some(Reverse(NnEntry { item, .. })) = heap.pop() {
@@ -821,7 +867,10 @@ impl SpatialIndex for RPlusTree {
                             heap.push(Reverse(NnEntry {
                                 dist: d,
                                 seq,
-                                item: NnItem::Node { pid: PageId(e.child), level: level - 1 },
+                                item: NnItem::Node {
+                                    pid: PageId(e.child),
+                                    level: level - 1,
+                                },
                             }));
                         }
                     }
@@ -871,7 +920,10 @@ mod tests {
     use lsdb_core::brute;
 
     fn cfg_small() -> IndexConfig {
-        IndexConfig { page_size: 224, pool_pages: 8 }
+        IndexConfig {
+            page_size: 224,
+            pool_pages: 8,
+        }
     }
 
     fn grid_map(n: i32) -> PolygonalMap {
@@ -1048,7 +1100,10 @@ mod tests {
                     scope.spawn(move || chunk.iter().map(|&p| run_one(t, p)).collect::<Vec<_>>())
                 })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
         });
         assert_eq!(sequential, parallel);
     }

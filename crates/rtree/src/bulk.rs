@@ -11,9 +11,9 @@
 
 use crate::RTree;
 use lsdb_core::rectnode::{entries_mbr, Entry, RectNode};
-use lsdb_core::{IndexConfig, PolygonalMap, SegmentTable};
 #[cfg(test)]
 use lsdb_core::SegId;
+use lsdb_core::{IndexConfig, PolygonalMap, SegmentTable};
 use lsdb_pager::PageId;
 
 impl RTree {
@@ -39,7 +39,10 @@ impl RTree {
             .segments
             .iter()
             .enumerate()
-            .map(|(i, s)| Entry { rect: s.bbox(), child: i as u32 })
+            .map(|(i, s)| Entry {
+                rect: s.bbox(),
+                child: i as u32,
+            })
             .collect();
         let mut level = 1u32;
         loop {
@@ -48,7 +51,10 @@ impl RTree {
             let mut parents = Vec::with_capacity(groups.len());
             for group in groups {
                 let pid = tree.write_node(&group, level == 1);
-                parents.push(Entry { rect: entries_mbr(&group), child: pid.0 });
+                parents.push(Entry {
+                    rect: entries_mbr(&group),
+                    child: pid.0,
+                });
             }
             if single {
                 tree.root = PageId(parents[0].child);
@@ -122,7 +128,10 @@ fn rebalance_tail(groups: &mut Vec<Vec<Entry>>, m: usize) {
         let tail = groups.pop().expect("k >= 2");
         let prev = groups.last_mut().expect("k >= 2");
         prev.extend(tail);
-        debug_assert!(prev.len() <= 2 * m, "merged STR group exceeds capacity bound");
+        debug_assert!(
+            prev.len() <= 2 * m,
+            "merged STR group exceeds capacity bound"
+        );
     }
 }
 
@@ -133,7 +142,10 @@ mod tests {
     use lsdb_geom::{Point, Rect, Segment};
 
     fn cfg_small() -> IndexConfig {
-        IndexConfig { page_size: 224, pool_pages: 8 }
+        IndexConfig {
+            page_size: 224,
+            pool_pages: 8,
+        }
     }
 
     fn random_ish_map(n: usize) -> PolygonalMap {
@@ -142,7 +154,10 @@ mod tests {
             .map(|i| {
                 let x = ((i * 7919) % 16000) as i32;
                 let y = ((i * 104729) % 16000) as i32;
-                Segment::new(Point::new(x, y), Point::new(x + 37, y + ((i % 90) as i32) - 45))
+                Segment::new(
+                    Point::new(x, y),
+                    Point::new(x + 37, y + ((i % 90) as i32) - 45),
+                )
             })
             .collect();
         PolygonalMap::new("scatter", segs)

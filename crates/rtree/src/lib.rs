@@ -20,7 +20,9 @@ mod split;
 pub use split::RTreeKind;
 
 use lsdb_core::rectnode::{entries_mbr, Entry, RectNode};
-use lsdb_core::{IndexConfig, LocId, PolygonalMap, QueryCtx, QueryStats, SegId, SegmentTable, SpatialIndex};
+use lsdb_core::{
+    IndexConfig, LocId, PolygonalMap, QueryCtx, QueryStats, SegId, SegmentTable, SpatialIndex,
+};
 use lsdb_geom::{Dist2, Point, Rect};
 use lsdb_pager::{MemPool, PageId};
 use std::cmp::Reverse;
@@ -104,7 +106,10 @@ impl RTree {
             return (c as u64, 1);
         }
         let children: Vec<PageId> = self.pool.with_page(pid, |buf| {
-            RectNode::entries(buf).iter().map(|e| PageId(e.child)).collect()
+            RectNode::entries(buf)
+                .iter()
+                .map(|e| PageId(e.child))
+                .collect()
         });
         let mut sum = 0;
         let mut leaves = 0;
@@ -124,14 +129,22 @@ impl RTree {
         let mut pending: Vec<(Entry, u32)> = Vec::new();
         let root = self.root;
         let height = self.height;
-        if let Some(sibling) = self.insert_rec(root, height, e, level, reinserted_levels, &mut pending) {
+        if let Some(sibling) =
+            self.insert_rec(root, height, e, level, reinserted_levels, &mut pending)
+        {
             // Root split: grow the tree.
             let old_root = self.root;
             let old_mbr = self.pool.with_page(old_root, RectNode::mbr);
             let new_root = self.pool.allocate();
             self.pool.with_page_mut(new_root, |buf| {
                 RectNode::init(buf, false);
-                RectNode::push(buf, Entry { rect: old_mbr, child: old_root.0 });
+                RectNode::push(
+                    buf,
+                    Entry {
+                        rect: old_mbr,
+                        child: old_root.0,
+                    },
+                );
                 RectNode::push(buf, sibling);
             });
             self.root = new_root;
@@ -166,7 +179,14 @@ impl RTree {
         let child = self
             .pool
             .with_page(pid, |buf| PageId(RectNode::entry(buf, idx).child));
-        let result = self.insert_rec(child, node_level - 1, e, target_level, reinserted_levels, pending);
+        let result = self.insert_rec(
+            child,
+            node_level - 1,
+            e,
+            target_level,
+            reinserted_levels,
+            pending,
+        );
         // Refresh the child's MBR from its actual contents: inserts may
         // have grown it and forced reinsertion may have shrunk it.
         let child_mbr = self.pool.with_page(child, RectNode::mbr);
@@ -180,7 +200,8 @@ impl RTree {
             Some(sibling) => {
                 let count = self.pool.with_page(pid, RectNode::count);
                 if count < self.m_max {
-                    self.pool.with_page_mut(pid, |buf| RectNode::push(buf, sibling));
+                    self.pool
+                        .with_page_mut(pid, |buf| RectNode::push(buf, sibling));
                     None
                 } else {
                     self.overflow(pid, node_level, sibling, reinserted_levels, pending)
@@ -220,7 +241,8 @@ impl RTree {
             entries.sort_by_key(|e| Reverse(dist(&e.rect)));
             let p = ((self.m_max as f64 * REINSERT_FRACTION).round() as usize).max(1);
             let keep = entries.split_off(p);
-            self.pool.with_page_mut(pid, |buf| RectNode::write_entries(buf, &keep));
+            self.pool
+                .with_page_mut(pid, |buf| RectNode::write_entries(buf, &keep));
             // `pending` is popped from the back; entries[] is sorted
             // farthest-first, so pushing in order pops nearest-first.
             for e in entries {
@@ -246,7 +268,13 @@ impl RTree {
     }
 
     /// Pick the child of `pid` to descend into for `rect`.
-    fn choose_subtree(&mut self, pid: PageId, node_level: u32, target_level: u32, rect: Rect) -> usize {
+    fn choose_subtree(
+        &mut self,
+        pid: PageId,
+        node_level: u32,
+        target_level: u32,
+        rect: Rect,
+    ) -> usize {
         let entries = self.pool.with_page(pid, RectNode::entries);
         debug_assert!(!entries.is_empty());
         let children_are_targets = node_level == target_level + 1;
@@ -262,7 +290,8 @@ impl RTree {
                 let mut overlap_growth = 0;
                 for (j, o) in entries.iter().enumerate() {
                     if i != j {
-                        overlap_growth += grown.overlap_area(&o.rect) - e.rect.overlap_area(&o.rect);
+                        overlap_growth +=
+                            grown.overlap_area(&o.rect) - e.rect.overlap_area(&o.rect);
                     }
                 }
                 let key = (overlap_growth, e.rect.enlargement(&rect), e.rect.area());
@@ -329,7 +358,8 @@ impl RTree {
                     orphans.push((e, level - 1));
                 }
                 self.pool.free(child);
-                self.pool.with_page_mut(pid, |buf| RectNode::remove_at(buf, idx));
+                self.pool
+                    .with_page_mut(pid, |buf| RectNode::remove_at(buf, idx));
             } else {
                 let child_mbr = self.pool.with_page(child, RectNode::mbr);
                 self.pool.with_page_mut(pid, |buf| {
@@ -347,7 +377,14 @@ impl RTree {
     // Queries
     // ------------------------------------------------------------------
 
-    fn incident_rec(&self, pid: PageId, level: u32, p: Point, ctx: &mut QueryCtx, out: &mut Vec<SegId>) {
+    fn incident_rec(
+        &self,
+        pid: PageId,
+        level: u32,
+        p: Point,
+        ctx: &mut QueryCtx,
+        out: &mut Vec<SegId>,
+    ) {
         let entries = self.pool.read_page(pid, &mut ctx.index, RectNode::entries);
         ctx.bbox_comps += entries.len() as u64;
         if level == 1 {
@@ -387,7 +424,14 @@ impl RTree {
         }
     }
 
-    fn window_rec(&self, pid: PageId, level: u32, w: Rect, ctx: &mut QueryCtx, f: &mut dyn FnMut(SegId)) {
+    fn window_rec(
+        &self,
+        pid: PageId,
+        level: u32,
+        w: Rect,
+        ctx: &mut QueryCtx,
+        f: &mut dyn FnMut(SegId),
+    ) {
         let entries = self.pool.read_page(pid, &mut ctx.index, RectNode::entries);
         ctx.bbox_comps += entries.len() as u64;
         if level == 1 {
@@ -415,8 +459,7 @@ impl RTree {
         let mut segs = Vec::new();
         let root = self.root;
         let height = self.height;
-        let leaf_empty_root = height == 1
-            && self.pool.with_page(root, RectNode::count) == 0;
+        let leaf_empty_root = height == 1 && self.pool.with_page(root, RectNode::count) == 0;
         if !leaf_empty_root {
             self.check_rec(root, height, true, &mut segs);
         }
@@ -434,7 +477,11 @@ impl RTree {
             .with_page(pid, |buf| (RectNode::is_leaf(buf), RectNode::entries(buf)));
         assert_eq!(is_leaf, level == 1, "leaf flag inconsistent with depth");
         if !is_root {
-            assert!(entries.len() >= self.m_min, "node under-full: {}", entries.len());
+            assert!(
+                entries.len() >= self.m_min,
+                "node under-full: {}",
+                entries.len()
+            );
         } else if level > 1 {
             assert!(entries.len() >= 2, "internal root must have >= 2 entries");
         }
@@ -443,7 +490,11 @@ impl RTree {
             for e in &entries {
                 let id = SegId(e.child);
                 let seg = self.table.fetch(id);
-                assert_eq!(e.rect, seg.bbox(), "leaf entry rect must be the segment MBR");
+                assert_eq!(
+                    e.rect,
+                    seg.bbox(),
+                    "leaf entry rect must be the segment MBR"
+                );
                 segs.push(id);
             }
         } else {
@@ -565,7 +616,10 @@ impl SpatialIndex for RTree {
         heap.push(Reverse(NnEntry {
             dist: Dist2::ZERO,
             seq,
-            item: NnItem::Node { pid: self.root, level: self.height },
+            item: NnItem::Node {
+                pid: self.root,
+                level: self.height,
+            },
         }));
         let mut reported = std::collections::HashSet::new();
         while let Some(Reverse(NnEntry { item, .. })) = heap.pop() {
@@ -603,7 +657,10 @@ impl SpatialIndex for RTree {
                             heap.push(Reverse(NnEntry {
                                 dist: d,
                                 seq,
-                                item: NnItem::Node { pid: PageId(e.child), level: level - 1 },
+                                item: NnItem::Node {
+                                    pid: PageId(e.child),
+                                    level: level - 1,
+                                },
                             }));
                         }
                     }
@@ -653,7 +710,10 @@ mod tests {
 
     fn cfg_small() -> IndexConfig {
         // 224-byte pages -> M = 10, m = 4: splits and reinserts at small n.
-        IndexConfig { page_size: 224, pool_pages: 8 }
+        IndexConfig {
+            page_size: 224,
+            pool_pages: 8,
+        }
     }
 
     fn grid_map(n: i32) -> PolygonalMap {
@@ -754,7 +814,11 @@ mod tests {
                 assert_eq!(got, want, "{kind:?} window {w:?}");
                 let mut visited = Vec::new();
                 t.window_visit(w, &mut ctx, &mut |id| visited.push(id));
-                assert_eq!(lsdb_core::brute::sorted(visited), want, "{kind:?} visit {w:?}");
+                assert_eq!(
+                    lsdb_core::brute::sorted(visited),
+                    want,
+                    "{kind:?} visit {w:?}"
+                );
             }
         }
     }
@@ -843,12 +907,23 @@ mod tests {
         assert!(s.disk.reads > 0, "cold nearest must read index pages");
         assert!(s.bbox_comps > 0);
         assert!(s.seg_comps > 0);
-        assert_eq!(t.stats(), QueryStats::default(), "queries never touch build counters");
+        assert_eq!(
+            t.stats(),
+            QueryStats::default(),
+            "queries never touch build counters"
+        );
         ctx.reset();
         assert_eq!(ctx.stats(), QueryStats::default());
         // Warm query against a big-enough pool costs no disk: all pages
         // stayed resident from the build.
-        let big = RTree::build(&map, IndexConfig { page_size: 224, pool_pages: 4096 }, RTreeKind::RStar);
+        let big = RTree::build(
+            &map,
+            IndexConfig {
+                page_size: 224,
+                pool_pages: 4096,
+            },
+            RTreeKind::RStar,
+        );
         let mut warm = QueryCtx::new();
         let _ = big.nearest(Point::new(111, 222), &mut warm);
         assert_eq!(warm.stats().disk.reads, 0, "warm pool, free reads");
@@ -886,7 +961,10 @@ mod tests {
                 .iter()
                 .map(|id| map.segments[id.index()].dist2_point(p))
                 .collect();
-            assert!(dists.windows(2).all(|w| w[0] <= w[1]), "{kind:?} not ranked");
+            assert!(
+                dists.windows(2).all(|w| w[0] <= w[1]),
+                "{kind:?} not ranked"
+            );
             // Head agrees with nearest().
             let n1 = t.nearest(p, &mut ctx).unwrap();
             assert_eq!(

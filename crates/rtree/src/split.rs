@@ -8,9 +8,9 @@
 //! Guttman's quadratic and linear splits are provided as baselines for the
 //! ablation benchmarks.
 
-use lsdb_core::rectnode::Entry;
 #[cfg(test)]
 use lsdb_core::rectnode::entries_mbr;
+use lsdb_core::rectnode::Entry;
 use lsdb_geom::Rect;
 
 /// Which R-tree variant's insertion/split algorithms to use.
@@ -302,7 +302,13 @@ mod tests {
         let mut entries = Vec::new();
         for i in 0..4 {
             for j in 0..2 {
-                entries.push(e(i * 10, j * 10, i * 10 + 5, j * 10 + 5, (i * 2 + j) as u32));
+                entries.push(e(
+                    i * 10,
+                    j * 10,
+                    i * 10 + 5,
+                    j * 10 + 5,
+                    (i * 2 + j) as u32,
+                ));
             }
         }
         let (a, b) = check_partition(RTreeKind::RStar, entries, 3);
@@ -323,7 +329,9 @@ mod tests {
     fn minimum_size_split() {
         // Exactly 2m entries: both groups get exactly m.
         for kind in all_kinds() {
-            let entries = (0..6).map(|i| e(i * 3, 0, i * 3 + 2, 2, i as u32)).collect();
+            let entries = (0..6)
+                .map(|i| e(i * 3, 0, i * 3 + 2, 2, i as u32))
+                .collect();
             let (a, b) = check_partition(kind, entries, 3);
             assert_eq!(a.len(), 3);
             assert_eq!(b.len(), 3);

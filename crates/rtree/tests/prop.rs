@@ -34,7 +34,10 @@ fn rand_kind(rng: &mut StdRng) -> RTreeKind {
 
 fn small_cfg() -> IndexConfig {
     // M = 10: deep trees at small n.
-    IndexConfig { page_size: 224, pool_pages: 8 }
+    IndexConfig {
+        page_size: 224,
+        pool_pages: 8,
+    }
 }
 
 #[test]
@@ -150,9 +153,17 @@ fn parallel_batch_matches_sequential() {
     let parallel: Vec<_> = std::thread::scope(|scope| {
         let handles: Vec<_> = probes
             .chunks(16)
-            .map(|chunk| scope.spawn(move || chunk.iter().map(|&p| run_one(t, p)).collect::<Vec<_>>()))
+            .map(|chunk| {
+                scope.spawn(move || chunk.iter().map(|&p| run_one(t, p)).collect::<Vec<_>>())
+            })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
     });
-    assert_eq!(sequential, parallel, "per-query results and counters must not depend on threading");
+    assert_eq!(
+        sequential, parallel,
+        "per-query results and counters must not depend on threading"
+    );
 }

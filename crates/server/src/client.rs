@@ -1,0 +1,176 @@
+//! Blocking client for the `lsdb` wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues requests
+//! synchronously — the closed-loop shape the load generator and the CLI
+//! both want. Server-side error frames surface as
+//! [`std::io::ErrorKind::Other`] errors carrying the structured code and
+//! message.
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, FrameEvent, Reply, Request, MAX_REPLY_FRAME,
+};
+use lsdb_core::{QueryStats, SegId};
+use lsdb_geom::{Point, Rect};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A server-reported error frame, preserved through [`io::Error`].
+#[derive(Clone, Debug)]
+pub struct ServerError {
+    pub code: ErrorCode,
+    pub message: String,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "server error ({:?}): {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// One blocking protocol connection.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect with default timeouts (10 s read and write).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Client::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connect with an explicit read/write timeout.
+    pub fn connect_with_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Issue one request and wait for its reply. Error frames are
+    /// returned as `Err`, so `Ok` replies are always answers.
+    pub fn call(&mut self, req: &Request) -> io::Result<Reply> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = match read_frame(&mut self.stream, MAX_REPLY_FRAME) {
+            Ok(FrameEvent::Frame(p)) => p,
+            Ok(FrameEvent::Eof) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection before replying",
+                ))
+            }
+            Ok(FrameEvent::Idle) => {
+                return Err(io::Error::new(io::ErrorKind::TimedOut, "reply timed out"))
+            }
+            Err(FrameError::Oversized(n)) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("oversized reply frame: {n} bytes"),
+                ))
+            }
+            Err(FrameError::Io(e)) => return Err(e),
+        };
+        match Reply::decode(&payload) {
+            Ok(Reply::Error { code, message }) => {
+                Err(io::Error::other(ServerError { code, message }))
+            }
+            Ok(reply) => Ok(reply),
+            Err(e) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("undecodable reply: {e}"),
+            )),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.call(&Request::Ping)? {
+            Reply::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Query 1.
+    pub fn incident(&mut self, p: Point) -> io::Result<(Vec<SegId>, QueryStats)> {
+        match self.call(&Request::Incident(p))? {
+            Reply::Segs { ids, stats } => Ok((ids, stats)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Query 2.
+    pub fn second_endpoint(
+        &mut self,
+        id: SegId,
+        at: Point,
+    ) -> io::Result<(Vec<SegId>, QueryStats)> {
+        match self.call(&Request::Second { id, at })? {
+            Reply::Segs { ids, stats } => Ok((ids, stats)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Query 3.
+    pub fn nearest(&mut self, p: Point) -> io::Result<(Option<SegId>, QueryStats)> {
+        match self.call(&Request::Nearest(p))? {
+            Reply::Nearest { id, stats } => Ok((id, stats)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ranked query 3.
+    pub fn nearest_k(&mut self, p: Point, k: u32) -> io::Result<(Vec<SegId>, QueryStats)> {
+        match self.call(&Request::Knn { at: p, k })? {
+            Reply::Segs { ids, stats } => Ok((ids, stats)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Query 5.
+    pub fn window(&mut self, w: Rect) -> io::Result<(Vec<SegId>, QueryStats)> {
+        match self.call(&Request::Window(w))? {
+            Reply::Segs { ids, stats } => Ok((ids, stats)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Query 4: boundary edges in traversal order plus the closed flag.
+    #[allow(clippy::type_complexity)]
+    pub fn enclosing_polygon(
+        &mut self,
+        p: Point,
+        max_steps: u32,
+    ) -> io::Result<(Option<(Vec<SegId>, bool)>, QueryStats)> {
+        match self.call(&Request::Polygon { at: p, max_steps })? {
+            Reply::Polygon { walk, stats } => Ok((walk, stats)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Server-wide `(queries served, summed counters)`.
+    pub fn stats(&mut self) -> io::Result<(u64, QueryStats)> {
+        match self.call(&Request::Stats)? {
+            Reply::Stats { queries, totals } => Ok((queries, totals)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask the server to drain and exit. The server acknowledges with
+    /// `BYE` and then closes this connection.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Reply::Bye => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(reply: &Reply) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("reply does not match the request: {reply:?}"),
+    )
+}

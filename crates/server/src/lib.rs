@@ -1,0 +1,32 @@
+//! `lsdb-server` — a concurrent TCP query service over the shared-read
+//! line-segment index engine.
+//!
+//! The paper's evaluation is batch-shaped: build an index, run the query
+//! workloads, read the counters. This crate adds the build-once/serve-many
+//! layer a production deployment needs: the index is built once, stays
+//! resident, and a fixed pool of worker threads answers queries over a
+//! small length-prefixed binary protocol — every request running through
+//! the `&self` query path with its own [`lsdb_core::QueryCtx`], exactly as
+//! the in-process parallel driver does. Remote answers and per-query
+//! counters are therefore byte-identical to in-process execution; the wire
+//! only adds latency, which the bundled closed-loop load generator
+//! measures.
+//!
+//! * [`protocol`] — frame format, request/reply codec (never panics on
+//!   malformed bytes),
+//! * [`server`] — acceptor + worker pool, graceful drain on `SHUTDOWN`,
+//! * [`client`] — blocking one-connection client,
+//! * [`loadgen`] — closed-loop throughput/latency driver.
+
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ServerError};
+pub use loadgen::{run_closed_loop, LoadReport};
+pub use protocol::{
+    ErrorCode, FrameError, FrameEvent, ProtoError, Reply, Request, MAX_REPLY_FRAME,
+    MAX_REQUEST_FRAME,
+};
+pub use server::{Server, ServerConfig, ServerReport, ShutdownHandle};

@@ -1,0 +1,135 @@
+//! Closed-loop load generator for the wire protocol.
+//!
+//! Mirrors the in-process parallel driver: the request stream is split
+//! into contiguous chunks, one connection (and thread) per chunk, each
+//! issuing its requests back-to-back and waiting for every reply. Because
+//! the server charges each query to its own context, the summed counters
+//! are chunk-order independent — identical to running the same stream
+//! in-process.
+
+use crate::client::Client;
+use crate::protocol::{Reply, Request};
+use lsdb_core::QueryStats;
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// What one closed-loop run measured.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Requests issued (every one was answered).
+    pub queries: usize,
+    /// Connections (= client threads) used.
+    pub connections: usize,
+    /// Wall-clock time for the whole run.
+    pub wall: Duration,
+    /// Per-request latencies, sorted ascending (basis of the percentiles).
+    pub latencies: Vec<Duration>,
+    /// Summed per-query counters reported by the server.
+    pub totals: QueryStats,
+    /// Summed result cardinalities (segments / boundary steps).
+    pub result_items: u64,
+}
+
+impl LoadReport {
+    /// Overall request throughput.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.queries as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Latency at quantile `q` in `[0, 1]` (nearest-rank).
+    pub fn latency_at(&self, q: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank =
+            ((q * self.latencies.len() as f64).ceil() as usize).clamp(1, self.latencies.len());
+        self.latencies[rank - 1]
+    }
+
+    pub fn p50(&self) -> Duration {
+        self.latency_at(0.50)
+    }
+
+    pub fn p95(&self) -> Duration {
+        self.latency_at(0.95)
+    }
+
+    pub fn p99(&self) -> Duration {
+        self.latency_at(0.99)
+    }
+
+    pub fn max_latency(&self) -> Duration {
+        self.latencies.last().copied().unwrap_or(Duration::ZERO)
+    }
+}
+
+/// Drive `requests` against the server at `addr` over `connections`
+/// parallel closed-loop connections. Service ops are legal in the stream
+/// but contribute no counters.
+pub fn run_closed_loop(
+    addr: SocketAddr,
+    requests: &[Request],
+    connections: usize,
+) -> io::Result<LoadReport> {
+    let connections = connections.max(1).min(requests.len().max(1));
+    let chunk_len = requests.len().div_ceil(connections);
+    let start = Instant::now();
+    let partials: Vec<io::Result<ChunkResult>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = requests
+            .chunks(chunk_len.max(1))
+            .map(|chunk| scope.spawn(move || run_chunk(addr, chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load generator thread"))
+            .collect()
+    });
+    let wall = start.elapsed();
+
+    let mut report = LoadReport {
+        connections,
+        wall,
+        ..LoadReport::default()
+    };
+    for partial in partials {
+        let p = partial?;
+        report.queries += p.latencies.len();
+        report.latencies.extend(p.latencies);
+        report.totals.add(p.totals);
+        report.result_items += p.result_items;
+    }
+    report.latencies.sort();
+    Ok(report)
+}
+
+struct ChunkResult {
+    latencies: Vec<Duration>,
+    totals: QueryStats,
+    result_items: u64,
+}
+
+fn run_chunk(addr: SocketAddr, chunk: &[Request]) -> io::Result<ChunkResult> {
+    let mut client = Client::connect(addr)?;
+    let mut out = ChunkResult {
+        latencies: Vec::with_capacity(chunk.len()),
+        totals: QueryStats::default(),
+        result_items: 0,
+    };
+    for req in chunk {
+        let t0 = Instant::now();
+        let reply = client.call(req)?;
+        out.latencies.push(t0.elapsed());
+        if let Some(stats) = reply.stats() {
+            out.totals.add(stats);
+        }
+        out.result_items += reply.result_size() as u64;
+        if matches!(reply, Reply::Bye) {
+            break;
+        }
+    }
+    Ok(out)
+}

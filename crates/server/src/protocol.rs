@@ -1,0 +1,795 @@
+//! The `lsdb` wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message — request or reply — is one *frame*:
+//!
+//! ```text
+//! +-------------+---------------------+
+//! | len: u32 LE | payload (len bytes) |
+//! +-------------+---------------------+
+//! ```
+//!
+//! `len` counts only the payload and must be in `1..=max`, where the
+//! maximum is direction-specific ([`MAX_REQUEST_FRAME`] for requests,
+//! [`MAX_REPLY_FRAME`] for replies). The payload starts with a one-byte
+//! opcode; all integers are little-endian, coordinates are `i32` (the
+//! geometry's native type), counters are `u64`.
+//!
+//! Requests cover the paper's query set — incident (query 1), second
+//! endpoint (query 2), nearest (query 3), k-nearest (its ranked extension),
+//! enclosing polygon (query 4), window (query 5) — plus three service ops:
+//! `PING`, `STATS` (the paper's three counters aggregated server-wide) and
+//! `SHUTDOWN`. Every query reply carries a per-query [`QueryStats`] block,
+//! so a remote caller sees exactly the metrics an in-process
+//! [`lsdb_core::QueryCtx`] would have reported.
+//!
+//! Decoding never panics: malformed bytes produce a [`ProtoError`], which
+//! the server answers with a structured [`Reply::Error`] frame instead of
+//! dropping the connection.
+
+use lsdb_core::{DiskStats, QueryStats, SegId};
+use lsdb_geom::{Point, Rect};
+use std::io::{self, Read, Write};
+
+/// Largest request payload the server will read. Requests are tiny (the
+/// biggest is `WINDOW`: opcode + four `i32`s); anything bigger is garbage.
+pub const MAX_REQUEST_FRAME: u32 = 64;
+
+/// Largest reply payload a client will read. Bounds a window query over an
+/// entire county (hundreds of thousands of `u32` segment ids) with room to
+/// spare.
+pub const MAX_REPLY_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Request opcodes (first payload byte).
+mod op {
+    pub const PING: u8 = 0x01;
+    pub const INCIDENT: u8 = 0x02;
+    pub const SECOND: u8 = 0x03;
+    pub const NEAREST: u8 = 0x04;
+    pub const KNN: u8 = 0x05;
+    pub const WINDOW: u8 = 0x06;
+    pub const POLYGON: u8 = 0x07;
+    pub const STATS: u8 = 0x08;
+    pub const SHUTDOWN: u8 = 0x09;
+}
+
+/// Reply opcodes (first payload byte).
+mod rop {
+    pub const PONG: u8 = 0x80;
+    pub const SEGS: u8 = 0x81;
+    pub const NEAREST: u8 = 0x82;
+    pub const POLYGON: u8 = 0x83;
+    pub const STATS: u8 = 0x84;
+    pub const BYE: u8 = 0x85;
+    pub const ERROR: u8 = 0xEE;
+}
+
+/// One client request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Request {
+    /// Liveness probe; answered with [`Reply::Pong`].
+    Ping,
+    /// Query 1: all segments incident at the point.
+    Incident(Point),
+    /// Query 2: all segments at the *other* endpoint of segment `id`,
+    /// given that `at` is one of its endpoints.
+    Second { id: SegId, at: Point },
+    /// Query 3: the nearest segment.
+    Nearest(Point),
+    /// Ranked query 3: the `k` nearest segments, closest first.
+    Knn { at: Point, k: u32 },
+    /// Query 5: all segments intersecting the window.
+    Window(Rect),
+    /// Query 4: the minimal enclosing polygon, traversed for at most
+    /// `max_steps` boundary edges (the cap the in-process drivers use).
+    Polygon { at: Point, max_steps: u32 },
+    /// Server-wide totals of the paper's counters.
+    Stats,
+    /// Graceful shutdown: drain in-flight requests, refuse new
+    /// connections, exit.
+    Shutdown,
+}
+
+/// One server reply.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Reply {
+    Pong,
+    /// Segment-set answer (incident / second / knn / window). For `KNN`
+    /// the ids are ordered closest-first; otherwise order is
+    /// structure-defined but deterministic.
+    Segs {
+        ids: Vec<SegId>,
+        stats: QueryStats,
+    },
+    /// Nearest-segment answer; `id` is `None` only for an empty index.
+    Nearest {
+        id: Option<SegId>,
+        stats: QueryStats,
+    },
+    /// Enclosing-polygon answer: boundary edges in traversal order, or
+    /// `None` for an empty index. `closed` is false if the walk hit the
+    /// step cap.
+    Polygon {
+        walk: Option<(Vec<SegId>, bool)>,
+        stats: QueryStats,
+    },
+    /// Server-wide aggregates: queries served and summed counters.
+    Stats {
+        queries: u64,
+        totals: QueryStats,
+    },
+    /// Shutdown acknowledged.
+    Bye,
+    /// Structured error frame.
+    Error {
+        code: ErrorCode,
+        message: String,
+    },
+}
+
+/// Error codes carried by [`Reply::Error`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Payload bytes do not decode as any request.
+    Malformed = 1,
+    /// First byte is not a known opcode.
+    UnknownOp = 2,
+    /// Frame length exceeds the direction's maximum.
+    Oversized = 3,
+    /// Request decoded but refers to something the server does not have
+    /// (e.g. a segment id beyond the map).
+    BadArgument = 4,
+    /// Server is draining; no further requests are served.
+    ShuttingDown = 5,
+}
+
+impl ErrorCode {
+    fn from_u8(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::UnknownOp,
+            3 => ErrorCode::Oversized,
+            4 => ErrorCode::BadArgument,
+            5 => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a payload failed to decode.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProtoError {
+    /// Payload ended before the fields its opcode promises.
+    Truncated { expected: usize, got: usize },
+    /// Payload has bytes beyond its opcode's fixed layout.
+    Trailing { expected: usize, got: usize },
+    /// Unknown opcode byte.
+    UnknownOp(u8),
+    /// Empty payload.
+    Empty,
+    /// A field holds an impossible value (reply decoding).
+    BadField(&'static str),
+}
+
+impl ProtoError {
+    /// The wire error code a server reports for this decode failure.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ProtoError::UnknownOp(_) => ErrorCode::UnknownOp,
+            _ => ErrorCode::Malformed,
+        }
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated { expected, got } => {
+                write!(f, "payload truncated: need {expected} bytes, got {got}")
+            }
+            ProtoError::Trailing { expected, got } => {
+                write!(f, "trailing bytes: layout is {expected} bytes, got {got}")
+            }
+            ProtoError::UnknownOp(b) => write!(f, "unknown opcode {b:#04x}"),
+            ProtoError::Empty => write!(f, "empty payload"),
+            ProtoError::BadField(what) => write!(f, "bad field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+// ---------------------------------------------------------------- encoding
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], ProtoError> {
+        if self.pos + N > self.buf.len() {
+            return Err(ProtoError::Truncated {
+                expected: self.pos + N,
+                got: self.buf.len(),
+            });
+        }
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.buf[self.pos..self.pos + N]);
+        self.pos += N;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take::<1>()?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take::<4>()?))
+    }
+
+    fn i32(&mut self) -> Result<i32, ProtoError> {
+        Ok(i32::from_le_bytes(self.take::<4>()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take::<8>()?))
+    }
+
+    fn point(&mut self) -> Result<Point, ProtoError> {
+        Ok(Point::new(self.i32()?, self.i32()?))
+    }
+
+    /// Every request has a fixed layout, so decoding must consume the
+    /// whole payload.
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.pos != self.buf.len() {
+            return Err(ProtoError::Trailing {
+                expected: self.pos,
+                got: self.buf.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn put_point(buf: &mut Vec<u8>, p: Point) {
+    buf.extend_from_slice(&p.x.to_le_bytes());
+    buf.extend_from_slice(&p.y.to_le_bytes());
+}
+
+fn put_stats(buf: &mut Vec<u8>, s: QueryStats) {
+    for v in [
+        s.disk.reads,
+        s.disk.writes,
+        s.seg_comps,
+        s.bbox_comps,
+        s.seg_disk.reads,
+        s.seg_disk.writes,
+    ] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn get_stats(c: &mut Cursor) -> Result<QueryStats, ProtoError> {
+    Ok(QueryStats {
+        disk: DiskStats {
+            reads: c.u64()?,
+            writes: c.u64()?,
+        },
+        seg_comps: c.u64()?,
+        bbox_comps: c.u64()?,
+        seg_disk: DiskStats {
+            reads: c.u64()?,
+            writes: c.u64()?,
+        },
+    })
+}
+
+fn put_ids(buf: &mut Vec<u8>, ids: &[SegId]) {
+    buf.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+    for id in ids {
+        buf.extend_from_slice(&id.0.to_le_bytes());
+    }
+}
+
+fn get_ids(c: &mut Cursor) -> Result<Vec<SegId>, ProtoError> {
+    let n = c.u32()? as usize;
+    let mut ids = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        ids.push(SegId(c.u32()?));
+    }
+    Ok(ids)
+}
+
+impl Request {
+    /// Serialize to a frame payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(24);
+        match *self {
+            Request::Ping => buf.push(op::PING),
+            Request::Incident(p) => {
+                buf.push(op::INCIDENT);
+                put_point(&mut buf, p);
+            }
+            Request::Second { id, at } => {
+                buf.push(op::SECOND);
+                buf.extend_from_slice(&id.0.to_le_bytes());
+                put_point(&mut buf, at);
+            }
+            Request::Nearest(p) => {
+                buf.push(op::NEAREST);
+                put_point(&mut buf, p);
+            }
+            Request::Knn { at, k } => {
+                buf.push(op::KNN);
+                put_point(&mut buf, at);
+                buf.extend_from_slice(&k.to_le_bytes());
+            }
+            Request::Window(w) => {
+                buf.push(op::WINDOW);
+                put_point(&mut buf, w.min);
+                put_point(&mut buf, w.max);
+            }
+            Request::Polygon { at, max_steps } => {
+                buf.push(op::POLYGON);
+                put_point(&mut buf, at);
+                buf.extend_from_slice(&max_steps.to_le_bytes());
+            }
+            Request::Stats => buf.push(op::STATS),
+            Request::Shutdown => buf.push(op::SHUTDOWN),
+        }
+        buf
+    }
+
+    /// Deserialize a frame payload. Total: never panics on any byte
+    /// sequence.
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut c = Cursor::new(payload);
+        let opcode = c.u8().map_err(|_| ProtoError::Empty)?;
+        let req = match opcode {
+            op::PING => Request::Ping,
+            op::INCIDENT => Request::Incident(c.point()?),
+            op::SECOND => Request::Second {
+                id: SegId(c.u32()?),
+                at: c.point()?,
+            },
+            op::NEAREST => Request::Nearest(c.point()?),
+            op::KNN => Request::Knn {
+                at: c.point()?,
+                k: c.u32()?,
+            },
+            op::WINDOW => {
+                let (a, b) = (c.point()?, c.point()?);
+                Request::Window(Rect::bounding(a, b))
+            }
+            op::POLYGON => Request::Polygon {
+                at: c.point()?,
+                max_steps: c.u32()?,
+            },
+            op::STATS => Request::Stats,
+            op::SHUTDOWN => Request::Shutdown,
+            other => return Err(ProtoError::UnknownOp(other)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Reply {
+    /// Serialize to a frame payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        match self {
+            Reply::Pong => buf.push(rop::PONG),
+            Reply::Segs { ids, stats } => {
+                buf.push(rop::SEGS);
+                put_stats(&mut buf, *stats);
+                put_ids(&mut buf, ids);
+            }
+            Reply::Nearest { id, stats } => {
+                buf.push(rop::NEAREST);
+                put_stats(&mut buf, *stats);
+                match id {
+                    Some(id) => {
+                        buf.push(1);
+                        buf.extend_from_slice(&id.0.to_le_bytes());
+                    }
+                    None => buf.push(0),
+                }
+            }
+            Reply::Polygon { walk, stats } => {
+                buf.push(rop::POLYGON);
+                put_stats(&mut buf, *stats);
+                match walk {
+                    Some((boundary, closed)) => {
+                        buf.push(1);
+                        buf.push(*closed as u8);
+                        put_ids(&mut buf, boundary);
+                    }
+                    None => buf.push(0),
+                }
+            }
+            Reply::Stats { queries, totals } => {
+                buf.push(rop::STATS);
+                buf.extend_from_slice(&queries.to_le_bytes());
+                put_stats(&mut buf, *totals);
+            }
+            Reply::Bye => buf.push(rop::BYE),
+            Reply::Error { code, message } => {
+                buf.push(rop::ERROR);
+                buf.push(*code as u8);
+                let msg = message.as_bytes();
+                let len = msg.len().min(u16::MAX as usize);
+                buf.extend_from_slice(&(len as u16).to_le_bytes());
+                buf.extend_from_slice(&msg[..len]);
+            }
+        }
+        buf
+    }
+
+    /// Deserialize a frame payload. Never panics on any byte sequence.
+    pub fn decode(payload: &[u8]) -> Result<Reply, ProtoError> {
+        let mut c = Cursor::new(payload);
+        let opcode = c.u8().map_err(|_| ProtoError::Empty)?;
+        let reply = match opcode {
+            rop::PONG => Reply::Pong,
+            rop::SEGS => Reply::Segs {
+                stats: get_stats(&mut c)?,
+                ids: get_ids(&mut c)?,
+            },
+            rop::NEAREST => {
+                let stats = get_stats(&mut c)?;
+                let id = match c.u8()? {
+                    0 => None,
+                    1 => Some(SegId(c.u32()?)),
+                    _ => return Err(ProtoError::BadField("nearest presence flag")),
+                };
+                Reply::Nearest { id, stats }
+            }
+            rop::POLYGON => {
+                let stats = get_stats(&mut c)?;
+                let walk = match c.u8()? {
+                    0 => None,
+                    1 => {
+                        let closed = match c.u8()? {
+                            0 => false,
+                            1 => true,
+                            _ => return Err(ProtoError::BadField("polygon closed flag")),
+                        };
+                        Some((get_ids(&mut c)?, closed))
+                    }
+                    _ => return Err(ProtoError::BadField("polygon presence flag")),
+                };
+                Reply::Polygon { walk, stats }
+            }
+            rop::STATS => Reply::Stats {
+                queries: c.u64()?,
+                totals: get_stats(&mut c)?,
+            },
+            rop::BYE => Reply::Bye,
+            rop::ERROR => {
+                let code = ErrorCode::from_u8(c.u8()?).ok_or(ProtoError::BadField("error code"))?;
+                let len = u16::from_le_bytes(c.take::<2>()?) as usize;
+                let mut msg = Vec::with_capacity(len);
+                for _ in 0..len {
+                    msg.push(c.u8()?);
+                }
+                Reply::Error {
+                    code,
+                    message: String::from_utf8_lossy(&msg).into_owned(),
+                }
+            }
+            other => return Err(ProtoError::UnknownOp(other)),
+        };
+        c.finish()?;
+        Ok(reply)
+    }
+
+    /// The per-query counter block, for replies that carry one.
+    pub fn stats(&self) -> Option<QueryStats> {
+        match self {
+            Reply::Segs { stats, .. }
+            | Reply::Nearest { stats, .. }
+            | Reply::Polygon { stats, .. } => Some(*stats),
+            _ => None,
+        }
+    }
+
+    /// Result cardinality (segments returned / boundary steps), the
+    /// quantity the workload drivers average.
+    pub fn result_size(&self) -> usize {
+        match self {
+            Reply::Segs { ids, .. } => ids.len(),
+            Reply::Nearest { id, .. } => id.is_some() as usize,
+            Reply::Polygon { walk, .. } => walk.as_ref().map_or(0, |(b, _)| b.len()),
+            _ => 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- framing
+
+/// Outcome of one [`read_frame`] call.
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A complete payload arrived.
+    Frame(Vec<u8>),
+    /// The peer closed the connection cleanly (EOF before any header
+    /// byte).
+    Eof,
+    /// The read timed out before any header byte arrived — the connection
+    /// is idle, not broken. (A timeout *mid-frame* is an error instead:
+    /// the stream can no longer be re-synchronized.)
+    Idle,
+}
+
+/// A framing-level receive failure.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The declared payload length exceeds `max_len`. The stream cannot be
+    /// resynchronized (the payload was not consumed); the connection must
+    /// be closed after reporting the error.
+    Oversized(u32),
+    /// The underlying transport failed (including timeouts mid-frame).
+    Io(io::Error),
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized(n) => write!(f, "oversized frame: {n} bytes"),
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Write one frame: length prefix then payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame, distinguishing clean EOF and idle timeouts (both only
+/// *before* the first header byte) from transport failures. An empty frame
+/// (`len == 0`) and an overlong one are both [`FrameError::Oversized`]-class
+/// protocol violations; zero length is reported as `Oversized(0)` since the
+/// stream stays synchronized either way only for well-formed lengths.
+pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<FrameEvent, FrameError> {
+    let mut header = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(FrameEvent::Eof),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-header",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) && got == 0 => return Ok(FrameEvent::Idle),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(header);
+    if len == 0 || len > max_len {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut filled = 0usize;
+    while filled < payload.len() {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-payload",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(FrameEvent::Frame(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let reqs = [
+            Request::Ping,
+            Request::Incident(Point::new(-5, 7)),
+            Request::Second {
+                id: SegId(42),
+                at: Point::new(0, i32::MIN),
+            },
+            Request::Nearest(Point::new(i32::MAX, -1)),
+            Request::Knn {
+                at: Point::new(3, 4),
+                k: 17,
+            },
+            Request::Window(Rect::new(-10, -10, 10, 10)),
+            Request::Polygon {
+                at: Point::new(1, 2),
+                max_steps: 6000,
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            let bytes = r.encode();
+            assert!(bytes.len() <= MAX_REQUEST_FRAME as usize);
+            assert_eq!(Request::decode(&bytes).unwrap(), r, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let stats = QueryStats {
+            disk: DiskStats {
+                reads: 3,
+                writes: 1,
+            },
+            seg_comps: 12,
+            bbox_comps: 99,
+            seg_disk: DiskStats {
+                reads: 2,
+                writes: 0,
+            },
+        };
+        let replies = [
+            Reply::Pong,
+            Reply::Segs {
+                ids: vec![SegId(1), SegId(9)],
+                stats,
+            },
+            Reply::Segs { ids: vec![], stats },
+            Reply::Nearest {
+                id: Some(SegId(7)),
+                stats,
+            },
+            Reply::Nearest { id: None, stats },
+            Reply::Polygon {
+                walk: Some((vec![SegId(3), SegId(3), SegId(5)], true)),
+                stats,
+            },
+            Reply::Polygon {
+                walk: Some((vec![], false)),
+                stats,
+            },
+            Reply::Polygon { walk: None, stats },
+            Reply::Stats {
+                queries: 12345,
+                totals: stats,
+            },
+            Reply::Bye,
+            Reply::Error {
+                code: ErrorCode::UnknownOp,
+                message: "nope".into(),
+            },
+        ];
+        for r in replies {
+            assert_eq!(Reply::decode(&r.encode()).unwrap(), r, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_error_not_panic() {
+        for r in [
+            Request::Incident(Point::new(1, 2)).encode(),
+            Request::Window(Rect::new(0, 0, 4, 4)).encode(),
+            Request::Knn {
+                at: Point::new(0, 0),
+                k: 3,
+            }
+            .encode(),
+        ] {
+            for cut in 0..r.len() {
+                let e = Request::decode(&r[..cut]);
+                assert!(e.is_err(), "cut at {cut} must fail");
+            }
+        }
+        assert_eq!(Request::decode(&[]), Err(ProtoError::Empty));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Request::Nearest(Point::new(1, 1)).encode();
+        bytes.push(0);
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(ProtoError::Trailing { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic() {
+        // A tiny deterministic fuzz: xorshift bytes at every length up to
+        // a window request's size.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as u8
+        };
+        for len in 0..64usize {
+            for _ in 0..64 {
+                let bytes: Vec<u8> = (0..len).map(|_| next()).collect();
+                let _ = Request::decode(&bytes); // must not panic
+                let _ = Reply::decode(&bytes); // must not panic
+            }
+        }
+    }
+
+    #[test]
+    fn frame_io_roundtrip() {
+        let payload = Request::Window(Rect::new(1, 2, 3, 4)).encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut r = &wire[..];
+        match read_frame(&mut r, MAX_REQUEST_FRAME).unwrap() {
+            FrameEvent::Frame(p) => assert_eq!(p, payload),
+            other => panic!("expected frame, got {other:?}"),
+        }
+        match read_frame(&mut r, MAX_REQUEST_FRAME).unwrap() {
+            FrameEvent::Eof => {}
+            other => panic!("expected EOF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_and_zero_length_frames_are_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_REQUEST_FRAME + 1).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            read_frame(&mut &wire[..], MAX_REQUEST_FRAME),
+            Err(FrameError::Oversized(n)) if n == MAX_REQUEST_FRAME + 1
+        ));
+        let zero = 0u32.to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut &zero[..], MAX_REQUEST_FRAME),
+            Err(FrameError::Oversized(0))
+        ));
+    }
+
+    #[test]
+    fn mid_header_and_mid_payload_eof_are_errors() {
+        let wire = [5u8, 0]; // half a header
+        assert!(matches!(
+            read_frame(&mut &wire[..], 64),
+            Err(FrameError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof
+        ));
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&8u32.to_le_bytes());
+        wire.extend_from_slice(&[1, 2, 3]); // 3 of 8 payload bytes
+        assert!(matches!(
+            read_frame(&mut &wire[..], 64),
+            Err(FrameError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof
+        ));
+    }
+}

@@ -1,0 +1,352 @@
+//! The serving loop: a fixed pool of scoped worker threads over one
+//! shared-read index.
+//!
+//! One acceptor thread hands inbound connections to a bounded worker pool
+//! through an mpsc channel; each worker serves one connection at a time,
+//! running every request through the PR-1 query path with its own
+//! [`QueryCtx`] and folding the per-query counters into a
+//! [`SharedStats`] aggregate (what the `STATS` op reports). Shutdown is
+//! graceful: a `SHUTDOWN` request (or [`ShutdownHandle::shutdown`]) stops
+//! the acceptor, in-flight requests run to completion and are answered,
+//! and every worker exits once its connection closes or goes idle.
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, FrameEvent, Reply, Request, MAX_REQUEST_FRAME,
+};
+use lsdb_core::{queries, QueryCtx, QueryStats, SharedStats, SpatialIndex};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Tuning knobs for [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Per-connection read timeout. Also the cadence at which a worker
+    /// blocked on an idle connection notices a shutdown, so keep it small
+    /// when fast drain matters.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout (a stalled reader cannot wedge a
+    /// worker forever).
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What a finished server reports: the same aggregates `STATS` serves.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerReport {
+    /// Spatial queries answered (service ops excluded).
+    pub queries: u64,
+    /// Summed per-query counters — a plain sum of [`QueryCtx`] snapshots,
+    /// so identical to what a sequential in-process run would total.
+    pub totals: QueryStats,
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+}
+
+/// Flips the server's drain flag from outside the wire protocol (e.g. an
+/// embedding process that wants to stop serving without a client).
+#[derive(Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_shutting_down(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound-but-not-yet-running query server.
+pub struct Server {
+    listener: TcpListener,
+    index: Box<dyn SpatialIndex>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port). The index must
+    /// already be built — the server is strictly build-once/serve-many.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        index: Box<dyn SpatialIndex>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            index,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (the actual port when bound with port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can trigger a drain from outside the protocol.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shutdown))
+    }
+
+    /// Serve until shutdown, then return the lifetime aggregates. Blocks
+    /// the calling thread; spawn it on a thread if the caller must keep
+    /// running.
+    pub fn run(self) -> io::Result<ServerReport> {
+        let Server {
+            listener,
+            index,
+            config,
+            shutdown,
+        } = self;
+        listener.set_nonblocking(true)?;
+        let stats = SharedStats::new();
+        let connections = std::sync::atomic::AtomicU64::new(0);
+        let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
+        let rx = Mutex::new(rx);
+
+        let shared = Shared {
+            index: index.as_ref(),
+            stats: &stats,
+            shutdown: &shutdown,
+            config: &config,
+        };
+
+        std::thread::scope(|scope| {
+            for _ in 0..config.workers.max(1) {
+                let rx = &rx;
+                let shared = &shared;
+                scope.spawn(move || worker_loop(rx, shared));
+            }
+            // The acceptor runs on this thread; dropping `tx` afterwards
+            // disconnects the channel and lets drained workers exit.
+            accept_loop(&listener, tx, &connections, &shutdown);
+        });
+
+        Ok(ServerReport {
+            queries: stats.queries(),
+            totals: stats.snapshot(),
+            connections: connections.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Everything a worker needs, borrowed for the scope of [`Server::run`].
+struct Shared<'a> {
+    index: &'a dyn SpatialIndex,
+    stats: &'a SharedStats,
+    shutdown: &'a AtomicBool,
+    config: &'a ServerConfig,
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    tx: Sender<TcpStream>,
+    connections: &std::sync::atomic::AtomicU64,
+    shutdown: &AtomicBool,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                connections.fetch_add(1, Ordering::Relaxed);
+                if tx.send(stream).is_err() {
+                    break; // workers are gone; nothing left to serve
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break, // listener broke; drain and exit
+        }
+    }
+    // Dropping `tx` here refuses queued-but-unaccepted clients and ends
+    // the workers' recv loop once the accepted backlog drains.
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared) {
+    loop {
+        // Hold the lock only for the dequeue, not while serving.
+        let next = {
+            let rx = rx.lock().unwrap();
+            rx.recv_timeout(Duration::from_millis(50))
+        };
+        match next {
+            Ok(stream) => {
+                // Connection-level failures (timeout stalls, resets) only
+                // kill this one connection.
+                let _ = serve_connection(stream, shared);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // Acceptor may still hold `tx` for an instant, but no
+                    // new work is coming once the flag is up and the queue
+                    // is empty.
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Serve one connection to completion. Protocol errors are answered with
+/// structured error frames; only transport failures and unrecoverable
+/// framing (oversized declarations) close the connection.
+fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_read_timeout(Some(shared.config.read_timeout))?;
+    stream.set_write_timeout(Some(shared.config.write_timeout))?;
+    stream.set_nodelay(true).ok();
+    let mut stream = stream;
+    let mut ctx = QueryCtx::new();
+    loop {
+        match read_frame(&mut stream, MAX_REQUEST_FRAME) {
+            Ok(FrameEvent::Frame(payload)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    let reply = Reply::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is draining".into(),
+                    };
+                    let _ = write_frame(&mut stream, &reply.encode());
+                    return Ok(());
+                }
+                let (reply, hangup) = match Request::decode(&payload) {
+                    Ok(req) => handle_request(req, shared, &mut ctx),
+                    Err(e) => (
+                        Reply::Error {
+                            code: e.code(),
+                            message: e.to_string(),
+                        },
+                        false, // framing is intact; keep the connection
+                    ),
+                };
+                write_frame(&mut stream, &reply.encode())?;
+                if hangup {
+                    return Ok(());
+                }
+            }
+            Ok(FrameEvent::Eof) => return Ok(()),
+            Ok(FrameEvent::Idle) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(FrameError::Oversized(n)) => {
+                let reply = Reply::Error {
+                    code: ErrorCode::Oversized,
+                    message: format!(
+                        "frame of {n} bytes exceeds the {MAX_REQUEST_FRAME}-byte request limit"
+                    ),
+                };
+                // The bogus payload was never consumed, so the stream
+                // cannot be re-synchronized: reply, then hang up. Drain
+                // (bounded) what the peer already sent first — closing
+                // with unread bytes raises a TCP reset that would destroy
+                // the error frame before the client reads it.
+                let _ = write_frame(&mut stream, &reply.encode());
+                drain(&mut stream, n.min(1 << 20) as usize);
+                return Ok(());
+            }
+            Err(FrameError::Io(e)) => return Err(e),
+        }
+    }
+}
+
+/// Best-effort discard of up to `n` pending bytes before a close.
+fn drain(stream: &mut TcpStream, mut n: usize) {
+    let mut scratch = [0u8; 4096];
+    while n > 0 {
+        let take = n.min(scratch.len());
+        match io::Read::read(stream, &mut scratch[..take]) {
+            Ok(0) | Err(_) => return,
+            Ok(got) => n -= got,
+        }
+    }
+}
+
+/// Execute one request. Returns the reply and whether the connection
+/// should close afterwards (only after acknowledging `SHUTDOWN`).
+fn handle_request(req: Request, shared: &Shared, ctx: &mut QueryCtx) -> (Reply, bool) {
+    let index = shared.index;
+    ctx.reset();
+    let reply = match req {
+        Request::Ping => return (Reply::Pong, false),
+        Request::Stats => {
+            return (
+                Reply::Stats {
+                    queries: shared.stats.queries(),
+                    totals: shared.stats.snapshot(),
+                },
+                false,
+            )
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            return (Reply::Bye, true);
+        }
+        Request::Incident(p) => Reply::Segs {
+            ids: index.find_incident(p, ctx),
+            stats: ctx.stats(),
+        },
+        Request::Second { id, at } => {
+            if id.index() >= index.len() {
+                return (
+                    Reply::Error {
+                        code: ErrorCode::BadArgument,
+                        message: format!(
+                            "segment id {} out of range (map has {} segments)",
+                            id.0,
+                            index.len()
+                        ),
+                    },
+                    false,
+                );
+            }
+            Reply::Segs {
+                ids: queries::second_endpoint(index, id, at, ctx),
+                stats: ctx.stats(),
+            }
+        }
+        Request::Nearest(p) => Reply::Nearest {
+            id: index.nearest(p, ctx),
+            stats: ctx.stats(),
+        },
+        Request::Knn { at, k } => Reply::Segs {
+            ids: index.nearest_k(at, k as usize, ctx),
+            stats: ctx.stats(),
+        },
+        Request::Window(w) => Reply::Segs {
+            ids: index.window(w, ctx),
+            stats: ctx.stats(),
+        },
+        Request::Polygon { at, max_steps } => {
+            let walk = queries::enclosing_polygon(index, at, max_steps as usize, ctx);
+            Reply::Polygon {
+                walk: walk.map(|w| (w.boundary, w.closed)),
+                stats: ctx.stats(),
+            }
+        }
+    };
+    // Only genuine spatial queries reach here: fold their counters into
+    // the server-wide aggregate the `STATS` op reports.
+    shared.stats.add(ctx.stats());
+    (reply, false)
+}

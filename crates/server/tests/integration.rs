@@ -1,0 +1,293 @@
+//! End-to-end tests of the TCP query service: concurrent clients must see
+//! results and counters byte-identical to in-process execution, malformed
+//! requests must come back as structured error frames (not dropped
+//! connections), and `SHUTDOWN` must drain gracefully.
+
+use lsdb_core::pointgen::{EndpointGen, UniformGen, WindowGen};
+use lsdb_core::{queries, IndexConfig, PolygonalMap, QueryCtx, QueryStats, SpatialIndex};
+use lsdb_server::protocol::{read_frame, write_frame, FrameEvent, MAX_REPLY_FRAME};
+use lsdb_server::{Client, ErrorCode, Reply, Request, Server, ServerConfig, ServerError};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn test_map() -> PolygonalMap {
+    lsdb_tiger::generate(&lsdb_tiger::CountySpec::new(
+        "server-test",
+        lsdb_tiger::CountyClass::Suburban,
+        900,
+        0x5EA5,
+    ))
+}
+
+fn build(map: &PolygonalMap) -> Box<dyn SpatialIndex> {
+    Box::new(lsdb_pmr::PmrQuadtree::build(
+        map,
+        lsdb_pmr::PmrConfig {
+            index: IndexConfig::default(),
+            ..Default::default()
+        },
+    ))
+}
+
+const MAX_STEPS: u32 = 2000;
+
+/// A mixed stream covering all seven paper workloads (plus knn): the
+/// endpoint queries double as Point1/Point2, the point queries as 1-stage
+/// and 2-stage nearest/polygon streams.
+fn mixed_stream(map: &PolygonalMap, n: usize, seed: u64) -> Vec<Request> {
+    let mut endpoints = EndpointGen::new(map, seed ^ 0x1111);
+    let mut uniform = UniformGen::new(seed ^ 0x2222);
+    let mut windows = WindowGen::new(0.0001, seed ^ 0x4444);
+    let mut reqs = Vec::new();
+    for i in 0..n {
+        let (id, p) = endpoints.next_endpoint();
+        reqs.push(Request::Incident(p));
+        reqs.push(Request::Second { id, at: p });
+        let q = uniform.next_point();
+        reqs.push(Request::Nearest(q));
+        reqs.push(Request::Knn {
+            at: q,
+            k: (i % 5 + 1) as u32,
+        });
+        reqs.push(Request::Polygon {
+            at: q,
+            max_steps: MAX_STEPS,
+        });
+        reqs.push(Request::Window(windows.next_window()));
+    }
+    reqs
+}
+
+/// Execute one request in-process, exactly as the server does.
+fn run_in_process(index: &dyn SpatialIndex, req: &Request) -> Reply {
+    let mut ctx = QueryCtx::new();
+    match *req {
+        Request::Incident(p) => Reply::Segs {
+            ids: index.find_incident(p, &mut ctx),
+            stats: ctx.stats(),
+        },
+        Request::Second { id, at } => Reply::Segs {
+            ids: queries::second_endpoint(index, id, at, &mut ctx),
+            stats: ctx.stats(),
+        },
+        Request::Nearest(p) => Reply::Nearest {
+            id: index.nearest(p, &mut ctx),
+            stats: ctx.stats(),
+        },
+        Request::Knn { at, k } => Reply::Segs {
+            ids: index.nearest_k(at, k as usize, &mut ctx),
+            stats: ctx.stats(),
+        },
+        Request::Window(w) => Reply::Segs {
+            ids: index.window(w, &mut ctx),
+            stats: ctx.stats(),
+        },
+        Request::Polygon { at, max_steps } => {
+            let walk = queries::enclosing_polygon(index, at, max_steps as usize, &mut ctx);
+            Reply::Polygon {
+                walk: walk.map(|w| (w.boundary, w.closed)),
+                stats: ctx.stats(),
+            }
+        }
+        _ => panic!("not a spatial query: {req:?}"),
+    }
+}
+
+fn start_server(
+    index: Box<dyn SpatialIndex>,
+) -> (
+    SocketAddr,
+    std::thread::JoinHandle<lsdb_server::ServerReport>,
+) {
+    let config = ServerConfig {
+        workers: 4,
+        read_timeout: Duration::from_millis(100),
+        ..Default::default()
+    };
+    let server = Server::bind("127.0.0.1:0", index, config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    (addr, handle)
+}
+
+#[test]
+fn concurrent_clients_match_in_process_execution_and_drain_cleanly() {
+    let map = test_map();
+    let index = build(&map);
+    let stream = mixed_stream(&map, 25, 0xBEEF);
+
+    // Ground truth: every request executed in-process, plus the summed
+    // counters the server's STATS op must report per pass.
+    let expected: Vec<Reply> = stream
+        .iter()
+        .map(|r| run_in_process(index.as_ref(), r))
+        .collect();
+    let mut expected_totals = QueryStats::default();
+    for r in &expected {
+        expected_totals.add(r.stats().unwrap());
+    }
+
+    let (addr, handle) = start_server(index);
+    const CLIENTS: usize = 4;
+
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let stream = &stream;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.ping().unwrap();
+                for (i, req) in stream.iter().enumerate() {
+                    let reply = client.call(req).unwrap();
+                    assert_eq!(&reply, &expected[i], "client {c}, request {i}: {req:?}");
+                }
+            });
+        }
+    });
+
+    // Counters aggregate across all clients exactly: four identical
+    // passes, each a plain sum of per-query values.
+    let mut client = Client::connect(addr).unwrap();
+    let (served, totals) = client.stats().unwrap();
+    assert_eq!(served, (CLIENTS * stream.len()) as u64);
+    let mut four = QueryStats::default();
+    for _ in 0..CLIENTS {
+        four.add(expected_totals);
+    }
+    assert_eq!(totals, four);
+
+    client.shutdown().unwrap();
+    let report = handle.join().unwrap();
+    assert_eq!(report.queries, (CLIENTS * stream.len()) as u64);
+    assert_eq!(report.totals, four);
+    assert!(report.connections >= (CLIENTS + 1) as u64);
+
+    // The listener is gone: new connections are refused (allow a moment
+    // for the OS to tear the socket down).
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(250)).is_err());
+}
+
+#[test]
+fn malformed_requests_get_error_frames_not_hangups() {
+    let map = test_map();
+    let (addr, handle) = start_server(build(&map));
+
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    let reply_of = |stream: &mut TcpStream| -> Reply {
+        match read_frame(stream, MAX_REPLY_FRAME).unwrap() {
+            FrameEvent::Frame(p) => Reply::decode(&p).unwrap(),
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    };
+
+    // Garbage opcode -> UnknownOp error frame, connection stays up.
+    write_frame(&mut raw, &[0x77, 1, 2, 3]).unwrap();
+    match reply_of(&mut raw) {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownOp),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+
+    // Truncated incident request -> Malformed, still connected.
+    write_frame(&mut raw, &[0x02, 9, 9]).unwrap();
+    match reply_of(&mut raw) {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+
+    // Trailing bytes after a valid ping -> Malformed, still connected.
+    write_frame(&mut raw, &[0x01, 0xAA]).unwrap();
+    match reply_of(&mut raw) {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+
+    // The same connection still answers real queries.
+    write_frame(&mut raw, &Request::Ping.encode()).unwrap();
+    assert_eq!(reply_of(&mut raw), Reply::Pong);
+
+    // An oversized frame declaration gets an error frame, then the
+    // connection closes (the stream cannot be resynchronized).
+    write_frame(&mut raw, &vec![0u8; 4096]).unwrap();
+    match reply_of(&mut raw) {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Oversized),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    match read_frame(&mut raw, MAX_REPLY_FRAME).unwrap() {
+        FrameEvent::Eof => {}
+        other => panic!("connection should be closed, got {other:?}"),
+    }
+
+    // A bad argument (segment id beyond the map) is a structured error.
+    let mut client = Client::connect(addr).unwrap();
+    let e = client
+        .second_endpoint(lsdb_core::SegId(u32::MAX - 1), lsdb_geom::Point::new(0, 0))
+        .unwrap_err();
+    let server_err = e
+        .get_ref()
+        .and_then(|e| e.downcast_ref::<ServerError>())
+        .unwrap();
+    assert_eq!(server_err.code, ErrorCode::BadArgument);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn closed_loop_loadgen_reproduces_in_process_counters() {
+    let map = test_map();
+    let index = build(&map);
+    let stream = mixed_stream(&map, 20, 0xF00D);
+
+    let mut expected_totals = QueryStats::default();
+    let mut expected_items = 0u64;
+    for req in &stream {
+        let reply = run_in_process(index.as_ref(), req);
+        expected_totals.add(reply.stats().unwrap());
+        expected_items += reply.result_size() as u64;
+    }
+
+    let (addr, handle) = start_server(index);
+    let report = lsdb_server::run_closed_loop(addr, &stream, 4).unwrap();
+    assert_eq!(report.queries, stream.len());
+    assert_eq!(report.connections, 4);
+    assert_eq!(
+        report.totals, expected_totals,
+        "wire adds latency, never counters"
+    );
+    assert_eq!(report.result_items, expected_items);
+    assert_eq!(report.latencies.len(), stream.len());
+    assert!(report.latencies.windows(2).all(|w| w[0] <= w[1]), "sorted");
+    assert!(report.p50() <= report.p95() && report.p95() <= report.p99());
+    assert!(report.p99() <= report.max_latency());
+    assert!(report.throughput_qps() > 0.0);
+
+    Client::connect(addr).unwrap().shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn rstar_serves_identically_too() {
+    // The server is structure-agnostic: spot-check a second index kind.
+    let map = test_map();
+    let index: Box<dyn SpatialIndex> = Box::new(lsdb_rtree::RTree::build(
+        &map,
+        IndexConfig::default(),
+        lsdb_rtree::RTreeKind::RStar,
+    ));
+    let stream = mixed_stream(&map, 8, 0xABBA);
+    let expected: Vec<Reply> = stream
+        .iter()
+        .map(|r| run_in_process(index.as_ref(), r))
+        .collect();
+
+    let (addr, handle) = start_server(index);
+    let mut client = Client::connect(addr).unwrap();
+    for (req, want) in stream.iter().zip(&expected) {
+        assert_eq!(&client.call(req).unwrap(), want);
+    }
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}

@@ -107,7 +107,13 @@ pub fn generate(spec: &CountySpec) -> PolygonalMap {
     };
     let axis_offsets = |rng: &mut StdRng| -> Vec<i32> {
         (0..=n)
-            .map(|_| if jitter > 0 { rng.gen_range(-jitter..=jitter) } else { 0 })
+            .map(|_| {
+                if jitter > 0 {
+                    rng.gen_range(-jitter..=jitter)
+                } else {
+                    0
+                }
+            })
             .collect()
     };
     let col_off = axis_offsets(&mut rng);
@@ -221,16 +227,31 @@ fn prune_dangling_chains(segments: &mut Vec<lsdb_geom::Segment>) {
 /// Build one road from `from` to `to` as a `k`-segment polyline meandering
 /// inside the edge's diamond envelope. `from`/`to` are endpoints of an
 /// (unjittered: rural/suburban, or jittered: urban with k = 1) grid edge.
-fn meander_road(rng: &mut StdRng, from: Point, to: Point, k: usize, cell: i32, jittered: bool) -> Road {
+fn meander_road(
+    rng: &mut StdRng,
+    from: Point,
+    to: Point,
+    k: usize,
+    cell: i32,
+    jittered: bool,
+) -> Road {
     if k <= 1 || jittered {
-        return Road { points: vec![from, to] };
+        return Road {
+            points: vec![from, to],
+        };
     }
     let horizontal = (to.y - from.y).abs() < (to.x - from.x).abs();
-    let len = if horizontal { to.x - from.x } else { to.y - from.y };
+    let len = if horizontal {
+        to.x - from.x
+    } else {
+        to.y - from.y
+    };
     debug_assert!(len > 0, "grid edges point in +x/+y");
     let k = k.min((len / 2).max(1) as usize);
     if k <= 1 {
-        return Road { points: vec![from, to] };
+        return Road {
+            points: vec![from, to],
+        };
     }
     // Smooth bounded noise: two random sinusoids, normalized to [-1, 1].
     let a1: f64 = rng.gen_range(0.4..1.0);
@@ -348,8 +369,16 @@ mod tests {
         };
         let urban = small(CountyClass::Urban, 4000, 9);
         let rural = small(CountyClass::Rural { meander: 30 }, 4000, 9);
-        assert!(chain_fraction(&rural) > 0.85, "rural {}", chain_fraction(&rural));
-        assert!(chain_fraction(&urban) < 0.30, "urban {}", chain_fraction(&urban));
+        assert!(
+            chain_fraction(&rural) > 0.85,
+            "rural {}",
+            chain_fraction(&rural)
+        );
+        assert!(
+            chain_fraction(&urban) < 0.30,
+            "urban {}",
+            chain_fraction(&urban)
+        );
     }
 
     #[test]
@@ -371,7 +400,10 @@ mod tests {
         // empty — the paper's "query points outside the boundaries".
         let m = small(CountyClass::Urban, 4000, 23);
         let b = m.bbox().unwrap();
-        assert!(b.width() > (WORLD_SIZE as i64) * 8 / 10, "county spans the world");
+        assert!(
+            b.width() > (WORLD_SIZE as i64) * 8 / 10,
+            "county spans the world"
+        );
         let corner = lsdb_geom::Rect::new(0, 0, WORLD_SIZE / 16, WORLD_SIZE / 16);
         let in_corner = m
             .segments

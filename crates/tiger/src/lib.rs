@@ -43,9 +43,24 @@ pub fn the_six_counties() -> Vec<CountySpec> {
         CountySpec::new("Anne Arundel", CountyClass::Suburban, 46_335, 0xA22A),
         CountySpec::new("Baltimore", CountyClass::Urban, 48_068, 0xBA17),
         CountySpec::new("Cecil", CountyClass::Rural { meander: 20 }, 46_900, 0xCEC1),
-        CountySpec::new("Charles", CountyClass::Rural { meander: 26 }, 50_998, 0xC4A5),
-        CountySpec::new("Garrett", CountyClass::Rural { meander: 24 }, 49_895, 0x6A44),
-        CountySpec::new("Washington", CountyClass::Rural { meander: 22 }, 49_575, 0x3A54),
+        CountySpec::new(
+            "Charles",
+            CountyClass::Rural { meander: 26 },
+            50_998,
+            0xC4A5,
+        ),
+        CountySpec::new(
+            "Garrett",
+            CountyClass::Rural { meander: 24 },
+            49_895,
+            0x6A44,
+        ),
+        CountySpec::new(
+            "Washington",
+            CountyClass::Rural { meander: 22 },
+            49_575,
+            0x3A54,
+        ),
     ]
 }
 

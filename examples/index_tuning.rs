@@ -15,9 +15,17 @@ use lsdb::rtree::{RTree, RTreeKind};
 use lsdb::tiger::{generate, CountyClass, CountySpec};
 
 fn main() {
-    let spec = CountySpec::new("Tuning County", CountyClass::Rural { meander: 24 }, 6_000, 5);
+    let spec = CountySpec::new(
+        "Tuning County",
+        CountyClass::Rural { meander: 24 },
+        6_000,
+        5,
+    );
     let map = generate(&spec);
-    println!("workload: 200 window queries (0.01% area) over {} segments\n", map.len());
+    println!(
+        "workload: 200 window queries (0.01% area) over {} segments\n",
+        map.len()
+    );
 
     let mut windows = Vec::new();
     let mut gen = WindowGen::new(0.0001, 31);
@@ -46,8 +54,17 @@ fn main() {
     for page in [512usize, 1024, 2048, 4096] {
         print!("{:>8}", format!("{page}B"));
         for pool in [8usize, 16, 32, 64] {
-            let cfg = IndexConfig { page_size: page, pool_pages: pool };
-            let pmr = PmrQuadtree::build(&map, PmrConfig { index: cfg, ..Default::default() });
+            let cfg = IndexConfig {
+                page_size: page,
+                pool_pages: pool,
+            };
+            let pmr = PmrQuadtree::build(
+                &map,
+                PmrConfig {
+                    index: cfg,
+                    ..Default::default()
+                },
+            );
             let (disk, _) = run(&pmr);
             print!("{disk:>10}");
         }
@@ -58,7 +75,10 @@ fn main() {
     for t in [2usize, 4, 8, 16, 32, 64] {
         let mut pmr = PmrQuadtree::build(
             &map,
-            PmrConfig { threshold: t, ..Default::default() },
+            PmrConfig {
+                threshold: t,
+                ..Default::default()
+            },
         );
         let size_kb = pmr.size_bytes() / 1024;
         let occ = pmr.avg_bucket_occupancy();
@@ -75,7 +95,13 @@ fn main() {
         Box::new(RTree::build(&map, cfg, RTreeKind::Quadratic)),
         Box::new(RTree::build(&map, cfg, RTreeKind::Linear)),
         Box::new(RPlusTree::build(&map, cfg)),
-        Box::new(PmrQuadtree::build(&map, PmrConfig { index: cfg, ..Default::default() })),
+        Box::new(PmrQuadtree::build(
+            &map,
+            PmrConfig {
+                index: cfg,
+                ..Default::default()
+            },
+        )),
         Box::new(UniformGrid::build(&map, cfg, 64)),
     ];
     for idx in &structures {

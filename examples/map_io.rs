@@ -33,8 +33,8 @@ fn main() {
             .sum::<f64>()
             / map.len() as f64;
         let incidence = map.vertex_incidence();
-        let deg2 = incidence.values().filter(|v| v.len() == 2).count() as f64
-            / incidence.len() as f64;
+        let deg2 =
+            incidence.values().filter(|v| v.len() == 2).count() as f64 / incidence.len() as f64;
 
         let path = dir.join(format!(
             "{}-{}.lsdbmap",

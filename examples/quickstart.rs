@@ -25,7 +25,13 @@ fn main() {
     let indexes: Vec<Box<dyn SpatialIndex>> = vec![
         Box::new(RTree::build(&map, cfg, RTreeKind::RStar)),
         Box::new(RPlusTree::build(&map, cfg)),
-        Box::new(PmrQuadtree::build(&map, PmrConfig { index: cfg, ..Default::default() })),
+        Box::new(PmrQuadtree::build(
+            &map,
+            PmrConfig {
+                index: cfg,
+                ..Default::default()
+            },
+        )),
     ];
     for idx in &indexes {
         println!(
@@ -54,11 +60,17 @@ fn main() {
 
         // Query 2: segments at the *other* endpoint of segment 42.
         let second = queries::second_endpoint(idx, some_seg, endpoint, &mut ctx);
-        println!("Q2 at the far endpoint of {some_seg:?}: {} segments", second.len());
+        println!(
+            "Q2 at the far endpoint of {some_seg:?}: {} segments",
+            second.len()
+        );
 
         // Query 3: nearest segment to the map center.
         let nearest = idx.nearest(center, &mut ctx).expect("non-empty map");
-        let d = map.segments[nearest.index()].dist2_point(center).to_f64().sqrt();
+        let d = map.segments[nearest.index()]
+            .dist2_point(center)
+            .to_f64()
+            .sqrt();
         println!("Q3 nearest to {center:?}: {nearest:?} at distance {d:.1}");
 
         // Extension: ranked k-nearest retrieval from the same best-first

@@ -24,7 +24,13 @@ fn main() {
     let map = generate(&spec);
     println!("Atlas City: {} road segments\n", map.len());
 
-    let mut pmr = PmrQuadtree::build(&map, PmrConfig { index: IndexConfig::default(), ..Default::default() });
+    let mut pmr = PmrQuadtree::build(
+        &map,
+        PmrConfig {
+            index: IndexConfig::default(),
+            ..Default::default()
+        },
+    );
 
     // Pins land where the data is: the paper's 2-stage generator.
     let blocks: Vec<Rect> = pmr.leaf_blocks().iter().map(|b| b.rect()).collect();

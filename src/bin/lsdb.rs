@@ -10,9 +10,15 @@
 //! lsdb query MAP --structure rplus knn X Y K
 //! lsdb query MAP --structure pmr window X0 Y0 X1 Y1
 //! lsdb query MAP --structure pmr polygon X Y
+//! lsdb query MAP --structure pmr --stdin        # one query per line
+//! lsdb serve MAP --structure pmr --port 4750 --workers 4
+//! lsdb bench-client MAP --addr 127.0.0.1:4750 --workload range \
+//!      --queries 1000 --connections 4
 //! ```
 //!
 //! Every query prints its answer and the paper's three metrics for it.
+//! `serve` exposes the built structure over the lsdb wire protocol;
+//! `bench-client` is the matching closed-loop load generator.
 
 use lsdb::core::{queries, IndexConfig, PolygonalMap, QueryCtx, SegId, SpatialIndex};
 use lsdb::geom::{Point, Rect};
@@ -27,6 +33,8 @@ fn main() {
         Some("info") => cmd_info(&args[1..]),
         Some("build") => cmd_build(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("bench-client") => cmd_bench_client(&args[1..]),
         Some("help") | None => {
             print_usage();
             0
@@ -51,7 +59,13 @@ fn print_usage() {
          lsdb query FILE --structure S nearest X Y\n  \
          lsdb query FILE --structure S knn X Y K\n  \
          lsdb query FILE --structure S window X0 Y0 X1 Y1\n  \
-         lsdb query FILE --structure S polygon X Y"
+         lsdb query FILE --structure S polygon X Y\n  \
+         lsdb query FILE --structure S --stdin\n  \
+         lsdb serve FILE [--structure S] [--addr HOST] [--port P] [--workers W] \\\n      \
+              [--page-size B] [--pool P]\n  \
+         lsdb bench-client FILE --addr HOST:PORT [--workload W] [--queries N] \\\n      \
+              [--connections C] [--seed S] [--shutdown]\n\n\
+         bench-client workloads: point1 point2 nearest1 nearest2 polygon1 polygon2 range"
     );
 }
 
@@ -169,7 +183,10 @@ fn cmd_info(rest: &[String]) -> i32 {
     }
     match map.validate_planar() {
         Ok(()) => println!("planarity : ok"),
-        Err(v) => println!("planarity : VIOLATED by segments {} and {}", v.first, v.second),
+        Err(v) => println!(
+            "planarity : VIOLATED by segments {} and {}",
+            v.first, v.second
+        ),
     }
     0
 }
@@ -184,13 +201,28 @@ fn build_structure(
     cfg: IndexConfig,
 ) -> Option<Box<dyn SpatialIndex>> {
     Some(match name {
-        "rstar" => Box::new(lsdb::rtree::RTree::build(map, cfg, lsdb::rtree::RTreeKind::RStar)),
-        "rquad" => Box::new(lsdb::rtree::RTree::build(map, cfg, lsdb::rtree::RTreeKind::Quadratic)),
-        "rlin" => Box::new(lsdb::rtree::RTree::build(map, cfg, lsdb::rtree::RTreeKind::Linear)),
+        "rstar" => Box::new(lsdb::rtree::RTree::build(
+            map,
+            cfg,
+            lsdb::rtree::RTreeKind::RStar,
+        )),
+        "rquad" => Box::new(lsdb::rtree::RTree::build(
+            map,
+            cfg,
+            lsdb::rtree::RTreeKind::Quadratic,
+        )),
+        "rlin" => Box::new(lsdb::rtree::RTree::build(
+            map,
+            cfg,
+            lsdb::rtree::RTreeKind::Linear,
+        )),
         "rplus" => Box::new(lsdb::rplus::RPlusTree::build(map, cfg)),
         "pmr" => Box::new(lsdb::pmr::PmrQuadtree::build(
             map,
-            lsdb::pmr::PmrConfig { index: cfg, ..Default::default() },
+            lsdb::pmr::PmrConfig {
+                index: cfg,
+                ..Default::default()
+            },
         )),
         "grid" => Box::new(lsdb::grid::UniformGrid::build(map, cfg, 64)),
         _ => {
@@ -214,7 +246,10 @@ fn cmd_build(rest: &[String]) -> i32 {
         return 2;
     };
     let map = load_map(path);
-    let cfg = IndexConfig { page_size: page, pool_pages: pool };
+    let cfg = IndexConfig {
+        page_size: page,
+        pool_pages: pool,
+    };
     let start = std::time::Instant::now();
     let Some(mut idx) = build_structure(&structure, &map, cfg) else {
         return 2;
@@ -224,8 +259,18 @@ fn cmd_build(rest: &[String]) -> i32 {
     let s = idx.stats();
     println!("structure     : {}", idx.name());
     println!("segments      : {}", idx.len());
-    println!("size          : {} KB ({} B pages, {}-page pool)", idx.size_bytes() / 1024, page, pool);
-    println!("build disk    : {} accesses ({} reads, {} writes)", s.disk.total(), s.disk.reads, s.disk.writes);
+    println!(
+        "size          : {} KB ({} B pages, {}-page pool)",
+        idx.size_bytes() / 1024,
+        page,
+        pool
+    );
+    println!(
+        "build disk    : {} accesses ({} reads, {} writes)",
+        s.disk.total(),
+        s.disk.reads,
+        s.disk.writes
+    );
     println!("build cpu     : {secs:.2} s");
     0
 }
@@ -233,8 +278,14 @@ fn cmd_build(rest: &[String]) -> i32 {
 fn cmd_query(rest: &[String]) -> i32 {
     let mut args = rest.to_vec();
     let structure = structure_flag(&mut args);
-    if args.len() < 2 {
-        eprintln!("query needs a map file and a query");
+    let stdin_mode = if let Some(i) = args.iter().position(|a| a == "--stdin") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    if args.is_empty() || (!stdin_mode && args.len() < 2) {
+        eprintln!("query needs a map file and a query (or --stdin)");
         return 2;
     }
     let map = load_map(&args[0]);
@@ -243,67 +294,65 @@ fn cmd_query(rest: &[String]) -> i32 {
         return 2;
     };
     let mut ctx = QueryCtx::new();
+
+    if stdin_mode {
+        // Batch mode: the index above is built exactly once; every line of
+        // stdin is one query in the same grammar as the positional form.
+        let mut failures = 0u64;
+        for (lineno, line) in std::io::stdin().lines().enumerate() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("stdin read error: {e}");
+                    return 1;
+                }
+            };
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            match tokens.split_first() {
+                None => continue, // blank line
+                Some((first, _)) if first.starts_with('#') => continue,
+                Some((q, rest)) => {
+                    let mut coords = Vec::with_capacity(rest.len());
+                    let mut bad = false;
+                    for v in rest {
+                        match v.parse::<i32>() {
+                            Ok(c) => coords.push(c),
+                            Err(_) => {
+                                eprintln!("line {}: cannot parse coordinate `{v}`", lineno + 1);
+                                bad = true;
+                                break;
+                            }
+                        }
+                    }
+                    ctx.reset();
+                    if bad || !run_query(idx.as_ref(), &map, q, &coords, &mut ctx) {
+                        failures += 1;
+                        continue;
+                    }
+                    print_query_stats(idx.as_ref(), &ctx);
+                }
+            }
+        }
+        if failures > 0 {
+            eprintln!("{failures} line(s) failed");
+            return 2;
+        }
+        return 0;
+    }
+
     let q = args[1].as_str();
     let coords: Vec<i32> = args[2..]
         .iter()
         .map(|v| parse_or_die::<i32>(v, "coordinate"))
         .collect();
-    let print_segs = |ids: &[SegId], map: &PolygonalMap| {
-        for id in ids {
-            println!("  {:?}: {:?}", id, map.segments[id.index()]);
-        }
-    };
-    match (q, coords.len()) {
-        ("incident", 2) => {
-            let got = idx.find_incident(Point::new(coords[0], coords[1]), &mut ctx);
-            println!("{} incident segments:", got.len());
-            print_segs(&got, &map);
-        }
-        ("nearest", 2) => {
-            let p = Point::new(coords[0], coords[1]);
-            match idx.nearest(p, &mut ctx) {
-                Some(id) => {
-                    let d = map.segments[id.index()].dist2_point(p).to_f64().sqrt();
-                    println!("nearest segment (distance {d:.2}):");
-                    print_segs(&[id], &map);
-                }
-                None => println!("empty map"),
-            }
-        }
-        ("knn", 3) => {
-            let p = Point::new(coords[0], coords[1]);
-            let got = idx.nearest_k(p, coords[2].max(0) as usize, &mut ctx);
-            println!("{} nearest segments:", got.len());
-            for id in &got {
-                let d = map.segments[id.index()].dist2_point(p).to_f64().sqrt();
-                println!("  {:?} at {d:.2}: {:?}", id, map.segments[id.index()]);
-            }
-        }
-        ("window", 4) => {
-            let w = Rect::bounding(Point::new(coords[0], coords[1]), Point::new(coords[2], coords[3]));
-            let got = idx.window(w, &mut ctx);
-            println!("{} segments in {w:?}:", got.len());
-            print_segs(&got, &map);
-        }
-        ("polygon", 2) => {
-            let p = Point::new(coords[0], coords[1]);
-            match queries::enclosing_polygon(idx.as_ref(), p, map.len() * 2 + 16, &mut ctx) {
-                Some(walk) => {
-                    println!(
-                        "enclosing polygon: {} boundary segments (closed: {}):",
-                        walk.len(),
-                        walk.closed
-                    );
-                    print_segs(&walk.distinct_segments(), &map);
-                }
-                None => println!("empty map"),
-            }
-        }
-        _ => {
-            eprintln!("unknown query `{q}` or wrong number of coordinates");
-            return 2;
-        }
+    if !run_query(idx.as_ref(), &map, q, &coords, &mut ctx) {
+        return 2;
     }
+    print_query_stats(idx.as_ref(), &ctx);
+    0
+}
+
+fn print_query_stats(idx: &dyn SpatialIndex, ctx: &QueryCtx) {
     let s = ctx.stats();
     println!(
         "[{}] {} disk accesses, {} segment comps, {} bbox/bucket comps",
@@ -312,5 +361,265 @@ fn cmd_query(rest: &[String]) -> i32 {
         s.seg_comps,
         s.bbox_comps
     );
+}
+
+/// Execute and print one query. Returns false on an unrecognized query
+/// name or arity (reported to stderr).
+fn run_query(
+    idx: &dyn SpatialIndex,
+    map: &PolygonalMap,
+    q: &str,
+    coords: &[i32],
+    ctx: &mut QueryCtx,
+) -> bool {
+    let print_segs = |ids: &[SegId], map: &PolygonalMap| {
+        for id in ids {
+            println!("  {:?}: {:?}", id, map.segments[id.index()]);
+        }
+    };
+    match (q, coords.len()) {
+        ("incident", 2) => {
+            let got = idx.find_incident(Point::new(coords[0], coords[1]), ctx);
+            println!("{} incident segments:", got.len());
+            print_segs(&got, map);
+        }
+        ("nearest", 2) => {
+            let p = Point::new(coords[0], coords[1]);
+            match idx.nearest(p, ctx) {
+                Some(id) => {
+                    let d = map.segments[id.index()].dist2_point(p).to_f64().sqrt();
+                    println!("nearest segment (distance {d:.2}):");
+                    print_segs(&[id], map);
+                }
+                None => println!("empty map"),
+            }
+        }
+        ("knn", 3) => {
+            let p = Point::new(coords[0], coords[1]);
+            let got = idx.nearest_k(p, coords[2].max(0) as usize, ctx);
+            println!("{} nearest segments:", got.len());
+            for id in &got {
+                let d = map.segments[id.index()].dist2_point(p).to_f64().sqrt();
+                println!("  {:?} at {d:.2}: {:?}", id, map.segments[id.index()]);
+            }
+        }
+        ("window", 4) => {
+            let w = Rect::bounding(
+                Point::new(coords[0], coords[1]),
+                Point::new(coords[2], coords[3]),
+            );
+            let got = idx.window(w, ctx);
+            println!("{} segments in {w:?}:", got.len());
+            print_segs(&got, map);
+        }
+        ("polygon", 2) => {
+            let p = Point::new(coords[0], coords[1]);
+            match queries::enclosing_polygon(idx, p, map.len() * 2 + 16, ctx) {
+                Some(walk) => {
+                    println!(
+                        "enclosing polygon: {} boundary segments (closed: {}):",
+                        walk.len(),
+                        walk.closed
+                    );
+                    print_segs(&walk.distinct_segments(), map);
+                }
+                None => println!("empty map"),
+            }
+        }
+        _ => {
+            eprintln!("unknown query `{q}` or wrong number of coordinates");
+            return false;
+        }
+    }
+    true
+}
+
+fn cmd_serve(rest: &[String]) -> i32 {
+    use lsdb::server::{Server, ServerConfig};
+
+    let mut args = rest.to_vec();
+    let structure = structure_flag(&mut args);
+    let host = take_flag(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1".to_string());
+    let port: u16 = take_flag(&mut args, "--port")
+        .map(|v| parse_or_die(&v, "--port"))
+        .unwrap_or(4750);
+    let workers: usize = take_flag(&mut args, "--workers")
+        .map(|v| parse_or_die(&v, "--workers"))
+        .unwrap_or(4);
+    let page = take_flag(&mut args, "--page-size")
+        .map(|v| parse_or_die(&v, "--page-size"))
+        .unwrap_or(1024usize);
+    let pool = take_flag(&mut args, "--pool")
+        .map(|v| parse_or_die(&v, "--pool"))
+        .unwrap_or(16usize);
+    let Some(path) = args.first() else {
+        eprintln!("serve needs a map file");
+        return 2;
+    };
+    let map = load_map(path);
+    let cfg = IndexConfig {
+        page_size: page,
+        pool_pages: pool,
+    };
+    let start = std::time::Instant::now();
+    let Some(idx) = build_structure(&structure, &map, cfg) else {
+        return 2;
+    };
+    println!(
+        "built {} over {} ({} segments) in {:.2}s",
+        idx.name(),
+        map.name,
+        map.len(),
+        start.elapsed().as_secs_f64()
+    );
+    let config = ServerConfig {
+        workers: workers.max(1),
+        ..Default::default()
+    };
+    let server = match Server::bind((host.as_str(), port), idx, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {host}:{port}: {e}");
+            return 1;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!(
+            "serving on {addr} with {} worker(s); a SHUTDOWN request stops it",
+            workers.max(1)
+        ),
+        Err(_) => println!("serving on {host}:{port}"),
+    }
+    match server.run() {
+        Ok(report) => {
+            println!(
+                "served {} queries over {} connection(s)",
+                report.queries, report.connections
+            );
+            println!(
+                "totals: {} disk accesses, {} segment comps, {} bbox/bucket comps",
+                report.totals.disk.total(),
+                report.totals.seg_comps,
+                report.totals.bbox_comps
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("server error: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_bench_client(rest: &[String]) -> i32 {
+    use lsdb::bench::wire::requests_for;
+    use lsdb::bench::workloads::{QueryWorkbench, Workload};
+    use lsdb::server::{run_closed_loop, Client};
+    use std::net::ToSocketAddrs;
+
+    let mut args = rest.to_vec();
+    let Some(addr_str) = take_flag(&mut args, "--addr") else {
+        eprintln!("bench-client needs --addr HOST:PORT");
+        return 2;
+    };
+    let workload_name = take_flag(&mut args, "--workload").unwrap_or_else(|| "range".to_string());
+    let queries: usize = take_flag(&mut args, "--queries")
+        .map(|v| parse_or_die(&v, "--queries"))
+        .unwrap_or(1000);
+    let connections: usize = take_flag(&mut args, "--connections")
+        .map(|v| parse_or_die(&v, "--connections"))
+        .unwrap_or(1);
+    let seed: u64 = take_flag(&mut args, "--seed")
+        .map(|v| parse_or_die(&v, "--seed"))
+        .unwrap_or(0xC4A5);
+    let send_shutdown = if let Some(i) = args.iter().position(|a| a == "--shutdown") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let Some(path) = args.first() else {
+        eprintln!("bench-client needs the map file the server loaded (to derive the query stream)");
+        return 2;
+    };
+    let workload = match workload_name.as_str() {
+        "point1" => Workload::Point1,
+        "point2" => Workload::Point2,
+        "nearest1" => Workload::NearestOneStage,
+        "nearest2" => Workload::NearestTwoStage,
+        "polygon1" => Workload::PolygonOneStage,
+        "polygon2" => Workload::PolygonTwoStage,
+        "range" => Workload::Range,
+        other => {
+            eprintln!(
+                "unknown workload `{other}` (point1|point2|nearest1|nearest2|polygon1|polygon2|range)"
+            );
+            return 2;
+        }
+    };
+    let addr = match addr_str.to_socket_addrs().map(|mut it| it.next()) {
+        Ok(Some(a)) => a,
+        _ => {
+            eprintln!("cannot resolve address `{addr_str}`");
+            return 2;
+        }
+    };
+    let map = load_map(path);
+    let wb = QueryWorkbench::new(&map, queries, seed);
+    let requests = requests_for(&wb, workload);
+    println!(
+        "{} x {} against {addr}, {} connection(s)",
+        requests.len(),
+        workload.label(),
+        connections.max(1)
+    );
+    let report = match run_closed_loop(addr, &requests, connections.max(1)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("load run failed: {e}");
+            return 1;
+        }
+    };
+    let n = report.queries.max(1) as f64;
+    println!(
+        "throughput : {:.0} queries/s ({} queries in {:.3}s)",
+        report.throughput_qps(),
+        report.queries,
+        report.wall.as_secs_f64()
+    );
+    println!(
+        "latency    : p50 {:.0} us, p95 {:.0} us, p99 {:.0} us, max {:.0} us",
+        report.p50().as_secs_f64() * 1e6,
+        report.p95().as_secs_f64() * 1e6,
+        report.p99().as_secs_f64() * 1e6,
+        report.max_latency().as_secs_f64() * 1e6
+    );
+    println!(
+        "per query  : {:.2} disk accesses, {:.2} segment comps, {:.2} bbox/bucket comps, {:.2} results",
+        report.totals.disk.total() as f64 / n,
+        report.totals.seg_comps as f64 / n,
+        report.totals.bbox_comps as f64 / n,
+        report.result_items as f64 / n
+    );
+    match Client::connect(addr) {
+        Ok(mut client) => {
+            if let Ok((served, totals)) = client.stats() {
+                println!(
+                    "server     : {served} queries served since start, {} disk accesses total",
+                    totals.disk.total()
+                );
+            }
+            if send_shutdown {
+                match client.shutdown() {
+                    Ok(()) => println!("server shutdown requested"),
+                    Err(e) => {
+                        eprintln!("shutdown failed: {e}");
+                        return 1;
+                    }
+                }
+            }
+        }
+        Err(e) => eprintln!("post-run stats unavailable: {e}"),
+    }
     0
 }

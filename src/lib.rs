@@ -1,4 +1,5 @@
 //! Umbrella crate re-exporting the full lsdb public API.
+pub use lsdb_bench as bench;
 pub use lsdb_btree as btree;
 pub use lsdb_core as core;
 pub use lsdb_geom as geom;
@@ -8,4 +9,5 @@ pub use lsdb_pmr as pmr;
 pub use lsdb_repr as repr;
 pub use lsdb_rplus as rplus;
 pub use lsdb_rtree as rtree;
+pub use lsdb_server as server;
 pub use lsdb_tiger as tiger;

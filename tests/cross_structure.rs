@@ -190,7 +190,10 @@ fn resident_pages_are_free_cold_caches_fault() {
     // per-query context, never out of the shared index.
     let map = test_map(lsdb::tiger::CountyClass::Urban, 31);
     for kind in IndexKind::paper_three() {
-        let cfg = IndexConfig { page_size: 1024, pool_pages: 4096 };
+        let cfg = IndexConfig {
+            page_size: 1024,
+            pool_pages: 4096,
+        };
         let mut idx = build_index(kind, &map, cfg);
         let p = lsdb::geom::Point::new(8000, 8000);
         let mut ctx = QueryCtx::new();
@@ -257,11 +260,8 @@ fn k_nearest_matches_brute_force_ranking() {
                     // Distances must match the brute-force ranking (ties
                     // may permute ids, distances must agree rank-by-rank),
                     // and results must be distinct.
-                    let mut brute_d: Vec<Dist2> = map
-                        .segments
-                        .iter()
-                        .map(|s| s.dist2_point(p))
-                        .collect();
+                    let mut brute_d: Vec<Dist2> =
+                        map.segments.iter().map(|s| s.dist2_point(p)).collect();
                     brute_d.sort();
                     let mut seen = std::collections::HashSet::new();
                     for (rank, id) in got.iter().enumerate() {

@@ -3,10 +3,10 @@
 //! hold. (The full-scale numbers live in EXPERIMENTS.md and are produced
 //! by the `lsdb-bench` binaries.)
 
-use lsdb_bench::workloads::{QueryWorkbench, Workload};
-use lsdb_bench::{build_index, measure_build, IndexKind};
 use lsdb::core::IndexConfig;
 use lsdb::tiger::{generate, CountyClass, CountySpec};
+use lsdb_bench::workloads::{QueryWorkbench, Workload};
+use lsdb_bench::{build_index, measure_build, IndexKind};
 
 fn county(target: usize) -> lsdb::core::PolygonalMap {
     generate(&CountySpec::new(
@@ -56,7 +56,10 @@ fn fig6_pipeline_shape() {
     // Disk accesses decrease as the pool grows (fixed page size)...
     let mut prev = u64::MAX;
     for pool in [4usize, 16, 64] {
-        let cfg = IndexConfig { page_size: 1024, pool_pages: pool };
+        let cfg = IndexConfig {
+            page_size: 1024,
+            pool_pages: pool,
+        };
         let (_, rep) = measure_build(IndexKind::Pmr, &map, cfg);
         assert!(
             rep.disk_accesses <= prev,
@@ -68,7 +71,10 @@ fn fig6_pipeline_shape() {
     // ... and as the page size grows (fixed pool).
     let mut prev = u64::MAX;
     for page in [512usize, 2048, 8192] {
-        let cfg = IndexConfig { page_size: page, pool_pages: 16 };
+        let cfg = IndexConfig {
+            page_size: page,
+            pool_pages: 16,
+        };
         let (_, rep) = measure_build(IndexKind::Pmr, &map, cfg);
         assert!(
             rep.disk_accesses <= prev,
@@ -106,7 +112,11 @@ fn table2_pipeline_shape() {
     }
     let (rstar, rplus, pmr) = (&per[0], &per[1], &per[2]);
     // PMR point queries cost exactly one bucket computation on average.
-    assert!((pmr[0].bbox_comps - 1.0).abs() < 1e-9, "{}", pmr[0].bbox_comps);
+    assert!(
+        (pmr[0].bbox_comps - 1.0).abs() < 1e-9,
+        "{}",
+        pmr[0].bbox_comps
+    );
     // R-tree bbox comps dwarf PMR bucket comps on every workload (the
     // reason the paper couldn't put them on one plot).
     for wi in 0..Workload::ALL.len() {
@@ -148,7 +158,11 @@ fn occupancy_pipeline_shape() {
     for t in [4usize, 16] {
         let mut pmr = lsdb::pmr::PmrQuadtree::build(
             &map,
-            lsdb::pmr::PmrConfig { threshold: t, index: cfg, ..Default::default() },
+            lsdb::pmr::PmrConfig {
+                threshold: t,
+                index: cfg,
+                ..Default::default()
+            },
         );
         let occ = pmr.avg_bucket_occupancy();
         assert!(
@@ -157,4 +171,3 @@ fn occupancy_pipeline_shape() {
         );
     }
 }
-
