@@ -6,7 +6,7 @@
 //! `lsdb-server`'s closed-loop client against a server on a loopback
 //! ephemeral port (connections = `--threads`). The wire run must reproduce
 //! the in-process counters exactly (the protocol ships every query's
-//! [`QueryStats`] back in the reply); what differs is throughput and
+//! `QueryStats` back in the reply); what differs is throughput and
 //! latency, which is the point of the table.
 //!
 //! Usage: `cargo run --release -p lsdb-bench --bin netcost -- [--queries N] [--threads N]`

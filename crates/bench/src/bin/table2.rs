@@ -10,6 +10,7 @@
 //!
 //! Usage: `cargo run --release -p lsdb-bench --bin table2 -- [--queries N] [--threads N]`
 
+use lsdb_bench::json::{self, QueryRecord};
 use lsdb_bench::report::{fmt, render_table};
 use lsdb_bench::workloads::{QueryWorkbench, Workload};
 use lsdb_bench::{build_index, IndexKind, WorkloadConfig};
@@ -36,12 +37,17 @@ fn main() {
         .collect();
     let start = Instant::now();
     let mut results = Vec::new();
+    let mut walls_ms = Vec::new();
     for idx in &indexes {
-        let per: Vec<_> = Workload::ALL
-            .iter()
-            .map(|&w| wb.run_threaded(w, idx.as_ref(), wcfg.threads))
-            .collect();
+        let mut per = Vec::new();
+        let mut wall = Vec::new();
+        for &w in Workload::ALL.iter() {
+            let t = Instant::now();
+            per.push(wb.run_threaded(w, idx.as_ref(), wcfg.threads));
+            wall.push(t.elapsed().as_secs_f64() * 1e3);
+        }
         results.push(per);
+        walls_ms.push(wall);
     }
     let query_secs = start.elapsed().as_secs_f64();
     // Paper order: PMR, R+, R*.
@@ -91,4 +97,26 @@ fn main() {
         "query wall time: {query_secs:.2}s on {} thread(s)",
         wcfg.threads
     );
+
+    if let Some(path) = &wcfg.json {
+        let mut records = Vec::new();
+        for &si in &order {
+            for (wi, w) in Workload::ALL.iter().enumerate() {
+                records.push(QueryRecord {
+                    structure: IndexKind::paper_three()[si].label(),
+                    workload: w.label(),
+                    result: results[si][wi],
+                    wall_ms: walls_ms[si][wi],
+                });
+            }
+        }
+        let doc = json::render_queries(&map.name, map.len(), wcfg.queries, wcfg.threads, &records);
+        match json::write_file(path, &doc) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }

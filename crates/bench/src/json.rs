@@ -1,0 +1,144 @@
+//! Minimal hand-rolled JSON emission for the bench binaries (`--json`).
+//!
+//! The workspace deliberately has no serialization dependency, and the
+//! trajectory files only ever hold flat records, so a small writer is all
+//! that is needed. The output is deterministic (fixed key order, `\n`
+//! separators) so two runs can be compared with a plain text diff —
+//! that is how the counter-parity acceptance check works: dump
+//! `BENCH_queries.json` before and after a query-path change and diff
+//! everything except the wall-time fields.
+
+use crate::workloads::WorkloadResult;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One structure × workload measurement row of `BENCH_queries.json`.
+#[derive(Clone, Debug)]
+pub struct QueryRecord {
+    /// Structure label in the paper's reporting order ("PMR", "R+", "R*").
+    pub structure: String,
+    /// Workload label from [`crate::workloads::Workload::label`].
+    pub workload: &'static str,
+    /// Per-query averages for the batch.
+    pub result: WorkloadResult,
+    /// Wall time for the whole batch, milliseconds. Excluded from parity
+    /// diffs — it is the only non-deterministic field.
+    pub wall_ms: f64,
+}
+
+/// Render the `BENCH_queries.json` document: run parameters plus one
+/// record per structure × workload.
+pub fn render_queries(
+    map_name: &str,
+    segments: usize,
+    queries: usize,
+    threads: usize,
+    records: &[QueryRecord],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"table2\",");
+    let _ = writeln!(out, "  \"map\": {},", quote(map_name));
+    let _ = writeln!(out, "  \"segments\": {segments},");
+    let _ = writeln!(out, "  \"queries_per_workload\": {queries},");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"structure\": {}, \"workload\": {}, \"queries\": {}, \
+             \"disk_accesses\": {}, \"seg_comps\": {}, \"bbox_comps\": {}, \
+             \"avg_result\": {}, \"wall_ms\": {}}}",
+            quote(&r.structure),
+            quote(r.workload),
+            r.result.queries,
+            num(r.result.disk_accesses),
+            num(r.result.seg_comps),
+            num(r.result.bbox_comps),
+            num(r.result.avg_result),
+            num(r.wall_ms),
+        );
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write a rendered document, creating parent directories as needed.
+pub fn write_file(path: &Path, contents: &str) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, contents)
+}
+
+/// JSON string literal with the escapes our labels can actually contain.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number: Rust's `Display` for finite `f64` is valid JSON; guard the
+/// non-finite cases (which JSON cannot represent) with `null`.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting_and_numbers() {
+        assert_eq!(quote("R*"), "\"R*\"");
+        assert_eq!(quote("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(num(3.5), "3.5");
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(f64::NAN), "null");
+    }
+
+    #[test]
+    fn renders_well_formed_document() {
+        let rec = QueryRecord {
+            structure: "PMR".into(),
+            workload: "Point1",
+            result: WorkloadResult {
+                queries: 10,
+                disk_accesses: 4.25,
+                seg_comps: 7.0,
+                bbox_comps: 3.0,
+                avg_result: 2.5,
+            },
+            wall_ms: 1.5,
+        };
+        let doc = render_queries("Charles", 1234, 10, 1, &[rec.clone(), rec]);
+        // Structural smoke checks: balanced braces/brackets, expected keys,
+        // one comma between the two records.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+        assert!(doc.contains("\"map\": \"Charles\""));
+        assert!(doc.contains("\"disk_accesses\": 4.25"));
+        assert_eq!(doc.matches("}},").count() + doc.matches("},\n").count(), 1);
+    }
+}

@@ -19,6 +19,7 @@
 //! (`LSDB_SCALE`, `LSDB_QUERIES`, `LSDB_THREADS`, `LSDB_MAP_CACHE`), which
 //! overrides the defaults (1.0 / 1000 / 1 / `target/lsdb-maps`).
 
+pub mod json;
 pub mod report;
 pub mod wire;
 pub mod workloads;
@@ -149,6 +150,9 @@ pub struct WorkloadConfig {
     pub threads: usize,
     /// Directory for cached generated maps.
     pub map_cache: PathBuf,
+    /// If set, binaries additionally dump their measurements as JSON to
+    /// this path (machine-readable trajectory; see [`crate::json`]).
+    pub json: Option<PathBuf>,
 }
 
 impl Default for WorkloadConfig {
@@ -158,6 +162,7 @@ impl Default for WorkloadConfig {
             queries: 1000,
             threads: 1,
             map_cache: PathBuf::from("target/lsdb-maps"),
+            json: None,
         }
     }
 }
@@ -168,6 +173,7 @@ impl WorkloadConfig {
   --queries <n>       queries per workload type     (env LSDB_QUERIES, default 1000)
   --threads <n>       query worker threads          (env LSDB_THREADS, default 1)
   --map-cache <dir>   cached generated maps         (env LSDB_MAP_CACHE, default target/lsdb-maps)
+  --json <path>       also write results as JSON    (env LSDB_JSON, default off)
   -h, --help          print this help";
 
     pub fn new() -> Self {
@@ -188,6 +194,9 @@ impl WorkloadConfig {
         }
         if let Ok(v) = std::env::var("LSDB_MAP_CACHE") {
             cfg.map_cache = PathBuf::from(v);
+        }
+        if let Ok(v) = std::env::var("LSDB_JSON") {
+            cfg.json = Some(PathBuf::from(v));
         }
         cfg
     }
@@ -237,6 +246,7 @@ impl WorkloadConfig {
                     }
                 }
                 "--map-cache" => self.map_cache = PathBuf::from(value()?),
+                "--json" => self.json = Some(PathBuf::from(value()?)),
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -260,6 +270,11 @@ impl WorkloadConfig {
 
     pub fn with_map_cache(mut self, dir: impl Into<PathBuf>) -> Self {
         self.map_cache = dir.into();
+        self
+    }
+
+    pub fn with_json(mut self, path: impl Into<PathBuf>) -> Self {
+        self.json = Some(path.into());
         self
     }
 
@@ -380,6 +395,11 @@ mod tests {
             .try_apply_args(args(&["--map-cache=/tmp/x"]))
             .unwrap();
         assert_eq!(cfg.map_cache, PathBuf::from("/tmp/x"));
+        assert_eq!(cfg.json, None);
+        let cfg = WorkloadConfig::new()
+            .try_apply_args(args(&["--json", "/tmp/out.json"]))
+            .unwrap();
+        assert_eq!(cfg.json, Some(PathBuf::from("/tmp/out.json")));
         assert!(WorkloadConfig::new()
             .try_apply_args(args(&["--queries"]))
             .is_err());

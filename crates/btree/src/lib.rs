@@ -329,34 +329,38 @@ impl<S: Storage> BTree<S> {
         ctx: &mut lsdb_pager::PoolCtx,
         f: &mut impl FnMut(u64) -> ControlFlow<()>,
     ) -> ControlFlow<()> {
+        // Steady-state queries must not allocate, so instead of collecting
+        // keys or children into a Vec the page is re-read per item: after
+        // the first access the page is resident or pinned in `ctx`, and
+        // such re-reads are free in the disk counters.
         if level == 1 {
-            let keys = self.pool.read_page(pid, ctx, |buf| {
-                let count = LeafView::count(buf);
-                let start = LeafView::search(buf, lo).unwrap_or_else(|i| i);
-                let mut keys = Vec::new();
-                for i in start..count {
-                    let k = LeafView::key_at(buf, i);
-                    if k > hi {
-                        break;
-                    }
-                    keys.push(k);
-                }
-                keys
+            let (start, count) = self.pool.read_page(pid, ctx, |buf| {
+                (
+                    LeafView::search(buf, lo).unwrap_or_else(|i| i),
+                    LeafView::count(buf),
+                )
             });
-            for k in keys {
+            for i in start..count {
+                let k = self
+                    .pool
+                    .read_page(pid, ctx, |buf| LeafView::key_at(buf, i));
+                if k > hi {
+                    break;
+                }
                 f(k)?;
             }
             return ControlFlow::Continue(());
         }
-        let children = self.pool.read_page(pid, ctx, |buf| {
+        let (start, end) = self.pool.read_page(pid, ctx, |buf| {
             let count = InternalView::count(buf);
             let start = InternalView::child_index_for(buf, lo);
-            let end = InternalView::child_index_for(buf, hi);
-            (start..=end.min(count))
-                .map(|i| InternalView::child_at(buf, i))
-                .collect::<Vec<_>>()
+            let end = InternalView::child_index_for(buf, hi).min(count);
+            (start, end)
         });
-        for child in children {
+        for i in start..=end {
+            let child = self
+                .pool
+                .read_page(pid, ctx, |buf| InternalView::child_at(buf, i));
             self.scan_rec_ctx(child, level - 1, lo, hi, ctx, f)?;
         }
         ControlFlow::Continue(())
@@ -383,15 +387,16 @@ impl<S: Storage> BTree<S> {
                 (k >= lo).then_some(k)
             });
         }
-        let children = self.pool.read_page(pid, ctx, |buf| {
+        let (start, end) = self.pool.read_page(pid, ctx, |buf| {
             let count = InternalView::count(buf);
             let start = InternalView::child_index_for(buf, lo);
             let end = InternalView::child_index_for(buf, hi).min(count);
-            (start..=end)
-                .map(|i| InternalView::child_at(buf, i))
-                .collect::<Vec<PageId>>()
+            (start, end)
         });
-        for child in children.into_iter().rev() {
+        for i in (start..=end).rev() {
+            let child = self
+                .pool
+                .read_page(pid, ctx, |buf| InternalView::child_at(buf, i));
             if let Some(k) = self.last_rec_ctx(child, level - 1, lo, hi, ctx) {
                 return Some(k);
             }

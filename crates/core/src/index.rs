@@ -99,17 +99,22 @@ pub trait SpatialIndex: Send + Sync {
         LocId::NONE
     }
 
-    /// Query 3: a segment at minimal Euclidean distance from `p`
-    /// (`None` only when the index is empty). Ties may resolve to any of
-    /// the equidistant segments.
+    /// Query 3: the segment at minimal Euclidean distance from `p`
+    /// (`None` only when the index is empty). Ties at the minimum
+    /// distance resolve deterministically to the smallest [`SegId`], so
+    /// every structure returns the same segment for the same query.
     fn nearest(&self, p: Point, ctx: &mut QueryCtx) -> Option<SegId>;
 
     /// The `k` nearest segments to `p`, closest first (fewer if the index
-    /// holds fewer than `k`). The incremental best-first search the
-    /// structures use for [`SpatialIndex::nearest`] extends to ranked
-    /// retrieval at no extra cost — the point of Hoel & Samet's
+    /// holds fewer than `k`). Results are deduplicated and totally
+    /// ordered by `(distance², SegId)`: equidistant segments appear in
+    /// ascending id order, making the ranking — including every tie —
+    /// identical across structures and runs. The incremental best-first
+    /// search the structures use for [`SpatialIndex::nearest`] extends to
+    /// ranked retrieval at no extra cost — the point of Hoel & Samet's
     /// incremental algorithm. The default implementation is correct for
-    /// any structure but not incremental.
+    /// any structure (it conforms to the same ordering) but not
+    /// incremental.
     fn nearest_k(&self, p: Point, k: usize, ctx: &mut QueryCtx) -> Vec<SegId> {
         // Generic fallback: widen a window around p until it provably
         // contains the k nearest, then rank by exact distance.

@@ -13,6 +13,10 @@
 //! * the five paper queries: Q1/Q3/Q5 live on the trait
 //!   (`find_incident`, `nearest`, `window`); Q2 and Q4 are
 //!   structure-independent compositions implemented in [`queries`],
+//! * the shared query engines ([`traverse`]) — depth-first and best-first
+//!   traversal loops every index plugs its expansion policy into via
+//!   [`traverse::NodeAccess`], so all structures run the *same* query
+//!   algorithm and differ only in node decomposition,
 //! * query-workload generators ([`pointgen`]) covering the paper's
 //!   1-stage (uniform) and 2-stage (block-then-uniform) random points,
 //! * brute-force reference implementations ([`brute`]) used by every
@@ -26,6 +30,7 @@ pub mod queries;
 pub mod rectnode;
 mod seg_table;
 mod stats;
+pub mod traverse;
 
 pub use index::{IndexConfig, LocId, SpatialIndex};
 pub use map::{PlanarityViolation, PolygonalMap};

@@ -18,7 +18,10 @@
 //! paper's observation that R-tree-family 2-tuples "need not be sorted",
 //! unlike the PMR quadtree's B-tree pages.
 
-use lsdb_geom::Rect;
+use crate::traverse::{DfsSink, NnSink, NodeAccess};
+use crate::{LocId, QueryCtx, SegId, SegmentTable};
+use lsdb_geom::{Dist2, Point, Rect};
+use lsdb_pager::{MemPool, PageId};
 
 /// Node header bytes: tag (1) + pad (1) + count (2) + reserved (20).
 pub const HDR: usize = 24;
@@ -126,6 +129,173 @@ impl RectNode {
             r = r.union(&Self::entry(buf, i).rect);
         }
         r
+    }
+}
+
+/// Traversal handle for one R-tree-family node: its page plus its level
+/// (leaves are level 1), which is how the family distinguishes leaf pages
+/// without a per-page tag lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RectRef {
+    pub pid: PageId,
+    pub level: u32,
+}
+
+/// [`NodeAccess`] implementation shared by every structure that stores
+/// [`RectNode`] pages — the R\*-tree and the R+-tree. The two trees differ
+/// only in how pages are *built* (split/redistribution policy); their
+/// traversal, including the counter accounting (one bbox computation per
+/// entry on every page read), is identical, so one cursor serves both.
+pub struct RectTreeAccess<'a> {
+    pub pool: &'a MemPool,
+    pub table: &'a SegmentTable,
+    pub root: PageId,
+    /// Level of the root; leaves are level 1.
+    pub height: u32,
+}
+
+impl RectTreeAccess<'_> {
+    fn root_ref(&self) -> RectRef {
+        RectRef {
+            pid: self.root,
+            level: self.height,
+        }
+    }
+}
+
+impl NodeAccess for RectTreeAccess<'_> {
+    type Node = RectRef;
+
+    fn table(&self) -> &SegmentTable {
+        self.table
+    }
+
+    fn seed_point(
+        &self,
+        _p: Point,
+        _probe_only: bool,
+        _ctx: &mut QueryCtx,
+        sink: &mut DfsSink<RectRef>,
+    ) {
+        sink.node(self.root_ref());
+    }
+
+    fn expand_point(
+        &self,
+        n: RectRef,
+        p: Point,
+        probe_only: bool,
+        ctx: &mut QueryCtx,
+        sink: &mut DfsSink<RectRef>,
+    ) {
+        let QueryCtx {
+            index, bbox_comps, ..
+        } = ctx;
+        self.pool.read_page(n.pid, index, |buf| {
+            let count = RectNode::count(buf);
+            *bbox_comps += count as u64;
+            if n.level == 1 {
+                sink.arrive(LocId(n.pid.0 as u64));
+                if !probe_only {
+                    for i in 0..count {
+                        let e = RectNode::entry(buf, i);
+                        sink.entry(SegId(e.child), Some(e.rect));
+                    }
+                }
+            } else {
+                for i in 0..count {
+                    let e = RectNode::entry(buf, i);
+                    if e.rect.contains_point(p) {
+                        sink.node(RectRef {
+                            pid: PageId(e.child),
+                            level: n.level - 1,
+                        });
+                    }
+                }
+            }
+        });
+    }
+
+    fn seed_window(&self, _w: Rect, _ctx: &mut QueryCtx, sink: &mut DfsSink<RectRef>) {
+        sink.node(self.root_ref());
+    }
+
+    fn expand_window(&self, n: RectRef, w: Rect, ctx: &mut QueryCtx, sink: &mut DfsSink<RectRef>) {
+        let QueryCtx {
+            index, bbox_comps, ..
+        } = ctx;
+        self.pool.read_page(n.pid, index, |buf| {
+            let count = RectNode::count(buf);
+            *bbox_comps += count as u64;
+            if n.level == 1 {
+                for i in 0..count {
+                    let e = RectNode::entry(buf, i);
+                    sink.entry(SegId(e.child), Some(e.rect));
+                }
+            } else {
+                for i in 0..count {
+                    let e = RectNode::entry(buf, i);
+                    if w.intersects(&e.rect) {
+                        sink.node(RectRef {
+                            pid: PageId(e.child),
+                            level: n.level - 1,
+                        });
+                    }
+                }
+            }
+        });
+    }
+
+    fn seed_nearest(&self, _p: Point, _ctx: &mut QueryCtx, sink: &mut NnSink<RectRef>) {
+        sink.node(self.root_ref(), Dist2::ZERO);
+    }
+
+    fn expand_nearest(&self, n: RectRef, p: Point, ctx: &mut QueryCtx, sink: &mut NnSink<RectRef>) {
+        if n.level == 1 {
+            // Two-phase leaf expansion: the first read charges the page
+            // (and one bbox per entry, as every traversal of this family
+            // does); the per-entry reads below then hit the pinned copy for
+            // free while the segment fetches interleave their own charges.
+            let count = {
+                let QueryCtx {
+                    index, bbox_comps, ..
+                } = &mut *ctx;
+                self.pool.read_page(n.pid, index, |buf| {
+                    let c = RectNode::count(buf);
+                    *bbox_comps += c as u64;
+                    c
+                })
+            };
+            for i in 0..count {
+                let e = self
+                    .pool
+                    .read_page(n.pid, &mut ctx.index, |buf| RectNode::entry(buf, i));
+                let id = SegId(e.child);
+                let seg = self.table.get(id, ctx);
+                sink.exact(id, seg.dist2_point(p));
+            }
+        } else {
+            let QueryCtx {
+                index, bbox_comps, ..
+            } = ctx;
+            self.pool.read_page(n.pid, index, |buf| {
+                let count = RectNode::count(buf);
+                *bbox_comps += count as u64;
+                for i in 0..count {
+                    let e = RectNode::entry(buf, i);
+                    // No pruning against the best-so-far: the queue's
+                    // global ordering prunes for us (a node never pops
+                    // after the k-th result's distance).
+                    sink.node(
+                        RectRef {
+                            pid: PageId(e.child),
+                            level: n.level - 1,
+                        },
+                        Dist2::from_int(e.rect.dist2_point(p)),
+                    );
+                }
+            });
+        }
     }
 }
 

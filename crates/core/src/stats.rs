@@ -1,4 +1,5 @@
 use lsdb_pager::{DiskStats, PoolCtx};
+use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A snapshot of the three quantities the paper measures per query, plus
@@ -60,6 +61,10 @@ pub struct QueryCtx {
     pub seg_comps: u64,
     /// Bounding-box / bounding-bucket computations.
     pub bbox_comps: u64,
+    /// Reusable traversal scratch (stacks, priority queue, dedup set) owned
+    /// by the shared engines in [`crate::traverse`]. Deliberately survives
+    /// [`QueryCtx::reset`] so steady-state queries allocate nothing.
+    scratch: Option<Box<dyn Any + Send>>,
 }
 
 impl QueryCtx {
@@ -74,6 +79,16 @@ impl QueryCtx {
         self.seg.reset();
         self.seg_comps = 0;
         self.bbox_comps = 0;
+    }
+
+    /// Take the cached traversal scratch, if any (engine-internal).
+    pub(crate) fn take_scratch_slot(&mut self) -> Option<Box<dyn Any + Send>> {
+        self.scratch.take()
+    }
+
+    /// Return a traversal scratch for the next query (engine-internal).
+    pub(crate) fn put_scratch_slot(&mut self, s: Box<dyn Any + Send>) {
+        self.scratch = Some(s);
     }
 
     /// The paper-metric snapshot of this context.

@@ -15,8 +15,10 @@
 //! through [`lsdb_pager::BufferPool::read_page`] and all counting is
 //! charged to the caller's [`QueryCtx`].
 
+use lsdb_core::traverse::{DfsSink, NnSink, NodeAccess};
 use lsdb_core::{
-    IndexConfig, LocId, PolygonalMap, QueryCtx, QueryStats, SegId, SegmentTable, SpatialIndex,
+    traverse, IndexConfig, LocId, PolygonalMap, QueryCtx, QueryStats, SegId, SegmentTable,
+    SpatialIndex,
 };
 use lsdb_geom::{Dist2, Point, Rect, Segment, WORLD_SIZE};
 use lsdb_pager::{MemPool, PageId, PoolCtx};
@@ -126,19 +128,19 @@ impl UniformGrid {
         out
     }
 
-    /// Walk a cell's page chain on the shared read path.
-    fn cell_ids_ctx(&self, cx: i32, cy: i32, ctx: &mut PoolCtx) -> Vec<SegId> {
-        let mut out = Vec::new();
+    /// Walk a cell's page chain on the shared read path, streaming each
+    /// stored id into `f` (no intermediate collection).
+    fn for_each_cell_id(&self, cx: i32, cy: i32, index: &mut PoolCtx, f: &mut dyn FnMut(SegId)) {
         let Some((first, _)) = self.chains[self.cell_index(cx, cy)] else {
-            return out;
+            return;
         };
         let mut page = Some(first);
         while let Some(pid) = page {
-            page = self.pool.read_page(pid, ctx, |buf| {
+            page = self.pool.read_page(pid, index, |buf| {
                 let count = u16::from_le_bytes([buf[0], buf[1]]) as usize;
                 for i in 0..count {
                     let at = HDR + i * 4;
-                    out.push(SegId(u32::from_le_bytes(
+                    f(SegId(u32::from_le_bytes(
                         buf[at..at + 4].try_into().unwrap(),
                     )));
                 }
@@ -146,7 +148,6 @@ impl UniformGrid {
                 (next != u32::MAX).then_some(PageId(next))
             });
         }
-        out
     }
 
     /// Walk a cell's page chain on the build path (through the LRU).
@@ -242,6 +243,113 @@ impl UniformGrid {
     }
 }
 
+/// Expansion policy plugged into the shared engines. A "node" is a cell
+/// coordinate; like the PMR quadtree, point queries resolve entirely in
+/// the seed (the cell of `p` is arithmetic — one bucket computation, no
+/// disk), while window and nearest-neighbor traversals enumerate cells and
+/// charge one bucket computation per cell examined.
+impl NodeAccess for UniformGrid {
+    type Node = (i32, i32);
+
+    fn table(&self) -> &SegmentTable {
+        &self.table
+    }
+
+    fn seed_point(
+        &self,
+        p: Point,
+        probe_only: bool,
+        ctx: &mut QueryCtx,
+        sink: &mut DfsSink<(i32, i32)>,
+    ) {
+        // Like the PMR quadtree, the cell containing p holds every segment
+        // incident at p (grazing segments register via the closed region).
+        let (cx, cy) = self.cell_of_point(p);
+        let QueryCtx {
+            index, bbox_comps, ..
+        } = ctx;
+        *bbox_comps += 1;
+        sink.arrive(LocId(self.cell_index(cx, cy) as u64));
+        if !probe_only {
+            self.for_each_cell_id(cx, cy, index, &mut |id| sink.entry(id, None));
+        }
+    }
+
+    fn expand_point(
+        &self,
+        _node: (i32, i32),
+        _p: Point,
+        _probe_only: bool,
+        _ctx: &mut QueryCtx,
+        _sink: &mut DfsSink<(i32, i32)>,
+    ) {
+        unreachable!("grid point queries resolve in the seed — no nodes are emitted");
+    }
+
+    fn seed_window(&self, w: Rect, _ctx: &mut QueryCtx, sink: &mut DfsSink<(i32, i32)>) {
+        let s = self.cell_side();
+        let cx0 = (w.min.x / s).clamp(0, self.g - 1);
+        let cx1 = (w.max.x / s).clamp(0, self.g - 1);
+        let cy0 = (w.min.y / s).clamp(0, self.g - 1);
+        let cy1 = (w.max.y / s).clamp(0, self.g - 1);
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                sink.node((cx, cy));
+            }
+        }
+    }
+
+    fn expand_window(
+        &self,
+        (cx, cy): (i32, i32),
+        w: Rect,
+        ctx: &mut QueryCtx,
+        sink: &mut DfsSink<(i32, i32)>,
+    ) {
+        let QueryCtx {
+            index, bbox_comps, ..
+        } = ctx;
+        // Charged before the overlap test: examining the cell is the
+        // bucket computation, whether or not the window overlaps it.
+        *bbox_comps += 1;
+        if !w.intersects(&self.cell_rect(cx, cy)) {
+            return;
+        }
+        self.for_each_cell_id(cx, cy, index, &mut |id| sink.entry(id, None));
+    }
+
+    fn seed_nearest(&self, p: Point, _ctx: &mut QueryCtx, sink: &mut NnSink<(i32, i32)>) {
+        // Every cell enters the queue with its closed-region distance as
+        // the lower bound; cells are only *opened* (chain walked, bucket
+        // computation charged) when they pop before the k-th result, so
+        // the scan stays local without the legacy ring bookkeeping.
+        for cy in 0..self.g {
+            for cx in 0..self.g {
+                let d = Dist2::from_int(self.cell_closed_rect(cx, cy).dist2_point(p));
+                sink.node((cx, cy), d);
+            }
+        }
+    }
+
+    fn expand_nearest(
+        &self,
+        (cx, cy): (i32, i32),
+        p: Point,
+        ctx: &mut QueryCtx,
+        sink: &mut NnSink<(i32, i32)>,
+    ) {
+        let QueryCtx {
+            index, bbox_comps, ..
+        } = ctx;
+        *bbox_comps += 1;
+        // A segment is stored in every cell whose closed region it
+        // touches — in particular the cell containing its nearest point to
+        // p — so the cell distance is an admissible candidate bound.
+        let d = Dist2::from_int(self.cell_closed_rect(cx, cy).dist2_point(p));
+        self.for_each_cell_id(cx, cy, index, &mut |id| sink.candidate(id, d));
+    }
+}
+
 impl SpatialIndex for UniformGrid {
     fn name(&self) -> &'static str {
         "uniform grid"
@@ -280,100 +388,33 @@ impl SpatialIndex for UniformGrid {
     }
 
     fn find_incident(&self, p: Point, ctx: &mut QueryCtx) -> Vec<SegId> {
-        // Like the PMR quadtree, the cell containing p holds every segment
-        // incident at p (grazing segments register via the closed region).
-        let (cx, cy) = self.cell_of_point(p);
-        ctx.bbox_comps += 1;
-        let mut out = Vec::new();
-        for id in self.cell_ids_ctx(cx, cy, &mut ctx.index) {
-            let seg = self.table.get(id, ctx);
-            if seg.has_endpoint(p) {
-                out.push(id);
-            }
-        }
-        out
+        traverse::find_incident(self, p, ctx)
     }
 
     fn probe_point(&self, p: Point, ctx: &mut QueryCtx) -> LocId {
-        let (cx, cy) = self.cell_of_point(p);
-        ctx.bbox_comps += 1;
-        LocId(self.cell_index(cx, cy) as u64)
+        traverse::probe_point(self, p, ctx)
     }
 
     fn nearest(&self, p: Point, ctx: &mut QueryCtx) -> Option<SegId> {
         if self.len == 0 {
             return None;
         }
-        // Expanding ring search around p's cell.
-        let (pcx, pcy) = self.cell_of_point(p);
-        let s = self.cell_side() as i64;
-        let mut best: Option<(Dist2, SegId)> = None;
-        for ring in 0..self.g.max(1) * 2 {
-            // Once a candidate is closer than the nearest possible point
-            // of the next ring, stop.
-            if let Some((d, _)) = best {
-                let ring_dist = (ring as i64 - 1).max(0) * s;
-                if d <= Dist2::from_int(ring_dist * ring_dist) {
-                    break;
-                }
-            }
-            let mut any_cell = false;
-            for cy in (pcy - ring)..=(pcy + ring) {
-                for cx in (pcx - ring)..=(pcx + ring) {
-                    // Ring boundary only.
-                    if (cy - pcy).abs().max((cx - pcx).abs()) != ring {
-                        continue;
-                    }
-                    if cx < 0 || cy < 0 || cx >= self.g || cy >= self.g {
-                        continue;
-                    }
-                    any_cell = true;
-                    ctx.bbox_comps += 1;
-                    for id in self.cell_ids_ctx(cx, cy, &mut ctx.index) {
-                        let seg = self.table.get(id, ctx);
-                        let d = seg.dist2_point(p);
-                        if best.is_none_or(|(bd, bid)| (d, id) < (bd, bid)) {
-                            best = Some((d, id));
-                        }
-                    }
-                }
-            }
-            if !any_cell && best.is_some() {
-                break;
-            }
+        traverse::best_first_nearest(self, p, ctx)
+    }
+
+    fn nearest_k(&self, p: Point, k: usize, ctx: &mut QueryCtx) -> Vec<SegId> {
+        if self.len == 0 {
+            return Vec::new();
         }
-        best.map(|(_, id)| id)
+        traverse::best_first_nearest_k(self, p, k, ctx)
     }
 
     fn window(&self, w: Rect, ctx: &mut QueryCtx) -> Vec<SegId> {
-        let mut out = Vec::new();
-        self.window_visit(w, ctx, &mut |id| out.push(id));
-        out
+        traverse::window(self, w, ctx)
     }
 
     fn window_visit(&self, w: Rect, ctx: &mut QueryCtx, f: &mut dyn FnMut(SegId)) {
-        let s = self.cell_side();
-        let cx0 = (w.min.x / s).clamp(0, self.g - 1);
-        let cx1 = (w.max.x / s).clamp(0, self.g - 1);
-        let cy0 = (w.min.y / s).clamp(0, self.g - 1);
-        let cy1 = (w.max.y / s).clamp(0, self.g - 1);
-        let mut seen = std::collections::HashSet::new();
-        for cy in cy0..=cy1 {
-            for cx in cx0..=cx1 {
-                ctx.bbox_comps += 1;
-                if !w.intersects(&self.cell_rect(cx, cy)) {
-                    continue;
-                }
-                for id in self.cell_ids_ctx(cx, cy, &mut ctx.index) {
-                    if seen.insert(id) {
-                        let seg = self.table.get(id, ctx);
-                        if w.intersects_segment(&seg) {
-                            f(id);
-                        }
-                    }
-                }
-            }
-        }
+        traverse::window_visit(self, w, ctx, f);
     }
 
     fn stats(&self) -> QueryStats {

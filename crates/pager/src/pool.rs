@@ -54,6 +54,11 @@ impl std::ops::Sub for DiskStats {
 #[derive(Default)]
 pub struct PoolCtx {
     pinned: HashMap<PageId, Box<[u8]>>,
+    /// Retired pin buffers kept for reuse: [`PoolCtx::reset`] moves pinned
+    /// copies here instead of freeing them, and the next pins pop a
+    /// matching-size buffer instead of allocating. A warmed-up context
+    /// therefore runs whole queries without touching the allocator.
+    spare: Vec<Box<[u8]>>,
     /// Identity of the pool the pins were taken against. Page ids are only
     /// unique within one pool, so a context that wanders to a different
     /// pool drops its pins instead of serving the old pool's bytes.
@@ -71,7 +76,7 @@ impl PoolCtx {
     /// Drop all pins and zero the counters, making the context ready for
     /// the next query without reallocating.
     pub fn reset(&mut self) {
-        self.pinned.clear();
+        self.spare.extend(self.pinned.drain().map(|(_, data)| data));
         self.owner = None;
         self.stats = DiskStats::default();
     }
@@ -80,6 +85,18 @@ impl PoolCtx {
     pub fn pages_touched(&self) -> usize {
         self.pinned.len()
     }
+}
+
+/// Pop a reusable buffer of exactly `page_size` bytes from a context's
+/// spare list, discarding any stale ones retired against a pool with a
+/// different page size.
+fn take_spare(spare: &mut Vec<Box<[u8]>>, page_size: usize) -> Option<Box<[u8]>> {
+    while let Some(data) = spare.pop() {
+        if data.len() == page_size {
+            return Some(data);
+        }
+    }
+    None
 }
 
 struct Frame {
@@ -450,13 +467,22 @@ impl<S: Storage> BufferPool<S> {
             // The context last pinned pages of a different pool; its pins
             // are meaningless here (page ids are per-pool). Counters are
             // kept — only the pin cache is invalidated.
-            ctx.pinned.clear();
+            ctx.spare.extend(ctx.pinned.drain().map(|(_, data)| data));
             ctx.owner = Some(self.id);
         }
-        match ctx.pinned.entry(pid) {
+        let PoolCtx {
+            pinned,
+            spare,
+            stats,
+            ..
+        } = ctx;
+        match pinned.entry(pid) {
             Entry::Occupied(e) => Ok(f(e.into_mut())),
             Entry::Vacant(slot) => {
-                let mut data = vec![0u8; self.storage.page_size()].into_boxed_slice();
+                // Stale contents of a recycled buffer are fine: both arms
+                // below overwrite the full page before `f` sees it.
+                let mut data = take_spare(spare, self.storage.page_size())
+                    .unwrap_or_else(|| vec![0u8; self.storage.page_size()].into_boxed_slice());
                 let shard = self.shards[pid.0 as usize % self.shards.len()]
                     .read()
                     .unwrap();
@@ -467,7 +493,7 @@ impl<S: Storage> BufferPool<S> {
                         // Non-resident pages are never dirty (eviction
                         // writes back), so storage holds current bytes.
                         self.storage.read_page(pid, &mut data)?;
-                        ctx.stats.reads += 1;
+                        stats.reads += 1;
                     }
                 }
                 Ok(f(slot.insert(data)))

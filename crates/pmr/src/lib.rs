@@ -29,14 +29,16 @@
 //! 50k-segment county.
 
 use lsdb_btree::{BTree, MemBTree};
+use lsdb_core::traverse::{DfsSink, NnSink, NodeAccess};
 use lsdb_core::{
-    IndexConfig, LocId, PolygonalMap, QueryCtx, QueryStats, SegId, SegmentTable, SpatialIndex,
+    traverse, IndexConfig, LocId, PolygonalMap, PoolCtx, QueryCtx, QueryStats, SegId, SegmentTable,
+    SpatialIndex,
 };
 use lsdb_geom::morton::Block;
 use lsdb_geom::{Dist2, Point, Rect, Segment, MAX_DEPTH};
 use lsdb_pager::MemPool;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::HashSet;
 use std::ops::ControlFlow;
 
 /// Sentinel "segment id" marking an empty leaf block.
@@ -185,28 +187,30 @@ impl PmrQuadtree {
     // accesses to the query's context.
     // ------------------------------------------------------------------
 
-    /// Query-path twin of [`PmrQuadtree::block_entries`].
-    fn block_entries_ctx(&self, b: Block, ctx: &mut QueryCtx) -> Option<Vec<SegId>> {
-        let keys = self
+    /// Query-path twin of [`PmrQuadtree::block_entries`], streaming: runs
+    /// `f` over `b`'s segment ids (sentinel stripped) without collecting.
+    /// Returns `false` iff `b` is not a leaf of the decomposition (an
+    /// empty key range — every leaf holds at least one tuple).
+    fn scan_block_ctx(&self, b: Block, index: &mut PoolCtx, f: &mut dyn FnMut(SegId)) -> bool {
+        let mut any = false;
+        let _ = self
             .btree
-            .collect_range_ctx(key(b, 0), key(b, u32::MAX), &mut ctx.index);
-        if keys.is_empty() {
-            return None;
-        }
-        Some(
-            keys.into_iter()
-                .filter(|&k| payload_of_key(k) != EMPTY)
-                .map(|k| SegId(payload_of_key(k)))
-                .collect(),
-        )
+            .scan_range_ctx(key(b, 0), key(b, u32::MAX), index, &mut |k| {
+                any = true;
+                if payload_of_key(k) != EMPTY {
+                    f(SegId(payload_of_key(k)));
+                }
+                ControlFlow::Continue(())
+            });
+        any
     }
 
     /// Query-path twin of [`PmrQuadtree::leaf_containing`].
-    fn leaf_containing_ctx(&self, p: Point, ctx: &mut QueryCtx) -> Block {
+    fn leaf_containing_ctx(&self, p: Point, index: &mut PoolCtx) -> Block {
         let probe = key(Block::containing(p, self.max_depth), u32::MAX);
         let k = self
             .btree
-            .last_in_range_ctx(0, probe, &mut ctx.index)
+            .last_in_range_ctx(0, probe, index)
             .expect("decomposition covers the world");
         let b = block_of_key(k);
         debug_assert!(
@@ -214,25 +218,6 @@ impl PmrQuadtree {
             "predecessor block must contain p"
         );
         b
-    }
-
-    /// Query-path twin of [`PmrQuadtree::seed_blocks`].
-    fn seed_blocks_ctx(&self, p: Point, ctx: &mut QueryCtx) -> (Block, Vec<SegId>, Vec<Block>) {
-        let leaf = self.leaf_containing_ctx(p, ctx);
-        let segs = self
-            .block_entries_ctx(leaf, ctx)
-            .expect("leaf_containing returns a leaf");
-        let mut others = Vec::new();
-        let mut a = leaf;
-        while let Some(parent) = a.parent() {
-            for c in parent.children() {
-                if c != a {
-                    others.push(c);
-                }
-            }
-            a = parent;
-        }
-        (leaf, segs, others)
     }
 
     /// One-descent combined probe: `None` if `b` is not a leaf of the
@@ -480,33 +465,132 @@ impl PmrQuadtree {
     }
 }
 
-/// Best-first NN queue element.
-enum NnItem {
-    Block(Block),
-    Candidate(SegId),
-    Exact(SegId),
-}
+/// Expansion policy plugged into the shared engines. Unlike the R-tree
+/// family, a point query resolves entirely in the seed (one B-tree
+/// predecessor probe finds the bucket — the quadtree's "descent" is
+/// implicit in the locational code), and window/nearest traversals seed
+/// with the query point's bucket plus the off-path children of its
+/// ancestors, which partition the rest of the world.
+impl NodeAccess for PmrQuadtree {
+    type Node = Block;
 
-struct NnEntry {
-    dist: Dist2,
-    seq: u64,
-    item: NnItem,
-}
+    fn table(&self) -> &SegmentTable {
+        &self.table
+    }
 
-impl PartialEq for NnEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist && self.seq == other.seq
+    fn seed_point(
+        &self,
+        p: Point,
+        probe_only: bool,
+        ctx: &mut QueryCtx,
+        sink: &mut DfsSink<Block>,
+    ) {
+        // The block containing p holds every segment with an endpoint at p
+        // (any segment touching p touches this block's closed region) —
+        // one bucket computation, one locate, one bucket scan.
+        let QueryCtx {
+            index, bbox_comps, ..
+        } = ctx;
+        *bbox_comps += 1;
+        let b = self.leaf_containing_ctx(p, index);
+        // The block's packed locational code: (Morton code, depth).
+        sink.arrive(LocId(key(b, 0) >> 32));
+        if !probe_only {
+            self.scan_block_ctx(b, index, &mut |id| sink.entry(id, None));
+        }
     }
-}
-impl Eq for NnEntry {}
-impl PartialOrd for NnEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+    fn expand_point(
+        &self,
+        _node: Block,
+        _p: Point,
+        _probe_only: bool,
+        _ctx: &mut QueryCtx,
+        _sink: &mut DfsSink<Block>,
+    ) {
+        unreachable!("PMR point queries resolve in the seed — no nodes are emitted");
     }
-}
-impl Ord for NnEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.dist.cmp(&other.dist).then(self.seq.cmp(&other.seq))
+
+    fn seed_window(&self, w: Rect, ctx: &mut QueryCtx, sink: &mut DfsSink<Block>) {
+        // Seed from the window centre's bucket; only ancestor children
+        // that actually overlap the window are traversed further.
+        let center = Point::new(
+            w.min.x + (w.max.x - w.min.x) / 2,
+            w.min.y + (w.max.y - w.min.y) / 2,
+        );
+        let QueryCtx {
+            index, bbox_comps, ..
+        } = ctx;
+        let leaf = self.leaf_containing_ctx(center, index);
+        *bbox_comps += 1;
+        self.scan_block_ctx(leaf, index, &mut |id| sink.entry(id, None));
+        let mut a = leaf;
+        while let Some(parent) = a.parent() {
+            for c in parent.children() {
+                if c != a {
+                    sink.node(c);
+                }
+            }
+            a = parent;
+        }
+        // The legacy traversal popped the seed list as a stack (nearest
+        // ancestors last); emission order is visit order, so reverse.
+        sink.reverse_nodes();
+    }
+
+    fn expand_window(&self, b: Block, w: Rect, ctx: &mut QueryCtx, sink: &mut DfsSink<Block>) {
+        if !w.intersects(&b.rect()) {
+            return;
+        }
+        let QueryCtx {
+            index, bbox_comps, ..
+        } = ctx;
+        let is_leaf = self.scan_block_ctx(b, index, &mut |id| sink.entry(id, None));
+        if is_leaf {
+            *bbox_comps += 1;
+        } else {
+            for c in b.children() {
+                sink.node(c);
+            }
+            // Stack pop order of the legacy loop: last child first.
+            sink.reverse_nodes();
+        }
+    }
+
+    fn seed_nearest(&self, p: Point, ctx: &mut QueryCtx, sink: &mut NnSink<Block>) {
+        let QueryCtx {
+            index, bbox_comps, ..
+        } = ctx;
+        let leaf = self.leaf_containing_ctx(p, index);
+        *bbox_comps += 1;
+        let leaf_dist = Dist2::from_int(leaf.dist2_point(p));
+        self.scan_block_ctx(leaf, index, &mut |id| sink.candidate(id, leaf_dist));
+        let mut a = leaf;
+        while let Some(parent) = a.parent() {
+            for c in parent.children() {
+                if c != a {
+                    sink.node(c, Dist2::from_int(c.dist2_point(p)));
+                }
+            }
+            a = parent;
+        }
+    }
+
+    fn expand_nearest(&self, b: Block, p: Point, ctx: &mut QueryCtx, sink: &mut NnSink<Block>) {
+        let QueryCtx {
+            index, bbox_comps, ..
+        } = ctx;
+        // Lower-bound candidates by the block distance; the exact distance
+        // is computed (one segment comparison) when the candidate pops.
+        let block_dist = Dist2::from_int(b.dist2_point(p));
+        let is_leaf = self.scan_block_ctx(b, index, &mut |id| sink.candidate(id, block_dist));
+        if is_leaf {
+            *bbox_comps += 1;
+        } else {
+            for c in b.children() {
+                sink.node(c, Dist2::from_int(c.dist2_point(p)));
+            }
+        }
     }
 }
 
@@ -565,147 +649,33 @@ impl SpatialIndex for PmrQuadtree {
     }
 
     fn find_incident(&self, p: Point, ctx: &mut QueryCtx) -> Vec<SegId> {
-        // The block containing p holds every segment with an endpoint at p
-        // (any segment touching p touches this block's closed region).
-        ctx.bbox_comps += 1;
-        let b = self.leaf_containing_ctx(p, ctx);
-        let mut out = Vec::new();
-        for id in self.block_entries_ctx(b, ctx).unwrap_or_default() {
-            let seg = self.table.get(id, ctx);
-            if seg.has_endpoint(p) {
-                out.push(id);
-            }
-        }
-        out
+        traverse::find_incident(self, p, ctx)
     }
 
     fn probe_point(&self, p: Point, ctx: &mut QueryCtx) -> LocId {
-        ctx.bbox_comps += 1;
-        let b = self.leaf_containing_ctx(p, ctx);
-        // The block's packed locational code: (Morton code, depth).
-        LocId(key(b, 0) >> 32)
+        traverse::probe_point(self, p, ctx)
     }
 
     fn nearest(&self, p: Point, ctx: &mut QueryCtx) -> Option<SegId> {
-        self.nearest_k(p, 1, ctx).pop()
+        if self.len == 0 {
+            return None;
+        }
+        traverse::best_first_nearest(self, p, ctx)
     }
 
     fn nearest_k(&self, p: Point, k: usize, ctx: &mut QueryCtx) -> Vec<SegId> {
-        let mut out = Vec::new();
-        if self.len == 0 || k == 0 {
-            return out;
+        if self.len == 0 {
+            return Vec::new();
         }
-        let mut reported = std::collections::HashSet::new();
-        let mut heap: BinaryHeap<Reverse<NnEntry>> = BinaryHeap::new();
-        let mut seq = 0u64;
-        // Seed with the query point's own bucket and the off-path children
-        // of its ancestors (which partition the rest of the world).
-        let (leaf, segs, others) = self.seed_blocks_ctx(p, ctx);
-        ctx.bbox_comps += 1;
-        for id in segs {
-            seq += 1;
-            heap.push(Reverse(NnEntry {
-                dist: Dist2::from_int(leaf.dist2_point(p)),
-                seq,
-                item: NnItem::Candidate(id),
-            }));
-        }
-        for b in others {
-            seq += 1;
-            heap.push(Reverse(NnEntry {
-                dist: Dist2::from_int(b.dist2_point(p)),
-                seq,
-                item: NnItem::Block(b),
-            }));
-        }
-        while let Some(Reverse(NnEntry { item, .. })) = heap.pop() {
-            match item {
-                NnItem::Exact(id) => {
-                    // A q-edge lives in every block it crosses; report the
-                    // segment once.
-                    if reported.insert(id) {
-                        out.push(id);
-                        if out.len() == k {
-                            return out;
-                        }
-                    }
-                }
-                NnItem::Candidate(id) => {
-                    let seg = self.table.get(id, ctx);
-                    seq += 1;
-                    heap.push(Reverse(NnEntry {
-                        dist: seg.dist2_point(p),
-                        seq,
-                        item: NnItem::Exact(id),
-                    }));
-                }
-                NnItem::Block(b) => match self.block_entries_ctx(b, ctx) {
-                    Some(segs) => {
-                        ctx.bbox_comps += 1;
-                        for id in segs {
-                            seq += 1;
-                            // Lower-bound by the block distance; the exact
-                            // distance is computed when the candidate pops.
-                            heap.push(Reverse(NnEntry {
-                                dist: Dist2::from_int(b.dist2_point(p)),
-                                seq,
-                                item: NnItem::Candidate(id),
-                            }));
-                        }
-                    }
-                    None => {
-                        for c in b.children() {
-                            seq += 1;
-                            heap.push(Reverse(NnEntry {
-                                dist: Dist2::from_int(c.dist2_point(p)),
-                                seq,
-                                item: NnItem::Block(c),
-                            }));
-                        }
-                    }
-                },
-            }
-        }
-        out
+        traverse::best_first_nearest_k(self, p, k, ctx)
     }
 
     fn window(&self, w: Rect, ctx: &mut QueryCtx) -> Vec<SegId> {
-        let mut out = Vec::new();
-        self.window_visit(w, ctx, &mut |id| out.push(id));
-        out
+        traverse::window(self, w, ctx)
     }
 
     fn window_visit(&self, w: Rect, ctx: &mut QueryCtx, f: &mut dyn FnMut(SegId)) {
-        let mut seen: HashSet<SegId> = HashSet::new();
-        let mut scan = |segs: Vec<SegId>, ctx: &mut QueryCtx, f: &mut dyn FnMut(SegId)| {
-            ctx.bbox_comps += 1;
-            for id in segs {
-                if seen.insert(id) {
-                    let seg = self.table.get(id, ctx);
-                    if w.intersects_segment(&seg) {
-                        f(id);
-                    }
-                }
-            }
-        };
-        // Seed from the window centre's bucket; only ancestor children
-        // that actually overlap the window are traversed further.
-        let center = Point::new(
-            w.min.x + (w.max.x - w.min.x) / 2,
-            w.min.y + (w.max.y - w.min.y) / 2,
-        );
-        let (_, segs, others) = self.seed_blocks_ctx(center, ctx);
-        scan(segs, ctx, f);
-        let mut stack: Vec<Block> = others;
-        while let Some(b) = stack.pop() {
-            if !w.intersects(&b.rect()) {
-                continue;
-            }
-            match self.block_entries_ctx(b, ctx) {
-                Some(segs) => scan(segs, ctx, f),
-                None => stack.extend_from_slice(&b.children()),
-            }
-        }
+        traverse::window_visit(self, w, ctx, f);
     }
 
     fn stats(&self) -> QueryStats {

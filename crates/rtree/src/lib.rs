@@ -19,14 +19,14 @@ mod split;
 
 pub use split::RTreeKind;
 
-use lsdb_core::rectnode::{entries_mbr, Entry, RectNode};
+use lsdb_core::rectnode::{entries_mbr, Entry, RectNode, RectTreeAccess};
 use lsdb_core::{
-    IndexConfig, LocId, PolygonalMap, QueryCtx, QueryStats, SegId, SegmentTable, SpatialIndex,
+    traverse, IndexConfig, LocId, PolygonalMap, QueryCtx, QueryStats, SegId, SegmentTable,
+    SpatialIndex,
 };
-use lsdb_geom::{Dist2, Point, Rect};
+use lsdb_geom::{Point, Rect};
 use lsdb_pager::{MemPool, PageId};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Fraction of entries force-reinserted on the first overflow of a level
 /// (R\*-tree only). The paper and Beckmann et al. use 30%.
@@ -374,81 +374,16 @@ impl RTree {
     }
 
     // ------------------------------------------------------------------
-    // Queries
+    // Queries — all traversal lives in the shared engines; this crate
+    // contributes only the node layout via [`RectTreeAccess`].
     // ------------------------------------------------------------------
 
-    fn incident_rec(
-        &self,
-        pid: PageId,
-        level: u32,
-        p: Point,
-        ctx: &mut QueryCtx,
-        out: &mut Vec<SegId>,
-    ) {
-        let entries = self.pool.read_page(pid, &mut ctx.index, RectNode::entries);
-        ctx.bbox_comps += entries.len() as u64;
-        if level == 1 {
-            for e in entries {
-                if e.rect.contains_point(p) {
-                    let seg = self.table.get(SegId(e.child), ctx);
-                    if seg.has_endpoint(p) {
-                        out.push(SegId(e.child));
-                    }
-                }
-            }
-            return;
-        }
-        for e in entries {
-            if e.rect.contains_point(p) {
-                self.incident_rec(PageId(e.child), level - 1, p, ctx, out);
-            }
-        }
-    }
-
-    /// Point-location descent: visits the same nodes as a point query but
-    /// fetches no segment records (used by paper query 2's first step).
-    /// Records the first leaf page reached in `found`.
-    fn probe_rec(&self, pid: PageId, level: u32, p: Point, ctx: &mut QueryCtx, found: &mut LocId) {
-        let entries = self.pool.read_page(pid, &mut ctx.index, RectNode::entries);
-        ctx.bbox_comps += entries.len() as u64;
-        if level == 1 {
-            if *found == LocId::NONE {
-                *found = LocId(pid.0 as u64);
-            }
-            return;
-        }
-        for e in entries {
-            if e.rect.contains_point(p) {
-                self.probe_rec(PageId(e.child), level - 1, p, ctx, found);
-            }
-        }
-    }
-
-    fn window_rec(
-        &self,
-        pid: PageId,
-        level: u32,
-        w: Rect,
-        ctx: &mut QueryCtx,
-        f: &mut dyn FnMut(SegId),
-    ) {
-        let entries = self.pool.read_page(pid, &mut ctx.index, RectNode::entries);
-        ctx.bbox_comps += entries.len() as u64;
-        if level == 1 {
-            for e in entries {
-                if w.intersects(&e.rect) {
-                    let seg = self.table.get(SegId(e.child), ctx);
-                    if w.intersects_segment(&seg) {
-                        f(SegId(e.child));
-                    }
-                }
-            }
-            return;
-        }
-        for e in entries {
-            if w.intersects(&e.rect) {
-                self.window_rec(PageId(e.child), level - 1, w, ctx, f);
-            }
+    fn access(&self) -> RectTreeAccess<'_> {
+        RectTreeAccess {
+            pool: &self.pool,
+            table: &self.table,
+            root: self.root,
+            height: self.height,
         }
     }
 
@@ -507,37 +442,6 @@ impl RTree {
     }
 }
 
-/// Priority-queue element for best-first nearest-neighbour search
-/// (Hjaltason & Samet style: nodes, leaf entries, and exact segments share
-/// one queue keyed by lower-bound distance).
-enum NnItem {
-    Node { pid: PageId, level: u32 },
-    Exact { id: SegId },
-}
-
-struct NnEntry {
-    dist: Dist2,
-    seq: u64,
-    item: NnItem,
-}
-
-impl PartialEq for NnEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist && self.seq == other.seq
-    }
-}
-impl Eq for NnEntry {}
-impl PartialOrd for NnEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for NnEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.dist.cmp(&other.dist).then(self.seq.cmp(&other.seq))
-    }
-}
-
 impl SpatialIndex for RTree {
     fn name(&self) -> &'static str {
         self.kind.display_name()
@@ -591,93 +495,33 @@ impl SpatialIndex for RTree {
     }
 
     fn find_incident(&self, p: Point, ctx: &mut QueryCtx) -> Vec<SegId> {
-        let mut out = Vec::new();
-        self.incident_rec(self.root, self.height, p, ctx, &mut out);
-        out
+        traverse::find_incident(&self.access(), p, ctx)
     }
 
     fn probe_point(&self, p: Point, ctx: &mut QueryCtx) -> LocId {
-        let mut found = LocId::NONE;
-        self.probe_rec(self.root, self.height, p, ctx, &mut found);
-        found
+        traverse::probe_point(&self.access(), p, ctx)
     }
 
     fn nearest(&self, p: Point, ctx: &mut QueryCtx) -> Option<SegId> {
-        self.nearest_k(p, 1, ctx).pop()
+        if self.len == 0 {
+            return None;
+        }
+        traverse::best_first_nearest(&self.access(), p, ctx)
     }
 
     fn nearest_k(&self, p: Point, k: usize, ctx: &mut QueryCtx) -> Vec<SegId> {
-        let mut out = Vec::new();
-        if self.len == 0 || k == 0 {
-            return out;
+        if self.len == 0 {
+            return Vec::new();
         }
-        let mut heap: BinaryHeap<Reverse<NnEntry>> = BinaryHeap::new();
-        let mut seq = 0u64;
-        heap.push(Reverse(NnEntry {
-            dist: Dist2::ZERO,
-            seq,
-            item: NnItem::Node {
-                pid: self.root,
-                level: self.height,
-            },
-        }));
-        let mut reported = std::collections::HashSet::new();
-        while let Some(Reverse(NnEntry { item, .. })) = heap.pop() {
-            match item {
-                NnItem::Exact { id } => {
-                    // The R+-tree can enqueue one segment from several
-                    // leaves; report each segment once.
-                    if reported.insert(id) {
-                        out.push(id);
-                        if out.len() == k {
-                            return out;
-                        }
-                    }
-                }
-                NnItem::Node { pid, level } => {
-                    let entries = self.pool.read_page(pid, &mut ctx.index, RectNode::entries);
-                    ctx.bbox_comps += entries.len() as u64;
-                    if level == 1 {
-                        // The paper's algorithm (after Hoel & Samet [11]):
-                        // compute the actual distance of every segment in
-                        // a visited leaf — one segment-table access each.
-                        for e in entries {
-                            let seg = self.table.get(SegId(e.child), ctx);
-                            seq += 1;
-                            heap.push(Reverse(NnEntry {
-                                dist: seg.dist2_point(p),
-                                seq,
-                                item: NnItem::Exact { id: SegId(e.child) },
-                            }));
-                        }
-                    } else {
-                        for e in entries {
-                            let d = Dist2::from_int(e.rect.dist2_point(p));
-                            seq += 1;
-                            heap.push(Reverse(NnEntry {
-                                dist: d,
-                                seq,
-                                item: NnItem::Node {
-                                    pid: PageId(e.child),
-                                    level: level - 1,
-                                },
-                            }));
-                        }
-                    }
-                }
-            }
-        }
-        out
+        traverse::best_first_nearest_k(&self.access(), p, k, ctx)
     }
 
     fn window(&self, w: Rect, ctx: &mut QueryCtx) -> Vec<SegId> {
-        let mut out = Vec::new();
-        self.window_visit(w, ctx, &mut |id| out.push(id));
-        out
+        traverse::window(&self.access(), w, ctx)
     }
 
     fn window_visit(&self, w: Rect, ctx: &mut QueryCtx, f: &mut dyn FnMut(SegId)) {
-        self.window_rec(self.root, self.height, w, ctx, f);
+        traverse::window_visit(&self.access(), w, ctx, f);
     }
 
     fn stats(&self) -> QueryStats {

@@ -276,6 +276,129 @@ fn k_nearest_matches_brute_force_ranking() {
 }
 
 #[test]
+fn edge_cases_are_uniform_across_structures() {
+    // One parameterized sweep: empty index, k = 0, k > n, and zero-area
+    // windows (point and degenerate line) must behave identically for
+    // every structure — no panics, no phantom results.
+    use lsdb::geom::{Point, Rect, Segment};
+    let empty = PolygonalMap::new("empty", vec![]);
+    let tiny = PolygonalMap::new(
+        "tiny",
+        vec![
+            Segment::new(Point::new(0, 0), Point::new(10, 0)),
+            Segment::new(Point::new(0, 5), Point::new(10, 5)),
+            Segment::new(Point::new(200, 200), Point::new(210, 200)),
+        ],
+    );
+    let p = Point::new(3, 1);
+    for kind in all_kinds() {
+        // Empty index: every query answers "nothing" without touching disk.
+        let idx = build_index(kind, &empty, IndexConfig::default());
+        let mut ctx = QueryCtx::new();
+        assert_eq!(idx.len(), 0, "{kind:?}");
+        assert!(idx.find_incident(p, &mut ctx).is_empty(), "{kind:?}");
+        assert_eq!(idx.nearest(p, &mut ctx), None, "{kind:?}");
+        assert!(idx.nearest_k(p, 5, &mut ctx).is_empty(), "{kind:?}");
+        assert!(
+            idx.window(Rect::new(0, 0, 1000, 1000), &mut ctx).is_empty(),
+            "{kind:?}"
+        );
+
+        let idx = build_index(kind, &tiny, IndexConfig::default());
+        let mut ctx = QueryCtx::new();
+        // k = 0 is a no-op; k > n exhausts the index in (distance, id) order.
+        assert!(idx.nearest_k(p, 0, &mut ctx).is_empty(), "{kind:?}");
+        assert_eq!(
+            idx.nearest_k(p, 99, &mut ctx),
+            vec![SegId(0), SegId(1), SegId(2)],
+            "{kind:?} k > n"
+        );
+        // Zero-area windows: a point window on a segment interior, a point
+        // window in empty space, and a degenerate (zero-height) line window
+        // crossing both horizontal segments.
+        assert_eq!(
+            idx.window(Rect::new(5, 0, 5, 0), &mut ctx),
+            vec![SegId(0)],
+            "{kind:?} point window on segment"
+        );
+        assert!(
+            idx.window(Rect::new(50, 50, 50, 50), &mut ctx).is_empty(),
+            "{kind:?} point window in space"
+        );
+        assert_eq!(
+            brute::sorted(idx.window(Rect::new(0, 0, 10, 0), &mut ctx)),
+            brute::window(&tiny, Rect::new(0, 0, 10, 0)),
+            "{kind:?} zero-height window"
+        );
+    }
+}
+
+#[test]
+fn window_visit_streams_the_window_result_set() {
+    // Property: for random windows, `window_visit` must stream exactly the
+    // set `window` collects — same elements, no duplicates.
+    for (class, seed) in classes() {
+        let map = test_map(class, seed);
+        let mut gen = WindowGen::new(0.002, seed ^ 11);
+        let windows: Vec<_> = (0..30).map(|_| gen.next_window()).collect();
+        for kind in all_kinds() {
+            let idx = build_index(kind, &map, IndexConfig::default());
+            let mut ctx = QueryCtx::new();
+            for &w in &windows {
+                let collected = idx.window(w, &mut ctx);
+                let mut streamed = Vec::new();
+                idx.window_visit(w, &mut ctx, &mut |id| streamed.push(id));
+                assert_eq!(
+                    brute::sorted(streamed.clone()),
+                    brute::sorted(collected),
+                    "{kind:?} {class:?} window {w:?}"
+                );
+                let distinct: std::collections::HashSet<_> = streamed.iter().collect();
+                assert_eq!(
+                    distinct.len(),
+                    streamed.len(),
+                    "{kind:?} duplicate emission"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn k_nearest_is_deterministic_distance_then_id() {
+    // Property: `nearest_k(p, n)` must reproduce the brute-force ranking
+    // *including ties*: results ordered by (distance², SegId), identical
+    // across every structure.
+    for (class, seed) in classes() {
+        let map = test_map(class, seed);
+        let mut gen = UniformGen::new(seed ^ 13);
+        let probes: Vec<_> = (0..15).map(|_| gen.next_point()).collect();
+        for kind in all_kinds() {
+            let idx = build_index(kind, &map, IndexConfig::default());
+            let mut ctx = QueryCtx::new();
+            for &p in &probes {
+                let got = idx.nearest_k(p, map.len(), &mut ctx);
+                let mut want: Vec<(Dist2, SegId)> = map
+                    .segments
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.dist2_point(p), SegId(i as u32)))
+                    .collect();
+                want.sort();
+                let want: Vec<SegId> = want.into_iter().map(|(_, id)| id).collect();
+                assert_eq!(got, want, "{kind:?} {class:?} full ranking at {p:?}");
+                // And nearest() is exactly the head of that ranking.
+                assert_eq!(
+                    idx.nearest(p, &mut ctx),
+                    Some(want[0]),
+                    "{kind:?} {class:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn k_nearest_exhausts_small_index() {
     use lsdb::geom::{Point, Segment};
     let map = PolygonalMap::new(
