@@ -1,0 +1,203 @@
+//! Node-scan kernel microbenchmark: what the batched kernels in
+//! `lsdb_core::scan` buy over the per-entry loops the engines used to run.
+//!
+//! Three implementations of each predicate race over synthetic leaf pages
+//! of 256, 512 and 1024 entries (raw `RectNode` byte layout, no pool):
+//!
+//! * **entries+loop** — the pre-kernel query path: decode the whole page
+//!   into a `Vec<Entry>` (one allocation per visit), then filter;
+//! * **per-entry** — decode each entry in place with [`RectNode::entry`]
+//!   and test it, no allocation but one bounds-checked decode per entry;
+//! * **kernel** — the batched kernels ([`scan_intersecting`],
+//!   [`scan_containing_point`], [`scan_min_dist2`]): one zero-copy
+//!   [`EntryScan`] view, 4-wide branch-free rectangle tests.
+//!
+//! All three produce identical survivor sets (the differential tests in
+//! `lsdb-core` prove it); this binary only measures throughput.
+//!
+//! Usage: `cargo run --release -p lsdb-bench --bin scanbench -- [--iters N]`
+
+use lsdb_bench::report::render_table;
+use lsdb_core::rectnode::{Entry, RectNode, ENTRY, HDR};
+use lsdb_core::scan::{scan_containing_point, scan_intersecting, scan_min_dist2, EntryScan};
+use lsdb_geom::{Point, Rect};
+use lsdb_rng::StdRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Entry counts per synthetic page. 1 KB paper pages hold ~50 entries;
+/// the larger sizes show how the kernels scale when pages do.
+const PAGE_ENTRIES: [usize; 3] = [256, 512, 1024];
+
+/// Build a leaf page of `n` random entries in the on-disk byte layout,
+/// mirroring the differential tests: 25% zero-area rectangles.
+fn random_page(rng: &mut StdRng, n: usize) -> Vec<u8> {
+    let mut buf = vec![0u8; HDR + n * ENTRY];
+    RectNode::init(&mut buf, true);
+    for i in 0..n {
+        let x0 = rng.gen_range(-1000..1000);
+        let y0 = rng.gen_range(-1000..1000);
+        let (w, h) = if rng.gen_bool(0.25) {
+            (0, 0)
+        } else {
+            (rng.gen_range(0..100), rng.gen_range(0..100))
+        };
+        RectNode::push(
+            &mut buf,
+            Entry {
+                rect: Rect::new(x0, y0, x0 + w, y0 + h),
+                child: i as u32,
+            },
+        );
+    }
+    buf
+}
+
+/// Run `f` `iters` times over the page and report nanoseconds per entry.
+fn bench(iters: usize, n: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
+    // One untimed pass warms the page into cache.
+    let mut check = f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        check = check.wrapping_add(f());
+    }
+    let ns = start.elapsed().as_nanos() as f64;
+    (ns / (iters as f64 * n as f64), check)
+}
+
+fn main() {
+    let mut iters = 20_000usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iters" => {
+                i += 1;
+                iters = args[i].parse().expect("--iters N");
+            }
+            other => {
+                eprintln!("usage: scanbench [--iters N] (unknown arg {other})");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut rng = StdRng::seed_from_u64(0x5CA7);
+    let window = Rect::new(-300, -300, 250, 400);
+    let probe = Point::new(17, -42);
+
+    let mut rows = vec![vec![
+        "predicate".to_string(),
+        "entries/page".to_string(),
+        "entries+loop ns/e".to_string(),
+        "per-entry ns/e".to_string(),
+        "kernel ns/e".to_string(),
+        "kernel speedup".to_string(),
+    ]];
+
+    for n in PAGE_ENTRIES {
+        let page = random_page(&mut rng, n);
+        let buf = page.as_slice();
+
+        // --- window intersection -------------------------------------
+        let (vec_ns, a) = bench(iters, n, || {
+            let mut hits = 0u64;
+            for e in RectNode::entries(black_box(buf)) {
+                if window.intersects(&e.rect) {
+                    hits += e.child as u64;
+                }
+            }
+            hits
+        });
+        let (per_ns, b) = bench(iters, n, || {
+            let mut hits = 0u64;
+            for i in 0..RectNode::count(black_box(buf)) {
+                let e = RectNode::entry(buf, i);
+                if window.intersects(&e.rect) {
+                    hits += e.child as u64;
+                }
+            }
+            hits
+        });
+        let (ker_ns, c) = bench(iters, n, || {
+            let mut hits = 0u64;
+            let scan = EntryScan::of_node(black_box(buf));
+            scan_intersecting(&scan, &window, |e| hits += e.child as u64);
+            hits
+        });
+        assert!(a == b && b == c, "window survivor sets diverged");
+        rows.push(row("window", n, vec_ns, per_ns, ker_ns));
+
+        // --- point containment ---------------------------------------
+        let (vec_ns, a) = bench(iters, n, || {
+            let mut hits = 0u64;
+            for e in RectNode::entries(black_box(buf)) {
+                if e.rect.contains_point(probe) {
+                    hits += e.child as u64;
+                }
+            }
+            hits
+        });
+        let (per_ns, b) = bench(iters, n, || {
+            let mut hits = 0u64;
+            for i in 0..RectNode::count(black_box(buf)) {
+                let e = RectNode::entry(buf, i);
+                if e.rect.contains_point(probe) {
+                    hits += e.child as u64;
+                }
+            }
+            hits
+        });
+        let (ker_ns, c) = bench(iters, n, || {
+            let mut hits = 0u64;
+            let scan = EntryScan::of_node(black_box(buf));
+            scan_containing_point(&scan, probe, |e| hits += e.child as u64);
+            hits
+        });
+        assert!(a == b && b == c, "point survivor sets diverged");
+        rows.push(row("point", n, vec_ns, per_ns, ker_ns));
+
+        // --- min distance --------------------------------------------
+        let (vec_ns, a) = bench(iters, n, || {
+            let mut acc = 0u64;
+            for e in RectNode::entries(black_box(buf)) {
+                acc = acc.wrapping_add(e.rect.dist2_point(probe) as u64);
+            }
+            acc
+        });
+        let (per_ns, b) = bench(iters, n, || {
+            let mut acc = 0u64;
+            for i in 0..RectNode::count(black_box(buf)) {
+                let e = RectNode::entry(buf, i);
+                acc = acc.wrapping_add(e.rect.dist2_point(probe) as u64);
+            }
+            acc
+        });
+        let (ker_ns, c) = bench(iters, n, || {
+            let mut acc = 0u64;
+            let scan = EntryScan::of_node(black_box(buf));
+            scan_min_dist2(&scan, probe, |_, d| acc = acc.wrapping_add(d as u64));
+            acc
+        });
+        assert!(a == b && b == c, "dist2 sums diverged");
+        rows.push(row("dist2", n, vec_ns, per_ns, ker_ns));
+    }
+
+    println!("Node-scan kernels vs per-entry loops ({iters} iterations per cell, ns per entry)\n");
+    println!("{}", render_table(&rows));
+    println!("entries+loop = decode page into Vec<Entry>, then filter (pre-kernel query path);");
+    println!("per-entry    = in-place single-entry decode + test;");
+    println!("kernel       = lsdb_core::scan batched 4-wide branch-free kernels.");
+}
+
+fn row(pred: &str, n: usize, vec_ns: f64, per_ns: f64, ker_ns: f64) -> Vec<String> {
+    vec![
+        pred.to_string(),
+        n.to_string(),
+        format!("{vec_ns:.2}"),
+        format!("{per_ns:.2}"),
+        format!("{ker_ns:.2}"),
+        format!("{:.2}x", per_ns / ker_ns),
+    ]
+}

@@ -56,7 +56,7 @@ pub fn render_queries(
             num(r.result.seg_comps),
             num(r.result.bbox_comps),
             num(r.result.avg_result),
-            num(r.wall_ms),
+            num(round_ms(r.wall_ms)),
         );
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
@@ -105,6 +105,14 @@ fn num(v: f64) -> String {
     }
 }
 
+/// Wall times are measured to nanoseconds but reported in milliseconds;
+/// rounding to 3 decimals (microsecond resolution) keeps the emitted
+/// document free of 17-digit float noise without losing anything a
+/// wall-clock comparison could use.
+fn round_ms(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +124,27 @@ mod tests {
         assert_eq!(num(3.5), "3.5");
         assert_eq!(num(0.0), "0");
         assert_eq!(num(f64::NAN), "null");
+    }
+
+    #[test]
+    fn wall_times_round_to_microseconds() {
+        assert_eq!(round_ms(630.3666666667), 630.367);
+        assert_eq!(round_ms(0.00049), 0.0);
+        assert_eq!(round_ms(1.0), 1.0);
+        let rec = QueryRecord {
+            structure: "R*".into(),
+            workload: "Range",
+            result: WorkloadResult {
+                queries: 1,
+                disk_accesses: 1.0,
+                seg_comps: 1.0,
+                bbox_comps: 1.0,
+                avg_result: 1.0,
+            },
+            wall_ms: 12.345678901,
+        };
+        let doc = render_queries("Charles", 1, 1, 1, &[rec]);
+        assert!(doc.contains("\"wall_ms\": 12.346"), "{doc}");
     }
 
     #[test]

@@ -245,14 +245,11 @@ impl<S: Storage> BTree<S> {
         let mut pid = self.root;
         let mut level = self.height;
         loop {
+            let buf = self.pool.read_page_pinned(pid, ctx);
             if level == 1 {
-                return self
-                    .pool
-                    .read_page(pid, ctx, |buf| LeafView::search(buf, key).is_ok());
+                return LeafView::search(buf, key).is_ok();
             }
-            pid = self
-                .pool
-                .read_page(pid, ctx, |buf| InternalView::child_for(buf, key));
+            pid = InternalView::child_for(buf, key);
             level -= 1;
         }
     }
@@ -329,39 +326,37 @@ impl<S: Storage> BTree<S> {
         ctx: &mut lsdb_pager::PoolCtx,
         f: &mut impl FnMut(u64) -> ControlFlow<()>,
     ) -> ControlFlow<()> {
-        // Steady-state queries must not allocate, so instead of collecting
-        // keys or children into a Vec the page is re-read per item: after
-        // the first access the page is resident or pinned in `ctx`, and
-        // such re-reads are free in the disk counters.
+        // Steady-state queries must not allocate: leaves are walked in
+        // place over the pinned borrow, and internal child ids are staged
+        // through a fixed stack buffer. Re-borrowing the parent between
+        // chunks is free in the disk counters — the page is already pinned
+        // in `ctx` after its first access.
         if level == 1 {
-            let (start, count) = self.pool.read_page(pid, ctx, |buf| {
-                (
-                    LeafView::search(buf, lo).unwrap_or_else(|i| i),
-                    LeafView::count(buf),
-                )
-            });
-            for i in start..count {
-                let k = self
-                    .pool
-                    .read_page(pid, ctx, |buf| LeafView::key_at(buf, i));
-                if k > hi {
-                    break;
-                }
-                f(k)?;
-            }
-            return ControlFlow::Continue(());
+            let buf = self.pool.read_page_pinned(pid, ctx);
+            let start = LeafView::search(buf, lo).unwrap_or_else(|i| i);
+            let count = LeafView::count(buf);
+            return lsdb_core::scan::scan_keys_le(LeafView::key_bytes(buf, start, count), hi, f);
         }
-        let (start, end) = self.pool.read_page(pid, ctx, |buf| {
-            let count = InternalView::count(buf);
-            let start = InternalView::child_index_for(buf, lo);
-            let end = InternalView::child_index_for(buf, hi).min(count);
-            (start, end)
-        });
-        for i in start..=end {
-            let child = self
-                .pool
-                .read_page(pid, ctx, |buf| InternalView::child_at(buf, i));
-            self.scan_rec_ctx(child, level - 1, lo, hi, ctx, f)?;
+        let buf = self.pool.read_page_pinned(pid, ctx);
+        let count = InternalView::count(buf);
+        let start = InternalView::child_index_for(buf, lo);
+        let end = InternalView::child_index_for(buf, hi).min(count);
+        // Recursing needs `ctx` back, so child ids are staged on the stack
+        // in fixed chunks rather than re-reading the parent per child (or
+        // collecting into a Vec — steady-state queries must not allocate).
+        const CHUNK: usize = 32;
+        let mut kids = [PageId(0); CHUNK];
+        let mut i = start;
+        while i <= end {
+            let n = (end - i + 1).min(CHUNK);
+            let buf = self.pool.read_page_pinned(pid, ctx);
+            for (j, kid) in kids[..n].iter_mut().enumerate() {
+                *kid = InternalView::child_at(buf, i + j);
+            }
+            for &child in &kids[..n] {
+                self.scan_rec_ctx(child, level - 1, lo, hi, ctx, f)?;
+            }
+            i += n;
         }
         ControlFlow::Continue(())
     }
@@ -375,28 +370,26 @@ impl<S: Storage> BTree<S> {
         ctx: &mut lsdb_pager::PoolCtx,
     ) -> Option<u64> {
         if level == 1 {
-            return self.pool.read_page(pid, ctx, |buf| {
-                let end = match LeafView::search(buf, hi) {
-                    Ok(i) => i + 1,
-                    Err(i) => i,
-                };
-                if end == 0 {
-                    return None;
-                }
-                let k = LeafView::key_at(buf, end - 1);
-                (k >= lo).then_some(k)
-            });
+            let buf = self.pool.read_page_pinned(pid, ctx);
+            let end = match LeafView::search(buf, hi) {
+                Ok(i) => i + 1,
+                Err(i) => i,
+            };
+            if end == 0 {
+                return None;
+            }
+            let k = LeafView::key_at(buf, end - 1);
+            return (k >= lo).then_some(k);
         }
-        let (start, end) = self.pool.read_page(pid, ctx, |buf| {
-            let count = InternalView::count(buf);
-            let start = InternalView::child_index_for(buf, lo);
-            let end = InternalView::child_index_for(buf, hi).min(count);
-            (start, end)
-        });
+        let buf = self.pool.read_page_pinned(pid, ctx);
+        let count = InternalView::count(buf);
+        let start = InternalView::child_index_for(buf, lo);
+        let end = InternalView::child_index_for(buf, hi).min(count);
+        // Rightmost candidate almost always hits, so a per-child pinned
+        // re-borrow (free in the disk counters) beats staging the ids.
         for i in (start..=end).rev() {
-            let child = self
-                .pool
-                .read_page(pid, ctx, |buf| InternalView::child_at(buf, i));
+            let buf = self.pool.read_page_pinned(pid, ctx);
+            let child = InternalView::child_at(buf, i);
             if let Some(k) = self.last_rec_ctx(child, level - 1, lo, hi, ctx) {
                 return Some(k);
             }

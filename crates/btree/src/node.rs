@@ -74,6 +74,14 @@ impl LeafView {
         get_u64(buf, HDR + i * LEAF_ENTRY)
     }
 
+    /// The raw bytes of the key region `start..count` — a packed array of
+    /// ascending `u64` LE keys, handed to the shared scan kernel so range
+    /// scans walk the page in place instead of re-decoding per index.
+    pub fn key_bytes(buf: &[u8], start: usize, count: usize) -> &[u8] {
+        debug_assert!(start <= count && count <= Self::count(buf));
+        &buf[HDR + start * LEAF_ENTRY..HDR + count * LEAF_ENTRY]
+    }
+
     /// Binary search: `Ok(i)` if `key` is at index `i`, else `Err(i)` with
     /// the insertion point.
     pub fn search(buf: &[u8], key: u64) -> Result<usize, usize> {

@@ -87,6 +87,18 @@ pub trait SpatialIndex: Send + Sync {
     /// Query 1: all segments with an endpoint exactly at `p`.
     fn find_incident(&self, p: Point, ctx: &mut QueryCtx) -> Vec<SegId>;
 
+    /// Streaming query 1: invoke `f` once per incident segment instead of
+    /// materializing a result vector. Compositions that fire many
+    /// incidence queries in a row (the polygon walk of query 4) call this
+    /// with a reused buffer. Structures with a native traversal override
+    /// it; the default delegates to [`SpatialIndex::find_incident`].
+    /// Identical result set, order and counters either way.
+    fn find_incident_visit(&self, p: Point, ctx: &mut QueryCtx, f: &mut dyn FnMut(SegId)) {
+        for id in self.find_incident(p, ctx) {
+            f(id);
+        }
+    }
+
     /// Locate the leaf (or bucket) containing `p` without fetching any
     /// segment records — the cheap "find where this endpoint lives" step
     /// the paper's query 2 performs before searching the other endpoint.

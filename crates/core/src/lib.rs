@@ -17,6 +17,9 @@
 //!   traversal loops every index plugs its expansion policy into via
 //!   [`traverse::NodeAccess`], so all structures run the *same* query
 //!   algorithm and differ only in node decomposition,
+//! * the hot-path scan kernels ([`scan`]) — zero-copy views over node
+//!   pages and batched, auto-vectorizable rectangle predicates that every
+//!   structure's node decoding goes through,
 //! * query-workload generators ([`pointgen`]) covering the paper's
 //!   1-stage (uniform) and 2-stage (block-then-uniform) random points,
 //! * brute-force reference implementations ([`brute`]) used by every
@@ -28,6 +31,7 @@ mod map;
 pub mod pointgen;
 pub mod queries;
 pub mod rectnode;
+pub mod scan;
 mod seg_table;
 mod stats;
 pub mod traverse;

@@ -105,18 +105,25 @@ pub fn enclosing_polygon<I: SpatialIndex + ?Sized>(
         closed: false,
     };
     let mut current = e0;
+    // The walk fires one incidence query per boundary vertex — hundreds
+    // on rural faces — so the per-step working vectors live outside the
+    // loop and are refilled in place.
+    let mut incident: Vec<SegId> = Vec::new();
+    let mut dirs: Vec<Dir> = Vec::new();
+    let mut far: Vec<Point> = Vec::new();
     for _ in 0..max_steps {
         // Query 2 at v: segments incident at the far end of the current
         // edge, then select the clockwise-first one from the reversed
         // incoming direction.
-        let incident = index.find_incident(v, ctx);
+        incident.clear();
+        index.find_incident_visit(v, ctx, &mut |id| incident.push(id));
         debug_assert!(
             incident.contains(&current),
             "index lost the current boundary edge at {v:?}"
         );
         let d_in = Dir::between(v, u);
-        let mut dirs = Vec::with_capacity(incident.len());
-        let mut far = Vec::with_capacity(incident.len());
+        dirs.clear();
+        far.clear();
         for &cand in &incident {
             let s = index.seg_table().get(cand, ctx);
             let w = s.other_endpoint(v);

@@ -18,6 +18,7 @@
 //! paper's observation that R-tree-family 2-tuples "need not be sorted",
 //! unlike the PMR quadtree's B-tree pages.
 
+use crate::scan::{self, EntryScan};
 use crate::traverse::{DfsSink, NnSink, NodeAccess};
 use crate::{LocId, QueryCtx, SegId, SegmentTable};
 use lsdb_geom::{Dist2, Point, Rect};
@@ -106,6 +107,9 @@ impl RectNode {
         Self::set_count(buf, c - 1);
     }
 
+    /// Materialize all entries as an owned vector. Build/split path only:
+    /// splits and redistributions genuinely want a reorderable `Vec`. The
+    /// query path walks pages zero-copy through [`EntryScan`] instead.
     pub fn entries(buf: &[u8]) -> Vec<Entry> {
         (0..Self::count(buf)).map(|i| Self::entry(buf, i)).collect()
     }
@@ -191,29 +195,28 @@ impl NodeAccess for RectTreeAccess<'_> {
         let QueryCtx {
             index, bbox_comps, ..
         } = ctx;
-        self.pool.read_page(n.pid, index, |buf| {
-            let count = RectNode::count(buf);
-            *bbox_comps += count as u64;
-            if n.level == 1 {
-                sink.arrive(LocId(n.pid.0 as u64));
-                if !probe_only {
-                    for i in 0..count {
-                        let e = RectNode::entry(buf, i);
-                        sink.entry(SegId(e.child), Some(e.rect));
-                    }
-                }
+        let buf = self.pool.read_page_pinned(n.pid, index);
+        let entries = EntryScan::of_node(buf);
+        // One bbox computation per entry scanned — the kernels report the
+        // scanned count, which is the full node occupancy regardless of
+        // how many entries pass the filter (identical to the historical
+        // per-entry loop's charge).
+        if n.level == 1 {
+            sink.arrive(LocId(n.pid.0 as u64));
+            if probe_only {
+                *bbox_comps += entries.len() as u64;
             } else {
-                for i in 0..count {
-                    let e = RectNode::entry(buf, i);
-                    if e.rect.contains_point(p) {
-                        sink.node(RectRef {
-                            pid: PageId(e.child),
-                            level: n.level - 1,
-                        });
-                    }
-                }
+                *bbox_comps +=
+                    scan::scan_containing_point(&entries, p, |e| sink.entry(SegId(e.child))) as u64;
             }
-        });
+        } else {
+            *bbox_comps += scan::scan_containing_point(&entries, p, |e| {
+                sink.node(RectRef {
+                    pid: PageId(e.child),
+                    level: n.level - 1,
+                });
+            }) as u64;
+        }
     }
 
     fn seed_window(&self, _w: Rect, _ctx: &mut QueryCtx, sink: &mut DfsSink<RectRef>) {
@@ -224,26 +227,19 @@ impl NodeAccess for RectTreeAccess<'_> {
         let QueryCtx {
             index, bbox_comps, ..
         } = ctx;
-        self.pool.read_page(n.pid, index, |buf| {
-            let count = RectNode::count(buf);
-            *bbox_comps += count as u64;
-            if n.level == 1 {
-                for i in 0..count {
-                    let e = RectNode::entry(buf, i);
-                    sink.entry(SegId(e.child), Some(e.rect));
-                }
-            } else {
-                for i in 0..count {
-                    let e = RectNode::entry(buf, i);
-                    if w.intersects(&e.rect) {
-                        sink.node(RectRef {
-                            pid: PageId(e.child),
-                            level: n.level - 1,
-                        });
-                    }
-                }
-            }
-        });
+        let buf = self.pool.read_page_pinned(n.pid, index);
+        let entries = EntryScan::of_node(buf);
+        if n.level == 1 {
+            *bbox_comps +=
+                scan::scan_intersecting(&entries, &w, |e| sink.entry(SegId(e.child))) as u64;
+        } else {
+            *bbox_comps += scan::scan_intersecting(&entries, &w, |e| {
+                sink.node(RectRef {
+                    pid: PageId(e.child),
+                    level: n.level - 1,
+                });
+            }) as u64;
+        }
     }
 
     fn seed_nearest(&self, _p: Point, _ctx: &mut QueryCtx, sink: &mut NnSink<RectRef>) {
@@ -252,49 +248,46 @@ impl NodeAccess for RectTreeAccess<'_> {
 
     fn expand_nearest(&self, n: RectRef, p: Point, ctx: &mut QueryCtx, sink: &mut NnSink<RectRef>) {
         if n.level == 1 {
-            // Two-phase leaf expansion: the first read charges the page
-            // (and one bbox per entry, as every traversal of this family
-            // does); the per-entry reads below then hit the pinned copy for
-            // free while the segment fetches interleave their own charges.
-            let count = {
-                let QueryCtx {
-                    index, bbox_comps, ..
-                } = &mut *ctx;
-                self.pool.read_page(n.pid, index, |buf| {
-                    let c = RectNode::count(buf);
-                    *bbox_comps += c as u64;
-                    c
-                })
-            };
-            for i in 0..count {
-                let e = self
-                    .pool
-                    .read_page(n.pid, &mut ctx.index, |buf| RectNode::entry(buf, i));
+            // Pinned-borrow leaf expansion: one page access charges the
+            // node (and one bbox per entry, as every traversal of this
+            // family does), then the entry walk and the segment fetches
+            // proceed over the borrowed bytes — the split-borrow `get_with`
+            // keeps the usual per-fetch charges while the index-page slice
+            // stays alive.
+            let QueryCtx {
+                index,
+                seg,
+                seg_comps,
+                bbox_comps,
+                seg_cache,
+                ..
+            } = ctx;
+            let buf = self.pool.read_page_pinned(n.pid, index);
+            let entries = EntryScan::of_node(buf);
+            *bbox_comps += entries.len() as u64;
+            for e in entries.iter() {
                 let id = SegId(e.child);
-                let seg = self.table.get(id, ctx);
-                sink.exact(id, seg.dist2_point(p));
+                let s = self.table.get_with(id, seg, seg_comps, seg_cache);
+                sink.exact(id, s.dist2_point(p));
             }
         } else {
             let QueryCtx {
                 index, bbox_comps, ..
             } = ctx;
-            self.pool.read_page(n.pid, index, |buf| {
-                let count = RectNode::count(buf);
-                *bbox_comps += count as u64;
-                for i in 0..count {
-                    let e = RectNode::entry(buf, i);
-                    // No pruning against the best-so-far: the queue's
-                    // global ordering prunes for us (a node never pops
-                    // after the k-th result's distance).
-                    sink.node(
-                        RectRef {
-                            pid: PageId(e.child),
-                            level: n.level - 1,
-                        },
-                        Dist2::from_int(e.rect.dist2_point(p)),
-                    );
-                }
-            });
+            let buf = self.pool.read_page_pinned(n.pid, index);
+            let entries = EntryScan::of_node(buf);
+            // No pruning against the best-so-far: the queue's global
+            // ordering prunes for us (a node never pops after the k-th
+            // result's distance).
+            *bbox_comps += scan::scan_min_dist2(&entries, p, |e, d| {
+                sink.node(
+                    RectRef {
+                        pid: PageId(e.child),
+                        level: n.level - 1,
+                    },
+                    Dist2::from_int(d),
+                );
+            }) as u64;
         }
     }
 }

@@ -14,6 +14,61 @@ impl SegId {
 
 const RECORD_BYTES: usize = 16; // x1, y1, x2, y2 as i32
 
+/// Slots in the per-context segment mini-cache. Power of two so the
+/// direct-mapped slot index is a mask; 128 × 20 bytes ≈ 2.5 KB per
+/// context — tiny next to its page pins, yet enough to cover the working
+/// set of a polygon walk (which re-compares the segments around the
+/// current vertex over and over).
+const SEG_CACHE_SLOTS: usize = 128;
+
+/// A small direct-mapped cache of decoded segment records, owned by a
+/// [`QueryCtx`].
+///
+/// Polygon traversals (query 2/4 compositions) fetch the same few dozen
+/// segments repeatedly; each fetch is a paper-metric *segment
+/// comparison*, but the page lookup + record decode behind it is pure
+/// implementation cost. This cache removes the redundant decode while
+/// leaving every counter untouched:
+///
+/// * `seg_comps` is charged per [`SegmentTable::get`] call, hit or miss;
+/// * a hit can never hide a disk charge, because the cache's lifetime is
+///   a strict subset of the pin set's — both are dropped by
+///   [`QueryCtx::reset`], and both are invalidated when the context
+///   wanders to a table backed by a different pool. If an id hits, its
+///   page was pinned by the miss that filled the slot and is still
+///   pinned now, so the skipped page access was free anyway.
+///
+/// (The table is append-only, so a cached decode can never go stale.)
+pub(crate) struct SegCache {
+    /// Identity of the pool the cached records came from
+    /// ([`lsdb_pager::BufferPool::pool_id`]); `None` = empty.
+    owner: Option<u64>,
+    /// Cached [`SegId`] per slot; `u32::MAX` = vacant (never a real id —
+    /// the table caps out well below, and PMR uses it as its own
+    /// sentinel for "no segment").
+    tags: [u32; SEG_CACHE_SLOTS],
+    segs: [Segment; SEG_CACHE_SLOTS],
+}
+
+impl Default for SegCache {
+    fn default() -> Self {
+        let zero = Segment::new(Point::new(0, 0), Point::new(0, 0));
+        SegCache {
+            owner: None,
+            tags: [u32::MAX; SEG_CACHE_SLOTS],
+            segs: [zero; SEG_CACHE_SLOTS],
+        }
+    }
+}
+
+impl SegCache {
+    /// Drop every cached record (O(1): slots are lazily cleared when the
+    /// cache next binds to a pool).
+    pub(crate) fn invalidate(&mut self) {
+        self.owner = None;
+    }
+}
+
 /// The disk-resident table of segment endpoints.
 ///
 /// Every index entry is just a pointer (a [`SegId`]) into this table; "each
@@ -78,9 +133,46 @@ impl SegmentTable {
     /// Fetch a segment's endpoints on the query path: counts one segment
     /// comparison and charges any page access to the context's segment-pool
     /// pin handle. Shared — any number of queries may fetch concurrently.
+    ///
+    /// Served from the context's segment mini-cache when possible; the
+    /// comparison is charged either way (it is a paper metric — only the
+    /// redundant decode is skipped, see `SegCache`).
     pub fn get(&self, id: SegId, ctx: &mut QueryCtx) -> Segment {
-        ctx.seg_comps += 1;
-        self.read(id, &mut ctx.seg)
+        let QueryCtx {
+            seg,
+            seg_comps,
+            seg_cache,
+            ..
+        } = ctx;
+        self.get_with(id, seg, seg_comps, seg_cache)
+    }
+
+    /// Split-borrow form of [`SegmentTable::get`], for callers that hold
+    /// other pieces of the [`QueryCtx`] borrowed (e.g. a pinned index-page
+    /// slice from the context's index pool).
+    pub(crate) fn get_with(
+        &self,
+        id: SegId,
+        seg: &mut PoolCtx,
+        seg_comps: &mut u64,
+        cache: &mut SegCache,
+    ) -> Segment {
+        *seg_comps += 1;
+        let pool_id = self.pool.pool_id();
+        if cache.owner != Some(pool_id) {
+            // First fetch since reset, or the context wandered to a table
+            // backed by a different pool: (re)bind and clear the slots.
+            cache.tags = [u32::MAX; SEG_CACHE_SLOTS];
+            cache.owner = Some(pool_id);
+        }
+        let slot = id.index() & (SEG_CACHE_SLOTS - 1);
+        if cache.tags[slot] == id.0 {
+            return cache.segs[slot];
+        }
+        let seg = self.read(id, seg);
+        cache.tags[slot] = id.0;
+        cache.segs[slot] = seg;
+        seg
     }
 
     /// Query-path fetch against a bare pool context (no comparison
@@ -243,6 +335,60 @@ mod tests {
         let t = SegmentTable::new(1024, 4);
         let mut ctx = QueryCtx::new();
         t.get(SegId(0), &mut ctx);
+    }
+
+    #[test]
+    fn mini_cache_hits_skip_no_charges() {
+        // 64-byte pages hold 4 records; two pages.
+        let mut t = SegmentTable::new(64, 2);
+        for i in 0..8 {
+            t.push(seg(i, 0, i, 1));
+        }
+        t.clear_cache();
+        let mut ctx = QueryCtx::new();
+        // Repeated fetches: the comparison counter still moves per call,
+        // disk charges only on the first touch of each page.
+        for _ in 0..5 {
+            assert_eq!(t.get(SegId(2), &mut ctx), seg(2, 0, 2, 1));
+            assert_eq!(t.get(SegId(6), &mut ctx), seg(6, 0, 6, 1));
+        }
+        assert_eq!(ctx.seg_comps, 10, "every get is a comparison, hit or miss");
+        assert_eq!(ctx.seg.stats.reads, 2, "one cold read per distinct page");
+        // Reset invalidates the cache together with the pins: the next
+        // fetch recharges the page exactly as an uncached context would.
+        ctx.reset();
+        t.get(SegId(2), &mut ctx);
+        assert_eq!(ctx.seg_comps, 1);
+        assert_eq!(ctx.seg.stats.reads, 1, "cache does not outlive the pins");
+    }
+
+    #[test]
+    fn mini_cache_never_serves_another_tables_records() {
+        // Two tables, same ids, different records, one wandering context;
+        // mirrors the pager's wandering-ctx test one level up.
+        let mut t1 = SegmentTable::new(64, 2);
+        let mut t2 = SegmentTable::new(64, 2);
+        t1.push(seg(1, 1, 1, 1));
+        t2.push(seg(2, 2, 2, 2));
+        let mut ctx = QueryCtx::new();
+        assert_eq!(t1.get(SegId(0), &mut ctx), seg(1, 1, 1, 1));
+        assert_eq!(t2.get(SegId(0), &mut ctx), seg(2, 2, 2, 2));
+        assert_eq!(t1.get(SegId(0), &mut ctx), seg(1, 1, 1, 1));
+    }
+
+    #[test]
+    fn mini_cache_colliding_ids_evict() {
+        // Ids 0 and SEG_CACHE_SLOTS map to the same direct-mapped slot.
+        let mut t = SegmentTable::new(1024, 8);
+        let n = SEG_CACHE_SLOTS as i32 + 1;
+        for i in 0..n {
+            t.push(seg(i, 0, i, 1));
+        }
+        let mut ctx = QueryCtx::new();
+        assert_eq!(t.get(SegId(0), &mut ctx), seg(0, 0, 0, 1));
+        let far = SegId(SEG_CACHE_SLOTS as u32);
+        assert_eq!(t.get(far, &mut ctx), seg(n - 1, 0, n - 1, 1));
+        assert_eq!(t.get(SegId(0), &mut ctx), seg(0, 0, 0, 1));
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use crate::seg_table::SegCache;
 use lsdb_pager::{DiskStats, PoolCtx};
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -65,6 +66,12 @@ pub struct QueryCtx {
     /// by the shared engines in [`crate::traverse`]. Deliberately survives
     /// [`QueryCtx::reset`] so steady-state queries allocate nothing.
     scratch: Option<Box<dyn Any + Send>>,
+    /// Direct-mapped cache of decoded segment records, consulted by
+    /// [`crate::SegmentTable::get`]. Invalidated by [`QueryCtx::reset`]
+    /// alongside the pins (its correctness argument depends on that — see
+    /// `SegCache`); its storage is inline, so like `scratch` it costs the
+    /// allocator nothing across queries.
+    pub(crate) seg_cache: SegCache,
 }
 
 impl QueryCtx {
@@ -79,6 +86,7 @@ impl QueryCtx {
         self.seg.reset();
         self.seg_comps = 0;
         self.bbox_comps = 0;
+        self.seg_cache.invalidate();
     }
 
     /// Take the cached traversal scratch, if any (engine-internal).

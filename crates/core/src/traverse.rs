@@ -17,14 +17,18 @@
 //! The engines charge exactly two things themselves:
 //!
 //! * one `seg_comps` (plus segment-pool disk) per segment record fetched
-//!   through [`SegmentTable::get`] — for DFS entries that survive the
-//!   region prefilter and dedup, and for every nearest-neighbor candidate
-//!   popped from the queue;
+//!   through [`SegmentTable::get`] — for DFS entries that survive dedup,
+//!   and for every nearest-neighbor candidate popped from the queue;
 //! * nothing else. All `bbox_comps` and index-pool disk charges are made
 //!   by the structure inside its seed/expand callbacks (one bbox per
 //!   R-tree entry scanned, one per PMR bucket located-or-scanned, one per
 //!   grid cell examined), which is what lets each structure keep its
-//!   paper-faithful accounting while sharing the loop.
+//!   paper-faithful accounting while sharing the loop. The stored-rect
+//!   prefilter of the R-tree family likewise lives structure-side, inside
+//!   the batched kernels of [`crate::scan`]: an expansion emits exactly
+//!   the entries whose stored rectangle meets the query region, so the
+//!   engine sees the same fetch set, in the same order, as when it
+//!   applied the prefilter itself.
 //!
 //! # Determinism and tie-breaking
 //!
@@ -121,11 +125,11 @@ pub trait NodeAccess {
 }
 
 /// Emission buffer for the depth-first engines. Nodes are visited in
-/// emission order; entries are resolved (prefilter → dedup → fetch →
-/// predicate) as soon as the emitting expansion returns.
+/// emission order; entries are resolved (dedup → fetch → predicate) as
+/// soon as the emitting expansion returns.
 pub struct DfsSink<N> {
     nodes: Vec<N>,
-    entries: Vec<(SegId, Option<Rect>)>,
+    entries: Vec<SegId>,
     arrived: Option<LocId>,
 }
 
@@ -153,12 +157,14 @@ impl<N> DfsSink<N> {
         self.nodes.reverse();
     }
 
-    /// Emit a leaf entry. `rect` is the entry's stored bounding rectangle
-    /// when the structure keeps one (R-trees): the engine applies the
-    /// region prefilter against it before fetching the record. Bucket
-    /// structures (PMR, grid) pass `None`: every bucket entry is fetched.
-    pub fn entry(&mut self, id: SegId, rect: Option<Rect>) {
-        self.entries.push((id, rect));
+    /// Emit a leaf entry for the engine to resolve (dedup, fetch the
+    /// record, apply the exact segment predicate). A structure that
+    /// stores per-entry bounding rectangles (the R-tree family) emits
+    /// only the entries whose rectangle meets the query region — its
+    /// scan kernel applies that prefilter; bucket structures (PMR, grid)
+    /// emit every bucket entry.
+    pub fn entry(&mut self, id: SegId) {
+        self.entries.push(id);
     }
 
     /// Report arrival at a leaf/bucket; the first report wins and becomes
@@ -344,10 +350,10 @@ fn dfs_visit<A: NodeAccess>(
                 loc = l;
             }
         }
-        for &(id, rect) in &sink.entries {
+        for &id in &sink.entries {
             match q {
                 DfsQuery::Point { p, .. } => {
-                    if rect.is_some_and(|r| !r.contains_point(p)) || seen.contains(&id) {
+                    if seen.contains(&id) {
                         continue;
                     }
                     let seg = acc.table().get(id, ctx);
@@ -357,7 +363,7 @@ fn dfs_visit<A: NodeAccess>(
                     }
                 }
                 DfsQuery::Window { w } => {
-                    if rect.is_some_and(|r| !w.intersects(&r)) || !seen.insert(id) {
+                    if !seen.insert(id) {
                         continue;
                     }
                     let seg = acc.table().get(id, ctx);
@@ -386,6 +392,21 @@ fn dfs_visit<A: NodeAccess>(
 /// Query 1 engine: all segments with an endpoint exactly at `p`.
 pub fn find_incident<A: NodeAccess>(acc: &A, p: Point, ctx: &mut QueryCtx) -> Vec<SegId> {
     let mut out = Vec::new();
+    incident_visit(acc, p, ctx, &mut |id| out.push(id));
+    out
+}
+
+/// Query 1 engine, streaming: like [`find_incident`] but emitting into a
+/// caller-owned sink, so repeated callers (the polygon walk fires one
+/// incidence query per boundary vertex) reuse one buffer instead of
+/// allocating a fresh `Vec` per call. Identical traversal, identical
+/// counters.
+pub fn incident_visit<A: NodeAccess>(
+    acc: &A,
+    p: Point,
+    ctx: &mut QueryCtx,
+    f: &mut dyn FnMut(SegId),
+) {
     dfs_visit(
         acc,
         DfsQuery::Point {
@@ -393,9 +414,8 @@ pub fn find_incident<A: NodeAccess>(acc: &A, p: Point, ctx: &mut QueryCtx) -> Ve
             probe_only: false,
         },
         ctx,
-        &mut |id| out.push(id),
+        f,
     );
-    out
 }
 
 /// Point-location engine: visit the same index pages as a point query,

@@ -15,6 +15,7 @@
 //! through [`lsdb_pager::BufferPool::read_page`] and all counting is
 //! charged to the caller's [`QueryCtx`].
 
+use lsdb_core::scan;
 use lsdb_core::traverse::{DfsSink, NnSink, NodeAccess};
 use lsdb_core::{
     traverse, IndexConfig, LocId, PolygonalMap, QueryCtx, QueryStats, SegId, SegmentTable,
@@ -129,24 +130,19 @@ impl UniformGrid {
     }
 
     /// Walk a cell's page chain on the shared read path, streaming each
-    /// stored id into `f` (no intermediate collection).
+    /// stored id into `f` (no intermediate collection). Pages are walked
+    /// in place via the pinned-borrow read and the shared id-scan kernel.
     fn for_each_cell_id(&self, cx: i32, cy: i32, index: &mut PoolCtx, f: &mut dyn FnMut(SegId)) {
         let Some((first, _)) = self.chains[self.cell_index(cx, cy)] else {
             return;
         };
         let mut page = Some(first);
         while let Some(pid) = page {
-            page = self.pool.read_page(pid, index, |buf| {
-                let count = u16::from_le_bytes([buf[0], buf[1]]) as usize;
-                for i in 0..count {
-                    let at = HDR + i * 4;
-                    f(SegId(u32::from_le_bytes(
-                        buf[at..at + 4].try_into().unwrap(),
-                    )));
-                }
-                let next = u32::from_le_bytes(buf[4..8].try_into().unwrap());
-                (next != u32::MAX).then_some(PageId(next))
-            });
+            let buf = self.pool.read_page_pinned(pid, index);
+            let count = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+            let next = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+            scan::scan_ids(&buf[HDR..HDR + count * 4], |id| f(SegId(id)));
+            page = (next != u32::MAX).then_some(PageId(next));
         }
     }
 
@@ -271,7 +267,7 @@ impl NodeAccess for UniformGrid {
         *bbox_comps += 1;
         sink.arrive(LocId(self.cell_index(cx, cy) as u64));
         if !probe_only {
-            self.for_each_cell_id(cx, cy, index, &mut |id| sink.entry(id, None));
+            self.for_each_cell_id(cx, cy, index, &mut |id| sink.entry(id));
         }
     }
 
@@ -315,7 +311,7 @@ impl NodeAccess for UniformGrid {
         if !w.intersects(&self.cell_rect(cx, cy)) {
             return;
         }
-        self.for_each_cell_id(cx, cy, index, &mut |id| sink.entry(id, None));
+        self.for_each_cell_id(cx, cy, index, &mut |id| sink.entry(id));
     }
 
     fn seed_nearest(&self, p: Point, _ctx: &mut QueryCtx, sink: &mut NnSink<(i32, i32)>) {
@@ -389,6 +385,10 @@ impl SpatialIndex for UniformGrid {
 
     fn find_incident(&self, p: Point, ctx: &mut QueryCtx) -> Vec<SegId> {
         traverse::find_incident(self, p, ctx)
+    }
+
+    fn find_incident_visit(&self, p: Point, ctx: &mut QueryCtx, f: &mut dyn FnMut(SegId)) {
+        traverse::incident_visit(self, p, ctx, f);
     }
 
     fn probe_point(&self, p: Point, ctx: &mut QueryCtx) -> LocId {

@@ -1,9 +1,43 @@
 use crate::{MemStorage, PageId, Storage};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
+
+/// Multiplicative hasher for [`PageId`] keys. Page-id maps sit on the
+/// query hot path (one lookup per page touch), where SipHash's keyed
+/// mixing is needless work: page ids are small dense integers chosen by
+/// the pool itself, not attacker-controlled, so a single odd-constant
+/// multiply plus a fold of the high bits into the low ones (the bits a
+/// `HashMap` actually indexes with) is collision-free enough and an
+/// order of magnitude cheaper.
+#[derive(Default)]
+pub struct PageIdHasher(u64);
+
+impl Hasher for PageIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by PageId, which hashes as one u32).
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+        }
+        self.0 ^= self.0 >> 32;
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        let mut x = self.0 ^ n as u64;
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = x ^ (x >> 32);
+    }
+}
+
+/// Hash map from [`PageId`] keyed by [`PageIdHasher`].
+type PageMap<V> = HashMap<PageId, V, BuildHasherDefault<PageIdHasher>>;
 
 /// The infallible convenience API panics on storage I/O errors (impossible
 /// for [`MemStorage`]); callers with fallible backings use the `try_*`
@@ -53,7 +87,7 @@ impl std::ops::Sub for DiskStats {
 /// what makes parallel workload totals equal sequential ones exactly.
 #[derive(Default)]
 pub struct PoolCtx {
-    pinned: HashMap<PageId, Box<[u8]>>,
+    pinned: PageMap<Box<[u8]>>,
     /// Retired pin buffers kept for reuse: [`PoolCtx::reset`] moves pinned
     /// copies here instead of freeing them, and the next pins pop a
     /// matching-size buffer instead of allocating. A warmed-up context
@@ -110,7 +144,7 @@ struct Frame {
 /// and build-path disk counters. Pages map to shards by `pid % shards`.
 struct Shard {
     frames: Vec<Frame>,
-    resident: HashMap<PageId, usize>,
+    resident: PageMap<usize>,
     tick: u64,
     stats: DiskStats,
 }
@@ -126,7 +160,7 @@ impl Shard {
                     data: vec![0u8; page_size].into_boxed_slice(),
                 })
                 .collect(),
-            resident: HashMap::new(),
+            resident: PageMap::default(),
             tick: 0,
             stats: DiskStats::default(),
         }
@@ -274,6 +308,14 @@ impl<S: Storage> BufferPool<S> {
     /// Number of lock stripes.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Process-unique identity of this pool. A [`PoolCtx`] (and any cache
+    /// layered on top of one, such as the segment mini-cache in
+    /// `lsdb-core`) uses this to detect that it has wandered to a
+    /// different pool and must drop state keyed by page or record ids.
+    pub fn pool_id(&self) -> u64 {
+        self.id
     }
 
     /// Pages currently allocated (grown minus freed). Multiplied by the
@@ -463,6 +505,26 @@ impl<S: Storage> BufferPool<S> {
         ctx: &mut PoolCtx,
         f: impl FnOnce(&[u8]) -> T,
     ) -> io::Result<T> {
+        Ok(f(self.try_read_page_pinned(pid, ctx)?))
+    }
+
+    /// Query path, zero-copy variant: pin the page in `ctx` and return a
+    /// borrow of the pinned copy, with the same accounting as
+    /// [`BufferPool::read_page`]. The borrow lives as long as the `ctx`
+    /// borrow, so scan kernels can walk the page bytes in place without a
+    /// closure (and without a per-access hash lookup when a caller keeps
+    /// the slice across several decodes).
+    pub fn read_page_pinned<'c>(&self, pid: PageId, ctx: &'c mut PoolCtx) -> &'c [u8] {
+        self.try_read_page_pinned(pid, ctx)
+            .unwrap_or_else(|e| io_abort(e))
+    }
+
+    /// Fallible [`BufferPool::read_page_pinned`].
+    pub fn try_read_page_pinned<'c>(
+        &self,
+        pid: PageId,
+        ctx: &'c mut PoolCtx,
+    ) -> io::Result<&'c [u8]> {
         if ctx.owner != Some(self.id) {
             // The context last pinned pages of a different pool; its pins
             // are meaningless here (page ids are per-pool). Counters are
@@ -477,10 +539,10 @@ impl<S: Storage> BufferPool<S> {
             ..
         } = ctx;
         match pinned.entry(pid) {
-            Entry::Occupied(e) => Ok(f(e.into_mut())),
+            Entry::Occupied(e) => Ok(e.into_mut()),
             Entry::Vacant(slot) => {
                 // Stale contents of a recycled buffer are fine: both arms
-                // below overwrite the full page before `f` sees it.
+                // below overwrite the full page before the caller sees it.
                 let mut data = take_spare(spare, self.storage.page_size())
                     .unwrap_or_else(|| vec![0u8; self.storage.page_size()].into_boxed_slice());
                 let shard = self.shards[pid.0 as usize % self.shards.len()]
@@ -496,7 +558,7 @@ impl<S: Storage> BufferPool<S> {
                         stats.reads += 1;
                     }
                 }
-                Ok(f(slot.insert(data)))
+                Ok(slot.insert(data))
             }
         }
     }
@@ -832,6 +894,25 @@ mod tests {
                 assert_eq!(reads, 8);
             }
         });
+    }
+
+    #[test]
+    fn pinned_borrow_matches_closure_reads_and_charges_identically() {
+        let mut p = MemPool::in_memory(128, 4);
+        let a = p.allocate();
+        p.with_page_mut(a, |d| d[0] = 7);
+        p.clear();
+        let mut ctx = PoolCtx::new();
+        let buf = p.read_page_pinned(a, &mut ctx);
+        assert_eq!(buf[0], 7);
+        assert_eq!(ctx.stats.reads, 1, "cold page charges one read");
+        let buf = p.read_page_pinned(a, &mut ctx);
+        assert_eq!(buf[0], 7);
+        assert_eq!(ctx.stats.reads, 1, "pinned page is free to re-borrow");
+        assert_eq!(ctx.pages_touched(), 1);
+        // The closure API and the borrow API share one pin set.
+        p.read_page(a, &mut ctx, |d| assert_eq!(d[0], 7));
+        assert_eq!(ctx.stats.reads, 1);
     }
 
     #[test]

@@ -496,7 +496,7 @@ impl NodeAccess for PmrQuadtree {
         // The block's packed locational code: (Morton code, depth).
         sink.arrive(LocId(key(b, 0) >> 32));
         if !probe_only {
-            self.scan_block_ctx(b, index, &mut |id| sink.entry(id, None));
+            self.scan_block_ctx(b, index, &mut |id| sink.entry(id));
         }
     }
 
@@ -523,7 +523,7 @@ impl NodeAccess for PmrQuadtree {
         } = ctx;
         let leaf = self.leaf_containing_ctx(center, index);
         *bbox_comps += 1;
-        self.scan_block_ctx(leaf, index, &mut |id| sink.entry(id, None));
+        self.scan_block_ctx(leaf, index, &mut |id| sink.entry(id));
         let mut a = leaf;
         while let Some(parent) = a.parent() {
             for c in parent.children() {
@@ -545,7 +545,7 @@ impl NodeAccess for PmrQuadtree {
         let QueryCtx {
             index, bbox_comps, ..
         } = ctx;
-        let is_leaf = self.scan_block_ctx(b, index, &mut |id| sink.entry(id, None));
+        let is_leaf = self.scan_block_ctx(b, index, &mut |id| sink.entry(id));
         if is_leaf {
             *bbox_comps += 1;
         } else {
@@ -650,6 +650,10 @@ impl SpatialIndex for PmrQuadtree {
 
     fn find_incident(&self, p: Point, ctx: &mut QueryCtx) -> Vec<SegId> {
         traverse::find_incident(self, p, ctx)
+    }
+
+    fn find_incident_visit(&self, p: Point, ctx: &mut QueryCtx, f: &mut dyn FnMut(SegId)) {
+        traverse::incident_visit(self, p, ctx, f);
     }
 
     fn probe_point(&self, p: Point, ctx: &mut QueryCtx) -> LocId {

@@ -498,6 +498,10 @@ impl SpatialIndex for RTree {
         traverse::find_incident(&self.access(), p, ctx)
     }
 
+    fn find_incident_visit(&self, p: Point, ctx: &mut QueryCtx, f: &mut dyn FnMut(SegId)) {
+        traverse::incident_visit(&self.access(), p, ctx, f);
+    }
+
     fn probe_point(&self, p: Point, ctx: &mut QueryCtx) -> LocId {
         traverse::probe_point(&self.access(), p, ctx)
     }

@@ -72,6 +72,11 @@ fn steady_state_queries_do_not_allocate() {
             for &p in &probes {
                 *sink = sink.wrapping_add(idx.probe_point(p, ctx).0 as usize);
                 *sink = sink.wrapping_add(idx.nearest(p, ctx).map_or(0, |id| id.index()));
+                // Drives the scan kernels plus the segment mini-cache
+                // (incident lookups resolve every surviving entry).
+                idx.find_incident_visit(p, ctx, &mut |id| {
+                    *sink = sink.wrapping_add(id.index());
+                });
             }
             for &w in &windows {
                 idx.window_visit(w, ctx, &mut |id| *sink = sink.wrapping_add(id.index()));
