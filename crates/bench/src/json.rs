@@ -21,8 +21,10 @@ pub struct QueryRecord {
     pub workload: &'static str,
     /// Per-query averages for the batch.
     pub result: WorkloadResult,
-    /// Wall time for the whole batch, milliseconds. Excluded from parity
-    /// diffs — it is the only non-deterministic field.
+    /// Wall time for the whole batch, milliseconds — minimum over the
+    /// emitter's repetition count (table2 uses min-of-3) to strip
+    /// scheduler noise. Excluded from parity diffs — it is the only
+    /// non-deterministic field.
     pub wall_ms: f64,
 }
 

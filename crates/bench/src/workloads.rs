@@ -12,7 +12,8 @@
 //! thread or sixteen.
 
 use lsdb_core::pointgen::{EndpointGen, TwoStageGen, UniformGen, WindowGen};
-use lsdb_core::{queries, PolygonalMap, QueryCtx, QueryStats, SpatialIndex};
+use lsdb_core::{execute_batch, queries, BatchRequest};
+use lsdb_core::{PolygonalMap, QueryCtx, QueryStats, SpatialIndex};
 use lsdb_geom::Rect;
 use lsdb_pmr::{PmrConfig, PmrQuadtree};
 
@@ -48,6 +49,20 @@ impl Workload {
             Workload::PolygonTwoStage => "Polygon (2-stage)",
             Workload::PolygonOneStage => "Polygon (1-stage)",
             Workload::Range => "Range",
+        }
+    }
+
+    /// Label for the locality-sorted batched execution of this workload
+    /// (the `BENCH_queries.json` row name).
+    pub fn batched_label(self) -> &'static str {
+        match self {
+            Workload::Point1 => "Point1 (batched)",
+            Workload::Point2 => "Point2 (batched)",
+            Workload::NearestTwoStage => "Nearest (2-stage, batched)",
+            Workload::NearestOneStage => "Nearest (1-stage, batched)",
+            Workload::PolygonTwoStage => "Polygon (2-stage, batched)",
+            Workload::PolygonOneStage => "Polygon (1-stage, batched)",
+            Workload::Range => "Range (batched)",
         }
     }
 }
@@ -203,6 +218,56 @@ impl QueryWorkbench {
             avg_result: result_size as f64 / nf,
         }
     }
+
+    /// The workload's whole query stream as one homogeneous
+    /// [`BatchRequest`] — what a batching client would put on the wire.
+    pub fn batch(&self, workload: Workload) -> BatchRequest {
+        let steps = self.max_polygon_steps as u32;
+        match workload {
+            Workload::Point1 => {
+                BatchRequest::Incident(self.endpoints.iter().map(|&(_, p)| p).collect())
+            }
+            Workload::Point2 => BatchRequest::Second(self.endpoints.clone()),
+            Workload::NearestTwoStage => BatchRequest::Nearest(self.two_stage_points.clone()),
+            Workload::NearestOneStage => BatchRequest::Nearest(self.uniform_points.clone()),
+            Workload::PolygonTwoStage => BatchRequest::Polygon {
+                points: self.two_stage_points.clone(),
+                max_steps: steps,
+            },
+            Workload::PolygonOneStage => BatchRequest::Polygon {
+                points: self.uniform_points.clone(),
+                max_steps: steps,
+            },
+            Workload::Range => BatchRequest::Window(self.windows.clone()),
+        }
+    }
+
+    /// Run one workload as a single locality-sorted batch
+    /// ([`execute_batch`]): queries execute in Morton order of query
+    /// point over one warm context, so pinned pages and the segment
+    /// mini-cache carry across neighbors. The averages are exactly those
+    /// of [`QueryWorkbench::run`] — batching is counter-transparent by
+    /// construction (and by the counter guard) — only wall time drops.
+    pub fn run_batched(&self, workload: Workload, index: &dyn SpatialIndex) -> WorkloadResult {
+        let req = self.batch(workload);
+        let mut ctx = QueryCtx::new();
+        let items = execute_batch(index, &req, &mut ctx);
+        let mut stats = QueryStats::default();
+        let mut result_size = 0usize;
+        for item in &items {
+            stats.add(item.stats);
+            result_size += item.answer.result_size();
+        }
+        let n = items.len();
+        let nf = n as f64;
+        WorkloadResult {
+            queries: n,
+            disk_accesses: stats.disk.total() as f64 / nf,
+            seg_comps: stats.seg_comps as f64 / nf,
+            bbox_comps: stats.bbox_comps as f64 / nf,
+            avg_result: result_size as f64 / nf,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +321,31 @@ mod tests {
                     let par = wb.run_threaded(w, idx.as_ref(), threads);
                     assert_eq!(seq, par, "{kind:?} {w:?} x{threads}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_runs_reproduce_sequential_averages() {
+        // Morton-sorted batch execution must be invisible in every
+        // reported metric, for every workload, on every structure kind —
+        // including the grid, whose cells alias pages very differently
+        // from the trees.
+        let map = tiny_map();
+        let wb = QueryWorkbench::new(&map, 25, 11);
+        let kinds = [
+            crate::IndexKind::Pmr,
+            crate::IndexKind::RPlus,
+            crate::IndexKind::RStar,
+            crate::IndexKind::Grid(16),
+        ];
+        for kind in kinds {
+            let idx = crate::build_index(kind, &map, IndexConfig::default());
+            for w in Workload::ALL {
+                let seq = wb.run(w, idx.as_ref());
+                let bat = wb.run_batched(w, idx.as_ref());
+                assert_eq!(seq, bat, "{kind:?} {w:?}");
+                assert_eq!(wb.batch(w).len(), seq.queries, "{kind:?} {w:?}");
             }
         }
     }

@@ -48,6 +48,30 @@ const EXPECTED: [(&str, &str, f64, f64, f64, f64); 21] = [
 
 #[test]
 fn table2_counters_match_pre_kernel_baseline() {
+    let measured = measure(|wb, w, idx| wb.run(w, idx));
+    assert_against_baseline(&measured, "sequential");
+}
+
+/// The same grid executed as locality-sorted batches
+/// ([`QueryWorkbench::run_batched`]): Morton-ordered execution over one
+/// warm context must reproduce the pre-kernel baseline **exactly** — the
+/// batch engine replays every charge per query, so warm pins and the
+/// segment mini-cache are not allowed to show up in any counter.
+#[test]
+fn table2_counters_match_baseline_under_batched_execution() {
+    let measured = measure(|wb, w, idx| wb.run_batched(w, idx));
+    assert_against_baseline(&measured, "batched");
+}
+
+type Measurement = (String, &'static str, f64, f64, f64, f64);
+
+fn measure(
+    run: impl Fn(
+        &QueryWorkbench,
+        Workload,
+        &dyn lsdb_core::SpatialIndex,
+    ) -> lsdb_bench::workloads::WorkloadResult,
+) -> Vec<Measurement> {
     let cfg = IndexConfig::default();
     let wcfg = WorkloadConfig::new().with_queries(QUERIES);
     let map = wcfg.county("Charles");
@@ -57,7 +81,7 @@ fn table2_counters_match_pre_kernel_baseline() {
     for kind in IndexKind::paper_three() {
         let idx = build_index(kind, &map, cfg);
         for &w in Workload::ALL.iter() {
-            let r = wb.run(w, idx.as_ref());
+            let r = run(&wb, w, idx.as_ref());
             assert_eq!(r.queries, QUERIES);
             measured.push((
                 kind.label(),
@@ -69,7 +93,10 @@ fn table2_counters_match_pre_kernel_baseline() {
             ));
         }
     }
+    measured
+}
 
+fn assert_against_baseline(measured: &[Measurement], mode: &str) {
     let mut failures = Vec::new();
     for &(structure, workload, disk, seg, bbox, avg) in &EXPECTED {
         let got = measured
@@ -91,7 +118,7 @@ fn table2_counters_match_pre_kernel_baseline() {
     }
     assert!(
         failures.is_empty(),
-        "paper counters drifted from the baked baseline:\n  {}",
+        "paper counters ({mode}) drifted from the baked baseline:\n  {}",
         failures.join("\n  ")
     );
     assert_eq!(measured.len(), EXPECTED.len(), "workload grid changed size");

@@ -25,6 +25,7 @@
 //! * brute-force reference implementations ([`brute`]) used by every
 //!   index's correctness tests.
 
+pub mod batch;
 pub mod brute;
 mod index;
 mod map;
@@ -36,6 +37,7 @@ mod seg_table;
 mod stats;
 pub mod traverse;
 
+pub use batch::{execute_batch, BatchAnswer, BatchItem, BatchRequest};
 pub use index::{IndexConfig, LocId, SpatialIndex};
 pub use map::{PlanarityViolation, PolygonalMap};
 pub use seg_table::{SegId, SegmentTable};

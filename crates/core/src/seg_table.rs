@@ -15,11 +15,12 @@ impl SegId {
 const RECORD_BYTES: usize = 16; // x1, y1, x2, y2 as i32
 
 /// Slots in the per-context segment mini-cache. Power of two so the
-/// direct-mapped slot index is a mask; 128 × 20 bytes ≈ 2.5 KB per
-/// context — tiny next to its page pins, yet enough to cover the working
-/// set of a polygon walk (which re-compares the segments around the
-/// current vertex over and over).
-const SEG_CACHE_SLOTS: usize = 128;
+/// direct-mapped slot index is a mask; 1024 × 28 bytes ≈ 28 KB per
+/// context — still small next to its page pins, and wide enough that a
+/// whole polygon boundary (a few hundred segments, each re-compared
+/// several times per walk) stays resident instead of aliasing itself out
+/// of a narrower table.
+const SEG_CACHE_SLOTS: usize = 1024;
 
 /// A small direct-mapped cache of decoded segment records, owned by a
 /// [`QueryCtx`].
@@ -31,14 +32,21 @@ const SEG_CACHE_SLOTS: usize = 128;
 /// leaving every counter untouched:
 ///
 /// * `seg_comps` is charged per [`SegmentTable::get`] call, hit or miss;
-/// * a hit can never hide a disk charge, because the cache's lifetime is
-///   a strict subset of the pin set's — both are dropped by
-///   [`QueryCtx::reset`], and both are invalidated when the context
-///   wanders to a table backed by a different pool. If an id hits, its
-///   page was pinned by the miss that filled the slot and is still
-///   pinned now, so the skipped page access was free anyway.
+/// * a hit can never hide a disk charge, because a hit is only served
+///   for free when its slot was filled *in the current query epoch* —
+///   i.e. the miss that filled it pinned the record's page in this very
+///   query, so the skipped page access was free anyway. A slot filled by
+///   an earlier query of the same batch (stale epoch, see
+///   [`QueryCtx::next_query`]) still serves the cached decode, but only
+///   after re-pinning the record's page so the page charge is replayed
+///   exactly as a cold fetch would charge it. Both cache and pins are
+///   dropped by [`QueryCtx::reset`] and invalidated when the context
+///   wanders to a table backed by a different pool.
 ///
 /// (The table is append-only, so a cached decode can never go stale.)
+/// Slots in the per-page replay memo (see [`SegCache::page_tags`]).
+const PAGE_MEMO_SLOTS: usize = 64;
+
 pub(crate) struct SegCache {
     /// Identity of the pool the cached records came from
     /// ([`lsdb_pager::BufferPool::pool_id`]); `None` = empty.
@@ -47,7 +55,22 @@ pub(crate) struct SegCache {
     /// the table caps out well below, and PMR uses it as its own
     /// sentinel for "no segment").
     tags: [u32; SEG_CACHE_SLOTS],
+    /// The segment-pool epoch ([`lsdb_pager::PoolCtx::epoch`]) each slot
+    /// was last charged in. A hit with a stale epoch must replay its page
+    /// charge before being served.
+    epochs: [u64; SEG_CACHE_SLOTS],
     segs: [Segment; SEG_CACHE_SLOTS],
+    /// Direct-mapped memo of segment-table pages whose charge has already
+    /// been replayed (or paid cold) *in the current epoch*: `page_tags`
+    /// holds the raw page id (`u32::MAX` = vacant), `page_epochs` the
+    /// epoch it was paid in. Entries are written only immediately after a
+    /// `read_page` call on that page, so a memo hit can skip the repeat
+    /// `read_page` — the repeat is charge-idempotent within one epoch, so
+    /// skipping it cannot change any counter. A polygon walk re-touching
+    /// a few hundred warm records per query turns into a handful of pin
+    /// lookups per page instead of one per record.
+    page_tags: [u32; PAGE_MEMO_SLOTS],
+    page_epochs: [u64; PAGE_MEMO_SLOTS],
 }
 
 impl Default for SegCache {
@@ -56,7 +79,10 @@ impl Default for SegCache {
         SegCache {
             owner: None,
             tags: [u32::MAX; SEG_CACHE_SLOTS],
+            epochs: [0; SEG_CACHE_SLOTS],
             segs: [zero; SEG_CACHE_SLOTS],
+            page_tags: [u32::MAX; PAGE_MEMO_SLOTS],
+            page_epochs: [0; PAGE_MEMO_SLOTS],
         }
     }
 }
@@ -87,17 +113,35 @@ pub struct SegmentTable {
     pool: MemPool,
     pages: Vec<PageId>,
     per_page: usize,
+    /// `(shift, mask)` when `per_page` is a power of two (it is for every
+    /// power-of-two page size, including the default): record→page and
+    /// record→slot become shift/mask instead of hardware div/mod on a
+    /// path taken once per segment comparison.
+    pow2: Option<(u32, usize)>,
     len: u32,
 }
 
 impl SegmentTable {
     pub fn new(page_size: usize, pool_pages: usize) -> Self {
         assert!(page_size >= RECORD_BYTES);
+        let per_page = page_size / RECORD_BYTES;
         SegmentTable {
             pool: MemPool::in_memory(page_size, pool_pages),
             pages: Vec::new(),
-            per_page: page_size / RECORD_BYTES,
+            per_page,
+            pow2: per_page
+                .is_power_of_two()
+                .then(|| (per_page.trailing_zeros(), per_page - 1)),
             len: 0,
+        }
+    }
+
+    /// `(page index, slot within page)` of record `idx`.
+    #[inline]
+    fn locate(&self, idx: usize) -> (usize, usize) {
+        match self.pow2 {
+            Some((shift, mask)) => (idx >> shift, idx & mask),
+            None => (idx / self.per_page, idx % self.per_page),
         }
     }
 
@@ -163,24 +207,49 @@ impl SegmentTable {
             // First fetch since reset, or the context wandered to a table
             // backed by a different pool: (re)bind and clear the slots.
             cache.tags = [u32::MAX; SEG_CACHE_SLOTS];
+            cache.page_tags = [u32::MAX; PAGE_MEMO_SLOTS];
             cache.owner = Some(pool_id);
         }
         let slot = id.index() & (SEG_CACHE_SLOTS - 1);
         if cache.tags[slot] == id.0 {
+            if cache.epochs[slot] == seg.epoch() {
+                return cache.segs[slot];
+            }
+            // Filled by an earlier query of this batch: the decode is
+            // still valid (the table is append-only), but the page charge
+            // belongs to this query — re-pin the record's page so the
+            // counters match a cold fetch exactly (skipped when the page
+            // memo proves this epoch already paid the page).
+            let (page, _) = self.locate(id.index());
+            let pid = self.pages[page];
+            let pslot = pid.0 as usize & (PAGE_MEMO_SLOTS - 1);
+            if cache.page_tags[pslot] != pid.0 || cache.page_epochs[pslot] != seg.epoch() {
+                self.pool.read_page(pid, seg, |_| {});
+                cache.page_tags[pslot] = pid.0;
+                cache.page_epochs[pslot] = seg.epoch();
+            }
+            cache.epochs[slot] = seg.epoch();
             return cache.segs[slot];
         }
-        let seg = self.read(id, seg);
+        assert!(id.0 < self.len, "segment {id:?} out of range");
+        let (page, page_slot) = self.locate(id.index());
+        let pid = self.pages[page];
+        let record = self.pool.read_page(pid, seg, |buf| decode(buf, page_slot));
+        let pslot = pid.0 as usize & (PAGE_MEMO_SLOTS - 1);
+        cache.page_tags[pslot] = pid.0;
+        cache.page_epochs[pslot] = seg.epoch();
         cache.tags[slot] = id.0;
-        cache.segs[slot] = seg;
-        seg
+        cache.epochs[slot] = seg.epoch();
+        cache.segs[slot] = record;
+        record
     }
 
     /// Query-path fetch against a bare pool context (no comparison
     /// charged); building block for [`SegmentTable::get`].
     pub fn read(&self, id: SegId, ctx: &mut PoolCtx) -> Segment {
         assert!(id.0 < self.len, "segment {id:?} out of range");
-        let slot = id.index() % self.per_page;
-        let pid = self.pages[id.index() / self.per_page];
+        let (page, slot) = self.locate(id.index());
+        let pid = self.pages[page];
         self.pool.read_page(pid, ctx, |buf| decode(buf, slot))
     }
 
@@ -189,8 +258,8 @@ impl SegmentTable {
     /// metrics exclude harness and build bookkeeping.
     pub fn fetch(&mut self, id: SegId) -> Segment {
         assert!(id.0 < self.len, "segment {id:?} out of range");
-        let slot = id.index() % self.per_page;
-        let pid = self.pages[id.index() / self.per_page];
+        let (page, slot) = self.locate(id.index());
+        let pid = self.pages[page];
         self.pool.with_page(pid, |buf| decode(buf, slot))
     }
 
@@ -360,6 +429,38 @@ mod tests {
         t.get(SegId(2), &mut ctx);
         assert_eq!(ctx.seg_comps, 1);
         assert_eq!(ctx.seg.stats.reads, 1, "cache does not outlive the pins");
+    }
+
+    #[test]
+    fn mini_cache_survives_next_query_but_replays_page_charges() {
+        // 64-byte pages hold 4 records. A batch boundary (next_query)
+        // keeps the cached decodes, but a stale-epoch hit must charge the
+        // page exactly as a cold context would.
+        let mut t = SegmentTable::new(64, 2);
+        for i in 0..8 {
+            t.push(seg(i, 0, i, 1));
+        }
+        t.clear_cache();
+        let mut ctx = QueryCtx::new();
+        t.get(SegId(2), &mut ctx);
+        t.get(SegId(6), &mut ctx);
+        assert_eq!(ctx.seg.stats.reads, 2);
+
+        ctx.next_query();
+        assert_eq!(ctx.stats(), crate::QueryStats::default());
+        // Stale-epoch hits: decode served from cache, charges replayed.
+        assert_eq!(t.get(SegId(2), &mut ctx), seg(2, 0, 2, 1));
+        assert_eq!(t.get(SegId(2), &mut ctx), seg(2, 0, 2, 1));
+        assert_eq!(t.get(SegId(6), &mut ctx), seg(6, 0, 6, 1));
+        assert_eq!(ctx.seg_comps, 3, "comparisons recount per query");
+        assert_eq!(ctx.seg.stats.reads, 2, "page charges replayed per query");
+
+        // Identical to what a fresh context reports for the same query.
+        let mut fresh = QueryCtx::new();
+        t.get(SegId(2), &mut fresh);
+        t.get(SegId(2), &mut fresh);
+        t.get(SegId(6), &mut fresh);
+        assert_eq!(ctx.stats(), fresh.stats());
     }
 
     #[test]

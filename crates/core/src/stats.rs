@@ -89,6 +89,26 @@ impl QueryCtx {
         self.seg_cache.invalidate();
     }
 
+    /// Move to the next query of a *batch* without dropping warmth: retire
+    /// both pin sets (advancing their epochs, zeroing disk counters) and
+    /// zero the comparison counters, but keep the pinned page bytes and
+    /// the segment mini-cache contents.
+    ///
+    /// Counters stay byte-identical to a [`QueryCtx::reset`] context
+    /// because warm pins replay their recorded charge on first touch in
+    /// the new epoch (see [`PoolCtx::retire_pins`]) and the mini-cache
+    /// re-pins a record's page before serving a stale-epoch hit. Only
+    /// valid while the underlying pools are in a read-only phase; any
+    /// build-path mutation in between requires [`QueryCtx::reset`].
+    pub fn next_query(&mut self) {
+        self.index.retire_pins();
+        self.seg.retire_pins();
+        self.seg_comps = 0;
+        self.bbox_comps = 0;
+        // seg_cache deliberately survives: its per-slot epochs are checked
+        // against the segment pool's epoch on every hit.
+    }
+
     /// Take the cached traversal scratch, if any (engine-internal).
     pub(crate) fn take_scratch_slot(&mut self) -> Option<Box<dyn Any + Send>> {
         self.scratch.take()

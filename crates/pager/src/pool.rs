@@ -77,6 +77,21 @@ impl std::ops::Sub for DiskStats {
     }
 }
 
+/// One pinned page copy held by a [`PoolCtx`], together with the
+/// accounting needed to *replay* its charge across query boundaries.
+struct Pin {
+    data: Box<[u8]>,
+    /// Whether the first touch of this page charged a read (the page was
+    /// non-resident in the frozen pool). Replayed verbatim when a later
+    /// query of the same batch re-touches the warm pin.
+    charged: bool,
+    /// The context epoch the pin was last touched in. A pin whose epoch is
+    /// behind the context's is *warm*: its bytes are still valid (the pool
+    /// is frozen on the read path) but it has not been charged to the
+    /// current query yet.
+    epoch: u64,
+}
+
 /// Per-query page context: the pin set and disk counters of one logical
 /// query against a shared (`&self`) pool.
 ///
@@ -85,9 +100,23 @@ impl std::ops::Sub for DiskStats {
 /// counter is a pure function of (query, structure, pool residency at query
 /// start) — independent of how queries interleave across threads. That is
 /// what makes parallel workload totals equal sequential ones exactly.
+///
+/// # Warm pins and query epochs
+///
+/// A context separates two lifetimes: the pin *bytes* (kept as long as the
+/// context is used against one pool, in one read-only phase) and the pin
+/// *charges* (per query). [`PoolCtx::retire_pins`] advances the context's
+/// epoch and zeroes the counters without dropping the pinned copies; the
+/// next query that touches a warm pin replays exactly the charge the pin
+/// recorded when it was created. Because the query path never installs or
+/// evicts pool pages, residency — and therefore the charge — cannot have
+/// changed in between, so per-query counters are byte-identical to those
+/// of a freshly reset context while the page bytes stay warm. Callers
+/// that *mutate* the pool between queries must use [`PoolCtx::reset`]
+/// instead.
 #[derive(Default)]
 pub struct PoolCtx {
-    pinned: PageMap<Box<[u8]>>,
+    pinned: PageMap<Pin>,
     /// Retired pin buffers kept for reuse: [`PoolCtx::reset`] moves pinned
     /// copies here instead of freeing them, and the next pins pop a
     /// matching-size buffer instead of allocating. A warmed-up context
@@ -97,6 +126,9 @@ pub struct PoolCtx {
     /// unique within one pool, so a context that wanders to a different
     /// pool drops its pins instead of serving the old pool's bytes.
     owner: Option<u64>,
+    /// Current query epoch; pins carry the epoch they were last charged
+    /// in. Advanced by [`PoolCtx::retire_pins`].
+    epoch: u64,
     /// Potential disk accesses charged to this context: one read per
     /// distinct non-resident page touched.
     pub stats: DiskStats,
@@ -110,14 +142,51 @@ impl PoolCtx {
     /// Drop all pins and zero the counters, making the context ready for
     /// the next query without reallocating.
     pub fn reset(&mut self) {
-        self.spare.extend(self.pinned.drain().map(|(_, data)| data));
+        self.spare.extend(self.pinned.drain().map(|(_, p)| p.data));
         self.owner = None;
         self.stats = DiskStats::default();
     }
 
-    /// Distinct pages touched since the last reset (pinned copies held).
+    /// Start a new query *without* dropping the pinned page bytes: advance
+    /// the epoch and zero the counters. Warm pins from earlier queries are
+    /// re-charged (identically) on their first touch in the new epoch, so
+    /// counters stay byte-identical to a fresh context — valid only while
+    /// the pool is in a read-only phase (see the type-level docs).
+    ///
+    /// Pins *not* touched by the query that just finished are recycled
+    /// into the spare list (second chance): over a long batch the pin set
+    /// stays bounded by a two-query working set instead of accumulating
+    /// every page the batch ever touched. Counters are unaffected either
+    /// way — re-reading a dropped pin charges exactly what its replay
+    /// would have (residency is frozen on the read path), which is the
+    /// same argument that makes the replay itself valid.
+    pub fn retire_pins(&mut self) {
+        let epoch = self.epoch;
+        let spare = &mut self.spare;
+        self.pinned.retain(|_, p| {
+            p.epoch == epoch || {
+                spare.push(std::mem::take(&mut p.data));
+                false
+            }
+        });
+        self.epoch += 1;
+        self.stats = DiskStats::default();
+    }
+
+    /// The current query epoch (compared by caches layered on top of the
+    /// context, e.g. the segment mini-cache in `lsdb-core`).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Distinct pages touched by the *current query* (pins charged in the
+    /// current epoch). Warm pins retired by [`PoolCtx::retire_pins`] are
+    /// excluded until re-touched.
     pub fn pages_touched(&self) -> usize {
-        self.pinned.len()
+        self.pinned
+            .values()
+            .filter(|p| p.epoch == self.epoch)
+            .count()
     }
 }
 
@@ -529,22 +598,34 @@ impl<S: Storage> BufferPool<S> {
             // The context last pinned pages of a different pool; its pins
             // are meaningless here (page ids are per-pool). Counters are
             // kept — only the pin cache is invalidated.
-            ctx.spare.extend(ctx.pinned.drain().map(|(_, data)| data));
+            ctx.spare.extend(ctx.pinned.drain().map(|(_, p)| p.data));
             ctx.owner = Some(self.id);
         }
         let PoolCtx {
             pinned,
             spare,
             stats,
+            epoch,
             ..
         } = ctx;
         match pinned.entry(pid) {
-            Entry::Occupied(e) => Ok(e.into_mut()),
+            Entry::Occupied(e) => {
+                let pin = e.into_mut();
+                if pin.epoch != *epoch {
+                    // Warm pin from an earlier query of this batch: replay
+                    // the identical charge (pool residency is frozen on
+                    // the read path, so the original charge still holds).
+                    pin.epoch = *epoch;
+                    stats.reads += pin.charged as u64;
+                }
+                Ok(&pin.data)
+            }
             Entry::Vacant(slot) => {
                 // Stale contents of a recycled buffer are fine: both arms
                 // below overwrite the full page before the caller sees it.
                 let mut data = take_spare(spare, self.storage.page_size())
                     .unwrap_or_else(|| vec![0u8; self.storage.page_size()].into_boxed_slice());
+                let mut charged = false;
                 let shard = self.shards[pid.0 as usize % self.shards.len()]
                     .read()
                     .unwrap();
@@ -556,9 +637,16 @@ impl<S: Storage> BufferPool<S> {
                         // writes back), so storage holds current bytes.
                         self.storage.read_page(pid, &mut data)?;
                         stats.reads += 1;
+                        charged = true;
                     }
                 }
-                Ok(slot.insert(data))
+                Ok(&slot
+                    .insert(Pin {
+                        data,
+                        charged,
+                        epoch: *epoch,
+                    })
+                    .data)
             }
         }
     }
@@ -913,6 +1001,65 @@ mod tests {
         // The closure API and the borrow API share one pin set.
         p.read_page(a, &mut ctx, |d| assert_eq!(d[0], 7));
         assert_eq!(ctx.stats.reads, 1);
+    }
+
+    #[test]
+    fn retired_pins_recharge_identically_without_refetching() {
+        // One resident page (free) and one cold page (charged): after
+        // retire_pins(), the next query must report the same counters a
+        // fresh context would, while the page bytes stay warm.
+        let mut p = pool1(2);
+        let hot = p.allocate();
+        let cold = p.allocate();
+        p.with_page_mut(hot, |d| d[0] = 1);
+        p.with_page_mut(cold, |d| d[0] = 2);
+        p.flush();
+        // Evict `cold` (LRU) by touching `hot` then faulting a third page.
+        p.with_page(hot, |_| {});
+        let third = p.allocate();
+        let _ = third;
+        p.with_page(hot, |_| {});
+        p.reset_stats();
+
+        let mut ctx = PoolCtx::new();
+        let mut fresh = PoolCtx::new();
+        for round in 0..4 {
+            ctx.retire_pins();
+            fresh.reset();
+            p.read_page(hot, &mut ctx, |d| assert_eq!(d[0], 1));
+            p.read_page(cold, &mut ctx, |d| assert_eq!(d[0], 2));
+            p.read_page(hot, &mut fresh, |d| assert_eq!(d[0], 1));
+            p.read_page(cold, &mut fresh, |d| assert_eq!(d[0], 2));
+            assert_eq!(ctx.stats, fresh.stats, "round {round}");
+            assert_eq!(ctx.pages_touched(), 2, "round {round}");
+        }
+        assert_eq!(p.stats(), DiskStats::default(), "pool state untouched");
+    }
+
+    #[test]
+    fn retire_pins_counts_only_current_epoch_touches() {
+        let mut p = MemPool::in_memory(128, 4);
+        let a = p.allocate();
+        let b = p.allocate();
+        p.clear();
+        let mut ctx = PoolCtx::new();
+        p.read_page(a, &mut ctx, |_| {});
+        p.read_page(b, &mut ctx, |_| {});
+        assert_eq!(ctx.pages_touched(), 2);
+        let e0 = ctx.epoch();
+        ctx.retire_pins();
+        assert_eq!(ctx.epoch(), e0 + 1);
+        assert_eq!(ctx.stats, DiskStats::default());
+        assert_eq!(ctx.pages_touched(), 0, "warm pins are not current");
+        p.read_page(a, &mut ctx, |_| {});
+        assert_eq!(ctx.pages_touched(), 1, "re-touched pin is current again");
+        assert_eq!(ctx.stats.reads, 1, "cold charge replayed");
+        p.read_page(a, &mut ctx, |_| {});
+        assert_eq!(ctx.stats.reads, 1, "second touch in the epoch is free");
+        ctx.reset();
+        assert_eq!(ctx.pages_touched(), 0);
+        p.read_page(a, &mut ctx, |_| {});
+        assert_eq!(ctx.stats.reads, 1, "reset still recharges from cold");
     }
 
     #[test]

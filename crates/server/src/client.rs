@@ -1,15 +1,24 @@
 //! Blocking client for the `lsdb` wire protocol.
 //!
-//! One [`Client`] wraps one TCP connection and issues requests
-//! synchronously — the closed-loop shape the load generator and the CLI
-//! both want. Server-side error frames surface as
-//! [`std::io::ErrorKind::Other`] errors carrying the structured code and
-//! message.
+//! One [`Client`] wraps one TCP connection. [`Client::connect`]
+//! negotiates the protocol version with a `HELLO` exchange: against a v2
+//! server the client envelopes every request with a correlation id,
+//! which unlocks [`Client::pipeline`] (many requests in flight on one
+//! connection, replies matched by id) and [`Client::call_batch`] (one
+//! `BATCH` frame, Morton-sorted server-side execution). Against an older
+//! server — or via [`Client::connect_v1`] — it falls back to plain v1
+//! framing and every operation still works, just sequentially.
+//!
+//! Requests are built with the typed [`QueryRequest`] builder; the old
+//! per-query method zoo remains as thin deprecated wrappers. Server-side
+//! error frames surface as [`std::io::ErrorKind::Other`] errors carrying
+//! the structured code and message.
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, FrameError, FrameEvent, Reply, Request, MAX_REPLY_FRAME,
+    decode_reply, read_frame, write_frame, ErrorCode, FrameError, FrameEvent, Reply, Request,
+    MAX_REPLY_FRAME, PROTOCOL_VERSION,
 };
-use lsdb_core::{QueryStats, SegId};
+use lsdb_core::{BatchRequest, QueryStats, SegId};
 use lsdb_geom::{Point, Rect};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -30,30 +39,177 @@ impl std::fmt::Display for ServerError {
 
 impl std::error::Error for ServerError {}
 
+/// Typed builder for the seven spatial requests — the one front door for
+/// constructing [`Request`] values without spelling wire enum variants.
+///
+/// ```no_run
+/// use lsdb_server::QueryRequest;
+/// use lsdb_geom::{Point, Rect};
+/// # let mut client = lsdb_server::Client::connect("127.0.0.1:4750").unwrap();
+/// let reply = client.call(&QueryRequest::window(Rect::new(0, 0, 64, 64)).build())?;
+/// let walk = QueryRequest::enclosing_polygon(Point::new(5, 5)).max_steps(500).build();
+/// # std::io::Result::Ok(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryRequest {
+    request: Request,
+}
+
+impl QueryRequest {
+    /// Query 1: all segments incident at `p`.
+    pub fn incident(p: Point) -> QueryRequest {
+        QueryRequest {
+            request: Request::Incident(p),
+        }
+    }
+
+    /// Query 2: segments at the *other* endpoint of `id`, given `at` is
+    /// one of its endpoints.
+    pub fn second_endpoint(id: SegId, at: Point) -> QueryRequest {
+        QueryRequest {
+            request: Request::Second { id, at },
+        }
+    }
+
+    /// Query 3: the nearest segment to `p`.
+    pub fn nearest(p: Point) -> QueryRequest {
+        QueryRequest {
+            request: Request::Nearest(p),
+        }
+    }
+
+    /// Ranked query 3: the `k` nearest segments, closest first.
+    pub fn nearest_k(p: Point, k: u32) -> QueryRequest {
+        QueryRequest {
+            request: Request::Knn { at: p, k },
+        }
+    }
+
+    /// Query 5: all segments intersecting `w`.
+    pub fn window(w: Rect) -> QueryRequest {
+        QueryRequest {
+            request: Request::Window(w),
+        }
+    }
+
+    /// Query 4: the minimal polygon enclosing `p` (default step cap
+    /// 10 000; tune with [`QueryRequest::max_steps`]).
+    pub fn enclosing_polygon(p: Point) -> QueryRequest {
+        QueryRequest {
+            request: Request::Polygon {
+                at: p,
+                max_steps: 10_000,
+            },
+        }
+    }
+
+    /// Cap the polygon boundary walk (no effect on other queries).
+    pub fn max_steps(mut self, steps: u32) -> QueryRequest {
+        if let Request::Polygon { max_steps, .. } = &mut self.request {
+            *max_steps = steps;
+        }
+        self
+    }
+
+    /// The wire request.
+    pub fn build(self) -> Request {
+        self.request
+    }
+}
+
+impl From<QueryRequest> for Request {
+    fn from(q: QueryRequest) -> Request {
+        q.build()
+    }
+}
+
 /// One blocking protocol connection.
 pub struct Client {
     stream: TcpStream,
+    /// Negotiated: envelope requests with correlation ids.
+    v2: bool,
+    next_corr: u32,
 }
 
 impl Client {
-    /// Connect with default timeouts (10 s read and write).
+    /// Connect with default timeouts (10 s read and write) and negotiate
+    /// the protocol version (v2 against this crate's server, v1 against
+    /// anything older).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         Client::connect_with_timeout(addr, Duration::from_secs(10))
     }
 
-    /// Connect with an explicit read/write timeout.
+    /// Connect with an explicit read/write timeout, negotiating as
+    /// [`Client::connect`] does.
     pub fn connect_with_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
+        let mut client = Client::connect_v1_with_timeout(addr, timeout)?;
+        client.negotiate()?;
+        Ok(client)
+    }
+
+    /// Connect speaking plain v1 frames only, no negotiation — what a
+    /// pre-v2 client binary does, kept callable for compatibility
+    /// testing and for talking through v1-only middleboxes.
+    pub fn connect_v1(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Client::connect_v1_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// [`Client::connect_v1`] with an explicit timeout.
+    pub fn connect_v1_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true).ok();
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            v2: false,
+            next_corr: 0,
+        })
     }
 
-    /// Issue one request and wait for its reply. Error frames are
-    /// returned as `Err`, so `Ok` replies are always answers.
-    pub fn call(&mut self, req: &Request) -> io::Result<Reply> {
-        write_frame(&mut self.stream, &req.encode())?;
+    /// `HELLO` exchange: a v2 server answers with the version it will
+    /// speak; a v1 server answers the unknown opcode with a structured
+    /// `UnknownOp` error, which downgrades this client to v1 silently.
+    fn negotiate(&mut self) -> io::Result<()> {
+        write_frame(
+            &mut self.stream,
+            &Request::Hello {
+                version: PROTOCOL_VERSION,
+            }
+            .encode(),
+        )?;
+        match self.read_reply()? {
+            (_, Reply::Hello { version }) => {
+                self.v2 = version >= 2;
+                Ok(())
+            }
+            (
+                _,
+                Reply::Error {
+                    code: ErrorCode::UnknownOp,
+                    ..
+                },
+            ) => {
+                self.v2 = false;
+                Ok(())
+            }
+            (_, Reply::Error { code, message }) => {
+                Err(io::Error::other(ServerError { code, message }))
+            }
+            (_, other) => Err(unexpected(&other)),
+        }
+    }
+
+    /// Whether this connection negotiated the v2 envelope (pipelining
+    /// and server-side batching).
+    pub fn is_v2(&self) -> bool {
+        self.v2
+    }
+
+    fn read_reply(&mut self) -> io::Result<(Option<u32>, Reply)> {
         let payload = match read_frame(&mut self.stream, MAX_REPLY_FRAME) {
             Ok(FrameEvent::Frame(p)) => p,
             Ok(FrameEvent::Eof) => {
@@ -73,15 +229,120 @@ impl Client {
             }
             Err(FrameError::Io(e)) => return Err(e),
         };
-        match Reply::decode(&payload) {
-            Ok(Reply::Error { code, message }) => {
-                Err(io::Error::other(ServerError { code, message }))
-            }
-            Ok(reply) => Ok(reply),
-            Err(e) => Err(io::Error::new(
+        decode_reply(&payload).map_err(|e| {
+            io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("undecodable reply: {e}"),
-            )),
+            )
+        })
+    }
+
+    /// Issue one request and wait for its reply. Error frames are
+    /// returned as `Err`, so `Ok` replies are always answers.
+    pub fn call(&mut self, req: &Request) -> io::Result<Reply> {
+        let reply = if self.v2 {
+            let corr = self.next_corr;
+            self.next_corr = self.next_corr.wrapping_add(1);
+            write_frame(&mut self.stream, &req.encode_v2(corr))?;
+            let (got, reply) = self.read_reply()?;
+            if got != Some(corr) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("correlation mismatch: sent {corr}, reply carries {got:?}"),
+                ));
+            }
+            reply
+        } else {
+            write_frame(&mut self.stream, &req.encode())?;
+            self.read_reply()?.1
+        };
+        match reply {
+            Reply::Error { code, message } => Err(io::Error::other(ServerError { code, message })),
+            reply => Ok(reply),
+        }
+    }
+
+    /// Execute a homogeneous batch server-side (one `BATCH` frame,
+    /// Morton-sorted execution) and return the per-item replies in
+    /// submission order. Against a v1 server the batch is transparently
+    /// unrolled into sequential singleton calls — same replies, same
+    /// counters, no wire batching.
+    ///
+    /// Item-level failures (e.g. an out-of-range segment id under v1
+    /// unrolling) stay inline as [`Reply::Error`] entries; only
+    /// transport and whole-batch failures return `Err`.
+    pub fn call_batch(&mut self, batch: &BatchRequest) -> io::Result<Vec<Reply>> {
+        if self.v2 {
+            match self.call(&Request::Batch(batch.clone()))? {
+                Reply::Batch(items) => Ok(items),
+                other => Err(unexpected(&other)),
+            }
+        } else {
+            let singles = unroll(batch);
+            let mut out = Vec::with_capacity(singles.len());
+            for req in &singles {
+                out.push(self.call_keeping_errors(req)?);
+            }
+            Ok(out)
+        }
+    }
+
+    /// Send every request before reading any reply, then return the
+    /// replies in request order (matched by correlation id — the server
+    /// may complete them out of order). Falls back to sequential calls
+    /// on a v1 connection.
+    ///
+    /// Per-request error frames stay inline as [`Reply::Error`] entries,
+    /// so one bad request does not mask the other replies.
+    pub fn pipeline(&mut self, reqs: &[Request]) -> io::Result<Vec<Reply>> {
+        if !self.v2 {
+            return reqs.iter().map(|r| self.call_keeping_errors(r)).collect();
+        }
+        let base = self.next_corr;
+        self.next_corr = self.next_corr.wrapping_add(reqs.len() as u32);
+        for (i, req) in reqs.iter().enumerate() {
+            write_frame(
+                &mut self.stream,
+                &req.encode_v2(base.wrapping_add(i as u32)),
+            )?;
+        }
+        let mut out: Vec<Option<Reply>> = (0..reqs.len()).map(|_| None).collect();
+        for _ in 0..reqs.len() {
+            let (corr, reply) = self.read_reply()?;
+            let slot = corr
+                .and_then(|c| usize::try_from(c.wrapping_sub(base)).ok())
+                .filter(|&i| i < out.len() && out[i].is_none());
+            match slot {
+                Some(i) => out[i] = Some(reply),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("reply carries unexpected correlation id {corr:?}"),
+                    ))
+                }
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect())
+    }
+
+    /// [`Client::call`] but keeping server error frames inline as
+    /// [`Reply::Error`] (batch/pipeline item semantics).
+    fn call_keeping_errors(&mut self, req: &Request) -> io::Result<Reply> {
+        match self.call(req) {
+            Ok(reply) => Ok(reply),
+            Err(e) => match e
+                .get_ref()
+                .and_then(|inner| inner.downcast_ref::<ServerError>())
+            {
+                Some(se) => Ok(Reply::Error {
+                    code: se.code,
+                    message: se.message.clone(),
+                }),
+                None => Err(e),
+            },
         }
     }
 
@@ -94,44 +355,49 @@ impl Client {
     }
 
     /// Query 1.
+    #[deprecated(note = "use `call(&QueryRequest::incident(p).build())`")]
     pub fn incident(&mut self, p: Point) -> io::Result<(Vec<SegId>, QueryStats)> {
-        match self.call(&Request::Incident(p))? {
+        match self.call(&QueryRequest::incident(p).build())? {
             Reply::Segs { ids, stats } => Ok((ids, stats)),
             other => Err(unexpected(&other)),
         }
     }
 
     /// Query 2.
+    #[deprecated(note = "use `call(&QueryRequest::second_endpoint(id, at).build())`")]
     pub fn second_endpoint(
         &mut self,
         id: SegId,
         at: Point,
     ) -> io::Result<(Vec<SegId>, QueryStats)> {
-        match self.call(&Request::Second { id, at })? {
+        match self.call(&QueryRequest::second_endpoint(id, at).build())? {
             Reply::Segs { ids, stats } => Ok((ids, stats)),
             other => Err(unexpected(&other)),
         }
     }
 
     /// Query 3.
+    #[deprecated(note = "use `call(&QueryRequest::nearest(p).build())`")]
     pub fn nearest(&mut self, p: Point) -> io::Result<(Option<SegId>, QueryStats)> {
-        match self.call(&Request::Nearest(p))? {
+        match self.call(&QueryRequest::nearest(p).build())? {
             Reply::Nearest { id, stats } => Ok((id, stats)),
             other => Err(unexpected(&other)),
         }
     }
 
     /// Ranked query 3.
+    #[deprecated(note = "use `call(&QueryRequest::nearest_k(p, k).build())`")]
     pub fn nearest_k(&mut self, p: Point, k: u32) -> io::Result<(Vec<SegId>, QueryStats)> {
-        match self.call(&Request::Knn { at: p, k })? {
+        match self.call(&QueryRequest::nearest_k(p, k).build())? {
             Reply::Segs { ids, stats } => Ok((ids, stats)),
             other => Err(unexpected(&other)),
         }
     }
 
     /// Query 5.
+    #[deprecated(note = "use `call(&QueryRequest::window(w).build())`")]
     pub fn window(&mut self, w: Rect) -> io::Result<(Vec<SegId>, QueryStats)> {
-        match self.call(&Request::Window(w))? {
+        match self.call(&QueryRequest::window(w).build())? {
             Reply::Segs { ids, stats } => Ok((ids, stats)),
             other => Err(unexpected(&other)),
         }
@@ -139,12 +405,17 @@ impl Client {
 
     /// Query 4: boundary edges in traversal order plus the closed flag.
     #[allow(clippy::type_complexity)]
+    #[deprecated(note = "use `call(&QueryRequest::enclosing_polygon(p).max_steps(n).build())`")]
     pub fn enclosing_polygon(
         &mut self,
         p: Point,
         max_steps: u32,
     ) -> io::Result<(Option<(Vec<SegId>, bool)>, QueryStats)> {
-        match self.call(&Request::Polygon { at: p, max_steps })? {
+        match self.call(
+            &QueryRequest::enclosing_polygon(p)
+                .max_steps(max_steps)
+                .build(),
+        )? {
             Reply::Polygon { walk, stats } => Ok((walk, stats)),
             other => Err(unexpected(&other)),
         }
@@ -168,9 +439,104 @@ impl Client {
     }
 }
 
+/// The singleton requests a batch is defined to equal, in submission
+/// order (the v1 fallback executes exactly these).
+fn unroll(batch: &BatchRequest) -> Vec<Request> {
+    match batch {
+        BatchRequest::Incident(v) => v.iter().map(|&p| Request::Incident(p)).collect(),
+        BatchRequest::Second(v) => v
+            .iter()
+            .map(|&(id, at)| Request::Second { id, at })
+            .collect(),
+        BatchRequest::Nearest(v) => v.iter().map(|&p| Request::Nearest(p)).collect(),
+        BatchRequest::Knn(v) => v.iter().map(|&(at, k)| Request::Knn { at, k }).collect(),
+        BatchRequest::Window(v) => v.iter().map(|&w| Request::Window(w)).collect(),
+        BatchRequest::Polygon { points, max_steps } => points
+            .iter()
+            .map(|&at| Request::Polygon {
+                at,
+                max_steps: *max_steps,
+            })
+            .collect(),
+    }
+}
+
 fn unexpected(reply: &Reply) -> io::Error {
     io::Error::new(
         io::ErrorKind::InvalidData,
         format!("reply does not match the request: {reply:?}"),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_request_builds_every_wire_shape() {
+        assert_eq!(
+            QueryRequest::incident(Point::new(1, 2)).build(),
+            Request::Incident(Point::new(1, 2))
+        );
+        assert_eq!(
+            QueryRequest::second_endpoint(SegId(7), Point::new(3, 4)).build(),
+            Request::Second {
+                id: SegId(7),
+                at: Point::new(3, 4)
+            }
+        );
+        assert_eq!(
+            QueryRequest::nearest(Point::new(5, 6)).build(),
+            Request::Nearest(Point::new(5, 6))
+        );
+        assert_eq!(
+            QueryRequest::nearest_k(Point::new(5, 6), 9).build(),
+            Request::Knn {
+                at: Point::new(5, 6),
+                k: 9
+            }
+        );
+        assert_eq!(
+            QueryRequest::window(Rect::new(0, 0, 4, 4)).build(),
+            Request::Window(Rect::new(0, 0, 4, 4))
+        );
+        assert_eq!(
+            QueryRequest::enclosing_polygon(Point::new(8, 8))
+                .max_steps(77)
+                .build(),
+            Request::Polygon {
+                at: Point::new(8, 8),
+                max_steps: 77
+            }
+        );
+        // max_steps on a non-polygon request is inert, not a panic.
+        assert_eq!(
+            QueryRequest::nearest(Point::new(0, 0)).max_steps(5).build(),
+            Request::Nearest(Point::new(0, 0))
+        );
+        let via_from: Request = QueryRequest::incident(Point::new(1, 1)).into();
+        assert_eq!(via_from, Request::Incident(Point::new(1, 1)));
+    }
+
+    #[test]
+    fn unroll_matches_batch_semantics() {
+        let batch = BatchRequest::Polygon {
+            points: vec![Point::new(1, 1), Point::new(2, 2)],
+            max_steps: 42,
+        };
+        assert_eq!(
+            unroll(&batch),
+            vec![
+                Request::Polygon {
+                    at: Point::new(1, 1),
+                    max_steps: 42
+                },
+                Request::Polygon {
+                    at: Point::new(2, 2),
+                    max_steps: 42
+                },
+            ]
+        );
+        assert_eq!(unroll(&BatchRequest::Window(vec![])).len(), 0);
+    }
 }

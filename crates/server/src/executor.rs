@@ -1,0 +1,204 @@
+//! The fixed executor pool: spatial work decoded by the event loop runs
+//! here, one job per worker at a time, each worker owning a warm
+//! [`QueryCtx`].
+//!
+//! Singleton requests reset the context per query exactly as the PR-2
+//! worker pool did. Batch requests run through
+//! [`lsdb_core::execute_batch`], which Morton-sorts the batch so the
+//! context's page pins and segment mini-cache stay warm across
+//! neighboring queries — while charging counters per item byte-identically
+//! to singleton execution. Completed replies are already encoded for
+//! their connection's protocol version when they travel back to the
+//! event loop, which only moves bytes.
+
+use crate::protocol::{ErrorCode, Reply, Request, MAX_BATCH_ITEMS};
+use crate::server::Shared;
+use crate::sys::WakePipe;
+use lsdb_core::{execute_batch, queries, BatchAnswer, BatchRequest, QueryCtx};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How a finished reply rejoins its connection's outbound stream: v1
+/// replies release in arrival order, v2 replies release on completion
+/// under their correlation id.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Token {
+    V1 { seq: u64 },
+    V2 { corr: u32 },
+}
+
+/// The spatial work itself (service ops never reach the executor).
+pub(crate) enum Work {
+    Single(Request),
+    Batch(BatchRequest),
+}
+
+/// One decoded request handed from the event loop to the pool.
+pub(crate) struct Job {
+    pub conn: u64,
+    pub token: Token,
+    pub work: Work,
+}
+
+/// One encoded reply handed back from the pool to the event loop.
+pub(crate) struct Completion {
+    pub conn: u64,
+    pub token: Token,
+    pub payload: Vec<u8>,
+}
+
+/// Worker body: dequeue, execute, encode, post the completion, wake the
+/// poller. Exits when the job channel disconnects (the event loop drops
+/// its sender on drain).
+pub(crate) fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    shared: &Shared,
+    done: &Sender<Completion>,
+    wake: &WakePipe,
+) {
+    let mut ctx = QueryCtx::new();
+    loop {
+        // Hold the lock only for the dequeue, never while executing.
+        let job = {
+            let rx = rx.lock().unwrap();
+            rx.recv_timeout(Duration::from_millis(50))
+        };
+        match job {
+            Ok(job) => {
+                let reply = match &job.work {
+                    Work::Single(req) => run_single(req, shared, &mut ctx),
+                    Work::Batch(req) => run_batch(req, shared, &mut ctx),
+                };
+                let payload = match job.token {
+                    Token::V1 { .. } => reply.encode(),
+                    Token::V2 { corr } => reply.encode_v2(corr),
+                };
+                if done
+                    .send(Completion {
+                        conn: job.conn,
+                        token: job.token,
+                        payload,
+                    })
+                    .is_err()
+                {
+                    return; // event loop is gone
+                }
+                wake.wake();
+            }
+            // Timeouts just re-poll: the event loop owns the only sender
+            // and drops it when it exits, which lands here as
+            // `Disconnected` — the one (and race-free) exit signal.
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Execute one spatial query; counters fold into the server aggregate
+/// exactly as the PR-2 blocking server folded them.
+fn run_single(req: &Request, shared: &Shared, ctx: &mut QueryCtx) -> Reply {
+    let index = shared.index;
+    ctx.reset();
+    let reply = match *req {
+        Request::Incident(p) => Reply::Segs {
+            ids: index.find_incident(p, ctx),
+            stats: ctx.stats(),
+        },
+        Request::Second { id, at } => {
+            if id.index() >= index.len() {
+                return Reply::Error {
+                    code: ErrorCode::BadArgument,
+                    message: format!(
+                        "segment id {} out of range (map has {} segments)",
+                        id.0,
+                        index.len()
+                    ),
+                };
+            }
+            Reply::Segs {
+                ids: queries::second_endpoint(index, id, at, ctx),
+                stats: ctx.stats(),
+            }
+        }
+        Request::Nearest(p) => Reply::Nearest {
+            id: index.nearest(p, ctx),
+            stats: ctx.stats(),
+        },
+        Request::Knn { at, k } => Reply::Segs {
+            ids: index.nearest_k(at, k as usize, ctx),
+            stats: ctx.stats(),
+        },
+        Request::Window(w) => Reply::Segs {
+            ids: index.window(w, ctx),
+            stats: ctx.stats(),
+        },
+        Request::Polygon { at, max_steps } => {
+            let walk = queries::enclosing_polygon(index, at, max_steps as usize, ctx);
+            Reply::Polygon {
+                walk: walk.map(|w| (w.boundary, w.closed)),
+                stats: ctx.stats(),
+            }
+        }
+        // Service ops are answered in the event loop and never enqueued.
+        Request::Hello { .. }
+        | Request::Batch(_)
+        | Request::Ping
+        | Request::Stats
+        | Request::Shutdown => {
+            return Reply::Error {
+                code: ErrorCode::Malformed,
+                message: "service op routed to executor".into(),
+            }
+        }
+    };
+    shared.stats.add(ctx.stats());
+    reply
+}
+
+/// Execute one batch: validate, run Morton-sorted, fold each item's
+/// counters into the aggregate (so `STATS` sees one entry per query, not
+/// per batch), and nest the per-item replies in submission order.
+fn run_batch(req: &BatchRequest, shared: &Shared, ctx: &mut QueryCtx) -> Reply {
+    if req.len() > MAX_BATCH_ITEMS {
+        return Reply::Error {
+            code: ErrorCode::BadArgument,
+            message: format!(
+                "batch of {} items exceeds the {MAX_BATCH_ITEMS}-item limit",
+                req.len()
+            ),
+        };
+    }
+    if let Some(max) = req.max_seg_id() {
+        if max.index() >= shared.index.len() {
+            return Reply::Error {
+                code: ErrorCode::BadArgument,
+                message: format!(
+                    "segment id {} out of range (map has {} segments)",
+                    max.0,
+                    shared.index.len()
+                ),
+            };
+        }
+    }
+    let items = execute_batch(shared.index, req, ctx);
+    let mut replies = Vec::with_capacity(items.len());
+    for item in items {
+        shared.stats.add(item.stats);
+        replies.push(match item.answer {
+            BatchAnswer::Segs(ids) => Reply::Segs {
+                ids,
+                stats: item.stats,
+            },
+            BatchAnswer::Nearest(id) => Reply::Nearest {
+                id,
+                stats: item.stats,
+            },
+            BatchAnswer::Polygon(walk) => Reply::Polygon {
+                walk,
+                stats: item.stats,
+            },
+        });
+    }
+    Reply::Batch(replies)
+}

@@ -4,29 +4,48 @@
 //! The paper's evaluation is batch-shaped: build an index, run the query
 //! workloads, read the counters. This crate adds the build-once/serve-many
 //! layer a production deployment needs: the index is built once, stays
-//! resident, and a fixed pool of worker threads answers queries over a
-//! small length-prefixed binary protocol — every request running through
-//! the `&self` query path with its own [`lsdb_core::QueryCtx`], exactly as
-//! the in-process parallel driver does. Remote answers and per-query
-//! counters are therefore byte-identical to in-process execution; the wire
-//! only adds latency, which the bundled closed-loop load generator
-//! measures.
+//! resident, and a readiness-driven event loop multiplexes every client
+//! connection over one I/O thread while a fixed executor pool answers
+//! queries — every request running through the `&self` query path with
+//! its own [`lsdb_core::QueryCtx`], exactly as the in-process parallel
+//! driver does. Remote answers and per-query counters are therefore
+//! byte-identical to in-process execution; the wire only adds latency,
+//! which the bundled load generators (closed- and open-loop) measure.
 //!
-//! * [`protocol`] — frame format, request/reply codec (never panics on
-//!   malformed bytes),
-//! * [`server`] — acceptor + worker pool, graceful drain on `SHUTDOWN`,
-//! * [`client`] — blocking one-connection client,
-//! * [`loadgen`] — closed-loop throughput/latency driver.
+//! The wire API is versioned: v1 frames (one request, one positional
+//! reply) keep working unchanged, while v2 frames add correlation ids —
+//! so one connection can pipeline many requests and receive replies out
+//! of order — and a `BATCH` op carrying a homogeneous query vector that
+//! the server executes Morton-sorted to keep per-context caches warm.
+//!
+//! * [`protocol`] — frame format, v1/v2 request/reply codec (never
+//!   panics on malformed bytes),
+//! * [`server`] — event loop + executor pool, graceful drain on
+//!   `SHUTDOWN`,
+//! * [`client`] — blocking one-connection client with version
+//!   negotiation, batching, and pipelining,
+//! * [`loadgen`] — closed- and open-loop throughput/latency drivers.
 
 pub mod client;
+mod conn;
+mod event_loop;
+mod executor;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
+mod sys;
 
-pub use client::{Client, ServerError};
-pub use loadgen::{run_closed_loop, LoadReport};
+pub use client::{Client, QueryRequest, ServerError};
+pub use loadgen::{run_closed_loop, run_open_loop, LoadReport};
 pub use protocol::{
-    ErrorCode, FrameError, FrameEvent, ProtoError, Reply, Request, MAX_REPLY_FRAME,
-    MAX_REQUEST_FRAME,
+    decode_reply, decode_request, DecodeFailure, ErrorCode, FrameError, FrameEvent, ProtoError,
+    Reply, Request, RequestFrame, MAX_BATCH_ITEMS, MAX_REPLY_FRAME, MAX_REQUEST_FRAME,
+    MAX_REQUEST_FRAME_V2, PROTOCOL_VERSION,
 };
-pub use server::{Server, ServerConfig, ServerReport, ShutdownHandle};
+pub use server::{
+    ConfigError, Server, ServerConfig, ServerConfigBuilder, ServerReport, ShutdownHandle,
+};
+
+// The batch request/answer model is part of the wire surface; re-export
+// so client code does not need a direct lsdb-core dependency for it.
+pub use lsdb_core::{BatchAnswer, BatchItem, BatchRequest};

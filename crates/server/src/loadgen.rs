@@ -62,6 +62,10 @@ impl LoadReport {
         self.latency_at(0.99)
     }
 
+    pub fn p999(&self) -> Duration {
+        self.latency_at(0.999)
+    }
+
     pub fn max_latency(&self) -> Duration {
         self.latencies.last().copied().unwrap_or(Duration::ZERO)
     }
@@ -132,4 +136,165 @@ fn run_chunk(addr: SocketAddr, chunk: &[Request]) -> io::Result<ChunkResult> {
         }
     }
     Ok(out)
+}
+
+/// Drive `requests` at a *fixed arrival rate* of `target_qps`, spread
+/// round-robin over `connections` pipelined v2 connections. Each
+/// connection runs a sender thread (writes frames on the global
+/// schedule, never waiting for replies) and a reader thread (matches
+/// replies by correlation id), so a slow query delays nothing behind it.
+///
+/// Latency is measured from each request's *scheduled* send time — if
+/// the sender falls behind, the queueing delay is charged to the
+/// request rather than silently dropped (no coordinated omission). The
+/// tail percentiles ([`LoadReport::p99`], [`LoadReport::p999`]) are the
+/// point of this mode; requires a v2 server (replies are matched by
+/// correlation id).
+pub fn run_open_loop(
+    addr: SocketAddr,
+    requests: &[Request],
+    connections: usize,
+    target_qps: f64,
+) -> io::Result<LoadReport> {
+    if !target_qps.is_finite() || target_qps <= 0.0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "target_qps must be positive",
+        ));
+    }
+    let connections = connections.max(1).min(requests.len().max(1));
+    let period = Duration::from_secs_f64(1.0 / target_qps);
+
+    // Connection c owns requests c, c+connections, ... — the global
+    // schedule interleaves evenly across connections.
+    let lanes: Vec<Vec<(Duration, &Request)>> = (0..connections)
+        .map(|c| {
+            requests
+                .iter()
+                .enumerate()
+                .skip(c)
+                .step_by(connections)
+                .map(|(i, req)| (period * i as u32, req))
+                .collect()
+        })
+        .collect();
+
+    let start = Instant::now();
+    let partials: Vec<io::Result<ChunkResult>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = lanes
+            .iter()
+            .map(|lane| scope.spawn(move || run_lane(addr, lane, start)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load generator thread"))
+            .collect()
+    });
+    let wall = start.elapsed();
+
+    let mut report = LoadReport {
+        connections,
+        wall,
+        ..LoadReport::default()
+    };
+    for partial in partials {
+        let p = partial?;
+        report.queries += p.latencies.len();
+        report.latencies.extend(p.latencies);
+        report.totals.add(p.totals);
+        report.result_items += p.result_items;
+    }
+    report.latencies.sort();
+    Ok(report)
+}
+
+/// One open-loop connection: a sender honoring the schedule and a reader
+/// correlating replies, racing on a split stream.
+fn run_lane(
+    addr: SocketAddr,
+    lane: &[(Duration, &Request)],
+    start: Instant,
+) -> io::Result<ChunkResult> {
+    use crate::protocol::{decode_reply, read_frame, write_frame, FrameError, FrameEvent};
+
+    if lane.is_empty() {
+        return Ok(ChunkResult {
+            latencies: Vec::new(),
+            totals: QueryStats::default(),
+            result_items: 0,
+        });
+    }
+    let stream = std::net::TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut write_half = stream.try_clone()?;
+    let mut read_half = stream;
+
+    std::thread::scope(|scope| {
+        let sender = scope.spawn(move || -> io::Result<()> {
+            // Correlation id = index into this lane, so the reader can
+            // find the scheduled time without shared state.
+            for (corr, (sched, req)) in lane.iter().enumerate() {
+                let due = start + *sched;
+                if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                write_frame(&mut write_half, &req.encode_v2(corr as u32))?;
+            }
+            Ok(())
+        });
+
+        let mut out = ChunkResult {
+            latencies: vec![Duration::ZERO; lane.len()],
+            totals: QueryStats::default(),
+            result_items: 0,
+        };
+        let mut read_one = || -> io::Result<(Option<u32>, Reply)> {
+            loop {
+                match read_frame(&mut read_half, crate::protocol::MAX_REPLY_FRAME) {
+                    Ok(FrameEvent::Frame(p)) => {
+                        return decode_reply(&p)
+                            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+                    }
+                    Ok(FrameEvent::Eof) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed mid-run",
+                        ))
+                    }
+                    Ok(FrameEvent::Idle) => continue,
+                    Err(FrameError::Oversized(n)) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("oversized reply frame: {n} bytes"),
+                        ))
+                    }
+                    Err(FrameError::Io(e)) => return Err(e),
+                }
+            }
+        };
+        let reader_result = (|| -> io::Result<()> {
+            for _ in 0..lane.len() {
+                let (corr, reply) = read_one()?;
+                let Some(slot) = corr.map(|c| c as usize).filter(|&i| i < lane.len()) else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "reply without a known correlation id",
+                    ));
+                };
+                // Open-loop latency: now minus *scheduled* send time.
+                out.latencies[slot] = (start + lane[slot].0).elapsed();
+                if let Some(stats) = reply.stats() {
+                    out.totals.add(stats);
+                }
+                out.result_items += reply.result_size() as u64;
+            }
+            Ok(())
+        })();
+
+        sender.join().expect("open-loop sender thread")?;
+        reader_result?;
+        Ok(out)
+    })
 }

@@ -9,10 +9,39 @@
 //! ```
 //!
 //! `len` counts only the payload and must be in `1..=max`, where the
-//! maximum is direction-specific ([`MAX_REQUEST_FRAME`] for requests,
-//! [`MAX_REPLY_FRAME`] for replies). The payload starts with a one-byte
-//! opcode; all integers are little-endian, coordinates are `i32` (the
-//! geometry's native type), counters are `u64`.
+//! maximum is direction-specific ([`MAX_REQUEST_FRAME_V2`] for requests,
+//! [`MAX_REPLY_FRAME`] for replies). All integers are little-endian,
+//! coordinates are `i32` (the geometry's native type), counters are `u64`.
+//!
+//! ## Payload layouts: v1 vs v2
+//!
+//! Two payload layouts coexist, distinguished by the first payload byte:
+//!
+//! ```text
+//! | version | first byte          | payload layout                            |
+//! |---------|---------------------|-------------------------------------------|
+//! | v1      | opcode              | opcode: u8 | body                         |
+//! | v2      | 0xB2 version marker | 0xB2 | corr: u32 LE | opcode: u8 | body   |
+//! ```
+//!
+//! Any first byte in `0xB0..=0xBF` is a *version marker* (low nibble =
+//! protocol version); no v1 opcode falls in that range, so the two
+//! layouts never collide. A marker with an unsupported version draws a
+//! structured [`ErrorCode::UnsupportedVersion`] error frame, not a
+//! hangup. The v2 correlation id is echoed verbatim in the reply
+//! envelope, which is what allows **pipelining**: a client may send many
+//! v2 frames before reading replies, and replies may complete out of
+//! order. Replies to v1 frames carry no envelope and are delivered in
+//! request order. Clients negotiate with [`Request::Hello`] (legal in
+//! either layout): the server answers [`Reply::Hello`] with the version
+//! it will speak, and a pre-v2 server answers `UnknownOp` — the cue to
+//! stay on v1.
+//!
+//! The opcode + body layer is identical in both versions. v2 adds two
+//! ops: `HELLO` and `BATCH` ([`Request::Batch`] carries a homogeneous
+//! query vector, answered by [`Reply::Batch`] with one nested reply per
+//! item in submission order); both also decode in v1 framing for
+//! compatibility tooling.
 //!
 //! Requests cover the paper's query set — incident (query 1), second
 //! endpoint (query 2), nearest (query 3), k-nearest (its ranked extension),
@@ -26,13 +55,37 @@
 //! the server answers with a structured [`Reply::Error`] frame instead of
 //! dropping the connection.
 
-use lsdb_core::{DiskStats, QueryStats, SegId};
+use lsdb_core::{BatchRequest, DiskStats, QueryStats, SegId};
 use lsdb_geom::{Point, Rect};
 use std::io::{self, Read, Write};
 
-/// Largest request payload the server will read. Requests are tiny (the
-/// biggest is `WINDOW`: opcode + four `i32`s); anything bigger is garbage.
+/// Largest *singleton* request payload (v1 or v2 envelope included).
+/// Singleton requests are tiny (the biggest is a v2 `WINDOW`: marker +
+/// correlation id + opcode + four `i32`s); anything bigger is garbage.
 pub const MAX_REQUEST_FRAME: u32 = 64;
+
+/// Largest request payload a v2 server will read — sized for `BATCH`
+/// frames carrying tens of thousands of queries. (The server reads all
+/// requests under this cap; [`MAX_REQUEST_FRAME`] documents the singleton
+/// bound and caps what v1-only tooling need buffer.)
+pub const MAX_REQUEST_FRAME_V2: u32 = 4 * 1024 * 1024;
+
+/// Most queries one `BATCH` request may carry; bigger batches draw
+/// [`ErrorCode::BadArgument`]. Keeps the worst-case reply under
+/// [`MAX_REPLY_FRAME`].
+pub const MAX_BATCH_ITEMS: usize = 65_536;
+
+/// The protocol version this build speaks natively.
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// The v2 version marker: first payload byte of every v2 frame.
+pub const V2_MARKER: u8 = 0xB0 | PROTOCOL_VERSION;
+
+/// Whether a first payload byte is a version marker (`0xB0..=0xBF`, low
+/// nibble = version). No v1 opcode falls in this range.
+pub const fn is_version_marker(b: u8) -> bool {
+    b & 0xF0 == 0xB0
+}
 
 /// Largest reply payload a client will read. Bounds a window query over an
 /// entire county (hundreds of thousands of `u32` segment ids) with room to
@@ -50,6 +103,18 @@ mod op {
     pub const POLYGON: u8 = 0x07;
     pub const STATS: u8 = 0x08;
     pub const SHUTDOWN: u8 = 0x09;
+    pub const HELLO: u8 = 0x0A;
+    pub const BATCH: u8 = 0x0B;
+}
+
+/// Batch kind bytes (second byte of a `BATCH` request).
+mod bk {
+    pub const INCIDENT: u8 = 1;
+    pub const SECOND: u8 = 2;
+    pub const NEAREST: u8 = 3;
+    pub const KNN: u8 = 4;
+    pub const WINDOW: u8 = 5;
+    pub const POLYGON: u8 = 6;
 }
 
 /// Reply opcodes (first payload byte).
@@ -60,12 +125,21 @@ mod rop {
     pub const POLYGON: u8 = 0x83;
     pub const STATS: u8 = 0x84;
     pub const BYE: u8 = 0x85;
+    pub const HELLO: u8 = 0x86;
+    pub const BATCH: u8 = 0x87;
     pub const ERROR: u8 = 0xEE;
 }
 
 /// One client request.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Request {
+    /// Version negotiation: the highest protocol version the client
+    /// speaks. Answered with [`Reply::Hello`].
+    Hello { version: u8 },
+    /// A homogeneous vector of spatial queries, executed Morton-sorted
+    /// against the structure and answered by [`Reply::Batch`] in
+    /// submission order.
+    Batch(BatchRequest),
     /// Liveness probe; answered with [`Reply::Pong`].
     Ping,
     /// Query 1: all segments incident at the point.
@@ -93,6 +167,14 @@ pub enum Request {
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Reply {
     Pong,
+    /// Version negotiation answer: the protocol version the server will
+    /// speak on this connection.
+    Hello {
+        version: u8,
+    },
+    /// Batched answers, one nested (non-`Batch`) reply per batch item, in
+    /// the batch's submission order.
+    Batch(Vec<Reply>),
     /// Segment-set answer (incident / second / knn / window). For `KNN`
     /// the ids are ordered closest-first; otherwise order is
     /// structure-defined but deterministic.
@@ -141,6 +223,9 @@ pub enum ErrorCode {
     BadArgument = 4,
     /// Server is draining; no further requests are served.
     ShuttingDown = 5,
+    /// The frame's version marker names a protocol version this server
+    /// does not speak.
+    UnsupportedVersion = 6,
 }
 
 impl ErrorCode {
@@ -151,6 +236,7 @@ impl ErrorCode {
             3 => ErrorCode::Oversized,
             4 => ErrorCode::BadArgument,
             5 => ErrorCode::ShuttingDown,
+            6 => ErrorCode::UnsupportedVersion,
             _ => return None,
         })
     }
@@ -169,6 +255,8 @@ pub enum ProtoError {
     Empty,
     /// A field holds an impossible value (reply decoding).
     BadField(&'static str),
+    /// A version marker named a protocol version this build cannot speak.
+    UnsupportedVersion(u8),
 }
 
 impl ProtoError {
@@ -176,6 +264,7 @@ impl ProtoError {
     pub fn code(&self) -> ErrorCode {
         match self {
             ProtoError::UnknownOp(_) => ErrorCode::UnknownOp,
+            ProtoError::UnsupportedVersion(_) => ErrorCode::UnsupportedVersion,
             _ => ErrorCode::Malformed,
         }
     }
@@ -193,6 +282,12 @@ impl std::fmt::Display for ProtoError {
             ProtoError::UnknownOp(b) => write!(f, "unknown opcode {b:#04x}"),
             ProtoError::Empty => write!(f, "empty payload"),
             ProtoError::BadField(what) => write!(f, "bad field: {what}"),
+            ProtoError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (this server speaks v1 and v{PROTOCOL_VERSION})"
+                )
+            }
         }
     }
 }
@@ -226,6 +321,18 @@ impl<'a> Cursor<'a> {
 
     fn u8(&mut self) -> Result<u8, ProtoError> {
         Ok(self.take::<1>()?[0])
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ProtoError::Truncated {
+                expected: self.pos + n,
+                got: self.buf.len(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
     }
 
     fn u32(&mut self) -> Result<u32, ProtoError> {
@@ -306,53 +413,181 @@ fn get_ids(c: &mut Cursor) -> Result<Vec<SegId>, ProtoError> {
     Ok(ids)
 }
 
+fn put_batch(buf: &mut Vec<u8>, batch: &BatchRequest) {
+    buf.push(op::BATCH);
+    match batch {
+        BatchRequest::Incident(points) => {
+            buf.push(bk::INCIDENT);
+            buf.extend_from_slice(&(points.len() as u32).to_le_bytes());
+            for &p in points {
+                put_point(buf, p);
+            }
+        }
+        BatchRequest::Second(items) => {
+            buf.push(bk::SECOND);
+            buf.extend_from_slice(&(items.len() as u32).to_le_bytes());
+            for &(id, at) in items {
+                buf.extend_from_slice(&id.0.to_le_bytes());
+                put_point(buf, at);
+            }
+        }
+        BatchRequest::Nearest(points) => {
+            buf.push(bk::NEAREST);
+            buf.extend_from_slice(&(points.len() as u32).to_le_bytes());
+            for &p in points {
+                put_point(buf, p);
+            }
+        }
+        BatchRequest::Knn(items) => {
+            buf.push(bk::KNN);
+            buf.extend_from_slice(&(items.len() as u32).to_le_bytes());
+            for &(at, k) in items {
+                put_point(buf, at);
+                buf.extend_from_slice(&k.to_le_bytes());
+            }
+        }
+        BatchRequest::Window(windows) => {
+            buf.push(bk::WINDOW);
+            buf.extend_from_slice(&(windows.len() as u32).to_le_bytes());
+            for w in windows {
+                put_point(buf, w.min);
+                put_point(buf, w.max);
+            }
+        }
+        BatchRequest::Polygon { points, max_steps } => {
+            buf.push(bk::POLYGON);
+            buf.extend_from_slice(&max_steps.to_le_bytes());
+            buf.extend_from_slice(&(points.len() as u32).to_le_bytes());
+            for &p in points {
+                put_point(buf, p);
+            }
+        }
+    }
+}
+
+fn get_batch(c: &mut Cursor) -> Result<BatchRequest, ProtoError> {
+    let kind = c.u8()?;
+    let max_steps = if kind == bk::POLYGON { c.u32()? } else { 0 };
+    let n = c.u32()? as usize;
+    // Items are fixed-size, so a lying count fails on `take` before the
+    // reserve below could matter; the cap only bounds a hostile reserve.
+    let cap = n.min(1 << 16);
+    Ok(match kind {
+        bk::INCIDENT => {
+            let mut points = Vec::with_capacity(cap);
+            for _ in 0..n {
+                points.push(c.point()?);
+            }
+            BatchRequest::Incident(points)
+        }
+        bk::SECOND => {
+            let mut items = Vec::with_capacity(cap);
+            for _ in 0..n {
+                items.push((SegId(c.u32()?), c.point()?));
+            }
+            BatchRequest::Second(items)
+        }
+        bk::NEAREST => {
+            let mut points = Vec::with_capacity(cap);
+            for _ in 0..n {
+                points.push(c.point()?);
+            }
+            BatchRequest::Nearest(points)
+        }
+        bk::KNN => {
+            let mut items = Vec::with_capacity(cap);
+            for _ in 0..n {
+                items.push((c.point()?, c.u32()?));
+            }
+            BatchRequest::Knn(items)
+        }
+        bk::WINDOW => {
+            let mut windows = Vec::with_capacity(cap);
+            for _ in 0..n {
+                let (a, b) = (c.point()?, c.point()?);
+                windows.push(Rect::bounding(a, b));
+            }
+            BatchRequest::Window(windows)
+        }
+        bk::POLYGON => {
+            let mut points = Vec::with_capacity(cap);
+            for _ in 0..n {
+                points.push(c.point()?);
+            }
+            BatchRequest::Polygon { points, max_steps }
+        }
+        _ => return Err(ProtoError::BadField("batch kind")),
+    })
+}
+
 impl Request {
-    /// Serialize to a frame payload (no length prefix).
-    pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(24);
-        match *self {
+    fn encode_body(&self, buf: &mut Vec<u8>) {
+        match self {
             Request::Ping => buf.push(op::PING),
+            Request::Hello { version } => {
+                buf.push(op::HELLO);
+                buf.push(*version);
+            }
             Request::Incident(p) => {
                 buf.push(op::INCIDENT);
-                put_point(&mut buf, p);
+                put_point(buf, *p);
             }
             Request::Second { id, at } => {
                 buf.push(op::SECOND);
                 buf.extend_from_slice(&id.0.to_le_bytes());
-                put_point(&mut buf, at);
+                put_point(buf, *at);
             }
             Request::Nearest(p) => {
                 buf.push(op::NEAREST);
-                put_point(&mut buf, p);
+                put_point(buf, *p);
             }
             Request::Knn { at, k } => {
                 buf.push(op::KNN);
-                put_point(&mut buf, at);
+                put_point(buf, *at);
                 buf.extend_from_slice(&k.to_le_bytes());
             }
             Request::Window(w) => {
                 buf.push(op::WINDOW);
-                put_point(&mut buf, w.min);
-                put_point(&mut buf, w.max);
+                put_point(buf, w.min);
+                put_point(buf, w.max);
             }
             Request::Polygon { at, max_steps } => {
                 buf.push(op::POLYGON);
-                put_point(&mut buf, at);
+                put_point(buf, *at);
                 buf.extend_from_slice(&max_steps.to_le_bytes());
             }
+            Request::Batch(batch) => put_batch(buf, batch),
             Request::Stats => buf.push(op::STATS),
             Request::Shutdown => buf.push(op::SHUTDOWN),
         }
+    }
+
+    /// Serialize to a v1 frame payload (no length prefix, no envelope).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(24);
+        self.encode_body(&mut buf);
         buf
     }
 
-    /// Deserialize a frame payload. Total: never panics on any byte
-    /// sequence.
+    /// Serialize to a v2 frame payload: version marker, correlation id,
+    /// then the same opcode + body as [`Request::encode`].
+    pub fn encode_v2(&self, corr: u32) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        buf.push(V2_MARKER);
+        buf.extend_from_slice(&corr.to_le_bytes());
+        self.encode_body(&mut buf);
+        buf
+    }
+
+    /// Deserialize a *v1* frame payload (opcode-first). Total: never
+    /// panics on any byte sequence. For version-aware decoding (v1 or
+    /// v2), use [`decode_request`].
     pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
         let mut c = Cursor::new(payload);
         let opcode = c.u8().map_err(|_| ProtoError::Empty)?;
         let req = match opcode {
             op::PING => Request::Ping,
+            op::HELLO => Request::Hello { version: c.u8()? },
             op::INCIDENT => Request::Incident(c.point()?),
             op::SECOND => Request::Second {
                 id: SegId(c.u32()?),
@@ -371,6 +606,7 @@ impl Request {
                 at: c.point()?,
                 max_steps: c.u32()?,
             },
+            op::BATCH => Request::Batch(get_batch(&mut c)?),
             op::STATS => Request::Stats,
             op::SHUTDOWN => Request::Shutdown,
             other => return Err(ProtoError::UnknownOp(other)),
@@ -380,20 +616,105 @@ impl Request {
     }
 }
 
+/// A decoded request plus its envelope: which layout the frame used
+/// (`corr` is `Some` for v2) — what a server needs to route the reply.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RequestFrame {
+    /// The v2 correlation id, echoed in the reply envelope; `None` for a
+    /// v1 frame.
+    pub corr: Option<u32>,
+    pub request: Request,
+}
+
+/// A request decode failure plus whatever envelope could still be
+/// recovered — a v2 frame with a bad body keeps its correlation id, so
+/// the error reply can be matched by a pipelining client.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DecodeFailure {
+    pub corr: Option<u32>,
+    pub error: ProtoError,
+}
+
+/// Version-aware request decoding: dispatches on the first payload byte
+/// (version marker → v2 envelope, anything else → v1 compatibility
+/// path). Total: never panics on any byte sequence.
+pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, DecodeFailure> {
+    match payload.first() {
+        Some(&b) if is_version_marker(b) => {
+            let version = b & 0x0F;
+            if version != PROTOCOL_VERSION {
+                return Err(DecodeFailure {
+                    corr: None,
+                    error: ProtoError::UnsupportedVersion(version),
+                });
+            }
+            let mut c = Cursor::new(&payload[1..]);
+            let corr = c
+                .u32()
+                .map_err(|error| DecodeFailure { corr: None, error })?;
+            match Request::decode(&payload[5..]) {
+                Ok(request) => Ok(RequestFrame {
+                    corr: Some(corr),
+                    request,
+                }),
+                Err(error) => Err(DecodeFailure {
+                    corr: Some(corr),
+                    error,
+                }),
+            }
+        }
+        _ => match Request::decode(payload) {
+            Ok(request) => Ok(RequestFrame {
+                corr: None,
+                request,
+            }),
+            Err(error) => Err(DecodeFailure { corr: None, error }),
+        },
+    }
+}
+
+/// Version-aware reply decoding (the client side of [`decode_request`]):
+/// returns the correlation id for v2-enveloped replies.
+pub fn decode_reply(payload: &[u8]) -> Result<(Option<u32>, Reply), ProtoError> {
+    match payload.first() {
+        Some(&b) if is_version_marker(b) => {
+            let version = b & 0x0F;
+            if version != PROTOCOL_VERSION {
+                return Err(ProtoError::UnsupportedVersion(version));
+            }
+            let mut c = Cursor::new(&payload[1..]);
+            let corr = c.u32()?;
+            Ok((Some(corr), Reply::decode(&payload[5..])?))
+        }
+        _ => Ok((None, Reply::decode(payload)?)),
+    }
+}
+
 impl Reply {
-    /// Serialize to a frame payload (no length prefix).
-    pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(64);
+    fn encode_body(&self, buf: &mut Vec<u8>) {
         match self {
             Reply::Pong => buf.push(rop::PONG),
+            Reply::Hello { version } => {
+                buf.push(rop::HELLO);
+                buf.push(*version);
+            }
+            Reply::Batch(items) => {
+                buf.push(rop::BATCH);
+                buf.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                for item in items {
+                    let inner = item.encode();
+                    buf.extend_from_slice(&(inner.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(&inner);
+                }
+            }
             Reply::Segs { ids, stats } => {
                 buf.push(rop::SEGS);
-                put_stats(&mut buf, *stats);
-                put_ids(&mut buf, ids);
+                put_stats(buf, *stats);
+                put_ids(buf, ids);
             }
             Reply::Nearest { id, stats } => {
                 buf.push(rop::NEAREST);
-                put_stats(&mut buf, *stats);
+                put_stats(buf, *stats);
                 match id {
                     Some(id) => {
                         buf.push(1);
@@ -404,12 +725,12 @@ impl Reply {
             }
             Reply::Polygon { walk, stats } => {
                 buf.push(rop::POLYGON);
-                put_stats(&mut buf, *stats);
+                put_stats(buf, *stats);
                 match walk {
                     Some((boundary, closed)) => {
                         buf.push(1);
                         buf.push(*closed as u8);
-                        put_ids(&mut buf, boundary);
+                        put_ids(buf, boundary);
                     }
                     None => buf.push(0),
                 }
@@ -417,7 +738,7 @@ impl Reply {
             Reply::Stats { queries, totals } => {
                 buf.push(rop::STATS);
                 buf.extend_from_slice(&queries.to_le_bytes());
-                put_stats(&mut buf, *totals);
+                put_stats(buf, *totals);
             }
             Reply::Bye => buf.push(rop::BYE),
             Reply::Error { code, message } => {
@@ -429,10 +750,27 @@ impl Reply {
                 buf.extend_from_slice(&msg[..len]);
             }
         }
+    }
+
+    /// Serialize to a v1 frame payload (no length prefix, no envelope).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        self.encode_body(&mut buf);
         buf
     }
 
-    /// Deserialize a frame payload. Never panics on any byte sequence.
+    /// Serialize to a v2 frame payload: version marker, the correlation
+    /// id of the request being answered, then the v1 body.
+    pub fn encode_v2(&self, corr: u32) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(72);
+        buf.push(V2_MARKER);
+        buf.extend_from_slice(&corr.to_le_bytes());
+        self.encode_body(&mut buf);
+        buf
+    }
+
+    /// Deserialize a *v1* frame payload. Never panics on any byte
+    /// sequence. For version-aware decoding use [`decode_reply`].
     pub fn decode(payload: &[u8]) -> Result<Reply, ProtoError> {
         let mut c = Cursor::new(payload);
         let opcode = c.u8().map_err(|_| ProtoError::Empty)?;
@@ -472,6 +810,20 @@ impl Reply {
                 totals: get_stats(&mut c)?,
             },
             rop::BYE => Reply::Bye,
+            rop::HELLO => Reply::Hello { version: c.u8()? },
+            rop::BATCH => {
+                let n = c.u32()? as usize;
+                let mut items = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let len = c.u32()? as usize;
+                    let inner = Reply::decode(c.bytes(len)?)?;
+                    if matches!(inner, Reply::Batch(_)) {
+                        return Err(ProtoError::BadField("nested batch reply"));
+                    }
+                    items.push(inner);
+                }
+                Reply::Batch(items)
+            }
             rop::ERROR => {
                 let code = ErrorCode::from_u8(c.u8()?).ok_or(ProtoError::BadField("error code"))?;
                 let len = u16::from_le_bytes(c.take::<2>()?) as usize;
@@ -507,6 +859,7 @@ impl Reply {
             Reply::Segs { ids, .. } => ids.len(),
             Reply::Nearest { id, .. } => id.is_some() as usize,
             Reply::Polygon { walk, .. } => walk.as_ref().map_or(0, |(b, _)| b.len()),
+            Reply::Batch(items) => items.iter().map(Reply::result_size).sum(),
             _ => 0,
         }
     }
@@ -775,6 +1128,182 @@ mod tests {
             read_frame(&mut &zero[..], MAX_REQUEST_FRAME),
             Err(FrameError::Oversized(0))
         ));
+    }
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Ping,
+            Request::Hello { version: 2 },
+            Request::Incident(Point::new(-5, 7)),
+            Request::Second {
+                id: SegId(42),
+                at: Point::new(0, i32::MIN),
+            },
+            Request::Nearest(Point::new(i32::MAX, -1)),
+            Request::Knn {
+                at: Point::new(3, 4),
+                k: 17,
+            },
+            Request::Window(Rect::new(-10, -10, 10, 10)),
+            Request::Polygon {
+                at: Point::new(1, 2),
+                max_steps: 6000,
+            },
+            Request::Stats,
+            Request::Shutdown,
+            Request::Batch(BatchRequest::Incident(vec![
+                Point::new(1, 2),
+                Point::new(3, 4),
+            ])),
+            Request::Batch(BatchRequest::Second(vec![(SegId(9), Point::new(5, 6))])),
+            Request::Batch(BatchRequest::Nearest(vec![Point::new(7, 8)])),
+            Request::Batch(BatchRequest::Knn(vec![(Point::new(1, 1), 3)])),
+            Request::Batch(BatchRequest::Window(vec![
+                Rect::new(0, 0, 9, 9),
+                Rect::new(-4, -4, 4, 4),
+            ])),
+            Request::Batch(BatchRequest::Polygon {
+                points: vec![Point::new(2, 3)],
+                max_steps: 777,
+            }),
+            Request::Batch(BatchRequest::Window(vec![])),
+        ]
+    }
+
+    #[test]
+    fn v2_request_roundtrip_preserves_correlation_id() {
+        for (i, r) in sample_requests().into_iter().enumerate() {
+            let corr = (i as u32).wrapping_mul(0x9E3779B9);
+            let bytes = r.encode_v2(corr);
+            assert!(is_version_marker(bytes[0]));
+            let frame = decode_request(&bytes).unwrap();
+            assert_eq!(frame.corr, Some(corr), "{r:?}");
+            assert_eq!(frame.request, r);
+            // The v1 compatibility path still decodes the plain body.
+            let v1 = decode_request(&r.encode()).unwrap();
+            assert_eq!(v1.corr, None);
+            assert_eq!(v1.request, r);
+        }
+    }
+
+    #[test]
+    fn v2_reply_roundtrip_preserves_correlation_id() {
+        let stats = QueryStats::default();
+        let replies = [
+            Reply::Pong,
+            Reply::Hello { version: 2 },
+            Reply::Batch(vec![
+                Reply::Segs {
+                    ids: vec![SegId(4)],
+                    stats,
+                },
+                Reply::Nearest {
+                    id: Some(SegId(2)),
+                    stats,
+                },
+                Reply::Polygon { walk: None, stats },
+                Reply::Error {
+                    code: ErrorCode::BadArgument,
+                    message: "x".into(),
+                },
+            ]),
+            Reply::Batch(vec![]),
+        ];
+        for (i, r) in replies.into_iter().enumerate() {
+            let corr = 1000 + i as u32;
+            let (got_corr, got) = decode_reply(&r.encode_v2(corr)).unwrap();
+            assert_eq!(got_corr, Some(corr), "{r:?}");
+            assert_eq!(got, r);
+            let (none, got) = decode_reply(&r.encode()).unwrap();
+            assert_eq!(none, None);
+            assert_eq!(got, r);
+        }
+    }
+
+    #[test]
+    fn unsupported_version_marker_is_structured_not_a_panic() {
+        for v in 0..=0x0F {
+            if v == PROTOCOL_VERSION {
+                continue;
+            }
+            let mut bytes = Request::Ping.encode_v2(7);
+            bytes[0] = 0xB0 | v;
+            let fail = decode_request(&bytes).unwrap_err();
+            assert_eq!(fail.error, ProtoError::UnsupportedVersion(v));
+            assert_eq!(fail.error.code(), ErrorCode::UnsupportedVersion);
+            assert!(matches!(
+                decode_reply(&bytes),
+                Err(ProtoError::UnsupportedVersion(got)) if got == v
+            ));
+        }
+    }
+
+    #[test]
+    fn truncated_v2_frames_error_not_panic() {
+        // Every proper prefix of every v2 encoding must fail cleanly —
+        // including cuts inside the marker/correlation header.
+        for r in sample_requests() {
+            let bytes = r.encode_v2(0xDEAD_BEEF);
+            for cut in 0..bytes.len() {
+                assert!(
+                    decode_request(&bytes[..cut]).is_err(),
+                    "{r:?} cut at {cut} must fail"
+                );
+            }
+        }
+        // Marker-led garbage: random bytes after a valid v2 marker.
+        let mut state = 0xA076_1D64_78BD_642Fu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as u8
+        };
+        for len in 0..48usize {
+            for _ in 0..64 {
+                let mut bytes = vec![V2_MARKER];
+                bytes.extend((0..len).map(|_| next()));
+                let _ = decode_request(&bytes); // must not panic
+                let _ = decode_reply(&bytes); // must not panic
+            }
+        }
+    }
+
+    #[test]
+    fn bad_v2_body_still_recovers_correlation_id() {
+        let mut bytes = Request::Incident(Point::new(3, 4)).encode_v2(0x1234_5678);
+        bytes.truncate(bytes.len() - 2); // wound the body, keep the header
+        let fail = decode_request(&bytes).unwrap_err();
+        assert_eq!(
+            fail.corr,
+            Some(0x1234_5678),
+            "error reply must be matchable"
+        );
+        assert!(matches!(fail.error, ProtoError::Truncated { .. }));
+    }
+
+    #[test]
+    fn nested_batch_replies_are_rejected() {
+        let inner = Reply::Batch(vec![Reply::Pong]);
+        let mut bytes = vec![rop::BATCH];
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        let inner_bytes = inner.encode();
+        bytes.extend_from_slice(&(inner_bytes.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&inner_bytes);
+        assert_eq!(
+            Reply::decode(&bytes),
+            Err(ProtoError::BadField("nested batch reply"))
+        );
+    }
+
+    #[test]
+    fn batch_item_count_mismatch_is_rejected() {
+        // Declared count beyond the actual items must error, not panic
+        // or over-allocate.
+        let mut bytes = Request::Batch(BatchRequest::Nearest(vec![Point::new(1, 1)])).encode();
+        // Body layout: opcode, kind, count u32, items. Bump the count.
+        bytes[2..6].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(&bytes).is_err());
     }
 
     #[test]

@@ -1,38 +1,50 @@
-//! The serving loop: a fixed pool of scoped worker threads over one
-//! shared-read index.
+//! The serving backbone: one readiness-driven I/O thread multiplexing
+//! every connection, plus a fixed executor pool running the queries.
 //!
-//! One acceptor thread hands inbound connections to a bounded worker pool
-//! through an mpsc channel; each worker serves one connection at a time,
-//! running every request through the PR-1 query path with its own
-//! [`QueryCtx`] and folding the per-query counters into a
-//! [`SharedStats`] aggregate (what the `STATS` op reports). Shutdown is
+//! [`Server::run`] spawns `workers` executor threads (each owning a warm
+//! [`lsdb_core::QueryCtx`]) and then runs the event loop on
+//! the calling thread. The loop accepts, frames, and decodes; spatial
+//! work crosses to the executors over a channel and encoded replies come
+//! back over another, so a single I/O thread supports thousands of
+//! pipelined connections. Per-query counters fold into a
+//! [`SharedStats`] aggregate (what the `STATS` op reports), exactly as
+//! the in-process parallel driver folds them — totals are independent of
+//! connection count, pipelining depth, or batch shape. Shutdown is
 //! graceful: a `SHUTDOWN` request (or [`ShutdownHandle::shutdown`]) stops
-//! the acceptor, in-flight requests run to completion and are answered,
-//! and every worker exits once its connection closes or goes idle.
+//! the acceptor, owed replies flush, and every thread exits.
 
-use crate::protocol::{
-    read_frame, write_frame, ErrorCode, FrameError, FrameEvent, Reply, Request, MAX_REQUEST_FRAME,
-};
-use lsdb_core::{queries, QueryCtx, QueryStats, SharedStats, SpatialIndex};
+use crate::event_loop;
+use crate::executor::{self, Completion, Job};
+use crate::protocol::MAX_REQUEST_FRAME_V2;
+use crate::sys::WakePipe;
+use lsdb_core::{QueryStats, SharedStats, SpatialIndex};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-/// Tuning knobs for [`Server`].
+/// Tuning knobs for [`Server`]. Construct via [`ServerConfig::builder`]
+/// (validated), [`ServerConfig::from_env`] (documented `LSDB_*`
+/// variables), or struct-literal update syntax over
+/// [`ServerConfig::default`].
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Worker threads (each serves one connection at a time).
+    /// Executor worker threads (the I/O thread is extra and fixed at
+    /// one). Each worker runs one query or batch at a time.
     pub workers: usize,
-    /// Per-connection read timeout. Also the cadence at which a worker
-    /// blocked on an idle connection notices a shutdown, so keep it small
-    /// when fast drain matters.
+    /// Poll cadence for noticing an out-of-band shutdown on an otherwise
+    /// idle server; also the idle-read cadence a v1 client observes.
+    /// Keep it small when fast drain matters.
     pub read_timeout: Duration,
-    /// Per-connection write timeout (a stalled reader cannot wedge a
-    /// worker forever).
+    /// How long a peer may refuse to accept a byte of a pending reply
+    /// before its connection is dropped (a stalled reader cannot wedge
+    /// the server).
     pub write_timeout: Duration,
+    /// Largest request frame accepted, in bytes. Batches need room
+    /// (default [`MAX_REQUEST_FRAME_V2`]); singleton-only deployments
+    /// can pin this down to harden against garbage.
+    pub max_request_frame: u32,
 }
 
 impl Default for ServerConfig {
@@ -41,17 +53,142 @@ impl Default for ServerConfig {
             workers: 4,
             read_timeout: Duration::from_millis(500),
             write_timeout: Duration::from_secs(10),
+            max_request_frame: MAX_REQUEST_FRAME_V2,
         }
+    }
+}
+
+impl ServerConfig {
+    /// A validated builder over the defaults.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: ServerConfig::default(),
+        }
+    }
+
+    /// Defaults overridden by whichever environment variables parse
+    /// cleanly — the one documented place server knobs read the
+    /// environment:
+    ///
+    /// | variable | field | unit |
+    /// |---|---|---|
+    /// | `LSDB_SERVER_WORKERS` | `workers` | threads |
+    /// | `LSDB_THREADS` | `workers` (fallback) | threads |
+    /// | `LSDB_SERVER_READ_TIMEOUT_MS` | `read_timeout` | milliseconds |
+    /// | `LSDB_SERVER_WRITE_TIMEOUT_MS` | `write_timeout` | milliseconds |
+    /// | `LSDB_SERVER_MAX_FRAME` | `max_request_frame` | bytes |
+    ///
+    /// `LSDB_THREADS` is shared with the bench crate's `WorkloadConfig`
+    /// so one variable sizes both in-process and served parallelism.
+    /// Invalid values (unparsable, zero) fall back to the default.
+    pub fn from_env() -> ServerConfig {
+        fn parse<T: std::str::FromStr>(var: &str) -> Option<T> {
+            std::env::var(var).ok().and_then(|s| s.parse().ok())
+        }
+        let mut cfg = ServerConfig::default();
+        if let Some(w) = parse::<usize>("LSDB_SERVER_WORKERS").or_else(|| parse("LSDB_THREADS")) {
+            if w > 0 {
+                cfg.workers = w;
+            }
+        }
+        if let Some(ms) = parse::<u64>("LSDB_SERVER_READ_TIMEOUT_MS") {
+            if ms > 0 {
+                cfg.read_timeout = Duration::from_millis(ms);
+            }
+        }
+        if let Some(ms) = parse::<u64>("LSDB_SERVER_WRITE_TIMEOUT_MS") {
+            if ms > 0 {
+                cfg.write_timeout = Duration::from_millis(ms);
+            }
+        }
+        if let Some(n) = parse::<u32>("LSDB_SERVER_MAX_FRAME") {
+            if n > 0 {
+                cfg.max_request_frame = n;
+            }
+        }
+        cfg
+    }
+
+    /// The invariants [`ServerConfigBuilder::build`] and
+    /// [`Server::bind`] enforce.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError("workers must be at least 1"));
+        }
+        if self.max_request_frame == 0 {
+            return Err(ConfigError("max_request_frame must be at least 1 byte"));
+        }
+        if self.read_timeout.is_zero() {
+            return Err(ConfigError("read_timeout must be nonzero"));
+        }
+        if self.write_timeout.is_zero() {
+            return Err(ConfigError("write_timeout must be nonzero"));
+        }
+        Ok(())
+    }
+}
+
+/// A rejected [`ServerConfig`] invariant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConfigError(&'static str);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid server config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for io::Error {
+    fn from(e: ConfigError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidInput, e)
+    }
+}
+
+/// Builder for [`ServerConfig`]; [`ServerConfigBuilder::build`] rejects
+/// nonsense (zero workers, zero frame cap, zero timeouts).
+#[derive(Clone, Debug)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config.workers = n;
+        self
+    }
+
+    pub fn read_timeout(mut self, t: Duration) -> Self {
+        self.config.read_timeout = t;
+        self
+    }
+
+    pub fn write_timeout(mut self, t: Duration) -> Self {
+        self.config.write_timeout = t;
+        self
+    }
+
+    pub fn max_request_frame(mut self, bytes: u32) -> Self {
+        self.config.max_request_frame = bytes;
+        self
+    }
+
+    pub fn build(self) -> Result<ServerConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
 /// What a finished server reports: the same aggregates `STATS` serves.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServerReport {
-    /// Spatial queries answered (service ops excluded).
+    /// Spatial queries answered (service ops excluded; each batch item
+    /// counts as one query).
     pub queries: u64,
-    /// Summed per-query counters — a plain sum of [`QueryCtx`] snapshots,
-    /// so identical to what a sequential in-process run would total.
+    /// Summed per-query counters — a plain sum of [`lsdb_core::QueryCtx`]
+    /// snapshots, so identical to what a sequential in-process run would
+    /// total.
     pub totals: QueryStats,
     /// Connections accepted over the server's lifetime.
     pub connections: u64,
@@ -83,11 +220,13 @@ pub struct Server {
 impl Server {
     /// Bind to `addr` (use port 0 for an ephemeral port). The index must
     /// already be built — the server is strictly build-once/serve-many.
+    /// Rejects an invalid `config` with `InvalidInput`.
     pub fn bind(
         addr: impl ToSocketAddrs,
         index: Box<dyn SpatialIndex>,
         config: ServerConfig,
     ) -> io::Result<Server> {
+        config.validate()?;
         let listener = TcpListener::bind(addr)?;
         Ok(Server {
             listener,
@@ -108,8 +247,8 @@ impl Server {
     }
 
     /// Serve until shutdown, then return the lifetime aggregates. Blocks
-    /// the calling thread; spawn it on a thread if the caller must keep
-    /// running.
+    /// the calling thread (which becomes the I/O thread); spawn it on a
+    /// thread if the caller must keep running.
     pub fn run(self) -> io::Result<ServerReport> {
         let Server {
             listener,
@@ -117,11 +256,12 @@ impl Server {
             config,
             shutdown,
         } = self;
-        listener.set_nonblocking(true)?;
         let stats = SharedStats::new();
-        let connections = std::sync::atomic::AtomicU64::new(0);
-        let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
-        let rx = Mutex::new(rx);
+        let connections = AtomicU64::new(0);
+        let wake = WakePipe::new()?;
+        let (job_tx, job_rx) = std::sync::mpsc::channel::<Job>();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<Completion>();
+        let job_rx = Mutex::new(job_rx);
 
         let shared = Shared {
             index: index.as_ref(),
@@ -130,16 +270,20 @@ impl Server {
             config: &config,
         };
 
-        std::thread::scope(|scope| {
-            for _ in 0..config.workers.max(1) {
-                let rx = &rx;
+        let result = std::thread::scope(|scope| {
+            for _ in 0..config.workers {
+                let job_rx = &job_rx;
                 let shared = &shared;
-                scope.spawn(move || worker_loop(rx, shared));
+                let done_tx = done_tx.clone();
+                let wake = &wake;
+                scope.spawn(move || executor::worker_loop(job_rx, shared, &done_tx, wake));
             }
-            // The acceptor runs on this thread; dropping `tx` afterwards
-            // disconnects the channel and lets drained workers exit.
-            accept_loop(&listener, tx, &connections, &shutdown);
+            drop(done_tx); // workers hold the only senders now
+                           // The event loop runs here; dropping `job_tx` when it exits
+                           // disconnects the channel and terminates the workers.
+            event_loop::run(listener, &shared, job_tx, done_rx, &wake, &connections)
         });
+        result?;
 
         Ok(ServerReport {
             queries: stats.queries(),
@@ -149,204 +293,54 @@ impl Server {
     }
 }
 
-/// Everything a worker needs, borrowed for the scope of [`Server::run`].
-struct Shared<'a> {
-    index: &'a dyn SpatialIndex,
-    stats: &'a SharedStats,
-    shutdown: &'a AtomicBool,
-    config: &'a ServerConfig,
+/// Everything the event loop and executors share, borrowed for the scope
+/// of [`Server::run`].
+pub(crate) struct Shared<'a> {
+    pub index: &'a dyn SpatialIndex,
+    pub stats: &'a SharedStats,
+    pub shutdown: &'a AtomicBool,
+    pub config: &'a ServerConfig,
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    tx: Sender<TcpStream>,
-    connections: &std::sync::atomic::AtomicU64,
-    shutdown: &AtomicBool,
-) {
-    while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                connections.fetch_add(1, Ordering::Relaxed);
-                if tx.send(stream).is_err() {
-                    break; // workers are gone; nothing left to serve
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => break, // listener broke; drain and exit
-        }
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates() {
+        let cfg = ServerConfig::builder()
+            .workers(2)
+            .read_timeout(Duration::from_millis(50))
+            .max_request_frame(1024)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.workers, 2);
+        assert_eq!(cfg.max_request_frame, 1024);
+
+        assert!(ServerConfig::builder().workers(0).build().is_err());
+        assert!(ServerConfig::builder()
+            .max_request_frame(0)
+            .build()
+            .is_err());
+        assert!(ServerConfig::builder()
+            .read_timeout(Duration::ZERO)
+            .build()
+            .is_err());
+        assert!(ServerConfig::builder()
+            .write_timeout(Duration::ZERO)
+            .build()
+            .is_err());
     }
-    // Dropping `tx` here refuses queued-but-unaccepted clients and ends
-    // the workers' recv loop once the accepted backlog drains.
-}
 
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared) {
-    loop {
-        // Hold the lock only for the dequeue, not while serving.
-        let next = {
-            let rx = rx.lock().unwrap();
-            rx.recv_timeout(Duration::from_millis(50))
-        };
-        match next {
-            Ok(stream) => {
-                // Connection-level failures (timeout stalls, resets) only
-                // kill this one connection.
-                let _ = serve_connection(stream, shared);
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    // Acceptor may still hold `tx` for an instant, but no
-                    // new work is coming once the flag is up and the queue
-                    // is empty.
-                    return;
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => return,
-        }
+    #[test]
+    fn config_error_converts_to_invalid_input() {
+        let e: io::Error = ConfigError("nope").into();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidInput);
     }
-}
 
-/// Serve one connection to completion. Protocol errors are answered with
-/// structured error frames; only transport failures and unrecoverable
-/// framing (oversized declarations) close the connection.
-fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
-    stream.set_read_timeout(Some(shared.config.read_timeout))?;
-    stream.set_write_timeout(Some(shared.config.write_timeout))?;
-    stream.set_nodelay(true).ok();
-    let mut stream = stream;
-    let mut ctx = QueryCtx::new();
-    loop {
-        match read_frame(&mut stream, MAX_REQUEST_FRAME) {
-            Ok(FrameEvent::Frame(payload)) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    let reply = Reply::Error {
-                        code: ErrorCode::ShuttingDown,
-                        message: "server is draining".into(),
-                    };
-                    let _ = write_frame(&mut stream, &reply.encode());
-                    return Ok(());
-                }
-                let (reply, hangup) = match Request::decode(&payload) {
-                    Ok(req) => handle_request(req, shared, &mut ctx),
-                    Err(e) => (
-                        Reply::Error {
-                            code: e.code(),
-                            message: e.to_string(),
-                        },
-                        false, // framing is intact; keep the connection
-                    ),
-                };
-                write_frame(&mut stream, &reply.encode())?;
-                if hangup {
-                    return Ok(());
-                }
-            }
-            Ok(FrameEvent::Eof) => return Ok(()),
-            Ok(FrameEvent::Idle) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return Ok(());
-                }
-            }
-            Err(FrameError::Oversized(n)) => {
-                let reply = Reply::Error {
-                    code: ErrorCode::Oversized,
-                    message: format!(
-                        "frame of {n} bytes exceeds the {MAX_REQUEST_FRAME}-byte request limit"
-                    ),
-                };
-                // The bogus payload was never consumed, so the stream
-                // cannot be re-synchronized: reply, then hang up. Drain
-                // (bounded) what the peer already sent first — closing
-                // with unread bytes raises a TCP reset that would destroy
-                // the error frame before the client reads it.
-                let _ = write_frame(&mut stream, &reply.encode());
-                drain(&mut stream, n.min(1 << 20) as usize);
-                return Ok(());
-            }
-            Err(FrameError::Io(e)) => return Err(e),
-        }
+    #[test]
+    fn default_config_is_valid() {
+        ServerConfig::default().validate().unwrap();
+        ServerConfig::from_env().validate().unwrap();
     }
-}
-
-/// Best-effort discard of up to `n` pending bytes before a close.
-fn drain(stream: &mut TcpStream, mut n: usize) {
-    let mut scratch = [0u8; 4096];
-    while n > 0 {
-        let take = n.min(scratch.len());
-        match io::Read::read(stream, &mut scratch[..take]) {
-            Ok(0) | Err(_) => return,
-            Ok(got) => n -= got,
-        }
-    }
-}
-
-/// Execute one request. Returns the reply and whether the connection
-/// should close afterwards (only after acknowledging `SHUTDOWN`).
-fn handle_request(req: Request, shared: &Shared, ctx: &mut QueryCtx) -> (Reply, bool) {
-    let index = shared.index;
-    ctx.reset();
-    let reply = match req {
-        Request::Ping => return (Reply::Pong, false),
-        Request::Stats => {
-            return (
-                Reply::Stats {
-                    queries: shared.stats.queries(),
-                    totals: shared.stats.snapshot(),
-                },
-                false,
-            )
-        }
-        Request::Shutdown => {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            return (Reply::Bye, true);
-        }
-        Request::Incident(p) => Reply::Segs {
-            ids: index.find_incident(p, ctx),
-            stats: ctx.stats(),
-        },
-        Request::Second { id, at } => {
-            if id.index() >= index.len() {
-                return (
-                    Reply::Error {
-                        code: ErrorCode::BadArgument,
-                        message: format!(
-                            "segment id {} out of range (map has {} segments)",
-                            id.0,
-                            index.len()
-                        ),
-                    },
-                    false,
-                );
-            }
-            Reply::Segs {
-                ids: queries::second_endpoint(index, id, at, ctx),
-                stats: ctx.stats(),
-            }
-        }
-        Request::Nearest(p) => Reply::Nearest {
-            id: index.nearest(p, ctx),
-            stats: ctx.stats(),
-        },
-        Request::Knn { at, k } => Reply::Segs {
-            ids: index.nearest_k(at, k as usize, ctx),
-            stats: ctx.stats(),
-        },
-        Request::Window(w) => Reply::Segs {
-            ids: index.window(w, ctx),
-            stats: ctx.stats(),
-        },
-        Request::Polygon { at, max_steps } => {
-            let walk = queries::enclosing_polygon(index, at, max_steps as usize, ctx);
-            Reply::Polygon {
-                walk: walk.map(|w| (w.boundary, w.closed)),
-                stats: ctx.stats(),
-            }
-        }
-    };
-    // Only genuine spatial queries reach here: fold their counters into
-    // the server-wide aggregate the `STATS` op reports.
-    shared.stats.add(ctx.stats());
-    (reply, false)
 }

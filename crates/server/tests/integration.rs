@@ -5,8 +5,11 @@
 
 use lsdb_core::pointgen::{EndpointGen, UniformGen, WindowGen};
 use lsdb_core::{queries, IndexConfig, PolygonalMap, QueryCtx, QueryStats, SpatialIndex};
-use lsdb_server::protocol::{read_frame, write_frame, FrameEvent, MAX_REPLY_FRAME};
-use lsdb_server::{Client, ErrorCode, Reply, Request, Server, ServerConfig, ServerError};
+use lsdb_server::protocol::{decode_reply, read_frame, write_frame, FrameEvent, MAX_REPLY_FRAME};
+use lsdb_server::{
+    BatchRequest, Client, ErrorCode, QueryRequest, Reply, Request, Server, ServerConfig,
+    ServerError,
+};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -209,8 +212,12 @@ fn malformed_requests_get_error_frames_not_hangups() {
     assert_eq!(reply_of(&mut raw), Reply::Pong);
 
     // An oversized frame declaration gets an error frame, then the
-    // connection closes (the stream cannot be resynchronized).
-    write_frame(&mut raw, &vec![0u8; 4096]).unwrap();
+    // connection closes (the stream cannot be resynchronized). The
+    // payload is never sent — the declared length alone is the offense.
+    let huge = lsdb_server::MAX_REQUEST_FRAME_V2 + 1;
+    let mut poison = huge.to_le_bytes().to_vec();
+    poison.extend_from_slice(&[0u8; 16]);
+    std::io::Write::write_all(&mut raw, &poison).unwrap();
     match reply_of(&mut raw) {
         Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Oversized),
         other => panic!("expected error frame, got {other:?}"),
@@ -223,7 +230,13 @@ fn malformed_requests_get_error_frames_not_hangups() {
     // A bad argument (segment id beyond the map) is a structured error.
     let mut client = Client::connect(addr).unwrap();
     let e = client
-        .second_endpoint(lsdb_core::SegId(u32::MAX - 1), lsdb_geom::Point::new(0, 0))
+        .call(
+            &QueryRequest::second_endpoint(
+                lsdb_core::SegId(u32::MAX - 1),
+                lsdb_geom::Point::new(0, 0),
+            )
+            .build(),
+        )
         .unwrap_err();
     let server_err = e
         .get_ref()
@@ -263,6 +276,153 @@ fn closed_loop_loadgen_reproduces_in_process_counters() {
     assert!(report.p50() <= report.p95() && report.p95() <= report.p99());
     assert!(report.p99() <= report.max_latency());
     assert!(report.throughput_qps() > 0.0);
+
+    Client::connect(addr).unwrap().shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn pipelined_requests_complete_out_of_order_and_match_sequential() {
+    let map = test_map();
+    let index = build(&map);
+    let stream = mixed_stream(&map, 10, 0xD1CE);
+
+    let expected: Vec<Reply> = stream
+        .iter()
+        .map(|r| run_in_process(index.as_ref(), r))
+        .collect();
+
+    let (addr, handle) = start_server(index);
+
+    // High-level: N interleaved requests on one connection, sent before
+    // any reply is read; replies matched by correlation id must be
+    // byte-identical to sequential execution.
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.is_v2(), "negotiation must land on v2");
+    let replies = client.pipeline(&stream).unwrap();
+    assert_eq!(replies.len(), expected.len());
+    for (i, (got, want)) in replies.iter().zip(&expected).enumerate() {
+        assert_eq!(got, want, "pipelined request {i}: {:?}", stream[i]);
+    }
+
+    // Raw wire: a slow executor-bound query pipelined ahead of an
+    // inline-answered ping completes *after* it — replies genuinely
+    // leave out of submission order, matched only by correlation id.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let slow = Request::Polygon {
+        at: lsdb_geom::Point::new(8192, 8192),
+        max_steps: MAX_STEPS,
+    };
+    let mut both = Vec::new();
+    for (corr, req) in [(7u32, &slow), (8u32, &Request::Ping)] {
+        let payload = req.encode_v2(corr);
+        both.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        both.extend_from_slice(&payload);
+    }
+    // One write: both frames arrive in one readiness event, so the ping
+    // is answered inline before the polygon's completion can be routed.
+    std::io::Write::write_all(&mut raw, &both).unwrap();
+    let read_reply = |stream: &mut TcpStream| -> (Option<u32>, Reply) {
+        match read_frame(stream, MAX_REPLY_FRAME).unwrap() {
+            FrameEvent::Frame(p) => decode_reply(&p).unwrap(),
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    };
+    let (first_corr, first) = read_reply(&mut raw);
+    let (second_corr, second) = read_reply(&mut raw);
+    assert_eq!(first_corr, Some(8), "ping overtakes the slow polygon");
+    assert_eq!(first, Reply::Pong);
+    assert_eq!(second_corr, Some(7));
+    assert!(matches!(second, Reply::Polygon { .. }));
+    drop(raw);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn v1_client_round_trips_every_op_against_the_v2_server() {
+    let map = test_map();
+    let index = build(&map);
+    let stream = mixed_stream(&map, 6, 0xA11CE);
+    let expected: Vec<Reply> = stream
+        .iter()
+        .map(|r| run_in_process(index.as_ref(), r))
+        .collect();
+
+    let (addr, handle) = start_server(index);
+    let mut client = Client::connect_v1(addr).unwrap();
+    assert!(!client.is_v2());
+    client.ping().unwrap();
+    for (req, want) in stream.iter().zip(&expected) {
+        assert_eq!(&client.call(req).unwrap(), want, "{req:?}");
+    }
+    let (served, _) = client.stats().unwrap();
+    assert_eq!(served, stream.len() as u64);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn batched_execution_matches_singleton_counters_over_the_wire() {
+    let map = test_map();
+    let index = build(&map);
+    let mut windows = WindowGen::new(0.0001, 0xB17C4);
+    let rects: Vec<lsdb_geom::Rect> = (0..200).map(|_| windows.next_window()).collect();
+    let batch = BatchRequest::Window(rects.clone());
+
+    // Ground truth: each window as a singleton, fresh context.
+    let expected: Vec<Reply> = rects
+        .iter()
+        .map(|&w| run_in_process(index.as_ref(), &Request::Window(w)))
+        .collect();
+
+    let (addr, handle) = start_server(index);
+    let mut client = Client::connect(addr).unwrap();
+    let replies = client.call_batch(&batch).unwrap();
+    assert_eq!(replies.len(), expected.len());
+    for (i, (got, want)) in replies.iter().zip(&expected).enumerate() {
+        assert_eq!(got, want, "batch item {i} must be byte-identical");
+    }
+
+    // STATS counts each batch item as one query, with the same totals a
+    // singleton stream would produce.
+    let (served, totals) = client.stats().unwrap();
+    assert_eq!(served, rects.len() as u64);
+    let mut expected_totals = QueryStats::default();
+    for r in &expected {
+        expected_totals.add(r.stats().unwrap());
+    }
+    assert_eq!(totals, expected_totals);
+
+    // A v1 client gets the same answers via transparent unrolling.
+    let mut v1 = Client::connect_v1(addr).unwrap();
+    let unrolled = v1.call_batch(&batch).unwrap();
+    assert_eq!(unrolled, expected);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn open_loop_loadgen_measures_and_matches_counters() {
+    let map = test_map();
+    let index = build(&map);
+    let stream = mixed_stream(&map, 10, 0xFA57);
+
+    let mut expected_totals = QueryStats::default();
+    for req in &stream {
+        expected_totals.add(run_in_process(index.as_ref(), req).stats().unwrap());
+    }
+
+    let (addr, handle) = start_server(index);
+    let report = lsdb_server::run_open_loop(addr, &stream, 2, 2000.0).unwrap();
+    assert_eq!(report.queries, stream.len());
+    assert_eq!(report.totals, expected_totals);
+    assert_eq!(report.latencies.len(), stream.len());
+    assert!(report.p50() <= report.p99() && report.p99() <= report.p999());
+    assert!(report.p999() <= report.max_latency());
 
     Client::connect(addr).unwrap().shutdown().unwrap();
     handle.join().unwrap();

@@ -11,14 +11,21 @@
 //! lsdb query MAP --structure pmr window X0 Y0 X1 Y1
 //! lsdb query MAP --structure pmr polygon X Y
 //! lsdb query MAP --structure pmr --stdin        # one query per line
-//! lsdb serve MAP --structure pmr --port 4750 --workers 4
+//! lsdb serve MAP --structure pmr --port 4750 --workers 4 [--max-frame B]
 //! lsdb bench-client MAP --addr 127.0.0.1:4750 --workload range \
 //!      --queries 1000 --connections 4
+//! lsdb bench-client MAP --addr 127.0.0.1:4750 --workload range --open-loop 5000
+//! lsdb bench-client MAP --addr 127.0.0.1:4750 --workload polygon2 --batch
 //! ```
 //!
 //! Every query prints its answer and the paper's three metrics for it.
-//! `serve` exposes the built structure over the lsdb wire protocol;
-//! `bench-client` is the matching closed-loop load generator.
+//! `serve` exposes the built structure over the lsdb wire protocol (v2,
+//! with v1 compatibility); its config is seeded from the environment
+//! ([`lsdb::server::ServerConfig::from_env`]) with flags taking
+//! precedence. `bench-client` is the matching load generator: closed
+//! loop by default, open loop at a fixed arrival rate with `--open-loop
+//! QPS` (tail percentiles up to p999), or a single locality-sorted
+//! `BATCH` frame with `--batch`.
 
 use lsdb::core::{queries, IndexConfig, PolygonalMap, QueryCtx, SegId, SpatialIndex};
 use lsdb::geom::{Point, Rect};
@@ -62,10 +69,13 @@ fn print_usage() {
          lsdb query FILE --structure S polygon X Y\n  \
          lsdb query FILE --structure S --stdin\n  \
          lsdb serve FILE [--structure S] [--addr HOST] [--port P] [--workers W] \\\n      \
-              [--page-size B] [--pool P]\n  \
+              [--max-frame B] [--page-size B] [--pool P]\n  \
          lsdb bench-client FILE --addr HOST:PORT [--workload W] [--queries N] \\\n      \
-              [--connections C] [--seed S] [--shutdown]\n\n\
-         bench-client workloads: point1 point2 nearest1 nearest2 polygon1 polygon2 range"
+              [--connections C] [--seed S] [--open-loop QPS | --batch] [--shutdown]\n\n\
+         bench-client workloads: point1 point2 nearest1 nearest2 polygon1 polygon2 range\n\
+         serve env fallbacks: LSDB_SERVER_WORKERS (or LSDB_THREADS), \
+         LSDB_SERVER_READ_TIMEOUT_MS,\n\
+         LSDB_SERVER_WRITE_TIMEOUT_MS, LSDB_SERVER_MAX_FRAME"
     );
 }
 
@@ -443,9 +453,15 @@ fn cmd_serve(rest: &[String]) -> i32 {
     let port: u16 = take_flag(&mut args, "--port")
         .map(|v| parse_or_die(&v, "--port"))
         .unwrap_or(4750);
+    // Environment variables seed the config (LSDB_SERVER_WORKERS /
+    // LSDB_THREADS / LSDB_SERVER_*); explicit flags override them.
+    let env_cfg = ServerConfig::from_env();
     let workers: usize = take_flag(&mut args, "--workers")
         .map(|v| parse_or_die(&v, "--workers"))
-        .unwrap_or(4);
+        .unwrap_or(env_cfg.workers);
+    let max_frame: u32 = take_flag(&mut args, "--max-frame")
+        .map(|v| parse_or_die(&v, "--max-frame"))
+        .unwrap_or(env_cfg.max_request_frame);
     let page = take_flag(&mut args, "--page-size")
         .map(|v| parse_or_die(&v, "--page-size"))
         .unwrap_or(1024usize);
@@ -473,9 +489,14 @@ fn cmd_serve(rest: &[String]) -> i32 {
         start.elapsed().as_secs_f64()
     );
     let config = ServerConfig {
-        workers: workers.max(1),
-        ..Default::default()
+        workers,
+        max_request_frame: max_frame,
+        ..env_cfg
     };
+    if let Err(e) = config.validate() {
+        eprintln!("{e}");
+        return 2;
+    }
     let server = match Server::bind((host.as_str(), port), idx, config) {
         Ok(s) => s,
         Err(e) => {
@@ -484,10 +505,9 @@ fn cmd_serve(rest: &[String]) -> i32 {
         }
     };
     match server.local_addr() {
-        Ok(addr) => println!(
-            "serving on {addr} with {} worker(s); a SHUTDOWN request stops it",
-            workers.max(1)
-        ),
+        Ok(addr) => {
+            println!("serving on {addr} with {workers} worker(s); a SHUTDOWN request stops it")
+        }
         Err(_) => println!("serving on {host}:{port}"),
     }
     match server.run() {
@@ -514,7 +534,7 @@ fn cmd_serve(rest: &[String]) -> i32 {
 fn cmd_bench_client(rest: &[String]) -> i32 {
     use lsdb::bench::wire::requests_for;
     use lsdb::bench::workloads::{QueryWorkbench, Workload};
-    use lsdb::server::{run_closed_loop, Client};
+    use lsdb::server::{run_closed_loop, run_open_loop, Client};
     use std::net::ToSocketAddrs;
 
     let mut args = rest.to_vec();
@@ -532,12 +552,24 @@ fn cmd_bench_client(rest: &[String]) -> i32 {
     let seed: u64 = take_flag(&mut args, "--seed")
         .map(|v| parse_or_die(&v, "--seed"))
         .unwrap_or(0xC4A5);
+    let open_loop_qps: Option<f64> =
+        take_flag(&mut args, "--open-loop").map(|v| parse_or_die(&v, "--open-loop"));
+    let batch_mode = if let Some(i) = args.iter().position(|a| a == "--batch") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
     let send_shutdown = if let Some(i) = args.iter().position(|a| a == "--shutdown") {
         args.remove(i);
         true
     } else {
         false
     };
+    if batch_mode && open_loop_qps.is_some() {
+        eprintln!("--batch and --open-loop are mutually exclusive");
+        return 2;
+    }
     let Some(path) = args.first() else {
         eprintln!("bench-client needs the map file the server loaded (to derive the query stream)");
         return 2;
@@ -566,14 +598,77 @@ fn cmd_bench_client(rest: &[String]) -> i32 {
     };
     let map = load_map(path);
     let wb = QueryWorkbench::new(&map, queries, seed);
+
+    if batch_mode {
+        // One BATCH frame carrying the whole workload: the server
+        // executes it Morton-sorted over a warm context.
+        let batch = wb.batch(workload);
+        println!(
+            "1 batch of {} x {} against {addr}",
+            batch.len(),
+            workload.label()
+        );
+        let mut client = match Client::connect(addr) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot connect: {e}");
+                return 1;
+            }
+        };
+        let t0 = std::time::Instant::now();
+        let items = match client.call_batch(&batch) {
+            Ok(items) => items,
+            Err(e) => {
+                eprintln!("batch call failed: {e}");
+                return 1;
+            }
+        };
+        let wall = t0.elapsed();
+        let mut totals = lsdb::core::QueryStats::default();
+        let mut result_items = 0u64;
+        for item in &items {
+            if let Some(stats) = item.stats() {
+                totals.add(stats);
+            }
+            result_items += item.result_size() as u64;
+        }
+        let n = items.len().max(1) as f64;
+        println!(
+            "throughput : {:.0} queries/s ({} queries in {:.3}s, one round trip)",
+            n / wall.as_secs_f64().max(1e-9),
+            items.len(),
+            wall.as_secs_f64()
+        );
+        println!(
+            "per query  : {:.2} disk accesses, {:.2} segment comps, {:.2} bbox/bucket comps, {:.2} results",
+            totals.disk.total() as f64 / n,
+            totals.seg_comps as f64 / n,
+            totals.bbox_comps as f64 / n,
+            result_items as f64 / n
+        );
+        return finish(addr, send_shutdown);
+    }
+
     let requests = requests_for(&wb, workload);
-    println!(
-        "{} x {} against {addr}, {} connection(s)",
-        requests.len(),
-        workload.label(),
-        connections.max(1)
-    );
-    let report = match run_closed_loop(addr, &requests, connections.max(1)) {
+    match open_loop_qps {
+        Some(qps) => println!(
+            "{} x {} against {addr}, {} connection(s), open loop at {qps} queries/s",
+            requests.len(),
+            workload.label(),
+            connections.max(1)
+        ),
+        None => println!(
+            "{} x {} against {addr}, {} connection(s)",
+            requests.len(),
+            workload.label(),
+            connections.max(1)
+        ),
+    }
+    let run = match open_loop_qps {
+        Some(qps) => run_open_loop(addr, &requests, connections.max(1), qps),
+        None => run_closed_loop(addr, &requests, connections.max(1)),
+    };
+    let report = match run {
         Ok(r) => r,
         Err(e) => {
             eprintln!("load run failed: {e}");
@@ -588,10 +683,11 @@ fn cmd_bench_client(rest: &[String]) -> i32 {
         report.wall.as_secs_f64()
     );
     println!(
-        "latency    : p50 {:.0} us, p95 {:.0} us, p99 {:.0} us, max {:.0} us",
+        "latency    : p50 {:.0} us, p95 {:.0} us, p99 {:.0} us, p999 {:.0} us, max {:.0} us",
         report.p50().as_secs_f64() * 1e6,
         report.p95().as_secs_f64() * 1e6,
         report.p99().as_secs_f64() * 1e6,
+        report.p999().as_secs_f64() * 1e6,
         report.max_latency().as_secs_f64() * 1e6
     );
     println!(
@@ -601,7 +697,13 @@ fn cmd_bench_client(rest: &[String]) -> i32 {
         report.totals.bbox_comps as f64 / n,
         report.result_items as f64 / n
     );
-    match Client::connect(addr) {
+    finish(addr, send_shutdown)
+}
+
+/// Shared bench-client epilogue: report server-side totals and honor
+/// `--shutdown`.
+fn finish(addr: std::net::SocketAddr, send_shutdown: bool) -> i32 {
+    match lsdb::server::Client::connect(addr) {
         Ok(mut client) => {
             if let Ok((served, totals)) = client.stats() {
                 println!(
