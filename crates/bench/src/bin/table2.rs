@@ -12,9 +12,9 @@
 
 use lsdb_bench::json::{self, QueryRecord};
 use lsdb_bench::report::{fmt, render_table};
-use lsdb_bench::workloads::{QueryWorkbench, Workload};
+use lsdb_bench::workloads::{insert_stream, QueryWorkbench, Workload, WorkloadResult};
 use lsdb_bench::{build_index, IndexKind, WorkloadConfig};
-use lsdb_core::IndexConfig;
+use lsdb_core::{IndexConfig, LiveIndex};
 use std::time::Instant;
 
 fn main() {
@@ -85,6 +85,37 @@ fn main() {
         batched_results.push(per);
         batched_walls_ms.push(wall);
     }
+    // Live-mutation rows: each structure fronted by a [`LiveIndex`]
+    // (volatile op log — WAL cost is measured by the pager's own
+    // benches, this row isolates the in-memory maintenance path). The
+    // mixed row interleaves the range stream with inserts 90/10 exactly
+    // as a read-mostly server workload would; the insert row then times
+    // the pure write path on the already-mutated structure. Mutations
+    // change the index, so these rows run once, after every read-only
+    // measurement, and report single-shot walls.
+    const MIXED_LABEL: &str = "Range+Insert (90/10)";
+    const INSERT_LABEL: &str = "Insert (live)";
+    let insert_segs = insert_stream(&map, wcfg.queries.max(9));
+    let mut mixed_results = Vec::new();
+    let mut mixed_walls_ms = Vec::new();
+    let mut insert_results = Vec::new();
+    let mut insert_walls_ms = Vec::new();
+    for idx in indexes {
+        let live = LiveIndex::volatile(idx);
+        let t = Instant::now();
+        let r = wb.run_mixed_range_insert(&live, &insert_segs);
+        mixed_walls_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        mixed_results.push(r);
+        let t = Instant::now();
+        for seg in &insert_segs {
+            live.insert(*seg).expect("volatile insert cannot fail");
+        }
+        insert_walls_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        insert_results.push(WorkloadResult {
+            queries: insert_segs.len(),
+            ..WorkloadResult::default()
+        });
+    }
     let query_secs = start.elapsed().as_secs_f64();
     // Paper order: PMR, R+, R*.
     let order = [2usize, 1, 0];
@@ -151,6 +182,23 @@ fn main() {
             line.join(", ")
         );
     }
+    let live_line: Vec<String> = order
+        .iter()
+        .enumerate()
+        .map(|(oi, &si)| {
+            let inserts_per_sec =
+                insert_results[si].queries as f64 / (insert_walls_ms[si] / 1e3).max(1e-9);
+            format!(
+                "{} {:.1} ms mixed, {:.0} inserts/s",
+                names[oi], mixed_walls_ms[si], inserts_per_sec
+            )
+        })
+        .collect();
+    println!(
+        "live mutation ({} inserts): {}",
+        insert_segs.len(),
+        live_line.join(", ")
+    );
 
     if let Some(path) = &wcfg.json {
         let mut records = Vec::new();
@@ -171,6 +219,18 @@ fn main() {
                     wall_ms: batched_walls_ms[si][bi],
                 });
             }
+            records.push(QueryRecord {
+                structure: IndexKind::paper_three()[si].label(),
+                workload: MIXED_LABEL,
+                result: mixed_results[si],
+                wall_ms: mixed_walls_ms[si],
+            });
+            records.push(QueryRecord {
+                structure: IndexKind::paper_three()[si].label(),
+                workload: INSERT_LABEL,
+                result: insert_results[si],
+                wall_ms: insert_walls_ms[si],
+            });
         }
         let doc = json::render_queries(&map.name, map.len(), wcfg.queries, wcfg.threads, &records);
         match json::write_file(path, &doc) {

@@ -268,6 +268,61 @@ impl QueryWorkbench {
             avg_result: result_size as f64 / nf,
         }
     }
+
+    /// Mixed live workload: the range stream with one `INSERT` folded in
+    /// after every ninth query (≈ 90% reads / 10% writes of the total op
+    /// count). Queries run through the live index's read path, inserts
+    /// through its durable write path, exactly as the server interleaves
+    /// them. The averages cover the **queries only** — mutations are not
+    /// spatial queries and are excluded from the paper counters, matching
+    /// the server's `STATS` semantics.
+    pub fn run_mixed_range_insert(
+        &self,
+        live: &lsdb_core::LiveIndex,
+        inserts: &[lsdb_geom::Segment],
+    ) -> WorkloadResult {
+        let mut ctx = QueryCtx::new();
+        let mut stats = QueryStats::default();
+        let mut result_size = 0usize;
+        let mut next_insert = inserts.iter().cycle();
+        for (i, &w) in self.windows.iter().enumerate() {
+            ctx.reset();
+            result_size += live.with_read(|index| index.window(w, &mut ctx)).len();
+            stats.add(ctx.stats());
+            if i % 9 == 8 {
+                live.insert(*next_insert.next().expect("non-empty insert stream"))
+                    .expect("volatile insert cannot fail");
+            }
+        }
+        let nf = self.windows.len() as f64;
+        WorkloadResult {
+            queries: self.windows.len(),
+            disk_accesses: stats.disk.total() as f64 / nf,
+            seg_comps: stats.seg_comps as f64 / nf,
+            bbox_comps: stats.bbox_comps as f64 / nf,
+            avg_result: result_size as f64 / nf,
+        }
+    }
+}
+
+/// A deterministic stream of `n` *fresh* segments for live-insert
+/// workloads: the map's own segments displaced by a small per-index
+/// jitter (clamped to the world), so inserts land in the same localities
+/// the map populates without duplicating any geometry exactly.
+pub fn insert_stream(map: &PolygonalMap, n: usize) -> Vec<lsdb_geom::Segment> {
+    use lsdb_geom::{Point, Segment, WORLD_SIZE};
+    let clamp = |v: i32| v.clamp(0, WORLD_SIZE - 1);
+    (0..n)
+        .map(|i| {
+            let s = &map.segments[i % map.len()];
+            let dx = (i % 13) as i32 - 6;
+            let dy = (i % 11) as i32 - 5;
+            Segment {
+                a: Point::new(clamp(s.a.x + dx), clamp(s.a.y + dy)),
+                b: Point::new(clamp(s.b.x + dx), clamp(s.b.y + dy)),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,248 @@
+//! Crash-recovery guard: a WAL torn at *any* byte must recover to a
+//! committed prefix of the op history, and an index replayed from that
+//! prefix must be indistinguishable — results **and** paper counters —
+//! from an index that applied the same ops live and never crashed.
+//!
+//! The durability layer below this is structure-agnostic (it journals
+//! `MapOp`s, not pages of any particular tree), so the property is
+//! asserted for all four disk-resident structures: R*-tree, R+-tree,
+//! PMR quadtree, and the uniform-grid baseline. Byte-identity of the
+//! replayed index holds because segment ids are assigned by table
+//! position (append order) and every structure's maintenance path is
+//! deterministic.
+
+use lsdb_bench::workloads::{QueryWorkbench, Workload};
+use lsdb_bench::{build_index, IndexKind};
+use lsdb_core::{
+    DurableMap, FileLog, FileStorage, IndexConfig, MapOp, MemLog, MemStorage, PolygonalMap,
+    QueryCtx, SpatialIndex,
+};
+use lsdb_geom::Rect;
+
+/// The four structures under the durability contract.
+fn four_kinds() -> [IndexKind; 4] {
+    [
+        IndexKind::RStar,
+        IndexKind::RPlus,
+        IndexKind::Pmr,
+        IndexKind::Grid(64),
+    ]
+}
+
+fn small_map() -> PolygonalMap {
+    lsdb_tiger::generate(&lsdb_tiger::CountySpec::new(
+        "crash-test",
+        lsdb_tiger::CountyClass::Suburban,
+        120,
+        0x0C4A,
+    ))
+}
+
+/// Deterministic mixed op history: insert every segment of `map` in
+/// order, and after every tenth insert delete the segment five back —
+/// so recovery prefixes exercise both op kinds and the append-only id
+/// assignment.
+fn op_history(map: &PolygonalMap) -> Vec<MapOp> {
+    let mut ops = Vec::new();
+    for (i, seg) in map.segments.iter().enumerate() {
+        ops.push(MapOp::Insert(*seg));
+        if i % 10 == 9 {
+            ops.push(MapOp::Delete(lsdb_core::SegId((i - 5) as u32)));
+        }
+    }
+    ops
+}
+
+/// Apply an op prefix directly to a fresh index — the "never crashed"
+/// side of the equality.
+fn apply_clean(kind: IndexKind, ops: &[MapOp]) -> Box<dyn SpatialIndex> {
+    let empty = PolygonalMap::new("clean", Vec::new());
+    let mut index = build_index(kind, &empty, IndexConfig::default());
+    for op in ops {
+        match *op {
+            MapOp::Insert(seg) => {
+                let id = index.seg_table_mut().push(seg);
+                index.insert(id);
+            }
+            MapOp::Delete(id) => {
+                index.remove(id);
+            }
+        }
+    }
+    index
+}
+
+/// The map of segments an op prefix has inserted (deletes keep their
+/// table rows), which is what the query-stream generators need.
+fn prefix_map(ops: &[MapOp]) -> PolygonalMap {
+    let segs = ops
+        .iter()
+        .filter_map(|op| match op {
+            MapOp::Insert(seg) => Some(*seg),
+            MapOp::Delete(_) => None,
+        })
+        .collect();
+    PolygonalMap::new("prefix", segs)
+}
+
+fn probe_window() -> Rect {
+    Rect::new(0, 0, 8192, 8192)
+}
+
+/// Assert the recovered index answers exactly as the clean one: the
+/// seven paper workloads (averaged counters and result sizes must match
+/// to the bit) plus one exact result-id comparison. `wb` is `None` only
+/// for the empty-prefix recoveries (the stream generators need at least
+/// one segment).
+fn assert_byte_identical(
+    kind: IndexKind,
+    cut: usize,
+    recovered: &dyn SpatialIndex,
+    clean: &dyn SpatialIndex,
+    wb: Option<&QueryWorkbench>,
+) {
+    for &w in Workload::ALL.iter() {
+        let Some(wb) = wb else { break };
+        let a = wb.run(w, recovered);
+        let b = wb.run(w, clean);
+        assert_eq!(
+            a,
+            b,
+            "{} after a cut at byte {cut}: workload {} diverged from the clean index",
+            kind.label(),
+            w.label()
+        );
+    }
+    let mut ctx = QueryCtx::new();
+    let ids_a = recovered.window(probe_window(), &mut ctx);
+    ctx.reset();
+    let ids_b = clean.window(probe_window(), &mut ctx);
+    assert_eq!(
+        ids_a,
+        ids_b,
+        "{} after a cut at byte {cut}: window result ids diverged",
+        kind.label(),
+    );
+}
+
+/// Tear the (in-memory) WAL at sampled byte offsets — including 0, 1,
+/// and the exact end — and require every recovery to be a committed
+/// prefix that queries byte-identically to clean application.
+#[test]
+fn torn_wal_recovers_a_prefix_identical_to_clean_application() {
+    let map = small_map();
+    let ops = op_history(&map);
+
+    // Journal the whole history in batches of 11 through a shared-buffer
+    // MemLog; the clone is the crash photo source.
+    let log = MemLog::new();
+    let photo = log.clone();
+    let (mut dmap, _) =
+        DurableMap::open(Box::new(MemStorage::new(128)), Box::new(log.clone())).unwrap();
+    for batch in ops.chunks(11) {
+        dmap.append_all(batch).unwrap();
+    }
+    assert_eq!(dmap.len(), ops.len());
+    let full = photo.bytes();
+
+    // ~16 evenly spread interior cuts plus the degenerate edges.
+    let mut cuts = vec![0, 1, full.len() - 1, full.len()];
+    let stride = (full.len() / 16).max(1);
+    cuts.extend((1..16).map(|i| i * stride));
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    let mut prefixes_seen = std::collections::BTreeSet::new();
+    for cut in cuts {
+        let torn = MemLog::from_bytes(full[..cut].to_vec());
+        let (rec, report) =
+            DurableMap::open(Box::new(MemStorage::new(128)), Box::new(torn)).unwrap();
+        let p = rec.len();
+        assert!(p <= ops.len(), "recovered more ops than were ever written");
+        assert_eq!(
+            rec.ops(),
+            &ops[..p],
+            "recovery at byte {cut} is not a prefix of the op history \
+             (report: {report:?})"
+        );
+        prefixes_seen.insert(p);
+
+        let pm = prefix_map(&ops[..p]);
+        let wb = (!pm.is_empty()).then(|| QueryWorkbench::new(&pm, 8, 0xC4A5));
+        for kind in four_kinds() {
+            let empty = PolygonalMap::new("recovered", Vec::new());
+            let mut recovered = build_index(kind, &empty, IndexConfig::default());
+            rec.replay_into(recovered.as_mut());
+            let clean = apply_clean(kind, &ops[..p]);
+            assert_byte_identical(kind, cut, recovered.as_ref(), clean.as_ref(), wb.as_ref());
+        }
+    }
+    assert!(
+        prefixes_seen.len() > 2,
+        "cut sample degenerated: every tear recovered the same prefix \
+         ({prefixes_seen:?})"
+    );
+    // The final cut is the whole log: nothing may be lost.
+    assert_eq!(prefixes_seen.last(), Some(&ops.len()));
+}
+
+/// The same property across a checkpoint: fold half the history into the
+/// base store, keep appending, then crash with a torn tail. Recovery
+/// must see every checkpointed op plus the committed post-checkpoint
+/// prefix.
+#[test]
+fn torn_wal_after_a_checkpoint_recovers_on_top_of_the_base_store() {
+    let map = small_map();
+    let ops = op_history(&map);
+    let half = ops.len() / 2;
+
+    let dir = std::env::temp_dir().join(format!("lsdb-crash-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let pages = dir.join("ops.pages");
+    let ckpt_pages = dir.join("ops.pages.ckpt");
+    let wal = dir.join("ops.wal");
+
+    let (mut dmap, _) = DurableMap::open(
+        Box::new(FileStorage::create(&pages, 128).unwrap()),
+        Box::new(FileLog::create(&wal).unwrap()),
+    )
+    .unwrap();
+    for batch in ops[..half].chunks(11) {
+        dmap.append_all(batch).unwrap();
+    }
+    dmap.checkpoint().unwrap();
+    // Photograph the base store as the crashed machine's disk holds it:
+    // only checkpoints touch the base, so this copy stays valid for
+    // every post-checkpoint tear below.
+    std::fs::copy(&pages, &ckpt_pages).unwrap();
+    for batch in ops[half..].chunks(11) {
+        dmap.append_all(batch).unwrap();
+    }
+    let full = std::fs::read(&wal).unwrap();
+    drop(dmap);
+
+    for cut in [0, 1, full.len() / 2, full.len() - 1, full.len()] {
+        let torn_wal = dir.join(format!("torn-{cut}.wal"));
+        let torn_pages = dir.join(format!("torn-{cut}.pages"));
+        std::fs::write(&torn_wal, &full[..cut]).unwrap();
+        std::fs::copy(&ckpt_pages, &torn_pages).unwrap();
+        let (rec, _) = DurableMap::open(
+            Box::new(FileStorage::open(&torn_pages, 128).unwrap()),
+            Box::new(FileLog::open(&torn_wal).unwrap()),
+        )
+        .unwrap();
+        let p = rec.len();
+        assert!(p >= half, "checkpointed ops lost at cut {cut}");
+        assert_eq!(rec.ops(), &ops[..p]);
+
+        let wb = QueryWorkbench::new(&prefix_map(&ops[..p]), 8, 0xC4A5);
+        for kind in four_kinds() {
+            let empty = PolygonalMap::new("recovered", Vec::new());
+            let mut recovered = build_index(kind, &empty, IndexConfig::default());
+            rec.replay_into(recovered.as_mut());
+            let clean = apply_clean(kind, &ops[..p]);
+            assert_byte_identical(kind, cut, recovered.as_ref(), clean.as_ref(), Some(&wb));
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,151 @@
+//! Live-mutation parity guard: an index mutated through [`LiveIndex`]
+//! while readers query it concurrently must end up answering the seven
+//! paper workloads byte-identically to one that applied the same ops
+//! serially with no readers present — for all four structures.
+//!
+//! Along the way, every reader snapshot taken at a *stable* epoch (the
+//! generation counter did not move during the query) must equal the
+//! precomputed answer for exactly that many applied ops: readers never
+//! observe a half-applied mutation, because writers take the exclusive
+//! lock only after the op has committed.
+
+use lsdb_bench::workloads::{QueryWorkbench, Workload};
+use lsdb_bench::{build_index, IndexKind};
+use lsdb_core::{IndexConfig, LiveIndex, MapOp, PolygonalMap, QueryCtx, SegId, SpatialIndex};
+use lsdb_geom::Rect;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn four_kinds() -> [IndexKind; 4] {
+    [
+        IndexKind::RStar,
+        IndexKind::RPlus,
+        IndexKind::Pmr,
+        IndexKind::Grid(64),
+    ]
+}
+
+fn small_map() -> PolygonalMap {
+    lsdb_tiger::generate(&lsdb_tiger::CountySpec::new(
+        "live-test",
+        lsdb_tiger::CountyClass::Suburban,
+        120,
+        0x11FE,
+    ))
+}
+
+/// Same mixed history as the crash tests: inserts in segment order with
+/// a delete after every tenth insert.
+fn op_history(map: &PolygonalMap) -> Vec<MapOp> {
+    let mut ops = Vec::new();
+    for (i, seg) in map.segments.iter().enumerate() {
+        ops.push(MapOp::Insert(*seg));
+        if i % 10 == 9 {
+            ops.push(MapOp::Delete(SegId((i - 5) as u32)));
+        }
+    }
+    ops
+}
+
+fn probe_window() -> Rect {
+    Rect::new(0, 0, 8192, 8192)
+}
+
+fn empty_index(kind: IndexKind) -> Box<dyn SpatialIndex> {
+    let empty = PolygonalMap::new("live", Vec::new());
+    build_index(kind, &empty, IndexConfig::default())
+}
+
+#[test]
+fn concurrent_readers_see_only_whole_mutations_and_final_state_matches_serial() {
+    let map = small_map();
+    let ops = op_history(&map);
+
+    for kind in four_kinds() {
+        // Precompute the probe-window answer after every op prefix: the
+        // epoch counter equals the number of applied ops, so a reader
+        // that saw a stable epoch k must see exactly `expected[k]`.
+        let mut scratch = empty_index(kind);
+        let mut ctx = QueryCtx::new();
+        let mut expected: Vec<Vec<SegId>> = vec![scratch.window(probe_window(), &mut ctx)];
+        for op in &ops {
+            match *op {
+                MapOp::Insert(seg) => {
+                    let id = scratch.seg_table_mut().push(seg);
+                    scratch.insert(id);
+                }
+                MapOp::Delete(id) => {
+                    scratch.remove(id);
+                }
+            }
+            ctx.reset();
+            expected.push(scratch.window(probe_window(), &mut ctx));
+        }
+
+        let live = LiveIndex::volatile(empty_index(kind));
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let live = &live;
+                let stop = &stop;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut ctx = QueryCtx::new();
+                    let mut stable_reads = 0u64;
+                    loop {
+                        // Check *before* reading so one more read always
+                        // runs after the writer finishes: that read sees
+                        // the final (stable) epoch, so every reader
+                        // verifies at least one snapshot even if it was
+                        // scheduled late.
+                        let done = stop.load(Ordering::Acquire);
+                        let before = live.epoch();
+                        ctx.reset();
+                        let ids = live.with_read(|index| index.window(probe_window(), &mut ctx));
+                        let after = live.epoch();
+                        if before == after {
+                            assert_eq!(
+                                ids, expected[before as usize],
+                                "stable-epoch read at epoch {before} does not match \
+                                 the serial prefix"
+                            );
+                            stable_reads += 1;
+                        }
+                        if done {
+                            break;
+                        }
+                    }
+                    assert!(stable_reads > 0, "reader never saw a stable epoch");
+                });
+            }
+
+            for op in &ops {
+                match *op {
+                    MapOp::Insert(seg) => {
+                        live.insert(seg).unwrap();
+                    }
+                    MapOp::Delete(id) => {
+                        let (removed, _) = live.remove(id).unwrap();
+                        assert!(removed, "history only deletes live segments");
+                    }
+                }
+            }
+            stop.store(true, Ordering::Release);
+        });
+        assert_eq!(live.epoch(), ops.len() as u64);
+
+        // Final state: the concurrently mutated index must answer every
+        // workload bit-identically to the serial scratch index.
+        let wb = QueryWorkbench::new(&map, 8, 0xC4A5);
+        for &w in Workload::ALL.iter() {
+            let a = live.with_read(|index| wb.run(w, index));
+            let b = wb.run(w, scratch.as_ref());
+            assert_eq!(
+                a,
+                b,
+                "{} workload {} diverged after concurrent mutation",
+                kind.label(),
+                w.label()
+            );
+        }
+    }
+}

@@ -28,6 +28,7 @@
 pub mod batch;
 pub mod brute;
 mod index;
+pub mod live;
 mod map;
 pub mod pointgen;
 pub mod queries;
@@ -39,6 +40,7 @@ pub mod traverse;
 
 pub use batch::{execute_batch, BatchAnswer, BatchItem, BatchRequest};
 pub use index::{IndexConfig, LocId, SpatialIndex};
+pub use live::{DurableMap, LiveIndex, MapOp};
 pub use map::{PlanarityViolation, PolygonalMap};
 pub use seg_table::{SegId, SegmentTable};
 pub use stats::{QueryCtx, QueryStats, SharedStats};
@@ -47,3 +49,10 @@ pub use stats::{QueryCtx, QueryStats, SharedStats};
 // the pool-level context and counters without depending on lsdb-pager
 // directly.
 pub use lsdb_pager::{DiskStats, PoolCtx};
+
+// The durable-storage surface [`DurableMap::open`] is built from: callers
+// (server binaries, crash tests) assemble file- or memory-backed stores
+// without a direct lsdb-pager dependency.
+pub use lsdb_pager::{
+    FileLog, FileStorage, LogDevice, Lsn, MemLog, MemStorage, RecoveryReport, Storage,
+};

@@ -1,0 +1,291 @@
+//! Fault injection for crash-recovery tests: wrappers that make a
+//! [`Storage`] or a [`LogDevice`] die on schedule.
+//!
+//! Not gated behind `#[cfg(test)]` on purpose — downstream crates
+//! (lsdb-core, lsdb-bench) drive their crash-recovery property tests
+//! through these wrappers, killing a store after N operations and then
+//! reopening whatever bytes made it out. A fired fault leaves the
+//! wrapper **dead**: every later mutating operation fails too, exactly
+//! like a process that lost its disk, so a buggy caller cannot quietly
+//! keep writing past its own crash.
+
+use crate::wal::LogDevice;
+use crate::{PageId, Storage};
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+fn crashed(what: &str) -> io::Error {
+    io::Error::other(format!("injected fault: {what}"))
+}
+
+/// How an injected storage fault manifests.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultMode {
+    /// The operation fails outright; no bytes reach the inner device.
+    Fail,
+    /// A torn write: only the first `n` bytes of the page (or log append)
+    /// reach the inner device before the failure.
+    Short(usize),
+}
+
+/// A [`Storage`] that injects a fault on the Nth page write.
+///
+/// Reads pass through even after death (a recovery test inspects the
+/// surviving bytes through the same handle); writes, grows, and syncs
+/// fail once the fault has fired.
+pub struct FaultyStorage<S: Storage> {
+    inner: S,
+    /// Writes remaining before the fault fires.
+    budget: AtomicU64,
+    mode: FaultMode,
+    dead: AtomicBool,
+}
+
+impl<S: Storage> FaultyStorage<S> {
+    /// Wrap `inner`; the `budget`-th call to `write_page` (0-based:
+    /// `budget` writes succeed first) fires a fault of `mode`.
+    pub fn new(inner: S, budget: u64, mode: FaultMode) -> Self {
+        FaultyStorage {
+            inner,
+            budget: AtomicU64::new(budget),
+            mode,
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the fault has fired.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    /// Unwrap (to inspect the surviving bytes after a "crash").
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Storage> Storage for FaultyStorage<S> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.inner.num_pages()
+    }
+
+    fn read_page(&self, pid: PageId, buf: &mut [u8]) -> io::Result<()> {
+        self.inner.read_page(pid, buf)
+    }
+
+    fn write_page(&self, pid: PageId, buf: &[u8]) -> io::Result<()> {
+        if self.is_dead() {
+            return Err(crashed("storage is dead"));
+        }
+        if self
+            .budget
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| b.checked_sub(1))
+            .is_err()
+        {
+            self.dead.store(true, Ordering::SeqCst);
+            if let FaultMode::Short(n) = self.mode {
+                // A torn page: the prefix lands, the rest keeps whatever
+                // bytes the page held before.
+                let n = n.min(buf.len());
+                let mut torn = vec![0u8; buf.len()];
+                self.inner.read_page(pid, &mut torn)?;
+                torn[..n].copy_from_slice(&buf[..n]);
+                self.inner.write_page(pid, &torn)?;
+            }
+            return Err(crashed("page write"));
+        }
+        self.inner.write_page(pid, buf)
+    }
+
+    fn grow(&mut self) -> io::Result<PageId> {
+        if self.is_dead() {
+            return Err(crashed("storage is dead"));
+        }
+        self.inner.grow()
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        if self.is_dead() {
+            return Err(crashed("storage is dead"));
+        }
+        self.inner.sync()
+    }
+}
+
+/// A [`LogDevice`] that dies after a byte budget: the append that would
+/// cross the budget lands only its allowed prefix (a torn log write) and
+/// fails, as does everything after it.
+pub struct FaultyLog<L: LogDevice> {
+    inner: L,
+    /// Bytes that may still be appended before the log tears.
+    budget: u64,
+    dead: bool,
+}
+
+impl<L: LogDevice> FaultyLog<L> {
+    pub fn new(inner: L, budget: u64) -> Self {
+        FaultyLog {
+            inner,
+            budget,
+            dead: false,
+        }
+    }
+
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    pub fn into_inner(self) -> L {
+        self.inner
+    }
+}
+
+impl<L: LogDevice> LogDevice for FaultyLog<L> {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.inner.read_at(offset, buf)
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if self.dead {
+            return Err(crashed("log is dead"));
+        }
+        if (bytes.len() as u64) <= self.budget {
+            self.budget -= bytes.len() as u64;
+            return self.inner.append(bytes);
+        }
+        let torn = self.budget as usize;
+        self.budget = 0;
+        self.dead = true;
+        self.inner.append(&bytes[..torn])?;
+        Err(crashed("log append torn"))
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(crashed("log is dead"));
+        }
+        self.inner.sync()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        if self.dead {
+            return Err(crashed("log is dead"));
+        }
+        self.inner.truncate(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::MemLog;
+    use crate::{DurableStorage, MemStorage};
+
+    const PS: usize = 64;
+
+    #[test]
+    fn faulty_storage_fires_on_schedule() {
+        let mut s = FaultyStorage::new(MemStorage::new(PS), 2, FaultMode::Fail);
+        let p = s.grow().unwrap();
+        s.write_page(p, &[1u8; PS]).unwrap();
+        s.write_page(p, &[2u8; PS]).unwrap();
+        assert!(!s.is_dead());
+        assert!(s.write_page(p, &[3u8; PS]).is_err());
+        assert!(s.is_dead());
+        assert!(s.sync().is_err());
+        let mut buf = vec![0u8; PS];
+        s.read_page(p, &mut buf).unwrap();
+        assert_eq!(buf, vec![2u8; PS], "reads survive for inspection");
+    }
+
+    #[test]
+    fn short_write_tears_a_page() {
+        let mut s = FaultyStorage::new(MemStorage::new(PS), 1, FaultMode::Short(10));
+        let p = s.grow().unwrap();
+        s.write_page(p, &[5u8; PS]).unwrap();
+        assert!(s.write_page(p, &[6u8; PS]).is_err());
+        let mut buf = vec![0u8; PS];
+        s.read_page(p, &mut buf).unwrap();
+        assert_eq!(&buf[..10], &[6u8; 10], "prefix landed");
+        assert_eq!(&buf[10..], &vec![5u8; PS - 10][..], "tail is the old page");
+    }
+
+    #[test]
+    fn torn_commit_through_faulty_log_recovers_previous_state() {
+        // Let one commit through, then tear the log mid-batch on the
+        // second. The failed commit must surface as an error, and a
+        // reopen from the surviving bytes must serve the first commit's
+        // state — the acknowledged prefix.
+        let shared = MemLog::new();
+        let first_commit_len;
+        {
+            let log = FaultyLog::new(shared.clone(), u64::MAX);
+            let (mut store, _) = DurableStorage::open(MemStorage::new(PS), log).unwrap();
+            let p0 = store.grow().unwrap();
+            store.write_page(p0, &[1u8; PS]).unwrap();
+            store.commit().unwrap();
+            first_commit_len = shared.len();
+        }
+        for budget in 0..=60u64 {
+            // Replay: first commit intact, second torn after `budget`
+            // extra bytes. The inner MemLog is shared with `handle` so
+            // the genuinely-torn bytes can be photographed afterwards.
+            let gen2 = MemLog::from_bytes(shared.bytes());
+            let handle = gen2.clone();
+            let log = FaultyLog::new(gen2, budget);
+            let (mut store, _) = DurableStorage::open(MemStorage::new(PS), log).unwrap();
+            let p1 = store.grow().unwrap();
+            store.write_page(p1, &[2u8; PS]).unwrap();
+            let err = store.commit();
+            // The second batch (a page image + commit marker) is larger
+            // than 60 bytes, so every budget in range tears it.
+            assert!(err.is_err(), "budget {budget}");
+
+            let survivors = handle.bytes();
+            assert_eq!(
+                survivors.len() as u64,
+                first_commit_len + budget,
+                "budget {budget}: torn tail landed"
+            );
+            let (recovered, _) =
+                DurableStorage::open(MemStorage::new(PS), MemLog::from_bytes(survivors)).unwrap();
+            assert_eq!(recovered.num_pages(), 1, "budget {budget}");
+            let mut buf = vec![0u8; PS];
+            recovered.read_page(PageId(0), &mut buf).unwrap();
+            assert_eq!(buf, vec![1u8; PS], "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_failure_leaves_store_recoverable() {
+        // The base dies mid-checkpoint; the log still holds everything,
+        // so reopening over the half-written base recovers fully.
+        let shared = MemLog::new();
+        let base = FaultyStorage::new(MemStorage::new(PS), 1, FaultMode::Short(7));
+        let (mut store, _) = DurableStorage::open(base, shared.clone()).unwrap();
+        let p0 = store.grow().unwrap();
+        let p1 = store.grow().unwrap();
+        store.write_page(p0, &[3u8; PS]).unwrap();
+        store.write_page(p1, &[4u8; PS]).unwrap();
+        store.commit().unwrap();
+        assert!(store.checkpoint().is_err(), "base write faults");
+
+        // "Crash": rebuild from the surviving base bytes + the log.
+        let base = store.into_base().into_inner();
+        let (recovered, _) =
+            DurableStorage::open(base, MemLog::from_bytes(shared.bytes())).unwrap();
+        let mut buf = vec![0u8; PS];
+        recovered.read_page(p0, &mut buf).unwrap();
+        assert_eq!(buf, vec![3u8; PS]);
+        recovered.read_page(p1, &mut buf).unwrap();
+        assert_eq!(buf, vec![4u8; PS]);
+    }
+}

@@ -20,11 +20,26 @@
 //! lives in a per-query [`PoolCtx`] — the substrate of the concurrent query
 //! engine in the index crates.
 
-mod pool;
-mod storage;
+//!
+//! Durability lives one layer up: [`wal`] defines the redo-only log record
+//! codec and the append-only [`wal::LogDevice`] sinks, [`recovery`] scans a
+//! (possibly torn) log back into committed state, and [`DurableStorage`]
+//! composes them over any [`Storage`] to provide atomic group commit,
+//! checkpointing, and crash recovery. [`fault`] holds the fault-injection
+//! wrappers the crash tests kill stores with.
 
+mod durable;
+pub mod fault;
+mod pool;
+pub mod recovery;
+mod storage;
+pub mod wal;
+
+pub use durable::DurableStorage;
 pub use pool::{BufferPool, DiskStats, MemPool, PoolCtx, DEFAULT_SHARDS};
+pub use recovery::{LogTail, RecoveryReport};
 pub use storage::{FileStorage, MemStorage, Storage};
+pub use wal::{FileLog, LogDevice, Lsn, MemLog};
 
 /// Page size used throughout the paper's main experiments.
 pub const DEFAULT_PAGE_SIZE: usize = 1024;

@@ -126,6 +126,13 @@ pub struct PoolCtx {
     /// unique within one pool, so a context that wanders to a different
     /// pool drops its pins instead of serving the old pool's bytes.
     owner: Option<u64>,
+    /// The pool's [`BufferPool::version`] when the pins were taken. A
+    /// build-path mutation bumps the pool version, so a context whose
+    /// version is stale drops its pins on the next pin: its copies (and
+    /// recorded charges) describe a pool state that no longer exists.
+    /// During a read-only phase the version never moves and this check
+    /// costs one integer compare.
+    owner_version: u64,
     /// Current query epoch; pins carry the epoch they were last charged
     /// in. Advanced by [`PoolCtx::retire_pins`].
     epoch: u64,
@@ -311,6 +318,13 @@ pub struct BufferPool<S: Storage> {
     free_pages: Vec<PageId>,
     /// Process-unique identity, checked against [`PoolCtx::owner`].
     id: u64,
+    /// Mutation version: bumped by every build-path operation that can
+    /// change page contents or residency (`allocate`, `free`, the
+    /// `with_page*` family, `clear`). The query path compares it against
+    /// [`PoolCtx::owner_version`] so warm pins taken before a mutation
+    /// are dropped instead of served stale — what makes interleaved
+    /// write/read phases safe without a "caller must reset()" contract.
+    version: u64,
 }
 
 /// The default in-memory pool used by experiments.
@@ -356,6 +370,7 @@ impl<S: Storage> BufferPool<S> {
             shards,
             free_pages: Vec::new(),
             id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
+            version: 0,
         }
     }
 
@@ -385,6 +400,35 @@ impl<S: Storage> BufferPool<S> {
     /// different pool and must drop state keyed by page or record ids.
     pub fn pool_id(&self) -> u64 {
         self.id
+    }
+
+    /// Mutation version: how many build-path operations have run against
+    /// this pool. A [`PoolCtx`] records the version its pins were taken
+    /// at and drops them when it observes a newer one; callers layering
+    /// their own caches over a pool can do the same.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The backing storage (read-only).
+    pub fn storage(&self) -> &S {
+        &self.storage
+    }
+
+    /// Exclusive access to the backing storage, for durability control
+    /// (commit/checkpoint on a `DurableStorage` backing). Callers must
+    /// not change page *contents* through this — the pool's frames would
+    /// go stale; [`BufferPool::flush`] first if the pool may hold dirty
+    /// pages the storage operation should cover.
+    pub fn storage_mut(&mut self) -> &mut S {
+        &mut self.storage
+    }
+
+    /// Flush dirty pages and force them to stable storage: the pool-level
+    /// commit hook ([`BufferPool::try_flush`] + [`Storage::sync`]).
+    pub fn try_sync(&mut self) -> io::Result<()> {
+        self.try_flush()?;
+        self.storage.sync()
     }
 
     /// Pages currently allocated (grown minus freed). Multiplied by the
@@ -426,6 +470,7 @@ impl<S: Storage> BufferPool<S> {
     /// Fallible [`BufferPool::allocate`]: growing the backing file or
     /// writing back the evicted frame can fail.
     pub fn try_allocate(&mut self) -> io::Result<PageId> {
+        self.version += 1;
         let pid = match self.free_pages.pop() {
             Some(pid) => pid,
             None => self.storage.grow()?,
@@ -442,6 +487,7 @@ impl<S: Storage> BufferPool<S> {
     /// Release a page. It is dropped from the pool without write-back and
     /// becomes available for reuse by [`BufferPool::allocate`].
     pub fn free(&mut self, pid: PageId) {
+        self.version += 1;
         let idx = self.shard_of(pid);
         let shard = self.shards[idx].get_mut().unwrap();
         if let Some(frame) = shard.resident.remove(&pid) {
@@ -461,6 +507,9 @@ impl<S: Storage> BufferPool<S> {
     /// Fallible [`BufferPool::with_page`]: faulting the page in from a
     /// corrupt backing file surfaces the [`io::Error`].
     pub fn try_with_page<T>(&mut self, pid: PageId, f: impl FnOnce(&[u8]) -> T) -> io::Result<T> {
+        // Read-only for page *contents*, but it moves residency and the
+        // LRU clock — enough to invalidate warm-pin charge replay.
+        self.version += 1;
         let idx = self.shard_of(pid);
         let storage = &self.storage;
         let shard = self.shards[idx].get_mut().unwrap();
@@ -480,6 +529,7 @@ impl<S: Storage> BufferPool<S> {
         pid: PageId,
         f: impl FnOnce(&mut [u8]) -> T,
     ) -> io::Result<T> {
+        self.version += 1;
         let idx = self.shard_of(pid);
         let storage = &self.storage;
         let shard = self.shards[idx].get_mut().unwrap();
@@ -508,6 +558,7 @@ impl<S: Storage> BufferPool<S> {
         f: impl FnOnce(&mut [u8], &mut [u8]) -> T,
     ) -> io::Result<T> {
         assert_ne!(a, b);
+        self.version += 1;
         let (ia, ib) = (self.shard_of(a), self.shard_of(b));
         let storage = &self.storage;
         if ia == ib {
@@ -594,12 +645,15 @@ impl<S: Storage> BufferPool<S> {
         pid: PageId,
         ctx: &'c mut PoolCtx,
     ) -> io::Result<&'c [u8]> {
-        if ctx.owner != Some(self.id) {
-            // The context last pinned pages of a different pool; its pins
-            // are meaningless here (page ids are per-pool). Counters are
-            // kept — only the pin cache is invalidated.
+        if ctx.owner != Some(self.id) || ctx.owner_version != self.version {
+            // The context last pinned pages of a different pool (page ids
+            // are per-pool), or this pool has been mutated since the pins
+            // were taken (page contents and residency may have moved).
+            // Either way the pins are meaningless now; counters are kept —
+            // only the pin cache is invalidated.
             ctx.spare.extend(ctx.pinned.drain().map(|(_, p)| p.data));
             ctx.owner = Some(self.id);
+            ctx.owner_version = self.version;
         }
         let PoolCtx {
             pinned,
@@ -683,6 +737,7 @@ impl<S: Storage> BufferPool<S> {
 
     /// Fallible [`BufferPool::clear`].
     pub fn try_clear(&mut self) -> io::Result<()> {
+        self.version += 1;
         self.try_flush()?;
         for s in &mut self.shards {
             let shard = s.get_mut().unwrap();
@@ -1077,6 +1132,77 @@ mod tests {
         assert_eq!(a.read_page(pa, &mut ctx, |d| d[0]), 0xAA);
         assert_eq!(b.read_page(pb, &mut ctx, |d| d[0]), 0xBB);
         assert_eq!(a.read_page(pa, &mut ctx, |d| d[0]), 0xAA);
+    }
+
+    #[test]
+    fn mutation_bumps_version_and_invalidates_stale_pins() {
+        let mut p = MemPool::in_memory(128, 4);
+        let a = p.allocate();
+        p.with_page_mut(a, |d| d[0] = 1);
+        let v = p.version();
+
+        let mut ctx = PoolCtx::new();
+        p.read_page(a, &mut ctx, |d| assert_eq!(d[0], 1));
+        assert_eq!(p.version(), v, "query path never bumps the version");
+
+        // Mutate the page: the context's pinned copy is now stale.
+        p.with_page_mut(a, |d| d[0] = 2);
+        assert!(p.version() > v);
+        p.read_page(a, &mut ctx, |d| {
+            assert_eq!(d[0], 2, "stale pin dropped, fresh bytes served")
+        });
+    }
+
+    #[test]
+    fn stale_warm_pins_recharge_like_a_fresh_context() {
+        // After a mutation, a warm context's counters must match a fresh
+        // context's exactly — the charge-replay contract, now enforced by
+        // the version check instead of a caller-side reset() rule.
+        let mut p = pool1(2);
+        let a = p.allocate();
+        let b = p.allocate();
+        let c = p.allocate(); // a evicted
+        p.flush();
+        let mut warm = PoolCtx::new();
+        p.read_page(a, &mut warm, |_| {});
+        p.read_page(b, &mut warm, |_| {});
+        assert_eq!(warm.stats.reads, 1, "a cold, b resident");
+
+        // Build-path read of `a` changes residency (evicts b).
+        p.with_page(a, |_| {});
+        warm.retire_pins();
+        let mut fresh = PoolCtx::new();
+        for pid in [a, b, c] {
+            p.read_page(pid, &mut warm, |_| {});
+            p.read_page(pid, &mut fresh, |_| {});
+        }
+        assert_eq!(warm.stats, fresh.stats, "stale charges not replayed");
+        assert_eq!(warm.stats.reads, 1, "b now cold, a and c resident");
+    }
+
+    #[test]
+    fn version_survives_read_only_batches() {
+        let mut p = MemPool::in_memory(128, 4);
+        let a = p.allocate();
+        p.flush();
+        let v = p.version();
+        let mut ctx = PoolCtx::new();
+        for _ in 0..5 {
+            p.read_page(a, &mut ctx, |_| {});
+            ctx.retire_pins();
+        }
+        assert_eq!(p.version(), v);
+    }
+
+    #[test]
+    fn pool_sync_flushes_then_syncs_storage() {
+        let mut p = MemPool::in_memory(128, 4);
+        let a = p.allocate();
+        p.with_page_mut(a, |d| d[0] = 9);
+        p.try_sync().unwrap();
+        let mut buf = vec![0u8; 128];
+        p.storage().read_page(a, &mut buf).unwrap();
+        assert_eq!(buf[0], 9, "dirty page reached storage");
     }
 
     #[test]

@@ -34,6 +34,15 @@ pub trait Storage: Sync {
 
     /// Extend the disk by one zeroed page, returning its id.
     fn grow(&mut self) -> io::Result<PageId>;
+
+    /// Force previously written pages to stable storage. A plain
+    /// [`Storage::write_page`] only hands bytes to the OS cache; durability
+    /// layers (commit, checkpoint) must call `sync` before declaring data
+    /// safe. The default is a no-op, correct for backings with no volatile
+    /// cache ([`MemStorage`]); [`FileStorage`] issues a real fsync.
+    fn sync(&self) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 fn out_of_range(op: &str, pid: PageId, num_pages: u32) -> io::Error {
@@ -182,6 +191,39 @@ impl Storage for FileStorage {
             .set_len((self.num_pages as u64 + 1) * self.page_size as u64)?;
         self.num_pages += 1;
         Ok(pid)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+}
+
+/// Boxed storages forward every operation, so pools and durability layers
+/// can be built over `Box<dyn Storage + Send>` when the backing is chosen
+/// at runtime (memory for experiments, a file for a served store).
+impl<S: Storage + ?Sized> Storage for Box<S> {
+    fn page_size(&self) -> usize {
+        (**self).page_size()
+    }
+
+    fn num_pages(&self) -> u32 {
+        (**self).num_pages()
+    }
+
+    fn read_page(&self, pid: PageId, buf: &mut [u8]) -> io::Result<()> {
+        (**self).read_page(pid, buf)
+    }
+
+    fn write_page(&self, pid: PageId, buf: &[u8]) -> io::Result<()> {
+        (**self).write_page(pid, buf)
+    }
+
+    fn grow(&mut self) -> io::Result<PageId> {
+        (**self).grow()
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        (**self).sync()
     }
 }
 

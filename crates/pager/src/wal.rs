@@ -1,0 +1,488 @@
+//! Redo-only write-ahead log: the record codec and the append-only log
+//! devices it is written to.
+//!
+//! The log is a flat byte stream of self-delimiting records:
+//!
+//! ```text
+//! [len: u32 LE] [crc: u32 LE] [lsn: u64 LE] [kind: u8] [payload...]
+//! ```
+//!
+//! `len` counts the bytes after the `crc` field (`8 + 1 + payload`), and
+//! `crc` is a CRC-32 over exactly those bytes, so a record torn at any
+//! byte — a short header, a short body, or flipped bits — is detected
+//! rather than misparsed. LSNs are assigned by the writer in strictly
+//! increasing order starting at 1; a decoded record whose LSN is not the
+//! expected next one also marks the tail as torn (it is a leftover from a
+//! previous log generation, not a continuation of this one).
+//!
+//! Two record kinds exist ([`WalRecord`]): full page images (redo-only —
+//! there is no undo, recovery replays images forward) and a commit marker
+//! carrying the store's logical page count. Everything between two commit
+//! markers is one atomic batch: recovery applies a batch only when its
+//! commit marker survives, which is what makes a group commit (many page
+//! images + one marker + one [`LogDevice::sync`]) atomic under any crash.
+//!
+//! The [`LogDevice`] trait abstracts the byte sink the same way
+//! [`crate::Storage`] abstracts the page store: [`MemLog`] is the
+//! deterministic in-memory device (shared-buffer clones let crash tests
+//! photograph the log mid-flight), [`FileLog`] is the real thing.
+
+use crate::PageId;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+/// Log sequence number: the 1-based position of a record in the WAL's
+/// total order. `Lsn(0)` means "nothing logged yet".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The LSN before any record: a freshly created (or freshly
+    /// checkpointed) log reports this until something is appended.
+    pub const ZERO: Lsn = Lsn(0);
+
+    /// The next LSN in sequence.
+    pub fn next(self) -> Lsn {
+        Lsn(self.0 + 1)
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. Hand-rolled:
+/// the repository is dependency-free by design and the WAL only needs a
+/// checksum strong enough to detect torn writes, not an adversary.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes` (IEEE, the checksum inside every WAL record header).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Bytes before the CRC-covered region: the `len` and `crc` fields.
+pub const RECORD_PREFIX: usize = 8;
+/// CRC-covered bytes before the payload: the `lsn` and `kind` fields.
+pub const RECORD_HEADER: usize = 9;
+
+const KIND_PAGE_IMAGE: u8 = 1;
+const KIND_COMMIT: u8 = 2;
+
+/// Upper bound on a record's `len` field accepted by the decoder. Real
+/// records are one page plus a few bytes; anything larger is garbage from
+/// a torn header and must not trigger a giant allocation.
+pub const MAX_RECORD_LEN: u32 = (1 << 26) + RECORD_HEADER as u32;
+
+/// One decoded WAL record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WalRecord {
+    /// Redo image: on replay, `data` becomes the full contents of `pid`.
+    PageImage { pid: PageId, data: Box<[u8]> },
+    /// Batch commit marker. Every page image since the previous marker is
+    /// atomically visible once this record is durable; `num_pages` is the
+    /// store's logical page count as of this batch.
+    Commit { num_pages: u32 },
+}
+
+/// Append `record` under `lsn` to `out` in wire format.
+pub fn encode_record(lsn: Lsn, record: &WalRecord, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; RECORD_PREFIX]); // len + crc, patched below
+    out.extend_from_slice(&lsn.0.to_le_bytes());
+    match record {
+        WalRecord::PageImage { pid, data } => {
+            out.push(KIND_PAGE_IMAGE);
+            out.extend_from_slice(&pid.0.to_le_bytes());
+            out.extend_from_slice(data);
+        }
+        WalRecord::Commit { num_pages } => {
+            out.push(KIND_COMMIT);
+            out.extend_from_slice(&num_pages.to_le_bytes());
+        }
+    }
+    let len = (out.len() - start - RECORD_PREFIX) as u32;
+    let crc = crc32(&out[start + RECORD_PREFIX..]);
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+    out[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Decoding hit a torn record: the buffer ends inside a record, or the
+/// record is corrupt (bad length, CRC mismatch, unknown kind,
+/// out-of-sequence LSN). Everything before it is intact. A *clean* end
+/// (the buffer stops exactly at a record boundary) is `Ok(None)` instead.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Torn;
+
+/// Decode the record starting at `buf[at..]`, expecting `expect_lsn`.
+///
+/// Returns `Ok(Some((record, next_at)))` for an intact record,
+/// `Ok(None)` when `at` is exactly the end of the buffer (clean tail),
+/// and `Err(Torn)` for anything else. A short or corrupt
+/// record never panics and never over-reads.
+pub fn decode_record(
+    buf: &[u8],
+    at: usize,
+    expect_lsn: Lsn,
+) -> Result<Option<(WalRecord, usize)>, Torn> {
+    if at == buf.len() {
+        return Ok(None);
+    }
+    let rest = &buf[at..];
+    if rest.len() < RECORD_PREFIX + RECORD_HEADER {
+        return Err(Torn);
+    }
+    let len = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+    if len < RECORD_HEADER as u32 || len > MAX_RECORD_LEN {
+        return Err(Torn);
+    }
+    let total = RECORD_PREFIX + len as usize;
+    if rest.len() < total {
+        return Err(Torn);
+    }
+    let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+    let body = &rest[RECORD_PREFIX..total];
+    if crc32(body) != crc {
+        return Err(Torn);
+    }
+    let lsn = Lsn(u64::from_le_bytes(body[0..8].try_into().unwrap()));
+    if lsn != expect_lsn {
+        return Err(Torn);
+    }
+    let payload = &body[RECORD_HEADER..];
+    let record = match body[8] {
+        KIND_PAGE_IMAGE => {
+            if payload.len() < 4 {
+                return Err(Torn);
+            }
+            WalRecord::PageImage {
+                pid: PageId(u32::from_le_bytes(payload[0..4].try_into().unwrap())),
+                data: payload[4..].to_vec().into_boxed_slice(),
+            }
+        }
+        KIND_COMMIT => {
+            if payload.len() != 4 {
+                return Err(Torn);
+            }
+            WalRecord::Commit {
+                num_pages: u32::from_le_bytes(payload[0..4].try_into().unwrap()),
+            }
+        }
+        _ => return Err(Torn),
+    };
+    Ok(Some((record, at + total)))
+}
+
+/// An append-only byte log: the durable sink the WAL writes to.
+///
+/// Like [`crate::Storage`], implementations never interpret the bytes —
+/// framing and checksums belong to the record codec. `truncate` exists
+/// for two callers only: recovery (discarding a torn tail) and the
+/// checkpointer (emptying a log whose effects are now in the base store).
+pub trait LogDevice: Send {
+    /// Total bytes in the log.
+    fn len(&self) -> u64;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read exactly `buf.len()` bytes starting at `offset`.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+
+    /// Append `bytes` at the end of the log.
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Force appended bytes to stable storage (the group-commit fsync).
+    fn sync(&mut self) -> io::Result<()>;
+
+    /// Discard everything after byte `len`.
+    fn truncate(&mut self, len: u64) -> io::Result<()>;
+}
+
+impl<L: LogDevice + ?Sized> LogDevice for Box<L> {
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        (**self).read_at(offset, buf)
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        (**self).append(bytes)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        (**self).sync()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        (**self).truncate(len)
+    }
+}
+
+/// In-memory log device over a shared buffer.
+///
+/// Clones share the same bytes, so a crash-recovery test can keep one
+/// handle while a [`crate::DurableStorage`] owns another, photograph the
+/// log at any moment with [`MemLog::bytes`], and reopen arbitrary
+/// prefixes of it — simulating a kill at every write boundary without a
+/// filesystem.
+#[derive(Clone, Default)]
+pub struct MemLog {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemLog {
+    pub fn new() -> MemLog {
+        MemLog::default()
+    }
+
+    /// A log pre-loaded with `bytes` (e.g. a prefix photographed from
+    /// another log — a simulated torn crash).
+    pub fn from_bytes(bytes: Vec<u8>) -> MemLog {
+        MemLog {
+            bytes: Arc::new(Mutex::new(bytes)),
+        }
+    }
+
+    /// Snapshot of the current log contents.
+    pub fn bytes(&self) -> Vec<u8> {
+        self.bytes.lock().unwrap().clone()
+    }
+}
+
+impl LogDevice for MemLog {
+    fn len(&self) -> u64 {
+        self.bytes.lock().unwrap().len() as u64
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let bytes = self.bytes.lock().unwrap();
+        let start = offset as usize;
+        let end = start + buf.len();
+        if end > bytes.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("log read past end: {end} of {}", bytes.len()),
+            ));
+        }
+        buf.copy_from_slice(&bytes[start..end]);
+        Ok(())
+    }
+
+    fn append(&mut self, b: &[u8]) -> io::Result<()> {
+        self.bytes.lock().unwrap().extend_from_slice(b);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        let mut bytes = self.bytes.lock().unwrap();
+        if (len as usize) < bytes.len() {
+            bytes.truncate(len as usize);
+        }
+        Ok(())
+    }
+}
+
+/// File-backed log device using positioned I/O, `sync_data` for the
+/// group-commit fsync, and `set_len` for truncation.
+#[derive(Debug)]
+pub struct FileLog {
+    file: std::fs::File,
+    len: u64,
+}
+
+impl FileLog {
+    /// Create (truncating) a log file at `path`.
+    pub fn create(path: &std::path::Path) -> io::Result<FileLog> {
+        let file = std::fs::File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileLog { file, len: 0 })
+    }
+
+    /// Open an existing log file (creating an empty one if absent — a
+    /// store that crashed before its first commit has a base but no log).
+    pub fn open(path: &std::path::Path) -> io::Result<FileLog> {
+        let file = std::fs::File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        Ok(FileLog { file, len })
+    }
+}
+
+impl LogDevice for FileLog {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, offset)
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(bytes, self.len)?;
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        if len < self.len {
+            self.file.set_len(len)?;
+            self.len = len;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The classic IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let mut buf = Vec::new();
+        let img = WalRecord::PageImage {
+            pid: PageId(7),
+            data: vec![0xAB; 64].into_boxed_slice(),
+        };
+        let commit = WalRecord::Commit { num_pages: 9 };
+        encode_record(Lsn(1), &img, &mut buf);
+        encode_record(Lsn(2), &commit, &mut buf);
+
+        let (r1, at) = decode_record(&buf, 0, Lsn(1)).unwrap().unwrap();
+        assert_eq!(r1, img);
+        let (r2, at) = decode_record(&buf, at, Lsn(2)).unwrap().unwrap();
+        assert_eq!(r2, commit);
+        assert_eq!(decode_record(&buf, at, Lsn(3)), Ok(None), "clean tail");
+    }
+
+    #[test]
+    fn every_proper_prefix_is_torn_never_panics() {
+        let mut buf = Vec::new();
+        encode_record(
+            Lsn(1),
+            &WalRecord::PageImage {
+                pid: PageId(0),
+                data: vec![5; 32].into_boxed_slice(),
+            },
+            &mut buf,
+        );
+        for cut in 1..buf.len() {
+            assert_eq!(
+                decode_record(&buf[..cut], 0, Lsn(1)),
+                Err(Torn),
+                "prefix of {cut} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_are_torn() {
+        let mut buf = Vec::new();
+        encode_record(Lsn(1), &WalRecord::Commit { num_pages: 3 }, &mut buf);
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            // Flipping any single bit must never yield the original record.
+            if let Ok(Some((r, _))) = decode_record(&bad, 0, Lsn(1)) {
+                assert_ne!(r, WalRecord::Commit { num_pages: 3 }, "byte {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_lsn_is_torn() {
+        let mut buf = Vec::new();
+        encode_record(Lsn(5), &WalRecord::Commit { num_pages: 1 }, &mut buf);
+        assert_eq!(decode_record(&buf, 0, Lsn(1)), Err(Torn));
+        assert!(decode_record(&buf, 0, Lsn(5)).unwrap().is_some());
+    }
+
+    #[test]
+    fn absurd_length_field_is_torn_without_allocating() {
+        let mut buf = vec![0u8; 32];
+        buf[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_record(&buf, 0, Lsn(1)), Err(Torn));
+    }
+
+    #[test]
+    fn mem_log_clones_share_bytes() {
+        let mut log = MemLog::new();
+        let handle = log.clone();
+        log.append(b"hello").unwrap();
+        assert_eq!(handle.bytes(), b"hello");
+        assert_eq!(handle.len(), 5);
+        log.truncate(2).unwrap();
+        assert_eq!(handle.bytes(), b"he");
+        let mut buf = [0u8; 2];
+        handle.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"he");
+        assert!(handle.read_at(1, &mut [0u8; 2]).is_err());
+    }
+
+    #[test]
+    fn file_log_roundtrip_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("lsdb-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        {
+            let mut log = FileLog::create(&path).unwrap();
+            log.append(b"abcdef").unwrap();
+            log.sync().unwrap();
+            log.truncate(4).unwrap();
+        }
+        {
+            let log = FileLog::open(&path).unwrap();
+            assert_eq!(log.len(), 4);
+            let mut buf = [0u8; 4];
+            log.read_at(0, &mut buf).unwrap();
+            assert_eq!(&buf, b"abcd");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

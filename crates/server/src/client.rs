@@ -19,7 +19,7 @@ use crate::protocol::{
     MAX_REPLY_FRAME, PROTOCOL_VERSION,
 };
 use lsdb_core::{BatchRequest, QueryStats, SegId};
-use lsdb_geom::{Point, Rect};
+use lsdb_geom::{Point, Rect, Segment};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -417,6 +417,34 @@ impl Client {
                 .build(),
         )? {
             Reply::Polygon { walk, stats } => Ok((walk, stats)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Durably insert a segment into the served index. Returns the id
+    /// the segment received and the WAL commit LSN; the server only
+    /// acknowledges after the op is durable.
+    pub fn insert(&mut self, seg: Segment) -> io::Result<(SegId, u64)> {
+        match self.call(&Request::Insert(seg))? {
+            Reply::Inserted { id, lsn } => Ok((id, lsn)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Durably delete the segment with `id`. Returns whether it was
+    /// indexed, plus the WAL commit LSN.
+    pub fn delete(&mut self, id: SegId) -> io::Result<(bool, u64)> {
+        match self.call(&Request::Delete { id })? {
+            Reply::Deleted { removed, lsn } => Ok((removed, lsn)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Checkpoint the server's op log (fold the WAL into its base store
+    /// and truncate it). Returns the LSN the checkpoint covered.
+    pub fn flush(&mut self) -> io::Result<u64> {
+        match self.call(&Request::Flush)? {
+            Reply::Flushed { lsn } => Ok(lsn),
             other => Err(unexpected(&other)),
         }
     }

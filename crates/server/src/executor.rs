@@ -95,65 +95,107 @@ pub(crate) fn worker_loop(
     }
 }
 
-/// Execute one spatial query; counters fold into the server aggregate
-/// exactly as the PR-2 blocking server folded them.
+/// A mutation the live index refused (WAL append/commit failure). The op
+/// was not applied and nothing was acknowledged.
+fn wal_failed(what: &str, e: &std::io::Error) -> Reply {
+    Reply::Error {
+        code: ErrorCode::Internal,
+        message: format!("{what} not applied: {e}"),
+    }
+}
+
+/// Execute one spatial query or mutation; query counters fold into the
+/// server aggregate exactly as the PR-2 blocking server folded them.
+/// Mutations route through the [`lsdb_core::LiveIndex`] write path
+/// (durable commit, then apply) and are *not* counted as spatial
+/// queries — the paper's aggregates stay comparable under mixed
+/// workloads.
 fn run_single(req: &Request, shared: &Shared, ctx: &mut QueryCtx) -> Reply {
-    let index = shared.index;
-    ctx.reset();
-    let reply = match *req {
-        Request::Incident(p) => Reply::Segs {
-            ids: index.find_incident(p, ctx),
-            stats: ctx.stats(),
-        },
-        Request::Second { id, at } => {
-            if id.index() >= index.len() {
+    match *req {
+        Request::Insert(seg) => {
+            return match shared.index.insert(seg) {
+                Ok((id, lsn)) => Reply::Inserted { id, lsn: lsn.0 },
+                Err(e) => wal_failed("insert", &e),
+            }
+        }
+        Request::Delete { id } => {
+            return match shared.index.remove(id) {
+                Ok((removed, lsn)) => Reply::Deleted {
+                    removed,
+                    lsn: lsn.0,
+                },
+                Err(e) => wal_failed("delete", &e),
+            }
+        }
+        Request::Flush => {
+            return match shared.index.flush() {
+                Ok(lsn) => Reply::Flushed { lsn: lsn.0 },
+                Err(e) => wal_failed("flush", &e),
+            }
+        }
+        _ => {}
+    }
+    shared.index.with_read(|index| {
+        ctx.reset();
+        let reply = match *req {
+            Request::Incident(p) => Reply::Segs {
+                ids: index.find_incident(p, ctx),
+                stats: ctx.stats(),
+            },
+            Request::Second { id, at } => {
+                if id.index() >= index.len() {
+                    return Reply::Error {
+                        code: ErrorCode::BadArgument,
+                        message: format!(
+                            "segment id {} out of range (map has {} segments)",
+                            id.0,
+                            index.len()
+                        ),
+                    };
+                }
+                Reply::Segs {
+                    ids: queries::second_endpoint(index, id, at, ctx),
+                    stats: ctx.stats(),
+                }
+            }
+            Request::Nearest(p) => Reply::Nearest {
+                id: index.nearest(p, ctx),
+                stats: ctx.stats(),
+            },
+            Request::Knn { at, k } => Reply::Segs {
+                ids: index.nearest_k(at, k as usize, ctx),
+                stats: ctx.stats(),
+            },
+            Request::Window(w) => Reply::Segs {
+                ids: index.window(w, ctx),
+                stats: ctx.stats(),
+            },
+            Request::Polygon { at, max_steps } => {
+                let walk = queries::enclosing_polygon(index, at, max_steps as usize, ctx);
+                Reply::Polygon {
+                    walk: walk.map(|w| (w.boundary, w.closed)),
+                    stats: ctx.stats(),
+                }
+            }
+            // Service ops are answered in the event loop and never
+            // enqueued; mutations returned above.
+            Request::Hello { .. }
+            | Request::Batch(_)
+            | Request::Ping
+            | Request::Stats
+            | Request::Shutdown
+            | Request::Insert(_)
+            | Request::Delete { .. }
+            | Request::Flush => {
                 return Reply::Error {
-                    code: ErrorCode::BadArgument,
-                    message: format!(
-                        "segment id {} out of range (map has {} segments)",
-                        id.0,
-                        index.len()
-                    ),
-                };
+                    code: ErrorCode::Malformed,
+                    message: "service op routed to executor".into(),
+                }
             }
-            Reply::Segs {
-                ids: queries::second_endpoint(index, id, at, ctx),
-                stats: ctx.stats(),
-            }
-        }
-        Request::Nearest(p) => Reply::Nearest {
-            id: index.nearest(p, ctx),
-            stats: ctx.stats(),
-        },
-        Request::Knn { at, k } => Reply::Segs {
-            ids: index.nearest_k(at, k as usize, ctx),
-            stats: ctx.stats(),
-        },
-        Request::Window(w) => Reply::Segs {
-            ids: index.window(w, ctx),
-            stats: ctx.stats(),
-        },
-        Request::Polygon { at, max_steps } => {
-            let walk = queries::enclosing_polygon(index, at, max_steps as usize, ctx);
-            Reply::Polygon {
-                walk: walk.map(|w| (w.boundary, w.closed)),
-                stats: ctx.stats(),
-            }
-        }
-        // Service ops are answered in the event loop and never enqueued.
-        Request::Hello { .. }
-        | Request::Batch(_)
-        | Request::Ping
-        | Request::Stats
-        | Request::Shutdown => {
-            return Reply::Error {
-                code: ErrorCode::Malformed,
-                message: "service op routed to executor".into(),
-            }
-        }
-    };
-    shared.stats.add(ctx.stats());
-    reply
+        };
+        shared.stats.add(ctx.stats());
+        reply
+    })
 }
 
 /// Execute one batch: validate, run Morton-sorted, fold each item's
@@ -169,36 +211,40 @@ fn run_batch(req: &BatchRequest, shared: &Shared, ctx: &mut QueryCtx) -> Reply {
             ),
         };
     }
-    if let Some(max) = req.max_seg_id() {
-        if max.index() >= shared.index.len() {
-            return Reply::Error {
-                code: ErrorCode::BadArgument,
-                message: format!(
-                    "segment id {} out of range (map has {} segments)",
-                    max.0,
-                    shared.index.len()
-                ),
-            };
+    // The whole batch runs under one read guard: a concurrent writer
+    // lands either before or after it, never in the middle.
+    shared.index.with_read(|index| {
+        if let Some(max) = req.max_seg_id() {
+            if max.index() >= index.len() {
+                return Reply::Error {
+                    code: ErrorCode::BadArgument,
+                    message: format!(
+                        "segment id {} out of range (map has {} segments)",
+                        max.0,
+                        index.len()
+                    ),
+                };
+            }
         }
-    }
-    let items = execute_batch(shared.index, req, ctx);
-    let mut replies = Vec::with_capacity(items.len());
-    for item in items {
-        shared.stats.add(item.stats);
-        replies.push(match item.answer {
-            BatchAnswer::Segs(ids) => Reply::Segs {
-                ids,
-                stats: item.stats,
-            },
-            BatchAnswer::Nearest(id) => Reply::Nearest {
-                id,
-                stats: item.stats,
-            },
-            BatchAnswer::Polygon(walk) => Reply::Polygon {
-                walk,
-                stats: item.stats,
-            },
-        });
-    }
-    Reply::Batch(replies)
+        let items = execute_batch(index, req, ctx);
+        let mut replies = Vec::with_capacity(items.len());
+        for item in items {
+            shared.stats.add(item.stats);
+            replies.push(match item.answer {
+                BatchAnswer::Segs(ids) => Reply::Segs {
+                    ids,
+                    stats: item.stats,
+                },
+                BatchAnswer::Nearest(id) => Reply::Nearest {
+                    id,
+                    stats: item.stats,
+                },
+                BatchAnswer::Polygon(walk) => Reply::Polygon {
+                    walk,
+                    stats: item.stats,
+                },
+            });
+        }
+        Reply::Batch(replies)
+    })
 }

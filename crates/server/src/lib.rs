@@ -18,6 +18,13 @@
 //! of order — and a `BATCH` op carrying a homogeneous query vector that
 //! the server executes Morton-sorted to keep per-context caches warm.
 //!
+//! The index is live, not frozen: `INSERT`, `DELETE`, and `FLUSH` route
+//! through a [`lsdb_core::LiveIndex`] — each mutation is committed to a
+//! write-ahead log *before* it is applied or acknowledged, concurrent
+//! readers proceed under a shared lock, and `FLUSH` checkpoints the log.
+//! Servers bound over a durable store ([`Server::bind_live`]) replay the
+//! op log on restart, so acknowledged mutations survive a crash.
+//!
 //! * [`protocol`] — frame format, v1/v2 request/reply codec (never
 //!   panics on malformed bytes),
 //! * [`server`] — event loop + executor pool, graceful drain on

@@ -51,12 +51,18 @@
 //! so a remote caller sees exactly the metrics an in-process
 //! [`lsdb_core::QueryCtx`] would have reported.
 //!
+//! Three mutation ops round out the protocol: `INSERT` (a segment,
+//! answered with its assigned id and WAL commit LSN), `DELETE` (an id,
+//! answered with whether it was indexed) and `FLUSH` (checkpoint the op
+//! log). Mutations are acknowledged only after the op is durable; see
+//! [`lsdb_core::LiveIndex`].
+//!
 //! Decoding never panics: malformed bytes produce a [`ProtoError`], which
 //! the server answers with a structured [`Reply::Error`] frame instead of
 //! dropping the connection.
 
 use lsdb_core::{BatchRequest, DiskStats, QueryStats, SegId};
-use lsdb_geom::{Point, Rect};
+use lsdb_geom::{Point, Rect, Segment};
 use std::io::{self, Read, Write};
 
 /// Largest *singleton* request payload (v1 or v2 envelope included).
@@ -105,6 +111,9 @@ mod op {
     pub const SHUTDOWN: u8 = 0x09;
     pub const HELLO: u8 = 0x0A;
     pub const BATCH: u8 = 0x0B;
+    pub const INSERT: u8 = 0x0C;
+    pub const DELETE: u8 = 0x0D;
+    pub const FLUSH: u8 = 0x0E;
 }
 
 /// Batch kind bytes (second byte of a `BATCH` request).
@@ -127,6 +136,9 @@ mod rop {
     pub const BYE: u8 = 0x85;
     pub const HELLO: u8 = 0x86;
     pub const BATCH: u8 = 0x87;
+    pub const INSERTED: u8 = 0x88;
+    pub const DELETED: u8 = 0x89;
+    pub const FLUSHED: u8 = 0x8A;
     pub const ERROR: u8 = 0xEE;
 }
 
@@ -161,6 +173,16 @@ pub enum Request {
     /// Graceful shutdown: drain in-flight requests, refuse new
     /// connections, exit.
     Shutdown,
+    /// Durably insert a segment into the live index; answered with
+    /// [`Reply::Inserted`] once the op has committed to the write-ahead
+    /// log *and* been applied.
+    Insert(Segment),
+    /// Durably delete the segment with this id; answered with
+    /// [`Reply::Deleted`].
+    Delete { id: SegId },
+    /// Checkpoint the op log: fold the WAL into its base store and
+    /// truncate it. Answered with [`Reply::Flushed`].
+    Flush,
 }
 
 /// One server reply.
@@ -201,6 +223,23 @@ pub enum Reply {
     },
     /// Shutdown acknowledged.
     Bye,
+    /// Insert applied: the id the segment received and the WAL commit
+    /// LSN that made it durable.
+    Inserted {
+        id: SegId,
+        lsn: u64,
+    },
+    /// Delete applied (`removed` is false if the id was valid but not
+    /// currently indexed) and its WAL commit LSN.
+    Deleted {
+        removed: bool,
+        lsn: u64,
+    },
+    /// Checkpoint completed; `lsn` is the last LSN the checkpoint
+    /// covered.
+    Flushed {
+        lsn: u64,
+    },
     /// Structured error frame.
     Error {
         code: ErrorCode,
@@ -226,6 +265,9 @@ pub enum ErrorCode {
     /// The frame's version marker names a protocol version this server
     /// does not speak.
     UnsupportedVersion = 6,
+    /// A server-side failure executing a valid request (e.g. the
+    /// write-ahead log refused a mutation). The request had no effect.
+    Internal = 7,
 }
 
 impl ErrorCode {
@@ -237,6 +279,7 @@ impl ErrorCode {
             4 => ErrorCode::BadArgument,
             5 => ErrorCode::ShuttingDown,
             6 => ErrorCode::UnsupportedVersion,
+            7 => ErrorCode::Internal,
             _ => return None,
         })
     }
@@ -559,6 +602,16 @@ impl Request {
             Request::Batch(batch) => put_batch(buf, batch),
             Request::Stats => buf.push(op::STATS),
             Request::Shutdown => buf.push(op::SHUTDOWN),
+            Request::Insert(seg) => {
+                buf.push(op::INSERT);
+                put_point(buf, seg.a);
+                put_point(buf, seg.b);
+            }
+            Request::Delete { id } => {
+                buf.push(op::DELETE);
+                buf.extend_from_slice(&id.0.to_le_bytes());
+            }
+            Request::Flush => buf.push(op::FLUSH),
         }
     }
 
@@ -609,6 +662,14 @@ impl Request {
             op::BATCH => Request::Batch(get_batch(&mut c)?),
             op::STATS => Request::Stats,
             op::SHUTDOWN => Request::Shutdown,
+            op::INSERT => Request::Insert(Segment {
+                a: c.point()?,
+                b: c.point()?,
+            }),
+            op::DELETE => Request::Delete {
+                id: SegId(c.u32()?),
+            },
+            op::FLUSH => Request::Flush,
             other => return Err(ProtoError::UnknownOp(other)),
         };
         c.finish()?;
@@ -741,6 +802,20 @@ impl Reply {
                 put_stats(buf, *totals);
             }
             Reply::Bye => buf.push(rop::BYE),
+            Reply::Inserted { id, lsn } => {
+                buf.push(rop::INSERTED);
+                buf.extend_from_slice(&id.0.to_le_bytes());
+                buf.extend_from_slice(&lsn.to_le_bytes());
+            }
+            Reply::Deleted { removed, lsn } => {
+                buf.push(rop::DELETED);
+                buf.push(*removed as u8);
+                buf.extend_from_slice(&lsn.to_le_bytes());
+            }
+            Reply::Flushed { lsn } => {
+                buf.push(rop::FLUSHED);
+                buf.extend_from_slice(&lsn.to_le_bytes());
+            }
             Reply::Error { code, message } => {
                 buf.push(rop::ERROR);
                 buf.push(*code as u8);
@@ -810,6 +885,22 @@ impl Reply {
                 totals: get_stats(&mut c)?,
             },
             rop::BYE => Reply::Bye,
+            rop::INSERTED => Reply::Inserted {
+                id: SegId(c.u32()?),
+                lsn: c.u64()?,
+            },
+            rop::DELETED => {
+                let removed = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(ProtoError::BadField("deleted flag")),
+                };
+                Reply::Deleted {
+                    removed,
+                    lsn: c.u64()?,
+                }
+            }
+            rop::FLUSHED => Reply::Flushed { lsn: c.u64()? },
             rop::HELLO => Reply::Hello { version: c.u8()? },
             rop::BATCH => {
                 let n = c.u32()? as usize;
@@ -991,6 +1082,12 @@ mod tests {
             },
             Request::Stats,
             Request::Shutdown,
+            Request::Insert(Segment {
+                a: Point::new(i32::MIN, 4),
+                b: Point::new(9, i32::MAX),
+            }),
+            Request::Delete { id: SegId(831) },
+            Request::Flush,
         ];
         for r in reqs {
             let bytes = r.encode();
@@ -1039,6 +1136,19 @@ mod tests {
                 totals: stats,
             },
             Reply::Bye,
+            Reply::Inserted {
+                id: SegId(512),
+                lsn: u64::MAX,
+            },
+            Reply::Deleted {
+                removed: true,
+                lsn: 9,
+            },
+            Reply::Deleted {
+                removed: false,
+                lsn: 0,
+            },
+            Reply::Flushed { lsn: 77 },
             Reply::Error {
                 code: ErrorCode::UnknownOp,
                 message: "nope".into(),
@@ -1167,6 +1277,12 @@ mod tests {
                 max_steps: 777,
             }),
             Request::Batch(BatchRequest::Window(vec![])),
+            Request::Insert(Segment {
+                a: Point::new(1, 2),
+                b: Point::new(3, 4),
+            }),
+            Request::Delete { id: SegId(0) },
+            Request::Flush,
         ]
     }
 

@@ -17,7 +17,7 @@ use crate::event_loop;
 use crate::executor::{self, Completion, Job};
 use crate::protocol::MAX_REQUEST_FRAME_V2;
 use crate::sys::WakePipe;
-use lsdb_core::{QueryStats, SharedStats, SpatialIndex};
+use lsdb_core::{LiveIndex, QueryStats, SharedStats, SpatialIndex};
 use std::io;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -212,18 +212,29 @@ impl ShutdownHandle {
 /// A bound-but-not-yet-running query server.
 pub struct Server {
     listener: TcpListener,
-    index: Box<dyn SpatialIndex>,
+    index: LiveIndex,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
 }
 
 impl Server {
-    /// Bind to `addr` (use port 0 for an ephemeral port). The index must
-    /// already be built — the server is strictly build-once/serve-many.
-    /// Rejects an invalid `config` with `InvalidInput`.
+    /// Bind to `addr` (use port 0 for an ephemeral port), serving an
+    /// already-built index with a *volatile* op log: `INSERT`/`DELETE`
+    /// work but persist nothing. Rejects an invalid `config` with
+    /// `InvalidInput`. For a durable store use [`Server::bind_live`].
     pub fn bind(
         addr: impl ToSocketAddrs,
         index: Box<dyn SpatialIndex>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        Server::bind_live(addr, LiveIndex::volatile(index), config)
+    }
+
+    /// Bind to `addr` serving a [`LiveIndex`] — typically one recovered
+    /// from a durable op log, so acknowledged mutations survive a crash.
+    pub fn bind_live(
+        addr: impl ToSocketAddrs,
+        index: LiveIndex,
         config: ServerConfig,
     ) -> io::Result<Server> {
         config.validate()?;
@@ -264,7 +275,7 @@ impl Server {
         let job_rx = Mutex::new(job_rx);
 
         let shared = Shared {
-            index: index.as_ref(),
+            index: &index,
             stats: &stats,
             shutdown: &shutdown,
             config: &config,
@@ -296,7 +307,7 @@ impl Server {
 /// Everything the event loop and executors share, borrowed for the scope
 /// of [`Server::run`].
 pub(crate) struct Shared<'a> {
-    pub index: &'a dyn SpatialIndex,
+    pub index: &'a LiveIndex,
     pub stats: &'a SharedStats,
     pub shutdown: &'a AtomicBool,
     pub config: &'a ServerConfig,

@@ -451,3 +451,137 @@ fn rstar_serves_identically_too() {
     client.shutdown().unwrap();
     handle.join().unwrap();
 }
+
+#[test]
+fn live_mutations_apply_over_the_wire_while_readers_run() {
+    let map = test_map();
+    let index = build(&map);
+    let base_len = map.segments.len() as u32;
+    let (addr, handle) = start_server(index);
+
+    // Readers hammer queries on their own connections while this thread
+    // mutates: no reply may be malformed, every returned id must resolve.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for seed in 0..2u64 {
+            let stop = &stop;
+            let map = &map;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let stream = mixed_stream(map, 4, 0xD00D ^ seed);
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    for req in &stream {
+                        client.call(req).unwrap();
+                    }
+                }
+            });
+        }
+
+        let mut writer = Client::connect(addr).unwrap();
+        // A segment tucked into the top-right of the 16K world, where the
+        // generated county has no endpoints: queries at its endpoint see
+        // exactly it.
+        let seg = lsdb_geom::Segment {
+            a: lsdb_geom::Point::new(16_001, 16_003),
+            b: lsdb_geom::Point::new(16_011, 16_003),
+        };
+        let (id, lsn) = writer.insert(seg).unwrap();
+        assert_eq!(id, lsdb_core::SegId(base_len));
+        assert!(lsn > 0);
+
+        match writer.call(&QueryRequest::incident(seg.a).build()).unwrap() {
+            Reply::Segs { ids, .. } => assert_eq!(ids, vec![id]),
+            other => panic!("unexpected reply {other:?}"),
+        }
+
+        let (removed, _) = writer.delete(id).unwrap();
+        assert!(removed);
+        let (removed, _) = writer.delete(id).unwrap();
+        assert!(!removed, "second delete of the same id is a no-op");
+        match writer.call(&QueryRequest::incident(seg.a).build()).unwrap() {
+            Reply::Segs { ids, .. } => assert!(ids.is_empty()),
+            other => panic!("unexpected reply {other:?}"),
+        }
+
+        // Flush checkpoints the (volatile) op log; the LSN restarts.
+        writer.flush().unwrap();
+        let (_, lsn) = writer.insert(seg).unwrap();
+        assert!(lsn > 0, "post-checkpoint commits restart the LSN sequence");
+
+        stop.store(true, std::sync::atomic::Ordering::Release);
+    });
+
+    Client::connect(addr).unwrap().shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn acknowledged_wire_mutations_survive_a_server_restart() {
+    // Round one: an empty durable store served over TCP; every mutation
+    // acknowledged over the wire. Round two: reopen the same files,
+    // replay, and the queries must answer as if the server never died.
+    let dir = std::env::temp_dir().join(format!("lsdb-server-live-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let pages = dir.join("ops.pages");
+    let wal = dir.join("ops.wal");
+    let empty = PolygonalMap::new("live", Vec::new());
+    let segs: Vec<lsdb_geom::Segment> = (0..40)
+        .map(|i| lsdb_geom::Segment {
+            a: lsdb_geom::Point::new(i * 10, 0),
+            b: lsdb_geom::Point::new(i * 10 + 7, 50),
+        })
+        .collect();
+
+    let probe = Request::Window(lsdb_geom::Rect::new(-10, -10, 500, 100));
+    let served = {
+        let base = lsdb_core::FileStorage::create(&pages, 1024).unwrap();
+        let log = lsdb_core::FileLog::create(&wal).unwrap();
+        let (dmap, _) = lsdb_core::DurableMap::open(Box::new(base), Box::new(log)).unwrap();
+        let live = lsdb_core::LiveIndex::new(build(&empty), dmap);
+        let config = ServerConfig {
+            workers: 2,
+            read_timeout: Duration::from_millis(100),
+            ..Default::default()
+        };
+        let server = Server::bind_live("127.0.0.1:0", live, config).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        let mut client = Client::connect(addr).unwrap();
+        for (i, seg) in segs.iter().enumerate() {
+            let (id, _) = client.insert(*seg).unwrap();
+            assert_eq!(id.0 as usize, i);
+        }
+        // Mix in deletes, and checkpoint halfway so recovery exercises
+        // both the base-store and the WAL-replay paths.
+        client.delete(lsdb_core::SegId(3)).unwrap();
+        client.flush().unwrap();
+        client.delete(lsdb_core::SegId(17)).unwrap();
+        let reply = client.call(&probe).unwrap();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+        reply
+    };
+
+    // "Restart": recover purely from the files and replay into a fresh
+    // empty index of the same structure.
+    let base = lsdb_core::FileStorage::open(&pages, 1024).unwrap();
+    let log = lsdb_core::FileLog::open(&wal).unwrap();
+    let (dmap, report) = lsdb_core::DurableMap::open(Box::new(base), Box::new(log)).unwrap();
+    assert_eq!(dmap.len(), segs.len() + 2, "all acknowledged ops recovered");
+    assert_eq!(
+        report.batches, 1,
+        "post-checkpoint delete replayed from WAL"
+    );
+    let mut index = build(&empty);
+    dmap.replay_into(index.as_mut());
+    let recovered = run_in_process(index.as_ref(), &probe);
+
+    match (&served, &recovered) {
+        (Reply::Segs { ids: a, .. }, Reply::Segs { ids: b, .. }) => {
+            assert_eq!(a, b, "recovered index answers exactly as the live one did")
+        }
+        other => panic!("unexpected replies {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

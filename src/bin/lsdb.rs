@@ -11,7 +11,8 @@
 //! lsdb query MAP --structure pmr window X0 Y0 X1 Y1
 //! lsdb query MAP --structure pmr polygon X Y
 //! lsdb query MAP --structure pmr --stdin        # one query per line
-//! lsdb serve MAP --structure pmr --port 4750 --workers 4 [--max-frame B]
+//! lsdb serve MAP --structure pmr --port 4750 --workers 4 [--max-frame B] \
+//!      [--store DIR]
 //! lsdb bench-client MAP --addr 127.0.0.1:4750 --workload range \
 //!      --queries 1000 --connections 4
 //! lsdb bench-client MAP --addr 127.0.0.1:4750 --workload range --open-loop 5000
@@ -20,7 +21,11 @@
 //!
 //! Every query prints its answer and the paper's three metrics for it.
 //! `serve` exposes the built structure over the lsdb wire protocol (v2,
-//! with v1 compatibility); its config is seeded from the environment
+//! with v1 compatibility); with `--store DIR` the server also accepts
+//! `INSERT`/`DELETE`/`FLUSH`, journaling every acknowledged mutation to
+//! `DIR/ops.wal` (checkpointed into `DIR/ops.pages`) and replaying the
+//! log over the freshly built index on restart, so acknowledged writes
+//! survive a crash. Its config is seeded from the environment
 //! ([`lsdb::server::ServerConfig::from_env`]) with flags taking
 //! precedence. `bench-client` is the matching load generator: closed
 //! loop by default, open loop at a fixed arrival rate with `--open-loop
@@ -69,7 +74,7 @@ fn print_usage() {
          lsdb query FILE --structure S polygon X Y\n  \
          lsdb query FILE --structure S --stdin\n  \
          lsdb serve FILE [--structure S] [--addr HOST] [--port P] [--workers W] \\\n      \
-              [--max-frame B] [--page-size B] [--pool P]\n  \
+              [--max-frame B] [--page-size B] [--pool P] [--store DIR]\n  \
          lsdb bench-client FILE --addr HOST:PORT [--workload W] [--queries N] \\\n      \
               [--connections C] [--seed S] [--open-loop QPS | --batch] [--shutdown]\n\n\
          bench-client workloads: point1 point2 nearest1 nearest2 polygon1 polygon2 range\n\
@@ -444,11 +449,33 @@ fn run_query(
     true
 }
 
+/// Open (or initialize) the durable op log under `dir` and return the
+/// recovered map. `ops.pages` is the checkpointed base store, `ops.wal`
+/// the redo log; both are created on first use.
+fn open_store(
+    dir: &str,
+    page_size: usize,
+) -> std::io::Result<(lsdb::core::DurableMap, lsdb::core::RecoveryReport)> {
+    use lsdb::core::{DurableMap, FileLog, FileStorage};
+    std::fs::create_dir_all(dir)?;
+    let pages = Path::new(dir).join("ops.pages");
+    let wal = Path::new(dir).join("ops.wal");
+    let base = if pages.exists() {
+        FileStorage::open(&pages, page_size)?
+    } else {
+        FileStorage::create(&pages, page_size)?
+    };
+    let log = FileLog::open(&wal)?;
+    DurableMap::open(Box::new(base), Box::new(log))
+}
+
 fn cmd_serve(rest: &[String]) -> i32 {
+    use lsdb::core::LiveIndex;
     use lsdb::server::{Server, ServerConfig};
 
     let mut args = rest.to_vec();
     let structure = structure_flag(&mut args);
+    let store = take_flag(&mut args, "--store");
     let host = take_flag(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1".to_string());
     let port: u16 = take_flag(&mut args, "--port")
         .map(|v| parse_or_die(&v, "--port"))
@@ -478,7 +505,7 @@ fn cmd_serve(rest: &[String]) -> i32 {
         pool_pages: pool,
     };
     let start = std::time::Instant::now();
-    let Some(idx) = build_structure(&structure, &map, cfg) else {
+    let Some(mut idx) = build_structure(&structure, &map, cfg) else {
         return 2;
     };
     println!(
@@ -497,7 +524,35 @@ fn cmd_serve(rest: &[String]) -> i32 {
         eprintln!("{e}");
         return 2;
     }
-    let server = match Server::bind((host.as_str(), port), idx, config) {
+    // With --store, acknowledged mutations outlive the process: recover
+    // the op log, replay it over the freshly built index, and serve the
+    // live (writable) index instead of a read-only one.
+    let live = match &store {
+        Some(dir) => {
+            let (dmap, report) = match open_store(dir, page) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("cannot open store {dir}: {e}");
+                    return 1;
+                }
+            };
+            if report.discarded > 0 {
+                eprintln!(
+                    "store {dir}: discarded {} bytes of torn log tail ({:?})",
+                    report.discarded, report.tail
+                );
+            }
+            println!(
+                "store {dir}: {} op(s) recovered ({} from the redo log), replaying",
+                dmap.len(),
+                report.images
+            );
+            dmap.replay_into(idx.as_mut());
+            LiveIndex::new(idx, dmap)
+        }
+        None => LiveIndex::volatile(idx),
+    };
+    let server = match Server::bind_live((host.as_str(), port), live, config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot bind {host}:{port}: {e}");
