@@ -75,6 +75,7 @@ fn bench_page_buffer() {
             let cfg = IndexConfig {
                 page_size: page,
                 pool_pages: pool,
+                ..Default::default()
             };
             bench(
                 "page_buffer",

@@ -1,27 +1,42 @@
-//! Node-scan kernel microbenchmark: what the batched kernels in
-//! `lsdb_core::scan` buy over the per-entry loops the engines used to run.
+//! Node-scan kernel microbenchmark: layout × ISA × entry-order matrix.
 //!
-//! Three implementations of each predicate race over synthetic leaf pages
-//! of 256, 512 and 1024 entries (raw `RectNode` byte layout, no pool):
+//! The hot loop of every query is "test each bounding rectangle on one
+//! node page against the query region". This binary races the
+//! implementations of that loop over synthetic leaf pages of 256, 512 and
+//! 1024 entries (raw byte layouts, no pool):
 //!
-//! * **entries+loop** — the pre-kernel query path: decode the whole page
-//!   into a `Vec<Entry>` (one allocation per visit), then filter;
-//! * **per-entry** — decode each entry in place with [`RectNode::entry`]
-//!   and test it, no allocation but one bounds-checked decode per entry;
-//! * **kernel** — the batched kernels ([`scan_intersecting`],
-//!   [`scan_containing_point`], [`scan_min_dist2`]): one zero-copy
-//!   [`EntryScan`] view, 4-wide branch-free rectangle tests.
+//! * **aos-scalar** — the pre-SoA baseline: interleaved 20-byte entries
+//!   (the retired format-v1 page layout, rebuilt here for comparison)
+//!   scanned by the 4-wide blocked branch-free loop the kernels used
+//!   through PR 7. Whatever vectorization it gets is the
+//!   auto-vectorizer's.
+//! * **soa-scalar** — the v2 structure-of-arrays lanes scanned by the
+//!   portable blocked-scalar kernel ([`Isa::Scalar`]).
+//! * **soa-sse2** / **soa-avx2** — the same lanes through the explicit
+//!   `std::arch` kernels with movemask survivor extraction (4- and 8-wide;
+//!   rows appear only when the host CPU supports the ISA).
 //!
-//! All three produce identical survivor sets (the differential tests in
-//! `lsdb-core` prove it); this binary only measures throughput.
+//! Pages are measured under both intra-node entry orders
+//! ([`EntryOrder::Storage`] scatter and [`EntryOrder::Hilbert`]): Hilbert
+//! sorting clusters window-survivors into runs, which changes how often a
+//! SIMD block is all-miss (skipped with one movemask test) versus mixed —
+//! the ordering effect the SIMD R-tree literature reports.
 //!
-//! Usage: `cargo run --release -p lsdb-bench --bin scanbench -- [--iters N]`
+//! Every variant must produce the identical survivor aggregate — checked
+//! here per cell, and proven survivor-by-survivor in the differential
+//! tests of `lsdb-core`. `--json PATH` additionally writes the matrix as
+//! `BENCH_scan.json` rows.
+//!
+//! Usage: `scanbench [--iters N] [--json PATH]`
 
 use lsdb_bench::report::render_table;
-use lsdb_core::rectnode::{Entry, RectNode, ENTRY, HDR};
-use lsdb_core::scan::{scan_containing_point, scan_intersecting, scan_min_dist2, EntryScan};
+use lsdb_core::rectnode::{order_entries, Entry, EntryOrder, RectNode, ENTRY, HDR};
+use lsdb_core::scan::{
+    scan_containing_point_with, scan_intersecting_with, scan_min_dist2_with, EntryScan, Isa,
+};
 use lsdb_geom::{Point, Rect};
 use lsdb_rng::StdRng;
+use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -29,31 +44,160 @@ use std::time::Instant;
 /// the larger sizes show how the kernels scale when pages do.
 const PAGE_ENTRIES: [usize; 3] = [256, 512, 1024];
 
-/// Build a leaf page of `n` random entries in the on-disk byte layout,
-/// mirroring the differential tests: 25% zero-area rectangles.
-fn random_page(rng: &mut StdRng, n: usize) -> Vec<u8> {
-    let mut buf = vec![0u8; HDR + n * ENTRY];
-    RectNode::init(&mut buf, true);
-    for i in 0..n {
-        let x0 = rng.gen_range(-1000..1000);
-        let y0 = rng.gen_range(-1000..1000);
-        let (w, h) = if rng.gen_bool(0.25) {
-            (0, 0)
-        } else {
-            (rng.gen_range(0..100), rng.gen_range(0..100))
-        };
-        RectNode::push(
-            &mut buf,
+/// Generate the entry set for one synthetic leaf page, mirroring the
+/// differential tests: 25% zero-area rectangles.
+fn random_entries(rng: &mut StdRng, n: usize) -> Vec<Entry> {
+    (0..n)
+        .map(|i| {
+            let x0 = rng.gen_range(-1000..1000);
+            let y0 = rng.gen_range(-1000..1000);
+            let (w, h) = if rng.gen_bool(0.25) {
+                (0, 0)
+            } else {
+                (rng.gen_range(0..100), rng.gen_range(0..100))
+            };
             Entry {
                 rect: Rect::new(x0, y0, x0 + w, y0 + h),
                 child: i as u32,
-            },
-        );
+            }
+        })
+        .collect()
+}
+
+/// Encode entries as a v2 SoA page.
+fn soa_page(entries: &[Entry]) -> Vec<u8> {
+    let mut buf = vec![0u8; HDR + entries.len() * ENTRY];
+    RectNode::init(&mut buf, true);
+    for &e in entries {
+        RectNode::push(&mut buf, e);
     }
     buf
 }
 
-/// Run `f` `iters` times over the page and report nanoseconds per entry.
+// ----------------------------------------------------------------------
+// The retired format-v1 AoS layout + its blocked auto-vectorized kernels,
+// rebuilt here as the baseline the SoA/SIMD rows are measured against.
+// ----------------------------------------------------------------------
+
+/// Encode entries in the interleaved v1 layout: 24-byte header, then
+/// 20-byte records (xlo, ylo, xhi, yhi, child — all i32/u32 LE).
+fn aos_page(entries: &[Entry]) -> Vec<u8> {
+    let mut buf = vec![0u8; HDR + entries.len() * ENTRY];
+    buf[2..4].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+    for (i, e) in entries.iter().enumerate() {
+        let at = HDR + i * ENTRY;
+        buf[at..at + 4].copy_from_slice(&e.rect.min.x.to_le_bytes());
+        buf[at + 4..at + 8].copy_from_slice(&e.rect.min.y.to_le_bytes());
+        buf[at + 8..at + 12].copy_from_slice(&e.rect.max.x.to_le_bytes());
+        buf[at + 12..at + 16].copy_from_slice(&e.rect.max.y.to_le_bytes());
+        buf[at + 16..at + 20].copy_from_slice(&e.child.to_le_bytes());
+    }
+    buf
+}
+
+#[inline(always)]
+fn aos_entry(buf: &[u8], i: usize) -> Entry {
+    let at = HDR + i * ENTRY;
+    let word = |o: usize| i32::from_le_bytes(buf[at + o..at + o + 4].try_into().unwrap());
+    Entry {
+        rect: Rect::new(word(0), word(4), word(8), word(12)),
+        child: word(16) as u32,
+    }
+}
+
+fn aos_count(buf: &[u8]) -> usize {
+    u16::from_le_bytes([buf[2], buf[3]]) as usize
+}
+
+/// The PR 5–7 window kernel: 4-wide blocks, branch-free predicate
+/// evaluation over interleaved records, emission behind a branch.
+fn aos_intersecting(buf: &[u8], w: &Rect, mut f: impl FnMut(Entry)) {
+    let n = aos_count(buf);
+    let mut i = 0;
+    let mut keep = [false; 4];
+    while i + 4 <= n {
+        for (j, k) in keep.iter_mut().enumerate() {
+            let e = aos_entry(buf, i + j);
+            *k = (w.min.x <= e.rect.max.x)
+                & (e.rect.min.x <= w.max.x)
+                & (w.min.y <= e.rect.max.y)
+                & (e.rect.min.y <= w.max.y);
+        }
+        for (j, k) in keep.iter().enumerate() {
+            if *k {
+                f(aos_entry(buf, i + j));
+            }
+        }
+        i += 4;
+    }
+    for k in i..n {
+        let e = aos_entry(buf, k);
+        if w.intersects(&e.rect) {
+            f(e);
+        }
+    }
+}
+
+fn aos_containing(buf: &[u8], p: Point, mut f: impl FnMut(Entry)) {
+    let n = aos_count(buf);
+    let mut i = 0;
+    let mut keep = [false; 4];
+    while i + 4 <= n {
+        for (j, k) in keep.iter_mut().enumerate() {
+            let e = aos_entry(buf, i + j);
+            *k = (e.rect.min.x <= p.x)
+                & (p.x <= e.rect.max.x)
+                & (e.rect.min.y <= p.y)
+                & (p.y <= e.rect.max.y);
+        }
+        for (j, k) in keep.iter().enumerate() {
+            if *k {
+                f(aos_entry(buf, i + j));
+            }
+        }
+        i += 4;
+    }
+    for k in i..n {
+        let e = aos_entry(buf, k);
+        if e.rect.contains_point(p) {
+            f(e);
+        }
+    }
+}
+
+fn aos_min_dist2(buf: &[u8], p: Point, mut f: impl FnMut(Entry, i64)) {
+    let (px, py) = (p.x as i64, p.y as i64);
+    let n = aos_count(buf);
+    let mut i = 0;
+    let mut d2 = [0i64; 4];
+    while i + 4 <= n {
+        for (j, d) in d2.iter_mut().enumerate() {
+            let e = aos_entry(buf, i + j);
+            let dx = (e.rect.min.x as i64 - px)
+                .max(0)
+                .max(px - e.rect.max.x as i64);
+            let dy = (e.rect.min.y as i64 - py)
+                .max(0)
+                .max(py - e.rect.max.y as i64);
+            *d = dx * dx + dy * dy;
+        }
+        for (j, d) in d2.iter().enumerate() {
+            f(aos_entry(buf, i + j), *d);
+        }
+        i += 4;
+    }
+    for k in i..n {
+        let e = aos_entry(buf, k);
+        f(e, e.rect.dist2_point(p));
+    }
+}
+
+// ----------------------------------------------------------------------
+// Harness
+// ----------------------------------------------------------------------
+
+/// Run `f` `iters` times over the page and report nanoseconds per entry
+/// plus the survivor aggregate (for cross-variant agreement checks).
 fn bench(iters: usize, n: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
     // One untimed pass warms the page into cache.
     let mut check = f();
@@ -65,8 +209,18 @@ fn bench(iters: usize, n: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
     (ns / (iters as f64 * n as f64), check)
 }
 
+/// One matrix cell: a (predicate, page size, order, variant) timing.
+struct Cell {
+    predicate: &'static str,
+    entries: usize,
+    order: EntryOrder,
+    variant: String,
+    ns_per_entry: f64,
+}
+
 fn main() {
     let mut iters = 20_000usize;
+    let mut json_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -75,129 +229,209 @@ fn main() {
                 i += 1;
                 iters = args[i].parse().expect("--iters N");
             }
+            "--json" => {
+                i += 1;
+                json_path = Some(args[i].clone());
+            }
             other => {
-                eprintln!("usage: scanbench [--iters N] (unknown arg {other})");
+                eprintln!("usage: scanbench [--iters N] [--json PATH] (unknown arg {other})");
                 std::process::exit(2);
             }
         }
         i += 1;
     }
 
+    let isas: Vec<Isa> = Isa::ALL.into_iter().filter(|i| i.available()).collect();
     let mut rng = StdRng::seed_from_u64(0x5CA7);
     let window = Rect::new(-300, -300, 250, 400);
     let probe = Point::new(17, -42);
 
-    let mut rows = vec![vec![
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut header = vec![
         "predicate".to_string(),
-        "entries/page".to_string(),
-        "entries+loop ns/e".to_string(),
-        "per-entry ns/e".to_string(),
-        "kernel ns/e".to_string(),
-        "kernel speedup".to_string(),
-    ]];
+        "entries".to_string(),
+        "order".to_string(),
+        "aos-scalar ns/e".to_string(),
+    ];
+    for isa in &isas {
+        header.push(format!("soa-{} ns/e", isa.label()));
+    }
+    header.push("best vs aos".to_string());
+    let mut rows = vec![header];
 
     for n in PAGE_ENTRIES {
-        let page = random_page(&mut rng, n);
-        let buf = page.as_slice();
+        let base = random_entries(&mut rng, n);
+        for order in [EntryOrder::Storage, EntryOrder::Hilbert] {
+            let mut entries = base.clone();
+            order_entries(&mut entries, order);
+            let aos = aos_page(&entries);
+            let soa = soa_page(&entries);
+            let aos_buf = aos.as_slice();
+            let soa_buf = soa.as_slice();
 
-        // --- window intersection -------------------------------------
-        let (vec_ns, a) = bench(iters, n, || {
-            let mut hits = 0u64;
-            for e in RectNode::entries(black_box(buf)) {
-                if window.intersects(&e.rect) {
-                    hits += e.child as u64;
-                }
+            // --- window intersection ---------------------------------
+            let (aos_ns, want) = bench(iters, n, || {
+                let mut hits = 0u64;
+                aos_intersecting(black_box(aos_buf), &window, |e| hits += e.child as u64);
+                hits
+            });
+            let mut row = vec![
+                "window".to_string(),
+                n.to_string(),
+                order.label().to_string(),
+                format!("{aos_ns:.2}"),
+            ];
+            cells.push(cell("window", n, order, "aos-scalar", aos_ns));
+            let mut best = f64::INFINITY;
+            for &isa in &isas {
+                let (ns, got) = bench(iters, n, || {
+                    let mut hits = 0u64;
+                    let scan = EntryScan::of_node(black_box(soa_buf));
+                    scan_intersecting_with(isa, &scan, &window, |e| hits += e.child as u64);
+                    hits
+                });
+                assert_eq!(got, want, "window survivors diverged on {isa:?}");
+                row.push(format!("{ns:.2}"));
+                cells.push(cell(
+                    "window",
+                    n,
+                    order,
+                    &format!("soa-{}", isa.label()),
+                    ns,
+                ));
+                best = best.min(ns);
             }
-            hits
-        });
-        let (per_ns, b) = bench(iters, n, || {
-            let mut hits = 0u64;
-            for i in 0..RectNode::count(black_box(buf)) {
-                let e = RectNode::entry(buf, i);
-                if window.intersects(&e.rect) {
-                    hits += e.child as u64;
-                }
-            }
-            hits
-        });
-        let (ker_ns, c) = bench(iters, n, || {
-            let mut hits = 0u64;
-            let scan = EntryScan::of_node(black_box(buf));
-            scan_intersecting(&scan, &window, |e| hits += e.child as u64);
-            hits
-        });
-        assert!(a == b && b == c, "window survivor sets diverged");
-        rows.push(row("window", n, vec_ns, per_ns, ker_ns));
+            row.push(format!("{:.2}x", aos_ns / best));
+            rows.push(row);
 
-        // --- point containment ---------------------------------------
-        let (vec_ns, a) = bench(iters, n, || {
-            let mut hits = 0u64;
-            for e in RectNode::entries(black_box(buf)) {
-                if e.rect.contains_point(probe) {
-                    hits += e.child as u64;
-                }
+            // --- point containment -----------------------------------
+            let (aos_ns, want) = bench(iters, n, || {
+                let mut hits = 0u64;
+                aos_containing(black_box(aos_buf), probe, |e| hits += e.child as u64);
+                hits
+            });
+            let mut row = vec![
+                "point".to_string(),
+                n.to_string(),
+                order.label().to_string(),
+                format!("{aos_ns:.2}"),
+            ];
+            cells.push(cell("point", n, order, "aos-scalar", aos_ns));
+            let mut best = f64::INFINITY;
+            for &isa in &isas {
+                let (ns, got) = bench(iters, n, || {
+                    let mut hits = 0u64;
+                    let scan = EntryScan::of_node(black_box(soa_buf));
+                    scan_containing_point_with(isa, &scan, probe, |e| hits += e.child as u64);
+                    hits
+                });
+                assert_eq!(got, want, "point survivors diverged on {isa:?}");
+                row.push(format!("{ns:.2}"));
+                cells.push(cell("point", n, order, &format!("soa-{}", isa.label()), ns));
+                best = best.min(ns);
             }
-            hits
-        });
-        let (per_ns, b) = bench(iters, n, || {
-            let mut hits = 0u64;
-            for i in 0..RectNode::count(black_box(buf)) {
-                let e = RectNode::entry(buf, i);
-                if e.rect.contains_point(probe) {
-                    hits += e.child as u64;
-                }
-            }
-            hits
-        });
-        let (ker_ns, c) = bench(iters, n, || {
-            let mut hits = 0u64;
-            let scan = EntryScan::of_node(black_box(buf));
-            scan_containing_point(&scan, probe, |e| hits += e.child as u64);
-            hits
-        });
-        assert!(a == b && b == c, "point survivor sets diverged");
-        rows.push(row("point", n, vec_ns, per_ns, ker_ns));
+            row.push(format!("{:.2}x", aos_ns / best));
+            rows.push(row);
 
-        // --- min distance --------------------------------------------
-        let (vec_ns, a) = bench(iters, n, || {
-            let mut acc = 0u64;
-            for e in RectNode::entries(black_box(buf)) {
-                acc = acc.wrapping_add(e.rect.dist2_point(probe) as u64);
+            // --- min distance ----------------------------------------
+            let (aos_ns, want) = bench(iters, n, || {
+                let mut acc = 0u64;
+                aos_min_dist2(black_box(aos_buf), probe, |_, d| {
+                    acc = acc.wrapping_add(d as u64)
+                });
+                acc
+            });
+            let mut row = vec![
+                "dist2".to_string(),
+                n.to_string(),
+                order.label().to_string(),
+                format!("{aos_ns:.2}"),
+            ];
+            cells.push(cell("dist2", n, order, "aos-scalar", aos_ns));
+            let mut best = f64::INFINITY;
+            for &isa in &isas {
+                let (ns, got) = bench(iters, n, || {
+                    let mut acc = 0u64;
+                    let scan = EntryScan::of_node(black_box(soa_buf));
+                    scan_min_dist2_with(isa, &scan, probe, |_, d| acc = acc.wrapping_add(d as u64));
+                    acc
+                });
+                assert_eq!(got, want, "dist2 sums diverged on {isa:?}");
+                row.push(format!("{ns:.2}"));
+                cells.push(cell("dist2", n, order, &format!("soa-{}", isa.label()), ns));
+                best = best.min(ns);
             }
-            acc
-        });
-        let (per_ns, b) = bench(iters, n, || {
-            let mut acc = 0u64;
-            for i in 0..RectNode::count(black_box(buf)) {
-                let e = RectNode::entry(buf, i);
-                acc = acc.wrapping_add(e.rect.dist2_point(probe) as u64);
-            }
-            acc
-        });
-        let (ker_ns, c) = bench(iters, n, || {
-            let mut acc = 0u64;
-            let scan = EntryScan::of_node(black_box(buf));
-            scan_min_dist2(&scan, probe, |_, d| acc = acc.wrapping_add(d as u64));
-            acc
-        });
-        assert!(a == b && b == c, "dist2 sums diverged");
-        rows.push(row("dist2", n, vec_ns, per_ns, ker_ns));
+            row.push(format!("{:.2}x", aos_ns / best));
+            rows.push(row);
+        }
     }
 
-    println!("Node-scan kernels vs per-entry loops ({iters} iterations per cell, ns per entry)\n");
+    println!(
+        "Node-scan kernel matrix ({iters} iterations per cell, ns per entry; host ISAs: {})\n",
+        isas.iter()
+            .map(|i| i.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     println!("{}", render_table(&rows));
-    println!("entries+loop = decode page into Vec<Entry>, then filter (pre-kernel query path);");
-    println!("per-entry    = in-place single-entry decode + test;");
-    println!("kernel       = lsdb_core::scan batched 4-wide branch-free kernels.");
+    println!("aos-scalar = retired interleaved v1 layout, 4-wide blocked auto-vectorized loop;");
+    println!("soa-*      = v2 lane layout through lsdb_core::scan on the named ISA;");
+    println!("order      = intra-node entry order (hilbert clusters window survivors into runs).");
+
+    if let Some(path) = json_path {
+        let doc = render_scan_json(iters, &isas, &cells);
+        lsdb_bench::json::write_file(std::path::Path::new(&path), &doc)
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("\nwrote {path}");
+    }
 }
 
-fn row(pred: &str, n: usize, vec_ns: f64, per_ns: f64, ker_ns: f64) -> Vec<String> {
-    vec![
-        pred.to_string(),
-        n.to_string(),
-        format!("{vec_ns:.2}"),
-        format!("{per_ns:.2}"),
-        format!("{ker_ns:.2}"),
-        format!("{:.2}x", per_ns / ker_ns),
-    ]
+fn cell(
+    predicate: &'static str,
+    entries: usize,
+    order: EntryOrder,
+    variant: &str,
+    ns: f64,
+) -> Cell {
+    Cell {
+        predicate,
+        entries,
+        order,
+        variant: variant.to_string(),
+        ns_per_entry: ns,
+    }
+}
+
+/// Deterministic-key-order JSON document for `BENCH_scan.json`, in the
+/// same hand-rolled style as `lsdb_bench::json` (ns values naturally vary
+/// run to run; everything else diffs clean).
+fn render_scan_json(iters: usize, isas: &[Isa], cells: &[Cell]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"scan_kernels\",");
+    let _ = writeln!(out, "  \"iters\": {iters},");
+    let _ = writeln!(
+        out,
+        "  \"host_isas\": [{}],",
+        isas.iter()
+            .map(|i| format!("\"{}\"", i.label()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    out.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"predicate\": \"{}\", \"entries\": {}, \"order\": \"{}\", \
+             \"variant\": \"{}\", \"ns_per_entry\": {:.3}}}",
+            c.predicate,
+            c.entries,
+            c.order.label(),
+            c.variant,
+            c.ns_per_entry,
+        );
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
 }

@@ -325,6 +325,7 @@ mod tests {
         let cfg = IndexConfig {
             page_size: 512,
             pool_pages: 16,
+            ..Default::default()
         };
         for kind in [
             IndexKind::RStar,

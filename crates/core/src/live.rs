@@ -53,8 +53,13 @@ pub const OP_BYTES: usize = 17;
 const KIND_INSERT: u8 = 1;
 const KIND_DELETE: u8 = 2;
 
-/// Magic bytes opening the header page of a [`DurableMap`] store.
-const MAGIC: &[u8; 8] = b"LSDBMAP1";
+/// Magic bytes opening the header page of a [`DurableMap`] store. The
+/// trailing digit is the map-format version; it moved to 2 together with
+/// the structure-of-arrays node-page layout (format v2 stores also carry
+/// the versioned `FileStorage` superblock). A v1 store is recognized and
+/// rejected with a version message, not a generic bad-magic error.
+const MAGIC: &[u8; 8] = b"LSDBMAP2";
+const MAGIC_V1: &[u8; 8] = b"LSDBMAP1";
 
 fn encode_op(op: &MapOp, out: &mut [u8]) {
     debug_assert_eq!(out.len(), OP_BYTES);
@@ -170,6 +175,12 @@ impl DurableMap {
         let mut page = vec![0u8; self.page_size];
         self.store.read_page(PageId(0), &mut page)?;
         if &page[..8] != MAGIC {
+            if &page[..8] == MAGIC_V1 {
+                return Err(bad_data(
+                    "durable map: store is format version 1 (pre-SoA page \
+                     layout), which this build does not read",
+                ));
+            }
             return Err(bad_data("durable map: bad magic in header page"));
         }
         let stored_ps = u32::from_le_bytes(page[16..20].try_into().unwrap()) as usize;
@@ -574,6 +585,26 @@ mod tests {
             .map(|_| ())
             .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn v1_format_store_is_rejected_with_version_error() {
+        // A store written by the format-v1 code (header magic "LSDBMAP1",
+        // node pages in the interleaved layout) must be refused at open
+        // with a message naming the version — not a decode panic, and not
+        // a generic bad-magic complaint.
+        let mut page = vec![0u8; PS];
+        page[..8].copy_from_slice(MAGIC_V1);
+        page[8..16].copy_from_slice(&0u64.to_le_bytes());
+        page[16..20].copy_from_slice(&(PS as u32).to_le_bytes());
+        let mut base = MemStorage::new(PS);
+        let p0 = base.grow().unwrap();
+        base.write_page(p0, &page).unwrap();
+        let err = DurableMap::open(Box::new(base), Box::new(MemLog::new()))
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("format version 1"), "{err}");
     }
 
     #[test]

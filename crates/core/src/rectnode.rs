@@ -1,33 +1,72 @@
 //! On-page layout of R-tree-family nodes.
 //!
-//! The paper fixes this format: "represent each node as a set of 2-tuples
-//! (R, O) where R is the smallest rectangle that contains the data stored
-//! in son O. For line segments ... each 2-tuple requires 5 entries — 4 for
-//! the x and y coordinate values of the bounding rectangle and one entry
-//! for the pointer to the son node ... each 2-tuple requires 20 bytes of
-//! storage and thus each 1K byte page contains a maximum of 50 line
-//! segments."
+//! The paper fixes the *logical* format: "represent each node as a set of
+//! 2-tuples (R, O) where R is the smallest rectangle that contains the
+//! data stored in son O. For line segments ... each 2-tuple requires 5
+//! entries — 4 for the x and y coordinate values of the bounding rectangle
+//! and one entry for the pointer to the son node ... each 2-tuple requires
+//! 20 bytes of storage and thus each 1K byte page contains a maximum of 50
+//! line segments."
 //!
-//! With a 24-byte header, a 1 KB page holds exactly the paper's 50
-//! entries. The same layout serves the R\*-tree and the (hybrid) R+-tree;
-//! in leaves the child field is a [`crate::SegId`], in internal nodes a
-//! page id.
+//! # Physical layout: structure of arrays (format v2)
+//!
+//! Those 20 bytes per tuple are preserved, but since format v2 they are
+//! laid out as five parallel **lanes** instead of interleaved 20-byte
+//! records:
+//!
+//! ```text
+//! offset                  contents
+//! 0 .. 24                 header: tag (1) · format version (1) ·
+//!                         count u16 LE (2) · reserved (20)
+//! HDR + 0·S .. +   S      xlo[cap]   i32 LE
+//! HDR + 1·S .. + 2·S      ylo[cap]   i32 LE
+//! HDR + 2·S .. + 3·S      xhi[cap]   i32 LE
+//! HDR + 3·S .. + 4·S      yhi[cap]   i32 LE
+//! HDR + 4·S .. + 5·S      child[cap] u32 LE
+//! ```
+//!
+//! where `cap = (page_size - HDR) / 20` (identical to the v1 capacity, so
+//! tree shapes — and therefore the paper's counters — are unchanged) and
+//! `S = 4·cap` is the lane stride. A scan kernel now reads each predicate
+//! operand as one contiguous vector-width load per lane instead of
+//! gathering it out of interleaved records — the structure-of-arrays
+//! transposition that "SIMD-ified R-tree Query Processing" shows beats
+//! auto-vectorized AoS scanning by large constant factors (see
+//! [`crate::scan`]). Lane starts are 4-byte aligned whenever the page
+//! buffer is (HDR and every stride are multiples of 4); the kernels use
+//! unaligned vector loads, so nothing stronger is required.
+//!
+//! Byte 1 of the header, reserved (always zero) in v1, now carries the
+//! page-format version ([`FORMAT_VERSION`]). In-memory pages are always
+//! current-format; persistent *stores* negotiate their format at open
+//! time instead (see `lsdb_pager::FileStorage` and the `DurableMap`
+//! header), rejecting versions they do not understand.
 //!
 //! Entry order within a node is not semantically meaningful (R-tree nodes
 //! are unordered sets), so removal is a swap-remove — this matches the
 //! paper's observation that R-tree-family 2-tuples "need not be sorted",
-//! unlike the PMR quadtree's B-tree pages.
+//! unlike the PMR quadtree's B-tree pages. Build paths may still *choose*
+//! an order ([`EntryOrder`]): Hilbert-sorting a node's entries clusters
+//! the survivors of a window predicate into runs, which changes how full
+//! the per-block survivor masks of the SIMD kernels are (measured by the
+//! `scanbench` ordering experiment).
 
 use crate::scan::{self, EntryScan};
 use crate::traverse::{DfsSink, NnSink, NodeAccess};
 use crate::{LocId, QueryCtx, SegId, SegmentTable};
-use lsdb_geom::{Dist2, Point, Rect};
+use lsdb_geom::{hilbert::hilbert_xy2d, Dist2, Point, Rect};
 use lsdb_pager::{MemPool, PageId};
 
-/// Node header bytes: tag (1) + pad (1) + count (2) + reserved (20).
+/// Node header bytes: tag (1) + format version (1) + count (2) +
+/// reserved (20).
 pub const HDR: usize = 24;
-/// Entry bytes: 4 × i32 rectangle + u32 child pointer.
+/// Bytes per entry summed across the five lanes: 4 × i32 rectangle +
+/// u32 child pointer.
 pub const ENTRY: usize = 20;
+/// Page-format version written into header byte 1: 2 = structure-of-arrays
+/// lanes. (Version 1, the interleaved array-of-structs layout, is no
+/// longer readable; stores carrying v1 pages are rejected at open.)
+pub const FORMAT_VERSION: u8 = 2;
 
 /// One (R, O) 2-tuple.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,22 +76,86 @@ pub struct Entry {
     pub child: u32,
 }
 
+/// Intra-node entry ordering applied by the build/split paths.
+///
+/// `Storage` keeps entries exactly where the maintenance algorithms put
+/// them — the paper's behaviour, and the default: every committed counter
+/// baseline is recorded under it (traversal emit order follows entry
+/// order, so changing the order changes DFS descent order and with it the
+/// disk-access counters). `Hilbert` sorts each written node's entries by
+/// the Hilbert code of their rectangle centers, the ordering experiment
+/// of the SIMD R-tree literature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EntryOrder {
+    /// Maintenance-path order (insertion/split order). The default.
+    #[default]
+    Storage,
+    /// Entries sorted by Hilbert code of their rectangle center.
+    Hilbert,
+}
+
+impl EntryOrder {
+    pub fn label(self) -> &'static str {
+        match self {
+            EntryOrder::Storage => "storage",
+            EntryOrder::Hilbert => "hilbert",
+        }
+    }
+}
+
+/// Sort key: Hilbert code of the (doubled) rectangle center, quantized to
+/// the order-16 curve. Ties (same quantized cell) keep their relative
+/// order — `sort_by_key` is stable — so the knob is deterministic.
+fn hilbert_key(r: &Rect) -> u64 {
+    let (cx2, cy2) = r.center2();
+    // Doubled centers span [-2^32, 2^32]; shift to unsigned and keep the
+    // top 16 bits of the 33-bit range.
+    let q = |c2: i64| (((c2 + (1i64 << 32)) >> 17) as u32).min(0xFFFF);
+    hilbert_xy2d(16, q(cx2), q(cy2))
+}
+
+/// Apply `order` to a node's entries before they are written. Called by
+/// the build/split sites of the R-tree family; a no-op for
+/// [`EntryOrder::Storage`].
+pub fn order_entries(entries: &mut [Entry], order: EntryOrder) {
+    if order == EntryOrder::Hilbert {
+        entries.sort_by_key(|e| hilbert_key(&e.rect));
+    }
+}
+
 /// Static accessors over a raw node page.
 pub struct RectNode;
 
 impl RectNode {
-    /// Maximum entries per node — the paper's `M ≈ S / k`.
+    /// Maximum entries per node — the paper's `M ≈ S / k`. Unchanged by
+    /// the v2 lane layout: the same 20 bytes per entry, transposed.
     pub fn capacity(page_size: usize) -> usize {
         (page_size - HDR) / ENTRY
+    }
+
+    /// Lane stride in bytes for a page buffer of `page_size` bytes:
+    /// `4 · capacity`. Lane `k` (0 = xlo, 1 = ylo, 2 = xhi, 3 = yhi,
+    /// 4 = child) starts at `HDR + k · stride`.
+    #[inline(always)]
+    pub fn lane_stride(page_size: usize) -> usize {
+        4 * Self::capacity(page_size)
     }
 
     pub fn init(buf: &mut [u8], leaf: bool) {
         buf[..HDR].fill(0);
         buf[0] = if leaf { 0 } else { 1 };
+        buf[1] = FORMAT_VERSION;
     }
 
     pub fn is_leaf(buf: &[u8]) -> bool {
         buf[0] == 0
+    }
+
+    /// The format version stamped into the node header (byte 1). Always
+    /// [`FORMAT_VERSION`] for pages written by this code; v1 pages carried
+    /// a zero here.
+    pub fn format_version(buf: &[u8]) -> u8 {
+        buf[1]
     }
 
     pub fn count(buf: &[u8]) -> usize {
@@ -63,13 +166,33 @@ impl RectNode {
         buf[2..4].copy_from_slice(&(c as u16).to_le_bytes());
     }
 
+    #[inline(always)]
+    fn lane_at(buf_len: usize, lane: usize, i: usize) -> usize {
+        HDR + lane * Self::lane_stride(buf_len) + 4 * i
+    }
+
+    #[inline(always)]
+    fn rd_lane(buf: &[u8], lane: usize, i: usize) -> i32 {
+        let at = Self::lane_at(buf.len(), lane, i);
+        i32::from_le_bytes(buf[at..at + 4].try_into().unwrap())
+    }
+
+    #[inline(always)]
+    fn wr_lane(buf: &mut [u8], lane: usize, i: usize, v: i32) {
+        let at = Self::lane_at(buf.len(), lane, i);
+        buf[at..at + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
     pub fn entry(buf: &[u8], i: usize) -> Entry {
         debug_assert!(i < Self::count(buf));
-        let at = HDR + i * ENTRY;
-        let rd = |o: usize| i32::from_le_bytes(buf[at + o..at + o + 4].try_into().unwrap());
         Entry {
-            rect: Rect::new(rd(0), rd(4), rd(8), rd(12)),
-            child: u32::from_le_bytes(buf[at + 16..at + 20].try_into().unwrap()),
+            rect: Rect::new(
+                Self::rd_lane(buf, 0, i),
+                Self::rd_lane(buf, 1, i),
+                Self::rd_lane(buf, 2, i),
+                Self::rd_lane(buf, 3, i),
+            ),
+            child: Self::rd_lane(buf, 4, i) as u32,
         }
     }
 
@@ -79,12 +202,11 @@ impl RectNode {
     }
 
     fn write_raw(buf: &mut [u8], i: usize, e: Entry) {
-        let at = HDR + i * ENTRY;
-        buf[at..at + 4].copy_from_slice(&e.rect.min.x.to_le_bytes());
-        buf[at + 4..at + 8].copy_from_slice(&e.rect.min.y.to_le_bytes());
-        buf[at + 8..at + 12].copy_from_slice(&e.rect.max.x.to_le_bytes());
-        buf[at + 12..at + 16].copy_from_slice(&e.rect.max.y.to_le_bytes());
-        buf[at + 16..at + 20].copy_from_slice(&e.child.to_le_bytes());
+        Self::wr_lane(buf, 0, i, e.rect.min.x);
+        Self::wr_lane(buf, 1, i, e.rect.min.y);
+        Self::wr_lane(buf, 2, i, e.rect.max.x);
+        Self::wr_lane(buf, 3, i, e.rect.max.y);
+        Self::wr_lane(buf, 4, i, e.child as i32);
     }
 
     /// Append an entry (the paper: "a 2-tuple ... can simply be inserted as
@@ -321,10 +443,22 @@ mod tests {
     }
 
     #[test]
+    fn lanes_tile_the_page_exactly() {
+        // 1 KB page: cap 50, stride 200; five lanes end exactly at 1024.
+        assert_eq!(RectNode::lane_stride(1024), 200);
+        assert_eq!(HDR + 5 * RectNode::lane_stride(1024), 1024);
+        // Lane starts are 4-byte aligned offsets.
+        for k in 0..5 {
+            assert_eq!((HDR + k * RectNode::lane_stride(1024)) % 4, 0);
+        }
+    }
+
+    #[test]
     fn push_entry_roundtrip() {
         let mut buf = vec![0u8; 256];
         RectNode::init(&mut buf, true);
         assert!(RectNode::is_leaf(&buf));
+        assert_eq!(RectNode::format_version(&buf), FORMAT_VERSION);
         RectNode::push(&mut buf, e(1, 2, 3, 4, 9));
         RectNode::push(&mut buf, e(-5, -6, 7, 8, 10));
         assert_eq!(RectNode::count(&buf), 2);
@@ -371,5 +505,39 @@ mod tests {
         RectNode::write_entries(&mut buf, &[e(9, 9, 9, 9, 42)]);
         assert_eq!(RectNode::count(&buf), 1);
         assert_eq!(RectNode::entry(&buf, 0).child, 42);
+    }
+
+    #[test]
+    fn extreme_coordinates_roundtrip() {
+        let mut buf = vec![0u8; 256];
+        RectNode::init(&mut buf, true);
+        let x = e(i32::MIN, i32::MIN, i32::MAX, i32::MAX, u32::MAX);
+        RectNode::push(&mut buf, x);
+        assert_eq!(RectNode::entry(&buf, 0), x);
+    }
+
+    #[test]
+    fn storage_order_is_identity_hilbert_order_clusters() {
+        let mut entries: Vec<Entry> = (0..8)
+            .map(|i| {
+                let x = (i % 2) * 8000 + 10 * i;
+                e(x, 100 * i, x + 5, 100 * i + 5, i as u32)
+            })
+            .collect();
+        let snapshot = entries.clone();
+        order_entries(&mut entries, EntryOrder::Storage);
+        assert_eq!(entries, snapshot, "storage order never reorders");
+        order_entries(&mut entries, EntryOrder::Hilbert);
+        let keys: Vec<u64> = entries.iter().map(|x| hilbert_key(&x.rect)).collect();
+        let sorted = {
+            let mut s = keys.clone();
+            s.sort();
+            s
+        };
+        assert_eq!(keys, sorted, "hilbert order sorts by curve position");
+        // Same multiset of entries either way.
+        let mut ids: Vec<u32> = entries.iter().map(|x| x.child).collect();
+        ids.sort();
+        assert_eq!(ids, (0..8).collect::<Vec<_>>());
     }
 }

@@ -450,6 +450,7 @@ mod tests {
         IndexConfig {
             page_size: 128,
             pool_pages: 8,
+            ..Default::default()
         }
     }
 

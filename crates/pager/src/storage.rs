@@ -106,9 +106,28 @@ impl Storage for MemStorage {
     }
 }
 
-/// A file-backed disk. Page `i` lives at byte offset `i * page_size`.
-/// Reads and writes use positioned I/O (`pread`/`pwrite`), so concurrent
-/// readers never fight over a shared file cursor.
+/// Magic leading the superblock of every [`FileStorage`] file.
+pub const STORE_MAGIC: &[u8; 8] = b"LSDBPAGE";
+
+/// On-disk format version stamped into (and required from) the
+/// superblock. Bumped to 2 together with the structure-of-arrays node
+/// page layout: pages written by an older build are laid out differently
+/// byte-for-byte, so opening them with current code would silently decode
+/// garbage — version negotiation turns that into a structured error at
+/// open time.
+pub const STORE_VERSION: u16 = 2;
+
+/// A file-backed disk. The first page of the file is a reserved
+/// superblock — magic, format version, page size — and data page `i`
+/// lives at byte offset `(i + 1) * page_size`. Reads and writes use
+/// positioned I/O (`pread`/`pwrite`), so concurrent readers never fight
+/// over a shared file cursor.
+///
+/// [`FileStorage::open`] refuses files it cannot faithfully interpret
+/// with [`io::ErrorKind::InvalidData`]: missing or foreign magic
+/// (including pre-superblock v1 stores, which began directly with page
+/// data), an unknown format version, or a page size differing from the
+/// one the store was created with.
 #[derive(Debug)]
 pub struct FileStorage {
     file: File,
@@ -116,8 +135,20 @@ pub struct FileStorage {
     num_pages: u32,
 }
 
+/// Bytes of the superblock that carry data; the rest of page 0 is zero.
+const SUPERBLOCK_LEN: usize = 16;
+
+fn superblock(page_size: usize) -> [u8; SUPERBLOCK_LEN] {
+    let mut sb = [0u8; SUPERBLOCK_LEN];
+    sb[..8].copy_from_slice(STORE_MAGIC);
+    sb[8..10].copy_from_slice(&STORE_VERSION.to_le_bytes());
+    sb[12..16].copy_from_slice(&(page_size as u32).to_le_bytes());
+    sb
+}
+
 impl FileStorage {
-    /// Create (truncating) a storage file at `path`.
+    /// Create (truncating) a storage file at `path`, writing a fresh
+    /// superblock.
     pub fn create(path: &Path, page_size: usize) -> io::Result<Self> {
         assert!(page_size >= 64);
         let file = File::options()
@@ -126,6 +157,9 @@ impl FileStorage {
             .create(true)
             .truncate(true)
             .open(path)?;
+        let mut page0 = vec![0u8; page_size];
+        page0[..SUPERBLOCK_LEN].copy_from_slice(&superblock(page_size));
+        file.write_all_at(&page0, 0)?;
         Ok(FileStorage {
             file,
             page_size,
@@ -133,32 +167,66 @@ impl FileStorage {
         })
     }
 
-    /// Open an existing storage file. A file whose length is not a whole
-    /// number of pages is truncated or corrupt and reports
+    /// Open an existing storage file, validating its superblock. A file
+    /// that is truncated mid-page, lacks the magic (v1 stores predate the
+    /// superblock entirely), carries an unknown format version, or was
+    /// created with a different page size reports
     /// [`io::ErrorKind::InvalidData`] rather than opening a store that
-    /// would fail later.
+    /// would decode garbage later.
     pub fn open(path: &Path, page_size: usize) -> io::Result<Self> {
+        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
         let file = File::options().read(true).write(true).open(path)?;
         let len = file.metadata()?.len();
         if len % page_size as u64 != 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "store file {} is truncated or corrupt: length {len} is not a \
-                     multiple of the page size {page_size}",
-                    path.display()
-                ),
-            ));
+            return Err(invalid(format!(
+                "store file {} is truncated or corrupt: length {len} is not a \
+                 multiple of the page size {page_size}",
+                path.display()
+            )));
+        }
+        if len < page_size as u64 {
+            return Err(invalid(format!(
+                "store file {} has no superblock (empty file)",
+                path.display()
+            )));
+        }
+        let mut sb = [0u8; SUPERBLOCK_LEN];
+        file.read_exact_at(&mut sb, 0)?;
+        if &sb[..8] != STORE_MAGIC {
+            return Err(invalid(format!(
+                "store file {} has no {:?} superblock: either not a page store \
+                 or a pre-superblock format-v1 store, which this version does \
+                 not read (v1 pages use the retired interleaved node layout)",
+                path.display(),
+                String::from_utf8_lossy(STORE_MAGIC),
+            )));
+        }
+        let version = u16::from_le_bytes([sb[8], sb[9]]);
+        if version != STORE_VERSION {
+            return Err(invalid(format!(
+                "store file {} has page-format version {version}, but this \
+                 build reads only version {STORE_VERSION}",
+                path.display()
+            )));
+        }
+        let stored_ps = u32::from_le_bytes([sb[12], sb[13], sb[14], sb[15]]) as usize;
+        if stored_ps != page_size {
+            return Err(invalid(format!(
+                "store file {} was created with page size {stored_ps}, \
+                 opened with {page_size}",
+                path.display()
+            )));
         }
         Ok(FileStorage {
             file,
             page_size,
-            num_pages: (len / page_size as u64) as u32,
+            num_pages: (len / page_size as u64 - 1) as u32,
         })
     }
 
     fn offset(&self, pid: PageId) -> u64 {
-        pid.0 as u64 * self.page_size as u64
+        // Data pages start one page in, past the superblock.
+        (pid.0 as u64 + 1) * self.page_size as u64
     }
 }
 
@@ -188,7 +256,7 @@ impl Storage for FileStorage {
     fn grow(&mut self) -> io::Result<PageId> {
         let pid = PageId(self.num_pages);
         self.file
-            .set_len((self.num_pages as u64 + 1) * self.page_size as u64)?;
+            .set_len((self.num_pages as u64 + 2) * self.page_size as u64)?;
         self.num_pages += 1;
         Ok(pid)
     }
@@ -321,6 +389,59 @@ mod tests {
         let e = FileStorage::open(&path, 256).unwrap_err();
         assert_eq!(e.kind(), io::ErrorKind::InvalidData);
         assert!(e.to_string().contains("not a multiple"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_headerless_store_is_rejected_with_structured_error() {
+        // A format-v1 store had no superblock: page 0 was data. Opening
+        // one with v2 code must fail cleanly at open, not decode garbage.
+        let dir = std::env::temp_dir().join(format!("lsdb-pager-test4-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.bin");
+        std::fs::write(&path, vec![0u8; 512]).unwrap(); // two v1 "pages"
+        let e = FileStorage::open(&path, 256).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("superblock"), "{e}");
+        assert!(e.to_string().contains("v1"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_format_version_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("lsdb-pager-test5-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.bin");
+        {
+            let mut s = FileStorage::create(&path, 256).unwrap();
+            s.grow().unwrap();
+        }
+        // Stamp a future version into the superblock.
+        let f = File::options().write(true).open(&path).unwrap();
+        f.write_all_at(&99u16.to_le_bytes(), 8).unwrap();
+        drop(f);
+        let e = FileStorage::open(&path, 256).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("version 99"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn page_size_mismatch_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("lsdb-pager-test6-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.bin");
+        {
+            let mut s = FileStorage::create(&path, 256).unwrap();
+            s.grow().unwrap();
+            s.grow().unwrap();
+            s.grow().unwrap();
+        }
+        // 1024 divides the 4-page file length evenly, so only the
+        // superblock's recorded page size catches the mismatch.
+        let e = FileStorage::open(&path, 1024).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("created with page size 256"), "{e}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

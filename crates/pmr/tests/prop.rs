@@ -35,6 +35,7 @@ fn cfg(threshold: usize) -> PmrConfig {
         index: IndexConfig {
             page_size: 256,
             pool_pages: 8,
+            ..Default::default()
         },
     }
 }

@@ -442,6 +442,7 @@ mod tests {
         IndexConfig {
             page_size: 256,
             pool_pages: 16,
+            ..Default::default()
         }
     }
 

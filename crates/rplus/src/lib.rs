@@ -35,7 +35,7 @@
 //! line and will panic; the paper's road networks have vertex degrees far
 //! below `M = 50`.
 
-use lsdb_core::rectnode::{Entry, RectNode, RectTreeAccess};
+use lsdb_core::rectnode::{order_entries, Entry, EntryOrder, RectNode, RectTreeAccess};
 use lsdb_core::{
     traverse, IndexConfig, LocId, PolygonalMap, QueryCtx, QueryStats, SegId, SegmentTable,
     SpatialIndex,
@@ -60,10 +60,15 @@ pub struct RPlusTree {
     height: u32,
     m_max: usize,
     len: usize,
+    /// Intra-node ordering applied whenever a node is rewritten.
+    order: EntryOrder,
 }
 
 impl RPlusTree {
     pub fn new(table: SegmentTable, cfg: IndexConfig) -> Self {
+        // Pool-open time is when the scan ISA is decided: warm the cached
+        // selection so the first query pays a plain atomic load.
+        lsdb_core::scan::active_isa();
         let mut pool = MemPool::in_memory(cfg.page_size, cfg.pool_pages);
         let m_max = RectNode::capacity(cfg.page_size);
         assert!(m_max >= 4, "page too small for an R+-tree node");
@@ -76,6 +81,7 @@ impl RPlusTree {
             height: 1,
             m_max,
             len: 0,
+            order: cfg.entry_order,
         }
     }
 
@@ -223,8 +229,9 @@ impl RPlusTree {
     ) -> Vec<Entry> {
         let mut out = Vec::with_capacity(parts.len());
         let mut reuse = reuse;
-        for (region, entries) in parts {
+        for (region, mut entries) in parts {
             debug_assert!(entries.len() <= self.m_max);
+            order_entries(&mut entries, self.order);
             let pid = match reuse.take() {
                 Some(p) => p,
                 None => self.pool.allocate(),
@@ -351,6 +358,8 @@ impl RPlusTree {
             );
         }
         let rpid = self.pool.allocate();
+        order_entries(&mut left, self.order);
+        order_entries(&mut right, self.order);
         self.pool.with_page_mut(pid, |buf| {
             RectNode::init(buf, is_leaf);
             RectNode::write_entries(buf, &left);
@@ -767,6 +776,7 @@ mod tests {
         IndexConfig {
             page_size: 224,
             pool_pages: 8,
+            ..Default::default()
         }
     }
 

@@ -19,7 +19,9 @@ mod split;
 
 pub use split::RTreeKind;
 
-use lsdb_core::rectnode::{entries_mbr, Entry, RectNode, RectTreeAccess};
+use lsdb_core::rectnode::{
+    entries_mbr, order_entries, Entry, EntryOrder, RectNode, RectTreeAccess,
+};
 use lsdb_core::{
     traverse, IndexConfig, LocId, PolygonalMap, QueryCtx, QueryStats, SegId, SegmentTable,
     SpatialIndex,
@@ -43,12 +45,18 @@ pub struct RTree {
     m_max: usize,
     m_min: usize,
     len: usize,
+    /// Intra-node ordering applied whenever a node is rewritten
+    /// (splits, reinsertion keeps, bulk packing).
+    order: EntryOrder,
 }
 
 impl RTree {
     /// Create an empty tree of the given variant. The segment table must
     /// contain (at least) the segments that will be inserted.
     pub fn new(table: SegmentTable, cfg: IndexConfig, kind: RTreeKind) -> Self {
+        // Pool-open time is when the scan ISA is decided: warm the cached
+        // selection so the first query pays a plain atomic load.
+        lsdb_core::scan::active_isa();
         let mut pool = MemPool::in_memory(cfg.page_size, cfg.pool_pages);
         let m_max = RectNode::capacity(cfg.page_size);
         assert!(m_max >= 4, "page too small for an R-tree node");
@@ -64,6 +72,7 @@ impl RTree {
             m_max,
             m_min,
             len: 0,
+            order: cfg.entry_order,
         }
     }
 
@@ -240,7 +249,8 @@ impl RTree {
             };
             entries.sort_by_key(|e| Reverse(dist(&e.rect)));
             let p = ((self.m_max as f64 * REINSERT_FRACTION).round() as usize).max(1);
-            let keep = entries.split_off(p);
+            let mut keep = entries.split_off(p);
+            order_entries(&mut keep, self.order);
             self.pool
                 .with_page_mut(pid, |buf| RectNode::write_entries(buf, &keep));
             // `pending` is popped from the back; entries[] is sorted
@@ -251,7 +261,9 @@ impl RTree {
             return None;
         }
         let is_leaf = level == 1;
-        let (left, right) = split::split(self.kind, entries, self.m_min);
+        let (mut left, mut right) = split::split(self.kind, entries, self.m_min);
+        order_entries(&mut left, self.order);
+        order_entries(&mut right, self.order);
         let right_pid = self.pool.allocate();
         self.pool.with_page_mut(pid, |buf| {
             RectNode::init(buf, is_leaf);
@@ -561,6 +573,7 @@ mod tests {
         IndexConfig {
             page_size: 224,
             pool_pages: 8,
+            ..Default::default()
         }
     }
 
@@ -769,6 +782,7 @@ mod tests {
             IndexConfig {
                 page_size: 224,
                 pool_pages: 4096,
+                ..Default::default()
             },
             RTreeKind::RStar,
         );

@@ -37,6 +37,7 @@ fn small_cfg() -> IndexConfig {
     IndexConfig {
         page_size: 224,
         pool_pages: 8,
+        ..Default::default()
     }
 }
 

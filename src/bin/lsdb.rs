@@ -264,6 +264,7 @@ fn cmd_build(rest: &[String]) -> i32 {
     let cfg = IndexConfig {
         page_size: page,
         pool_pages: pool,
+        ..Default::default()
     };
     let start = std::time::Instant::now();
     let Some(mut idx) = build_structure(&structure, &map, cfg) else {
@@ -503,6 +504,7 @@ fn cmd_serve(rest: &[String]) -> i32 {
     let cfg = IndexConfig {
         page_size: page,
         pool_pages: pool,
+        ..Default::default()
     };
     let start = std::time::Instant::now();
     let Some(mut idx) = build_structure(&structure, &map, cfg) else {

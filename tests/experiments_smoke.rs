@@ -59,6 +59,7 @@ fn fig6_pipeline_shape() {
         let cfg = IndexConfig {
             page_size: 1024,
             pool_pages: pool,
+            ..Default::default()
         };
         let (_, rep) = measure_build(IndexKind::Pmr, &map, cfg);
         assert!(
@@ -74,6 +75,7 @@ fn fig6_pipeline_shape() {
         let cfg = IndexConfig {
             page_size: page,
             pool_pages: 16,
+            ..Default::default()
         };
         let (_, rep) = measure_build(IndexKind::Pmr, &map, cfg);
         assert!(
