@@ -202,4 +202,25 @@ pub trait SpatialIndex: Send + Sync {
     /// Flush dirty pages and drop all buffered ones, so subsequent queries
     /// run against a cold cache.
     fn clear_cache(&mut self);
+
+    /// Charge all of this structure's buffer pools (index pool + segment
+    /// table pool) against a shared byte budget. Structures with an index
+    /// pool override this and also attach that pool; the default covers
+    /// the segment table only.
+    fn attach_budget(&mut self, budget: &std::sync::Arc<lsdb_pager::BufferBudget>) {
+        self.seg_table_mut().attach_budget(budget);
+    }
+
+    /// Budget enforcement hook: physically shed up to `target_bytes` of
+    /// cold page bytes across this structure's pools, returning the bytes
+    /// freed. Logical residency — and therefore every per-query paper
+    /// counter — is unaffected. Overridden to cover the index pool too.
+    fn shed_cache(&self, target_bytes: u64) -> std::io::Result<u64> {
+        self.seg_table().shed_cache(target_bytes)
+    }
+
+    /// Summed cache accounting across this structure's pools.
+    fn cache_stats(&self) -> lsdb_pager::CacheStats {
+        self.seg_table().cache_stats()
+    }
 }

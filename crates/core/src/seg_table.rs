@@ -295,6 +295,23 @@ impl SegmentTable {
     pub fn size_bytes(&self) -> u64 {
         self.pool.size_bytes()
     }
+
+    /// Charge this table's pool frames against a (usually process-global)
+    /// byte budget shared with other maps.
+    pub fn attach_budget(&mut self, budget: &std::sync::Arc<lsdb_pager::BufferBudget>) {
+        self.pool.attach_budget(budget);
+    }
+
+    /// Physically shed up to `target_bytes` of cold frame bytes (budget
+    /// enforcement; invisible to per-query paper counters).
+    pub fn shed_cache(&self, target_bytes: u64) -> std::io::Result<u64> {
+        self.pool.shed(target_bytes)
+    }
+
+    /// Cache accounting snapshot for the table's pool.
+    pub fn cache_stats(&self) -> lsdb_pager::CacheStats {
+        self.pool.cache_stats()
+    }
 }
 
 fn decode(buf: &[u8], slot: usize) -> Segment {

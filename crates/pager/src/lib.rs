@@ -28,6 +28,7 @@
 //! checkpointing, and crash recovery. [`fault`] holds the fault-injection
 //! wrappers the crash tests kill stores with.
 
+mod budget;
 mod durable;
 pub mod fault;
 mod pool;
@@ -35,8 +36,9 @@ pub mod recovery;
 mod storage;
 pub mod wal;
 
+pub use budget::BufferBudget;
 pub use durable::DurableStorage;
-pub use pool::{BufferPool, DiskStats, MemPool, PoolCtx, DEFAULT_SHARDS};
+pub use pool::{BufferPool, CacheStats, DiskStats, MemPool, PoolCtx, DEFAULT_SHARDS};
 pub use recovery::{LogTail, RecoveryReport};
 pub use storage::{FileStorage, MemStorage, Storage};
 pub use wal::{FileLog, LogDevice, Lsn, MemLog};

@@ -1,10 +1,10 @@
-use crate::{MemStorage, PageId, Storage};
+use crate::{BufferBudget, MemStorage, PageId, Storage};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 /// Multiplicative hasher for [`PageId`] keys. Page-id maps sit on the
 /// query hot path (one lookup per page touch), where SipHash's keyed
@@ -209,11 +209,84 @@ fn take_spare(spare: &mut Vec<Box<[u8]>>, page_size: usize) -> Option<Box<[u8]>>
     None
 }
 
+/// Observability counters for one pool's caching behavior (satellite of
+/// the buffer-budget work: `STATS` reports these per map). Monotonic,
+/// relaxed atomics; orthogonal to the paper's [`DiskStats`], which stay
+/// byte-reproducible — these are allowed to depend on timing (budget
+/// shedding, interleaving).
+#[derive(Default, Debug)]
+pub(crate) struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CacheCounters {
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn evict(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A snapshot of one pool's (or one map's summed) cache accounting.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Pages logically resident (tracked by the shards' resident maps —
+    /// the set the paper counters' charge decision consults).
+    pub resident_pages: u64,
+    /// Pages physically resident (frame bytes actually held — the
+    /// quantity the [`BufferBudget`] meters). `<= resident_pages` never
+    /// holds in general (empty frames may keep their buffers), but under
+    /// budget pressure this drops while `resident_pages` stays put.
+    pub cached_pages: u64,
+    /// Total frames across the pool's shards.
+    pub capacity_pages: u64,
+    /// Page requests served from pool memory.
+    pub hits: u64,
+    /// Page requests that had to go to storage.
+    pub misses: u64,
+    /// Pages that lost their frame: build-path LRU repurposes plus
+    /// budget-driven sheds.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Element-wise accumulation (summing a map's pools, or all maps).
+    pub fn add(&mut self, o: CacheStats) {
+        self.resident_pages += o.resident_pages;
+        self.cached_pages += o.cached_pages;
+        self.capacity_pages += o.capacity_pages;
+        self.hits += o.hits;
+        self.misses += o.misses;
+        self.evictions += o.evictions;
+    }
+}
+
 struct Frame {
     pid: Option<PageId>,
     dirty: bool,
     last_used: u64,
-    data: Box<[u8]>,
+    /// The page bytes, or `None` when the frame has been physically shed
+    /// by the budget enforcer. Invariant: `data.is_none()` implies
+    /// `!dirty` (shed writes dirty bytes back first).
+    data: Option<Box<[u8]>>,
+}
+
+impl Frame {
+    fn bytes(&self) -> &[u8] {
+        self.data.as_deref().expect("frame bytes are shed")
+    }
+
+    fn bytes_mut(&mut self) -> &mut [u8] {
+        self.data.as_deref_mut().expect("frame bytes are shed")
+    }
 }
 
 /// One lock stripe of the pool: its own frames, resident map, LRU clock,
@@ -223,28 +296,56 @@ struct Shard {
     resident: PageMap<usize>,
     tick: u64,
     stats: DiskStats,
+    page_size: usize,
+    /// The byte budget this shard's frame buffers are charged against
+    /// (shared across pools; swapped by [`BufferPool::attach_budget`]).
+    budget: Arc<BufferBudget>,
+    /// The owning pool's cache counters (shared by all its shards).
+    cache: Arc<CacheCounters>,
 }
 
 impl Shard {
-    fn new(capacity: usize, page_size: usize) -> Self {
+    fn new(
+        capacity: usize,
+        page_size: usize,
+        budget: Arc<BufferBudget>,
+        cache: Arc<CacheCounters>,
+    ) -> Self {
         Shard {
+            // Frame buffers are materialized lazily (and charged to the
+            // budget) on first use, so an idle pool costs nothing.
             frames: (0..capacity)
                 .map(|_| Frame {
                     pid: None,
                     dirty: false,
                     last_used: 0,
-                    data: vec![0u8; page_size].into_boxed_slice(),
+                    data: None,
                 })
                 .collect(),
             resident: PageMap::default(),
             tick: 0,
             stats: DiskStats::default(),
+            page_size,
+            budget,
+            cache,
         }
     }
 
     fn touch(&mut self, frame: usize) {
         self.tick += 1;
         self.frames[frame].last_used = self.tick;
+    }
+
+    /// Materialize the frame's byte buffer (charging the budget) if it
+    /// was never allocated or was shed; returns whether it had to be.
+    fn ensure_bytes(&mut self, frame: usize) -> bool {
+        if self.frames[frame].data.is_none() {
+            self.budget.charge(self.page_size as u64);
+            self.frames[frame].data = Some(vec![0u8; self.page_size].into_boxed_slice());
+            true
+        } else {
+            false
+        }
     }
 
     /// Choose a frame to (re)use: an empty one if available, else the LRU
@@ -262,11 +363,12 @@ impl Shard {
             .expect("shard capacity >= 1");
         if self.frames[victim].dirty {
             let pid = self.frames[victim].pid.expect("occupied frame");
-            storage.write_page(pid, &self.frames[victim].data)?;
+            storage.write_page(pid, self.frames[victim].bytes())?;
             self.stats.writes += 1;
         }
         if let Some(pid) = self.frames[victim].pid {
             self.resident.remove(&pid);
+            self.cache.evict();
         }
         Ok(victim)
     }
@@ -283,13 +385,31 @@ impl Shard {
     fn fetch<S: Storage>(&mut self, storage: &S, pid: PageId) -> io::Result<usize> {
         if let Some(&frame) = self.resident.get(&pid) {
             self.touch(frame);
+            if self.ensure_bytes(frame) {
+                // Logically resident but physically shed by the budget:
+                // the bytes come back from storage (shed wrote them out).
+                storage.read_page(pid, self.frames[frame].bytes_mut())?;
+                self.stats.reads += 1;
+                self.cache.miss();
+            } else {
+                self.cache.hit();
+            }
             return Ok(frame);
         }
         let frame = self.victim_frame(storage)?;
         self.install(frame, pid, false);
         self.stats.reads += 1;
-        storage.read_page(pid, &mut self.frames[frame].data)?;
+        self.cache.miss();
+        self.ensure_bytes(frame);
+        storage.read_page(pid, self.frames[frame].bytes_mut())?;
         Ok(frame)
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        let held = self.frames.iter().filter(|f| f.data.is_some()).count();
+        self.budget.release(held as u64 * self.page_size as u64);
     }
 }
 
@@ -325,6 +445,13 @@ pub struct BufferPool<S: Storage> {
     /// are dropped instead of served stale — what makes interleaved
     /// write/read phases safe without a "caller must reset()" contract.
     version: u64,
+    /// The byte budget this pool's frames count against. Every pool
+    /// starts on its own unlimited budget (standalone behavior exactly
+    /// as before); a multi-map host re-attaches all pools to one shared
+    /// budget via [`BufferPool::attach_budget`].
+    budget: Arc<BufferBudget>,
+    /// Cache observability counters (shared with the shards).
+    cache: Arc<CacheCounters>,
 }
 
 /// The default in-memory pool used by experiments.
@@ -359,10 +486,17 @@ impl<S: Storage> BufferPool<S> {
             "shard count {shards} out of range 1..={capacity}"
         );
         let page_size = storage.page_size();
+        let budget = BufferBudget::unlimited();
+        let cache = Arc::new(CacheCounters::default());
         let shards = (0..shards)
             .map(|i| {
                 let cap = capacity / shards + usize::from(i < capacity % shards);
-                RwLock::new(Shard::new(cap, page_size))
+                RwLock::new(Shard::new(
+                    cap,
+                    page_size,
+                    Arc::clone(&budget),
+                    Arc::clone(&cache),
+                ))
             })
             .collect();
         BufferPool {
@@ -371,6 +505,119 @@ impl<S: Storage> BufferPool<S> {
             free_pages: Vec::new(),
             id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
             version: 0,
+            budget,
+            cache,
+        }
+    }
+
+    /// Re-attach this pool to a (usually shared) byte budget, moving its
+    /// current physical footprint from the old budget to the new one.
+    pub fn attach_budget(&mut self, budget: &Arc<BufferBudget>) {
+        if Arc::ptr_eq(&self.budget, budget) {
+            return;
+        }
+        for s in &mut self.shards {
+            let shard = s.get_mut().unwrap();
+            let held = shard.frames.iter().filter(|f| f.data.is_some()).count() as u64;
+            let bytes = held * shard.page_size as u64;
+            shard.budget.release(bytes);
+            budget.charge(bytes);
+            shard.budget = Arc::clone(budget);
+        }
+        self.budget = Arc::clone(budget);
+    }
+
+    /// The budget this pool's frames are charged against.
+    pub fn budget(&self) -> &Arc<BufferBudget> {
+        &self.budget
+    }
+
+    /// Snapshot of this pool's cache accounting.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut out = CacheStats {
+            hits: self.cache.hits.load(Ordering::Relaxed),
+            misses: self.cache.misses.load(Ordering::Relaxed),
+            evictions: self.cache.evictions.load(Ordering::Relaxed),
+            ..CacheStats::default()
+        };
+        for s in &self.shards {
+            let s = s.read().unwrap();
+            out.capacity_pages += s.frames.len() as u64;
+            out.resident_pages += s.resident.len() as u64;
+            out.cached_pages += s.frames.iter().filter(|f| f.data.is_some()).count() as u64;
+        }
+        out
+    }
+
+    /// Budget enforcement: physically drop up to `target_bytes` of frame
+    /// bytes in LRU order (coldest `last_used` first), writing dirty
+    /// pages back to storage first. Returns the bytes actually freed.
+    ///
+    /// Only the *bytes* go; logical residency (the resident maps, LRU
+    /// metadata) is untouched, so the query path's per-query paper
+    /// counters are unaffected — a shed page still reads as "resident"
+    /// (free) and is served by a hidden storage re-read. The write-backs
+    /// are deliberately **not** counted in the pool's [`DiskStats`]
+    /// (shedding is timing-dependent and must not perturb the paper's
+    /// reproducible build counters); they do show in
+    /// [`BufferPool::cache_stats`] as evictions.
+    pub fn shed(&self, target_bytes: u64) -> io::Result<u64> {
+        let page = self.page_size() as u64;
+        let mut candidates: Vec<(u64, usize, usize)> = Vec::new();
+        for (si, s) in self.shards.iter().enumerate() {
+            let s = s.read().unwrap();
+            for (fi, f) in s.frames.iter().enumerate() {
+                if f.data.is_some() {
+                    candidates.push((f.last_used, si, fi));
+                }
+            }
+        }
+        candidates.sort_unstable();
+        let mut freed = 0u64;
+        for (lu, si, fi) in candidates {
+            if freed >= target_bytes {
+                break;
+            }
+            let mut s = self.shards[si].write().unwrap();
+            let f = &mut s.frames[fi];
+            // Re-validate under the write lock: skip frames that moved
+            // (got touched or already shed) since we scanned them.
+            if f.last_used != lu || f.data.is_none() {
+                continue;
+            }
+            if f.dirty {
+                let pid = f.pid.expect("dirty frame holds a page");
+                self.storage.write_page(pid, f.bytes())?;
+                f.dirty = false;
+            }
+            f.data = None;
+            s.budget.release(page);
+            s.cache.evict();
+            freed += page;
+        }
+        Ok(freed)
+    }
+
+    /// Query-path re-admission: after serving a logically-resident but
+    /// physically-shed page from storage, put the bytes back into the
+    /// frame if the budget has headroom. Never changes logical residency
+    /// or the pool version, so paper counters cannot observe it.
+    fn try_readmit(&self, pid: PageId, bytes: &[u8]) {
+        let page = self.page_size() as u64;
+        if !self.budget.try_admit(page) {
+            return;
+        }
+        let mut shard = self.shards[self.shard_of(pid)].write().unwrap();
+        match shard.resident.get(&pid).copied() {
+            Some(frame) if shard.frames[frame].data.is_none() => {
+                shard.frames[frame].data = Some(bytes.into());
+            }
+            _ => {
+                // Raced with a build-path mutation or another re-admission;
+                // hand the charge back.
+                drop(shard);
+                self.budget.release(page);
+            }
         }
     }
 
@@ -480,7 +727,8 @@ impl<S: Storage> BufferPool<S> {
         let shard = self.shards[idx].get_mut().unwrap();
         let frame = shard.victim_frame(storage)?;
         shard.install(frame, pid, true);
-        shard.frames[frame].data.fill(0);
+        shard.ensure_bytes(frame);
+        shard.frames[frame].bytes_mut().fill(0);
         Ok(pid)
     }
 
@@ -514,7 +762,7 @@ impl<S: Storage> BufferPool<S> {
         let storage = &self.storage;
         let shard = self.shards[idx].get_mut().unwrap();
         let frame = shard.fetch(storage, pid)?;
-        Ok(f(&shard.frames[frame].data))
+        Ok(f(shard.frames[frame].bytes()))
     }
 
     /// Run `f` over the page contents mutably; the page is marked dirty.
@@ -535,7 +783,7 @@ impl<S: Storage> BufferPool<S> {
         let shard = self.shards[idx].get_mut().unwrap();
         let frame = shard.fetch(storage, pid)?;
         shard.frames[frame].dirty = true;
-        Ok(f(&mut shard.frames[frame].data))
+        Ok(f(shard.frames[frame].bytes_mut()))
     }
 
     /// Mutate two pages simultaneously (used by node splits that stream
@@ -583,7 +831,7 @@ impl<S: Storage> BufferPool<S> {
                 let (left, right) = shard.frames.split_at_mut(fa);
                 (&mut right[0], &mut left[fb])
             };
-            Ok(f(&mut la.data, &mut lb.data))
+            Ok(f(la.bytes_mut(), lb.bytes_mut()))
         } else {
             // Distinct shards: split-borrow the stripe vector.
             let (first, second) = if ia < ib {
@@ -598,7 +846,8 @@ impl<S: Storage> BufferPool<S> {
             let fb = sb.fetch(storage, b)?;
             sa.frames[fa].dirty = true;
             sb.frames[fb].dirty = true;
-            Ok(f(&mut sa.frames[fa].data, &mut sb.frames[fb].data))
+            let (fa, fb) = (&mut sa.frames[fa], &mut sb.frames[fb]);
+            Ok(f(fa.bytes_mut(), fb.bytes_mut()))
         }
     }
 
@@ -683,15 +932,30 @@ impl<S: Storage> BufferPool<S> {
                 let shard = self.shards[pid.0 as usize % self.shards.len()]
                     .read()
                     .unwrap();
-                match shard.resident.get(&pid) {
-                    Some(&frame) => data.copy_from_slice(&shard.frames[frame].data),
-                    None => {
+                let resident = shard.resident.get(&pid).copied();
+                match resident {
+                    Some(frame) if shard.frames[frame].data.is_some() => {
+                        data.copy_from_slice(shard.frames[frame].bytes());
+                        self.cache.hit();
+                    }
+                    _ => {
                         drop(shard);
-                        // Non-resident pages are never dirty (eviction
-                        // writes back), so storage holds current bytes.
+                        // Non-resident and shed pages are never dirty
+                        // (eviction and shed write back first), so storage
+                        // holds current bytes.
                         self.storage.read_page(pid, &mut data)?;
-                        stats.reads += 1;
-                        charged = true;
+                        self.cache.miss();
+                        if resident.is_some() {
+                            // Logically resident, physically shed by the
+                            // budget: the paper charge stays free (the
+                            // charge decision consults logical residency
+                            // only), and the bytes may come back into the
+                            // frame if the budget now has headroom.
+                            self.try_readmit(pid, &data);
+                        } else {
+                            stats.reads += 1;
+                            charged = true;
+                        }
                     }
                 }
                 Ok(&slot
@@ -719,7 +983,7 @@ impl<S: Storage> BufferPool<S> {
             for frame in &mut shard.frames {
                 if frame.dirty {
                     if let Some(pid) = frame.pid {
-                        storage.write_page(pid, &frame.data)?;
+                        storage.write_page(pid, frame.bytes())?;
                         frame.dirty = false;
                         shard.stats.writes += 1;
                     }
@@ -1203,6 +1467,148 @@ mod tests {
         let mut buf = vec![0u8; 128];
         p.storage().read_page(a, &mut buf).unwrap();
         assert_eq!(buf[0], 9, "dirty page reached storage");
+    }
+
+    #[test]
+    fn budget_accounts_physical_bytes_across_pools() {
+        let budget = BufferBudget::new(1 << 20);
+        let mut a = MemPool::in_memory(128, 4);
+        let mut b = MemPool::in_memory(128, 4);
+        a.attach_budget(&budget);
+        b.attach_budget(&budget);
+        assert_eq!(budget.used(), 0, "lazy frames cost nothing");
+        let _ = a.allocate();
+        let _ = a.allocate();
+        let _ = b.allocate();
+        assert_eq!(budget.used(), 3 * 128);
+        drop(a);
+        assert_eq!(budget.used(), 128, "dropping a pool releases its bytes");
+        drop(b);
+        assert_eq!(budget.used(), 0);
+    }
+
+    #[test]
+    fn attach_budget_moves_existing_footprint() {
+        let mut p = MemPool::in_memory(128, 4);
+        let _ = p.allocate();
+        let _ = p.allocate();
+        assert_eq!(p.budget().used(), 2 * 128, "charged to the default budget");
+        let shared = BufferBudget::new(4096);
+        p.attach_budget(&shared);
+        assert_eq!(shared.used(), 2 * 128, "footprint moved over");
+        assert!(Arc::ptr_eq(p.budget(), &shared));
+    }
+
+    #[test]
+    fn shed_drops_coldest_bytes_and_reads_survive() {
+        let mut p = pool1(4);
+        let pids: Vec<_> = (0..4).map(|_| p.allocate()).collect();
+        for (i, &pid) in pids.iter().enumerate() {
+            p.with_page_mut(pid, |d| d[0] = i as u8 + 1);
+        }
+        // Touch pages 2 and 3 so 0 and 1 are the cold ones. All four are
+        // dirty — shed must write them back before dropping the bytes.
+        p.with_page(pids[2], |_| {});
+        p.with_page(pids[3], |_| {});
+        let freed = p.shed(2 * 128).unwrap();
+        assert_eq!(freed, 2 * 128);
+        let cs = p.cache_stats();
+        assert_eq!(cs.resident_pages, 4, "logical residency untouched");
+        assert_eq!(cs.cached_pages, 2, "two frames physically shed");
+        // Every page still reads back correctly (shed ones via storage).
+        for (i, &pid) in pids.iter().enumerate() {
+            let mut ctx = PoolCtx::new();
+            p.read_page(pid, &mut ctx, |d| assert_eq!(d[0], i as u8 + 1));
+        }
+    }
+
+    #[test]
+    fn shed_pages_stay_free_for_paper_counters() {
+        // The core byte-identity property: a query's DiskStats must not
+        // change whether or not the budget shed pages under it.
+        let mut p = pool1(4);
+        let pids: Vec<_> = (0..6).map(|_| p.allocate()).collect();
+        for (i, &pid) in pids.iter().enumerate() {
+            p.with_page_mut(pid, |d| d[0] = 10 + i as u8);
+        }
+        p.flush();
+        // Residency now: pids[2..6] resident, pids[0..2] evicted.
+        let baseline = {
+            let mut ctx = PoolCtx::new();
+            for &pid in &pids {
+                p.read_page(pid, &mut ctx, |_| {});
+            }
+            ctx.stats
+        };
+        assert_eq!(baseline.reads, 2, "two logically non-resident pages");
+        // Shed everything physically; logical residency is frozen.
+        let freed = p.shed(u64::MAX).unwrap();
+        assert_eq!(freed, 4 * 128);
+        let mut ctx = PoolCtx::new();
+        for (i, &pid) in pids.iter().enumerate() {
+            p.read_page(pid, &mut ctx, |d| assert_eq!(d[0], 10 + i as u8));
+        }
+        assert_eq!(ctx.stats, baseline, "shedding is invisible to counters");
+    }
+
+    #[test]
+    fn shed_pages_readmit_under_headroom_but_not_over_budget() {
+        let mut p = pool1(2);
+        let a = p.allocate();
+        p.with_page_mut(a, |d| d[0] = 5);
+        p.flush();
+        // Tight budget: exactly one page fits; the pool currently holds 2
+        // frames' bytes? (only one allocated page => one materialized).
+        let budget = BufferBudget::new(128);
+        p.attach_budget(&budget);
+        assert_eq!(budget.used(), 128);
+        p.shed(u64::MAX).unwrap();
+        assert_eq!(budget.used(), 0);
+        // Read the shed page: logically free, served from storage, and
+        // re-admitted because the budget has headroom again.
+        let mut ctx = PoolCtx::new();
+        p.read_page(a, &mut ctx, |d| assert_eq!(d[0], 5));
+        assert_eq!(ctx.stats.reads, 0, "resident page stays free");
+        assert_eq!(budget.used(), 128, "bytes re-admitted");
+        assert_eq!(budget.admissions(), 1);
+        assert_eq!(p.cache_stats().cached_pages, 1);
+        // Second read is a pool hit again (ctx re-pins nothing; use fresh).
+        let hits = p.cache_stats().hits;
+        let mut ctx2 = PoolCtx::new();
+        p.read_page(a, &mut ctx2, |d| assert_eq!(d[0], 5));
+        assert_eq!(p.cache_stats().hits, hits + 1);
+
+        // Now starve the budget: shed, fill it from elsewhere, and the
+        // re-read must be denied re-admission yet still serve the bytes.
+        p.shed(u64::MAX).unwrap();
+        budget.charge(128);
+        let mut ctx3 = PoolCtx::new();
+        p.read_page(a, &mut ctx3, |d| assert_eq!(d[0], 5));
+        assert_eq!(ctx3.stats.reads, 0, "still logically resident");
+        assert_eq!(budget.denials(), 1);
+        assert_eq!(p.cache_stats().cached_pages, 0, "not re-admitted");
+    }
+
+    #[test]
+    fn cache_stats_track_hits_misses_and_evictions() {
+        let mut p = pool1(2);
+        let a = p.allocate();
+        let b = p.allocate();
+        let c = p.allocate(); // evicts a
+        let cs = p.cache_stats();
+        assert_eq!(cs.evictions, 1);
+        assert_eq!(cs.capacity_pages, 2);
+        p.with_page(b, |_| {}); // hit
+        p.with_page(a, |_| {}); // miss (evicts c: 2nd eviction)
+        let cs = p.cache_stats();
+        assert_eq!(cs.hits, 1);
+        assert_eq!(cs.misses, 1);
+        assert_eq!(cs.evictions, 2);
+        let mut agg = CacheStats::default();
+        agg.add(cs);
+        agg.add(cs);
+        assert_eq!(agg.hits, 2);
+        let _ = c;
     }
 
     #[test]

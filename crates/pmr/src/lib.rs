@@ -705,6 +705,22 @@ impl SpatialIndex for PmrQuadtree {
     fn clear_cache(&mut self) {
         self.btree.pool_mut().clear();
     }
+
+    fn attach_budget(&mut self, budget: &std::sync::Arc<lsdb_pager::BufferBudget>) {
+        self.btree.pool_mut().attach_budget(budget);
+        self.table.attach_budget(budget);
+    }
+
+    fn shed_cache(&self, target_bytes: u64) -> std::io::Result<u64> {
+        let freed = self.btree.pool().shed(target_bytes)?;
+        Ok(freed + self.table.shed_cache(target_bytes.saturating_sub(freed))?)
+    }
+
+    fn cache_stats(&self) -> lsdb_pager::CacheStats {
+        let mut s = self.btree.pool().cache_stats();
+        s.add(self.table.cache_stats());
+        s
+    }
 }
 
 #[cfg(test)]

@@ -35,6 +35,8 @@
 //! line and will panic; the paper's road networks have vertex degrees far
 //! below `M = 50`.
 
+mod bulk;
+
 use lsdb_core::rectnode::{order_entries, Entry, EntryOrder, RectNode, RectTreeAccess};
 use lsdb_core::{
     traverse, IndexConfig, LocId, PolygonalMap, QueryCtx, QueryStats, SegId, SegmentTable,
@@ -764,6 +766,22 @@ impl SpatialIndex for RPlusTree {
 
     fn clear_cache(&mut self) {
         self.pool.clear();
+    }
+
+    fn attach_budget(&mut self, budget: &std::sync::Arc<lsdb_pager::BufferBudget>) {
+        self.pool.attach_budget(budget);
+        self.table.attach_budget(budget);
+    }
+
+    fn shed_cache(&self, target_bytes: u64) -> std::io::Result<u64> {
+        let freed = self.pool.shed(target_bytes)?;
+        Ok(freed + self.table.shed_cache(target_bytes.saturating_sub(freed))?)
+    }
+
+    fn cache_stats(&self) -> lsdb_pager::CacheStats {
+        let mut s = self.pool.cache_stats();
+        s.add(self.table.cache_stats());
+        s
     }
 }
 

@@ -206,6 +206,35 @@ mod tests {
     }
 
     #[test]
+    fn bulk_and_insert_built_trees_answer_identically() {
+        // Satellite contract: results identical, counters may differ.
+        let map = random_ish_map(250);
+        let bulk = RTree::bulk_load(&map, cfg_small());
+        let grown = RTree::build(&map, cfg_small(), crate::RTreeKind::RStar);
+        let mut cb = lsdb_core::QueryCtx::new();
+        let mut cg = lsdb_core::QueryCtx::new();
+        for i in (0..16000).step_by(911) {
+            let p = Point::new(i, (i * 7) % 16000);
+            assert_eq!(
+                bulk.nearest(p, &mut cb)
+                    .map(|id| map.segments[id.index()].dist2_point(p)),
+                grown
+                    .nearest(p, &mut cg)
+                    .map(|id| map.segments[id.index()].dist2_point(p)),
+            );
+            let w = Rect::new((i - 700).max(0), 0, i + 700, 15999);
+            assert_eq!(
+                brute::sorted(bulk.window(w, &mut cb)),
+                brute::sorted(grown.window(w, &mut cg)),
+            );
+            assert_eq!(
+                brute::sorted(bulk.find_incident(p, &mut cb)),
+                brute::sorted(grown.find_incident(p, &mut cg)),
+            );
+        }
+    }
+
+    #[test]
     fn bulk_loaded_tree_accepts_updates() {
         let map = random_ish_map(200);
         let mut t = RTree::bulk_load(&map, cfg_small());

@@ -9,14 +9,19 @@
 //! server — or via [`Client::connect_v1`] — it falls back to plain v1
 //! framing and every operation still works, just sequentially.
 //!
+//! Against a v3 server every frame also carries a map id: the client
+//! holds a *current map* ([`Client::set_map`], default `0`), routes each
+//! request to it, and exposes the catalog ops ([`Client::open_map`],
+//! [`Client::list_maps`], [`Client::close_map`], [`Client::stats_v3`]).
+//!
 //! Requests are built with the typed [`QueryRequest`] builder; the old
 //! per-query method zoo remains as thin deprecated wrappers. Server-side
 //! error frames surface as [`std::io::ErrorKind::Other`] errors carrying
 //! the structured code and message.
 
 use crate::protocol::{
-    decode_reply, read_frame, write_frame, ErrorCode, FrameError, FrameEvent, Reply, Request,
-    MAX_REPLY_FRAME, PROTOCOL_VERSION,
+    decode_reply, read_frame, write_frame, BudgetWire, ErrorCode, FrameError, FrameEvent, MapInfo,
+    MapStatsWire, Reply, Request, MAX_REPLY_FRAME, PROTOCOL_VERSION,
 };
 use lsdb_core::{BatchRequest, QueryStats, SegId};
 use lsdb_geom::{Point, Rect, Segment};
@@ -123,11 +128,23 @@ impl From<QueryRequest> for Request {
     }
 }
 
+/// The full catalog-aware `STATS` answer a v3 server returns: process
+/// aggregates, the buffer-budget gauge, and one entry per map.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CatalogStats {
+    pub queries: u64,
+    pub totals: QueryStats,
+    pub budget: BudgetWire,
+    pub maps: Vec<MapStatsWire>,
+}
+
 /// One blocking protocol connection.
 pub struct Client {
     stream: TcpStream,
-    /// Negotiated: envelope requests with correlation ids.
-    v2: bool,
+    /// Negotiated envelope version (1, 2 or 3).
+    version: u8,
+    /// Current map id stamped on every v3 request envelope.
+    map: u32,
     next_corr: u32,
 }
 
@@ -165,7 +182,8 @@ impl Client {
         stream.set_nodelay(true).ok();
         Ok(Client {
             stream,
-            v2: false,
+            version: 1,
+            map: 0,
             next_corr: 0,
         })
     }
@@ -183,7 +201,7 @@ impl Client {
         )?;
         match self.read_reply()? {
             (_, Reply::Hello { version }) => {
-                self.v2 = version >= 2;
+                self.version = version.clamp(1, PROTOCOL_VERSION);
                 Ok(())
             }
             (
@@ -193,7 +211,7 @@ impl Client {
                     ..
                 },
             ) => {
-                self.v2 = false;
+                self.version = 1;
                 Ok(())
             }
             (_, Reply::Error { code, message }) => {
@@ -203,10 +221,61 @@ impl Client {
         }
     }
 
-    /// Whether this connection negotiated the v2 envelope (pipelining
-    /// and server-side batching).
+    /// Whether this connection negotiated at least the v2 envelope
+    /// (pipelining and server-side batching).
     pub fn is_v2(&self) -> bool {
-        self.v2
+        self.version >= 2
+    }
+
+    /// Whether this connection negotiated the v3 envelope (map routing
+    /// and catalog ops).
+    pub fn is_v3(&self) -> bool {
+        self.version >= 3
+    }
+
+    /// The negotiated envelope version (1, 2 or 3).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// Route every subsequent request to catalog map `map` (v3 only;
+    /// ids come from [`Client::open_map`] / [`Client::list_maps`]).
+    /// Errors on a pre-v3 connection unless `map` is `0`, the only map
+    /// a v1/v2 envelope can address.
+    pub fn set_map(&mut self, map: u32) -> io::Result<()> {
+        if map != 0 && self.version < 3 {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!(
+                    "map routing needs protocol v3; this connection negotiated v{}",
+                    self.version
+                ),
+            ));
+        }
+        self.map = map;
+        Ok(())
+    }
+
+    /// The map id current requests are routed to.
+    pub fn current_map(&self) -> u32 {
+        self.map
+    }
+
+    /// Encode `req` in this connection's negotiated envelope, stamping
+    /// the current map on v3 frames.
+    fn encode_request(&mut self, req: &Request) -> (Option<u32>, Vec<u8>) {
+        if self.version >= 2 {
+            let corr = self.next_corr;
+            self.next_corr = self.next_corr.wrapping_add(1);
+            let bytes = if self.version >= 3 {
+                req.encode_v3(corr, self.map)
+            } else {
+                req.encode_v2(corr)
+            };
+            (Some(corr), bytes)
+        } else {
+            (None, req.encode())
+        }
     }
 
     fn read_reply(&mut self) -> io::Result<(Option<u32>, Reply)> {
@@ -240,26 +309,29 @@ impl Client {
     /// Issue one request and wait for its reply. Error frames are
     /// returned as `Err`, so `Ok` replies are always answers.
     pub fn call(&mut self, req: &Request) -> io::Result<Reply> {
-        let reply = if self.v2 {
-            let corr = self.next_corr;
-            self.next_corr = self.next_corr.wrapping_add(1);
-            write_frame(&mut self.stream, &req.encode_v2(corr))?;
-            let (got, reply) = self.read_reply()?;
-            if got != Some(corr) {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("correlation mismatch: sent {corr}, reply carries {got:?}"),
-                ));
-            }
-            reply
-        } else {
-            write_frame(&mut self.stream, &req.encode())?;
-            self.read_reply()?.1
-        };
+        let (corr, bytes) = self.encode_request(req);
+        write_frame(&mut self.stream, &bytes)?;
+        let (got, reply) = self.read_reply()?;
+        if corr.is_some() && got != corr {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("correlation mismatch: sent {corr:?}, reply carries {got:?}"),
+            ));
+        }
         match reply {
             Reply::Error { code, message } => Err(io::Error::other(ServerError { code, message })),
             reply => Ok(reply),
         }
+    }
+
+    /// [`Client::call`] routed to map `map` for this one request; the
+    /// current map is untouched. v3 only (unless `map` is `0`).
+    pub fn call_on(&mut self, map: u32, req: &Request) -> io::Result<Reply> {
+        let prev = self.map;
+        self.set_map(map)?;
+        let result = self.call(req);
+        self.map = prev;
+        result
     }
 
     /// Execute a homogeneous batch server-side (one `BATCH` frame,
@@ -272,7 +344,7 @@ impl Client {
     /// unrolling) stay inline as [`Reply::Error`] entries; only
     /// transport and whole-batch failures return `Err`.
     pub fn call_batch(&mut self, batch: &BatchRequest) -> io::Result<Vec<Reply>> {
-        if self.v2 {
+        if self.version >= 2 {
             match self.call(&Request::Batch(batch.clone()))? {
                 Reply::Batch(items) => Ok(items),
                 other => Err(unexpected(&other)),
@@ -295,16 +367,19 @@ impl Client {
     /// Per-request error frames stay inline as [`Reply::Error`] entries,
     /// so one bad request does not mask the other replies.
     pub fn pipeline(&mut self, reqs: &[Request]) -> io::Result<Vec<Reply>> {
-        if !self.v2 {
+        if self.version < 2 {
             return reqs.iter().map(|r| self.call_keeping_errors(r)).collect();
         }
         let base = self.next_corr;
         self.next_corr = self.next_corr.wrapping_add(reqs.len() as u32);
         for (i, req) in reqs.iter().enumerate() {
-            write_frame(
-                &mut self.stream,
-                &req.encode_v2(base.wrapping_add(i as u32)),
-            )?;
+            let corr = base.wrapping_add(i as u32);
+            let bytes = if self.version >= 3 {
+                req.encode_v3(corr, self.map)
+            } else {
+                req.encode_v2(corr)
+            };
+            write_frame(&mut self.stream, &bytes)?;
         }
         let mut out: Vec<Option<Reply>> = (0..reqs.len()).map(|_| None).collect();
         for _ in 0..reqs.len() {
@@ -450,9 +525,72 @@ impl Client {
     }
 
     /// Server-wide `(queries served, summed counters)`.
+    ///
+    /// On a v3 connection the server answers `STATS` with the full
+    /// catalog shape; this helper folds it back to the aggregate pair.
+    /// Use [`Client::stats_v3`] for the per-map breakdown.
     pub fn stats(&mut self) -> io::Result<(u64, QueryStats)> {
         match self.call(&Request::Stats)? {
             Reply::Stats { queries, totals } => Ok((queries, totals)),
+            Reply::StatsV3 {
+                queries, totals, ..
+            } => Ok((queries, totals)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Catalog-aware `STATS`: process aggregates, the buffer-budget
+    /// gauge, and per-map query/cache counters. Requires a v3 server.
+    pub fn stats_v3(&mut self) -> io::Result<CatalogStats> {
+        if self.version < 3 {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!(
+                    "catalog stats need protocol v3; this connection negotiated v{}",
+                    self.version
+                ),
+            ));
+        }
+        match self.call(&Request::Stats)? {
+            Reply::StatsV3 {
+                queries,
+                totals,
+                budget,
+                maps,
+            } => Ok(CatalogStats {
+                queries,
+                totals,
+                budget,
+                maps,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Open (or look up) the catalog map named `name`. Returns its map
+    /// id — valid for [`Client::set_map`] / [`Client::call_on`] — and
+    /// its segment count.
+    pub fn open_map(&mut self, name: &str) -> io::Result<(u32, u64)> {
+        match self.call(&Request::OpenMap { name: name.into() })? {
+            Reply::MapOpened { id, len } => Ok((id, len)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Every map in the server's catalog, open or cold.
+    pub fn list_maps(&mut self) -> io::Result<Vec<MapInfo>> {
+        match self.call(&Request::ListMaps)? {
+            Reply::MapList(maps) => Ok(maps),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Close the named map's store (it reopens lazily on the next query
+    /// routed to it). Returns whether it was open; refuses maps the
+    /// server cannot rebuild.
+    pub fn close_map(&mut self, name: &str) -> io::Result<bool> {
+        match self.call(&Request::CloseMap { name: name.into() })? {
+            Reply::MapClosed { was_open } => Ok(was_open),
             other => Err(unexpected(&other)),
         }
     }

@@ -254,7 +254,11 @@ impl Loop<'_> {
                     code: fail.error.code(),
                     message: fail.error.to_string(),
                 };
-                queue_reply(conn, fail.corr, reply);
+                // A recovered corr means an enveloped frame; v2 and v3
+                // reply envelopes decode interchangeably client-side, so
+                // the v2 envelope is the safe answer for both.
+                let version = if fail.corr.is_some() { 2 } else { 1 };
+                queue_reply(conn, fail.corr, version, reply);
                 return;
             }
         };
@@ -262,6 +266,7 @@ impl Loop<'_> {
             queue_reply(
                 conn,
                 frame.corr,
+                frame.version,
                 Reply::Error {
                     code: ErrorCode::ShuttingDown,
                     message: "server is draining".into(),
@@ -271,33 +276,42 @@ impl Loop<'_> {
             return;
         }
         match frame.request {
-            Request::Ping => queue_reply(conn, frame.corr, Reply::Pong),
+            Request::Ping => queue_reply(conn, frame.corr, frame.version, Reply::Pong),
             Request::Hello { version } => {
                 let version = version.clamp(1, PROTOCOL_VERSION);
-                queue_reply(conn, frame.corr, Reply::Hello { version });
+                queue_reply(conn, frame.corr, frame.version, Reply::Hello { version });
             }
-            Request::Stats => {
+            // v1/v2 STATS keep their aggregate shape and stay inline
+            // (two atomic loads); v3 STATS walks the whole catalog and
+            // runs on the executor like the other admin ops.
+            Request::Stats if frame.version < 3 => {
+                let aggregate = self.shared.catalog.aggregate();
                 let reply = Reply::Stats {
-                    queries: self.shared.stats.queries(),
-                    totals: self.shared.stats.snapshot(),
+                    queries: aggregate.queries(),
+                    totals: aggregate.snapshot(),
                 };
-                queue_reply(conn, frame.corr, reply);
+                queue_reply(conn, frame.corr, frame.version, reply);
             }
             Request::Shutdown => {
                 self.shared.shutdown.store(true, Ordering::SeqCst);
-                queue_reply(conn, frame.corr, Reply::Bye);
+                queue_reply(conn, frame.corr, frame.version, Reply::Bye);
                 conn.close_after_flush = true;
                 // The next loop iteration observes the flag and drains.
             }
             req => {
-                let token = match frame.corr {
-                    Some(corr) => Token::V2 { corr },
-                    None => Token::V1 {
+                let token = match (frame.version, frame.corr) {
+                    (3, Some(corr)) => Token::V3 { corr },
+                    (_, Some(corr)) => Token::V2 { corr },
+                    _ => Token::V1 {
                         seq: conn.assign_v1_seq(),
                     },
                 };
                 let work = match req {
                     Request::Batch(b) => Work::Batch(b),
+                    Request::OpenMap { .. }
+                    | Request::ListMaps
+                    | Request::CloseMap { .. }
+                    | Request::Stats => Work::Admin(req),
                     other => Work::Single(other),
                 };
                 conn.inflight += 1;
@@ -306,6 +320,7 @@ impl Loop<'_> {
                     .send(Job {
                         conn: id,
                         token,
+                        map: frame.map,
                         work,
                     })
                     .is_err()
@@ -316,7 +331,7 @@ impl Loop<'_> {
                         code: ErrorCode::ShuttingDown,
                         message: "server is draining".into(),
                     };
-                    queue_reply(conn, frame.corr, reply);
+                    queue_reply(conn, frame.corr, frame.version, reply);
                 }
             }
         }
@@ -331,7 +346,7 @@ impl Loop<'_> {
         conn.inflight -= 1;
         match done.token {
             Token::V1 { seq } => conn.queue_v1(seq, done.payload),
-            Token::V2 { .. } => conn.queue_v2(done.payload),
+            Token::V2 { .. } | Token::V3 { .. } => conn.queue_v2(done.payload),
         }
     }
 
@@ -345,10 +360,11 @@ impl Loop<'_> {
 }
 
 /// Queue `reply` on `conn` in the envelope matching the request that
-/// provoked it: v2 frames echo their correlation id, v1 frames join the
-/// arrival-order release queue.
-fn queue_reply(conn: &mut Conn, corr: Option<u32>, reply: Reply) {
+/// provoked it: enveloped frames echo their correlation id under their
+/// own version marker, v1 frames join the arrival-order release queue.
+fn queue_reply(conn: &mut Conn, corr: Option<u32>, version: u8, reply: Reply) {
     match corr {
+        Some(corr) if version >= 3 => conn.queue_v2(reply.encode_v3(corr)),
         Some(corr) => conn.queue_v2(reply.encode_v2(corr)),
         None => {
             let seq = conn.assign_v1_seq();

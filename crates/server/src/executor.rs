@@ -2,15 +2,22 @@
 //! here, one job per worker at a time, each worker owning a warm
 //! [`QueryCtx`].
 //!
+//! Every job carries the catalog id of the map it is routed to (v1/v2
+//! frames land on map `0`). The worker resolves the slot through
+//! [`crate::catalog::Catalog::with_live`], which opens cold maps lazily
+//! and enforces the buffer budget after the query's read guard is gone.
 //! Singleton requests reset the context per query exactly as the PR-2
 //! worker pool did. Batch requests run through
 //! [`lsdb_core::execute_batch`], which Morton-sorts the batch so the
 //! context's page pins and segment mini-cache stay warm across
 //! neighboring queries — while charging counters per item byte-identically
-//! to singleton execution. Completed replies are already encoded for
+//! to singleton execution. Catalog admin ops (`OPEN_MAP`, `CLOSE_MAP`,
+//! v3 `STATS`) also run here: opening a map may build it, which must
+//! never stall the I/O thread. Completed replies are already encoded for
 //! their connection's protocol version when they travel back to the
 //! event loop, which only moves bytes.
 
+use crate::catalog::Catalog;
 use crate::protocol::{ErrorCode, Reply, Request, MAX_BATCH_ITEMS};
 use crate::server::Shared;
 use crate::sys::WakePipe;
@@ -20,24 +27,31 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 /// How a finished reply rejoins its connection's outbound stream: v1
-/// replies release in arrival order, v2 replies release on completion
-/// under their correlation id.
+/// replies release in arrival order, v2/v3 replies release on completion
+/// under their correlation id (the variant picks the reply envelope's
+/// version marker).
 #[derive(Clone, Copy, Debug)]
 pub(crate) enum Token {
     V1 { seq: u64 },
     V2 { corr: u32 },
+    V3 { corr: u32 },
 }
 
-/// The spatial work itself (service ops never reach the executor).
+/// The work itself (inline service ops never reach the executor).
 pub(crate) enum Work {
     Single(Request),
     Batch(BatchRequest),
+    /// A catalog admin op (`OPEN_MAP`/`LIST_MAPS`/`CLOSE_MAP`, v3
+    /// `STATS`) — routed here because opening a map can build it.
+    Admin(Request),
 }
 
 /// One decoded request handed from the event loop to the pool.
 pub(crate) struct Job {
     pub conn: u64,
     pub token: Token,
+    /// Catalog id the request is routed to (0 for v1/v2 frames).
+    pub map: u32,
     pub work: Work,
 }
 
@@ -67,12 +81,14 @@ pub(crate) fn worker_loop(
         match job {
             Ok(job) => {
                 let reply = match &job.work {
-                    Work::Single(req) => run_single(req, shared, &mut ctx),
-                    Work::Batch(req) => run_batch(req, shared, &mut ctx),
+                    Work::Single(req) => run_single(job.map, req, shared, &mut ctx),
+                    Work::Batch(req) => run_batch(job.map, req, shared, &mut ctx),
+                    Work::Admin(req) => run_admin(req, shared.catalog),
                 };
                 let payload = match job.token {
                     Token::V1 { .. } => reply.encode(),
                     Token::V2 { corr } => reply.encode_v2(corr),
+                    Token::V3 { corr } => reply.encode_v3(corr),
                 };
                 if done
                     .send(Completion {
@@ -104,104 +120,109 @@ fn wal_failed(what: &str, e: &std::io::Error) -> Reply {
     }
 }
 
-/// Execute one spatial query or mutation; query counters fold into the
-/// server aggregate exactly as the PR-2 blocking server folded them.
-/// Mutations route through the [`lsdb_core::LiveIndex`] write path
-/// (durable commit, then apply) and are *not* counted as spatial
-/// queries — the paper's aggregates stay comparable under mixed
-/// workloads.
-fn run_single(req: &Request, shared: &Shared, ctx: &mut QueryCtx) -> Reply {
-    match *req {
-        Request::Insert(seg) => {
-            return match shared.index.insert(seg) {
-                Ok((id, lsn)) => Reply::Inserted { id, lsn: lsn.0 },
-                Err(e) => wal_failed("insert", &e),
+/// Execute one spatial query or mutation against map `map`; query
+/// counters fold into the map's slot *and* the catalog aggregate,
+/// exactly as the PR-2 blocking server folded its single map. Mutations
+/// route through the [`lsdb_core::LiveIndex`] write path (durable
+/// commit, then apply), pin the slot open (auto-close would lose the
+/// mutation), and are *not* counted as spatial queries — the paper's
+/// aggregates stay comparable under mixed workloads.
+fn run_single(map: u32, req: &Request, shared: &Shared, ctx: &mut QueryCtx) -> Reply {
+    let result = shared.catalog.with_live(map, |slot, live| {
+        match *req {
+            Request::Insert(seg) => {
+                return match live.insert(seg) {
+                    Ok((id, lsn)) => {
+                        slot.mark_mutated();
+                        Reply::Inserted { id, lsn: lsn.0 }
+                    }
+                    Err(e) => wal_failed("insert", &e),
+                }
             }
+            Request::Delete { id } => {
+                return match live.remove(id) {
+                    Ok((removed, lsn)) => {
+                        slot.mark_mutated();
+                        Reply::Deleted {
+                            removed,
+                            lsn: lsn.0,
+                        }
+                    }
+                    Err(e) => wal_failed("delete", &e),
+                }
+            }
+            Request::Flush => {
+                return match live.flush() {
+                    Ok(lsn) => Reply::Flushed { lsn: lsn.0 },
+                    Err(e) => wal_failed("flush", &e),
+                }
+            }
+            _ => {}
         }
-        Request::Delete { id } => {
-            return match shared.index.remove(id) {
-                Ok((removed, lsn)) => Reply::Deleted {
-                    removed,
-                    lsn: lsn.0,
+        live.with_read(|index| {
+            ctx.reset();
+            let reply = match *req {
+                Request::Incident(p) => Reply::Segs {
+                    ids: index.find_incident(p, ctx),
+                    stats: ctx.stats(),
                 },
-                Err(e) => wal_failed("delete", &e),
-            }
-        }
-        Request::Flush => {
-            return match shared.index.flush() {
-                Ok(lsn) => Reply::Flushed { lsn: lsn.0 },
-                Err(e) => wal_failed("flush", &e),
-            }
-        }
-        _ => {}
-    }
-    shared.index.with_read(|index| {
-        ctx.reset();
-        let reply = match *req {
-            Request::Incident(p) => Reply::Segs {
-                ids: index.find_incident(p, ctx),
-                stats: ctx.stats(),
-            },
-            Request::Second { id, at } => {
-                if id.index() >= index.len() {
+                Request::Second { id, at } => {
+                    if id.index() >= index.len() {
+                        return Reply::Error {
+                            code: ErrorCode::BadArgument,
+                            message: format!(
+                                "segment id {} out of range (map has {} segments)",
+                                id.0,
+                                index.len()
+                            ),
+                        };
+                    }
+                    Reply::Segs {
+                        ids: queries::second_endpoint(index, id, at, ctx),
+                        stats: ctx.stats(),
+                    }
+                }
+                Request::Nearest(p) => Reply::Nearest {
+                    id: index.nearest(p, ctx),
+                    stats: ctx.stats(),
+                },
+                Request::Knn { at, k } => Reply::Segs {
+                    ids: index.nearest_k(at, k as usize, ctx),
+                    stats: ctx.stats(),
+                },
+                Request::Window(w) => Reply::Segs {
+                    ids: index.window(w, ctx),
+                    stats: ctx.stats(),
+                },
+                Request::Polygon { at, max_steps } => {
+                    let walk = queries::enclosing_polygon(index, at, max_steps as usize, ctx);
+                    Reply::Polygon {
+                        walk: walk.map(|w| (w.boundary, w.closed)),
+                        stats: ctx.stats(),
+                    }
+                }
+                // Service and admin ops are answered elsewhere and never
+                // enqueued as Single; mutations returned above.
+                _ => {
                     return Reply::Error {
-                        code: ErrorCode::BadArgument,
-                        message: format!(
-                            "segment id {} out of range (map has {} segments)",
-                            id.0,
-                            index.len()
-                        ),
-                    };
+                        code: ErrorCode::Malformed,
+                        message: "service op routed to executor".into(),
+                    }
                 }
-                Reply::Segs {
-                    ids: queries::second_endpoint(index, id, at, ctx),
-                    stats: ctx.stats(),
-                }
-            }
-            Request::Nearest(p) => Reply::Nearest {
-                id: index.nearest(p, ctx),
-                stats: ctx.stats(),
-            },
-            Request::Knn { at, k } => Reply::Segs {
-                ids: index.nearest_k(at, k as usize, ctx),
-                stats: ctx.stats(),
-            },
-            Request::Window(w) => Reply::Segs {
-                ids: index.window(w, ctx),
-                stats: ctx.stats(),
-            },
-            Request::Polygon { at, max_steps } => {
-                let walk = queries::enclosing_polygon(index, at, max_steps as usize, ctx);
-                Reply::Polygon {
-                    walk: walk.map(|w| (w.boundary, w.closed)),
-                    stats: ctx.stats(),
-                }
-            }
-            // Service ops are answered in the event loop and never
-            // enqueued; mutations returned above.
-            Request::Hello { .. }
-            | Request::Batch(_)
-            | Request::Ping
-            | Request::Stats
-            | Request::Shutdown
-            | Request::Insert(_)
-            | Request::Delete { .. }
-            | Request::Flush => {
-                return Reply::Error {
-                    code: ErrorCode::Malformed,
-                    message: "service op routed to executor".into(),
-                }
-            }
-        };
-        shared.stats.add(ctx.stats());
-        reply
-    })
+            };
+            slot.stats().add(ctx.stats());
+            shared.catalog.aggregate().add(ctx.stats());
+            reply
+        })
+    });
+    result.unwrap_or_else(|e| e.to_reply())
 }
 
-/// Execute one batch: validate, run Morton-sorted, fold each item's
-/// counters into the aggregate (so `STATS` sees one entry per query, not
-/// per batch), and nest the per-item replies in submission order.
-fn run_batch(req: &BatchRequest, shared: &Shared, ctx: &mut QueryCtx) -> Reply {
+/// Execute one batch against map `map`: validate, run Morton-sorted,
+/// fold each item's counters into the slot and the aggregate (so
+/// `STATS` sees one entry per query, not per batch), and nest the
+/// per-item replies in submission order.
+fn run_batch(map: u32, req: &BatchRequest, shared: &Shared, ctx: &mut QueryCtx) -> Reply {
     if req.len() > MAX_BATCH_ITEMS {
         return Reply::Error {
             code: ErrorCode::BadArgument,
@@ -211,40 +232,64 @@ fn run_batch(req: &BatchRequest, shared: &Shared, ctx: &mut QueryCtx) -> Reply {
             ),
         };
     }
-    // The whole batch runs under one read guard: a concurrent writer
-    // lands either before or after it, never in the middle.
-    shared.index.with_read(|index| {
-        if let Some(max) = req.max_seg_id() {
-            if max.index() >= index.len() {
-                return Reply::Error {
-                    code: ErrorCode::BadArgument,
-                    message: format!(
-                        "segment id {} out of range (map has {} segments)",
-                        max.0,
-                        index.len()
-                    ),
-                };
+    let result = shared.catalog.with_live(map, |slot, live| {
+        // The whole batch runs under one read guard: a concurrent writer
+        // lands either before or after it, never in the middle.
+        live.with_read(|index| {
+            if let Some(max) = req.max_seg_id() {
+                if max.index() >= index.len() {
+                    return Reply::Error {
+                        code: ErrorCode::BadArgument,
+                        message: format!(
+                            "segment id {} out of range (map has {} segments)",
+                            max.0,
+                            index.len()
+                        ),
+                    };
+                }
             }
-        }
-        let items = execute_batch(index, req, ctx);
-        let mut replies = Vec::with_capacity(items.len());
-        for item in items {
-            shared.stats.add(item.stats);
-            replies.push(match item.answer {
-                BatchAnswer::Segs(ids) => Reply::Segs {
-                    ids,
-                    stats: item.stats,
-                },
-                BatchAnswer::Nearest(id) => Reply::Nearest {
-                    id,
-                    stats: item.stats,
-                },
-                BatchAnswer::Polygon(walk) => Reply::Polygon {
-                    walk,
-                    stats: item.stats,
-                },
-            });
-        }
-        Reply::Batch(replies)
-    })
+            let items = execute_batch(index, req, ctx);
+            let mut replies = Vec::with_capacity(items.len());
+            for item in items {
+                slot.stats().add(item.stats);
+                shared.catalog.aggregate().add(item.stats);
+                replies.push(match item.answer {
+                    BatchAnswer::Segs(ids) => Reply::Segs {
+                        ids,
+                        stats: item.stats,
+                    },
+                    BatchAnswer::Nearest(id) => Reply::Nearest {
+                        id,
+                        stats: item.stats,
+                    },
+                    BatchAnswer::Polygon(walk) => Reply::Polygon {
+                        walk,
+                        stats: item.stats,
+                    },
+                });
+            }
+            Reply::Batch(replies)
+        })
+    });
+    result.unwrap_or_else(|e| e.to_reply())
+}
+
+/// Execute one catalog admin op.
+fn run_admin(req: &Request, catalog: &Catalog) -> Reply {
+    match req {
+        Request::OpenMap { name } => match catalog.open_by_name(name) {
+            Ok((id, len)) => Reply::MapOpened { id, len },
+            Err(e) => e.to_reply(),
+        },
+        Request::ListMaps => Reply::MapList(catalog.list()),
+        Request::CloseMap { name } => match catalog.close_by_name(name) {
+            Ok(was_open) => Reply::MapClosed { was_open },
+            Err(e) => e.to_reply(),
+        },
+        Request::Stats => catalog.stats_v3(),
+        _ => Reply::Error {
+            code: ErrorCode::Malformed,
+            message: "non-admin op routed as admin".into(),
+        },
+    }
 }

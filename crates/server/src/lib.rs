@@ -13,10 +13,16 @@
 //! which the bundled load generators (closed- and open-loop) measure.
 //!
 //! The wire API is versioned: v1 frames (one request, one positional
-//! reply) keep working unchanged, while v2 frames add correlation ids —
-//! so one connection can pipeline many requests and receive replies out
-//! of order — and a `BATCH` op carrying a homogeneous query vector that
-//! the server executes Morton-sorted to keep per-context caches warm.
+//! reply) keep working unchanged, v2 frames add correlation ids — so one
+//! connection can pipeline many requests and receive replies out of
+//! order — and a `BATCH` op carrying a homogeneous query vector that the
+//! server executes Morton-sorted to keep per-context caches warm. v3
+//! frames add a `map_id` to the request envelope: one process hosts a
+//! [`catalog`] of maps behind a routing layer, with `OPEN_MAP` /
+//! `LIST_MAPS` / `CLOSE_MAP` admin ops, lazy open and clock eviction of
+//! cold stores, and a process-global [`lsdb_pager::BufferBudget`] shared
+//! across every map. v1/v2 clients keep working against the catalog's
+//! default map (id 0).
 //!
 //! The index is live, not frozen: `INSERT`, `DELETE`, and `FLUSH` route
 //! through a [`lsdb_core::LiveIndex`] — each mutation is committed to a
@@ -25,14 +31,17 @@
 //! Servers bound over a durable store ([`Server::bind_live`]) replay the
 //! op log on restart, so acknowledged mutations survive a crash.
 //!
-//! * [`protocol`] — frame format, v1/v2 request/reply codec (never
+//! * [`protocol`] — frame format, v1/v2/v3 request/reply codec (never
 //!   panics on malformed bytes),
+//! * [`catalog`] — the map catalog: named slots, lazy builders, clock
+//!   eviction, cross-map budget enforcement, per-map counters,
 //! * [`server`] — event loop + executor pool, graceful drain on
 //!   `SHUTDOWN`,
 //! * [`client`] — blocking one-connection client with version
-//!   negotiation, batching, and pipelining,
+//!   negotiation, map routing, batching, and pipelining,
 //! * [`loadgen`] — closed- and open-loop throughput/latency drivers.
 
+pub mod catalog;
 pub mod client;
 mod conn;
 mod event_loop;
@@ -42,12 +51,13 @@ pub mod protocol;
 pub mod server;
 mod sys;
 
-pub use client::{Client, QueryRequest, ServerError};
-pub use loadgen::{run_closed_loop, run_open_loop, LoadReport};
+pub use catalog::{Catalog, CatalogError, MapBuilder, MapSlot};
+pub use client::{CatalogStats, Client, QueryRequest, ServerError};
+pub use loadgen::{run_closed_loop, run_open_loop, run_open_loop_routed, LoadReport};
 pub use protocol::{
-    decode_reply, decode_request, DecodeFailure, ErrorCode, FrameError, FrameEvent, ProtoError,
-    Reply, Request, RequestFrame, MAX_BATCH_ITEMS, MAX_REPLY_FRAME, MAX_REQUEST_FRAME,
-    MAX_REQUEST_FRAME_V2, PROTOCOL_VERSION,
+    decode_reply, decode_request, BudgetWire, CacheWire, DecodeFailure, ErrorCode, FrameError,
+    FrameEvent, MapInfo, MapStatsWire, ProtoError, Reply, Request, RequestFrame, MAX_BATCH_ITEMS,
+    MAX_REPLY_FRAME, MAX_REQUEST_FRAME, MAX_REQUEST_FRAME_V2, PROTOCOL_VERSION,
 };
 pub use server::{
     ConfigError, Server, ServerConfig, ServerConfigBuilder, ServerReport, ShutdownHandle,

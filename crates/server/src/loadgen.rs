@@ -156,6 +156,48 @@ pub fn run_open_loop(
     connections: usize,
     target_qps: f64,
 ) -> io::Result<LoadReport> {
+    open_loop_impl(
+        addr,
+        &requests.iter().map(|r| (0u32, r)).collect::<Vec<_>>(),
+        connections,
+        target_qps,
+        Wire::V2,
+    )
+}
+
+/// [`run_open_loop`], but every request is routed to its own catalog map
+/// over the v3 envelope — the multi-map serving benchmark: one arrival
+/// schedule, one connection pool, requests fanned across maps exactly as
+/// a mixed tenant population would issue them. Requires a v3 server.
+pub fn run_open_loop_routed(
+    addr: SocketAddr,
+    requests: &[(u32, Request)],
+    connections: usize,
+    target_qps: f64,
+) -> io::Result<LoadReport> {
+    open_loop_impl(
+        addr,
+        &requests.iter().map(|(m, r)| (*m, r)).collect::<Vec<_>>(),
+        connections,
+        target_qps,
+        Wire::V3,
+    )
+}
+
+/// Which envelope the open-loop lanes speak.
+#[derive(Clone, Copy)]
+enum Wire {
+    V2,
+    V3,
+}
+
+fn open_loop_impl(
+    addr: SocketAddr,
+    requests: &[(u32, &Request)],
+    connections: usize,
+    target_qps: f64,
+    wire: Wire,
+) -> io::Result<LoadReport> {
     if !target_qps.is_finite() || target_qps <= 0.0 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -167,14 +209,14 @@ pub fn run_open_loop(
 
     // Connection c owns requests c, c+connections, ... — the global
     // schedule interleaves evenly across connections.
-    let lanes: Vec<Vec<(Duration, &Request)>> = (0..connections)
+    let lanes: Vec<Vec<(Duration, u32, &Request)>> = (0..connections)
         .map(|c| {
             requests
                 .iter()
                 .enumerate()
                 .skip(c)
                 .step_by(connections)
-                .map(|(i, req)| (period * i as u32, req))
+                .map(|(i, &(map, req))| (period * i as u32, map, req))
                 .collect()
         })
         .collect();
@@ -183,7 +225,7 @@ pub fn run_open_loop(
     let partials: Vec<io::Result<ChunkResult>> = std::thread::scope(|scope| {
         let handles: Vec<_> = lanes
             .iter()
-            .map(|lane| scope.spawn(move || run_lane(addr, lane, start)))
+            .map(|lane| scope.spawn(move || run_lane(addr, lane, start, wire)))
             .collect();
         handles
             .into_iter()
@@ -212,8 +254,9 @@ pub fn run_open_loop(
 /// correlating replies, racing on a split stream.
 fn run_lane(
     addr: SocketAddr,
-    lane: &[(Duration, &Request)],
+    lane: &[(Duration, u32, &Request)],
     start: Instant,
+    wire: Wire,
 ) -> io::Result<ChunkResult> {
     use crate::protocol::{decode_reply, read_frame, write_frame, FrameError, FrameEvent};
 
@@ -235,12 +278,16 @@ fn run_lane(
         let sender = scope.spawn(move || -> io::Result<()> {
             // Correlation id = index into this lane, so the reader can
             // find the scheduled time without shared state.
-            for (corr, (sched, req)) in lane.iter().enumerate() {
+            for (corr, (sched, map, req)) in lane.iter().enumerate() {
                 let due = start + *sched;
                 if let Some(wait) = due.checked_duration_since(Instant::now()) {
                     std::thread::sleep(wait);
                 }
-                write_frame(&mut write_half, &req.encode_v2(corr as u32))?;
+                let bytes = match wire {
+                    Wire::V2 => req.encode_v2(corr as u32),
+                    Wire::V3 => req.encode_v3(corr as u32, *map),
+                };
+                write_frame(&mut write_half, &bytes)?;
             }
             Ok(())
         });

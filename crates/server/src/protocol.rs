@@ -13,35 +13,56 @@
 //! [`MAX_REPLY_FRAME`] for replies). All integers are little-endian,
 //! coordinates are `i32` (the geometry's native type), counters are `u64`.
 //!
-//! ## Payload layouts: v1 vs v2
+//! ## Payload layouts: v1, v2 and v3
 //!
-//! Two payload layouts coexist, distinguished by the first payload byte:
+//! Three payload layouts coexist, distinguished by the first payload byte:
 //!
 //! ```text
-//! | version | first byte          | payload layout                            |
-//! |---------|---------------------|-------------------------------------------|
-//! | v1      | opcode              | opcode: u8 | body                         |
-//! | v2      | 0xB2 version marker | 0xB2 | corr: u32 LE | opcode: u8 | body   |
+//! | version | first byte | request payload layout                                |
+//! |---------|------------|-------------------------------------------------------|
+//! | v1      | opcode     | opcode: u8 | body                                     |
+//! | v2      | 0xB2       | 0xB2 | corr: u32 LE | opcode: u8 | body               |
+//! | v3      | 0xB3       | 0xB3 | corr: u32 LE | map: u32 LE | opcode: u8 | body |
 //! ```
 //!
 //! Any first byte in `0xB0..=0xBF` is a *version marker* (low nibble =
-//! protocol version); no v1 opcode falls in that range, so the two
+//! protocol version); no v1 opcode falls in that range, so the
 //! layouts never collide. A marker with an unsupported version draws a
 //! structured [`ErrorCode::UnsupportedVersion`] error frame, not a
-//! hangup. The v2 correlation id is echoed verbatim in the reply
+//! hangup. The v2/v3 correlation id is echoed verbatim in the reply
 //! envelope, which is what allows **pipelining**: a client may send many
-//! v2 frames before reading replies, and replies may complete out of
-//! order. Replies to v1 frames carry no envelope and are delivered in
+//! enveloped frames before reading replies, and replies may complete out
+//! of order. Replies to v1 frames carry no envelope and are delivered in
 //! request order. Clients negotiate with [`Request::Hello`] (legal in
-//! either layout): the server answers [`Reply::Hello`] with the version
+//! any layout): the server answers [`Reply::Hello`] with the version
 //! it will speak, and a pre-v2 server answers `UnknownOp` — the cue to
 //! stay on v1.
 //!
-//! The opcode + body layer is identical in both versions. v2 adds two
+//! The opcode + body layer is identical in every version. v2 adds two
 //! ops: `HELLO` and `BATCH` ([`Request::Batch`] carries a homogeneous
 //! query vector, answered by [`Reply::Batch`] with one nested reply per
 //! item in submission order); both also decode in v1 framing for
 //! compatibility tooling.
+//!
+//! ## v3: multi-map addressing
+//!
+//! v3 serves a whole *catalog* of maps from one process. Every v3
+//! request envelope carries a `map: u32` — the catalog id the request is
+//! routed to. v1 and v2 frames carry no map field and are routed to map
+//! `0`, the catalog's default map, so old clients keep working
+//! unchanged. A request naming an id the catalog does not have draws
+//! [`ErrorCode::UnknownMap`]. Reply envelopes are unchanged from v2
+//! (marker + correlation id): the correlation id already identifies the
+//! request, so replies need no map field.
+//!
+//! Three catalog ops ride along: `OPEN_MAP` resolves a map *name* to its
+//! id (building or reopening its store if cold; answered by
+//! [`Reply::MapOpened`]), `LIST_MAPS` enumerates the catalog
+//! ([`Reply::MapList`]), and `CLOSE_MAP` drops a map's in-memory store
+//! ([`Reply::MapClosed`]; the map stays in the catalog and reopens
+//! lazily on its next query). On a v3 connection `STATS` is answered by
+//! [`Reply::StatsV3`]: per-map counters plus the aggregate and the
+//! process-wide buffer-budget accounting.
 //!
 //! Requests cover the paper's query set — incident (query 1), second
 //! endpoint (query 2), nearest (query 3), k-nearest (its ranked extension),
@@ -82,10 +103,13 @@ pub const MAX_REQUEST_FRAME_V2: u32 = 4 * 1024 * 1024;
 pub const MAX_BATCH_ITEMS: usize = 65_536;
 
 /// The protocol version this build speaks natively.
-pub const PROTOCOL_VERSION: u8 = 2;
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// The v2 version marker: first payload byte of every v2 frame.
-pub const V2_MARKER: u8 = 0xB0 | PROTOCOL_VERSION;
+pub const V2_MARKER: u8 = 0xB2;
+
+/// The v3 version marker: first payload byte of every v3 frame.
+pub const V3_MARKER: u8 = 0xB0 | PROTOCOL_VERSION;
 
 /// Whether a first payload byte is a version marker (`0xB0..=0xBF`, low
 /// nibble = version). No v1 opcode falls in this range.
@@ -114,6 +138,9 @@ mod op {
     pub const INSERT: u8 = 0x0C;
     pub const DELETE: u8 = 0x0D;
     pub const FLUSH: u8 = 0x0E;
+    pub const OPEN_MAP: u8 = 0x0F;
+    pub const LIST_MAPS: u8 = 0x10;
+    pub const CLOSE_MAP: u8 = 0x11;
 }
 
 /// Batch kind bytes (second byte of a `BATCH` request).
@@ -139,6 +166,10 @@ mod rop {
     pub const INSERTED: u8 = 0x88;
     pub const DELETED: u8 = 0x89;
     pub const FLUSHED: u8 = 0x8A;
+    pub const MAP_OPENED: u8 = 0x8B;
+    pub const MAP_LIST: u8 = 0x8C;
+    pub const MAP_CLOSED: u8 = 0x8D;
+    pub const STATS_V3: u8 = 0x8E;
     pub const ERROR: u8 = 0xEE;
 }
 
@@ -183,6 +214,16 @@ pub enum Request {
     /// Checkpoint the op log: fold the WAL into its base store and
     /// truncate it. Answered with [`Reply::Flushed`].
     Flush,
+    /// Resolve a catalog map name to its id, opening (building or
+    /// recovering) its store if cold. Answered with [`Reply::MapOpened`],
+    /// or [`ErrorCode::UnknownMap`] if the catalog has no such name.
+    OpenMap { name: String },
+    /// Enumerate the catalog; answered with [`Reply::MapList`].
+    ListMaps,
+    /// Drop a map's in-memory store (it reopens lazily on its next
+    /// query). Answered with [`Reply::MapClosed`]. Closing the default
+    /// map or an unknown name draws an error.
+    CloseMap { name: String },
 }
 
 /// One server reply.
@@ -240,11 +281,77 @@ pub enum Reply {
     Flushed {
         lsn: u64,
     },
+    /// A map name resolved: its catalog id (usable as the v3 envelope's
+    /// map field) and its segment count.
+    MapOpened {
+        id: u32,
+        len: u64,
+    },
+    /// The catalog, in id order.
+    MapList(Vec<MapInfo>),
+    /// Close acknowledged; `was_open` is false if the map was already
+    /// cold.
+    MapClosed {
+        was_open: bool,
+    },
+    /// Multi-map statistics: the aggregate the v2 `STATS` reported, plus
+    /// per-map counters and the process-wide buffer-budget accounting.
+    StatsV3 {
+        queries: u64,
+        totals: QueryStats,
+        budget: BudgetWire,
+        maps: Vec<MapStatsWire>,
+    },
     /// Structured error frame.
     Error {
         code: ErrorCode,
         message: String,
     },
+}
+
+/// One catalog entry in a [`Reply::MapList`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MapInfo {
+    /// Catalog id — what a v3 request envelope's map field names.
+    pub id: u32,
+    /// Whether the map's store is currently open (resident).
+    pub open: bool,
+    pub name: String,
+}
+
+/// Process-wide buffer-budget accounting in a [`Reply::StatsV3`]
+/// (mirrors `lsdb_pager::BufferBudget`). `total == u64::MAX` means
+/// unlimited.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BudgetWire {
+    pub total: u64,
+    pub used: u64,
+    pub admissions: u64,
+    pub denials: u64,
+}
+
+/// Buffer-cache counters for one map in a [`Reply::StatsV3`] (mirrors
+/// `lsdb_pager::CacheStats`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheWire {
+    pub resident_pages: u64,
+    pub cached_pages: u64,
+    pub capacity_pages: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+/// Per-map block of a [`Reply::StatsV3`]. Counters persist across
+/// close/reopen cycles; `cache` is all-zero for a cold map.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MapStatsWire {
+    pub id: u32,
+    pub open: bool,
+    pub name: String,
+    pub queries: u64,
+    pub totals: QueryStats,
+    pub cache: CacheWire,
 }
 
 /// Error codes carried by [`Reply::Error`].
@@ -268,6 +375,9 @@ pub enum ErrorCode {
     /// A server-side failure executing a valid request (e.g. the
     /// write-ahead log refused a mutation). The request had no effect.
     Internal = 7,
+    /// The v3 envelope's map id (or an `OPEN_MAP`/`CLOSE_MAP` name)
+    /// names no map in the catalog.
+    UnknownMap = 8,
 }
 
 impl ErrorCode {
@@ -280,6 +390,7 @@ impl ErrorCode {
             5 => ErrorCode::ShuttingDown,
             6 => ErrorCode::UnsupportedVersion,
             7 => ErrorCode::Internal,
+            8 => ErrorCode::UnknownMap,
             _ => return None,
         })
     }
@@ -328,7 +439,7 @@ impl std::fmt::Display for ProtoError {
             ProtoError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported protocol version {v} (this server speaks v1 and v{PROTOCOL_VERSION})"
+                    "unsupported protocol version {v} (this server speaks v1 through v{PROTOCOL_VERSION})"
                 )
             }
         }
@@ -394,6 +505,13 @@ impl<'a> Cursor<'a> {
         Ok(Point::new(self.i32()?, self.i32()?))
     }
 
+    /// A `u16`-length-prefixed UTF-8 string (map names).
+    fn string16(&mut self) -> Result<String, ProtoError> {
+        let len = u16::from_le_bytes(self.take::<2>()?) as usize;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::BadField("name utf-8"))
+    }
+
     /// Every request has a fixed layout, so decoding must consume the
     /// whole payload.
     fn finish(self) -> Result<(), ProtoError> {
@@ -410,6 +528,13 @@ impl<'a> Cursor<'a> {
 fn put_point(buf: &mut Vec<u8>, p: Point) {
     buf.extend_from_slice(&p.x.to_le_bytes());
     buf.extend_from_slice(&p.y.to_le_bytes());
+}
+
+fn put_string16(buf: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    buf.extend_from_slice(&(len as u16).to_le_bytes());
+    buf.extend_from_slice(&bytes[..len]);
 }
 
 fn put_stats(buf: &mut Vec<u8>, s: QueryStats) {
@@ -612,6 +737,15 @@ impl Request {
                 buf.extend_from_slice(&id.0.to_le_bytes());
             }
             Request::Flush => buf.push(op::FLUSH),
+            Request::OpenMap { name } => {
+                buf.push(op::OPEN_MAP);
+                put_string16(buf, name);
+            }
+            Request::ListMaps => buf.push(op::LIST_MAPS),
+            Request::CloseMap { name } => {
+                buf.push(op::CLOSE_MAP);
+                put_string16(buf, name);
+            }
         }
     }
 
@@ -628,6 +762,18 @@ impl Request {
         let mut buf = Vec::with_capacity(32);
         buf.push(V2_MARKER);
         buf.extend_from_slice(&corr.to_le_bytes());
+        self.encode_body(&mut buf);
+        buf
+    }
+
+    /// Serialize to a v3 frame payload: version marker, correlation id,
+    /// the catalog id of the map this request is routed to, then the
+    /// same opcode + body as [`Request::encode`].
+    pub fn encode_v3(&self, corr: u32, map: u32) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(36);
+        buf.push(V3_MARKER);
+        buf.extend_from_slice(&corr.to_le_bytes());
+        buf.extend_from_slice(&map.to_le_bytes());
         self.encode_body(&mut buf);
         buf
     }
@@ -670,6 +816,13 @@ impl Request {
                 id: SegId(c.u32()?),
             },
             op::FLUSH => Request::Flush,
+            op::OPEN_MAP => Request::OpenMap {
+                name: c.string16()?,
+            },
+            op::LIST_MAPS => Request::ListMaps,
+            op::CLOSE_MAP => Request::CloseMap {
+                name: c.string16()?,
+            },
             other => return Err(ProtoError::UnknownOp(other)),
         };
         c.finish()?;
@@ -678,12 +831,20 @@ impl Request {
 }
 
 /// A decoded request plus its envelope: which layout the frame used
-/// (`corr` is `Some` for v2) — what a server needs to route the reply.
+/// (`corr` is `Some` for v2/v3), which map it is routed to, and the
+/// envelope version — everything a server needs to route the request
+/// and its reply.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct RequestFrame {
-    /// The v2 correlation id, echoed in the reply envelope; `None` for a
-    /// v1 frame.
+    /// The v2/v3 correlation id, echoed in the reply envelope; `None`
+    /// for a v1 frame.
     pub corr: Option<u32>,
+    /// The catalog id this request is routed to. v1/v2 frames carry no
+    /// map field and land on map `0`, the catalog's default.
+    pub map: u32,
+    /// The envelope version the frame used (1, 2 or 3) — what decides
+    /// the reply envelope and the `STATS` reply shape.
+    pub version: u8,
     pub request: Request,
 }
 
@@ -697,13 +858,13 @@ pub struct DecodeFailure {
 }
 
 /// Version-aware request decoding: dispatches on the first payload byte
-/// (version marker → v2 envelope, anything else → v1 compatibility
+/// (version marker → v2/v3 envelope, anything else → v1 compatibility
 /// path). Total: never panics on any byte sequence.
 pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, DecodeFailure> {
     match payload.first() {
         Some(&b) if is_version_marker(b) => {
             let version = b & 0x0F;
-            if version != PROTOCOL_VERSION {
+            if version != 2 && version != PROTOCOL_VERSION {
                 return Err(DecodeFailure {
                     corr: None,
                     error: ProtoError::UnsupportedVersion(version),
@@ -713,9 +874,20 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, DecodeFailure> {
             let corr = c
                 .u32()
                 .map_err(|error| DecodeFailure { corr: None, error })?;
-            match Request::decode(&payload[5..]) {
+            let map = if version == 3 {
+                c.u32().map_err(|error| DecodeFailure {
+                    corr: Some(corr),
+                    error,
+                })?
+            } else {
+                0
+            };
+            let body = &payload[1 + c.pos..];
+            match Request::decode(body) {
                 Ok(request) => Ok(RequestFrame {
                     corr: Some(corr),
+                    map,
+                    version,
                     request,
                 }),
                 Err(error) => Err(DecodeFailure {
@@ -727,6 +899,8 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, DecodeFailure> {
         _ => match Request::decode(payload) {
             Ok(request) => Ok(RequestFrame {
                 corr: None,
+                map: 0,
+                version: 1,
                 request,
             }),
             Err(error) => Err(DecodeFailure { corr: None, error }),
@@ -735,12 +909,14 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, DecodeFailure> {
 }
 
 /// Version-aware reply decoding (the client side of [`decode_request`]):
-/// returns the correlation id for v2-enveloped replies.
+/// returns the correlation id for enveloped replies. v2 and v3 reply
+/// envelopes are identical (marker + correlation id — replies carry no
+/// map field).
 pub fn decode_reply(payload: &[u8]) -> Result<(Option<u32>, Reply), ProtoError> {
     match payload.first() {
         Some(&b) if is_version_marker(b) => {
             let version = b & 0x0F;
-            if version != PROTOCOL_VERSION {
+            if version != 2 && version != PROTOCOL_VERSION {
                 return Err(ProtoError::UnsupportedVersion(version));
             }
             let mut c = Cursor::new(&payload[1..]);
@@ -816,6 +992,55 @@ impl Reply {
                 buf.push(rop::FLUSHED);
                 buf.extend_from_slice(&lsn.to_le_bytes());
             }
+            Reply::MapOpened { id, len } => {
+                buf.push(rop::MAP_OPENED);
+                buf.extend_from_slice(&id.to_le_bytes());
+                buf.extend_from_slice(&len.to_le_bytes());
+            }
+            Reply::MapList(maps) => {
+                buf.push(rop::MAP_LIST);
+                buf.extend_from_slice(&(maps.len() as u32).to_le_bytes());
+                for m in maps {
+                    buf.extend_from_slice(&m.id.to_le_bytes());
+                    buf.push(m.open as u8);
+                    put_string16(buf, &m.name);
+                }
+            }
+            Reply::MapClosed { was_open } => {
+                buf.push(rop::MAP_CLOSED);
+                buf.push(*was_open as u8);
+            }
+            Reply::StatsV3 {
+                queries,
+                totals,
+                budget,
+                maps,
+            } => {
+                buf.push(rop::STATS_V3);
+                buf.extend_from_slice(&queries.to_le_bytes());
+                put_stats(buf, *totals);
+                for v in [budget.total, budget.used, budget.admissions, budget.denials] {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+                buf.extend_from_slice(&(maps.len() as u32).to_le_bytes());
+                for m in maps {
+                    buf.extend_from_slice(&m.id.to_le_bytes());
+                    buf.push(m.open as u8);
+                    put_string16(buf, &m.name);
+                    buf.extend_from_slice(&m.queries.to_le_bytes());
+                    put_stats(buf, m.totals);
+                    for v in [
+                        m.cache.resident_pages,
+                        m.cache.cached_pages,
+                        m.cache.capacity_pages,
+                        m.cache.hits,
+                        m.cache.misses,
+                        m.cache.evictions,
+                    ] {
+                        buf.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
             Reply::Error { code, message } => {
                 buf.push(rop::ERROR);
                 buf.push(*code as u8);
@@ -839,6 +1064,16 @@ impl Reply {
     pub fn encode_v2(&self, corr: u32) -> Vec<u8> {
         let mut buf = Vec::with_capacity(72);
         buf.push(V2_MARKER);
+        buf.extend_from_slice(&corr.to_le_bytes());
+        self.encode_body(&mut buf);
+        buf
+    }
+
+    /// Serialize to a v3 frame payload. The v3 reply envelope matches
+    /// v2's (marker + correlation id; replies carry no map field).
+    pub fn encode_v3(&self, corr: u32) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(72);
+        buf.push(V3_MARKER);
         buf.extend_from_slice(&corr.to_le_bytes());
         self.encode_body(&mut buf);
         buf
@@ -901,6 +1136,72 @@ impl Reply {
                 }
             }
             rop::FLUSHED => Reply::Flushed { lsn: c.u64()? },
+            rop::MAP_OPENED => Reply::MapOpened {
+                id: c.u32()?,
+                len: c.u64()?,
+            },
+            rop::MAP_LIST => {
+                let n = c.u32()? as usize;
+                let mut maps = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    maps.push(MapInfo {
+                        id: c.u32()?,
+                        open: match c.u8()? {
+                            0 => false,
+                            1 => true,
+                            _ => return Err(ProtoError::BadField("map open flag")),
+                        },
+                        name: c.string16()?,
+                    });
+                }
+                Reply::MapList(maps)
+            }
+            rop::MAP_CLOSED => Reply::MapClosed {
+                was_open: match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(ProtoError::BadField("map closed flag")),
+                },
+            },
+            rop::STATS_V3 => {
+                let queries = c.u64()?;
+                let totals = get_stats(&mut c)?;
+                let budget = BudgetWire {
+                    total: c.u64()?,
+                    used: c.u64()?,
+                    admissions: c.u64()?,
+                    denials: c.u64()?,
+                };
+                let n = c.u32()? as usize;
+                let mut maps = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    maps.push(MapStatsWire {
+                        id: c.u32()?,
+                        open: match c.u8()? {
+                            0 => false,
+                            1 => true,
+                            _ => return Err(ProtoError::BadField("map open flag")),
+                        },
+                        name: c.string16()?,
+                        queries: c.u64()?,
+                        totals: get_stats(&mut c)?,
+                        cache: CacheWire {
+                            resident_pages: c.u64()?,
+                            cached_pages: c.u64()?,
+                            capacity_pages: c.u64()?,
+                            hits: c.u64()?,
+                            misses: c.u64()?,
+                            evictions: c.u64()?,
+                        },
+                    });
+                }
+                Reply::StatsV3 {
+                    queries,
+                    totals,
+                    budget,
+                    maps,
+                }
+            }
             rop::HELLO => Reply::Hello { version: c.u8()? },
             rop::BATCH => {
                 let n = c.u32()? as usize;
@@ -1339,7 +1640,7 @@ mod tests {
     #[test]
     fn unsupported_version_marker_is_structured_not_a_panic() {
         for v in 0..=0x0F {
-            if v == PROTOCOL_VERSION {
+            if v == 2 || v == PROTOCOL_VERSION {
                 continue;
             }
             let mut bytes = Request::Ping.encode_v2(7);
@@ -1352,6 +1653,161 @@ mod tests {
                 Err(ProtoError::UnsupportedVersion(got)) if got == v
             ));
         }
+    }
+
+    #[test]
+    fn v3_request_roundtrip_preserves_correlation_and_map_ids() {
+        let mut reqs = sample_requests();
+        reqs.push(Request::OpenMap {
+            name: "c12-7".into(),
+        });
+        reqs.push(Request::ListMaps);
+        reqs.push(Request::CloseMap {
+            name: "Baltimore".into(),
+        });
+        for (i, r) in reqs.into_iter().enumerate() {
+            let corr = (i as u32).wrapping_mul(0x9E3779B9);
+            let map = (i as u32).wrapping_mul(7) % 20;
+            let bytes = r.encode_v3(corr, map);
+            assert_eq!(bytes[0], V3_MARKER);
+            let frame = decode_request(&bytes).unwrap();
+            assert_eq!(frame.corr, Some(corr), "{r:?}");
+            assert_eq!(frame.map, map);
+            assert_eq!(frame.version, 3);
+            assert_eq!(frame.request, r);
+            // The same body in a v1 frame still decodes (map defaults
+            // to 0), so compatibility tooling can speak the new ops too.
+            let v1 = decode_request(&r.encode()).unwrap();
+            assert_eq!((v1.corr, v1.map, v1.version), (None, 0, 1));
+            assert_eq!(v1.request, r);
+        }
+    }
+
+    #[test]
+    fn v2_frames_still_decode_and_route_to_the_default_map() {
+        for r in sample_requests() {
+            let frame = decode_request(&r.encode_v2(99)).unwrap();
+            assert_eq!(frame.corr, Some(99));
+            assert_eq!(frame.map, 0, "v2 frames land on the default map");
+            assert_eq!(frame.version, 2);
+            assert_eq!(frame.request, r);
+        }
+        // A v2 reply envelope is accepted by the v3 client decoder.
+        let (corr, got) = decode_reply(&Reply::Pong.encode_v2(5)).unwrap();
+        assert_eq!((corr, got), (Some(5), Reply::Pong));
+    }
+
+    #[test]
+    fn map_replies_roundtrip() {
+        let stats = QueryStats {
+            disk: DiskStats {
+                reads: 10,
+                writes: 0,
+            },
+            seg_comps: 44,
+            bbox_comps: 210,
+            seg_disk: DiskStats {
+                reads: 7,
+                writes: 0,
+            },
+        };
+        let replies = [
+            Reply::MapOpened {
+                id: 17,
+                len: 50_998,
+            },
+            Reply::MapList(vec![
+                MapInfo {
+                    id: 0,
+                    open: true,
+                    name: "default".into(),
+                },
+                MapInfo {
+                    id: 1,
+                    open: false,
+                    name: "c0-1".into(),
+                },
+            ]),
+            Reply::MapList(vec![]),
+            Reply::MapClosed { was_open: true },
+            Reply::MapClosed { was_open: false },
+            Reply::StatsV3 {
+                queries: 1234,
+                totals: stats,
+                budget: BudgetWire {
+                    total: 1 << 20,
+                    used: 123_456,
+                    admissions: 88,
+                    denials: 3,
+                },
+                maps: vec![
+                    MapStatsWire {
+                        id: 0,
+                        open: true,
+                        name: "c0-0".into(),
+                        queries: 1000,
+                        totals: stats,
+                        cache: CacheWire {
+                            resident_pages: 64,
+                            cached_pages: 32,
+                            capacity_pages: 64,
+                            hits: 900,
+                            misses: 100,
+                            evictions: 32,
+                        },
+                    },
+                    MapStatsWire {
+                        id: 1,
+                        open: false,
+                        name: "c0-1".into(),
+                        queries: 234,
+                        totals: stats,
+                        cache: CacheWire::default(),
+                    },
+                ],
+            },
+            Reply::StatsV3 {
+                queries: 0,
+                totals: QueryStats::default(),
+                budget: BudgetWire::default(),
+                maps: vec![],
+            },
+            Reply::Error {
+                code: ErrorCode::UnknownMap,
+                message: "no such map".into(),
+            },
+        ];
+        for r in replies {
+            assert_eq!(Reply::decode(&r.encode()).unwrap(), r, "{r:?}");
+            let (corr, got) = decode_reply(&r.encode_v3(0xC0FFEE)).unwrap();
+            assert_eq!(corr, Some(0xC0FFEE));
+            assert_eq!(got, r);
+        }
+    }
+
+    #[test]
+    fn truncated_v3_frames_error_not_panic() {
+        let reqs = [
+            Request::OpenMap {
+                name: "c3-3".into(),
+            },
+            Request::Window(Rect::new(-10, -10, 10, 10)),
+            Request::ListMaps,
+        ];
+        for r in reqs {
+            let bytes = r.encode_v3(0xDEAD_BEEF, 12);
+            for cut in 0..bytes.len() {
+                assert!(
+                    decode_request(&bytes[..cut]).is_err(),
+                    "{r:?} cut at {cut} must fail"
+                );
+            }
+        }
+        // A wounded v3 body still recovers the correlation id.
+        let mut bytes = Request::Incident(Point::new(3, 4)).encode_v3(0x5151_5151, 9);
+        bytes.truncate(bytes.len() - 2);
+        let fail = decode_request(&bytes).unwrap_err();
+        assert_eq!(fail.corr, Some(0x5151_5151));
     }
 
     #[test]

@@ -6,18 +6,20 @@
 //! the calling thread. The loop accepts, frames, and decodes; spatial
 //! work crosses to the executors over a channel and encoded replies come
 //! back over another, so a single I/O thread supports thousands of
-//! pipelined connections. Per-query counters fold into a
-//! [`SharedStats`] aggregate (what the `STATS` op reports), exactly as
-//! the in-process parallel driver folds them — totals are independent of
-//! connection count, pipelining depth, or batch shape. Shutdown is
+//! pipelined connections. Per-query counters fold into both the queried
+//! map's [`lsdb_core::SharedStats`] and the catalog-wide aggregate (what
+//! the `STATS` op reports), exactly as the in-process parallel driver
+//! folds them — totals are independent of connection count, pipelining
+//! depth, or batch shape. Shutdown is
 //! graceful: a `SHUTDOWN` request (or [`ShutdownHandle::shutdown`]) stops
 //! the acceptor, owed replies flush, and every thread exits.
 
+use crate::catalog::Catalog;
 use crate::event_loop;
 use crate::executor::{self, Completion, Job};
 use crate::protocol::MAX_REQUEST_FRAME_V2;
 use crate::sys::WakePipe;
-use lsdb_core::{LiveIndex, QueryStats, SharedStats, SpatialIndex};
+use lsdb_core::{LiveIndex, QueryStats, SpatialIndex};
 use std::io;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -212,7 +214,7 @@ impl ShutdownHandle {
 /// A bound-but-not-yet-running query server.
 pub struct Server {
     listener: TcpListener,
-    index: LiveIndex,
+    catalog: Catalog,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
 }
@@ -232,16 +234,29 @@ impl Server {
 
     /// Bind to `addr` serving a [`LiveIndex`] — typically one recovered
     /// from a durable op log, so acknowledged mutations survive a crash.
+    /// The index becomes map `0` ("default") of a one-map catalog, so
+    /// every protocol version behaves exactly as the single-map server
+    /// did.
     pub fn bind_live(
         addr: impl ToSocketAddrs,
         index: LiveIndex,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        Server::bind_catalog(addr, Catalog::single(index), config)
+    }
+
+    /// Bind to `addr` serving a whole [`Catalog`] of maps: v3 requests
+    /// route by map id, v1/v2 requests land on map `0`.
+    pub fn bind_catalog(
+        addr: impl ToSocketAddrs,
+        catalog: Catalog,
         config: ServerConfig,
     ) -> io::Result<Server> {
         config.validate()?;
         let listener = TcpListener::bind(addr)?;
         Ok(Server {
             listener,
-            index,
+            catalog,
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
@@ -263,11 +278,10 @@ impl Server {
     pub fn run(self) -> io::Result<ServerReport> {
         let Server {
             listener,
-            index,
+            catalog,
             config,
             shutdown,
         } = self;
-        let stats = SharedStats::new();
         let connections = AtomicU64::new(0);
         let wake = WakePipe::new()?;
         let (job_tx, job_rx) = std::sync::mpsc::channel::<Job>();
@@ -275,8 +289,7 @@ impl Server {
         let job_rx = Mutex::new(job_rx);
 
         let shared = Shared {
-            index: &index,
-            stats: &stats,
+            catalog: &catalog,
             shutdown: &shutdown,
             config: &config,
         };
@@ -297,8 +310,8 @@ impl Server {
         result?;
 
         Ok(ServerReport {
-            queries: stats.queries(),
-            totals: stats.snapshot(),
+            queries: catalog.aggregate().queries(),
+            totals: catalog.aggregate().snapshot(),
             connections: connections.load(Ordering::Relaxed),
         })
     }
@@ -307,8 +320,7 @@ impl Server {
 /// Everything the event loop and executors share, borrowed for the scope
 /// of [`Server::run`].
 pub(crate) struct Shared<'a> {
-    pub index: &'a LiveIndex,
-    pub stats: &'a SharedStats,
+    pub catalog: &'a Catalog,
     pub shutdown: &'a AtomicBool,
     pub config: &'a ServerConfig,
 }

@@ -71,6 +71,50 @@ pub fn county(name: &str) -> Option<CountySpec> {
         .find(|c| c.name.eq_ignore_ascii_case(name))
 }
 
+/// A deterministic synthetic continent: `counties` county specs laid out
+/// on a square grid of seeds. County `i` sits at grid cell
+/// `(i / side, i % side)` (`side = ceil(sqrt(counties))`), is named
+/// `c<row>-<col>`, cycles through the urban/suburban/rural classes, and
+/// derives its seed only from `seed` and its grid cell — so any county
+/// can be regenerated independently, identically, and in any order
+/// (which is what lets a multi-map server lazily rebuild a closed map
+/// byte-for-byte). At the paper's ~50k segments per county, 100 counties
+/// is a five-million-segment dataset.
+pub fn continent(counties: usize, segments_per_county: usize, seed: u64) -> Vec<CountySpec> {
+    let side = (counties as f64).sqrt().ceil() as usize;
+    (0..counties)
+        .map(|i| continent_county(i / side.max(1), i % side.max(1), segments_per_county, seed))
+        .collect()
+}
+
+/// One continent county by grid cell (see [`continent`]).
+pub fn continent_county(
+    row: usize,
+    col: usize,
+    segments_per_county: usize,
+    seed: u64,
+) -> CountySpec {
+    // SplitMix64-style mix of the base seed and the grid cell, so
+    // neighbouring cells get uncorrelated generator streams.
+    let mut s = seed
+        ^ (row as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (col as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    s ^= s >> 30;
+    s = s.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    s ^= s >> 27;
+    let class = match (row + col) % 4 {
+        0 => CountyClass::Urban,
+        1 => CountyClass::Suburban,
+        2 => CountyClass::Rural {
+            meander: 20 + 2 * (col % 4),
+        },
+        _ => CountyClass::Rural {
+            meander: 26 - 2 * (row % 3),
+        },
+    };
+    CountySpec::new(&format!("c{row}-{col}"), class, segments_per_county, s)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,5 +126,41 @@ mod tests {
         assert_eq!(county("charles").unwrap().target_segments, 50_998);
         assert_eq!(county("Baltimore").unwrap().target_segments, 48_068);
         assert!(county("nowhere").is_none());
+    }
+
+    #[test]
+    fn continent_is_deterministic_with_distinct_seeds_and_mixed_classes() {
+        let a = continent(20, 3000, 7);
+        let b = continent(20, 3000, 7);
+        assert_eq!(a.len(), 20);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.target_segments, 3000);
+        }
+        let mut seeds: Vec<u64> = a.iter().map(|c| c.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 20, "every county gets its own seed");
+        assert!(a.iter().any(|c| matches!(c.class, CountyClass::Urban)));
+        assert!(a
+            .iter()
+            .any(|c| matches!(c.class, CountyClass::Rural { .. })));
+        // A different base seed reshuffles every county.
+        let c = continent(20, 3000, 8);
+        assert!(a.iter().zip(&c).all(|(x, y)| x.seed != y.seed));
+    }
+
+    #[test]
+    fn continent_counties_regenerate_independently() {
+        // The property the multi-map server's lazy reopen relies on:
+        // rebuilding one county in isolation yields the same map as
+        // building it as part of the whole continent.
+        let all = continent(9, 400, 42);
+        let lone = continent_county(1, 2, 400, 42);
+        assert_eq!(all[5].name, lone.name, "cell (1,2) is county 5 of 9");
+        let a = generate(&all[5]);
+        let b = generate(&lone);
+        assert_eq!(a.segments, b.segments);
     }
 }

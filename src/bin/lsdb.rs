@@ -12,25 +12,33 @@
 //! lsdb query MAP --structure pmr polygon X Y
 //! lsdb query MAP --structure pmr --stdin        # one query per line
 //! lsdb serve MAP --structure pmr --port 4750 --workers 4 [--max-frame B] \
-//!      [--store DIR]
+//!      [--store DIR] [--bulk]
+//! lsdb serve --continent 16 --county-segments 50000 --budget 8388608 \
+//!      --max-open 8 --bulk --structure rstar
 //! lsdb bench-client MAP --addr 127.0.0.1:4750 --workload range \
 //!      --queries 1000 --connections 4
 //! lsdb bench-client MAP --addr 127.0.0.1:4750 --workload range --open-loop 5000
 //! lsdb bench-client MAP --addr 127.0.0.1:4750 --workload polygon2 --batch
+//! lsdb bench-client --addr 127.0.0.1:4750 --multimap 16 --open-loop 2000 \
+//!      --zipf 1.0 --county-segments 50000
 //! ```
 //!
 //! Every query prints its answer and the paper's three metrics for it.
-//! `serve` exposes the built structure over the lsdb wire protocol (v2,
-//! with v1 compatibility); with `--store DIR` the server also accepts
+//! `serve` exposes the built structure over the lsdb wire protocol (v3,
+//! with v1/v2 compatibility); with `--store DIR` the server also accepts
 //! `INSERT`/`DELETE`/`FLUSH`, journaling every acknowledged mutation to
 //! `DIR/ops.wal` (checkpointed into `DIR/ops.pages`) and replaying the
 //! log over the freshly built index on restart, so acknowledged writes
-//! survive a crash. Its config is seeded from the environment
+//! survive a crash. With `--continent N` it instead hosts a catalog of N
+//! deterministic county maps behind one port — maps open lazily, close
+//! under `--max-open` pressure, and share one `--budget` of page-pool
+//! bytes. Its config is seeded from the environment
 //! ([`lsdb::server::ServerConfig::from_env`]) with flags taking
 //! precedence. `bench-client` is the matching load generator: closed
 //! loop by default, open loop at a fixed arrival rate with `--open-loop
-//! QPS` (tail percentiles up to p999), or a single locality-sorted
-//! `BATCH` frame with `--batch`.
+//! QPS` (tail percentiles up to p999), a single locality-sorted `BATCH`
+//! frame with `--batch`, or the multi-map mode with `--multimap K`
+//! (Zipf map popularity, per-map counters, budget gauge).
 
 use lsdb::core::{queries, IndexConfig, PolygonalMap, QueryCtx, SegId, SpatialIndex};
 use lsdb::geom::{Point, Rect};
@@ -74,9 +82,13 @@ fn print_usage() {
          lsdb query FILE --structure S polygon X Y\n  \
          lsdb query FILE --structure S --stdin\n  \
          lsdb serve FILE [--structure S] [--addr HOST] [--port P] [--workers W] \\\n      \
-              [--max-frame B] [--page-size B] [--pool P] [--store DIR]\n  \
+              [--max-frame B] [--page-size B] [--pool P] [--store DIR] [--bulk]\n  \
+         lsdb serve --continent N [--county-segments S] [--continent-seed S] \\\n      \
+              [--budget BYTES] [--max-open M] [--bulk] [--structure S] [...]\n  \
          lsdb bench-client FILE --addr HOST:PORT [--workload W] [--queries N] \\\n      \
-              [--connections C] [--seed S] [--open-loop QPS | --batch] [--shutdown]\n\n\
+              [--connections C] [--seed S] [--open-loop QPS | --batch] [--shutdown]\n  \
+         lsdb bench-client --addr HOST:PORT --multimap K --open-loop QPS \\\n      \
+              [--zipf THETA] [--county-segments S] [--continent-seed S] [...]\n\n\
          bench-client workloads: point1 point2 nearest1 nearest2 polygon1 polygon2 range\n\
          serve env fallbacks: LSDB_SERVER_WORKERS (or LSDB_THREADS), \
          LSDB_SERVER_READ_TIMEOUT_MS,\n\
@@ -470,9 +482,30 @@ fn open_store(
     DurableMap::open(Box::new(base), Box::new(log))
 }
 
+/// Build `name` over `map`, preferring the STR-style bulk loaders when
+/// `bulk` is set (R-tree variants and the R+-tree have one; the others
+/// fall back to their insertion build).
+fn build_structure_maybe_bulk(
+    name: &str,
+    map: &PolygonalMap,
+    cfg: IndexConfig,
+    bulk: bool,
+) -> Option<Box<dyn SpatialIndex>> {
+    if bulk {
+        match name {
+            "rstar" | "rquad" | "rlin" => {
+                return Some(Box::new(lsdb::rtree::RTree::bulk_load(map, cfg)))
+            }
+            "rplus" => return Some(Box::new(lsdb::rplus::RPlusTree::bulk_load(map, cfg))),
+            _ => {}
+        }
+    }
+    build_structure(name, map, cfg)
+}
+
 fn cmd_serve(rest: &[String]) -> i32 {
     use lsdb::core::LiveIndex;
-    use lsdb::server::{Server, ServerConfig};
+    use lsdb::server::{Catalog, Server, ServerConfig};
 
     let mut args = rest.to_vec();
     let structure = structure_flag(&mut args);
@@ -496,27 +529,25 @@ fn cmd_serve(rest: &[String]) -> i32 {
     let pool = take_flag(&mut args, "--pool")
         .map(|v| parse_or_die(&v, "--pool"))
         .unwrap_or(16usize);
-    let Some(path) = args.first() else {
-        eprintln!("serve needs a map file");
-        return 2;
+    let continent: Option<usize> =
+        take_flag(&mut args, "--continent").map(|v| parse_or_die(&v, "--continent"));
+    let county_segments: usize = take_flag(&mut args, "--county-segments")
+        .map(|v| parse_or_die(&v, "--county-segments"))
+        .unwrap_or(50_000);
+    let continent_seed: u64 = take_flag(&mut args, "--continent-seed")
+        .map(|v| parse_or_die(&v, "--continent-seed"))
+        .unwrap_or(0x7161);
+    let budget: u64 = take_flag(&mut args, "--budget")
+        .map(|v| parse_or_die(&v, "--budget"))
+        .unwrap_or(0);
+    let max_open: Option<usize> =
+        take_flag(&mut args, "--max-open").map(|v| parse_or_die(&v, "--max-open"));
+    let bulk = if let Some(i) = args.iter().position(|a| a == "--bulk") {
+        args.remove(i);
+        true
+    } else {
+        false
     };
-    let map = load_map(path);
-    let cfg = IndexConfig {
-        page_size: page,
-        pool_pages: pool,
-        ..Default::default()
-    };
-    let start = std::time::Instant::now();
-    let Some(mut idx) = build_structure(&structure, &map, cfg) else {
-        return 2;
-    };
-    println!(
-        "built {} over {} ({} segments) in {:.2}s",
-        idx.name(),
-        map.name,
-        map.len(),
-        start.elapsed().as_secs_f64()
-    );
     let config = ServerConfig {
         workers,
         max_request_frame: max_frame,
@@ -526,10 +557,82 @@ fn cmd_serve(rest: &[String]) -> i32 {
         eprintln!("{e}");
         return 2;
     }
-    // With --store, acknowledged mutations outlive the process: recover
-    // the op log, replay it over the freshly built index, and serve the
-    // live (writable) index instead of a read-only one.
-    let live = match &store {
+    let cfg = IndexConfig {
+        page_size: page,
+        pool_pages: pool,
+        ..Default::default()
+    };
+
+    // Continent mode: host a whole catalog of deterministic county maps
+    // behind one port. Every map is rebuilt on demand (lazily, and again
+    // after an LRU close), so cold maps cost nothing but their slot.
+    if let Some(counties) = continent {
+        if counties == 0 {
+            eprintln!("--continent needs at least 1 county");
+            return 2;
+        }
+        if store.is_some() {
+            eprintln!(
+                "--store is incompatible with --continent: continental counties \
+                 rebuild deterministically and are served read-only"
+            );
+            return 2;
+        }
+        if !args.is_empty() {
+            eprintln!("--continent takes no map file (counties are generated)");
+            return 2;
+        }
+        // Vet the structure name once, before it is buried in builders.
+        if build_structure(&structure, &PolygonalMap::new("probe", Vec::new()), cfg).is_none() {
+            return 2;
+        }
+        let mut catalog = Catalog::new(budget, max_open.unwrap_or(counties));
+        for spec in tiger::continent(counties, county_segments, continent_seed) {
+            let name = spec.name.clone();
+            let structure = structure.clone();
+            catalog.add_map(
+                &name,
+                Box::new(move || {
+                    let map = tiger::generate(&spec);
+                    build_structure_maybe_bulk(&structure, &map, cfg, bulk).ok_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            format!("unknown structure `{structure}`"),
+                        )
+                    })
+                }),
+            );
+        }
+        println!(
+            "catalog: {counties} county maps x {county_segments} segments ({structure}, \
+             bulk={bulk}), budget {}, max-open {}",
+            if budget == 0 {
+                "unlimited".to_string()
+            } else {
+                format!("{budget} bytes")
+            },
+            max_open.unwrap_or(counties)
+        );
+        let server = match Server::bind_catalog((host.as_str(), port), catalog, config) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot bind {host}:{port}: {e}");
+                return 1;
+            }
+        };
+        return run_server(server, &host, port, workers);
+    }
+
+    let Some(path) = args.first() else {
+        eprintln!("serve needs a map file (or --continent N)");
+        return 2;
+    };
+    let map = load_map(path);
+    // Open the store *before* the index build: a missing or unreadable
+    // store (wrong superblock version, foreign file, page-size mismatch)
+    // must fail fast with a structured error, not after minutes of
+    // building an index it can never serve.
+    let recovered = match &store {
         Some(dir) => {
             let (dmap, report) = match open_store(dir, page) {
                 Ok(v) => v,
@@ -549,6 +652,26 @@ fn cmd_serve(rest: &[String]) -> i32 {
                 dmap.len(),
                 report.images
             );
+            Some(dmap)
+        }
+        None => None,
+    };
+    let start = std::time::Instant::now();
+    let Some(mut idx) = build_structure_maybe_bulk(&structure, &map, cfg, bulk) else {
+        return 2;
+    };
+    println!(
+        "built {} over {} ({} segments) in {:.2}s",
+        idx.name(),
+        map.name,
+        map.len(),
+        start.elapsed().as_secs_f64()
+    );
+    // With --store, acknowledged mutations outlive the process: the op
+    // log recovered above replays over the freshly built index, and the
+    // server serves the live (writable) index instead of a read-only one.
+    let live = match recovered {
+        Some(dmap) => {
             dmap.replay_into(idx.as_mut());
             LiveIndex::new(idx, dmap)
         }
@@ -561,6 +684,11 @@ fn cmd_serve(rest: &[String]) -> i32 {
             return 1;
         }
     };
+    run_server(server, &host, port, workers)
+}
+
+/// Shared serve epilogue: announce the address, run to drain, report.
+fn run_server(server: lsdb::server::Server, host: &str, port: u16, workers: usize) -> i32 {
     match server.local_addr() {
         Ok(addr) => {
             println!("serving on {addr} with {workers} worker(s); a SHUTDOWN request stops it")
@@ -588,6 +716,20 @@ fn cmd_serve(rest: &[String]) -> i32 {
     }
 }
 
+/// Cumulative Zipf(θ) popularity over ranks `0..k` (rank 0 hottest).
+fn zipf_cdf(k: usize, theta: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (0..k).map(|i| 1.0 / ((i + 1) as f64).powf(theta)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
 fn cmd_bench_client(rest: &[String]) -> i32 {
     use lsdb::bench::wire::requests_for;
     use lsdb::bench::workloads::{QueryWorkbench, Workload};
@@ -611,6 +753,17 @@ fn cmd_bench_client(rest: &[String]) -> i32 {
         .unwrap_or(0xC4A5);
     let open_loop_qps: Option<f64> =
         take_flag(&mut args, "--open-loop").map(|v| parse_or_die(&v, "--open-loop"));
+    let multimap: Option<usize> =
+        take_flag(&mut args, "--multimap").map(|v| parse_or_die(&v, "--multimap"));
+    let zipf_theta: f64 = take_flag(&mut args, "--zipf")
+        .map(|v| parse_or_die(&v, "--zipf"))
+        .unwrap_or(1.0);
+    let county_segments: usize = take_flag(&mut args, "--county-segments")
+        .map(|v| parse_or_die(&v, "--county-segments"))
+        .unwrap_or(50_000);
+    let continent_seed: u64 = take_flag(&mut args, "--continent-seed")
+        .map(|v| parse_or_die(&v, "--continent-seed"))
+        .unwrap_or(0x7161);
     let batch_mode = if let Some(i) = args.iter().position(|a| a == "--batch") {
         args.remove(i);
         true
@@ -627,10 +780,6 @@ fn cmd_bench_client(rest: &[String]) -> i32 {
         eprintln!("--batch and --open-loop are mutually exclusive");
         return 2;
     }
-    let Some(path) = args.first() else {
-        eprintln!("bench-client needs the map file the server loaded (to derive the query stream)");
-        return 2;
-    };
     let workload = match workload_name.as_str() {
         "point1" => Workload::Point1,
         "point2" => Workload::Point2,
@@ -652,6 +801,41 @@ fn cmd_bench_client(rest: &[String]) -> i32 {
             eprintln!("cannot resolve address `{addr_str}`");
             return 2;
         }
+    };
+
+    // Multi-map mode: route a Zipf-popular mix of per-county query
+    // streams to a continental server at a fixed arrival rate and report
+    // the latency SLO plus the server's per-map and budget counters.
+    if let Some(k) = multimap {
+        if k == 0 {
+            eprintln!("--multimap needs at least 1 map");
+            return 2;
+        }
+        let Some(qps) = open_loop_qps else {
+            eprintln!("--multimap needs --open-loop QPS (it is an open-loop mode)");
+            return 2;
+        };
+        if batch_mode || !args.is_empty() {
+            eprintln!("--multimap takes no map file or --batch (county streams are generated)");
+            return 2;
+        }
+        return bench_multimap(
+            addr,
+            k,
+            county_segments,
+            continent_seed,
+            workload,
+            queries,
+            connections.max(1),
+            qps,
+            zipf_theta,
+            seed,
+            send_shutdown,
+        );
+    }
+    let Some(path) = args.first() else {
+        eprintln!("bench-client needs the map file the server loaded (to derive the query stream)");
+        return 2;
     };
     let map = load_map(path);
     let wb = QueryWorkbench::new(&map, queries, seed);
@@ -755,6 +939,153 @@ fn cmd_bench_client(rest: &[String]) -> i32 {
         report.result_items as f64 / n
     );
     finish(addr, send_shutdown)
+}
+
+/// The multi-map open-loop run: open `k` continental county maps on the
+/// server, generate each county's query stream locally (byte-identical
+/// to what a single-map run would issue), draw the per-request map from
+/// a Zipf(θ) popularity distribution, and fire the routed stream at
+/// `target_qps` over v3 connections.
+#[allow(clippy::too_many_arguments)]
+fn bench_multimap(
+    addr: std::net::SocketAddr,
+    k: usize,
+    county_segments: usize,
+    continent_seed: u64,
+    workload: lsdb::bench::workloads::Workload,
+    queries: usize,
+    connections: usize,
+    target_qps: f64,
+    zipf_theta: f64,
+    seed: u64,
+    send_shutdown: bool,
+) -> i32 {
+    use lsdb::bench::wire::requests_for;
+    use lsdb::bench::workloads::QueryWorkbench;
+    use lsdb::server::{run_open_loop_routed, Client};
+    use lsdb_rng::StdRng;
+
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect: {e}");
+            return 1;
+        }
+    };
+    if !client.is_v3() {
+        eprintln!(
+            "--multimap needs a v3 (catalog) server; this one negotiated v{}",
+            client.version()
+        );
+        return 1;
+    }
+
+    // Open every targeted county and build its local stream. Stream
+    // length is the per-map worst case (a map could absorb the whole
+    // run), cycled by cursor if the Zipf draw exceeds it.
+    let specs = tiger::continent(k, county_segments, continent_seed);
+    let mut ids = Vec::with_capacity(k);
+    let mut streams = Vec::with_capacity(k);
+    for spec in &specs {
+        let id = match client.open_map(&spec.name) {
+            Ok((id, _len)) => id,
+            Err(e) => {
+                eprintln!(
+                    "cannot open map `{}` (does the server host a --continent {k} catalog \
+                     with the same --county-segments/--continent-seed?): {e}",
+                    spec.name
+                );
+                return 1;
+            }
+        };
+        ids.push(id);
+        let map = tiger::generate(spec);
+        let wb = QueryWorkbench::new(&map, queries.max(1), seed ^ spec.seed);
+        streams.push(requests_for(&wb, workload));
+    }
+
+    let cdf = zipf_cdf(k, zipf_theta);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x05EE_D2A9);
+    let mut cursors = vec![0usize; k];
+    let routed: Vec<(u32, lsdb::server::Request)> = (0..queries)
+        .map(|_| {
+            let u = rng.next_f64();
+            let m = cdf.iter().position(|&c| u <= c).unwrap_or(k - 1);
+            let stream = &streams[m];
+            let req = stream[cursors[m] % stream.len()].clone();
+            cursors[m] += 1;
+            (ids[m], req)
+        })
+        .collect();
+
+    println!(
+        "{queries} x {} across {k} maps (Zipf theta {zipf_theta}) against {addr}, \
+         {connections} connection(s), open loop at {target_qps} queries/s",
+        workload.label()
+    );
+    let report = match run_open_loop_routed(addr, &routed, connections, target_qps) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("load run failed: {e}");
+            return 1;
+        }
+    };
+    let n = report.queries.max(1) as f64;
+    println!(
+        "throughput : {:.0} queries/s ({} queries in {:.3}s)",
+        report.throughput_qps(),
+        report.queries,
+        report.wall.as_secs_f64()
+    );
+    println!(
+        "latency    : p50 {:.0} us, p99 {:.0} us, p999 {:.0} us, max {:.0} us",
+        report.p50().as_secs_f64() * 1e6,
+        report.p99().as_secs_f64() * 1e6,
+        report.p999().as_secs_f64() * 1e6,
+        report.max_latency().as_secs_f64() * 1e6
+    );
+    println!(
+        "per query  : {:.2} disk accesses, {:.2} segment comps, {:.2} bbox/bucket comps, {:.2} results",
+        report.totals.disk.total() as f64 / n,
+        report.totals.seg_comps as f64 / n,
+        report.totals.bbox_comps as f64 / n,
+        report.result_items as f64 / n
+    );
+    match client.stats_v3() {
+        Ok(stats) => {
+            if stats.budget.total != u64::MAX {
+                println!(
+                    "budget     : {} / {} bytes resident, {} admissions, {} denials",
+                    stats.budget.used,
+                    stats.budget.total,
+                    stats.budget.admissions,
+                    stats.budget.denials
+                );
+            }
+            for m in stats.maps.iter().filter(|m| m.queries > 0) {
+                println!(
+                    "map {:10}: {} queries, {} disk accesses, cache {}h/{}m/{}e",
+                    m.name,
+                    m.queries,
+                    m.totals.disk.total(),
+                    m.cache.hits,
+                    m.cache.misses,
+                    m.cache.evictions
+                );
+            }
+        }
+        Err(e) => eprintln!("per-map stats unavailable: {e}"),
+    }
+    if send_shutdown {
+        match client.shutdown() {
+            Ok(()) => println!("server shutdown requested"),
+            Err(e) => {
+                eprintln!("shutdown failed: {e}");
+                return 1;
+            }
+        }
+    }
+    0
 }
 
 /// Shared bench-client epilogue: report server-side totals and honor

@@ -7,6 +7,7 @@ pub use lsdb_grid as grid;
 pub use lsdb_pager as pager;
 pub use lsdb_pmr as pmr;
 pub use lsdb_repr as repr;
+pub use lsdb_rng as rng;
 pub use lsdb_rplus as rplus;
 pub use lsdb_rtree as rtree;
 pub use lsdb_server as server;

@@ -1,0 +1,105 @@
+//! Exit-code contract of `lsdb serve` store handling: an unusable
+//! `--store` must fail fast with a structured message on stderr and a
+//! nonzero exit — before the index build, never as a panic.
+
+use std::path::Path;
+use std::process::Command;
+
+fn lsdb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lsdb"))
+}
+
+/// Write a small map file for serve to load, returning its path.
+fn write_map(dir: &Path) -> std::path::PathBuf {
+    let path = dir.join("tiny.lsdbmap");
+    let out = lsdb()
+        .args([
+            "generate",
+            "--class",
+            "urban",
+            "--segments",
+            "200",
+            "--seed",
+            "1",
+            "-o",
+        ])
+        .arg(&path)
+        .output()
+        .expect("run lsdb generate");
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    path
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("lsdb-serve-errors-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn serve_refuses_a_store_path_that_is_a_file() {
+    let dir = temp_dir("file");
+    let map = write_map(&dir);
+    // --store points at an existing *file*: the store directory cannot
+    // be created, which must surface as a structured error, not a panic.
+    let blocker = dir.join("not-a-dir");
+    std::fs::write(&blocker, b"occupied").unwrap();
+    let out = lsdb()
+        .arg("serve")
+        .arg(&map)
+        .args(["--structure", "rstar", "--port", "0", "--store"])
+        .arg(&blocker)
+        .output()
+        .expect("run lsdb serve");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
+    assert!(
+        stderr.contains("cannot open store"),
+        "stderr must name the store failure, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "must be an error, not a panic: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_refuses_an_unknown_superblock_version() {
+    let dir = temp_dir("version");
+    let map = write_map(&dir);
+    // Forge DIR/ops.pages with a valid magic but format version 99: the
+    // server must refuse it (mentioning the version) instead of serving
+    // a store whose pages it would misinterpret.
+    let store = dir.join("store");
+    std::fs::create_dir_all(&store).unwrap();
+    let page_size = 1024usize;
+    let mut page0 = vec![0u8; page_size];
+    page0[..8].copy_from_slice(b"LSDBPAGE");
+    page0[8..10].copy_from_slice(&99u16.to_le_bytes());
+    page0[12..16].copy_from_slice(&(page_size as u32).to_le_bytes());
+    std::fs::write(store.join("ops.pages"), &page0).unwrap();
+    let out = lsdb()
+        .arg("serve")
+        .arg(&map)
+        .args(["--structure", "rstar", "--port", "0", "--store"])
+        .arg(&store)
+        .output()
+        .expect("run lsdb serve");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
+    assert!(
+        stderr.contains("version"),
+        "stderr must mention the unsupported version, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "must be an error, not a panic: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
