@@ -377,9 +377,14 @@ impl LiveIndex {
 
     /// Checkpoint the op log: fold the WAL into its base store and
     /// truncate the log. Readers are unaffected (the index lock is not
-    /// taken).
+    /// taken), but the epoch still ticks: epoch-keyed consumers (the
+    /// server's reply cache) treat every acknowledged `FLUSH` as an
+    /// invalidation point, conservatively orphaning entries from before
+    /// the checkpoint.
     pub fn flush(&self) -> io::Result<Lsn> {
-        self.map.lock().unwrap().checkpoint()
+        let lsn = self.map.lock().unwrap().checkpoint()?;
+        self.epoch.fetch_add(1, Ordering::Release);
+        Ok(lsn)
     }
 
     /// Run `f` against the index under the shared read lock.

@@ -84,19 +84,24 @@ impl BufferBudget {
     /// Unconditionally account `bytes` as held. Build paths use this:
     /// a build must be able to materialize the frames it mutates, so the
     /// budget may transiently overcommit; enforcement sheds later.
-    pub(crate) fn charge(&self, bytes: u64) {
+    ///
+    /// Public so other residency-shaped consumers (the server's reply
+    /// cache charges its entry bytes here, next to page residency) can
+    /// share the same process-wide line.
+    pub fn charge(&self, bytes: u64) {
         self.used.fetch_add(bytes, Ordering::Relaxed);
     }
 
-    /// Return `bytes` to the budget (frame bytes dropped or pool dropped).
-    pub(crate) fn release(&self, bytes: u64) {
+    /// Return `bytes` to the budget (frame bytes dropped, pool dropped,
+    /// or a cached reply evicted).
+    pub fn release(&self, bytes: u64) {
         let prev = self.used.fetch_sub(bytes, Ordering::Relaxed);
         debug_assert!(prev >= bytes, "budget release of bytes never charged");
     }
 
     /// Admission control for the read path: charge `bytes` only if they
     /// fit under the limit right now. Returns whether they were charged.
-    pub(crate) fn try_admit(&self, bytes: u64) -> bool {
+    pub fn try_admit(&self, bytes: u64) -> bool {
         let total = self.total();
         let mut used = self.used.load(Ordering::Relaxed);
         loop {

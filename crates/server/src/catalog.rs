@@ -39,6 +39,7 @@
 //! aggregate.
 
 use crate::protocol::{BudgetWire, CacheWire, ErrorCode, MapInfo, MapStatsWire, Reply};
+use crate::reply_cache::{ReplyCache, ReplyCachePool};
 use lsdb_core::{LiveIndex, SharedStats, SpatialIndex};
 use lsdb_pager::{BufferBudget, CacheStats};
 use std::collections::HashMap;
@@ -65,6 +66,9 @@ pub struct MapSlot {
     ref_bit: AtomicBool,
     /// The map absorbed a live mutation: auto-close would lose it.
     mutated: AtomicBool,
+    /// Epoch-tagged reply cache for this map's queries (shares the
+    /// catalog-wide [`ReplyCachePool`] and through it the budget).
+    reply_cache: ReplyCache,
 }
 
 impl MapSlot {
@@ -75,6 +79,11 @@ impl MapSlot {
     /// Per-map lifetime counters (what `STATS` reports for this map).
     pub fn stats(&self) -> &SharedStats {
         &self.stats
+    }
+
+    /// This map's reply cache (the executor probes and fills it).
+    pub fn reply_cache(&self) -> &ReplyCache {
+        &self.reply_cache
     }
 
     fn is_open(&self) -> bool {
@@ -134,6 +143,9 @@ pub struct Catalog {
     /// Process-wide aggregates (every map's queries folded together) —
     /// exactly what the single-map server's `STATS` reported.
     aggregate: SharedStats,
+    /// Byte accounting shared by every slot's reply cache; its cap is
+    /// the `serve --cache-bytes` knob (0 = caching off, the default).
+    reply_cache_pool: Arc<ReplyCachePool>,
 }
 
 impl Catalog {
@@ -146,6 +158,7 @@ impl Catalog {
         } else {
             BufferBudget::new(budget_bytes)
         };
+        let reply_cache_pool = ReplyCachePool::new(Arc::clone(&budget));
         Catalog {
             slots: Vec::new(),
             by_name: HashMap::new(),
@@ -154,6 +167,7 @@ impl Catalog {
             open_buildable: AtomicUsize::new(0),
             hand: AtomicUsize::new(0),
             aggregate: SharedStats::new(),
+            reply_cache_pool,
         }
     }
 
@@ -201,6 +215,7 @@ impl Catalog {
             stats: SharedStats::new(),
             ref_bit: AtomicBool::new(false),
             mutated: AtomicBool::new(false),
+            reply_cache: ReplyCache::new(Arc::clone(&self.reply_cache_pool)),
         });
         self.by_name.insert(name.to_string(), id);
         id
@@ -217,6 +232,29 @@ impl Catalog {
     /// The shared budget every open map's pools are attached to.
     pub fn budget(&self) -> &Arc<BufferBudget> {
         &self.budget
+    }
+
+    /// Size the reply-cache pool shared by every map (`serve
+    /// --cache-bytes`). `0` — the default — disables reply caching
+    /// entirely; probes and inserts become no-ops.
+    pub fn set_reply_cache_bytes(&self, bytes: u64) {
+        self.reply_cache_pool.set_cap(bytes);
+    }
+
+    /// The pool backing every slot's reply cache.
+    pub fn reply_cache_pool(&self) -> &Arc<ReplyCachePool> {
+        &self.reply_cache_pool
+    }
+
+    /// Flip one map's reply-cache enable bit (disabling drops its
+    /// entries). The pool cap still gates actual caching.
+    pub fn set_map_cache(&self, name: &str, enabled: bool) -> Result<(), CatalogError> {
+        let &id = self
+            .by_name
+            .get(name)
+            .ok_or_else(|| CatalogError::UnknownMap(format!("{name:?}")))?;
+        self.slots[id as usize].reply_cache.set_enabled(enabled);
+        Ok(())
     }
 
     /// The process-wide aggregate counters (what v1/v2 `STATS` reports).
@@ -320,6 +358,7 @@ impl Catalog {
                     queries: slot.stats.queries(),
                     totals: slot.stats.snapshot(),
                     cache: cache_wire(cache),
+                    reply_cache: slot.reply_cache.wire(),
                 }
             })
             .collect();
@@ -356,7 +395,11 @@ impl Catalog {
         let mut state = slot.state.write().expect("slot lock");
         if state.take().is_some() {
             // Dropping the LiveIndex drops its pools, whose shards
-            // release their held bytes back to the budget.
+            // release their held bytes back to the budget. The reply
+            // cache must go with it: a reopened map starts its epoch
+            // counter over at zero, which would otherwise resurrect
+            // entries cached under the previous incarnation's epoch 0.
+            slot.reply_cache.clear();
             self.open_buildable.fetch_sub(1, Ordering::Relaxed);
             true
         } else {
@@ -389,14 +432,21 @@ impl Catalog {
             }
             self.close_slot(slot);
         }
-        // Shed while over budget. Shedding is safe on every open map
-        // (bytes only; logical residency and counters untouched).
+        // Shed while over budget. Cached replies go first (they are the
+        // cheapest bytes to recompute — one index traversal — whereas a
+        // shed page costs a disk read on every future touch), then
+        // physical page bytes. Both are safe on every open map (bytes
+        // only; logical residency and counters untouched).
         let mut steps = 2 * n;
         while self.budget.over_budget() > 0 && steps > 0 {
             steps -= 1;
             let slot = &self.slots[self.hand.fetch_add(1, Ordering::Relaxed) % n];
             if slot.ref_bit.swap(false, Ordering::Relaxed) {
                 continue;
+            }
+            let overage = self.budget.over_budget();
+            if slot.reply_cache.evict_bytes(overage) >= overage {
+                break;
             }
             let overage = self.budget.over_budget();
             let state = slot.state.read().expect("slot lock");
@@ -406,6 +456,39 @@ impl Catalog {
                 let _ = live.with_read(|index| index.shed_cache(overage));
             }
         }
+    }
+
+    /// One line of serving telemetry for `serve --verbose`: budget
+    /// residency, page evictions, and reply-cache activity across the
+    /// roster.
+    pub fn activity_line(&self) -> String {
+        let open = self.slots.iter().filter(|s| s.is_open()).count();
+        let mut page_evictions = 0u64;
+        for slot in &self.slots {
+            let state = slot.state.read().expect("slot lock");
+            if let Some(live) = state.as_ref() {
+                page_evictions += live.with_read(|index| index.cache_stats()).evictions;
+            }
+        }
+        let (mut hits, mut misses, mut cache_evictions) = (0u64, 0u64, 0u64);
+        for slot in &self.slots {
+            hits += slot.reply_cache.hits();
+            misses += slot.reply_cache.misses();
+            cache_evictions += slot.reply_cache.evictions();
+        }
+        let total = self.budget.total();
+        let total = if total == u64::MAX {
+            "inf".to_string()
+        } else {
+            total.to_string()
+        };
+        format!(
+            "maps {open}/{} open · budget {}/{total} B · page evictions {page_evictions} · \
+             reply cache {} B, {hits} hits / {misses} misses, {cache_evictions} evictions",
+            self.slots.len(),
+            self.budget.used(),
+            self.reply_cache_pool.used(),
+        )
     }
 }
 

@@ -29,6 +29,10 @@ use std::net::TcpListener;
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
+use std::time::{Duration, Instant};
+
+/// Cadence of the `--verbose` one-line serving summary.
+const VERBOSE_PERIOD: Duration = Duration::from_secs(2);
 
 pub(crate) fn run(
     listener: TcpListener,
@@ -51,8 +55,19 @@ pub(crate) fn run(
     // flip even with no I/O traffic; read_timeout doubles as that
     // cadence exactly as it did for the blocking server's workers.
     let poll_ms = shared.config.read_timeout.as_millis().clamp(10, 1_000) as i32;
+    let mut last_summary = Instant::now();
 
     loop {
+        // Periodic serving telemetry, off unless `--verbose`: one stderr
+        // line with budget residency, evictions, and cache activity.
+        if shared.config.verbose && last_summary.elapsed() >= VERBOSE_PERIOD {
+            last_summary = Instant::now();
+            eprintln!(
+                "[serve] conns {} · {}",
+                lp.conns.len(),
+                shared.catalog.activity_line()
+            );
+        }
         // Route completed work before sleeping: replies queued here also
         // register write interest for this round's poll.
         for done in done_rx.try_iter() {

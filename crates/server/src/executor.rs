@@ -23,7 +23,7 @@ use crate::server::Shared;
 use crate::sys::WakePipe;
 use lsdb_core::{execute_batch, queries, BatchAnswer, BatchRequest, QueryCtx};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// How a finished reply rejoins its connection's outbound stream: v1
@@ -62,6 +62,33 @@ pub(crate) struct Completion {
     pub payload: Vec<u8>,
 }
 
+/// What executing a job produced: a freshly computed [`Reply`], or the
+/// stored v1 body of a reply-cache hit. A cached body is already the
+/// exact bytes [`Reply::encode`] would produce, so serving it only
+/// needs the connection's envelope prepended — no re-execution, no
+/// re-encoding.
+enum Outcome {
+    Fresh(Reply),
+    Cached(Arc<[u8]>),
+}
+
+impl Outcome {
+    fn into_payload(self, token: Token) -> Vec<u8> {
+        match self {
+            Outcome::Fresh(reply) => match token {
+                Token::V1 { .. } => reply.encode(),
+                Token::V2 { corr } => reply.encode_v2(corr),
+                Token::V3 { corr } => reply.encode_v3(corr),
+            },
+            Outcome::Cached(body) => match token {
+                Token::V1 { .. } => body.to_vec(),
+                Token::V2 { corr } => Reply::envelope_v2(corr, &body),
+                Token::V3 { corr } => Reply::envelope_v3(corr, &body),
+            },
+        }
+    }
+}
+
 /// Worker body: dequeue, execute, encode, post the completion, wake the
 /// poller. Exits when the job channel disconnects (the event loop drops
 /// its sender on drain).
@@ -80,16 +107,12 @@ pub(crate) fn worker_loop(
         };
         match job {
             Ok(job) => {
-                let reply = match &job.work {
+                let outcome = match &job.work {
                     Work::Single(req) => run_single(job.map, req, shared, &mut ctx),
-                    Work::Batch(req) => run_batch(job.map, req, shared, &mut ctx),
-                    Work::Admin(req) => run_admin(req, shared.catalog),
+                    Work::Batch(req) => Outcome::Fresh(run_batch(job.map, req, shared, &mut ctx)),
+                    Work::Admin(req) => Outcome::Fresh(run_admin(req, shared.catalog)),
                 };
-                let payload = match job.token {
-                    Token::V1 { .. } => reply.encode(),
-                    Token::V2 { corr } => reply.encode_v2(corr),
-                    Token::V3 { corr } => reply.encode_v3(corr),
-                };
+                let payload = outcome.into_payload(job.token);
                 if done
                     .send(Completion {
                         conn: job.conn,
@@ -127,39 +150,60 @@ fn wal_failed(what: &str, e: &std::io::Error) -> Reply {
 /// commit, then apply), pin the slot open (auto-close would lose the
 /// mutation), and are *not* counted as spatial queries — the paper's
 /// aggregates stay comparable under mixed workloads.
-fn run_single(map: u32, req: &Request, shared: &Shared, ctx: &mut QueryCtx) -> Reply {
+///
+/// Queries probe the slot's reply cache first: a hit returns the stored
+/// v1 body (bit-for-bit what execution would encode) and folds the
+/// stored counter snapshot exactly as a cold execution folds its
+/// context, so `STATS` aggregates cannot tell the difference. A miss
+/// executes under the read guard and offers the encoded reply for
+/// caching under the epoch observed *inside* the guard — mutations bump
+/// the epoch while holding the write guard, so that epoch exactly
+/// identifies the index state the reply was computed from.
+fn run_single(map: u32, req: &Request, shared: &Shared, ctx: &mut QueryCtx) -> Outcome {
     let result = shared.catalog.with_live(map, |slot, live| {
         match *req {
             Request::Insert(seg) => {
                 return match live.insert(seg) {
                     Ok((id, lsn)) => {
                         slot.mark_mutated();
-                        Reply::Inserted { id, lsn: lsn.0 }
+                        Outcome::Fresh(Reply::Inserted { id, lsn: lsn.0 })
                     }
-                    Err(e) => wal_failed("insert", &e),
+                    Err(e) => Outcome::Fresh(wal_failed("insert", &e)),
                 }
             }
             Request::Delete { id } => {
                 return match live.remove(id) {
                     Ok((removed, lsn)) => {
                         slot.mark_mutated();
-                        Reply::Deleted {
+                        Outcome::Fresh(Reply::Deleted {
                             removed,
                             lsn: lsn.0,
-                        }
+                        })
                     }
-                    Err(e) => wal_failed("delete", &e),
+                    Err(e) => Outcome::Fresh(wal_failed("delete", &e)),
                 }
             }
             Request::Flush => {
                 return match live.flush() {
-                    Ok(lsn) => Reply::Flushed { lsn: lsn.0 },
-                    Err(e) => wal_failed("flush", &e),
+                    Ok(lsn) => Outcome::Fresh(Reply::Flushed { lsn: lsn.0 }),
+                    Err(e) => Outcome::Fresh(wal_failed("flush", &e)),
                 }
             }
             _ => {}
         }
+        // The cache key is the canonical v1 request encoding — identical
+        // queries arriving over v1, v2, or v3 envelopes share one entry.
+        let cache = slot.reply_cache();
+        let key = cache.on().then(|| req.encode());
+        if let Some(key_bytes) = key.as_deref() {
+            if let Some((body, stats)) = cache.probe(live.epoch(), key_bytes) {
+                slot.stats().add(stats);
+                shared.catalog.aggregate().add(stats);
+                return Outcome::Cached(body);
+            }
+        }
         live.with_read(|index| {
+            let epoch = live.epoch();
             ctx.reset();
             let reply = match *req {
                 Request::Incident(p) => Reply::Segs {
@@ -168,14 +212,14 @@ fn run_single(map: u32, req: &Request, shared: &Shared, ctx: &mut QueryCtx) -> R
                 },
                 Request::Second { id, at } => {
                     if id.index() >= index.len() {
-                        return Reply::Error {
+                        return Outcome::Fresh(Reply::Error {
                             code: ErrorCode::BadArgument,
                             message: format!(
                                 "segment id {} out of range (map has {} segments)",
                                 id.0,
                                 index.len()
                             ),
-                        };
+                        });
                     }
                     Reply::Segs {
                         ids: queries::second_endpoint(index, id, at, ctx),
@@ -204,24 +248,36 @@ fn run_single(map: u32, req: &Request, shared: &Shared, ctx: &mut QueryCtx) -> R
                 // Service and admin ops are answered elsewhere and never
                 // enqueued as Single; mutations returned above.
                 _ => {
-                    return Reply::Error {
+                    return Outcome::Fresh(Reply::Error {
                         code: ErrorCode::Malformed,
                         message: "service op routed to executor".into(),
-                    }
+                    })
                 }
             };
             slot.stats().add(ctx.stats());
             shared.catalog.aggregate().add(ctx.stats());
-            reply
+            if let Some(key_bytes) = key.as_deref() {
+                cache.insert(epoch, key_bytes, reply.encode().into(), ctx.stats());
+            }
+            Outcome::Fresh(reply)
         })
     });
-    result.unwrap_or_else(|e| e.to_reply())
+    result.unwrap_or_else(|e| Outcome::Fresh(e.to_reply()))
 }
 
 /// Execute one batch against map `map`: validate, run Morton-sorted,
 /// fold each item's counters into the slot and the aggregate (so
 /// `STATS` sees one entry per query, not per batch), and nest the
 /// per-item replies in submission order.
+///
+/// Each item probes the reply cache individually (under the batch's one
+/// read guard, so the epoch is exact): hits decode their stored bodies
+/// straight into the nested reply, and only the *misses* travel through
+/// [`execute_batch`]'s Morton sort. `execute_batch` charges each item's
+/// counters byte-identically to executing it alone on a freshly reset
+/// context, so carving misses out of a batch changes no item's stats —
+/// the property the cache-parity suite pins across mixed hit/miss
+/// batches.
 fn run_batch(map: u32, req: &BatchRequest, shared: &Shared, ctx: &mut QueryCtx) -> Reply {
     if req.len() > MAX_BATCH_ITEMS {
         return Reply::Error {
@@ -248,30 +304,103 @@ fn run_batch(map: u32, req: &BatchRequest, shared: &Shared, ctx: &mut QueryCtx) 
                     };
                 }
             }
-            let items = execute_batch(index, req, ctx);
-            let mut replies = Vec::with_capacity(items.len());
-            for item in items {
-                slot.stats().add(item.stats);
-                shared.catalog.aggregate().add(item.stats);
-                replies.push(match item.answer {
-                    BatchAnswer::Segs(ids) => Reply::Segs {
-                        ids,
-                        stats: item.stats,
-                    },
-                    BatchAnswer::Nearest(id) => Reply::Nearest {
-                        id,
-                        stats: item.stats,
-                    },
-                    BatchAnswer::Polygon(walk) => Reply::Polygon {
-                        walk,
-                        stats: item.stats,
-                    },
-                });
+            let cache = slot.reply_cache();
+            let epoch = live.epoch();
+            let n = req.len();
+            let mut replies: Vec<Option<Reply>> = (0..n).map(|_| None).collect();
+            let mut miss_keys: Vec<Option<Vec<u8>>> = (0..n).map(|_| None).collect();
+            let mut misses: Vec<usize> = Vec::with_capacity(n);
+            for i in 0..n {
+                if cache.on() {
+                    // Items share the singleton key space: a batch item
+                    // hits what a lone query cached, and vice versa.
+                    let key_bytes = item_request(req, i).encode();
+                    if let Some((body, stats)) = cache.probe(epoch, &key_bytes) {
+                        slot.stats().add(stats);
+                        shared.catalog.aggregate().add(stats);
+                        let inner = Reply::decode(&body)
+                            .expect("cached bodies are valid singleton replies");
+                        replies[i] = Some(inner);
+                        continue;
+                    }
+                    miss_keys[i] = Some(key_bytes);
+                }
+                misses.push(i);
             }
-            Reply::Batch(replies)
+            if !misses.is_empty() {
+                let sub = sub_batch(req, &misses);
+                let items = execute_batch(index, &sub, ctx);
+                for (item, &i) in items.into_iter().zip(&misses) {
+                    slot.stats().add(item.stats);
+                    shared.catalog.aggregate().add(item.stats);
+                    let reply = match item.answer {
+                        BatchAnswer::Segs(ids) => Reply::Segs {
+                            ids,
+                            stats: item.stats,
+                        },
+                        BatchAnswer::Nearest(id) => Reply::Nearest {
+                            id,
+                            stats: item.stats,
+                        },
+                        BatchAnswer::Polygon(walk) => Reply::Polygon {
+                            walk,
+                            stats: item.stats,
+                        },
+                    };
+                    if let Some(key_bytes) = &miss_keys[i] {
+                        cache.insert(epoch, key_bytes, reply.encode().into(), item.stats);
+                    }
+                    replies[i] = Some(reply);
+                }
+            }
+            Reply::Batch(
+                replies
+                    .into_iter()
+                    .map(|r| r.expect("every batch item answered"))
+                    .collect(),
+            )
         })
     });
     result.unwrap_or_else(|e| e.to_reply())
+}
+
+/// The singleton [`Request`] equivalent of batch item `i` — the reply
+/// cache's key, shared with the singleton execution path (mirrors the
+/// client's batch unrolling fallback).
+fn item_request(req: &BatchRequest, i: usize) -> Request {
+    match req {
+        BatchRequest::Incident(v) => Request::Incident(v[i]),
+        BatchRequest::Second(v) => {
+            let (id, at) = v[i];
+            Request::Second { id, at }
+        }
+        BatchRequest::Nearest(v) => Request::Nearest(v[i]),
+        BatchRequest::Knn(v) => {
+            let (at, k) = v[i];
+            Request::Knn { at, k }
+        }
+        BatchRequest::Window(v) => Request::Window(v[i]),
+        BatchRequest::Polygon { points, max_steps } => Request::Polygon {
+            at: points[i],
+            max_steps: *max_steps,
+        },
+    }
+}
+
+/// The sub-batch holding exactly the items at `keep` (in order) — what
+/// a mixed hit/miss batch actually executes and Morton-sorts.
+fn sub_batch(req: &BatchRequest, keep: &[usize]) -> BatchRequest {
+    match req {
+        BatchRequest::Incident(v) => BatchRequest::Incident(keep.iter().map(|&i| v[i]).collect()),
+        BatchRequest::Second(v) => BatchRequest::Second(keep.iter().map(|&i| v[i]).collect()),
+        BatchRequest::Nearest(v) => BatchRequest::Nearest(keep.iter().map(|&i| v[i]).collect()),
+        BatchRequest::Knn(v) => BatchRequest::Knn(keep.iter().map(|&i| v[i]).collect()),
+        BatchRequest::Window(v) => BatchRequest::Window(keep.iter().map(|&i| v[i]).collect()),
+        BatchRequest::Polygon { points, max_steps } => BatchRequest::Polygon {
+            points: keep.iter().map(|&i| points[i]).collect(),
+            max_steps: *max_steps,
+        },
+    }
 }
 
 /// Execute one catalog admin op.

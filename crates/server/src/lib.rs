@@ -48,17 +48,21 @@ mod event_loop;
 mod executor;
 pub mod loadgen;
 pub mod protocol;
+pub mod reply_cache;
 pub mod server;
 mod sys;
 
 pub use catalog::{Catalog, CatalogError, MapBuilder, MapSlot};
 pub use client::{CatalogStats, Client, QueryRequest, ServerError};
-pub use loadgen::{run_closed_loop, run_open_loop, run_open_loop_routed, LoadReport};
+pub use loadgen::{
+    run_closed_loop, run_closed_loop_routed, run_open_loop, run_open_loop_routed, LoadReport,
+};
 pub use protocol::{
     decode_reply, decode_request, BudgetWire, CacheWire, DecodeFailure, ErrorCode, FrameError,
-    FrameEvent, MapInfo, MapStatsWire, ProtoError, Reply, Request, RequestFrame, MAX_BATCH_ITEMS,
-    MAX_REPLY_FRAME, MAX_REQUEST_FRAME, MAX_REQUEST_FRAME_V2, PROTOCOL_VERSION,
+    FrameEvent, MapInfo, MapStatsWire, ProtoError, Reply, ReplyCacheWire, Request, RequestFrame,
+    MAX_BATCH_ITEMS, MAX_REPLY_FRAME, MAX_REQUEST_FRAME, MAX_REQUEST_FRAME_V2, PROTOCOL_VERSION,
 };
+pub use reply_cache::{ReplyCache, ReplyCachePool};
 pub use server::{
     ConfigError, Server, ServerConfig, ServerConfigBuilder, ServerReport, ShutdownHandle,
 };

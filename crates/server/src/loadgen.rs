@@ -110,10 +110,74 @@ pub fn run_closed_loop(
     Ok(report)
 }
 
+/// [`run_closed_loop`], but every request is routed to its own catalog
+/// map over the v3 envelope. The closed-loop counterpart of
+/// [`run_open_loop_routed`]: no arrival schedule, each connection
+/// issues its chunk back-to-back — the mode hit-rate curves want, where
+/// the interesting variable is the cache, not a QPS target. Requires a
+/// v3 server.
+pub fn run_closed_loop_routed(
+    addr: SocketAddr,
+    requests: &[(u32, Request)],
+    connections: usize,
+) -> io::Result<LoadReport> {
+    let connections = connections.max(1).min(requests.len().max(1));
+    let chunk_len = requests.len().div_ceil(connections);
+    let start = Instant::now();
+    let partials: Vec<io::Result<ChunkResult>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = requests
+            .chunks(chunk_len.max(1))
+            .map(|chunk| scope.spawn(move || run_routed_chunk(addr, chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load generator thread"))
+            .collect()
+    });
+    let wall = start.elapsed();
+
+    let mut report = LoadReport {
+        connections,
+        wall,
+        ..LoadReport::default()
+    };
+    for partial in partials {
+        let p = partial?;
+        report.queries += p.latencies.len();
+        report.latencies.extend(p.latencies);
+        report.totals.add(p.totals);
+        report.result_items += p.result_items;
+    }
+    report.latencies.sort();
+    Ok(report)
+}
+
 struct ChunkResult {
     latencies: Vec<Duration>,
     totals: QueryStats,
     result_items: u64,
+}
+
+fn run_routed_chunk(addr: SocketAddr, chunk: &[(u32, Request)]) -> io::Result<ChunkResult> {
+    let mut client = Client::connect(addr)?;
+    let mut out = ChunkResult {
+        latencies: Vec::with_capacity(chunk.len()),
+        totals: QueryStats::default(),
+        result_items: 0,
+    };
+    for (map, req) in chunk {
+        let t0 = Instant::now();
+        let reply = client.call_on(*map, req)?;
+        out.latencies.push(t0.elapsed());
+        if let Some(stats) = reply.stats() {
+            out.totals.add(stats);
+        }
+        out.result_items += reply.result_size() as u64;
+        if matches!(reply, Reply::Bye) {
+            break;
+        }
+    }
+    Ok(out)
 }
 
 fn run_chunk(addr: SocketAddr, chunk: &[Request]) -> io::Result<ChunkResult> {

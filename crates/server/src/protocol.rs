@@ -342,6 +342,25 @@ pub struct CacheWire {
     pub evictions: u64,
 }
 
+/// Reply-cache counters for one map in a [`Reply::StatsV3`] (mirrors
+/// the server's `ReplyCache`). All-zero with caching disabled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ReplyCacheWire {
+    /// Whether this map's reply cache is live right now (per-map enable
+    /// bit AND a nonzero pool cap).
+    pub enabled: bool,
+    pub entries: u64,
+    pub bytes: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+    /// Stale-epoch entries reclaimed by the eviction clock.
+    pub invalidations: u64,
+    /// Inserts declined (oversized, victim hotter, or budget full).
+    pub rejections: u64,
+}
+
 /// Per-map block of a [`Reply::StatsV3`]. Counters persist across
 /// close/reopen cycles; `cache` is all-zero for a cold map.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -352,6 +371,7 @@ pub struct MapStatsWire {
     pub queries: u64,
     pub totals: QueryStats,
     pub cache: CacheWire,
+    pub reply_cache: ReplyCacheWire,
 }
 
 /// Error codes carried by [`Reply::Error`].
@@ -1039,6 +1059,19 @@ impl Reply {
                     ] {
                         buf.extend_from_slice(&v.to_le_bytes());
                     }
+                    buf.push(m.reply_cache.enabled as u8);
+                    for v in [
+                        m.reply_cache.entries,
+                        m.reply_cache.bytes,
+                        m.reply_cache.hits,
+                        m.reply_cache.misses,
+                        m.reply_cache.insertions,
+                        m.reply_cache.evictions,
+                        m.reply_cache.invalidations,
+                        m.reply_cache.rejections,
+                    ] {
+                        buf.extend_from_slice(&v.to_le_bytes());
+                    }
                 }
             }
             Reply::Error { code, message } => {
@@ -1076,6 +1109,28 @@ impl Reply {
         buf.push(V3_MARKER);
         buf.extend_from_slice(&corr.to_le_bytes());
         self.encode_body(&mut buf);
+        buf
+    }
+
+    /// Wrap an already-encoded v1 reply body in a v2 envelope: exactly
+    /// the bytes [`Reply::encode_v2`] would produce for the decoded
+    /// body. The reply cache serves stored bodies through this without
+    /// re-encoding.
+    pub fn envelope_v2(corr: u32, body: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(5 + body.len());
+        buf.push(V2_MARKER);
+        buf.extend_from_slice(&corr.to_le_bytes());
+        buf.extend_from_slice(body);
+        buf
+    }
+
+    /// Wrap an already-encoded v1 reply body in a v3 envelope (see
+    /// [`Reply::envelope_v2`]).
+    pub fn envelope_v3(corr: u32, body: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(5 + body.len());
+        buf.push(V3_MARKER);
+        buf.extend_from_slice(&corr.to_le_bytes());
+        buf.extend_from_slice(body);
         buf
     }
 
@@ -1192,6 +1247,21 @@ impl Reply {
                             hits: c.u64()?,
                             misses: c.u64()?,
                             evictions: c.u64()?,
+                        },
+                        reply_cache: ReplyCacheWire {
+                            enabled: match c.u8()? {
+                                0 => false,
+                                1 => true,
+                                _ => return Err(ProtoError::BadField("reply cache enabled flag")),
+                            },
+                            entries: c.u64()?,
+                            bytes: c.u64()?,
+                            hits: c.u64()?,
+                            misses: c.u64()?,
+                            insertions: c.u64()?,
+                            evictions: c.u64()?,
+                            invalidations: c.u64()?,
+                            rejections: c.u64()?,
                         },
                     });
                 }
@@ -1755,6 +1825,17 @@ mod tests {
                             misses: 100,
                             evictions: 32,
                         },
+                        reply_cache: ReplyCacheWire {
+                            enabled: true,
+                            entries: 41,
+                            bytes: 17_204,
+                            hits: 812,
+                            misses: 188,
+                            insertions: 120,
+                            evictions: 79,
+                            invalidations: 11,
+                            rejections: 4,
+                        },
                     },
                     MapStatsWire {
                         id: 1,
@@ -1763,6 +1844,7 @@ mod tests {
                         queries: 234,
                         totals: stats,
                         cache: CacheWire::default(),
+                        reply_cache: ReplyCacheWire::default(),
                     },
                 ],
             },
@@ -1808,6 +1890,75 @@ mod tests {
         bytes.truncate(bytes.len() - 2);
         let fail = decode_request(&bytes).unwrap_err();
         assert_eq!(fail.corr, Some(0x5151_5151));
+    }
+
+    #[test]
+    fn truncated_cache_bearing_stats_error_not_panic() {
+        // A StatsV3 frame carrying nonzero reply-cache counters: every
+        // proper prefix must fail cleanly (never panic, never decode),
+        // in particular cuts landing inside the new cache block.
+        let reply = Reply::StatsV3 {
+            queries: 42,
+            totals: QueryStats::default(),
+            budget: BudgetWire {
+                total: 1 << 24,
+                used: 99,
+                admissions: 7,
+                denials: 1,
+            },
+            maps: vec![MapStatsWire {
+                id: 3,
+                open: true,
+                name: "hot".into(),
+                queries: 40,
+                totals: QueryStats::default(),
+                cache: CacheWire::default(),
+                reply_cache: ReplyCacheWire {
+                    enabled: true,
+                    entries: 5,
+                    bytes: 1234,
+                    hits: 30,
+                    misses: 10,
+                    insertions: 8,
+                    evictions: 3,
+                    invalidations: 2,
+                    rejections: 1,
+                },
+            }],
+        };
+        let bytes = reply.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Reply::decode(&bytes[..cut]).is_err(),
+                "StatsV3 cut at {cut} must fail"
+            );
+        }
+        assert_eq!(Reply::decode(&bytes).unwrap(), reply);
+        // An out-of-range enabled flag is a BadField, not a bool.
+        let flag_at = bytes.len() - 65; // enabled byte precedes 8 u64s
+        assert_eq!(bytes[flag_at], 1);
+        let mut bad = bytes.clone();
+        bad[flag_at] = 2;
+        assert!(matches!(
+            Reply::decode(&bad),
+            Err(ProtoError::BadField("reply cache enabled flag"))
+        ));
+        // Fuzz the tail of the frame: random bytes over the cache block
+        // must never panic.
+        let mut state = 0xD1B5_4A32_D192_ED03u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as u8
+        };
+        for _ in 0..256 {
+            let mut fuzzed = bytes.clone();
+            for b in fuzzed.iter_mut().skip(flag_at) {
+                *b = next();
+            }
+            let _ = Reply::decode(&fuzzed); // must not panic
+        }
     }
 
     #[test]

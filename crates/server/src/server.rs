@@ -47,6 +47,10 @@ pub struct ServerConfig {
     /// (default [`MAX_REQUEST_FRAME_V2`]); singleton-only deployments
     /// can pin this down to harden against garbage.
     pub max_request_frame: u32,
+    /// Emit a periodic one-line serving summary on stderr (budget
+    /// residency, page evictions, reply-cache hits/misses). Off by
+    /// default; `serve --verbose` turns it on.
+    pub verbose: bool,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +60,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_millis(500),
             write_timeout: Duration::from_secs(10),
             max_request_frame: MAX_REQUEST_FRAME_V2,
+            verbose: false,
         }
     }
 }
@@ -79,6 +84,7 @@ impl ServerConfig {
     /// | `LSDB_SERVER_READ_TIMEOUT_MS` | `read_timeout` | milliseconds |
     /// | `LSDB_SERVER_WRITE_TIMEOUT_MS` | `write_timeout` | milliseconds |
     /// | `LSDB_SERVER_MAX_FRAME` | `max_request_frame` | bytes |
+    /// | `LSDB_SERVER_VERBOSE` | `verbose` | `1`/`true` = on |
     ///
     /// `LSDB_THREADS` is shared with the bench crate's `WorkloadConfig`
     /// so one variable sizes both in-process and served parallelism.
@@ -107,6 +113,9 @@ impl ServerConfig {
             if n > 0 {
                 cfg.max_request_frame = n;
             }
+        }
+        if let Ok(v) = std::env::var("LSDB_SERVER_VERBOSE") {
+            cfg.verbose = v == "1" || v.eq_ignore_ascii_case("true");
         }
         cfg
     }
@@ -173,6 +182,11 @@ impl ServerConfigBuilder {
 
     pub fn max_request_frame(mut self, bytes: u32) -> Self {
         self.config.max_request_frame = bytes;
+        self
+    }
+
+    pub fn verbose(mut self, on: bool) -> Self {
+        self.config.verbose = on;
         self
     }
 

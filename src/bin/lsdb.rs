@@ -82,17 +82,20 @@ fn print_usage() {
          lsdb query FILE --structure S polygon X Y\n  \
          lsdb query FILE --structure S --stdin\n  \
          lsdb serve FILE [--structure S] [--addr HOST] [--port P] [--workers W] \\\n      \
-              [--max-frame B] [--page-size B] [--pool P] [--store DIR] [--bulk]\n  \
+              [--max-frame B] [--page-size B] [--pool P] [--store DIR] [--bulk] \\\n      \
+              [--cache-bytes B] [--verbose]\n  \
          lsdb serve --continent N [--county-segments S] [--continent-seed S] \\\n      \
-              [--budget BYTES] [--max-open M] [--bulk] [--structure S] [...]\n  \
+              [--budget BYTES] [--max-open M] [--bulk] [--structure S] \\\n      \
+              [--cache-bytes B] [--verbose] [...]\n  \
          lsdb bench-client FILE --addr HOST:PORT [--workload W] [--queries N] \\\n      \
-              [--connections C] [--seed S] [--open-loop QPS | --batch] [--shutdown]\n  \
-         lsdb bench-client --addr HOST:PORT --multimap K --open-loop QPS \\\n      \
+              [--connections C] [--seed S] [--open-loop QPS | --batch] \\\n      \
+              [--cache] [--shutdown]\n  \
+         lsdb bench-client --addr HOST:PORT --multimap K [--open-loop QPS] \\\n      \
               [--zipf THETA] [--county-segments S] [--continent-seed S] [...]\n\n\
          bench-client workloads: point1 point2 nearest1 nearest2 polygon1 polygon2 range\n\
          serve env fallbacks: LSDB_SERVER_WORKERS (or LSDB_THREADS), \
          LSDB_SERVER_READ_TIMEOUT_MS,\n\
-         LSDB_SERVER_WRITE_TIMEOUT_MS, LSDB_SERVER_MAX_FRAME"
+         LSDB_SERVER_WRITE_TIMEOUT_MS, LSDB_SERVER_MAX_FRAME, LSDB_SERVER_VERBOSE"
     );
 }
 
@@ -542,15 +545,25 @@ fn cmd_serve(rest: &[String]) -> i32 {
         .unwrap_or(0);
     let max_open: Option<usize> =
         take_flag(&mut args, "--max-open").map(|v| parse_or_die(&v, "--max-open"));
+    let cache_bytes: u64 = take_flag(&mut args, "--cache-bytes")
+        .map(|v| parse_or_die(&v, "--cache-bytes"))
+        .unwrap_or(0);
     let bulk = if let Some(i) = args.iter().position(|a| a == "--bulk") {
         args.remove(i);
         true
     } else {
         false
     };
+    let verbose = if let Some(i) = args.iter().position(|a| a == "--verbose") {
+        args.remove(i);
+        true
+    } else {
+        env_cfg.verbose
+    };
     let config = ServerConfig {
         workers,
         max_request_frame: max_frame,
+        verbose,
         ..env_cfg
     };
     if let Err(e) = config.validate() {
@@ -603,15 +616,21 @@ fn cmd_serve(rest: &[String]) -> i32 {
                 }),
             );
         }
+        catalog.set_reply_cache_bytes(cache_bytes);
         println!(
             "catalog: {counties} county maps x {county_segments} segments ({structure}, \
-             bulk={bulk}), budget {}, max-open {}",
+             bulk={bulk}), budget {}, max-open {}, reply cache {}",
             if budget == 0 {
                 "unlimited".to_string()
             } else {
                 format!("{budget} bytes")
             },
-            max_open.unwrap_or(counties)
+            max_open.unwrap_or(counties),
+            if cache_bytes == 0 {
+                "off".to_string()
+            } else {
+                format!("{cache_bytes} bytes")
+            }
         );
         let server = match Server::bind_catalog((host.as_str(), port), catalog, config) {
             Ok(s) => s,
@@ -677,7 +696,14 @@ fn cmd_serve(rest: &[String]) -> i32 {
         }
         None => LiveIndex::volatile(idx),
     };
-    let server = match Server::bind_live((host.as_str(), port), live, config) {
+    // A one-map catalog (exactly what bind_live builds) so the reply
+    // cache knob applies to the single-map server too.
+    let catalog = Catalog::single(live);
+    catalog.set_reply_cache_bytes(cache_bytes);
+    if cache_bytes > 0 {
+        println!("reply cache: {cache_bytes} bytes");
+    }
+    let server = match Server::bind_catalog((host.as_str(), port), catalog, config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot bind {host}:{port}: {e}");
@@ -770,6 +796,12 @@ fn cmd_bench_client(rest: &[String]) -> i32 {
     } else {
         false
     };
+    let report_cache = if let Some(i) = args.iter().position(|a| a == "--cache") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
     let send_shutdown = if let Some(i) = args.iter().position(|a| a == "--shutdown") {
         args.remove(i);
         true
@@ -811,10 +843,6 @@ fn cmd_bench_client(rest: &[String]) -> i32 {
             eprintln!("--multimap needs at least 1 map");
             return 2;
         }
-        let Some(qps) = open_loop_qps else {
-            eprintln!("--multimap needs --open-loop QPS (it is an open-loop mode)");
-            return 2;
-        };
         if batch_mode || !args.is_empty() {
             eprintln!("--multimap takes no map file or --batch (county streams are generated)");
             return 2;
@@ -827,9 +855,10 @@ fn cmd_bench_client(rest: &[String]) -> i32 {
             workload,
             queries,
             connections.max(1),
-            qps,
+            open_loop_qps,
             zipf_theta,
             seed,
+            report_cache,
             send_shutdown,
         );
     }
@@ -887,7 +916,7 @@ fn cmd_bench_client(rest: &[String]) -> i32 {
             totals.bbox_comps as f64 / n,
             result_items as f64 / n
         );
-        return finish(addr, send_shutdown);
+        return finish(addr, report_cache, send_shutdown);
     }
 
     let requests = requests_for(&wb, workload);
@@ -938,14 +967,16 @@ fn cmd_bench_client(rest: &[String]) -> i32 {
         report.totals.bbox_comps as f64 / n,
         report.result_items as f64 / n
     );
-    finish(addr, send_shutdown)
+    finish(addr, report_cache, send_shutdown)
 }
 
-/// The multi-map open-loop run: open `k` continental county maps on the
-/// server, generate each county's query stream locally (byte-identical
-/// to what a single-map run would issue), draw the per-request map from
-/// a Zipf(θ) popularity distribution, and fire the routed stream at
-/// `target_qps` over v3 connections.
+/// The multi-map run: open `k` continental county maps on the server,
+/// generate each county's query stream locally (byte-identical to what
+/// a single-map run would issue), draw the per-request map from a
+/// Zipf(θ) popularity distribution, and fire the routed stream over v3
+/// connections — open loop at `target_qps` when given, closed loop
+/// otherwise (the mode cache hit-rate curves want: no arrival schedule
+/// to pick, the cache is the only variable).
 #[allow(clippy::too_many_arguments)]
 fn bench_multimap(
     addr: std::net::SocketAddr,
@@ -955,14 +986,15 @@ fn bench_multimap(
     workload: lsdb::bench::workloads::Workload,
     queries: usize,
     connections: usize,
-    target_qps: f64,
+    target_qps: Option<f64>,
     zipf_theta: f64,
     seed: u64,
+    report_cache: bool,
     send_shutdown: bool,
 ) -> i32 {
     use lsdb::bench::wire::requests_for;
     use lsdb::bench::workloads::QueryWorkbench;
-    use lsdb::server::{run_open_loop_routed, Client};
+    use lsdb::server::{run_closed_loop_routed, run_open_loop_routed, Client};
     use lsdb_rng::StdRng;
 
     let mut client = match Client::connect(addr) {
@@ -1018,12 +1050,23 @@ fn bench_multimap(
         })
         .collect();
 
-    println!(
-        "{queries} x {} across {k} maps (Zipf theta {zipf_theta}) against {addr}, \
-         {connections} connection(s), open loop at {target_qps} queries/s",
-        workload.label()
-    );
-    let report = match run_open_loop_routed(addr, &routed, connections, target_qps) {
+    match target_qps {
+        Some(qps) => println!(
+            "{queries} x {} across {k} maps (Zipf theta {zipf_theta}) against {addr}, \
+             {connections} connection(s), open loop at {qps} queries/s",
+            workload.label()
+        ),
+        None => println!(
+            "{queries} x {} across {k} maps (Zipf theta {zipf_theta}) against {addr}, \
+             {connections} connection(s), closed loop",
+            workload.label()
+        ),
+    }
+    let run = match target_qps {
+        Some(qps) => run_open_loop_routed(addr, &routed, connections, qps),
+        None => run_closed_loop_routed(addr, &routed, connections),
+    };
+    let report = match run {
         Ok(r) => r,
         Err(e) => {
             eprintln!("load run failed: {e}");
@@ -1073,6 +1116,9 @@ fn bench_multimap(
                     m.cache.evictions
                 );
             }
+            if report_cache {
+                print_reply_cache_summary(&stats.maps);
+            }
         }
         Err(e) => eprintln!("per-map stats unavailable: {e}"),
     }
@@ -1089,8 +1135,8 @@ fn bench_multimap(
 }
 
 /// Shared bench-client epilogue: report server-side totals and honor
-/// `--shutdown`.
-fn finish(addr: std::net::SocketAddr, send_shutdown: bool) -> i32 {
+/// `--cache` / `--shutdown`.
+fn finish(addr: std::net::SocketAddr, report_cache: bool, send_shutdown: bool) -> i32 {
     match lsdb::server::Client::connect(addr) {
         Ok(mut client) => {
             if let Ok((served, totals)) = client.stats() {
@@ -1098,6 +1144,12 @@ fn finish(addr: std::net::SocketAddr, send_shutdown: bool) -> i32 {
                     "server     : {served} queries served since start, {} disk accesses total",
                     totals.disk.total()
                 );
+            }
+            if report_cache {
+                match client.stats_v3() {
+                    Ok(stats) => print_reply_cache_summary(&stats.maps),
+                    Err(e) => eprintln!("reply-cache stats unavailable (needs a v3 server): {e}"),
+                }
             }
             if send_shutdown {
                 match client.shutdown() {
@@ -1112,4 +1164,46 @@ fn finish(addr: std::net::SocketAddr, send_shutdown: bool) -> i32 {
         Err(e) => eprintln!("post-run stats unavailable: {e}"),
     }
     0
+}
+
+/// Sum the per-map reply-cache counters from a v3 STATS reply and print
+/// one summary line (hit rate across all maps, resident bytes, churn).
+fn print_reply_cache_summary(maps: &[lsdb::server::MapStatsWire]) {
+    let mut c = lsdb::server::ReplyCacheWire {
+        enabled: maps.iter().any(|m| m.reply_cache.enabled),
+        ..Default::default()
+    };
+    for m in maps {
+        let rc = &m.reply_cache;
+        c.entries += rc.entries;
+        c.bytes += rc.bytes;
+        c.hits += rc.hits;
+        c.misses += rc.misses;
+        c.insertions += rc.insertions;
+        c.evictions += rc.evictions;
+        c.invalidations += rc.invalidations;
+        c.rejections += rc.rejections;
+    }
+    if !c.enabled {
+        println!("reply cache: off");
+        return;
+    }
+    let probes = c.hits + c.misses;
+    let rate = if probes == 0 {
+        0.0
+    } else {
+        100.0 * c.hits as f64 / probes as f64
+    };
+    println!(
+        "reply cache: {} hits / {} misses ({rate:.1}% hit rate), {} entries / {} bytes resident, \
+         {} insertions, {} evictions, {} invalidations, {} rejections",
+        c.hits,
+        c.misses,
+        c.entries,
+        c.bytes,
+        c.insertions,
+        c.evictions,
+        c.invalidations,
+        c.rejections
+    );
 }
